@@ -1,0 +1,83 @@
+//! Throughput benchmarks of the TSCH simulator and the distributed
+//! protocol runner — the substrate costs behind every experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harp_core::{HarpNetwork, SchedulingPolicy};
+use std::hint::black_box;
+use tsch_sim::{Rate, SimulatorBuilder, SlotframeConfig};
+
+fn bench_data_plane(c: &mut Criterion) {
+    let tree = workloads::testbed_50_node_tree();
+    let config = SlotframeConfig::paper_default();
+    let rate = Rate::per_slotframe(1);
+    let reqs = workloads::aggregated_echo_requirements(&tree, rate);
+    let mut net = HarpNetwork::new(
+        tree.clone(),
+        config,
+        &reqs,
+        SchedulingPolicy::RateMonotonic,
+    );
+    net.run_static().unwrap();
+    let schedule = net.schedule().clone();
+
+    c.bench_function("sim_slotframe_50_nodes", |b| {
+        b.iter_batched(
+            || {
+                let mut builder =
+                    SimulatorBuilder::new(tree.clone(), config).schedule(schedule.clone());
+                for task in workloads::echo_task_per_node(&tree, rate) {
+                    builder = builder.task(task).unwrap();
+                }
+                builder.build()
+            },
+            |mut sim| {
+                sim.run_slotframes(5);
+                black_box(sim.stats().deliveries.len())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_control_plane(c: &mut Criterion) {
+    let tree = workloads::testbed_50_node_tree();
+    let config = SlotframeConfig::paper_default();
+    let reqs = workloads::uniform_link_requirements(&tree, 1);
+
+    c.bench_function("harp_static_phase_50_nodes", |b| {
+        b.iter(|| {
+            let mut net = HarpNetwork::new(
+                tree.clone(),
+                config,
+                black_box(&reqs),
+                SchedulingPolicy::RateMonotonic,
+            );
+            net.run_static().unwrap();
+            black_box(net.schedule().assignment_count())
+        })
+    });
+
+    c.bench_function("harp_adjustment_leaf", |b| {
+        b.iter_batched(
+            || {
+                let mut net = HarpNetwork::new(
+                    tree.clone(),
+                    config,
+                    &reqs,
+                    SchedulingPolicy::RateMonotonic,
+                );
+                net.run_static().unwrap();
+                net
+            },
+            |mut net| {
+                let link = tsch_sim::Link::up(tsch_sim::NodeId(45));
+                net.adjust_and_settle(net.now(), link, 2).unwrap();
+                black_box(net.schedule().assignment_count())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_data_plane, bench_control_plane);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Ablation report for the design choices DESIGN.md calls out:
+//!
+//! 1. best-fit skyline vs shelf packers vs the exact optimum (solution
+//!    quality on composition-shaped workloads);
+//! 2. the two-pass SPP mapping of Alg. 1 vs stopping after pass 1
+//!    (channel waste);
+//! 3. Alg. 2's neighbour-first adjustment vs an immediate full repack
+//!    (partitions moved = messages sent).
+//!
+//! Run with `cargo run --release -p harp-bench --bin ablation_report`.
+
+use harp_bench::mean;
+use harp_core::{adjust_partition, compose_components, ResourceComponent};
+use packing::shelf::{pack_strip_ffdh, pack_strip_nfdh};
+use packing::{exact_strip_height, pack_into, pack_strip, Rect, Size};
+use tsch_sim::{NodeId, SplitMix64};
+
+fn components(n: usize, seed: u64) -> Vec<Size> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| Size::new(1 + rng.next_below(4) as u32, 1 + rng.next_below(8) as u32))
+        .collect()
+}
+
+fn main() {
+    println!("# Ablation 1 — packer quality on composition workloads");
+    println!("# (strip width 16 channels; heights relative to the exact optimum)");
+    println!(
+        "{:>3} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        "n", "exact", "skyline", "ffdh", "nfdh", "solved"
+    );
+    for &n in &[4usize, 6, 8] {
+        let mut exact_h = Vec::new();
+        let mut sky = Vec::new();
+        let mut ffdh = Vec::new();
+        let mut nfdh = Vec::new();
+        let mut solved = 0;
+        let instances = 40;
+        for seed in 0..instances {
+            let items = components(n, seed);
+            let e = exact_strip_height(&items, 16, 3_000_000).unwrap();
+            if e.is_optimal() {
+                solved += 1;
+            }
+            exact_h.push(f64::from(e.height()));
+            sky.push(f64::from(pack_strip(&items, 16).unwrap().height()));
+            ffdh.push(f64::from(pack_strip_ffdh(&items, 16).unwrap().height()));
+            nfdh.push(f64::from(pack_strip_nfdh(&items, 16).unwrap().height()));
+        }
+        println!(
+            "{n:>3} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>6}/{instances}",
+            mean(&exact_h),
+            mean(&sky),
+            mean(&ffdh),
+            mean(&nfdh),
+            solved
+        );
+    }
+
+    println!("\n# Ablation 2 — Alg. 1 second pass (channel extent saved)");
+    println!("{:>3} {:>14} {:>14} {:>8}", "n", "one-pass ch", "two-pass ch", "saved");
+    for &n in &[4usize, 8, 16, 32] {
+        let mut one = Vec::new();
+        let mut two = Vec::new();
+        for seed in 100..140u64 {
+            let comps: Vec<(NodeId, ResourceComponent)> = components(n, seed)
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| (NodeId(i as u16), ResourceComponent::new(s.h, s.w)))
+                .collect();
+            let two_pass = compose_components(&comps, 16, 1).unwrap().composite();
+            let items: Vec<Size> =
+                comps.iter().map(|(_, c)| c.as_size_channel_major()).collect();
+            let p = pack_strip(&items, 16).unwrap();
+            let one_pass_channels =
+                p.placements().iter().map(Rect::right).max().unwrap_or(0);
+            one.push(f64::from(one_pass_channels));
+            two.push(f64::from(two_pass.channels));
+        }
+        println!(
+            "{n:>3} {:>14.2} {:>14.2} {:>8.2}",
+            mean(&one),
+            mean(&two),
+            mean(&one) - mean(&two)
+        );
+    }
+
+    println!("\n# Ablation 3 — Alg. 2 vs full repack (partitions moved per adjustment)");
+    println!("{:>9} {:>10} {:>12}", "siblings", "alg2", "full repack");
+    for &n in &[4usize, 8, 12] {
+        let mut alg2_moved = Vec::new();
+        let mut repack_moved = Vec::new();
+        for seed in 200..240u64 {
+            let mut rng = SplitMix64::new(seed);
+            // Sibling rows spaced with one idle slot between them.
+            let parent = Rect::from_xywh(0, 0, 8 * n as u32, 2);
+            let mut children = Vec::new();
+            let mut x = 0;
+            for i in 0..n as u16 {
+                let w = 2 + rng.next_below(4) as u32;
+                children.push((NodeId(i), Rect::from_xywh(x, 0, w, 1)));
+                x += w + 1;
+            }
+            let grown = ResourceComponent::row(
+                children[0].1.width() + 2 + rng.next_below(4) as u32,
+            );
+            if let Some(outcome) =
+                adjust_partition(parent, &children, NodeId(0), grown).unwrap()
+            {
+                alg2_moved.push(outcome.moved_count() as f64);
+            }
+            let sizes: Vec<Size> = children
+                .iter()
+                .map(|&(id, r)| if id == NodeId(0) { grown.as_size() } else { r.size })
+                .collect();
+            if let Some(placements) = pack_into(&sizes, parent.size).unwrap() {
+                let moved = placements
+                    .iter()
+                    .zip(&children)
+                    .filter(|(new, (_, old))| **new != *old)
+                    .count();
+                repack_moved.push(moved as f64);
+            }
+        }
+        println!("{n:>9} {:>10.2} {:>12.2}", mean(&alg2_moved), mean(&repack_moved));
+    }
+}

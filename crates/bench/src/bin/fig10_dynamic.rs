@@ -1,0 +1,119 @@
+//! Fig. 10: end-to-end latency of the observed node while its data rate
+//! steps 1 → 1.5 → 3 packets/slotframe.
+//!
+//! The control plane (HARP nodes + management plane) and the data plane
+//! (slot-level simulator) run in lockstep. As on the testbed, the observed
+//! node's partition starts with idle headroom cells, so the first rate step
+//! is absorbed by a purely local schedule update, while the second step
+//! overflows the partition and triggers a partition-adjustment escalation —
+//! visible as a longer latency excursion before the network settles again.
+//!
+//! Run with `cargo run --release -p harp-bench --bin fig10_dynamic`.
+
+use harp_bench::run_lockstep;
+use harp_core::{HarpNetwork, SchedulingPolicy};
+use tsch_sim::{Asn, Direction, Link, Rate, SimulatorBuilder, SlotframeConfig};
+use workloads::{fig10_observed_node, uplink_demand_after_change};
+
+fn main() {
+    let tree = workloads::testbed_50_node_tree();
+    let config = SlotframeConfig::paper_default();
+    let observed = fig10_observed_node();
+    let base_rate = Rate::per_slotframe(1);
+
+    // Static phase with +1 headroom on every link of the observed node's
+    // path (the testbed's partitions had idle cells; §VI-C).
+    let mut padded = workloads::aggregated_echo_requirements(&tree, base_rate);
+    let base = padded.clone();
+    for hop in tree.path_to_root(observed).windows(2) {
+        for link in [Link::up(hop[0]), Link::down(hop[0])] {
+            padded.set(link, padded.get(link) + 1);
+        }
+    }
+    let mut net = HarpNetwork::new(
+        tree.clone(),
+        config,
+        &padded,
+        SchedulingPolicy::RateMonotonic,
+    );
+    net.run_static().expect("feasible static phase");
+    // Release the headroom: partitions keep their size, schedules shrink to
+    // the real demand. (Local case — no management messages.)
+    for (link, cells) in base.iter() {
+        if padded.get(link) != cells {
+            net.request_change(net.now(), link, cells).expect("local decrease");
+        }
+    }
+    net.run_until_quiescent().expect("decreases settle");
+    assert!(net.schedule().is_exclusive());
+
+    // Data plane.
+    let net_offset = net.now().0;
+    let mut builder = SimulatorBuilder::new(tree.clone(), config)
+        .schedule(net.schedule().clone())
+        .seed(0xF10);
+    for task in workloads::echo_task_per_node(&tree, base_rate) {
+        builder = builder.task(task).expect("valid task");
+    }
+    let mut sim = builder.build();
+    let observed_task = workloads::task_id_of(&tree, observed).expect("observed is not the gateway");
+
+    let phase = |sim: &mut tsch_sim::Simulator,
+                 net: &mut HarpNetwork,
+                 frames: u64| {
+        run_lockstep(sim, net, net_offset, frames * u64::from(config.slots));
+    };
+
+    // Phase 1: steady state at 1 pkt/slotframe.
+    phase(&mut sim, &mut net, 30);
+
+    // Phase 2: rate 1.5 — absorbed by the headroom (local schedule update).
+    let steps = workloads::fig10_rate_steps(observed);
+    sim.set_task_rate(observed_task, steps[0].new_rate).expect("task exists");
+    apply_demand_change(&tree, &mut net, &mut sim, observed, base_rate, steps[0].new_rate);
+    phase(&mut sim, &mut net, 30);
+
+    // Phase 3: rate 3 — overflows the partition, escalates.
+    sim.set_task_rate(observed_task, steps[1].new_rate).expect("task exists");
+    apply_demand_change(&tree, &mut net, &mut sim, observed, base_rate, steps[1].new_rate);
+    phase(&mut sim, &mut net, 40);
+
+    // Report: average latency of the observed node per slotframe.
+    println!("# Fig. 10 — e2e latency of node {} over time", observed.0);
+    println!("# rate steps at slotframe 30 (1 -> 1.5) and 60 (1.5 -> 3)");
+    println!("{:>10} {:>12}", "slotframe", "latency(s)");
+    let slot_s = f64::from(config.slot_duration_us) / 1e6;
+    for (frame, mean_slots) in sim.stats().latency_timeline(observed, config.slots) {
+        println!("{frame:>10} {:>12.3}", mean_slots * slot_s);
+    }
+    println!(
+        "# schedule exclusive throughout: {}",
+        sim.schedule().is_exclusive()
+    );
+}
+
+/// Recomputes the demand of every link on the observed node's path for the
+/// new rate and injects the changes into the control plane.
+fn apply_demand_change(
+    tree: &tsch_sim::Tree,
+    net: &mut HarpNetwork,
+    sim: &mut tsch_sim::Simulator,
+    observed: tsch_sim::NodeId,
+    base_rate: Rate,
+    new_rate: Rate,
+) {
+    let now = Asn(net.now().0.max(sim.now().0));
+    let ups = uplink_demand_after_change(tree, observed, base_rate, new_rate);
+    let mut changes: Vec<(Link, u32)> = ups.clone();
+    // Echo traffic: downlinks mirror uplinks.
+    changes.extend(
+        ups.iter()
+            .map(|&(l, c)| (Link { child: l.child, direction: Direction::Down }, c)),
+    );
+    for (link, cells) in changes {
+        let ops = net.request_change(now, link, cells).expect("feasible change");
+        for op in &ops {
+            harp_core::apply_op(sim.schedule_mut(), op).expect("consistent ops");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Fig. 11(a): schedule-collision probability vs per-node data rate.
+//!
+//! 100 random 50-node, 5-layer topologies; slotframe 199 × 16; every link
+//! demands `rate` cells; four schedulers compared. The paper's shape:
+//! Random/MSF/LDSF grow roughly linearly with the rate, HARP stays at zero.
+//!
+//! Run with `cargo run --release -p harp-bench --bin fig11a_collision_rate`.
+
+use harp_bench::{average_collision_probability, pct};
+use schedulers::{AliceScheduler, HarpScheduler, LdsfScheduler, MsfScheduler, RandomScheduler, Scheduler};
+use tsch_sim::SlotframeConfig;
+
+fn main() {
+    let topologies = workloads::fig11_topologies();
+    let config = SlotframeConfig::paper_default();
+    let schedulers: [&dyn Scheduler; 5] = [
+        &RandomScheduler,
+        &MsfScheduler,
+        &AliceScheduler,
+        &LdsfScheduler,
+        &HarpScheduler::default(),
+    ];
+
+    println!("# Fig. 11(a) — collision probability vs data rate");
+    println!(
+        "# {} topologies, 50 nodes, 5 layers, {} slots x {} channels",
+        topologies.len(),
+        config.slots,
+        config.channels
+    );
+    print!("{:>4}", "rate");
+    for s in &schedulers {
+        print!(" {:>8}", s.name());
+    }
+    println!(" {:>12}", "total_cells");
+
+    for rate in 1..=8u32 {
+        print!("{rate:>4}");
+        for s in &schedulers {
+            let p = average_collision_probability(*s, &topologies, rate, config);
+            print!(" {:>8}", pct(p));
+        }
+        // 49 uplinks per topology.
+        println!(" {:>12}", 49 * rate);
+    }
+}

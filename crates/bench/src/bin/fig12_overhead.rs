@@ -1,0 +1,68 @@
+//! Fig. 12: dynamic schedule/partition adjustment overhead per layer,
+//! APaS (centralized) vs HARP.
+//!
+//! 81-node, 10-layer topologies. After the static phase, each node's demand
+//! is raised and the management packets needed to absorb the change are
+//! counted. The paper's shape: APaS costs `3l − 1` packets for a node at
+//! layer `l` (grows linearly with depth); HARP's cost is small and roughly
+//! flat because most requests resolve at the parent.
+//!
+//! Run with `cargo run --release -p harp-bench --bin fig12_overhead`.
+
+use harp_bench::{mean, measure_harp_adjustment};
+use harp_core::Requirements;
+use schedulers::{apas_adjustment_packets, sixtop_transaction_packets, ApasNetwork};
+use tsch_sim::{Asn, Direction, Link, SlotframeConfig, Tree};
+
+/// Per-link demand used for the static phase (low, so adjustments have
+/// room to resolve below the gateway, as in the paper's setup).
+fn base_requirements(tree: &Tree) -> Requirements {
+    workloads::uniform_link_requirements(tree, 1)
+}
+
+fn main() {
+    let config = SlotframeConfig::paper_default();
+    let topologies = workloads::fig12_topologies(10);
+
+    println!("# Fig. 12 — adjustment overhead (management packets) per layer");
+    println!("# {} topologies, 81 nodes, 10 layers; demand of one uplink 1 -> 2", topologies.len());
+    println!(
+        "{:>5} {:>10} {:>10} {:>10} {:>10}",
+        "layer", "apas", "harp", "harp_max", "msf_6p"
+    );
+
+    for layer in 1..=10u32 {
+        let mut apas_samples = Vec::new();
+        let mut harp_samples = Vec::new();
+        for tree in &topologies {
+            // Sample up to three nodes at this layer per topology.
+            let nodes = tree.nodes_at_depth(layer);
+            for &node in nodes.iter().take(3) {
+                let mut apas = ApasNetwork::new(tree.clone(), config);
+                apas_samples.push(apas.adjust(Asn(0), node).packets as f64);
+
+                let link = Link { child: node, direction: Direction::Up };
+                if let Some(sample) =
+                    measure_harp_adjustment(tree, &base_requirements(tree), config, link, 2)
+                {
+                    harp_samples.push(sample.mgmt_messages as f64);
+                }
+            }
+        }
+        let harp_max = harp_samples.iter().copied().fold(0.0f64, f64::max);
+        // MSF adds cells with one 6P pair at any depth — flat and minimal,
+        // but with no collision protection (the Fig. 11 trade-off).
+        println!(
+            "{:>5} {:>10.2} {:>10.2} {:>10.0} {:>10}",
+            layer,
+            mean(&apas_samples),
+            mean(&harp_samples),
+            harp_max,
+            sixtop_transaction_packets()
+        );
+        debug_assert!(
+            (mean(&apas_samples) - apas_adjustment_packets(layer) as f64).abs() < 1e-9,
+            "APaS measurement must match the 3l-1 formula"
+        );
+    }
+}

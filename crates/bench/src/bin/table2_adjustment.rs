@@ -1,0 +1,69 @@
+//! Table II: partition-adjustment overhead for a selected set of events at
+//! different layers of the 50-node testbed network.
+//!
+//! Each event raises one subtree component (by raising a link demand under
+//! it) and reports: involved nodes, layers crossed, HARP messages
+//! exchanged, elapsed time in seconds, and slotframes — the same columns as
+//! the paper's Table II. Absolute values depend on the stand-in topology;
+//! the shape to check is that deeper/larger events involve more nodes,
+//! layers, messages and time.
+//!
+//! Run with `cargo run --release -p harp-bench --bin table2_adjustment`.
+
+use harp_bench::measure_harp_adjustment;
+use tsch_sim::{Link, NodeId, SlotframeConfig};
+
+fn main() {
+    let tree = workloads::testbed_50_node_tree();
+    let config = SlotframeConfig::paper_default();
+    // The testbed workload: one echo task per node at 1 pkt/slotframe, so
+    // r(e) equals the child-side subtree size in both directions.
+    let reqs = workloads::aggregated_echo_requirements(
+        &tree,
+        tsch_sim::Rate::per_slotframe(1),
+    );
+
+    // Events in the spirit of the paper's Table II: demand increases of
+    // varying size at links of every depth (the paper's node ids belong to
+    // its own testbed layout and do not transfer). Raising r(e) of a link
+    // whose child is node N at depth d grows component C_{parent(N), d}.
+    let events: [(Link, u32); 6] = [
+        (Link::up(NodeId(1)), 2),
+        (Link::up(NodeId(14)), 2),
+        (Link::up(NodeId(5)), 3),
+        (Link::up(NodeId(17)), 2),
+        (Link::up(NodeId(33)), 2),
+        (Link::up(NodeId(45)), 2),
+    ];
+
+    println!("# Table II — partition adjustment overhead for selected events");
+    println!(
+        "{:<30} {:>6} {:>7} {:>5} {:>8} {:>4}",
+        "Event", "Nodes", "Layers", "Msg.", "Time(s)", "SF"
+    );
+    for (link, delta) in events {
+        let old = reqs.get(link);
+        let new_cells = old + delta;
+        let parent = tree.parent(link.child).expect("non-root");
+        let label = format!(
+            "C_{{{},{}}}: r(up N{}) {}->{}",
+            parent.0,
+            tree.layer_of_link(link),
+            link.child.0,
+            old,
+            new_cells
+        );
+        match measure_harp_adjustment(&tree, &reqs, config, link, new_cells) {
+            Some(s) => println!(
+                "{:<30} {:>6} {:>7} {:>5} {:>8.2} {:>4}",
+                label,
+                s.involved_nodes,
+                s.layers_touched,
+                s.mgmt_messages,
+                s.seconds,
+                s.slotframes
+            ),
+            None => println!("{label:<30} infeasible"),
+        }
+    }
+}

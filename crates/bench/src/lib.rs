@@ -1,0 +1,178 @@
+//! Shared experiment machinery for the HARP reproduction harness.
+//!
+//! Each table and figure of the paper's evaluation has a binary in
+//! `src/bin/` that prints the same rows/series the paper reports; the
+//! common sweep logic lives here so the binaries stay declarative and the
+//! logic itself is unit-tested.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use harp_core::{HarpNetwork, Requirements, SchedulingPolicy};
+use schedulers::Scheduler;
+use tsch_sim::{Asn, GlobalInterference, Link, SlotframeConfig, Tree};
+
+/// Mean of a slice; 0 when empty.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Average schedule-collision probability of one scheduler over a batch of
+/// topologies, with every *uplink* demanding `cells_per_link` cells — the
+/// inner loop of Fig. 11. (Uplink-only sensor traffic: at rate 8 the demand
+/// almost exactly fills the paper's 199-slot slotframe, which is the regime
+/// the paper sweeps; adding downlinks would make rate ≥ 5 physically
+/// unschedulable for any collision-free scheduler.)
+///
+/// Collisions are counted under the *global* model (any two links sharing a
+/// cell collide), which is the paper's notion of a schedule collision.
+#[must_use]
+pub fn average_collision_probability(
+    scheduler: &dyn Scheduler,
+    topologies: &[Tree],
+    cells_per_link: u32,
+    config: SlotframeConfig,
+) -> f64 {
+    let probabilities: Vec<f64> = topologies
+        .iter()
+        .enumerate()
+        .map(|(i, tree)| {
+            let reqs = workloads::uniform_uplink_requirements(tree, cells_per_link);
+            let schedule = scheduler.build_schedule(tree, &reqs, config, i as u64);
+            schedule
+                .collision_report(tree, &GlobalInterference)
+                .collision_probability()
+        })
+        .collect();
+    mean(&probabilities)
+}
+
+/// One measured HARP adjustment: messages and timing for raising one link's
+/// demand on a converged network (a Table II row / Fig. 12 sample).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdjustmentSample {
+    /// The adjusted link.
+    pub link: Link,
+    /// The link's layer.
+    pub layer: u32,
+    /// Management messages exchanged.
+    pub mgmt_messages: u64,
+    /// Nodes that participated.
+    pub involved_nodes: usize,
+    /// Distinct layers named in PUT messages.
+    pub layers_touched: usize,
+    /// Wall time of the adjustment in seconds.
+    pub seconds: f64,
+    /// Wall time in whole slotframes.
+    pub slotframes: u64,
+}
+
+/// Runs HARP's static phase on `tree` and then measures one adjustment that
+/// raises `link`'s requirement to `new_cells`.
+///
+/// Returns `None` if the adjustment is infeasible (slotframe overflow).
+#[must_use]
+pub fn measure_harp_adjustment(
+    tree: &Tree,
+    requirements: &Requirements,
+    config: SlotframeConfig,
+    link: Link,
+    new_cells: u32,
+) -> Option<AdjustmentSample> {
+    let mut net = HarpNetwork::new(
+        tree.clone(),
+        config,
+        requirements,
+        SchedulingPolicy::RateMonotonic,
+    );
+    net.run_static().ok()?;
+    let report = net.adjust_and_settle(net.now(), link, new_cells).ok()?;
+    Some(AdjustmentSample {
+        link,
+        layer: tree.layer_of_link(link),
+        mgmt_messages: report.mgmt_messages,
+        involved_nodes: report.involved_nodes.len(),
+        layers_touched: report.layers.len(),
+        seconds: report.elapsed_seconds(config),
+        slotframes: report.slotframes(config),
+    })
+}
+
+/// Formats a probability as a percentage with two decimals.
+#[must_use]
+pub fn pct(p: f64) -> String {
+    format!("{:6.2}%", p * 100.0)
+}
+
+/// Advances a HARP control plane and a data-plane simulator in lockstep for
+/// `slots` slots, applying control-plane schedule changes to the simulator
+/// the moment they take effect at the nodes.
+///
+/// `net_offset` maps simulator time to the control plane's clock (the
+/// static phase consumed control-plane time before the data plane started).
+///
+/// # Panics
+///
+/// Panics if the control plane rejects a message (infeasible adjustment)
+/// mid-run — experiments construct feasible scenarios.
+pub fn run_lockstep(
+    sim: &mut tsch_sim::Simulator,
+    net: &mut HarpNetwork,
+    net_offset: u64,
+    slots: u64,
+) {
+    for _ in 0..slots {
+        sim.step_slot();
+        let ops = net
+            .step(Asn(sim.now().0 + net_offset))
+            .expect("feasible scenario");
+        for op in &ops {
+            harp_core::apply_op(sim.schedule_mut(), op).expect("collision-free ops");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedulers::{HarpScheduler, RandomScheduler};
+    use workloads::TopologyConfig;
+
+    #[test]
+    fn mean_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn collision_sweep_orders_harp_below_random() {
+        let topologies = TopologyConfig::paper_50_node().generate_batch(7, 5);
+        let cfg = SlotframeConfig::paper_default();
+        let harp = average_collision_probability(&HarpScheduler::default(), &topologies, 3, cfg);
+        let random = average_collision_probability(&RandomScheduler, &topologies, 3, cfg);
+        assert_eq!(harp, 0.0);
+        assert!(random > 0.0);
+    }
+
+    #[test]
+    fn adjustment_sample_layer_matches_tree() {
+        let tree = workloads::testbed_50_node_tree();
+        let reqs = workloads::uniform_link_requirements(&tree, 1);
+        let cfg = SlotframeConfig::paper_default();
+        let link = Link::up(tsch_sim::NodeId(45)); // a layer-5 leaf
+        let sample = measure_harp_adjustment(&tree, &reqs, cfg, link, 2).unwrap();
+        assert_eq!(sample.layer, 5);
+        assert!(sample.mgmt_messages >= 1 || sample.involved_nodes >= 1);
+        assert!(sample.slotframes >= 1);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.5), " 50.00%");
+    }
+}

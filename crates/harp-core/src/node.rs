@@ -1,0 +1,1086 @@
+//! The per-node HARP state machine.
+//!
+//! A [`HarpNode`] holds exactly the state a real device holds on the
+//! testbed: its own neighbourhood (parent, children), the cell requirements
+//! of its child links, the interfaces its children reported, the partitions
+//! its parent granted, and the schedule it decided for its own links.
+//! Handlers consume one [`HarpMessage`] and produce [`Effects`] — messages
+//! to send to neighbours plus schedule operations that take effect at the
+//! *receiving* end of a cell-assignment message (a child only uses new cells
+//! once told about them, which is what gives the dynamic-adjustment
+//! experiments their latency shape).
+
+use crate::adjust::adjust_partition;
+use crate::component::{ResourceComponent, ResourceInterface};
+use crate::compose::{compose_components, CompositionLayout};
+use crate::error::HarpError;
+use crate::protocol::HarpMessage;
+use crate::schedule_gen::{assign_cells_to_links, SchedulingPolicy};
+use packing::{Point, Rect};
+use std::collections::BTreeMap;
+use tsch_sim::{Cell, Direction, Link, NodeId, SlotframeConfig, Tree};
+
+/// A schedule change produced by the protocol, to be applied to the network
+/// schedule by whoever drives the nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleOp {
+    /// Replace the cells of `link` with `cells` (empty = release the link).
+    SetLinkCells {
+        /// The directed link whose cells change.
+        link: Link,
+        /// The new cell set, in transmission order.
+        cells: Vec<Cell>,
+    },
+}
+
+/// What a handler wants done: messages to neighbours and schedule changes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Effects {
+    /// `(recipient, message)` pairs to hand to the management plane.
+    pub messages: Vec<(NodeId, HarpMessage)>,
+    /// Schedule operations to apply immediately (at this node).
+    pub schedule_ops: Vec<ScheduleOp>,
+}
+
+impl Effects {
+    /// No messages, no schedule changes.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Appends another effect set.
+    pub fn merge(&mut self, other: Effects) {
+        self.messages.extend(other.messages);
+        self.schedule_ops.extend(other.schedule_ops);
+    }
+
+    /// Coalesces multiple `POST part` messages to the same recipient into
+    /// one (a parent reports a child's partitions for both directions in a
+    /// single message, as on the testbed).
+    fn coalesce_post_partitions(&mut self) {
+        let mut merged: Vec<(NodeId, HarpMessage)> = Vec::with_capacity(self.messages.len());
+        for (to, msg) in self.messages.drain(..) {
+            if let HarpMessage::PostPartitions { partitions } = &msg {
+                if let Some(HarpMessage::PostPartitions { partitions: existing }) = merged
+                    .iter_mut()
+                    .find(|(t, m)| *t == to && matches!(m, HarpMessage::PostPartitions { .. }))
+                    .map(|(_, m)| m)
+                {
+                    existing.extend(partitions.iter().copied());
+                    continue;
+                }
+            }
+            merged.push((to, msg));
+        }
+        self.messages = merged;
+    }
+}
+
+/// Per-direction protocol state of a node.
+#[derive(Debug, Clone, Default)]
+struct DirState {
+    /// Cell requirements `r(e)` of the links to this node's children.
+    reqs: BTreeMap<NodeId, u32>,
+    /// Interfaces reported by non-leaf children.
+    child_interfaces: BTreeMap<NodeId, ResourceInterface>,
+    /// This node's own interface, once generated.
+    interface: Option<ResourceInterface>,
+    /// Composition layouts per composed layer (from the static phase).
+    layouts: BTreeMap<u32, CompositionLayout>,
+    /// Partitions granted to this node, per layer.
+    partitions: BTreeMap<u32, Rect>,
+    /// Partitions this node allocated to its children, per layer.
+    child_partitions: BTreeMap<u32, Vec<(NodeId, Rect)>>,
+    /// Cells this node assigned to each child link.
+    assignments: BTreeMap<NodeId, Vec<Cell>>,
+    /// Escalated layers awaiting a bigger partition from the parent:
+    /// layer → the child whose component grew.
+    pending: BTreeMap<u32, NodeId>,
+}
+
+/// One HARP participant: the distributed state machine of a single device.
+#[derive(Debug, Clone)]
+pub struct HarpNode {
+    id: NodeId,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    nonleaf_children: Vec<NodeId>,
+    link_layer: u32,
+    config: SlotframeConfig,
+    policy: SchedulingPolicy,
+    up: DirState,
+    down: DirState,
+}
+
+impl HarpNode {
+    /// Creates the node for `id`, copying its one-hop neighbourhood out of
+    /// the tree (a real device learns this from RPL).
+    #[must_use]
+    pub fn new(
+        tree: &Tree,
+        id: NodeId,
+        config: SlotframeConfig,
+        policy: SchedulingPolicy,
+    ) -> Self {
+        Self {
+            id,
+            parent: tree.parent(id),
+            children: tree.children(id).to_vec(),
+            nonleaf_children: tree
+                .children(id)
+                .iter()
+                .copied()
+                .filter(|&c| !tree.is_leaf(c))
+                .collect(),
+            link_layer: tree.link_layer(id),
+            config,
+            policy,
+            up: DirState::default(),
+            down: DirState::default(),
+        }
+    }
+
+    /// This node's id.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Returns `true` for the gateway.
+    #[must_use]
+    pub fn is_gateway(&self) -> bool {
+        self.parent.is_none()
+    }
+
+    /// Returns `true` if the node has no children.
+    #[must_use]
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    fn dir(&self, d: Direction) -> &DirState {
+        match d {
+            Direction::Up => &self.up,
+            Direction::Down => &self.down,
+        }
+    }
+
+    fn dir_mut(&mut self, d: Direction) -> &mut DirState {
+        match d {
+            Direction::Up => &mut self.up,
+            Direction::Down => &mut self.down,
+        }
+    }
+
+    /// Sets the requirement of the link to `child` (static configuration).
+    pub fn set_requirement(&mut self, direction: Direction, child: NodeId, cells: u32) {
+        self.dir_mut(direction).reqs.insert(child, cells);
+    }
+
+    /// The node's generated interface for `direction`, if any.
+    #[must_use]
+    pub fn interface(&self, direction: Direction) -> Option<&ResourceInterface> {
+        self.dir(direction).interface.as_ref()
+    }
+
+    /// The partition granted to this node at `layer`.
+    #[must_use]
+    pub fn partition(&self, direction: Direction, layer: u32) -> Option<Rect> {
+        self.dir(direction).partitions.get(&layer).copied()
+    }
+
+    /// The partitions this node granted its children at `layer`.
+    #[must_use]
+    pub fn child_partitions(&self, direction: Direction, layer: u32) -> &[(NodeId, Rect)] {
+        self.dir(direction)
+            .child_partitions
+            .get(&layer)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The cells this node assigned to the link toward `child`.
+    #[must_use]
+    pub fn assignment(&self, direction: Direction, child: NodeId) -> &[Cell] {
+        self.dir(direction)
+            .assignments
+            .get(&child)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The current requirement of the link to `child` as this node tracks it.
+    #[must_use]
+    pub fn requirement(&self, direction: Direction, child: NodeId) -> u32 {
+        self.dir(direction).reqs.get(&child).copied().unwrap_or(0)
+    }
+
+    // ---- topology mutation (node join / parent switch) ----
+
+    /// Registers `child` as a new (leaf) child of this node with zero
+    /// demand. Demand is added afterwards via
+    /// [`HarpNode::request_change`], which triggers the partition machinery.
+    pub fn adopt_child(&mut self, child: NodeId) {
+        if !self.children.contains(&child) {
+            self.children.push(child);
+        }
+        for d in Direction::BOTH {
+            self.dir_mut(d).reqs.entry(child).or_insert(0);
+        }
+    }
+
+    /// Marks `child` as non-leaf (it adopted a child of its own), so this
+    /// node starts forwarding partition updates to it.
+    pub fn promote_child(&mut self, child: NodeId) {
+        if self.children.contains(&child) && !self.nonleaf_children.contains(&child) {
+            self.nonleaf_children.push(child);
+        }
+    }
+
+    /// Removes `child` from this node's neighbourhood, dropping its demand,
+    /// interface and cell assignments. The freed cells become idle area in
+    /// this node's partition (released locally, as §V prescribes for
+    /// departures).
+    pub fn orphan_child(&mut self, child: NodeId) {
+        self.children.retain(|&c| c != child);
+        self.nonleaf_children.retain(|&c| c != child);
+        for d in Direction::BOTH {
+            let ds = self.dir_mut(d);
+            ds.reqs.remove(&child);
+            ds.child_interfaces.remove(&child);
+            ds.assignments.remove(&child);
+            for placements in ds.child_partitions.values_mut() {
+                placements.retain(|&(c, _)| c != child);
+            }
+        }
+    }
+
+    /// Rebinds this node's parent pointer and link layer after a parent
+    /// switch (its own depth may have changed).
+    pub fn set_parent(&mut self, parent: Option<NodeId>, link_layer: u32) {
+        self.parent = parent;
+        self.link_layer = link_layer;
+    }
+
+    /// Kicks off the static phase at this node. Nodes whose children are all
+    /// leaves can generate and report their interfaces immediately; everyone
+    /// else waits for `POST intf` messages.
+    ///
+    /// # Errors
+    ///
+    /// Propagates composition/allocation failures.
+    pub fn bootstrap(&mut self) -> Result<Effects, HarpError> {
+        if self.is_leaf() {
+            return Ok(Effects::none());
+        }
+        self.maybe_generate_and_report()
+    }
+
+    /// Handles one protocol message from a neighbour.
+    ///
+    /// # Errors
+    ///
+    /// Propagates algorithmic failures (overflow, packing, missing state).
+    pub fn handle(&mut self, from: NodeId, msg: HarpMessage) -> Result<Effects, HarpError> {
+        match msg {
+            HarpMessage::PostInterface { up, down } => {
+                self.up.child_interfaces.insert(from, up);
+                self.down.child_interfaces.insert(from, down);
+                self.maybe_generate_and_report()
+            }
+            HarpMessage::PostPartitions { partitions } => {
+                let mut dirs = Vec::new();
+                for &(d, layer, rect) in &partitions {
+                    self.dir_mut(d).partitions.insert(layer, rect);
+                    if !dirs.contains(&d) {
+                        dirs.push(d);
+                    }
+                }
+                let mut fx = Effects::none();
+                for d in dirs {
+                    fx.merge(self.distribute_partitions(d)?);
+                }
+                fx.coalesce_post_partitions();
+                Ok(fx)
+            }
+            HarpMessage::PutInterface { direction, layer, component } => {
+                self.on_child_component_update(direction, from, layer, component)
+            }
+            HarpMessage::PutPartition { direction, layer, rect } => {
+                let old = self.dir(direction).partitions.get(&layer).copied();
+                self.dir_mut(direction).partitions.insert(layer, rect);
+                self.replace_layer(direction, layer, old)
+            }
+            HarpMessage::CellAssignment { direction, cells } => {
+                // The child starts (or stops) using the granted cells now.
+                Ok(Effects {
+                    messages: Vec::new(),
+                    schedule_ops: vec![ScheduleOp::SetLinkCells {
+                        link: Link { child: self.id, direction },
+                        cells,
+                    }],
+                })
+            }
+        }
+    }
+
+    /// A traffic change at one of this node's child links (§V): `r(e)` of
+    /// the link to `child` becomes `new_cells`. Returns the effects — either
+    /// a purely local schedule update (Case 1) or a `PUT intf` escalation
+    /// (Case 2).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the static phase has not completed at this node, or the
+    /// gateway cannot grow the slotframe allocation.
+    pub fn request_change(
+        &mut self,
+        direction: Direction,
+        child: NodeId,
+        new_cells: u32,
+    ) -> Result<Effects, HarpError> {
+        let layer = self.link_layer;
+        let id = self.id;
+        let ds = self.dir_mut(direction);
+        ds.reqs.insert(child, new_cells);
+        let total: u32 = ds.reqs.values().sum();
+        let row = ds.partitions.get(&layer).copied();
+        match row {
+            Some(row) if total <= row.width() * row.height() => {
+                // Case 1: enough idle cells in the current partition.
+                self.schedule_own_row(direction)
+            }
+            _ => {
+                // Case 2: the partition itself must grow.
+                let component = ResourceComponent::row(total);
+                let ds = self.dir_mut(direction);
+                if let Some(iface) = ds.interface.as_mut() {
+                    iface.set(layer, component);
+                }
+                ds.pending.insert(layer, id);
+                if self.is_gateway() {
+                    self.gateway_reallocate(direction, layer)
+                } else {
+                    let parent = self.parent.expect("non-gateway has a parent");
+                    Ok(Effects {
+                        messages: vec![(
+                            parent,
+                            HarpMessage::PutInterface { direction, layer, component },
+                        )],
+                        schedule_ops: Vec::new(),
+                    })
+                }
+            }
+        }
+    }
+
+    // ---- static phase internals ----
+
+    /// Generates the interface (both directions) once every non-leaf child
+    /// has reported, then reports upward — or allocates if this is the
+    /// gateway.
+    fn maybe_generate_and_report(&mut self) -> Result<Effects, HarpError> {
+        let ready = |ds: &DirState, kids: &[NodeId]| {
+            kids.iter().all(|c| ds.child_interfaces.contains_key(c))
+        };
+        if self.up.interface.is_some()
+            || !ready(&self.up, &self.nonleaf_children)
+            || !ready(&self.down, &self.nonleaf_children)
+        {
+            return Ok(Effects::none());
+        }
+        self.generate_interface(Direction::Up)?;
+        self.generate_interface(Direction::Down)?;
+        if self.is_gateway() {
+            self.gateway_allocate()
+        } else {
+            let parent = self.parent.expect("non-gateway has a parent");
+            Ok(Effects {
+                messages: vec![(
+                    parent,
+                    HarpMessage::PostInterface {
+                        up: self.up.interface.clone().expect("just generated"),
+                        down: self.down.interface.clone().expect("just generated"),
+                    },
+                )],
+                schedule_ops: Vec::new(),
+            })
+        }
+    }
+
+    /// Builds this node's interface for one direction (Case 1 + Case 2 of
+    /// §IV-B) from local requirements and the children's interfaces.
+    fn generate_interface(&mut self, direction: Direction) -> Result<(), HarpError> {
+        let channels = self.config.channels;
+        let own_layer = self.link_layer;
+        let ds = self.dir_mut(direction);
+        let mut iface = ResourceInterface::new();
+        let direct: u32 = ds.reqs.values().sum();
+        iface.set(own_layer, ResourceComponent::row(direct));
+
+        let deepest = ds
+            .child_interfaces
+            .values()
+            .filter_map(ResourceInterface::max_layer)
+            .max()
+            .unwrap_or(own_layer);
+        let mut layouts = BTreeMap::new();
+        for layer in own_layer + 1..=deepest {
+            let comps: Vec<(NodeId, ResourceComponent)> = ds
+                .child_interfaces
+                .iter()
+                .filter_map(|(&c, i)| i.component(layer).map(|comp| (c, comp)))
+                .collect();
+            if comps.is_empty() {
+                continue;
+            }
+            let layout = compose_components(&comps, channels, layer)?;
+            iface.set(layer, layout.composite());
+            layouts.insert(layer, layout);
+        }
+        ds.interface = Some(iface);
+        ds.layouts = layouts;
+        Ok(())
+    }
+
+    /// The gateway's slotframe placement: uplink super-partition first with
+    /// layers descending, downlink after with layers ascending (§IV-C).
+    fn gateway_allocate(&mut self) -> Result<Effects, HarpError> {
+        let mut cursor: u32 = 0;
+        for (d, descending) in [(Direction::Up, true), (Direction::Down, false)] {
+            let iface = self.dir(d).interface.clone().expect("generated before allocation");
+            let mut layers: Vec<u32> = iface.layers().collect();
+            if descending {
+                layers.reverse();
+            }
+            for layer in layers {
+                let c = iface.component(layer).expect("listed layer");
+                self.dir_mut(d)
+                    .partitions
+                    .insert(layer, Rect::new(Point::new(cursor, 0), c.as_size()));
+                cursor += c.slots;
+            }
+        }
+        if u64::from(cursor) > u64::from(self.config.slots) {
+            return Err(HarpError::SlotframeOverflow {
+                needed_slots: u64::from(cursor),
+                available: self.config.slots,
+            });
+        }
+        let mut fx = Effects::none();
+        for d in Direction::BOTH {
+            fx.merge(self.distribute_partitions(d)?);
+        }
+        fx.coalesce_post_partitions();
+        Ok(fx)
+    }
+
+    /// Having just received (or allocated) partitions for every layer of the
+    /// own subtree: derive children's partitions from the stored composition
+    /// layouts, send them down, and schedule the own row.
+    fn distribute_partitions(&mut self, direction: Direction) -> Result<Effects, HarpError> {
+        // Derive child partitions per composed layer.
+        let layers: Vec<u32> = self.dir(direction).layouts.keys().copied().collect();
+        let mut per_child: BTreeMap<NodeId, Vec<(Direction, u32, Rect)>> = BTreeMap::new();
+        for layer in layers {
+            let own = self
+                .dir(direction)
+                .partitions
+                .get(&layer)
+                .copied()
+                .ok_or(HarpError::MissingPartition { node: self.id, layer })?;
+            let layout = self.dir(direction).layouts.get(&layer).expect("listed layer");
+            let placed: Vec<(NodeId, Rect)> = layout
+                .placements()
+                .iter()
+                .map(|&(c, rel)| (c, rel.translated(own.origin.x, own.origin.y)))
+                .collect();
+            for &(c, rect) in &placed {
+                if self.nonleaf_children.contains(&c) {
+                    per_child.entry(c).or_default().push((direction, layer, rect));
+                }
+            }
+            self.dir_mut(direction).child_partitions.insert(layer, placed);
+        }
+        let mut fx = self.schedule_own_row(direction)?;
+        for (child, partitions) in per_child {
+            fx.messages.push((child, HarpMessage::PostPartitions { partitions }));
+        }
+        Ok(fx)
+    }
+
+    /// Re-runs the local scheduler over the own partition row and notifies
+    /// every child whose cells changed.
+    fn schedule_own_row(&mut self, direction: Direction) -> Result<Effects, HarpError> {
+        let id = self.id;
+        let policy = self.policy;
+        let config = self.config;
+        let layer = self.link_layer;
+        let ds = self.dir_mut(direction);
+        let total: u32 = ds.reqs.values().sum();
+        let Some(row) = ds.partitions.get(&layer).copied() else {
+            if total == 0 {
+                return Ok(Effects::none());
+            }
+            return Err(HarpError::MissingPartition { node: id, layer });
+        };
+        let child_reqs: Vec<(NodeId, u32)> = ds
+            .reqs
+            .iter()
+            .map(|(&c, &r)| (c, r))
+            .collect();
+        let assignments =
+            assign_cells_to_links(id, &child_reqs, direction, row, policy, config)?;
+        let mut fx = Effects::none();
+        for a in assignments {
+            let child = a.link.child;
+            let old = ds.assignments.get(&child).cloned().unwrap_or_default();
+            if old != a.cells {
+                fx.messages.push((
+                    child,
+                    HarpMessage::CellAssignment { direction, cells: a.cells.clone() },
+                ));
+                ds.assignments.insert(child, a.cells);
+            }
+        }
+        Ok(fx)
+    }
+
+    // ---- dynamic phase internals ----
+
+    /// A child reported a grown component at `layer` (`PUT intf`). Try to
+    /// absorb it locally (Alg. 2); escalate otherwise.
+    fn on_child_component_update(
+        &mut self,
+        direction: Direction,
+        child: NodeId,
+        layer: u32,
+        component: ResourceComponent,
+    ) -> Result<Effects, HarpError> {
+        let ds = self.dir_mut(direction);
+        ds.child_interfaces
+            .entry(child)
+            .or_default()
+            .set(layer, component);
+        // A layer this node has never held a partition for (the subtree just
+        // grew deeper, e.g. after a node join): nothing to adjust locally —
+        // escalate straight away so an ancestor creates the layer.
+        let Some(own) = ds.partitions.get(&layer).copied() else {
+            return self.escalate_layer(direction, layer, child);
+        };
+        let mut placements = ds.child_partitions.get(&layer).cloned().unwrap_or_default();
+        if !placements.iter().any(|(c, _)| *c == child) {
+            placements.push((child, Rect::default()));
+        }
+
+        if let Some(outcome) = adjust_partition(own, &placements, child, component)? {
+            let mut fx = Effects::none();
+            for &moved in &outcome.moved {
+                let rect = outcome
+                    .layout
+                    .iter()
+                    .find(|(c, _)| *c == moved)
+                    .map(|&(_, r)| r)
+                    .expect("moved child is in the layout");
+                fx.messages.push((
+                    moved,
+                    HarpMessage::PutPartition { direction, layer, rect },
+                ));
+            }
+            self.dir_mut(direction)
+                .child_partitions
+                .insert(layer, outcome.layout);
+            return Ok(fx);
+        }
+
+        self.escalate_layer(direction, layer, child)
+    }
+
+    /// Recomposes `layer` from the children's current components and asks
+    /// the parent (or, at the gateway, the slotframe) for room.
+    fn escalate_layer(
+        &mut self,
+        direction: Direction,
+        layer: u32,
+        requester: NodeId,
+    ) -> Result<Effects, HarpError> {
+        let comps: Vec<(NodeId, ResourceComponent)> = self
+            .dir(direction)
+            .child_interfaces
+            .iter()
+            .filter_map(|(&c, i)| i.component(layer).map(|comp| (c, comp)))
+            .collect();
+        let layout = compose_components(&comps, self.config.channels, layer)?;
+        let composite = layout.composite();
+        let ds = self.dir_mut(direction);
+        if let Some(iface) = ds.interface.as_mut() {
+            iface.set(layer, composite);
+        }
+        ds.layouts.insert(layer, layout);
+        ds.pending.insert(layer, requester);
+        if self.is_gateway() {
+            self.gateway_reallocate(direction, layer)
+        } else {
+            let parent = self.parent.expect("non-gateway has a parent");
+            Ok(Effects {
+                messages: vec![(
+                    parent,
+                    HarpMessage::PutInterface { direction, layer, component: composite },
+                )],
+                schedule_ops: Vec::new(),
+            })
+        }
+    }
+
+    /// The own partition at `layer` changed (grew or moved). Re-place
+    /// whatever lives inside it and propagate.
+    fn replace_layer(
+        &mut self,
+        direction: Direction,
+        layer: u32,
+        old: Option<Rect>,
+    ) -> Result<Effects, HarpError> {
+        self.dir_mut(direction).pending.remove(&layer);
+        let rect = self.dir(direction).partitions[&layer];
+        if layer == self.link_layer {
+            return self.schedule_own_row(direction);
+        }
+
+        let current = self
+            .dir(direction)
+            .child_partitions
+            .get(&layer)
+            .cloned()
+            .unwrap_or_default();
+
+        let new_layout: Vec<(NodeId, Rect)> = match old {
+            // Pure move: same size, translate everything inside.
+            Some(old) if old.size == rect.size => current
+                .iter()
+                .map(|&(c, r)| {
+                    if r.is_empty() {
+                        (c, r)
+                    } else {
+                        let dx = r.left() - old.left();
+                        let dy = r.bottom() - old.bottom();
+                        (c, Rect::new(Point::new(rect.left() + dx, rect.bottom() + dy), r.size))
+                    }
+                })
+                .collect(),
+            // Growth: lay the (re)composed layout into the new rectangle.
+            _ => {
+                let layout = self
+                    .dir(direction)
+                    .layouts
+                    .get(&layer)
+                    .cloned()
+                    .ok_or(HarpError::MissingPartition { node: self.id, layer })?;
+                layout
+                    .placements()
+                    .iter()
+                    .map(|&(c, rel)| (c, rel.translated(rect.origin.x, rect.origin.y)))
+                    .collect()
+            }
+        };
+
+        let mut fx = Effects::none();
+        for &(c, r) in &new_layout {
+            let old_rect = current
+                .iter()
+                .find(|(n, _)| *n == c)
+                .map(|&(_, r)| r)
+                .unwrap_or_default();
+            if r != old_rect && self.nonleaf_children.contains(&c) {
+                fx.messages.push((
+                    c,
+                    HarpMessage::PutPartition { direction, layer, rect: r },
+                ));
+            }
+        }
+        self.dir_mut(direction)
+            .child_partitions
+            .insert(layer, new_layout);
+        Ok(fx)
+    }
+
+    /// The gateway absorbs a grown component at `(direction, layer)` by
+    /// adjusting its slotframe-level placement (there is no parent to
+    /// escalate to). The slotframe is the container, the gateway's per-layer
+    /// partitions (both directions) are the sub-partitions, and the same
+    /// cost-aware heuristic (Alg. 2) keeps unaffected layers in place —
+    /// growth lands in the slotframe's idle area whenever possible.
+    fn gateway_reallocate(
+        &mut self,
+        direction: Direction,
+        layer: u32,
+    ) -> Result<Effects, HarpError> {
+        let container = Rect::from_xywh(0, 0, self.config.slots, u32::from(self.config.channels));
+        let mut entries: Vec<((Direction, u32), Rect)> = Vec::new();
+        for d in Direction::BOTH {
+            for (&l, &r) in &self.dir(d).partitions {
+                entries.push(((d, l), r));
+            }
+        }
+        // A brand-new layer (the network just grew deeper): enter it with an
+        // empty rectangle so the adjustment places it like a fresh grant.
+        if !entries.iter().any(|&(k, _)| k == (direction, layer)) {
+            entries.push(((direction, layer), Rect::default()));
+        }
+        let component = self
+            .dir(direction)
+            .interface
+            .as_ref()
+            .and_then(|i| i.component(layer))
+            .ok_or(HarpError::MissingPartition { node: self.id, layer })?;
+        let Some(outcome) = adjust_partition(container, &entries, (direction, layer), component)?
+        else {
+            let total: u64 = entries.iter().map(|(_, r)| r.area()).sum::<u64>()
+                + component.cell_count();
+            // The binding constraint is either the total area or the grown
+            // component's own slot extent (a row wider than the slotframe
+            // can never fit, whatever the area says).
+            let needed_slots = total
+                .div_ceil(u64::from(self.config.channels))
+                .max(u64::from(component.slots));
+            return Err(HarpError::SlotframeOverflow {
+                needed_slots,
+                available: self.config.slots,
+            });
+        };
+        let mut fx = Effects::none();
+        for &(d, l) in &outcome.moved {
+            let rect = outcome
+                .layout
+                .iter()
+                .find(|&&(k, _)| k == (d, l))
+                .map(|&(_, r)| r)
+                .expect("moved key is in the layout");
+            let old = self.dir(d).partitions.get(&l).copied();
+            self.dir_mut(d).partitions.insert(l, rect);
+            fx.merge(self.replace_layer(d, l, old)?);
+        }
+        Ok(fx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives a whole network of nodes to quiescence with synchronous,
+    /// zero-latency message delivery (protocol-order tests; timing is
+    /// covered by the runner tests).
+    struct Fabric {
+        nodes: Vec<HarpNode>,
+        schedule_ops: Vec<ScheduleOp>,
+        messages_seen: Vec<(NodeId, NodeId, HarpMessage)>,
+    }
+
+    impl Fabric {
+        fn new(tree: &Tree, reqs: &crate::Requirements) -> Self {
+            let config = SlotframeConfig::paper_default();
+            let mut nodes: Vec<HarpNode> = tree
+                .nodes()
+                .map(|v| HarpNode::new(tree, v, config, SchedulingPolicy::RateMonotonic))
+                .collect();
+            for (link, cells) in reqs.iter() {
+                if let Ok((_, _)) = tree.endpoints(link) {
+                    let parent = tree.parent(link.child).unwrap();
+                    nodes[parent.index()].set_requirement(link.direction, link.child, cells);
+                }
+            }
+            Self { nodes, schedule_ops: Vec::new(), messages_seen: Vec::new() }
+        }
+
+        fn dispatch(&mut self, from: NodeId, fx: Effects) {
+            self.try_dispatch(from, fx).unwrap();
+        }
+
+        fn try_dispatch(&mut self, from: NodeId, fx: Effects) -> Result<(), HarpError> {
+            self.schedule_ops.extend(fx.schedule_ops);
+            let mut queue: Vec<(NodeId, NodeId, HarpMessage)> =
+                fx.messages.into_iter().map(|(to, m)| (from, to, m)).collect();
+            while let Some((src, dst, msg)) = queue.pop() {
+                self.messages_seen.push((src, dst, msg.clone()));
+                let fx = self.nodes[dst.index()].handle(src, msg)?;
+                self.schedule_ops.extend(fx.schedule_ops);
+                queue.extend(fx.messages.into_iter().map(|(to, m)| (dst, to, m)));
+            }
+            Ok(())
+        }
+
+        fn run_static(&mut self) {
+            for i in 0..self.nodes.len() {
+                let id = self.nodes[i].id();
+                let fx = self.nodes[i].bootstrap().unwrap();
+                self.dispatch(id, fx);
+            }
+        }
+
+        fn request_change(&mut self, d: Direction, link: Link, cells: u32) {
+            let parent = self
+                .nodes
+                .iter()
+                .position(|n| n.children.contains(&link.child))
+                .unwrap();
+            let fx = self.nodes[parent].request_change(d, link.child, cells).unwrap();
+            let id = self.nodes[parent].id();
+            self.dispatch(id, fx);
+        }
+
+        /// The network schedule implied by all applied ops.
+        fn schedule(&self) -> tsch_sim::NetworkSchedule {
+            let mut s = tsch_sim::NetworkSchedule::new(SlotframeConfig::paper_default());
+            let mut latest: BTreeMap<Link, Vec<Cell>> = BTreeMap::new();
+            for op in &self.schedule_ops {
+                let ScheduleOp::SetLinkCells { link, cells } = op;
+                latest.insert(*link, cells.clone());
+            }
+            for (link, cells) in latest {
+                for c in cells {
+                    s.assign(c, link).unwrap();
+                }
+            }
+            s
+        }
+    }
+
+    fn fig1_reqs(tree: &Tree) -> crate::Requirements {
+        let mut reqs = crate::Requirements::new();
+        for v in tree.nodes().skip(1) {
+            reqs.set(Link::up(v), tree.subtree_size(v));
+            reqs.set(Link::down(v), tree.subtree_size(v));
+        }
+        reqs
+    }
+
+    #[test]
+    fn static_phase_distributed_matches_centralized() {
+        let tree = Tree::paper_fig1_example();
+        let reqs = fig1_reqs(&tree);
+        let mut fabric = Fabric::new(&tree, &reqs);
+        fabric.run_static();
+
+        // Every non-leaf node must have an interface and a scheduling row.
+        for v in tree.nodes() {
+            if tree.is_leaf(v) {
+                continue;
+            }
+            let node = &fabric.nodes[v.index()];
+            assert!(node.interface(Direction::Up).is_some(), "{v} has up interface");
+            assert!(node.partition(Direction::Up, tree.link_layer(v)).is_some());
+        }
+
+        // The distributed outcome equals the centralized oracle (the paper
+        // validates exactly this: testbed partitions identical to simulation).
+        let cfg = SlotframeConfig::paper_default();
+        let up = crate::build_interfaces(&tree, &reqs, Direction::Up, cfg.channels).unwrap();
+        let down =
+            crate::build_interfaces(&tree, &reqs, Direction::Down, cfg.channels).unwrap();
+        let table = crate::allocate_partitions(&tree, &up, &down, cfg).unwrap();
+        for v in tree.nodes() {
+            if tree.is_leaf(v) {
+                continue;
+            }
+            for d in Direction::BOTH {
+                let distributed = fabric.nodes[v.index()].partition(d, tree.link_layer(v));
+                let centralized = table.scheduling_area(&tree, v, d);
+                assert_eq!(distributed, centralized, "{v} {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn static_phase_schedule_is_collision_free_and_satisfies_demand() {
+        let tree = Tree::paper_fig1_example();
+        let reqs = fig1_reqs(&tree);
+        let mut fabric = Fabric::new(&tree, &reqs);
+        fabric.run_static();
+        let schedule = fabric.schedule();
+        assert!(schedule.is_exclusive());
+        assert!(crate::unsatisfied_links(&tree, &reqs, &schedule).is_empty());
+    }
+
+    #[test]
+    fn static_message_count_is_two_per_nonleaf_nongateway_node_plus_cells() {
+        let tree = Tree::paper_fig1_example();
+        let reqs = fig1_reqs(&tree);
+        let mut fabric = Fabric::new(&tree, &reqs);
+        fabric.run_static();
+        let intf = fabric
+            .messages_seen
+            .iter()
+            .filter(|(_, _, m)| matches!(m, HarpMessage::PostInterface { .. }))
+            .count();
+        let part = fabric
+            .messages_seen
+            .iter()
+            .filter(|(_, _, m)| matches!(m, HarpMessage::PostPartitions { .. }))
+            .count();
+        // Non-leaf, non-gateway nodes: 1, 2, 3, 7, 8 → 5 POST-intf.
+        assert_eq!(intf, 5);
+        // POST-part goes to each non-leaf child of a non-leaf node: 5 too.
+        assert_eq!(part, 5);
+    }
+
+    #[test]
+    fn case1_local_update_needs_no_management_messages() {
+        // Shrink a link's demand: the parent reschedules locally; only a
+        // cell-assignment message to the affected child.
+        let tree = Tree::paper_fig1_example();
+        let reqs = fig1_reqs(&tree);
+        let mut fabric = Fabric::new(&tree, &reqs);
+        fabric.run_static();
+        fabric.messages_seen.clear();
+        fabric.request_change(Direction::Up, Link::up(NodeId(9)), 0);
+        let mgmt = fabric
+            .messages_seen
+            .iter()
+            .filter(|(_, _, m)| m.is_management())
+            .count();
+        assert_eq!(mgmt, 0, "local case sends no intf/part messages");
+        let schedule = fabric.schedule();
+        assert!(schedule.is_exclusive());
+        assert!(schedule.cells_of(Link::up(NodeId(9))).is_empty());
+    }
+
+    #[test]
+    fn case2_one_hop_adjustment() {
+        // Node 7's row [2,1] grows when link 9→7 doubles: 7 asks 3, which
+        // has a layer-3 partition [2,2] that cannot hold [3,1]+[1,1]... it
+        // can: repack. Either way the request resolves at node 3.
+        let tree = Tree::paper_fig1_example();
+        let reqs = fig1_reqs(&tree);
+        let mut fabric = Fabric::new(&tree, &reqs);
+        fabric.run_static();
+        fabric.messages_seen.clear();
+        fabric.request_change(Direction::Up, Link::up(NodeId(9)), 2);
+        let schedule = fabric.schedule();
+        assert!(schedule.is_exclusive(), "no collisions during adjustment");
+        assert_eq!(schedule.cells_of(Link::up(NodeId(9))).len(), 2);
+        // All other links still satisfied.
+        let mut expected = fig1_reqs(&tree);
+        expected.set(Link::up(NodeId(9)), 2);
+        assert!(crate::unsatisfied_links(&tree, &expected, &schedule).is_empty());
+        let put_intf = fabric
+            .messages_seen
+            .iter()
+            .filter(|(_, _, m)| matches!(m, HarpMessage::PutInterface { .. }))
+            .count();
+        assert!(put_intf >= 1, "the change escalates at least one hop");
+    }
+
+    #[test]
+    fn multi_hop_adjustment_reaches_gateway_and_stays_collision_free() {
+        // A large increase deep in the tree that cannot be absorbed below
+        // the gateway.
+        let tree = Tree::paper_fig1_example();
+        let reqs = fig1_reqs(&tree);
+        let mut fabric = Fabric::new(&tree, &reqs);
+        fabric.run_static();
+        fabric.messages_seen.clear();
+        fabric.request_change(Direction::Up, Link::up(NodeId(9)), 12);
+        let schedule = fabric.schedule();
+        assert!(schedule.is_exclusive());
+        assert_eq!(schedule.cells_of(Link::up(NodeId(9))).len(), 12);
+        let mut expected = fig1_reqs(&tree);
+        expected.set(Link::up(NodeId(9)), 12);
+        assert!(crate::unsatisfied_links(&tree, &expected, &schedule).is_empty());
+    }
+
+    #[test]
+    fn gateway_direct_increase() {
+        // Increase a layer-1 link: the gateway reallocates its own row.
+        let tree = Tree::paper_fig1_example();
+        let reqs = fig1_reqs(&tree);
+        let mut fabric = Fabric::new(&tree, &reqs);
+        fabric.run_static();
+        fabric.request_change(Direction::Up, Link::up(NodeId(2)), 5);
+        let schedule = fabric.schedule();
+        assert!(schedule.is_exclusive());
+        assert_eq!(schedule.cells_of(Link::up(NodeId(2))).len(), 5);
+    }
+
+    #[test]
+    fn downlink_adjustment_works_too() {
+        let tree = Tree::paper_fig1_example();
+        let reqs = fig1_reqs(&tree);
+        let mut fabric = Fabric::new(&tree, &reqs);
+        fabric.run_static();
+        fabric.request_change(Direction::Down, Link::down(NodeId(11)), 4);
+        let schedule = fabric.schedule();
+        assert!(schedule.is_exclusive());
+        assert_eq!(schedule.cells_of(Link::down(NodeId(11))).len(), 4);
+    }
+
+    #[test]
+    fn infeasible_change_is_rejected_and_network_unharmed() {
+        let tree = Tree::paper_fig1_example();
+        let reqs = fig1_reqs(&tree);
+        let mut fabric = Fabric::new(&tree, &reqs);
+        fabric.run_static();
+        // Demand more slots than the slotframe has. The rejection surfaces
+        // as SlotframeOverflow, either immediately or while the escalation
+        // chain is dispatched.
+        let parent = NodeId(7);
+        let result = fabric.nodes[parent.index()]
+            .request_change(Direction::Up, NodeId(9), 500)
+            .and_then(|fx| fabric.try_dispatch(parent, fx));
+        assert!(
+            matches!(result, Err(HarpError::SlotframeOverflow { .. })),
+            "a 500-cell increase cannot be absorbed: {result:?}"
+        );
+    }
+
+    #[test]
+    fn repeated_changes_converge() {
+        let tree = Tree::paper_fig1_example();
+        let reqs = fig1_reqs(&tree);
+        let mut fabric = Fabric::new(&tree, &reqs);
+        fabric.run_static();
+        for r in [2, 3, 2, 4, 1] {
+            fabric.request_change(Direction::Up, Link::up(NodeId(10)), r);
+            let schedule = fabric.schedule();
+            assert!(schedule.is_exclusive(), "after setting r={r}");
+            assert_eq!(schedule.cells_of(Link::up(NodeId(10))).len(), r as usize);
+        }
+    }
+
+    #[test]
+    fn leaf_bootstrap_is_silent() {
+        let tree = Tree::paper_fig1_example();
+        let mut node = HarpNode::new(
+            &tree,
+            NodeId(4),
+            SlotframeConfig::paper_default(),
+            SchedulingPolicy::RateMonotonic,
+        );
+        assert!(node.is_leaf());
+        let fx = node.bootstrap().unwrap();
+        assert!(fx.messages.is_empty());
+        assert!(fx.schedule_ops.is_empty());
+    }
+
+    #[test]
+    fn cell_assignment_produces_schedule_op_at_child() {
+        let tree = Tree::paper_fig1_example();
+        let mut node = HarpNode::new(
+            &tree,
+            NodeId(4),
+            SlotframeConfig::paper_default(),
+            SchedulingPolicy::RateMonotonic,
+        );
+        let cells = vec![Cell::new(3, 0), Cell::new(4, 0)];
+        let fx = node
+            .handle(
+                NodeId(1),
+                HarpMessage::CellAssignment { direction: Direction::Up, cells: cells.clone() },
+            )
+            .unwrap();
+        assert_eq!(
+            fx.schedule_ops,
+            vec![ScheduleOp::SetLinkCells { link: Link::up(NodeId(4)), cells }]
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Text rendering of slotframes, partitions and schedules.
+//!
+//! Debugging a 199×16 cell matrix from raw numbers is hopeless; these
+//! renderers produce the kind of picture the paper prints as Fig. 7(d):
+//! per-layer super-partitions and a cell-level ownership map.
+
+use crate::allocation::PartitionTable;
+use tsch_sim::{Cell, NetworkSchedule, Tree};
+
+/// Renders the gateway-level super-partitions of a table, one line per
+/// `(direction, layer)` in slot order.
+///
+/// # Examples
+///
+/// ```
+/// use harp_core::{
+///     allocate_partitions, build_interfaces, render_super_partitions, Requirements,
+/// };
+/// use tsch_sim::{Direction, Link, NodeId, SlotframeConfig, Tree};
+///
+/// # fn main() -> Result<(), harp_core::HarpError> {
+/// let tree = Tree::from_parents(&[(1, 0), (2, 1)]);
+/// let mut reqs = Requirements::new();
+/// reqs.set(Link::up(NodeId(1)), 2);
+/// reqs.set(Link::up(NodeId(2)), 1);
+/// let cfg = SlotframeConfig::paper_default();
+/// let up = build_interfaces(&tree, &reqs, Direction::Up, cfg.channels)?;
+/// let down = build_interfaces(&tree, &reqs, Direction::Down, cfg.channels)?;
+/// let table = allocate_partitions(&tree, &up, &down, cfg)?;
+/// let text = render_super_partitions(&tree, &table);
+/// assert!(text.contains("up"));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn render_super_partitions(tree: &Tree, table: &PartitionTable) -> String {
+    let mut rows: Vec<_> = table.iter().filter(|p| p.node == tree.root()).collect();
+    rows.sort_by_key(|p| p.rect.left());
+    let mut out = String::new();
+    for p in rows {
+        out.push_str(&format!(
+            "{:>4} layer {}: slots {:>3}..{:<3} channels {}..{}\n",
+            p.direction.to_string(),
+            p.layer,
+            p.rect.left(),
+            p.rect.right(),
+            p.rect.bottom(),
+            p.rect.top(),
+        ));
+    }
+    out
+}
+
+/// Renders a cell-ownership map of the slotframe: one text row per channel
+/// (highest first), one column per slot in `slots`, `.` for idle cells and
+/// the transmitting node's id in base-36 otherwise. Multi-owner cells
+/// (colliding schedules) render as `#`.
+#[must_use]
+pub fn render_cell_map(
+    tree: &Tree,
+    schedule: &NetworkSchedule,
+    slots: std::ops::Range<u32>,
+) -> String {
+    let config = schedule.config();
+    let mut out = String::new();
+    for channel in (0..config.channels).rev() {
+        out.push_str(&format!("ch{channel:>2} "));
+        for slot in slots.clone() {
+            let links = schedule.links_on(Cell::new(slot, channel));
+            let glyph = match links {
+                [] => '.',
+                [link] => tree
+                    .endpoints(*link)
+                    .ok()
+                    .and_then(|(sender, _)| {
+                        std::char::from_digit(u32::from(sender.0) % 36, 36)
+                    })
+                    .unwrap_or('?'),
+                _ => '#',
+            };
+            out.push(glyph);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One-line utilisation summary of a schedule: assigned cells, capacity,
+/// and percentage.
+#[must_use]
+pub fn render_utilization(schedule: &NetworkSchedule) -> String {
+    let capacity = schedule.config().cells_per_slotframe();
+    let used = schedule.assignment_count() as u64;
+    format!(
+        "{used}/{capacity} cells assigned ({:.1}%)",
+        used as f64 / capacity as f64 * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        allocate_partitions, build_interfaces, generate_schedule, Requirements,
+        SchedulingPolicy,
+    };
+    use tsch_sim::{Direction, Link, NodeId, SlotframeConfig};
+
+    fn artifacts() -> (Tree, PartitionTable, NetworkSchedule) {
+        let tree = Tree::paper_fig1_example();
+        let mut reqs = Requirements::new();
+        for v in tree.nodes().skip(1) {
+            reqs.set(Link::up(v), 1);
+        }
+        let cfg = SlotframeConfig::new(40, 4, 10_000).unwrap();
+        let up = build_interfaces(&tree, &reqs, Direction::Up, cfg.channels).unwrap();
+        let down = build_interfaces(&tree, &reqs, Direction::Down, cfg.channels).unwrap();
+        let table = allocate_partitions(&tree, &up, &down, cfg).unwrap();
+        let schedule =
+            generate_schedule(&tree, &reqs, &table, SchedulingPolicy::RateMonotonic).unwrap();
+        (tree, table, schedule)
+    }
+
+    #[test]
+    fn super_partitions_listed_in_slot_order() {
+        let (tree, table, _) = artifacts();
+        let text = render_super_partitions(&tree, &table);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(!lines.is_empty());
+        // Uplink layers come first (deepest first = leftmost slots).
+        assert!(lines[0].contains("up layer 3"));
+    }
+
+    #[test]
+    fn cell_map_dimensions_and_glyphs() {
+        let (tree, _, schedule) = artifacts();
+        let text = render_cell_map(&tree, &schedule, 0..20);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "one row per channel");
+        for line in &lines {
+            assert_eq!(line.len(), "ch 0 ".len() + 20);
+        }
+        assert!(text.contains('.'), "idle cells rendered");
+        assert!(!text.contains('#'), "exclusive schedules have no conflicts");
+    }
+
+    #[test]
+    fn cell_map_marks_conflicts() {
+        let (tree, _, mut schedule) = artifacts();
+        let (link, cells) = schedule
+            .iter_links()
+            .map(|(l, c)| (l, c.to_vec()))
+            .next()
+            .unwrap();
+        let other = Link::up(NodeId(11));
+        if link != other {
+            schedule.assign(cells[0], other).unwrap();
+        }
+        let text = render_cell_map(&tree, &schedule, 0..40);
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn utilization_summary() {
+        let (_, _, schedule) = artifacts();
+        let text = render_utilization(&schedule);
+        assert!(text.contains("/160 cells"));
+        assert!(text.contains('%'));
+    }
+}

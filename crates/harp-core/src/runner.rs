@@ -1,0 +1,692 @@
+//! Drives a network of [`HarpNode`]s over the simulated management plane.
+//!
+//! [`HarpNetwork`] is the deployment harness: it owns one state machine per
+//! device and a [`MgmtPlane`] that delivers their messages with
+//! management-cell timing (one hop costs up to a slotframe). The network can
+//! run standalone — fast-forwarding the clock between deliveries — or in
+//! lockstep with a data-plane [`Simulator`](tsch_sim::Simulator) by calling
+//! [`HarpNetwork::step`] every slot and applying the returned schedule
+//! operations.
+
+use crate::error::HarpError;
+use crate::node::{Effects, HarpNode, ScheduleOp};
+use crate::protocol::HarpMessage;
+use crate::requirement::Requirements;
+use crate::schedule_gen::SchedulingPolicy;
+use std::collections::BTreeSet;
+
+use tsch_sim::{
+    Asn, Direction, Link, MgmtPlane, NetworkSchedule, NodeId, SlotframeConfig, Tree,
+};
+
+/// Counters and metadata for one protocol run (static phase or one dynamic
+/// adjustment) — the raw material of Table II and Fig. 12.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProtocolReport {
+    /// When the run started.
+    pub started_at: Asn,
+    /// When the last message of the run was delivered.
+    pub completed_at: Asn,
+    /// Management messages exchanged (`POST/PUT intf`, `POST/PUT part`).
+    pub mgmt_messages: u64,
+    /// Cell-assignment notifications exchanged.
+    pub cell_messages: u64,
+    /// Nodes that sent or received any message during the run.
+    pub involved_nodes: BTreeSet<NodeId>,
+    /// Layers named in dynamic (`PUT`) messages.
+    pub layers: BTreeSet<u32>,
+}
+
+impl ProtocolReport {
+    /// Duration of the run in slots.
+    #[must_use]
+    pub fn elapsed_slots(&self) -> u64 {
+        self.completed_at.since(self.started_at)
+    }
+
+    /// Duration in whole slotframes (rounded up).
+    #[must_use]
+    pub fn slotframes(&self, config: SlotframeConfig) -> u64 {
+        self.elapsed_slots().div_ceil(u64::from(config.slots))
+    }
+
+    /// Duration in seconds.
+    #[must_use]
+    pub fn elapsed_seconds(&self, config: SlotframeConfig) -> f64 {
+        config.slots_to_seconds(self.elapsed_slots())
+    }
+}
+
+/// A network of HARP nodes plus the management plane connecting them.
+#[derive(Debug)]
+pub struct HarpNetwork {
+    tree: Tree,
+    config: SlotframeConfig,
+    policy: SchedulingPolicy,
+    nodes: Vec<HarpNode>,
+    plane: MgmtPlane<HarpMessage>,
+    /// Mirror of the installed schedule (authoritative when running
+    /// standalone; callers integrating with a [`tsch_sim::Simulator`] apply
+    /// the same ops there).
+    schedule: NetworkSchedule,
+    now: Asn,
+    report: ProtocolReport,
+    /// Nodes that have left the network (their tree entries remain, but
+    /// they carry no demand and take no further part in the protocol).
+    departed: BTreeSet<NodeId>,
+}
+
+impl HarpNetwork {
+    /// Builds the deployment: one node per device, requirements installed at
+    /// each link's parent.
+    #[must_use]
+    pub fn new(
+        tree: Tree,
+        config: SlotframeConfig,
+        requirements: &Requirements,
+        policy: SchedulingPolicy,
+    ) -> Self {
+        let mut nodes: Vec<HarpNode> = tree
+            .nodes()
+            .map(|v| HarpNode::new(&tree, v, config, policy))
+            .collect();
+        for (link, cells) in requirements.iter() {
+            if let Some(parent) = tree.parent(link.child) {
+                nodes[parent.index()].set_requirement(link.direction, link.child, cells);
+            }
+        }
+        let plane = MgmtPlane::new(&tree, config);
+        Self {
+            tree,
+            config,
+            policy,
+            nodes,
+            plane,
+            schedule: NetworkSchedule::new(config),
+            now: Asn::ZERO,
+            report: ProtocolReport::default(),
+            departed: BTreeSet::new(),
+        }
+    }
+
+    /// The tree this network runs on.
+    #[must_use]
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// The current clock of the management plane.
+    #[must_use]
+    pub fn now(&self) -> Asn {
+        self.now
+    }
+
+    /// The slotframe configuration of this deployment.
+    #[must_use]
+    pub fn config(&self) -> SlotframeConfig {
+        self.config
+    }
+
+    /// The schedule as installed so far by the protocol.
+    #[must_use]
+    pub fn schedule(&self) -> &NetworkSchedule {
+        &self.schedule
+    }
+
+    /// Access to one node's state (inspection / tests).
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &HarpNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Returns `true` if `node` is still part of the network (has not
+    /// departed via [`HarpNetwork::leave_leaf`]).
+    #[must_use]
+    pub fn is_active(&self, node: NodeId) -> bool {
+        node.index() < self.tree.len() && !self.departed.contains(&node)
+    }
+
+    /// Returns `true` when no protocol message is in flight.
+    #[must_use]
+    pub fn quiescent(&self) -> bool {
+        self.plane.in_flight() == 0
+    }
+
+    /// The report accumulated since the last [`HarpNetwork::reset_report`].
+    #[must_use]
+    pub fn report(&self) -> &ProtocolReport {
+        &self.report
+    }
+
+    /// Starts a fresh report window at the current time.
+    pub fn reset_report(&mut self) {
+        self.report = ProtocolReport {
+            started_at: self.now,
+            completed_at: self.now,
+            ..ProtocolReport::default()
+        };
+    }
+
+    fn send_effects(&mut self, from: NodeId, fx: Effects) -> Result<Vec<ScheduleOp>, HarpError> {
+        let mut ops = fx.schedule_ops;
+        for op in &ops {
+            apply_op(&mut self.schedule, op)?;
+        }
+        for (to, msg) in fx.messages {
+            self.account_message(from, to, &msg);
+            self.plane
+                .send(&self.tree, self.now, from, to, msg)
+                .expect("protocol messages only travel between tree neighbours");
+        }
+        // Applying ops may have produced nothing to forward; return them so
+        // an embedding simulator can mirror the changes.
+        ops.shrink_to_fit();
+        Ok(ops)
+    }
+
+    fn account_message(&mut self, from: NodeId, to: NodeId, msg: &HarpMessage) {
+        if msg.is_management() {
+            self.report.mgmt_messages += 1;
+        } else {
+            self.report.cell_messages += 1;
+        }
+        self.report.involved_nodes.insert(from);
+        self.report.involved_nodes.insert(to);
+        match msg {
+            HarpMessage::PutInterface { layer, .. }
+            | HarpMessage::PutPartition { layer, .. } => {
+                self.report.layers.insert(*layer);
+            }
+            _ => {}
+        }
+    }
+
+    /// Bootstraps the static phase: every node generates what it can and the
+    /// first `POST intf` wave enters the management plane.
+    ///
+    /// # Errors
+    ///
+    /// Propagates composition/allocation failures.
+    pub fn bootstrap(&mut self) -> Result<Vec<ScheduleOp>, HarpError> {
+        self.reset_report();
+        let mut ops = Vec::new();
+        for i in 0..self.nodes.len() {
+            let id = self.nodes[i].id();
+            let fx = self.nodes[i].bootstrap()?;
+            ops.extend(self.send_effects(id, fx)?);
+        }
+        Ok(ops)
+    }
+
+    /// Advances the management plane to `now`, delivering due messages into
+    /// the node handlers. Returns the schedule operations triggered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates handler failures (e.g. an infeasible adjustment reaching
+    /// the gateway).
+    pub fn step(&mut self, now: Asn) -> Result<Vec<ScheduleOp>, HarpError> {
+        debug_assert!(now >= self.now, "time must not run backwards");
+        self.now = now;
+        let mut ops = Vec::new();
+        // Deliveries can enqueue messages due at the same instant; loop
+        // until this instant is drained.
+        loop {
+            let delivered = self.plane.poll(now);
+            if delivered.is_empty() {
+                break;
+            }
+            for d in delivered {
+                self.report.completed_at = self.report.completed_at.max(d.at);
+                let fx = self.nodes[d.to.index()].handle(d.from, d.payload)?;
+                ops.extend(self.send_effects(d.to, fx)?);
+            }
+            if self.plane.next_delivery().map(|a| a > now).unwrap_or(true) {
+                break;
+            }
+        }
+        Ok(ops)
+    }
+
+    /// Fast-forwards between deliveries until the plane is empty. Returns
+    /// the accumulated report for the window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates handler failures.
+    pub fn run_until_quiescent(&mut self) -> Result<ProtocolReport, HarpError> {
+        while let Some(at) = self.plane.next_delivery() {
+            self.step(at)?;
+        }
+        Ok(self.report.clone())
+    }
+
+    /// Runs the complete static phase (bootstrap + drain) and returns its
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates composition/allocation failures.
+    pub fn run_static(&mut self) -> Result<ProtocolReport, HarpError> {
+        self.bootstrap()?;
+        self.run_until_quiescent()
+    }
+
+    /// Injects a traffic change: the requirement of `link` becomes
+    /// `new_cells`. The change is processed by the link's parent node and
+    /// may trigger a multi-hop adjustment. Counting continues in the current
+    /// report window — call [`HarpNetwork::reset_report`] first (or use
+    /// [`HarpNetwork::adjust_and_settle`]) to measure one event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates handler failures, including [`HarpError::SlotframeOverflow`]
+    /// for infeasible increases.
+    pub fn request_change(
+        &mut self,
+        at: Asn,
+        link: Link,
+        new_cells: u32,
+    ) -> Result<Vec<ScheduleOp>, HarpError> {
+        let parent = self
+            .tree
+            .parent(link.child)
+            .ok_or(HarpError::MissingPartition { node: link.child, layer: 0 })?;
+        self.now = self.now.max(at);
+        self.report.involved_nodes.insert(parent);
+        let fx = self.nodes[parent.index()].request_change(link.direction, link.child, new_cells)?;
+        self.send_effects(parent, fx)
+    }
+
+    /// Convenience: inject a change and drain the network, returning the
+    /// adjustment report (the Table II row for this event).
+    ///
+    /// The operation is transactional: if the change turns out to be
+    /// infeasible (e.g. [`HarpError::SlotframeOverflow`] at the gateway),
+    /// every node's state, the schedule and the management plane are rolled
+    /// back to their pre-request condition — the rejection a real
+    /// deployment would deliver as a NACK.
+    ///
+    /// # Errors
+    ///
+    /// Propagates handler failures; on error the network is unchanged.
+    pub fn adjust_and_settle(
+        &mut self,
+        at: Asn,
+        link: Link,
+        new_cells: u32,
+    ) -> Result<ProtocolReport, HarpError> {
+        self.now = self.now.max(at);
+        self.reset_report();
+        let nodes_snapshot = self.nodes.clone();
+        let schedule_snapshot = self.schedule.clone();
+        let result = self
+            .request_change(at, link, new_cells)
+            .and_then(|_| self.run_until_quiescent());
+        if result.is_err() {
+            self.nodes = nodes_snapshot;
+            self.schedule = schedule_snapshot;
+            self.plane.clear_in_flight();
+        }
+        result
+    }
+
+    /// Global refresh (a maintenance-window defragmentation): re-runs the
+    /// whole static phase from the nodes' *current* demands, replacing the
+    /// incrementally adjusted layout with a fresh compliant one. Returns
+    /// the protocol report of the refresh plus how many links' cells moved.
+    ///
+    /// Dynamic adjustments trade latency compliance for low reconfiguration
+    /// cost; a refresh pays the full static-phase message bill once to
+    /// restore the compliant ordering (and with it the one-slotframe
+    /// latency bound).
+    ///
+    /// # Errors
+    ///
+    /// Propagates static-phase failures (the current demand set is known to
+    /// fit, so only slotframe overflow after extreme growth can fail).
+    pub fn refresh(&mut self) -> Result<(ProtocolReport, usize), HarpError> {
+        // Snapshot current demands from the per-node state machines.
+        let mut requirements = Requirements::new();
+        for v in self.tree.nodes() {
+            for d in Direction::BOTH {
+                for &c in self.tree.children(v).iter() {
+                    requirements.set(
+                        Link { child: c, direction: d },
+                        self.nodes[v.index()].requirement(d, c),
+                    );
+                }
+            }
+        }
+        let old_schedule = self.schedule.clone();
+
+        // Rebuild the control plane in place; the clock keeps running.
+        self.nodes = self
+            .tree
+            .nodes()
+            .map(|v| HarpNode::new(&self.tree, v, self.config, self.policy))
+            .collect();
+        for (link, cells) in requirements.iter() {
+            if let Some(parent) = self.tree.parent(link.child) {
+                self.nodes[parent.index()].set_requirement(link.direction, link.child, cells);
+            }
+        }
+        self.plane = MgmtPlane::new(&self.tree, self.config);
+        self.schedule = NetworkSchedule::new(self.config);
+        self.reset_report();
+        let mut ops = Vec::new();
+        for i in 0..self.nodes.len() {
+            let id = self.nodes[i].id();
+            let fx = self.nodes[i].bootstrap()?;
+            ops.extend(self.send_effects(id, fx)?);
+        }
+        let report = self.run_until_quiescent()?;
+
+        // Count links whose cell sets changed.
+        let mut moved = 0usize;
+        for d in Direction::BOTH {
+            for link in self.tree.links(d) {
+                if self.schedule.cells_of(link) != old_schedule.cells_of(link) {
+                    moved += 1;
+                }
+            }
+        }
+        let _ = ops;
+        Ok((report, moved))
+    }
+
+    // ---- topology dynamics (§V and the paper's motivation: interference
+    // makes nodes switch to more reliable parents) ----
+
+    /// A leaf node joins the network under `parent`, demanding
+    /// `up_cells`/`down_cells` on its new links. Returns the new node's id
+    /// and the protocol report for absorbing it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates topology errors (unknown parent) and handler failures
+    /// (infeasible demand).
+    pub fn join_leaf(
+        &mut self,
+        at: Asn,
+        parent: NodeId,
+        up_cells: u32,
+        down_cells: u32,
+    ) -> Result<(NodeId, ProtocolReport), HarpError> {
+        if !self.is_active(parent) {
+            return Err(HarpError::NodeDeparted(parent));
+        }
+        let (tree, id) = self
+            .tree
+            .with_new_leaf(parent)
+            .map_err(|_| HarpError::MissingPartition { node: parent, layer: 0 })?;
+        self.tree = tree;
+        let plane_id = self.plane.add_node();
+        debug_assert_eq!(plane_id, id);
+        self.nodes.push(HarpNode::new(
+            &self.tree,
+            id,
+            self.config,
+            self.policy,
+        ));
+        self.nodes[parent.index()].adopt_child(id);
+        // If the parent just stopped being a leaf, its own parent must start
+        // forwarding partition updates to it.
+        if let Some(grandparent) = self.tree.parent(parent) {
+            self.nodes[grandparent.index()].promote_child(parent);
+        }
+        self.now = self.now.max(at);
+        self.reset_report();
+        if up_cells > 0 {
+            self.request_change(self.now, Link::up(id), up_cells)?;
+        }
+        if down_cells > 0 {
+            self.request_change(self.now, Link::down(id), down_cells)?;
+        }
+        let report = self.run_until_quiescent()?;
+        Ok((id, report))
+    }
+
+    /// A leaf node leaves the network: its parent releases the cells
+    /// locally (§V — departures never need partition adjustment). The node
+    /// keeps its id; its links simply carry no cells.
+    ///
+    /// # Errors
+    ///
+    /// Propagates handler failures.
+    pub fn leave_leaf(&mut self, at: Asn, leaf: NodeId) -> Result<ProtocolReport, HarpError> {
+        assert!(
+            self.tree.is_leaf(leaf) && leaf != self.tree.root(),
+            "only non-gateway leaves can leave"
+        );
+        if !self.is_active(leaf) {
+            return Err(HarpError::NodeDeparted(leaf));
+        }
+        self.now = self.now.max(at);
+        self.reset_report();
+        for d in Direction::BOTH {
+            self.request_change(self.now, Link { child: leaf, direction: d }, 0)?;
+        }
+        let report = self.run_until_quiescent()?;
+        if let Some(parent) = self.tree.parent(leaf) {
+            self.nodes[parent.index()].orphan_child(leaf);
+        }
+        self.departed.insert(leaf);
+        Ok(report)
+    }
+
+    /// A leaf switches to a more reliable parent (the interference-driven
+    /// topology change of the paper's introduction): the old parent
+    /// releases its cells locally, the new parent allocates fresh ones.
+    ///
+    /// # Errors
+    ///
+    /// Propagates topology errors (illegal move) and handler failures.
+    pub fn reparent_leaf(
+        &mut self,
+        at: Asn,
+        leaf: NodeId,
+        new_parent: NodeId,
+    ) -> Result<ProtocolReport, HarpError> {
+        assert!(
+            self.tree.is_leaf(leaf) && leaf != self.tree.root(),
+            "only non-gateway leaves can switch parents"
+        );
+        if !self.is_active(leaf) {
+            return Err(HarpError::NodeDeparted(leaf));
+        }
+        if !self.is_active(new_parent) {
+            return Err(HarpError::NodeDeparted(new_parent));
+        }
+        let old_parent = self.tree.parent(leaf).expect("non-gateway leaf");
+        let up = self.nodes[old_parent.index()].requirement(Direction::Up, leaf);
+        let down = self.nodes[old_parent.index()].requirement(Direction::Down, leaf);
+
+        self.now = self.now.max(at);
+        self.reset_report();
+        // Release at the old parent first (messages still travel the old
+        // tree edge), and drain before rewiring.
+        for d in Direction::BOTH {
+            self.request_change(self.now, Link { child: leaf, direction: d }, 0)?;
+        }
+        self.run_until_quiescent()?;
+
+        // Rewire.
+        let tree = self
+            .tree
+            .with_reparented(leaf, new_parent)
+            .map_err(|_| HarpError::MissingPartition { node: new_parent, layer: 0 })?;
+        self.tree = tree;
+        self.nodes[old_parent.index()].orphan_child(leaf);
+        self.nodes[new_parent.index()].adopt_child(leaf);
+        if let Some(grandparent) = self.tree.parent(new_parent) {
+            self.nodes[grandparent.index()].promote_child(new_parent);
+        }
+        let layer = self.tree.link_layer(leaf);
+        self.nodes[leaf.index()].set_parent(Some(new_parent), layer);
+
+        // Re-demand at the new parent.
+        if up > 0 {
+            self.request_change(self.now, Link::up(leaf), up)?;
+        }
+        if down > 0 {
+            self.request_change(self.now, Link::down(leaf), down)?;
+        }
+        self.run_until_quiescent()
+    }
+
+    /// Which direction a change to `link` affects — helper for experiment
+    /// code.
+    #[must_use]
+    pub fn direction_of(link: Link) -> Direction {
+        link.direction
+    }
+}
+
+/// Applies one schedule operation to a network schedule.
+///
+/// # Errors
+///
+/// Propagates duplicate-assignment errors from the schedule.
+pub fn apply_op(schedule: &mut NetworkSchedule, op: &ScheduleOp) -> Result<(), HarpError> {
+    match op {
+        ScheduleOp::SetLinkCells { link, cells } => {
+            schedule.unassign_link(*link);
+            for &c in cells {
+                schedule.assign(c, *link)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsch_sim::GlobalInterference;
+
+    fn fig1_reqs(tree: &Tree) -> Requirements {
+        let mut reqs = Requirements::new();
+        for v in tree.nodes().skip(1) {
+            reqs.set(Link::up(v), tree.subtree_size(v));
+            reqs.set(Link::down(v), tree.subtree_size(v));
+        }
+        reqs
+    }
+
+    fn network() -> (Tree, Requirements, HarpNetwork) {
+        let tree = Tree::paper_fig1_example();
+        let reqs = fig1_reqs(&tree);
+        let net = HarpNetwork::new(
+            tree.clone(),
+            SlotframeConfig::paper_default(),
+            &reqs,
+            SchedulingPolicy::RateMonotonic,
+        );
+        (tree, reqs, net)
+    }
+
+    #[test]
+    fn static_phase_converges_with_timing() {
+        let (tree, reqs, mut net) = network();
+        let report = net.run_static().unwrap();
+        assert!(net.quiescent());
+        assert!(report.mgmt_messages >= 10, "5 intf + 5 part at least");
+        assert!(report.elapsed_slots() > 0, "messages take time");
+        // Static phase spans a bounded number of slotframes: interface wave
+        // up (≤ depth hops) + partitions down + cell assignments.
+        assert!(report.slotframes(SlotframeConfig::paper_default()) <= 12);
+        let schedule = net.schedule();
+        assert!(schedule.is_exclusive());
+        assert!(crate::unsatisfied_links(&tree, &reqs, schedule).is_empty());
+    }
+
+    #[test]
+    fn static_schedule_collision_free_under_global_model() {
+        let (tree, _, mut net) = network();
+        net.run_static().unwrap();
+        let report = net.schedule().collision_report(&tree, &GlobalInterference);
+        assert_eq!(report.colliding_assignments, 0);
+    }
+
+    #[test]
+    fn local_adjustment_is_fast_and_cheap() {
+        let (_, _, mut net) = network();
+        net.run_static().unwrap();
+        let t0 = net.now();
+        // Decrease: handled locally, only cell messages.
+        let report = net.adjust_and_settle(t0, Link::up(NodeId(9)), 0).unwrap();
+        assert_eq!(report.mgmt_messages, 0);
+        assert!(report.cell_messages >= 1);
+        assert!(report.slotframes(SlotframeConfig::paper_default()) <= 1);
+    }
+
+    #[test]
+    fn one_hop_adjustment_counts_messages_and_time() {
+        let (_, _, mut net) = network();
+        net.run_static().unwrap();
+        let t0 = net.now();
+        let report = net.adjust_and_settle(t0, Link::up(NodeId(9)), 2).unwrap();
+        assert!(report.mgmt_messages >= 2, "PUT intf + PUT part at minimum");
+        assert!(!report.layers.is_empty());
+        assert!(report.elapsed_slots() > 0);
+        let schedule = net.schedule();
+        assert!(schedule.is_exclusive());
+        assert_eq!(schedule.cells_of(Link::up(NodeId(9))).len(), 2);
+    }
+
+    #[test]
+    fn deeper_events_cost_more_messages_than_local_ones() {
+        let (_, _, mut net) = network();
+        net.run_static().unwrap();
+        let t0 = net.now();
+        let small = net.adjust_and_settle(t0, Link::up(NodeId(9)), 2).unwrap();
+        let t1 = net.now();
+        // A much larger increase must also resolve; exact message counts
+        // depend on where idle space sits after the first adjustment, so
+        // assert the structural facts only.
+        let big = net.adjust_and_settle(t1, Link::up(NodeId(10)), 12).unwrap();
+        assert!(small.mgmt_messages >= 2, "escalation needs intf + part");
+        assert!(big.mgmt_messages >= 2);
+        assert_eq!(net.schedule().cells_of(Link::up(NodeId(10))).len(), 12);
+        assert!(net.schedule().is_exclusive());
+    }
+
+    #[test]
+    fn schedule_ops_mirror_into_external_schedule() {
+        let (_, _, mut net) = network();
+        let mut external = NetworkSchedule::new(SlotframeConfig::paper_default());
+        let mut ops = net.bootstrap().unwrap();
+        while !net.quiescent() {
+            let at = net.now().plus(1);
+            ops.extend(net.step(at).unwrap());
+        }
+        for op in &ops {
+            apply_op(&mut external, op).unwrap();
+        }
+        // The external mirror equals the internal schedule.
+        let a: Vec<_> = external.iter_links().map(|(l, c)| (l, c.to_vec())).collect();
+        let b: Vec<_> = net.schedule().iter_links().map(|(l, c)| (l, c.to_vec())).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn report_resets_between_windows() {
+        let (_, _, mut net) = network();
+        let static_report = net.run_static().unwrap();
+        assert!(static_report.mgmt_messages > 0);
+        let t0 = net.now();
+        let adj = net.adjust_and_settle(t0, Link::up(NodeId(9)), 2).unwrap();
+        assert!(adj.mgmt_messages < static_report.mgmt_messages);
+        assert!(adj.started_at >= static_report.completed_at);
+    }
+
+    #[test]
+    fn infeasible_request_errors_cleanly() {
+        let (_, _, mut net) = network();
+        net.run_static().unwrap();
+        let t0 = net.now();
+        let result = net.adjust_and_settle(t0, Link::up(NodeId(9)), 500);
+        assert!(matches!(result, Err(HarpError::SlotframeOverflow { .. })));
+    }
+}

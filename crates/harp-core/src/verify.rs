@@ -1,0 +1,319 @@
+//! Invariant verification: machine-checkable statements of HARP's claimed
+//! properties.
+//!
+//! The paper's correctness argument rests on three structural invariants —
+//! partition nesting, sibling isolation, and schedule exclusivity — plus
+//! the latency-compliant layer ordering of the static allocation. This
+//! module checks all of them over concrete artefacts and reports every
+//! violation found (an empty report is the proof obligation used throughout
+//! the test suites, examples and experiment binaries).
+
+use crate::allocation::PartitionTable;
+use crate::requirement::Requirements;
+use core::fmt;
+use tsch_sim::{Direction, Link, NetworkSchedule, NodeId, Tree};
+
+/// One violated invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Violation {
+    /// A cell is assigned to more than one link.
+    SharedCell {
+        /// The shared cell.
+        cell: tsch_sim::Cell,
+        /// How many links claim it.
+        claimants: usize,
+    },
+    /// A link received fewer cells than it requires.
+    Shortfall {
+        /// The shortchanged link.
+        link: Link,
+        /// Cells required.
+        required: u32,
+        /// Cells granted.
+        granted: usize,
+    },
+    /// A child's partition is not contained in its parent's at the same
+    /// layer.
+    NotNested {
+        /// The child subtree root.
+        child: NodeId,
+        /// The affected layer.
+        layer: u32,
+        /// The direction.
+        direction: Direction,
+    },
+    /// Two sibling subtrees' partitions overlap at a layer.
+    SiblingOverlap {
+        /// One sibling.
+        a: NodeId,
+        /// The other sibling.
+        b: NodeId,
+        /// The affected layer.
+        layer: u32,
+        /// The direction.
+        direction: Direction,
+    },
+    /// Two nodes' scheduling areas overlap (would produce collisions).
+    SchedulingAreaOverlap {
+        /// One scheduling node.
+        a: NodeId,
+        /// The other scheduling node.
+        b: NodeId,
+    },
+    /// The uplink compliance order is broken: a child's uplink cells do not
+    /// all precede its parent's.
+    UplinkOrder {
+        /// The child whose area comes too late.
+        child: NodeId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::SharedCell { cell, claimants } => {
+                write!(f, "cell {cell} assigned to {claimants} links")
+            }
+            Violation::Shortfall { link, required, granted } => {
+                write!(f, "{link} granted {granted} of {required} cells")
+            }
+            Violation::NotNested { child, layer, direction } => {
+                write!(f, "{child} {direction} layer {layer} partition escapes its parent")
+            }
+            Violation::SiblingOverlap { a, b, layer, direction } => {
+                write!(f, "{a} and {b} overlap at {direction} layer {layer}")
+            }
+            Violation::SchedulingAreaOverlap { a, b } => {
+                write!(f, "scheduling areas of {a} and {b} overlap")
+            }
+            Violation::UplinkOrder { child } => {
+                write!(f, "{child} uplink cells do not precede its parent's")
+            }
+        }
+    }
+}
+
+/// Checks a schedule for shared cells and unmet demands.
+#[must_use]
+pub fn verify_schedule(
+    tree: &Tree,
+    requirements: &Requirements,
+    schedule: &NetworkSchedule,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for cell in schedule.shared_cells() {
+        out.push(Violation::SharedCell { cell, claimants: schedule.links_on(cell).len() });
+    }
+    for (link, required, granted) in
+        crate::schedule_gen::unsatisfied_links(tree, requirements, schedule)
+    {
+        out.push(Violation::Shortfall { link, required, granted });
+    }
+    out
+}
+
+/// Checks a partition table's structural invariants: nesting, sibling
+/// isolation, and pairwise-disjoint scheduling areas.
+#[must_use]
+pub fn verify_partitions(tree: &Tree, table: &PartitionTable) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for direction in Direction::BOTH {
+        for p in table.iter().filter(|p| p.direction == direction) {
+            if p.node == tree.root() || p.rect.is_empty() {
+                continue;
+            }
+            let parent = tree.parent(p.node).expect("non-root");
+            if let Some(outer) = table.get(parent, direction, p.layer) {
+                if !outer.contains_rect(&p.rect) {
+                    out.push(Violation::NotNested {
+                        child: p.node,
+                        layer: p.layer,
+                        direction,
+                    });
+                }
+            }
+        }
+        // Sibling isolation per layer.
+        for v in tree.nodes() {
+            let kids = tree.children(v);
+            for (i, &a) in kids.iter().enumerate() {
+                for &b in &kids[i + 1..] {
+                    for layer in 1..=tree.layers() {
+                        let (Some(ra), Some(rb)) =
+                            (table.get(a, direction, layer), table.get(b, direction, layer))
+                        else {
+                            continue;
+                        };
+                        if ra.overlaps(&rb) {
+                            out.push(Violation::SiblingOverlap { a, b, layer, direction });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Scheduling areas across the whole table (both directions together).
+    let mut areas: Vec<(NodeId, packing::Rect)> = Vec::new();
+    for direction in Direction::BOTH {
+        for v in tree.nodes() {
+            if tree.is_leaf(v) {
+                continue;
+            }
+            if let Some(area) = table.scheduling_area(tree, v, direction) {
+                if !area.is_empty() {
+                    areas.push((v, area));
+                }
+            }
+        }
+    }
+    for (i, &(a, ra)) in areas.iter().enumerate() {
+        for &(b, rb) in &areas[i + 1..] {
+            if ra.overlaps(&rb) {
+                out.push(Violation::SchedulingAreaOverlap { a, b });
+            }
+        }
+    }
+    out
+}
+
+/// Checks the uplink compliance order of a *static* allocation: every
+/// non-leaf node's uplink scheduling area must end before its parent's
+/// begins (deeper layers first), so packets climb the tree within one
+/// slotframe. Dynamic adjustments legitimately break this — the check is
+/// for static allocations and for quantifying post-adjustment drift.
+#[must_use]
+pub fn verify_uplink_compliance(tree: &Tree, table: &PartitionTable) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for v in tree.nodes().skip(1) {
+        if tree.is_leaf(v) {
+            continue;
+        }
+        let parent = tree.parent(v).expect("non-root");
+        let (Some(child_area), Some(parent_area)) = (
+            table.scheduling_area(tree, v, Direction::Up),
+            table.scheduling_area(tree, parent, Direction::Up),
+        ) else {
+            continue;
+        };
+        if child_area.is_empty() || parent_area.is_empty() {
+            continue;
+        }
+        if child_area.right() > parent_area.left() {
+            out.push(Violation::UplinkOrder { child: v });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{allocate_partitions, build_interfaces, generate_schedule, SchedulingPolicy};
+    use tsch_sim::{Cell, SlotframeConfig};
+
+    fn fig1_artifacts() -> (Tree, Requirements, PartitionTable, NetworkSchedule) {
+        let tree = Tree::paper_fig1_example();
+        let mut reqs = Requirements::new();
+        for v in tree.nodes().skip(1) {
+            reqs.set(Link::up(v), tree.subtree_size(v));
+            reqs.set(Link::down(v), tree.subtree_size(v));
+        }
+        let cfg = SlotframeConfig::paper_default();
+        let up = build_interfaces(&tree, &reqs, Direction::Up, cfg.channels).unwrap();
+        let down = build_interfaces(&tree, &reqs, Direction::Down, cfg.channels).unwrap();
+        let table = allocate_partitions(&tree, &up, &down, cfg).unwrap();
+        let schedule =
+            generate_schedule(&tree, &reqs, &table, SchedulingPolicy::RateMonotonic).unwrap();
+        (tree, reqs, table, schedule)
+    }
+
+    #[test]
+    fn static_artifacts_pass_all_checks() {
+        let (tree, reqs, table, schedule) = fig1_artifacts();
+        assert!(verify_schedule(&tree, &reqs, &schedule).is_empty());
+        assert!(verify_partitions(&tree, &table).is_empty());
+        assert!(verify_uplink_compliance(&tree, &table).is_empty());
+    }
+
+    #[test]
+    fn shared_cell_detected() {
+        let (tree, reqs, _, mut schedule) = fig1_artifacts();
+        // Force a duplicate: assign an existing cell to another link too.
+        let (link, cells) = schedule
+            .iter_links()
+            .map(|(l, c)| (l, c.to_vec()))
+            .next()
+            .unwrap();
+        let other = Link::up(NodeId(11));
+        assert_ne!(link, other);
+        schedule.assign(cells[0], other).unwrap();
+        let violations = verify_schedule(&tree, &reqs, &schedule);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::SharedCell { claimants: 2, .. })));
+    }
+
+    #[test]
+    fn shortfall_detected() {
+        let (tree, reqs, _, mut schedule) = fig1_artifacts();
+        schedule.unassign_link(Link::up(NodeId(9)));
+        let violations = verify_schedule(&tree, &reqs, &schedule);
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            Violation::Shortfall { link, .. } if *link == Link::up(NodeId(9))
+        )));
+    }
+
+    #[test]
+    fn broken_nesting_detected() {
+        let (tree, _, mut table, _) = fig1_artifacts();
+        // Move node 7's layer-3 partition outside node 3's.
+        table.set(NodeId(7), Direction::Up, 3, packing::Rect::from_xywh(190, 0, 2, 1));
+        let violations = verify_partitions(&tree, &table);
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            Violation::NotNested { child: NodeId(7), layer: 3, .. }
+        )));
+    }
+
+    #[test]
+    fn sibling_overlap_detected() {
+        let (tree, _, mut table, _) = fig1_artifacts();
+        let rect = table.get(NodeId(7), Direction::Up, 3).unwrap();
+        table.set(NodeId(8), Direction::Up, 3, rect);
+        let violations = verify_partitions(&tree, &table);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::SiblingOverlap { layer: 3, .. })));
+    }
+
+    #[test]
+    fn broken_compliance_detected() {
+        let (tree, _, mut table, _) = fig1_artifacts();
+        // Put node 7's (deeper) scheduling row after the gateway's.
+        let gw_area = table.scheduling_area(&tree, tree.root(), Direction::Up).unwrap();
+        table.set(
+            NodeId(7),
+            Direction::Up,
+            3,
+            packing::Rect::from_xywh(gw_area.right() + 1, 0, 2, 1),
+        );
+        let violations = verify_uplink_compliance(&tree, &table);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::UplinkOrder { child: NodeId(7) })));
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = Violation::SharedCell { cell: Cell::new(3, 1), claimants: 2 };
+        assert!(v.to_string().contains("2 links"));
+        let v = Violation::Shortfall {
+            link: Link::up(NodeId(4)),
+            required: 3,
+            granted: 1,
+        };
+        assert!(v.to_string().contains("1 of 3"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests of the *distributed* HARP deployment: on arbitrary
+//! trees and demands, the message-passing protocol must converge to the
+//! same schedule as the centralized oracle, and arbitrary sequences of
+//! feasible traffic changes must preserve exclusivity and demand
+//! satisfaction.
+
+use harp_core::{
+    allocate_partitions, build_interfaces, generate_schedule, unsatisfied_links, HarpNetwork,
+    Requirements, SchedulingPolicy,
+};
+use proptest::prelude::*;
+use tsch_sim::{Direction, Link, NodeId, SlotframeConfig, Tree};
+
+fn tree_strategy(max_nodes: usize) -> impl Strategy<Value = Tree> {
+    prop::collection::vec(0..1_000_000u32, 1..max_nodes).prop_map(|choices| {
+        let mut pairs = Vec::with_capacity(choices.len());
+        for (i, c) in choices.iter().enumerate() {
+            pairs.push(((i + 1) as u16, (c % (i as u32 + 1)) as u16));
+        }
+        Tree::from_parents(&pairs)
+    })
+}
+
+fn reqs_strategy(tree: &Tree) -> impl Strategy<Value = Requirements> {
+    let n = tree.len() - 1;
+    prop::collection::vec((0u32..=2, 0u32..=2), n).prop_map(move |cells| {
+        let mut reqs = Requirements::new();
+        for (i, &(up, down)) in cells.iter().enumerate() {
+            let child = NodeId((i + 1) as u16);
+            reqs.set(Link::up(child), up);
+            reqs.set(Link::down(child), down);
+        }
+        reqs
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn distributed_converges_to_centralized(
+        (tree, reqs) in tree_strategy(18).prop_flat_map(|t| {
+            let r = reqs_strategy(&t);
+            (Just(t), r)
+        }),
+    ) {
+        let config = SlotframeConfig::paper_default();
+        let up = build_interfaces(&tree, &reqs, Direction::Up, config.channels).unwrap();
+        let down = build_interfaces(&tree, &reqs, Direction::Down, config.channels).unwrap();
+        let Ok(table) = allocate_partitions(&tree, &up, &down, config) else {
+            return Ok(());
+        };
+        let oracle =
+            generate_schedule(&tree, &reqs, &table, SchedulingPolicy::RateMonotonic).unwrap();
+
+        let mut net = HarpNetwork::new(
+            tree.clone(),
+            config,
+            &reqs,
+            SchedulingPolicy::RateMonotonic,
+        );
+        net.run_static().unwrap();
+        prop_assert!(net.quiescent());
+        for d in Direction::BOTH {
+            for link in tree.links(d) {
+                prop_assert_eq!(
+                    net.schedule().cells_of(link),
+                    oracle.cells_of(link),
+                    "{}",
+                    link
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_adjustment_sequences_keep_invariants(
+        (tree, changes) in tree_strategy(14).prop_flat_map(|t| {
+            let n = t.len() as u16;
+            let changes = prop::collection::vec(
+                (1..n, prop::bool::ANY, 1u32..=3),
+                1..12,
+            );
+            (Just(t), changes)
+        }),
+    ) {
+        let config = SlotframeConfig::paper_default();
+        let mut reqs = Requirements::new();
+        for v in tree.nodes().skip(1) {
+            reqs.set(Link::up(v), 1);
+            reqs.set(Link::down(v), 1);
+        }
+        let mut net = HarpNetwork::new(
+            tree.clone(),
+            config,
+            &reqs,
+            SchedulingPolicy::RateMonotonic,
+        );
+        net.run_static().unwrap();
+
+        let mut expected = reqs.clone();
+        for (node, up, cells) in changes {
+            let direction = if up { Direction::Up } else { Direction::Down };
+            let link = Link { child: NodeId(node), direction };
+            net.adjust_and_settle(net.now(), link, cells).unwrap();
+            expected.set(link, cells);
+            prop_assert!(net.schedule().is_exclusive());
+            prop_assert!(unsatisfied_links(&tree, &expected, net.schedule()).is_empty());
+            // Exact allocation after every change, not just coverage.
+            prop_assert_eq!(net.schedule().cells_of(link).len(), cells as usize);
+        }
+    }
+
+    #[test]
+    fn static_phase_message_complexity_is_linear(tree in tree_strategy(20)) {
+        // The static phase exchanges exactly one POST-intf and at most one
+        // POST-part per non-leaf, non-gateway node — the efficiency claim
+        // behind HARP's bottom-up/top-down design.
+        let config = SlotframeConfig::paper_default();
+        let mut reqs = Requirements::new();
+        for v in tree.nodes().skip(1) {
+            reqs.set(Link::up(v), 1);
+        }
+        let mut net = HarpNetwork::new(
+            tree.clone(),
+            config,
+            &reqs,
+            SchedulingPolicy::RateMonotonic,
+        );
+        let report = net.run_static().unwrap();
+        let interior = tree
+            .nodes()
+            .skip(1)
+            .filter(|&v| !tree.is_leaf(v))
+            .count() as u64;
+        prop_assert!(report.mgmt_messages <= 2 * interior + 2);
+        // Timing: bounded by a constant number of slotframes per tree level.
+        let levels = u64::from(tree.layers().max(1));
+        prop_assert!(
+            report.slotframes(config) <= 3 * levels + 2,
+            "{} slotframes for {} levels",
+            report.slotframes(config),
+            levels
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! Property-based tests of the HARP invariants on randomly generated trees
+//! and demands.
+//!
+//! The generators build arbitrary parent-pointer trees (each node's parent
+//! is some earlier node) and arbitrary small per-link demands; the
+//! properties assert the paper's claims hold universally, not just on the
+//! canned examples:
+//!
+//! * composition composites contain all children, disjointly, with minimal
+//!   slot extent bounds;
+//! * partition allocation isolates every scheduling area;
+//! * generated schedules are exclusive and demand-satisfying;
+//! * dynamic adjustment preserves all of the above.
+
+use harp_core::{
+    adjust_partition, allocate_partitions, build_interfaces, compose_components,
+    generate_schedule, is_feasible, unsatisfied_links, Requirements, ResourceComponent,
+    SchedulingPolicy,
+};
+use packing::{all_disjoint, Rect};
+use proptest::prelude::*;
+use tsch_sim::{Direction, Link, NodeId, SlotframeConfig, Tree};
+
+/// Arbitrary tree with `n` nodes: node i's parent is drawn from `0..i`.
+fn tree_strategy(max_nodes: usize) -> impl Strategy<Value = Tree> {
+    prop::collection::vec(0..1_000_000u32, 1..max_nodes).prop_map(|choices| {
+        let mut pairs = Vec::with_capacity(choices.len());
+        for (i, c) in choices.iter().enumerate() {
+            let child = (i + 1) as u16;
+            let parent = (c % (i as u32 + 1)) as u16;
+            pairs.push((child, parent));
+        }
+        Tree::from_parents(&pairs)
+    })
+}
+
+/// Arbitrary demands: every link gets 0..=3 cells in each direction.
+fn reqs_strategy(tree: &Tree) -> impl Strategy<Value = Requirements> {
+    let n = tree.len() - 1;
+    prop::collection::vec((0u32..=3, 0u32..=3), n).prop_map(move |cells| {
+        let mut reqs = Requirements::new();
+        for (i, &(up, down)) in cells.iter().enumerate() {
+            let child = NodeId((i + 1) as u16);
+            reqs.set(Link::up(child), up);
+            reqs.set(Link::down(child), down);
+        }
+        reqs
+    })
+}
+
+fn tree_and_reqs(max_nodes: usize) -> impl Strategy<Value = (Tree, Requirements)> {
+    tree_strategy(max_nodes).prop_flat_map(|tree| {
+        let reqs = reqs_strategy(&tree);
+        (Just(tree), reqs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn composition_contains_children_disjointly(
+        comps in prop::collection::vec((1u32..=8, 1u32..=4), 1..10),
+    ) {
+        let children: Vec<(NodeId, ResourceComponent)> = comps
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, c))| (NodeId(i as u16), ResourceComponent::new(s, c)))
+            .collect();
+        let layout = compose_components(&children, 16, 1).unwrap();
+        let composite = layout.composite();
+        // (i) contains all children without overlap.
+        let rects: Vec<Rect> = layout.placements().iter().map(|&(_, r)| r).collect();
+        prop_assert!(all_disjoint(&rects));
+        let bounds = Rect::from_xywh(0, 0, composite.slots, composite.channels);
+        for &(_, r) in layout.placements() {
+            prop_assert!(bounds.contains_rect(&r));
+        }
+        // (ii) the slot extent is minimal-feasible: at least the widest
+        // child and at least the 16-channel area bound.
+        let widest = comps.iter().map(|&(s, _)| s).max().unwrap();
+        let area: u64 = comps.iter().map(|&(s, c)| u64::from(s) * u64::from(c)).sum();
+        prop_assert!(composite.slots >= widest);
+        prop_assert!(u64::from(composite.slots) >= area.div_ceil(16));
+        // (iii) the channel budget is respected.
+        prop_assert!(composite.channels <= 16);
+    }
+
+    #[test]
+    fn pipeline_produces_exclusive_satisfying_schedules(
+        (tree, reqs) in tree_and_reqs(24),
+    ) {
+        let config = SlotframeConfig::paper_default();
+        let up = build_interfaces(&tree, &reqs, Direction::Up, config.channels).unwrap();
+        let down = build_interfaces(&tree, &reqs, Direction::Down, config.channels).unwrap();
+        let Ok(table) = allocate_partitions(&tree, &up, &down, config) else {
+            // Overflow is a legal outcome for extreme demands; nothing to check.
+            return Ok(());
+        };
+        let schedule =
+            generate_schedule(&tree, &reqs, &table, SchedulingPolicy::RateMonotonic).unwrap();
+        prop_assert!(schedule.is_exclusive());
+        prop_assert!(unsatisfied_links(&tree, &reqs, &schedule).is_empty());
+        // Exact allocation: no link holds more cells than required.
+        for (link, cells) in reqs.iter() {
+            prop_assert_eq!(schedule.cells_of(link).len(), cells as usize);
+        }
+    }
+
+    #[test]
+    fn scheduling_areas_are_isolated((tree, reqs) in tree_and_reqs(24)) {
+        let config = SlotframeConfig::paper_default();
+        let up = build_interfaces(&tree, &reqs, Direction::Up, config.channels).unwrap();
+        let down = build_interfaces(&tree, &reqs, Direction::Down, config.channels).unwrap();
+        let Ok(table) = allocate_partitions(&tree, &up, &down, config) else {
+            return Ok(());
+        };
+        let mut areas = Vec::new();
+        for d in Direction::BOTH {
+            for v in tree.nodes() {
+                if tree.is_leaf(v) {
+                    continue;
+                }
+                if let Some(area) = table.scheduling_area(&tree, v, d) {
+                    areas.push(area);
+                }
+            }
+        }
+        prop_assert!(all_disjoint(&areas));
+    }
+
+    #[test]
+    fn adjustment_outcome_is_always_valid(
+        widths in prop::collection::vec(1u32..=5, 2..8),
+        grow_to in 1u32..=12,
+        parent_w in 16u32..=30,
+        parent_h in 1u32..=3,
+    ) {
+        // Lay siblings out in a row, then grow the first one.
+        let mut children = Vec::new();
+        let mut x = 0;
+        for (i, &w) in widths.iter().enumerate() {
+            children.push((NodeId(i as u16), Rect::from_xywh(x, 0, w, 1)));
+            x += w;
+        }
+        prop_assume!(x <= parent_w);
+        let parent = Rect::from_xywh(0, 0, parent_w, parent_h);
+        let new_size = ResourceComponent::row(grow_to);
+        match adjust_partition(parent, &children, NodeId(0), new_size).unwrap() {
+            Some(outcome) => {
+                let rects: Vec<Rect> = outcome
+                    .layout
+                    .iter()
+                    .map(|&(_, r)| r)
+                    .filter(|r| !r.is_empty())
+                    .collect();
+                prop_assert!(all_disjoint(&rects));
+                for &(n, r) in &outcome.layout {
+                    prop_assert!(parent.contains_rect(&r) || r.is_empty());
+                    let expected = if n == NodeId(0) {
+                        new_size.as_size()
+                    } else {
+                        children.iter().find(|(c, _)| *c == n).unwrap().1.size
+                    };
+                    prop_assert_eq!(r.size, expected);
+                }
+                // Unmoved children really did not move.
+                for &(n, old) in &children {
+                    if !outcome.moved.contains(&n) {
+                        let now = outcome.layout.iter().find(|(c, _)| *c == n).unwrap().1;
+                        prop_assert_eq!(now, old);
+                    }
+                }
+            }
+            None => {
+                // The heuristic said no; the exact area bound must agree
+                // that it is at least tight.
+                let others: u64 = widths[1..].iter().map(|&w| u64::from(w)).sum();
+                let needed = others + u64::from(grow_to);
+                prop_assert!(
+                    needed > u64::from(parent_w) * u64::from(parent_h)
+                        || grow_to > parent_w,
+                    "refused although area and width admit a packing: \
+                     needed {needed}, capacity {}",
+                    parent_w * parent_h
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn feasibility_test_never_false_positive(
+        comps in prop::collection::vec((1u32..=6, 1u32..=3), 1..8),
+        pw in 1u32..=20,
+        ph in 1u32..=4,
+    ) {
+        let components: Vec<ResourceComponent> = comps
+            .iter()
+            .map(|&(s, c)| ResourceComponent::new(s, c))
+            .collect();
+        let parent = ResourceComponent::new(pw, ph);
+        if is_feasible(parent, &components).unwrap() {
+            // A positive answer comes with an actual packing inside.
+            let area: u64 = components.iter().map(|c| c.cell_count()).sum();
+            prop_assert!(area <= parent.cell_count());
+            for c in &components {
+                prop_assert!(c.slots <= pw && c.channels <= ph);
+            }
+        }
+    }
+
+    #[test]
+    fn interfaces_direct_component_matches_demand((tree, reqs) in tree_and_reqs(20)) {
+        let set = build_interfaces(&tree, &reqs, Direction::Up, 16).unwrap();
+        for v in tree.nodes() {
+            if tree.is_leaf(v) {
+                continue;
+            }
+            let direct = set
+                .node(v)
+                .interface
+                .component(tree.link_layer(v))
+                .expect("non-leaf nodes have a direct component");
+            prop_assert_eq!(direct.slots, reqs.direct_total(&tree, v, Direction::Up));
+            prop_assert!(direct.channels <= 1 || direct.slots == 0);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! White-box tests of protocol details: message coalescing, partition
+//! translation on sibling moves, pending-request consumption, and report
+//! accounting.
+
+use harp_core::{
+    HarpMessage, HarpNetwork, HarpNode, Requirements, ResourceComponent, SchedulingPolicy,
+};
+use tsch_sim::{Direction, Link, NodeId, SlotframeConfig, Tree};
+
+fn fig1_reqs(tree: &Tree) -> Requirements {
+    let mut reqs = Requirements::new();
+    for v in tree.nodes().skip(1) {
+        reqs.set(Link::up(v), 1);
+        reqs.set(Link::down(v), 1);
+    }
+    reqs
+}
+
+#[test]
+fn post_partitions_carries_both_directions_in_one_message() {
+    // The gateway's POST-part to each child must contain uplink and
+    // downlink entries together (one message per child, as on the testbed).
+    let tree = Tree::paper_fig1_example();
+    let config = SlotframeConfig::paper_default();
+    let mut nodes: Vec<HarpNode> = tree
+        .nodes()
+        .map(|v| HarpNode::new(&tree, v, config, SchedulingPolicy::RateMonotonic))
+        .collect();
+    for (link, cells) in fig1_reqs(&tree).iter() {
+        let parent = tree.parent(link.child).unwrap();
+        nodes[parent.index()].set_requirement(link.direction, link.child, cells);
+    }
+    // Drive the static phase synchronously and capture the gateway's output.
+    let mut inbox: Vec<(NodeId, NodeId, HarpMessage)> = Vec::new();
+    for node in &mut nodes {
+        let fx = node.bootstrap().unwrap();
+        let from = node.id();
+        inbox.extend(fx.messages.into_iter().map(|(to, m)| (from, to, m)));
+    }
+    let mut gateway_posts = Vec::new();
+    while let Some((from, to, msg)) = inbox.pop() {
+        if from == tree.root() {
+            if let HarpMessage::PostPartitions { partitions } = &msg {
+                gateway_posts.push((to, partitions.clone()));
+            }
+        }
+        let fx = nodes[to.index()].handle(from, msg).unwrap();
+        inbox.extend(fx.messages.into_iter().map(|(t, m)| (to, t, m)));
+    }
+    assert!(!gateway_posts.is_empty());
+    for (child, partitions) in gateway_posts {
+        let has_up = partitions.iter().any(|&(d, _, _)| d == Direction::Up);
+        let has_down = partitions.iter().any(|&(d, _, _)| d == Direction::Down);
+        assert!(has_up && has_down, "POST-part to {child} missing a direction");
+    }
+}
+
+#[test]
+fn sibling_move_translates_nested_partitions() {
+    // When an adjustment moves a sibling subtree's partition, every nested
+    // partition inside it must translate with it, and the descendants'
+    // schedules must follow.
+    let tree = Tree::paper_fig1_example();
+    let config = SlotframeConfig::paper_default();
+    let reqs = fig1_reqs(&tree);
+    let mut net = HarpNetwork::new(
+        tree.clone(),
+        config,
+        &reqs,
+        SchedulingPolicy::RateMonotonic,
+    );
+    net.run_static().unwrap();
+
+    // Before: record where node 7 schedules layer 3.
+    let before = net.node(NodeId(7)).partition(Direction::Up, 3).unwrap();
+
+    // A large layer-3 increase from node 8's side forces the gateway layer
+    // to reorganise; wherever node 7's partition lands, its cells must
+    // still be exclusive and satisfy its links.
+    net.adjust_and_settle(net.now(), Link::up(NodeId(11)), 9).unwrap();
+    let after = net.node(NodeId(7)).partition(Direction::Up, 3).unwrap();
+    assert!(net.schedule().is_exclusive());
+    let mut expected = reqs.clone();
+    expected.set(Link::up(NodeId(11)), 9);
+    assert!(harp_core::unsatisfied_links(&tree, &expected, net.schedule()).is_empty());
+    // The partition may or may not have moved; if it did, the schedule
+    // followed it (cells of links 9→7 and 10→7 are inside `after`).
+    for child in [NodeId(9), NodeId(10)] {
+        for cell in net.schedule().cells_of(Link::up(child)) {
+            assert!(
+                cell.slot >= after.left() && cell.slot < after.right(),
+                "cell {cell} outside node 7's row {after:?} (was {before:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn pending_requests_are_consumed_once() {
+    // Two successive escalating increases at the same link must both
+    // resolve (a stale pending entry would corrupt the second).
+    let tree = Tree::paper_fig1_example();
+    let config = SlotframeConfig::paper_default();
+    let reqs = fig1_reqs(&tree);
+    let mut net = HarpNetwork::new(
+        tree.clone(),
+        config,
+        &reqs,
+        SchedulingPolicy::RateMonotonic,
+    );
+    net.run_static().unwrap();
+    for cells in [4u32, 8] {
+        net.adjust_and_settle(net.now(), Link::up(NodeId(9)), cells).unwrap();
+        assert!(net.schedule().is_exclusive());
+        assert_eq!(net.schedule().cells_of(Link::up(NodeId(9))).len(), cells as usize);
+    }
+}
+
+#[test]
+fn interleaved_up_and_down_changes_do_not_interfere() {
+    let tree = Tree::paper_fig1_example();
+    let config = SlotframeConfig::paper_default();
+    let reqs = fig1_reqs(&tree);
+    let mut net = HarpNetwork::new(
+        tree.clone(),
+        config,
+        &reqs,
+        SchedulingPolicy::RateMonotonic,
+    );
+    net.run_static().unwrap();
+    // Fire both directions' changes at the same instant, settle once.
+    let now = net.now();
+    net.reset_report();
+    net.request_change(now, Link::up(NodeId(9)), 3).unwrap();
+    net.request_change(now, Link::down(NodeId(9)), 4).unwrap();
+    net.run_until_quiescent().unwrap();
+    assert!(net.schedule().is_exclusive());
+    assert_eq!(net.schedule().cells_of(Link::up(NodeId(9))).len(), 3);
+    assert_eq!(net.schedule().cells_of(Link::down(NodeId(9))).len(), 4);
+}
+
+#[test]
+fn report_counts_are_internally_consistent() {
+    let tree = Tree::paper_fig1_example();
+    let config = SlotframeConfig::paper_default();
+    let reqs = fig1_reqs(&tree);
+    let mut net = HarpNetwork::new(
+        tree.clone(),
+        config,
+        &reqs,
+        SchedulingPolicy::RateMonotonic,
+    );
+    let report = net.run_static().unwrap();
+    assert!(report.completed_at >= report.started_at);
+    assert!(!report.involved_nodes.is_empty());
+    // Static phase sends no dynamic messages, so no layers recorded.
+    assert!(report.layers.is_empty());
+    // Seconds and slotframes derive from the same elapsed count.
+    let secs = report.elapsed_seconds(config);
+    assert!((secs - config.slots_to_seconds(report.elapsed_slots())).abs() < 1e-9);
+}
+
+#[test]
+fn zero_demand_network_converges_with_empty_schedule() {
+    let tree = Tree::paper_fig1_example();
+    let config = SlotframeConfig::paper_default();
+    let reqs = Requirements::new();
+    let mut net = HarpNetwork::new(
+        tree.clone(),
+        config,
+        &reqs,
+        SchedulingPolicy::RateMonotonic,
+    );
+    net.run_static().unwrap();
+    assert!(net.quiescent());
+    assert_eq!(net.schedule().assignment_count(), 0);
+    // A first demand can still be injected dynamically.
+    net.adjust_and_settle(net.now(), Link::up(NodeId(4)), 2).unwrap();
+    assert_eq!(net.schedule().cells_of(Link::up(NodeId(4))).len(), 2);
+    assert!(net.schedule().is_exclusive());
+}
+
+#[test]
+fn resource_component_growth_direction_matters() {
+    // A [n,1] row growing in channels (the paper's C_{40,5}: [1,1]→[1,2]
+    // event shape) — direct rows cannot grow in channels, but composed
+    // layers can; check a channel-growth adjustment at a composed layer.
+    let tree = Tree::paper_fig1_example();
+    let config = SlotframeConfig::paper_default();
+    let reqs = fig1_reqs(&tree);
+    let mut net = HarpNetwork::new(
+        tree.clone(),
+        config,
+        &reqs,
+        SchedulingPolicy::RateMonotonic,
+    );
+    net.run_static().unwrap();
+    // Increase both children of node 7 so that C_{3,3} must grow in the
+    // channel dimension (two rows of width 2 compose to [2,2] within the
+    // slot budget rather than [4,1]).
+    net.adjust_and_settle(net.now(), Link::up(NodeId(9)), 2).unwrap();
+    net.adjust_and_settle(net.now(), Link::up(NodeId(10)), 2).unwrap();
+    assert!(net.schedule().is_exclusive());
+    let iface = net.node(NodeId(7)).interface(Direction::Up).unwrap();
+    assert_eq!(iface.component(3), Some(ResourceComponent::row(4)));
+}

@@ -1,0 +1,174 @@
+//! Tests of the topology-change operations: node join, node departure, and
+//! interference-driven parent switches — the network dynamics that motivate
+//! HARP (§I of the paper).
+
+use harp_core::{unsatisfied_links, HarpNetwork, Requirements, SchedulingPolicy};
+use tsch_sim::{Direction, Link, NodeId, SlotframeConfig, Tree};
+
+fn fig1_network() -> HarpNetwork {
+    let tree = Tree::paper_fig1_example();
+    let mut reqs = Requirements::new();
+    for v in tree.nodes().skip(1) {
+        reqs.set(Link::up(v), 1);
+        reqs.set(Link::down(v), 1);
+    }
+    let mut net = HarpNetwork::new(
+        tree,
+        SlotframeConfig::paper_default(),
+        &reqs,
+        SchedulingPolicy::RateMonotonic,
+    );
+    net.run_static().unwrap();
+    net
+}
+
+#[test]
+fn leaf_join_under_interior_node() {
+    let mut net = fig1_network();
+    let before = net.schedule().assignment_count();
+    let (id, report) = net.join_leaf(net.now(), NodeId(1), 2, 1).unwrap();
+    assert_eq!(id, NodeId(12));
+    assert!(net.tree().is_leaf(id));
+    assert_eq!(net.tree().parent(id), Some(NodeId(1)));
+    assert!(net.schedule().is_exclusive());
+    assert_eq!(net.schedule().cells_of(Link::up(id)).len(), 2);
+    assert_eq!(net.schedule().cells_of(Link::down(id)).len(), 1);
+    assert!(net.schedule().assignment_count() > before);
+    assert!(report.mgmt_messages >= 1 || report.cell_messages >= 1);
+}
+
+#[test]
+fn leaf_join_extends_network_depth() {
+    // Joining under node 9 (depth 3) creates layer 4, which did not exist:
+    // the gateway must create a brand-new layer partition.
+    let mut net = fig1_network();
+    assert_eq!(net.tree().layers(), 3);
+    let (id, _) = net.join_leaf(net.now(), NodeId(9), 1, 1).unwrap();
+    assert_eq!(net.tree().layers(), 4);
+    assert!(net.schedule().is_exclusive());
+    assert_eq!(net.schedule().cells_of(Link::up(id)).len(), 1);
+    assert_eq!(net.schedule().cells_of(Link::down(id)).len(), 1);
+}
+
+#[test]
+fn join_under_former_leaf_promotes_it() {
+    // Node 4 is a leaf; giving it a child forces it to obtain a scheduling
+    // partition it never had.
+    let mut net = fig1_network();
+    assert!(net.tree().is_leaf(NodeId(4)));
+    let (id, _) = net.join_leaf(net.now(), NodeId(4), 2, 2).unwrap();
+    assert!(!net.tree().is_leaf(NodeId(4)));
+    assert!(net.schedule().is_exclusive());
+    assert_eq!(net.schedule().cells_of(Link::up(id)).len(), 2);
+    assert_eq!(net.schedule().cells_of(Link::down(id)).len(), 2);
+}
+
+#[test]
+fn leaf_departure_releases_cells_locally() {
+    let mut net = fig1_network();
+    assert!(!net.schedule().cells_of(Link::up(NodeId(4))).is_empty());
+    let report = net.leave_leaf(net.now(), NodeId(4)).unwrap();
+    assert!(net.schedule().cells_of(Link::up(NodeId(4))).is_empty());
+    assert!(net.schedule().cells_of(Link::down(NodeId(4))).is_empty());
+    assert!(net.schedule().is_exclusive());
+    // §V: departures are handled by the parent alone — zero management
+    // messages, only cell releases.
+    assert_eq!(report.mgmt_messages, 0);
+    assert!(report.cell_messages >= 1);
+}
+
+#[test]
+fn parent_switch_moves_cells_between_subtrees() {
+    let mut net = fig1_network();
+    // Node 6 (child of 2) switches to node 1.
+    let report = net.reparent_leaf(net.now(), NodeId(6), NodeId(1)).unwrap();
+    assert_eq!(net.tree().parent(NodeId(6)), Some(NodeId(1)));
+    assert!(net.schedule().is_exclusive());
+    assert_eq!(net.schedule().cells_of(Link::up(NodeId(6))).len(), 1);
+    assert_eq!(net.schedule().cells_of(Link::down(NodeId(6))).len(), 1);
+    // The new cells live inside node 1's partition row.
+    let row = net
+        .node(NodeId(1))
+        .partition(Direction::Up, 2)
+        .expect("node 1 schedules layer 2");
+    let cell = net.schedule().cells_of(Link::up(NodeId(6)))[0];
+    assert!(
+        cell.slot >= row.left() && cell.slot < row.right(),
+        "cell {cell} outside row {row:?}"
+    );
+    assert!(report.elapsed_slots() > 0);
+}
+
+#[test]
+fn parent_switch_across_layers() {
+    let mut net = fig1_network();
+    // Node 6 (depth 2) moves under node 7 (depth 2) → becomes depth 3.
+    net.reparent_leaf(net.now(), NodeId(6), NodeId(7)).unwrap();
+    assert_eq!(net.tree().depth(NodeId(6)), 3);
+    assert!(net.schedule().is_exclusive());
+    assert_eq!(net.schedule().cells_of(Link::up(NodeId(6))).len(), 1);
+    // Old parent (node 2) now has an empty row in use.
+    assert_eq!(net.node(NodeId(2)).requirement(Direction::Up, NodeId(6)), 0);
+}
+
+#[test]
+fn churn_storm_keeps_invariants() {
+    let mut net = fig1_network();
+    let mut rng = tsch_sim::SplitMix64::new(99);
+    let mut joined: Vec<NodeId> = Vec::new();
+    for round in 0..12 {
+        match rng.next_below(3) {
+            0 => {
+                // Join under a random active node.
+                let mut parent = NodeId(rng.next_below(net.tree().len() as u64) as u16);
+                while !net.is_active(parent) {
+                    parent = NodeId(rng.next_below(net.tree().len() as u64) as u16);
+                }
+                let (id, _) = net
+                    .join_leaf(net.now(), parent, 1 + rng.next_below(2) as u32, 1)
+                    .unwrap_or_else(|e| panic!("round {round} join: {e}"));
+                joined.push(id);
+            }
+            1 if !joined.is_empty() => {
+                // One of the joined leaves departs (if still a leaf).
+                let idx = rng.next_below(joined.len() as u64) as usize;
+                let leaf = joined[idx];
+                if net.tree().is_leaf(leaf) {
+                    net.leave_leaf(net.now(), leaf)
+                        .unwrap_or_else(|e| panic!("round {round} leave: {e}"));
+                    joined.swap_remove(idx);
+                }
+            }
+            _ => {
+                // A random original leaf switches parents.
+                let candidates: Vec<NodeId> = net
+                    .tree()
+                    .nodes()
+                    .filter(|&v| {
+                        net.tree().is_leaf(v) && v != net.tree().root() && net.is_active(v)
+                    })
+                    .collect();
+                let leaf = candidates[rng.next_below(candidates.len() as u64) as usize];
+                let mut target =
+                    NodeId(rng.next_below(net.tree().len() as u64) as u16);
+                while target == leaf || !net.is_active(target) {
+                    target = NodeId(rng.next_below(net.tree().len() as u64) as u16);
+                }
+                net.reparent_leaf(net.now(), leaf, target)
+                    .unwrap_or_else(|e| panic!("round {round} reparent: {e}"));
+            }
+        }
+        assert!(net.schedule().is_exclusive(), "round {round}");
+    }
+    // Whatever the final topology, every tracked requirement is satisfied.
+    let tree = net.tree().clone();
+    let mut expected = Requirements::new();
+    for v in tree.nodes().skip(1) {
+        let parent = tree.parent(v).unwrap();
+        for d in Direction::BOTH {
+            expected.set(Link { child: v, direction: d }, net.node(parent).requirement(d, v));
+        }
+    }
+    let missing = unsatisfied_links(&tree, &expected, net.schedule());
+    assert!(missing.is_empty(), "unsatisfied: {missing:?}");
+}

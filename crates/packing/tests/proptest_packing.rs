@@ -1,0 +1,216 @@
+//! Property-based tests for the packing substrate.
+//!
+//! These pin down the soundness invariants every packer must uphold: no
+//! overlap, in-bounds placement, size preservation, and agreement between
+//! feasibility answers and actual packings.
+
+use packing::shelf::{pack_strip_ffdh, pack_strip_nfdh};
+use packing::{all_disjoint, fits_into, pack_into, pack_strip, FreeSpace, Rect, Size};
+use proptest::prelude::*;
+
+/// Items sized like HARP resource components: small widths and heights.
+fn item_strategy(max_w: u32) -> impl Strategy<Value = Size> {
+    (1..=max_w, 1u32..=12).prop_map(|(w, h)| Size::new(w, h))
+}
+
+fn items_strategy(max_w: u32) -> impl Strategy<Value = Vec<Size>> {
+    prop::collection::vec(item_strategy(max_w), 0..40)
+}
+
+fn check_strip_packing(items: &[Size], width: u32, packing: &packing::StripPacking) {
+    assert_eq!(packing.placements().len(), items.len());
+    for (item, rect) in items.iter().zip(packing.placements()) {
+        assert_eq!(rect.size, *item, "size preserved");
+        assert!(rect.right() <= width, "within width");
+        assert!(rect.top() <= packing.height(), "within height");
+    }
+    assert!(all_disjoint(packing.placements()), "no overlaps");
+    // Height is tight: some placement touches it (unless empty).
+    if !items.is_empty() {
+        let max_top = packing.placements().iter().map(Rect::top).max().unwrap();
+        assert_eq!(packing.height(), max_top);
+    }
+}
+
+proptest! {
+    #[test]
+    fn skyline_packing_is_sound(
+        (width, items) in (1u32..=16).prop_flat_map(|w| (Just(w), items_strategy(w))),
+    ) {
+        let packing = pack_strip(&items, width).unwrap();
+        check_strip_packing(&items, width, &packing);
+    }
+
+    #[test]
+    fn skyline_height_at_least_area_bound(items in items_strategy(16)) {
+        let width = 16u32;
+        let packing = pack_strip(&items, width).unwrap();
+        let area: u64 = items.iter().map(|i| i.area()).sum();
+        let lower = area.div_ceil(width as u64) as u32;
+        prop_assert!(packing.height() >= lower, "height below area lower bound");
+        let tallest = items.iter().map(|i| i.h).max().unwrap_or(0);
+        prop_assert!(packing.height() >= tallest);
+    }
+
+    #[test]
+    fn skyline_never_exceeds_stacked_height(items in items_strategy(8)) {
+        // Worst case is stacking everything: a valid packer never does worse
+        // than the sum of heights.
+        let packing = pack_strip(&items, 8).unwrap();
+        let stacked: u64 = items.iter().map(|i| i.h as u64).sum();
+        prop_assert!(u64::from(packing.height()) <= stacked);
+    }
+
+    #[test]
+    fn shelf_packers_are_sound(
+        (width, items) in (1u32..=10).prop_flat_map(|w| (Just(w), items_strategy(w))),
+    ) {
+        let ffdh = pack_strip_ffdh(&items, width).unwrap();
+        check_strip_packing(&items, width, &ffdh);
+        let nfdh = pack_strip_nfdh(&items, width).unwrap();
+        check_strip_packing(&items, width, &nfdh);
+        // NFDH can reuse only the top shelf, so FFDH never does worse.
+        prop_assert!(ffdh.height() <= nfdh.height());
+    }
+
+    #[test]
+    fn pack_into_placements_are_inside_container(
+        items in items_strategy(12),
+        cw in 1u32..=12,
+        ch in 1u32..=30,
+    ) {
+        let container = Size::new(cw, ch);
+        if let Some(placements) = pack_into(&items, container).unwrap() {
+            let bounds = Rect::from_xywh(0, 0, cw, ch);
+            prop_assert_eq!(placements.len(), items.len());
+            for (item, rect) in items.iter().zip(&placements) {
+                prop_assert_eq!(rect.size, *item);
+                prop_assert!(bounds.contains_rect(rect));
+            }
+            prop_assert!(all_disjoint(&placements));
+        } else {
+            // The heuristic is incomplete but must reject anything that
+            // provably cannot fit; nothing to check on the None side beyond
+            // agreement with fits_into below.
+        }
+        let fit = fits_into(&items, container).unwrap();
+        prop_assert_eq!(fit, pack_into(&items, container).unwrap().is_some());
+    }
+
+    #[test]
+    fn pack_into_never_accepts_over_area(items in items_strategy(12)) {
+        let total: u64 = items.iter().map(|i| i.area()).sum();
+        prop_assume!(total > 0);
+        // A container strictly smaller than the total item area can never fit.
+        let cw = 12u32;
+        let ch = ((total - 1) / cw as u64) as u32; // area cw*ch < total
+        prop_assume!(ch > 0);
+        let placements = pack_into(&items, Size::new(cw, ch)).unwrap();
+        prop_assert!(placements.is_none());
+    }
+
+    #[test]
+    fn freespace_placements_never_overlap_obstacles(
+        obstacles in prop::collection::vec((0u32..20, 0u32..10, 1u32..6, 1u32..4), 0..6),
+        request in item_strategy(6),
+    ) {
+        let container = Size::new(24, 12);
+        let mut fs = FreeSpace::new(container);
+        let obstacle_rects: Vec<Rect> = obstacles
+            .into_iter()
+            .map(|(x, y, w, h)| Rect::from_xywh(x, y, w, h))
+            .collect();
+        for &r in &obstacle_rects {
+            fs.occupy(r);
+        }
+        if let Some(origin) = fs.place(request) {
+            let placed = Rect::new(origin, request);
+            let bounds = Rect::from_xywh(0, 0, container.w, container.h);
+            prop_assert!(bounds.contains_rect(&placed));
+            for obs in &obstacle_rects {
+                prop_assert!(!placed.overlaps(obs), "{} overlaps obstacle {}", placed, obs);
+            }
+        }
+    }
+
+    #[test]
+    fn freespace_area_accounting_is_consistent(
+        obstacles in prop::collection::vec((0u32..16, 0u32..8, 1u32..5, 1u32..4), 0..5),
+    ) {
+        let container = Size::new(16, 8);
+        let mut fs = FreeSpace::new(container);
+        let bounds = Rect::from_xywh(0, 0, 16, 8);
+        // Compute expected free area by brute-force cell counting.
+        let rects: Vec<Rect> = obstacles
+            .into_iter()
+            .map(|(x, y, w, h)| Rect::from_xywh(x, y, w, h))
+            .collect();
+        for &r in &rects {
+            fs.occupy(r);
+        }
+        let mut expected = 0u64;
+        for x in 0..16u32 {
+            for y in 0..8u32 {
+                let covered = rects.iter().any(|r| r.contains_cell(x, y));
+                if bounds.contains_cell(x, y) && !covered {
+                    expected += 1;
+                }
+            }
+        }
+        prop_assert_eq!(fs.free_area(), expected);
+    }
+
+    #[test]
+    fn freespace_place_all_atomicity(
+        sizes in prop::collection::vec(item_strategy(5), 1..8),
+    ) {
+        let mut fs = FreeSpace::new(Size::new(10, 6));
+        fs.occupy(Rect::from_xywh(0, 0, 5, 6));
+        let before = fs.free_area();
+        match fs.place_all(&sizes) {
+            Some(placements) => {
+                prop_assert!(all_disjoint(&placements));
+                let placed: u64 = sizes.iter().map(|s| s.area()).sum();
+                prop_assert_eq!(fs.free_area(), before - placed);
+            }
+            None => prop_assert_eq!(fs.free_area(), before),
+        }
+    }
+
+    #[test]
+    fn rect_distance_triangle_inequality_with_zero(
+        ax in 0u32..20, ay in 0u32..20, aw in 1u32..6, ah in 1u32..6,
+        bx in 0u32..20, by in 0u32..20, bw in 1u32..6, bh in 1u32..6,
+    ) {
+        let a = Rect::from_xywh(ax, ay, aw, ah);
+        let b = Rect::from_xywh(bx, by, bw, bh);
+        prop_assert_eq!(a.distance_to(&b), b.distance_to(&a));
+        if a.overlaps(&b) {
+            prop_assert_eq!(a.distance_to(&b), 0);
+        }
+        prop_assert_eq!(a.distance_to(&a), 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exact_solver_sandwiched_between_bounds(
+        items in prop::collection::vec((1u32..=5, 1u32..=5).prop_map(|(w, h)| Size::new(w, h)), 1..6),
+        width in 3u32..=8,
+    ) {
+        prop_assume!(items.iter().all(|i| i.w <= width));
+        let heuristic = pack_strip(&items, width).unwrap().height();
+        let exact = packing::exact_strip_height(&items, width, 2_000_000).unwrap();
+        prop_assert!(exact.is_optimal(), "tiny instances must complete");
+        let optimal = exact.height();
+        // Sandwich: area/width ≤ optimal ≤ heuristic, and the tallest item
+        // is a lower bound too.
+        prop_assert!(optimal <= heuristic);
+        let area: u64 = items.iter().map(|i| i.area()).sum();
+        prop_assert!(u64::from(optimal) >= area.div_ceil(u64::from(width)));
+        let tallest = items.iter().map(|i| i.h).max().unwrap();
+        prop_assert!(optimal >= tallest);
+    }
+}

@@ -1,0 +1,275 @@
+//! The distributed baseline schedulers of §VII-A: Random, MSF and LDSF.
+//!
+//! All three choose cells *autonomously per node* with no coordination —
+//! fast and stateless, but nothing prevents two links from landing on the
+//! same cell, which is the collision behaviour Fig. 11 quantifies.
+
+use crate::traits::Scheduler;
+use harp_core::Requirements;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsch_sim::{Cell, Direction, NetworkSchedule, SlotframeConfig, Tree};
+
+/// Uniformly random cell selection: each node picks `r(e)` cells for each
+/// of its links anywhere in the slotframe.
+///
+/// # Examples
+///
+/// ```
+/// use harp_core::Requirements;
+/// use schedulers::{RandomScheduler, Scheduler};
+/// use tsch_sim::{Link, NodeId, SlotframeConfig, Tree};
+///
+/// let tree = Tree::from_parents(&[(1, 0)]);
+/// let mut reqs = Requirements::new();
+/// reqs.set(Link::up(NodeId(1)), 3);
+/// let s = RandomScheduler;
+/// let schedule = s.build_schedule(&tree, &reqs, SlotframeConfig::paper_default(), 1);
+/// assert_eq!(schedule.cells_of(Link::up(NodeId(1))).len(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RandomScheduler;
+
+impl Scheduler for RandomScheduler {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn build_schedule(
+        &self,
+        tree: &Tree,
+        requirements: &Requirements,
+        config: SlotframeConfig,
+        seed: u64,
+    ) -> NetworkSchedule {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut schedule = NetworkSchedule::new(config);
+        for direction in Direction::BOTH {
+            for link in tree.links(direction) {
+                let need = requirements.get(link);
+                let mut granted = 0;
+                while granted < need {
+                    let cell = Cell::new(
+                        rng.gen_range(0..config.slots),
+                        rng.gen_range(0..config.channels),
+                    );
+                    // The same link must not pick one cell twice; retries are
+                    // how an autonomous node resolves its own duplicates.
+                    if schedule.assign(cell, link).is_ok() {
+                        granted += 1;
+                    }
+                }
+            }
+        }
+        schedule
+    }
+}
+
+/// MSF-style autonomous cells (RFC 9033 / SAX): each link derives its cells
+/// from a hash of the child node's identifier, so both endpoints agree
+/// without signalling. Distinct nodes may still hash onto the same cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MsfScheduler;
+
+/// The SAX-like mixing hash used for autonomous cell derivation.
+fn sax_hash(mut x: u64) -> u64 {
+    // splitmix-style finalizer: cheap and well distributed, standing in for
+    // the SAX string hash of the RFC (our node ids are integers).
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl Scheduler for MsfScheduler {
+    fn name(&self) -> &'static str {
+        "msf"
+    }
+
+    fn build_schedule(
+        &self,
+        tree: &Tree,
+        requirements: &Requirements,
+        config: SlotframeConfig,
+        _seed: u64,
+    ) -> NetworkSchedule {
+        let mut schedule = NetworkSchedule::new(config);
+        let cells_per_frame = config.cells_per_slotframe();
+        for direction in Direction::BOTH {
+            for link in tree.links(direction) {
+                let need = requirements.get(link);
+                let dir_tag = match direction {
+                    Direction::Up => 0u64,
+                    Direction::Down => 1u64,
+                };
+                let mut granted = 0;
+                let mut i = 0u64;
+                while granted < need {
+                    let h = sax_hash(
+                        (u64::from(link.child.0) << 20) ^ (dir_tag << 16) ^ i,
+                    ) % cells_per_frame;
+                    let cell = Cell::new(
+                        (h / u64::from(config.channels)) as u32,
+                        (h % u64::from(config.channels)) as u16,
+                    );
+                    if schedule.assign(cell, link).is_ok() {
+                        granted += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }
+        schedule
+    }
+}
+
+/// LDSF-style layered blocks: the slotframe is divided into as many
+/// equal time blocks as the network has layers; a link at layer `l` draws
+/// its cells randomly *within its layer's block* (deeper layers earlier for
+/// uplink, later for downlink), which shortens end-to-end latency but still
+/// collides within a block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LdsfScheduler;
+
+impl Scheduler for LdsfScheduler {
+    fn name(&self) -> &'static str {
+        "ldsf"
+    }
+
+    fn build_schedule(
+        &self,
+        tree: &Tree,
+        requirements: &Requirements,
+        config: SlotframeConfig,
+        seed: u64,
+    ) -> NetworkSchedule {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1d5f);
+        let mut schedule = NetworkSchedule::new(config);
+        let layers = tree.layers().max(1);
+        // One block per layer per direction, uplink half then downlink half.
+        let blocks = layers * 2;
+        let block_len = (config.slots / blocks).max(1);
+        for direction in Direction::BOTH {
+            for link in tree.links(direction) {
+                let layer = tree.layer_of_link(link);
+                // Uplink: deepest layer first. Downlink: shallowest first.
+                let block_index = match direction {
+                    Direction::Up => layers - layer,
+                    Direction::Down => layers + layer - 1,
+                };
+                let start = (block_index * block_len).min(config.slots - 1);
+                let end = if block_index + 1 == blocks {
+                    config.slots
+                } else {
+                    ((block_index + 1) * block_len).min(config.slots)
+                };
+                let need = requirements.get(link);
+                let mut granted = 0;
+                let mut attempts = 0u32;
+                while granted < need {
+                    // A saturated block falls back to the whole slotframe
+                    // (LDSF overflows into neighbouring blocks).
+                    let (lo, hi) = if attempts < 64 { (start, end) } else { (0, config.slots) };
+                    let cell = Cell::new(
+                        rng.gen_range(lo..hi.max(lo + 1)),
+                        rng.gen_range(0..config.channels),
+                    );
+                    attempts += 1;
+                    if schedule.assign(cell, link).is_ok() {
+                        granted += 1;
+                    }
+                }
+            }
+        }
+        schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::satisfies_requirements;
+    use tsch_sim::{GlobalInterference, Link, NodeId};
+    use workloads::TopologyConfig;
+
+    fn setup() -> (Tree, Requirements, SlotframeConfig) {
+        let tree = TopologyConfig::paper_50_node().generate(5);
+        let tasks = workloads::uplink_task_per_node(&tree, tsch_sim::Rate::per_slotframe(1));
+        let reqs = Requirements::from_tasks(&tree, &tasks);
+        (tree, reqs, SlotframeConfig::paper_default())
+    }
+
+    #[test]
+    fn all_baselines_satisfy_requirements() {
+        let (tree, reqs, cfg) = setup();
+        for s in [&RandomScheduler as &dyn Scheduler, &MsfScheduler, &LdsfScheduler] {
+            let schedule = s.build_schedule(&tree, &reqs, cfg, 11);
+            assert!(
+                satisfies_requirements(&tree, &reqs, &schedule),
+                "{} shortchanged a link",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let (tree, reqs, cfg) = setup();
+        let a = RandomScheduler.build_schedule(&tree, &reqs, cfg, 3);
+        let b = RandomScheduler.build_schedule(&tree, &reqs, cfg, 3);
+        let cells_a: Vec<_> = a.iter_links().map(|(l, c)| (l, c.to_vec())).collect();
+        let cells_b: Vec<_> = b.iter_links().map(|(l, c)| (l, c.to_vec())).collect();
+        assert_eq!(cells_a, cells_b);
+    }
+
+    #[test]
+    fn msf_ignores_seed_but_differs_per_link() {
+        let (tree, reqs, cfg) = setup();
+        let a = MsfScheduler.build_schedule(&tree, &reqs, cfg, 1);
+        let b = MsfScheduler.build_schedule(&tree, &reqs, cfg, 999);
+        let cells_a: Vec<_> = a.iter_links().map(|(l, c)| (l, c.to_vec())).collect();
+        let cells_b: Vec<_> = b.iter_links().map(|(l, c)| (l, c.to_vec())).collect();
+        assert_eq!(cells_a, cells_b, "hash-based selection is deterministic");
+        // Different children of the same parent land on different cells.
+        let c1 = a.cells_of(Link::up(NodeId(5)));
+        let c2 = a.cells_of(Link::up(NodeId(6)));
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn ldsf_respects_layer_blocks_at_low_load() {
+        let (tree, reqs, cfg) = setup();
+        let schedule = LdsfScheduler.build_schedule(&tree, &reqs, cfg, 2);
+        let layers = tree.layers();
+        let block_len = cfg.slots / (layers * 2);
+        // An uplink at the deepest layer must sit in the first block (no
+        // saturation at this load).
+        let deep = tree
+            .links(Direction::Up)
+            .into_iter()
+            .find(|&l| tree.layer_of_link(l) == layers)
+            .unwrap();
+        for cell in schedule.cells_of(deep) {
+            assert!(cell.slot < block_len, "layer-{layers} uplink outside block");
+        }
+    }
+
+    #[test]
+    fn baselines_collide_under_load_harp_does_not() {
+        // The qualitative Fig. 11 fact, pinned as a test at rate 3.
+        let tree = TopologyConfig::paper_50_node().generate(8);
+        let reqs = workloads::uniform_link_requirements(&tree, 3);
+        let cfg = SlotframeConfig::paper_default();
+        for s in [&RandomScheduler as &dyn Scheduler, &MsfScheduler, &LdsfScheduler] {
+            let schedule = s.build_schedule(&tree, &reqs, cfg, 4);
+            let report = schedule.collision_report(&tree, &GlobalInterference);
+            assert!(
+                report.collision_probability() > 0.0,
+                "{} should collide at rate 3",
+                s.name()
+            );
+        }
+        let harp = crate::HarpScheduler::default().build_schedule(&tree, &reqs, cfg, 4);
+        let report = harp.collision_report(&tree, &GlobalInterference);
+        assert_eq!(report.collision_probability(), 0.0);
+    }
+}

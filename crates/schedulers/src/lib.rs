@@ -1,0 +1,41 @@
+//! The schedulers compared in the HARP paper's evaluation: the Random, MSF
+//! and LDSF distributed baselines (Fig. 11), HARP itself behind the same
+//! interface, and the centralized APaS adjustment baseline (Fig. 12).
+//!
+//! # Examples
+//!
+//! ```
+//! use harp_core::Requirements;
+//! use schedulers::{HarpScheduler, RandomScheduler, Scheduler};
+//! use tsch_sim::{GlobalInterference, Link, NodeId, SlotframeConfig, Tree};
+//!
+//! let tree = Tree::paper_fig1_example();
+//! let mut reqs = Requirements::new();
+//! for v in tree.nodes().skip(1) {
+//!     reqs.set(Link::up(v), 1);
+//! }
+//! let cfg = SlotframeConfig::paper_default();
+//! let harp = HarpScheduler::default().build_schedule(&tree, &reqs, cfg, 0);
+//! assert!(harp.is_exclusive());
+//! let random = RandomScheduler.build_schedule(&tree, &reqs, cfg, 0);
+//! let _ = random.collision_report(&tree, &GlobalInterference);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alice;
+mod apas;
+mod baselines;
+mod harp_adapter;
+mod msf_adaptive;
+mod sixtop;
+mod traits;
+
+pub use alice::AliceScheduler;
+pub use apas::{apas_adjustment_packets, ApasNetwork, ApasReport};
+pub use baselines::{LdsfScheduler, MsfScheduler, RandomScheduler};
+pub use harp_adapter::HarpScheduler;
+pub use msf_adaptive::{MsfAdaptiveNetwork, LIM_HIGH, LIM_LOW};
+pub use sixtop::{measure_sixtop_transaction, sixtop_transaction_packets, SixtopReport};
+pub use traits::{satisfies_requirements, Scheduler};

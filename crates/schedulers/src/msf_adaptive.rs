@@ -1,0 +1,214 @@
+//! Adaptive MSF (RFC 9033 §5): usage-driven cell management over a running
+//! network.
+//!
+//! A real MSF node does not know its demand in cells — it watches how busy
+//! its scheduled cells toward the parent are and adapts:
+//!
+//! * usage ≥ `LIM_HIGH` (75 %) → run a 6P ADD for one more autonomous cell;
+//! * usage ≤ `LIM_LOW` (25 %) and more than one cell → 6P DELETE.
+//!
+//! Each transaction costs two link-local packets regardless of depth, which
+//! is why MSF's adjustment overhead is flat (see `fig12_overhead`) — but
+//! the added cells come from the node-local hash with no coordination, so
+//! they can land on occupied cells and collide. [`MsfAdaptiveNetwork`]
+//! implements the monitor-and-adapt loop against the simulator, closing the
+//! loop the static Fig. 11 comparison abstracts away.
+
+use crate::baselines::MsfScheduler;
+use crate::traits::Scheduler;
+use harp_core::Requirements;
+use std::collections::BTreeMap;
+use tsch_sim::{Direction, Link, Simulator, Tree};
+
+/// RFC 9033's upper usage threshold.
+pub const LIM_HIGH: f64 = 0.75;
+/// RFC 9033's lower usage threshold.
+pub const LIM_LOW: f64 = 0.25;
+
+/// The adaptive MSF control loop over a running [`Simulator`].
+#[derive(Debug)]
+pub struct MsfAdaptiveNetwork {
+    tree: Tree,
+    /// Cells currently scheduled per link.
+    cells: BTreeMap<Link, u32>,
+    /// Attempt counters at the last observation, for windowed usage.
+    last_attempts: BTreeMap<Link, u64>,
+    /// 6P packets exchanged so far.
+    sixtop_packets: u64,
+}
+
+impl MsfAdaptiveNetwork {
+    /// Starts the control loop with one cell per link (MSF's bootstrap
+    /// autonomous cell), installing them into the simulator's schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator's schedule already contains conflicting
+    /// duplicate assignments for these links.
+    #[must_use]
+    pub fn bootstrap(tree: &Tree, sim: &mut Simulator) -> Self {
+        let mut reqs = Requirements::new();
+        for d in Direction::BOTH {
+            for link in tree.links(d) {
+                reqs.set(link, 1);
+            }
+        }
+        let schedule = MsfScheduler.build_schedule(tree, &reqs, sim.config(), 0);
+        *sim.schedule_mut() = schedule;
+        let cells = tree
+            .links(Direction::Up)
+            .into_iter()
+            .chain(tree.links(Direction::Down))
+            .map(|l| (l, 1u32))
+            .collect();
+        Self {
+            tree: tree.clone(),
+            cells,
+            last_attempts: BTreeMap::new(),
+            sixtop_packets: 0,
+        }
+    }
+
+    /// Total 6P packets exchanged by all adaptations so far.
+    #[must_use]
+    pub fn sixtop_packets(&self) -> u64 {
+        self.sixtop_packets
+    }
+
+    /// Cells currently scheduled on `link`.
+    #[must_use]
+    pub fn cells_of(&self, link: Link) -> u32 {
+        self.cells.get(&link).copied().unwrap_or(0)
+    }
+
+    /// One observation round, to be called every `frames` slotframes: for
+    /// each link, compute the usage of its cells over the window and adapt.
+    /// Returns how many links changed their cell count.
+    pub fn observe_and_adapt(&mut self, sim: &mut Simulator, frames: u64) -> usize {
+        let mut changed = 0;
+        let links: Vec<Link> = self.cells.keys().copied().collect();
+        for link in links {
+            let scheduled = self.cells[&link];
+            let total = sim.stats().tx_attempts_of(link);
+            let window = total - self.last_attempts.get(&link).copied().unwrap_or(0);
+            self.last_attempts.insert(link, total);
+            let capacity = u64::from(scheduled) * frames;
+            if capacity == 0 {
+                continue;
+            }
+            let usage = window as f64 / capacity as f64;
+            if usage >= LIM_HIGH {
+                self.resize(sim, link, scheduled + 1);
+                changed += 1;
+            } else if usage <= LIM_LOW && scheduled > 1 {
+                self.resize(sim, link, scheduled - 1);
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Runs one 6P transaction resizing `link` to `new_count` cells and
+    /// reinstalls the link's autonomous cells in the simulator.
+    fn resize(&mut self, sim: &mut Simulator, link: Link, new_count: u32) {
+        self.sixtop_packets += crate::sixtop::sixtop_transaction_packets();
+        self.cells.insert(link, new_count);
+        let mut reqs = Requirements::new();
+        reqs.set(link, new_count);
+        // Re-derive this link's autonomous cells; other links keep theirs.
+        let fresh = MsfScheduler.build_schedule(&self.tree, &reqs, sim.config(), 0);
+        let schedule = sim.schedule_mut();
+        schedule.unassign_link(link);
+        for &cell in fresh.cells_of(link) {
+            // The hash may land on a cell this link's *own* other entries
+            // use; MsfScheduler already deduplicates per link. Collisions
+            // with other links are allowed — that is MSF's trade-off.
+            schedule.assign(cell, link).expect("per-link cells are distinct");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsch_sim::{NodeId, Rate, SimulatorBuilder, SlotframeConfig, Task, TaskId};
+
+    fn chain() -> Tree {
+        Tree::from_parents(&[(1, 0), (2, 1)])
+    }
+
+    #[test]
+    fn bootstrap_installs_one_cell_per_link() {
+        let tree = chain();
+        let mut sim = SimulatorBuilder::new(tree.clone(), SlotframeConfig::paper_default())
+            .build();
+        let msf = MsfAdaptiveNetwork::bootstrap(&tree, &mut sim);
+        for d in Direction::BOTH {
+            for link in tree.links(d) {
+                assert_eq!(msf.cells_of(link), 1);
+                assert_eq!(sim.schedule().cells_of(link).len(), 1);
+            }
+        }
+        assert_eq!(msf.sixtop_packets(), 0);
+    }
+
+    #[test]
+    fn overload_triggers_cell_addition() {
+        let tree = chain();
+        let config = SlotframeConfig::paper_default();
+        let mut sim = SimulatorBuilder::new(tree.clone(), config)
+            .task(Task::uplink(TaskId(0), NodeId(2), Rate::per_slotframe(3)))
+            .unwrap()
+            .build();
+        let mut msf = MsfAdaptiveNetwork::bootstrap(&tree, &mut sim);
+        // 3 packets/frame through 1 cell/frame: usage pinned at 100 %.
+        let mut adds = 0;
+        for _ in 0..6 {
+            sim.run_slotframes(4);
+            adds += msf.observe_and_adapt(&mut sim, 4);
+        }
+        assert!(adds > 0, "MSF must add cells under overload");
+        assert!(msf.cells_of(Link::up(NodeId(2))) > 1);
+        // Each change is one two-packet transaction.
+        assert_eq!(msf.sixtop_packets(), 2 * adds as u64);
+        assert!(
+            sim.schedule().cells_of(Link::up(NodeId(2))).len() as u32
+                == msf.cells_of(Link::up(NodeId(2)))
+        );
+    }
+
+    #[test]
+    fn idle_links_shed_cells_down_to_one() {
+        let tree = chain();
+        let config = SlotframeConfig::paper_default();
+        let mut sim = SimulatorBuilder::new(tree.clone(), config).build();
+        let mut msf = MsfAdaptiveNetwork::bootstrap(&tree, &mut sim);
+        // Grow a link artificially, then starve it.
+        msf.resize(&mut sim, Link::up(NodeId(2)), 4);
+        sim.run_slotframes(4);
+        for _ in 0..8 {
+            msf.observe_and_adapt(&mut sim, 4);
+            sim.run_slotframes(4);
+        }
+        assert_eq!(msf.cells_of(Link::up(NodeId(2))), 1, "sheds back to one cell");
+    }
+
+    #[test]
+    fn adaptation_cost_is_flat_in_depth() {
+        // Adding a cell at layer 1 and at layer 5 both cost one 6P pair.
+        let tree = workloads::TopologyConfig::paper_50_node().generate(2);
+        let config = SlotframeConfig::paper_default();
+        let mut sim = SimulatorBuilder::new(tree.clone(), config).build();
+        let mut msf = MsfAdaptiveNetwork::bootstrap(&tree, &mut sim);
+        let shallow = tree.nodes_at_depth(1)[0];
+        let deep = tree.nodes_at_depth(5)[0];
+        let before = msf.sixtop_packets();
+        msf.resize(&mut sim, Link::up(shallow), 2);
+        let shallow_cost = msf.sixtop_packets() - before;
+        let before = msf.sixtop_packets();
+        msf.resize(&mut sim, Link::up(deep), 2);
+        let deep_cost = msf.sixtop_packets() - before;
+        assert_eq!(shallow_cost, deep_cost);
+        assert_eq!(shallow_cost, 2);
+    }
+}

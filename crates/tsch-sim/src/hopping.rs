@@ -1,0 +1,211 @@
+//! TSCH channel hopping: mapping a cell's *channel offset* to the physical
+//! radio channel actually used in a given slot.
+//!
+//! 802.15.4e TSCH does not transmit on a fixed frequency per cell; the
+//! physical channel is `sequence[(ASN + channelOffset) mod |sequence|]`, so
+//! a link's cell hops across the band every slotframe, averaging out
+//! frequency-selective interference. Scheduling and collision analysis work
+//! purely on channel *offsets* (two transmissions collide iff they share
+//! slot and offset — hopping maps equal offsets to equal physical channels
+//! and distinct offsets to distinct ones, a permutation per slot), which is
+//! why the rest of this crate never needs the physical channel. This module
+//! provides the mapping for completeness, for RF-level reasoning, and for
+//! experiments with blacklisted (noisy) channels.
+
+use crate::time::Asn;
+use core::fmt;
+
+/// A channel-hopping sequence: a permutation-free list of physical channels
+/// indexed by `(ASN + offset) mod len`.
+///
+/// # Examples
+///
+/// ```
+/// use tsch_sim::{Asn, HoppingSequence};
+///
+/// let seq = HoppingSequence::ieee_2_4ghz_default();
+/// let ch0 = seq.physical_channel(Asn(100), 0);
+/// let ch1 = seq.physical_channel(Asn(100), 1);
+/// assert_ne!(ch0, ch1, "distinct offsets never share a physical channel");
+/// assert_ne!(
+///     seq.physical_channel(Asn(100), 0),
+///     seq.physical_channel(Asn(101), 0),
+///     "the same offset hops across slots"
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HoppingSequence {
+    /// Physical channel numbers (IEEE channel ids, e.g. 11–26 at 2.4 GHz).
+    channels: Vec<u16>,
+}
+
+impl HoppingSequence {
+    /// The default 16-channel 2.4 GHz sequence used by the 6TiSCH minimal
+    /// configuration (a fixed pseudo-random permutation of channels 11–26).
+    #[must_use]
+    pub fn ieee_2_4ghz_default() -> Self {
+        // The 6TiSCH minimal (RFC 8180) hopping pattern.
+        Self {
+            channels: vec![16, 17, 23, 18, 26, 15, 25, 22, 19, 11, 12, 13, 24, 14, 20, 21],
+        }
+    }
+
+    /// A custom sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HoppingError`] if the sequence is empty or contains a
+    /// duplicate physical channel (duplicates would map two distinct
+    /// offsets onto one frequency and manufacture collisions).
+    pub fn new(channels: Vec<u16>) -> Result<Self, HoppingError> {
+        if channels.is_empty() {
+            return Err(HoppingError::Empty);
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for &c in &channels {
+            if !seen.insert(c) {
+                return Err(HoppingError::Duplicate(c));
+            }
+        }
+        Ok(Self { channels })
+    }
+
+    /// Removes blacklisted (noisy) channels from the sequence — the common
+    /// industrial mitigation for persistent interferers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HoppingError::Empty`] if everything is blacklisted.
+    pub fn without(&self, blacklist: &[u16]) -> Result<Self, HoppingError> {
+        let channels: Vec<u16> = self
+            .channels
+            .iter()
+            .copied()
+            .filter(|c| !blacklist.contains(c))
+            .collect();
+        Self::new(channels)
+    }
+
+    /// Number of usable physical channels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Returns `true` for an impossible state (the constructors forbid it).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.channels.is_empty()
+    }
+
+    /// The physical channel used by channel offset `offset` in slot `asn`.
+    #[must_use]
+    pub fn physical_channel(&self, asn: Asn, offset: u16) -> u16 {
+        let idx = (asn.0 + u64::from(offset)) % self.channels.len() as u64;
+        self.channels[idx as usize]
+    }
+
+    /// How many slots until `offset` revisits the same physical channel —
+    /// always the sequence length (the map is a cyclic shift).
+    #[must_use]
+    pub fn period(&self) -> u64 {
+        self.channels.len() as u64
+    }
+}
+
+impl Default for HoppingSequence {
+    fn default() -> Self {
+        Self::ieee_2_4ghz_default()
+    }
+}
+
+/// Errors constructing a [`HoppingSequence`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HoppingError {
+    /// The sequence has no channels.
+    Empty,
+    /// A physical channel appears twice.
+    Duplicate(u16),
+}
+
+impl fmt::Display for HoppingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HoppingError::Empty => write!(f, "hopping sequence has no channels"),
+            HoppingError::Duplicate(c) => write!(f, "physical channel {c} appears twice"),
+        }
+    }
+}
+
+impl std::error::Error for HoppingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_covers_all_16_ieee_channels() {
+        let seq = HoppingSequence::ieee_2_4ghz_default();
+        assert_eq!(seq.len(), 16);
+        let mut chans: Vec<u16> = (0..16).map(|o| seq.physical_channel(Asn(0), o)).collect();
+        chans.sort_unstable();
+        assert_eq!(chans, (11..=26).collect::<Vec<u16>>());
+    }
+
+    #[test]
+    fn distinct_offsets_never_collide_physically() {
+        let seq = HoppingSequence::ieee_2_4ghz_default();
+        for asn in [0u64, 1, 7, 198, 199, 1_000_003] {
+            let mut seen = std::collections::BTreeSet::new();
+            for offset in 0..16 {
+                assert!(
+                    seen.insert(seq.physical_channel(Asn(asn), offset)),
+                    "offset collision at ASN {asn}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn same_offset_hops_over_time() {
+        let seq = HoppingSequence::ieee_2_4ghz_default();
+        let visited: std::collections::BTreeSet<u16> =
+            (0..seq.period()).map(|a| seq.physical_channel(Asn(a), 3)).collect();
+        assert_eq!(visited.len(), 16, "one period visits every channel");
+    }
+
+    #[test]
+    fn blacklisting_shrinks_the_sequence() {
+        let seq = HoppingSequence::ieee_2_4ghz_default();
+        let clean = seq.without(&[11, 12, 13]).unwrap();
+        assert_eq!(clean.len(), 13);
+        for asn in 0..clean.period() {
+            for offset in 0..clean.len() as u16 {
+                let c = clean.physical_channel(Asn(asn), offset);
+                assert!(!(11..=13).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert_eq!(HoppingSequence::new(vec![]).unwrap_err(), HoppingError::Empty);
+        assert_eq!(
+            HoppingSequence::new(vec![11, 12, 11]).unwrap_err(),
+            HoppingError::Duplicate(11)
+        );
+        let seq = HoppingSequence::ieee_2_4ghz_default();
+        assert!(seq.without(&(11..=26).collect::<Vec<_>>()).is_err());
+    }
+
+    #[test]
+    fn period_is_sequence_length() {
+        let seq = HoppingSequence::new(vec![11, 15, 20]).unwrap();
+        assert_eq!(seq.period(), 3);
+        assert_eq!(
+            seq.physical_channel(Asn(0), 0),
+            seq.physical_channel(Asn(3), 0)
+        );
+    }
+}

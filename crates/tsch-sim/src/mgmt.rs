@@ -1,0 +1,379 @@
+//! Management plane: one-hop delivery of network-management messages over
+//! dedicated management cells.
+//!
+//! In the paper's testbed (§VI-A) every node joining the network is given
+//! two collision-free cells in the Management sub-frame — one uplink, one
+//! downlink — and all HARP messages (Table I) travel in those cells. The
+//! consequence is the latency model reproduced here: a message from a node
+//! to a one-hop neighbour departs at the sender's next management cell for
+//! that direction, i.e. each hop costs up to one slotframe.
+//!
+//! The plane is generic over the payload type so `harp-core` can carry its
+//! protocol messages and the APaS baseline its own, while sharing the same
+//! timing and accounting semantics (message counts feed Table II and
+//! Fig. 12).
+
+use crate::time::{Asn, SlotframeConfig};
+use crate::topology::{NodeId, Tree};
+use core::fmt;
+use std::collections::BinaryHeap;
+
+/// A message delivered by [`MgmtPlane::poll`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivered<M> {
+    /// The sending neighbour.
+    pub from: NodeId,
+    /// The receiving node.
+    pub to: NodeId,
+    /// The ASN at which the message arrived.
+    pub at: Asn,
+    /// The message payload.
+    pub payload: M,
+}
+
+/// Errors raised by the management plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MgmtError {
+    /// Messages may only travel between tree neighbours (one hop).
+    NotNeighbors {
+        /// The sender.
+        from: NodeId,
+        /// The non-adjacent intended receiver.
+        to: NodeId,
+    },
+}
+
+impl fmt::Display for MgmtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MgmtError::NotNeighbors { from, to } => {
+                write!(f, "{from} and {to} are not tree neighbours")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MgmtError {}
+
+/// An in-flight message ordered by delivery time (earliest first).
+struct InFlight<M> {
+    deliver_at: Asn,
+    seq: u64,
+    from: NodeId,
+    to: NodeId,
+    payload: M,
+}
+
+impl<M> PartialEq for InFlight<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl<M> Eq for InFlight<M> {}
+impl<M> PartialOrd for InFlight<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for InFlight<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse order: BinaryHeap is a max-heap, we want earliest first.
+        (other.deliver_at, other.seq).cmp(&(self.deliver_at, self.seq))
+    }
+}
+
+/// The management plane of a network: carries one-hop messages with
+/// management-cell timing and counts every transmission.
+///
+/// # Examples
+///
+/// ```
+/// use tsch_sim::{Asn, MgmtPlane, NodeId, SlotframeConfig, Tree};
+///
+/// # fn main() -> Result<(), tsch_sim::MgmtError> {
+/// let tree = Tree::paper_fig1_example();
+/// let mut plane: MgmtPlane<&str> =
+///     MgmtPlane::new(&tree, SlotframeConfig::paper_default());
+/// plane.send(&tree, Asn(0), NodeId(4), NodeId(1), "request")?;
+/// // Nothing arrives before the sender's management cell.
+/// assert!(plane.poll(Asn(0)).is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MgmtPlane<M> {
+    config: SlotframeConfig,
+    /// Per-node slot offset of the uplink management cell.
+    up_slot: Vec<u32>,
+    /// Per-node slot offset of the downlink management cell (indexed by the
+    /// *receiving child*).
+    down_slot: Vec<u32>,
+    in_flight: BinaryHeap<InFlight<M>>,
+    /// Last used occurrence of each node's uplink management cell, to
+    /// serialise messages: one message per cell per slotframe.
+    up_busy_until: Vec<Asn>,
+    /// Same for the downlink management cells (indexed by receiving child).
+    down_busy_until: Vec<Asn>,
+    seq: u64,
+    sent: u64,
+}
+
+impl<M: fmt::Debug> fmt::Debug for InFlight<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InFlight")
+            .field("deliver_at", &self.deliver_at)
+            .field("from", &self.from)
+            .field("to", &self.to)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M> MgmtPlane<M> {
+    /// Creates a management plane, assigning each node an uplink and a
+    /// downlink management cell spread over the slotframe (mirroring the
+    /// Management sub-frame of the testbed).
+    #[must_use]
+    pub fn new(tree: &Tree, config: SlotframeConfig) -> Self {
+        let n = tree.len();
+        let channels = u32::from(config.channels).max(1);
+        let mut up_slot = vec![0u32; n];
+        let mut down_slot = vec![0u32; n];
+        for i in 0..n {
+            // Two management cells per node, packed across channels; the
+            // resulting slots cycle through the slotframe deterministically.
+            let up_index = 2 * i as u32;
+            let down_index = 2 * i as u32 + 1;
+            up_slot[i] = (up_index / channels) % config.slots;
+            down_slot[i] = (down_index / channels) % config.slots;
+        }
+        Self {
+            config,
+            up_slot,
+            down_slot,
+            in_flight: BinaryHeap::new(),
+            up_busy_until: vec![Asn::ZERO; n],
+            down_busy_until: vec![Asn::ZERO; n],
+            seq: 0,
+            sent: 0,
+        }
+    }
+
+    /// Registers one more node (a device joining the network), assigning it
+    /// the next pair of management cells. Returns the new node's id, which
+    /// always equals the previous node count.
+    pub fn add_node(&mut self) -> NodeId {
+        let i = self.up_slot.len();
+        let channels = u32::from(self.config.channels).max(1);
+        self.up_slot.push(((2 * i as u32) / channels) % self.config.slots);
+        self.down_slot
+            .push(((2 * i as u32 + 1) / channels) % self.config.slots);
+        self.up_busy_until.push(Asn::ZERO);
+        self.down_busy_until.push(Asn::ZERO);
+        NodeId(u16::try_from(i).expect("more than u16::MAX nodes"))
+    }
+
+    /// Total management messages transmitted so far — the overhead metric of
+    /// Table II and Fig. 12.
+    #[must_use]
+    pub fn messages_sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Number of messages still in flight.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Sends `payload` from `from` to its tree neighbour `to`.
+    ///
+    /// The message is delivered at the sender's next management cell for the
+    /// appropriate direction, strictly after `now`. Returns the delivery ASN.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MgmtError::NotNeighbors`] unless `to` is `from`'s parent or
+    /// child.
+    pub fn send(
+        &mut self,
+        tree: &Tree,
+        now: Asn,
+        from: NodeId,
+        to: NodeId,
+        payload: M,
+    ) -> Result<Asn, MgmtError> {
+        let (slot, busy_until) = if tree.parent(from) == Some(to) {
+            (self.up_slot[from.index()], &mut self.up_busy_until[from.index()])
+        } else if tree.parent(to) == Some(from) {
+            (self.down_slot[to.index()], &mut self.down_busy_until[to.index()])
+        } else {
+            return Err(MgmtError::NotNeighbors { from, to });
+        };
+        // One message per cell occurrence: the departure must be strictly
+        // after both `now` and the cell's previous use.
+        let earliest = now.plus(1).max(busy_until.plus(1));
+        let deliver_at = self.config.next_occurrence(earliest, slot);
+        *busy_until = deliver_at;
+        self.in_flight.push(InFlight { deliver_at, seq: self.seq, from, to, payload });
+        self.seq += 1;
+        self.sent += 1;
+        Ok(deliver_at)
+    }
+
+    /// Delivers every message whose time has come (deliver_at ≤ `now`), in
+    /// delivery-time order.
+    pub fn poll(&mut self, now: Asn) -> Vec<Delivered<M>> {
+        let mut out = Vec::new();
+        while let Some(head) = self.in_flight.peek() {
+            if head.deliver_at > now {
+                break;
+            }
+            let m = self.in_flight.pop().expect("peeked element exists");
+            out.push(Delivered { from: m.from, to: m.to, at: m.deliver_at, payload: m.payload });
+        }
+        out
+    }
+
+    /// Drops every in-flight message (used when a caller rolls back a
+    /// failed protocol exchange). Counters are unaffected.
+    pub fn clear_in_flight(&mut self) {
+        self.in_flight.clear();
+    }
+
+    /// The earliest pending delivery time, if any — useful for fast-forward
+    /// loops that skip idle slots.
+    #[must_use]
+    pub fn next_delivery(&self) -> Option<Asn> {
+        self.in_flight.peek().map(|m| m.deliver_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> Tree {
+        Tree::paper_fig1_example()
+    }
+
+    fn cfg() -> SlotframeConfig {
+        SlotframeConfig::new(20, 4, 10_000).unwrap()
+    }
+
+    #[test]
+    fn one_hop_send_and_poll() {
+        let t = tree();
+        let mut plane: MgmtPlane<u32> = MgmtPlane::new(&t, cfg());
+        let at = plane.send(&t, Asn(0), NodeId(4), NodeId(1), 42).unwrap();
+        assert!(at > Asn(0), "delivery strictly in the future");
+        assert!(plane.poll(Asn(at.0 - 1)).is_empty());
+        let delivered = plane.poll(at);
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].payload, 42);
+        assert_eq!(delivered[0].from, NodeId(4));
+        assert_eq!(delivered[0].to, NodeId(1));
+        assert_eq!(plane.in_flight(), 0);
+    }
+
+    #[test]
+    fn downlink_send_uses_child_slot() {
+        let t = tree();
+        let mut plane: MgmtPlane<&str> = MgmtPlane::new(&t, cfg());
+        let at = plane.send(&t, Asn(5), NodeId(1), NodeId(4), "part").unwrap();
+        assert!(at > Asn(5));
+        assert!(at.0 - 5 <= u64::from(cfg().slots), "at most one slotframe per hop");
+    }
+
+    #[test]
+    fn non_neighbours_rejected() {
+        let t = tree();
+        let mut plane: MgmtPlane<&str> = MgmtPlane::new(&t, cfg());
+        assert_eq!(
+            plane.send(&t, Asn(0), NodeId(4), NodeId(0), "x").unwrap_err(),
+            MgmtError::NotNeighbors { from: NodeId(4), to: NodeId(0) }
+        );
+        assert!(plane
+            .send(&t, Asn(0), NodeId(4), NodeId(5), "x")
+            .is_err(), "siblings are not neighbours");
+    }
+
+    #[test]
+    fn message_count_accumulates() {
+        let t = tree();
+        let mut plane: MgmtPlane<u8> = MgmtPlane::new(&t, cfg());
+        plane.send(&t, Asn(0), NodeId(4), NodeId(1), 1).unwrap();
+        plane.send(&t, Asn(0), NodeId(1), NodeId(0), 2).unwrap();
+        plane.send(&t, Asn(0), NodeId(0), NodeId(1), 3).unwrap();
+        assert_eq!(plane.messages_sent(), 3);
+        let _ = plane.poll(Asn(1000));
+        assert_eq!(plane.messages_sent(), 3, "polling does not change the count");
+    }
+
+    #[test]
+    fn deliveries_are_time_ordered() {
+        let t = tree();
+        let mut plane: MgmtPlane<u32> = MgmtPlane::new(&t, cfg());
+        // Different senders have different management slots.
+        plane.send(&t, Asn(0), NodeId(9), NodeId(7), 9).unwrap();
+        plane.send(&t, Asn(0), NodeId(4), NodeId(1), 4).unwrap();
+        plane.send(&t, Asn(0), NodeId(11), NodeId(8), 11).unwrap();
+        let delivered = plane.poll(Asn(1000));
+        assert_eq!(delivered.len(), 3);
+        for pair in delivered.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+    }
+
+    #[test]
+    fn same_slot_messages_fifo_by_seq() {
+        let t = tree();
+        let mut plane: MgmtPlane<u32> = MgmtPlane::new(&t, cfg());
+        // Two messages from the same sender to the same receiver: both use
+        // the same slot; the first occupies the next frame, the second the
+        // one after (they still deliver in send order).
+        let a = plane.send(&t, Asn(0), NodeId(4), NodeId(1), 1).unwrap();
+        let b = plane.send(&t, Asn(0), NodeId(4), NodeId(1), 2).unwrap();
+        assert_eq!(b.0 - a.0, u64::from(cfg().slots), "one frame apart");
+        let delivered = plane.poll(Asn(1000));
+        assert_eq!(delivered.iter().map(|d| d.payload).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn next_delivery_exposes_earliest() {
+        let t = tree();
+        let mut plane: MgmtPlane<u32> = MgmtPlane::new(&t, cfg());
+        assert!(plane.next_delivery().is_none());
+        let at = plane.send(&t, Asn(0), NodeId(4), NodeId(1), 0).unwrap();
+        assert_eq!(plane.next_delivery(), Some(at));
+    }
+
+    #[test]
+    fn add_node_assigns_fresh_cells() {
+        let t = tree();
+        let mut plane: MgmtPlane<u8> = MgmtPlane::new(&t, cfg());
+        let id = plane.add_node();
+        assert_eq!(id, NodeId(12), "next dense id");
+        // The grown tree can route to/from the new node.
+        let (t2, new_id) = t.with_new_leaf(NodeId(9)).unwrap();
+        assert_eq!(new_id, id);
+        let at = plane.send(&t2, Asn(0), id, NodeId(9), 7).unwrap();
+        let delivered = plane.poll(at);
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].payload, 7);
+    }
+
+    #[test]
+    fn hop_latency_bounded_by_slotframe() {
+        let t = tree();
+        let cfg = cfg();
+        for now in [0u64, 3, 7, 19, 20, 23] {
+            // Fresh plane per sample: an idle management cell is at most one
+            // slotframe away.
+            let mut plane: MgmtPlane<u32> = MgmtPlane::new(&t, cfg);
+            let at = plane.send(&t, Asn(now), NodeId(9), NodeId(7), 0).unwrap();
+            assert!(at.0 > now);
+            assert!(at.0 - now <= u64::from(cfg.slots));
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Radio link-quality model: per-link packet delivery ratios.
+//!
+//! The testbed experiments of the paper report occasional packet loss from
+//! environmental interference (§VI-B). The simulator reproduces this with a
+//! Bernoulli loss process per directed link: each transmission attempt
+//! succeeds with the link's PDR; a failed attempt is retried at the link's
+//! next scheduled cell.
+
+use crate::topology::Link;
+use core::fmt;
+use std::collections::HashMap;
+
+/// Per-link packet delivery ratio model.
+///
+/// # Examples
+///
+/// ```
+/// use tsch_sim::{Link, LinkQuality, NodeId};
+///
+/// let mut q = LinkQuality::perfect();
+/// assert_eq!(q.pdr(Link::up(NodeId(3))), 1.0);
+/// q.set_pdr(Link::up(NodeId(3)), 0.9).unwrap();
+/// assert_eq!(q.pdr(Link::up(NodeId(3))), 0.9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkQuality {
+    default_pdr: f64,
+    overrides: HashMap<Link, f64>,
+}
+
+impl LinkQuality {
+    /// Every transmission succeeds (no environmental loss).
+    #[must_use]
+    pub fn perfect() -> Self {
+        Self { default_pdr: 1.0, overrides: HashMap::new() }
+    }
+
+    /// A uniform PDR for every link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdrError`] if `pdr` is not within `[0, 1]`.
+    pub fn uniform(pdr: f64) -> Result<Self, PdrError> {
+        validate(pdr)?;
+        Ok(Self { default_pdr: pdr, overrides: HashMap::new() })
+    }
+
+    /// The PDR of a specific link.
+    #[must_use]
+    pub fn pdr(&self, link: Link) -> f64 {
+        self.overrides.get(&link).copied().unwrap_or(self.default_pdr)
+    }
+
+    /// Overrides the PDR of one link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdrError`] if `pdr` is not within `[0, 1]`.
+    pub fn set_pdr(&mut self, link: Link, pdr: f64) -> Result<(), PdrError> {
+        validate(pdr)?;
+        self.overrides.insert(link, pdr);
+        Ok(())
+    }
+}
+
+impl Default for LinkQuality {
+    fn default() -> Self {
+        Self::perfect()
+    }
+}
+
+fn validate(pdr: f64) -> Result<(), PdrError> {
+    if (0.0..=1.0).contains(&pdr) {
+        Ok(())
+    } else {
+        Err(PdrError { pdr })
+    }
+}
+
+/// Error for a packet delivery ratio outside `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PdrError {
+    /// The invalid value.
+    pub pdr: f64,
+}
+
+impl fmt::Display for PdrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "packet delivery ratio {} outside [0, 1]", self.pdr)
+    }
+}
+
+impl std::error::Error for PdrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NodeId;
+
+    #[test]
+    fn perfect_default() {
+        let q = LinkQuality::default();
+        assert_eq!(q.pdr(Link::up(NodeId(1))), 1.0);
+        assert_eq!(q.pdr(Link::down(NodeId(99))), 1.0);
+    }
+
+    #[test]
+    fn uniform_applies_everywhere() {
+        let q = LinkQuality::uniform(0.8).unwrap();
+        assert_eq!(q.pdr(Link::up(NodeId(1))), 0.8);
+        assert_eq!(q.pdr(Link::down(NodeId(2))), 0.8);
+    }
+
+    #[test]
+    fn overrides_are_per_direction() {
+        let mut q = LinkQuality::perfect();
+        q.set_pdr(Link::up(NodeId(5)), 0.5).unwrap();
+        assert_eq!(q.pdr(Link::up(NodeId(5))), 0.5);
+        assert_eq!(q.pdr(Link::down(NodeId(5))), 1.0);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(LinkQuality::uniform(-0.1).is_err());
+        assert!(LinkQuality::uniform(1.1).is_err());
+        let mut q = LinkQuality::perfect();
+        assert!(q.set_pdr(Link::up(NodeId(1)), f64::NAN).is_err());
+        let err = q.set_pdr(Link::up(NodeId(1)), 2.0).unwrap_err();
+        assert!(err.to_string().contains("outside"));
+    }
+}

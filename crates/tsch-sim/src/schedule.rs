@@ -1,0 +1,366 @@
+//! The network communication schedule: which link may transmit in which cell.
+//!
+//! A [`NetworkSchedule`] is the global view of all cell assignments in one
+//! slotframe. HARP guarantees at most one link per cell; the baseline
+//! schedulers (random, MSF, LDSF) do not, so the table supports multiple
+//! links per cell and exposes collision analysis over an
+//! [`InterferenceModel`](crate::InterferenceModel).
+
+use crate::interference::InterferenceModel;
+use crate::time::{Cell, SlotframeConfig};
+use crate::topology::{Link, Tree};
+use core::fmt;
+use std::collections::BTreeMap;
+
+/// Errors raised by schedule mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// The cell lies outside the slotframe bounds.
+    CellOutOfBounds {
+        /// The offending cell.
+        cell: Cell,
+        /// Slotframe slot count.
+        slots: u32,
+        /// Slotframe channel count.
+        channels: u16,
+    },
+    /// The link is already assigned to this cell.
+    DuplicateAssignment {
+        /// The cell in question.
+        cell: Cell,
+        /// The link already present.
+        link: Link,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::CellOutOfBounds { cell, slots, channels } => write!(
+                f,
+                "cell {cell} outside slotframe of {slots} slots x {channels} channels"
+            ),
+            ScheduleError::DuplicateAssignment { cell, link } => {
+                write!(f, "link {link} already assigned to cell {cell}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Summary of the collision analysis of a schedule.
+///
+/// The *collision probability* reproduced in Fig. 11 of the paper is
+/// `colliding_assignments / total_assignments`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CollisionReport {
+    /// Total number of (cell, link) assignments in the schedule.
+    pub total_assignments: usize,
+    /// Assignments that conflict with at least one other assignment on the
+    /// same cell under the chosen interference model.
+    pub colliding_assignments: usize,
+    /// Number of distinct cells where at least one conflict occurs.
+    pub colliding_cells: usize,
+}
+
+impl CollisionReport {
+    /// Fraction of assignments that collide, in `[0, 1]`; `0` for an empty
+    /// schedule.
+    #[must_use]
+    pub fn collision_probability(&self) -> f64 {
+        if self.total_assignments == 0 {
+            0.0
+        } else {
+            self.colliding_assignments as f64 / self.total_assignments as f64
+        }
+    }
+}
+
+/// A slotframe-wide table of cell assignments.
+///
+/// # Examples
+///
+/// ```
+/// use tsch_sim::{Cell, Link, NetworkSchedule, NodeId, SlotframeConfig};
+///
+/// # fn main() -> Result<(), tsch_sim::ScheduleError> {
+/// let cfg = SlotframeConfig::paper_default();
+/// let mut schedule = NetworkSchedule::new(cfg);
+/// schedule.assign(Cell::new(0, 0), Link::up(NodeId(1)))?;
+/// assert_eq!(schedule.cells_of(Link::up(NodeId(1))), &[Cell::new(0, 0)]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NetworkSchedule {
+    config: SlotframeConfig,
+    by_cell: BTreeMap<Cell, Vec<Link>>,
+    by_link: BTreeMap<Link, Vec<Cell>>,
+}
+
+impl NetworkSchedule {
+    /// Creates an empty schedule for the given slotframe.
+    #[must_use]
+    pub fn new(config: SlotframeConfig) -> Self {
+        Self { config, by_cell: BTreeMap::new(), by_link: BTreeMap::new() }
+    }
+
+    /// The slotframe configuration this schedule belongs to.
+    #[must_use]
+    pub fn config(&self) -> SlotframeConfig {
+        self.config
+    }
+
+    /// Assigns `link` to `cell`. Multiple links may share a cell (that is
+    /// exactly what the baseline schedulers do); the same link may not be
+    /// assigned to the same cell twice.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::CellOutOfBounds`] if the cell exceeds the slotframe;
+    /// [`ScheduleError::DuplicateAssignment`] on a repeated (cell, link) pair.
+    pub fn assign(&mut self, cell: Cell, link: Link) -> Result<(), ScheduleError> {
+        if !self.config.contains_cell(cell) {
+            return Err(ScheduleError::CellOutOfBounds {
+                cell,
+                slots: self.config.slots,
+                channels: self.config.channels,
+            });
+        }
+        let links = self.by_cell.entry(cell).or_default();
+        if links.contains(&link) {
+            return Err(ScheduleError::DuplicateAssignment { cell, link });
+        }
+        links.push(link);
+        self.by_link.entry(link).or_default().push(cell);
+        Ok(())
+    }
+
+    /// Removes every cell assigned to `link`; returns how many were removed.
+    pub fn unassign_link(&mut self, link: Link) -> usize {
+        let Some(cells) = self.by_link.remove(&link) else {
+            return 0;
+        };
+        for cell in &cells {
+            if let Some(links) = self.by_cell.get_mut(cell) {
+                links.retain(|&l| l != link);
+                if links.is_empty() {
+                    self.by_cell.remove(cell);
+                }
+            }
+        }
+        cells.len()
+    }
+
+    /// The cells currently assigned to `link`, in assignment order.
+    #[must_use]
+    pub fn cells_of(&self, link: Link) -> &[Cell] {
+        self.by_link.get(&link).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The links assigned to `cell`.
+    #[must_use]
+    pub fn links_on(&self, cell: Cell) -> &[Link] {
+        self.by_cell.get(&cell).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates over all (cell, links) entries in cell order.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (Cell, &[Link])> + '_ {
+        self.by_cell.iter().map(|(&c, ls)| (c, ls.as_slice()))
+    }
+
+    /// Iterates over all (link, cells) entries in link order.
+    pub fn iter_links(&self) -> impl Iterator<Item = (Link, &[Cell])> + '_ {
+        self.by_link.iter().map(|(&l, cs)| (l, cs.as_slice()))
+    }
+
+    /// Total number of (cell, link) assignments.
+    #[must_use]
+    pub fn assignment_count(&self) -> usize {
+        self.by_link.values().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if no cell hosts more than one link — HARP's invariant.
+    #[must_use]
+    pub fn is_exclusive(&self) -> bool {
+        self.by_cell.values().all(|ls| ls.len() <= 1)
+    }
+
+    /// Cells assigned to more than one link.
+    #[must_use]
+    pub fn shared_cells(&self) -> Vec<Cell> {
+        self.by_cell
+            .iter()
+            .filter(|(_, ls)| ls.len() > 1)
+            .map(|(&c, _)| c)
+            .collect()
+    }
+
+    /// Analyses collisions under an interference model.
+    ///
+    /// An assignment collides when at least one other link on the same cell
+    /// conflicts with it; every member of a conflicting pair is counted.
+    pub fn collision_report<M: InterferenceModel + ?Sized>(
+        &self,
+        tree: &Tree,
+        model: &M,
+    ) -> CollisionReport {
+        let mut report = CollisionReport {
+            total_assignments: self.assignment_count(),
+            ..CollisionReport::default()
+        };
+        for links in self.by_cell.values() {
+            if links.len() < 2 {
+                continue;
+            }
+            let mut colliding = vec![false; links.len()];
+            for i in 0..links.len() {
+                for j in i + 1..links.len() {
+                    if model.conflicts(tree, links[i], links[j]) {
+                        colliding[i] = true;
+                        colliding[j] = true;
+                    }
+                }
+            }
+            let n = colliding.iter().filter(|&&c| c).count();
+            if n > 0 {
+                report.colliding_cells += 1;
+                report.colliding_assignments += n;
+            }
+        }
+        report
+    }
+
+    /// Clears every assignment, keeping the configuration.
+    pub fn clear(&mut self) {
+        self.by_cell.clear();
+        self.by_link.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interference::{GlobalInterference, TwoHopInterference};
+    use crate::topology::NodeId;
+
+    fn cfg() -> SlotframeConfig {
+        SlotframeConfig::new(10, 4, 10_000).unwrap()
+    }
+
+    #[test]
+    fn assign_and_lookup() {
+        let mut s = NetworkSchedule::new(cfg());
+        let link = Link::up(NodeId(1));
+        s.assign(Cell::new(3, 2), link).unwrap();
+        s.assign(Cell::new(5, 0), link).unwrap();
+        assert_eq!(s.cells_of(link), &[Cell::new(3, 2), Cell::new(5, 0)]);
+        assert_eq!(s.links_on(Cell::new(3, 2)), &[link]);
+        assert_eq!(s.assignment_count(), 2);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut s = NetworkSchedule::new(cfg());
+        let e = s.assign(Cell::new(10, 0), Link::up(NodeId(1))).unwrap_err();
+        assert!(matches!(e, ScheduleError::CellOutOfBounds { .. }));
+        let e = s.assign(Cell::new(0, 4), Link::up(NodeId(1))).unwrap_err();
+        assert!(matches!(e, ScheduleError::CellOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn duplicate_pair_rejected_but_sharing_allowed() {
+        let mut s = NetworkSchedule::new(cfg());
+        let c = Cell::new(1, 1);
+        s.assign(c, Link::up(NodeId(1))).unwrap();
+        assert!(matches!(
+            s.assign(c, Link::up(NodeId(1))).unwrap_err(),
+            ScheduleError::DuplicateAssignment { .. }
+        ));
+        // A different link may share the cell.
+        s.assign(c, Link::up(NodeId(2))).unwrap();
+        assert_eq!(s.links_on(c).len(), 2);
+        assert!(!s.is_exclusive());
+        assert_eq!(s.shared_cells(), vec![c]);
+    }
+
+    #[test]
+    fn unassign_removes_everywhere() {
+        let mut s = NetworkSchedule::new(cfg());
+        let link = Link::down(NodeId(3));
+        s.assign(Cell::new(0, 0), link).unwrap();
+        s.assign(Cell::new(1, 0), link).unwrap();
+        assert_eq!(s.unassign_link(link), 2);
+        assert!(s.cells_of(link).is_empty());
+        assert!(s.links_on(Cell::new(0, 0)).is_empty());
+        assert_eq!(s.assignment_count(), 0);
+        assert_eq!(s.unassign_link(link), 0, "second removal is a no-op");
+    }
+
+    #[test]
+    fn collision_report_global_model() {
+        let tree = Tree::paper_fig1_example();
+        let mut s = NetworkSchedule::new(cfg());
+        let c = Cell::new(2, 2);
+        s.assign(c, Link::up(NodeId(4))).unwrap();
+        s.assign(c, Link::up(NodeId(9))).unwrap();
+        s.assign(Cell::new(3, 3), Link::up(NodeId(5))).unwrap();
+        let r = s.collision_report(&tree, &GlobalInterference);
+        assert_eq!(r.total_assignments, 3);
+        assert_eq!(r.colliding_assignments, 2);
+        assert_eq!(r.colliding_cells, 1);
+        assert!((r.collision_probability() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collision_report_two_hop_model_spares_distant_links() {
+        let tree = Tree::paper_fig1_example();
+        let mut s = NetworkSchedule::new(cfg());
+        let c = Cell::new(2, 2);
+        // 4→1 and 9→7 are far apart: same cell but no interference.
+        s.assign(c, Link::up(NodeId(4))).unwrap();
+        s.assign(c, Link::up(NodeId(9))).unwrap();
+        let model = TwoHopInterference::from_tree(&tree);
+        let r = s.collision_report(&tree, &model);
+        assert_eq!(r.colliding_assignments, 0);
+        assert_eq!(r.collision_probability(), 0.0);
+        // Same-parent links on one cell do collide.
+        s.assign(c, Link::up(NodeId(5))).unwrap();
+        s.assign(c, Link::up(NodeId(10))).unwrap();
+        let r = s.collision_report(&tree, &model);
+        // 4/5 share receiver 1; 9/10 share receiver 7. All four collide.
+        assert_eq!(r.colliding_assignments, 4);
+        assert_eq!(r.colliding_cells, 1);
+    }
+
+    #[test]
+    fn empty_schedule_has_zero_probability() {
+        let s = NetworkSchedule::new(cfg());
+        let tree = Tree::paper_fig1_example();
+        let r = s.collision_report(&tree, &GlobalInterference);
+        assert_eq!(r.collision_probability(), 0.0);
+        assert!(s.is_exclusive());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = NetworkSchedule::new(cfg());
+        s.assign(Cell::new(0, 0), Link::up(NodeId(1))).unwrap();
+        s.clear();
+        assert_eq!(s.assignment_count(), 0);
+        assert!(s.iter_cells().next().is_none());
+        assert!(s.iter_links().next().is_none());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ScheduleError::CellOutOfBounds {
+            cell: Cell::new(9, 9),
+            slots: 5,
+            channels: 2,
+        };
+        assert!(e.to_string().contains("outside"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests of the simulator's conservation and timing
+//! invariants.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tsch_sim::{
+    Cell, Direction, Link, NetworkSchedule, NodeId, Packet, Rate, SimulatorBuilder,
+    SlotframeConfig, Task, TaskId, Tree,
+};
+
+fn tree_strategy(max_nodes: usize) -> impl Strategy<Value = Tree> {
+    prop::collection::vec(0..1_000_000u32, 1..max_nodes).prop_map(|choices| {
+        let mut pairs = Vec::with_capacity(choices.len());
+        for (i, c) in choices.iter().enumerate() {
+            pairs.push(((i + 1) as u16, (c % (i as u32 + 1)) as u16));
+        }
+        Tree::from_parents(&pairs)
+    })
+}
+
+/// A collision-free uplink schedule: every link gets one dedicated cell,
+/// scheduled deepest-first (compliant order), cells enumerated across
+/// channels.
+fn chain_schedule(tree: &Tree, config: SlotframeConfig) -> NetworkSchedule {
+    let mut schedule = NetworkSchedule::new(config);
+    let mut links = tree.links(Direction::Up);
+    links.sort_by_key(|&l| std::cmp::Reverse(tree.layer_of_link(l)));
+    for (i, link) in links.into_iter().enumerate() {
+        let slot = (i as u32) % config.slots;
+        let channel = ((i as u32) / config.slots) as u16;
+        schedule
+            .assign(Cell::new(slot, channel % config.channels), link)
+            .expect("distinct cells");
+    }
+    schedule
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn packet_conservation(tree in tree_strategy(16), frames in 1u64..6) {
+        // generated = delivered + queued + dropped, always.
+        let config = SlotframeConfig::new(32, 4, 10_000).unwrap();
+        let schedule = chain_schedule(&tree, config);
+        let mut builder = SimulatorBuilder::new(tree.clone(), config).schedule(schedule);
+        for (i, v) in tree.nodes().skip(1).enumerate() {
+            builder = builder
+                .task(Task::uplink(TaskId(i as u16), v, Rate::per_slotframe(1)))
+                .unwrap();
+        }
+        let mut sim = builder.build();
+        sim.run_slotframes(frames);
+        let stats = sim.stats();
+        prop_assert_eq!(
+            stats.generated,
+            stats.deliveries.len() as u64 + sim.queued_packets() as u64 + stats.queue_drops
+        );
+    }
+
+    #[test]
+    fn one_cell_per_link_uplink_delivers_everything_eventually(
+        tree in tree_strategy(12),
+    ) {
+        let config = SlotframeConfig::new(32, 4, 10_000).unwrap();
+        let schedule = chain_schedule(&tree, config);
+        let mut builder = SimulatorBuilder::new(tree.clone(), config).schedule(schedule);
+        for (i, v) in tree.nodes().skip(1).enumerate() {
+            // A single packet per node (released in frame 0 only): with one
+            // dedicated cell per link, everything must eventually arrive.
+            builder = builder
+                .task(Task::uplink(TaskId(i as u16), v, Rate::new(1, 10_000).unwrap()))
+                .unwrap();
+        }
+        let mut sim = builder.build();
+        // Horizon: the most congested link serves a whole subtree at one
+        // cell per frame, plus the path depth.
+        sim.run_slotframes(tree.len() as u64 + u64::from(tree.layers()) + 1);
+        prop_assert!(sim.stats().generated > 0);
+        prop_assert_eq!(sim.stats().deliveries.len() as u64, sim.stats().generated);
+        prop_assert_eq!(sim.stats().collisions, 0);
+    }
+
+    #[test]
+    fn latency_respects_hop_count(tree in tree_strategy(12)) {
+        // A packet from depth d needs at least d slots to reach the root.
+        let config = SlotframeConfig::new(64, 4, 10_000).unwrap();
+        let schedule = chain_schedule(&tree, config);
+        let mut builder = SimulatorBuilder::new(tree.clone(), config).schedule(schedule);
+        for (i, v) in tree.nodes().skip(1).enumerate() {
+            builder = builder
+                .task(Task::uplink(TaskId(i as u16), v, Rate::new(1, 8).unwrap()))
+                .unwrap();
+        }
+        let mut sim = builder.build();
+        sim.run_slotframes(10);
+        for d in &sim.stats().deliveries {
+            let depth = tree.depth(d.source);
+            prop_assert!(
+                d.latency_slots() >= u64::from(depth),
+                "{} at depth {depth} delivered in {} slots",
+                d.source,
+                d.latency_slots()
+            );
+        }
+    }
+
+    #[test]
+    fn rate_release_counts_are_exact(
+        packets in 1u32..6,
+        per in 1u32..5,
+        frames in 1u64..40,
+    ) {
+        let rate = Rate::new(packets, per).unwrap();
+        let released: u64 = (0..frames).map(|f| u64::from(rate.packets_in_slotframe(f))).sum();
+        let exact = u64::from(packets) * frames / u64::from(per);
+        // Accumulated releases never drift more than one period's worth.
+        prop_assert!(released >= exact);
+        prop_assert!(released <= exact + u64::from(packets));
+    }
+
+    #[test]
+    fn packet_route_traversal_never_skips(hops in 1usize..8) {
+        let route: Arc<[NodeId]> = (0..=hops as u16).map(NodeId).collect();
+        let mut p = Packet::new(TaskId(0), 0, tsch_sim::Asn(0), route);
+        let mut visited = vec![p.holder()];
+        while !p.is_delivered() {
+            p.advance();
+            visited.push(p.holder());
+        }
+        prop_assert_eq!(visited.len(), hops + 1);
+        let _ = Link::up(NodeId(0));
+    }
+}

@@ -1,0 +1,35 @@
+//! Workload generation for the HARP reproduction: seeded random topologies,
+//! task sets, traffic-change event streams and the canned scenarios used by
+//! the paper's experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use tsch_sim::Rate;
+//! use workloads::{echo_task_per_node, TopologyConfig};
+//!
+//! let tree = TopologyConfig::paper_50_node().generate(7);
+//! let tasks = echo_task_per_node(&tree, Rate::per_slotframe(1));
+//! assert_eq!(tasks.len(), 49);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dynamics;
+mod mesh;
+mod scenarios;
+mod tasks;
+mod topo_gen;
+
+pub use dynamics::{fig10_rate_steps, uplink_demand_after_change, TrafficChange};
+pub use mesh::{ForestTree, Mesh};
+pub use scenarios::{
+    fig10_observed_node, fig11_topologies, fig12_topologies, testbed_50_node_tree,
+};
+pub use tasks::{
+    aggregated_echo_requirements, echo_task_per_node, task_id_of, uniform_link_requirements,
+    uniform_uplink_requirements,
+    uplink_task_per_node,
+};
+pub use topo_gen::TopologyConfig;

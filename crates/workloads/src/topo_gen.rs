@@ -1,0 +1,179 @@
+//! Seeded random tree-topology generation.
+//!
+//! The paper's simulation studies use batches of random topologies with a
+//! fixed node count and layer count ("100 network topologies with 5 layers
+//! and 50 nodes", §VII-A; "81 nodes and 10 layers", §VII-B). The generator
+//! here reproduces that: it first lays a backbone chain that realises the
+//! requested depth, then attaches the remaining nodes to uniformly chosen
+//! parents whose depth leaves room within the layer bound.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsch_sim::{Tree, TreeBuilder};
+
+/// Parameters for random tree generation.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::TopologyConfig;
+///
+/// let cfg = TopologyConfig { nodes: 50, layers: 5, max_children: 8 };
+/// let tree = cfg.generate(42);
+/// assert_eq!(tree.len(), 50);
+/// assert_eq!(tree.layers(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopologyConfig {
+    /// Total number of nodes including the gateway.
+    pub nodes: u16,
+    /// Exact depth of the tree (the maximum link layer).
+    pub layers: u32,
+    /// Upper bound on children per node (keeps trees realistic; use a large
+    /// value for unconstrained growth).
+    pub max_children: usize,
+}
+
+impl TopologyConfig {
+    /// The paper's Fig. 11 simulation setting: 50 nodes, 5 layers.
+    #[must_use]
+    pub const fn paper_50_node() -> Self {
+        Self { nodes: 50, layers: 5, max_children: 8 }
+    }
+
+    /// The paper's Fig. 12 setting: 81 nodes, 10 layers.
+    #[must_use]
+    pub const fn paper_81_node() -> Self {
+        Self { nodes: 81, layers: 10, max_children: 8 }
+    }
+
+    /// Generates a random tree for this configuration.
+    ///
+    /// The same `(config, seed)` pair always produces the same tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is unsatisfiable: fewer than `layers + 1`
+    /// nodes, zero layers with more than one node, or more nodes than
+    /// `max_children` allows.
+    #[must_use]
+    pub fn generate(&self, seed: u64) -> Tree {
+        assert!(
+            u32::from(self.nodes) > self.layers,
+            "need more than {} nodes for {} layers",
+            self.layers,
+            self.layers
+        );
+        assert!(self.layers > 0 || self.nodes == 1, "multi-node trees need layers");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut builder = TreeBuilder::new();
+        let mut depth = vec![0u32];
+        let mut child_count = vec![0usize];
+
+        // Backbone: a chain realising the exact depth.
+        let mut tip = builder.root();
+        for _ in 0..self.layers {
+            let node = builder.add_child(tip).expect("tip exists");
+            depth.push(depth[tip.index()] + 1);
+            child_count.push(0);
+            child_count[tip.index()] += 1;
+            tip = node;
+        }
+
+        // Attach the rest to random eligible parents.
+        while builder.len() < usize::from(self.nodes) {
+            let eligible: Vec<usize> = (0..builder.len())
+                .filter(|&i| depth[i] < self.layers && child_count[i] < self.max_children)
+                .collect();
+            assert!(
+                !eligible.is_empty(),
+                "max_children {} too small for {} nodes",
+                self.max_children,
+                self.nodes
+            );
+            let parent_idx = eligible[rng.gen_range(0..eligible.len())];
+            let parent = tsch_sim::NodeId(parent_idx as u16);
+            builder.add_child(parent).expect("parent exists");
+            depth.push(depth[parent_idx] + 1);
+            child_count.push(0);
+            child_count[parent_idx] += 1;
+        }
+        builder.build()
+    }
+
+    /// Generates a batch of `count` independent topologies derived from one
+    /// base seed (topology *i* uses `seed + i`).
+    #[must_use]
+    pub fn generate_batch(&self, seed: u64, count: usize) -> Vec<Tree> {
+        (0..count)
+            .map(|i| self.generate(seed.wrapping_add(i as u64)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_node_and_layer_counts() {
+        for seed in 0..20 {
+            let tree = TopologyConfig::paper_50_node().generate(seed);
+            assert_eq!(tree.len(), 50);
+            assert_eq!(tree.layers(), 5, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = TopologyConfig { nodes: 30, layers: 4, max_children: 6 };
+        assert_eq!(cfg.generate(7), cfg.generate(7));
+        assert_ne!(cfg.generate(7), cfg.generate(8));
+    }
+
+    #[test]
+    fn respects_max_children() {
+        let cfg = TopologyConfig { nodes: 40, layers: 3, max_children: 4 };
+        let tree = cfg.generate(3);
+        for v in tree.nodes() {
+            assert!(tree.children(v).len() <= 4);
+        }
+    }
+
+    #[test]
+    fn batch_is_seed_indexed() {
+        let cfg = TopologyConfig::paper_50_node();
+        let batch = cfg.generate_batch(100, 5);
+        assert_eq!(batch.len(), 5);
+        assert_eq!(batch[2], cfg.generate(102));
+    }
+
+    #[test]
+    fn eighty_one_node_ten_layer() {
+        let tree = TopologyConfig::paper_81_node().generate(1);
+        assert_eq!(tree.len(), 81);
+        assert_eq!(tree.layers(), 10);
+    }
+
+    #[test]
+    fn minimal_chain() {
+        let cfg = TopologyConfig { nodes: 4, layers: 3, max_children: 2 };
+        let tree = cfg.generate(0);
+        assert_eq!(tree.len(), 4);
+        assert_eq!(tree.layers(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "need more than")]
+    fn too_few_nodes_panics() {
+        let _ = TopologyConfig { nodes: 3, layers: 5, max_children: 4 }.generate(0);
+    }
+
+    #[test]
+    fn every_layer_is_populated() {
+        let tree = TopologyConfig::paper_81_node().generate(9);
+        for d in 0..=10 {
+            assert!(!tree.nodes_at_depth(d).is_empty(), "depth {d} empty");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of the workload generators: random trees, meshes
+//! and their decomposition, and demand models.
+
+use proptest::prelude::*;
+use tsch_sim::{Direction, Link, Rate};
+use workloads::{Mesh, TopologyConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_trees_match_their_configuration(
+        nodes in 10u16..60,
+        layers in 2u32..6,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(u32::from(nodes) > layers);
+        let cfg = TopologyConfig { nodes, layers, max_children: 10 };
+        let tree = cfg.generate(seed);
+        prop_assert_eq!(tree.len(), usize::from(nodes));
+        prop_assert_eq!(tree.layers(), layers);
+        for v in tree.nodes() {
+            prop_assert!(tree.children(v).len() <= 10);
+            prop_assert!(tree.depth(v) <= layers);
+        }
+    }
+
+    #[test]
+    fn mesh_decomposition_invariants(
+        nodes in 5u16..40,
+        radius in 0.15f64..0.5,
+        seed in 0u64..500,
+    ) {
+        let mesh = Mesh::random_geometric(nodes, radius, seed);
+        let (tree, extra) = mesh.routing_tree();
+        // Every node routed.
+        prop_assert_eq!(tree.len(), usize::from(nodes));
+        // Edge partition: tree edges + interference edges = radio edges.
+        prop_assert_eq!(extra.len() + tree.len() - 1, mesh.edges().len());
+        // Interference edges really are non-tree radio edges.
+        for &(a, b) in &extra {
+            prop_assert!(tree.parent(a) != Some(b) && tree.parent(b) != Some(a));
+            let key = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(mesh.edges().contains(&key));
+        }
+        // BFS optimality: depth(v) is the hop distance in the mesh.
+        for v in tree.nodes() {
+            for w in mesh.neighbors(v) {
+                prop_assert!(tree.depth(v) <= tree.depth(w) + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn aggregated_demand_equals_rate_times_subtree(
+        nodes in 5u16..30,
+        layers in 2u32..5,
+        rate in 1u32..4,
+        seed in 0u64..200,
+    ) {
+        prop_assume!(u32::from(nodes) > layers);
+        let tree = TopologyConfig { nodes, layers, max_children: 8 }.generate(seed);
+        let reqs =
+            workloads::aggregated_echo_requirements(&tree, Rate::per_slotframe(rate));
+        for v in tree.nodes().skip(1) {
+            let expected = rate * tree.subtree_size(v);
+            prop_assert_eq!(reqs.get(Link::up(v)), expected);
+            prop_assert_eq!(reqs.get(Link::down(v)), expected);
+        }
+    }
+
+    #[test]
+    fn uniform_demand_models_cover_expected_links(
+        nodes in 5u16..30,
+        cells in 1u32..5,
+    ) {
+        let tree = TopologyConfig { nodes, layers: 2, max_children: 32 }.generate(1);
+        let both = workloads::uniform_link_requirements(&tree, cells);
+        let up_only = workloads::uniform_uplink_requirements(&tree, cells);
+        prop_assert_eq!(both.total(Direction::Up), both.total(Direction::Down));
+        prop_assert_eq!(up_only.total(Direction::Down), 0);
+        prop_assert_eq!(
+            up_only.total(Direction::Up),
+            u64::from(cells) * (u64::from(nodes) - 1)
+        );
+    }
+
+    #[test]
+    fn demand_recomputation_is_consistent_with_task_model(
+        seed in 0u64..100,
+        new_rate_num in 1u32..6,
+    ) {
+        // uplink_demand_after_change must agree with recomputing the whole
+        // task set from scratch.
+        let tree = TopologyConfig { nodes: 20, layers: 4, max_children: 6 }.generate(seed);
+        let base = Rate::per_slotframe(1);
+        let new_rate = Rate::per_slotframe(new_rate_num);
+        let node = tree.nodes_at_depth(tree.layers())[0];
+        let incremental =
+            workloads::uplink_demand_after_change(&tree, node, base, new_rate);
+
+        // Oracle: rebuild the task set with the changed rate.
+        let mut tasks = workloads::echo_task_per_node(&tree, base);
+        for t in &mut tasks {
+            if t.source == node {
+                t.rate = new_rate;
+            }
+        }
+        let oracle = harp_core::Requirements::from_tasks(&tree, &tasks);
+        for (link, cells) in incremental {
+            prop_assert_eq!(cells, oracle.get(link), "{}", link);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Thin binary wrapper over [`harp::cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match harp::cli::CliCommand::parse(&args).and_then(harp::cli::run) {
+        Ok(output) => print!("{output}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! The `harp-cli` command-line interface: run the HARP pipeline, simulate
+//! traffic, measure adjustments and check deadlines from a shell.
+//!
+//! The parser and command runners live in the library so they are unit
+//! tested; the binary (`src/bin/harp-cli.rs`) is a thin wrapper.
+
+use harp_core::{
+    check_deadlines, render_super_partitions, render_utilization, DeadlineTask, HarpNetwork,
+    Requirements, SchedulingPolicy,
+};
+use schedulers::{
+    AliceScheduler, HarpScheduler, LdsfScheduler, MsfScheduler, RandomScheduler, Scheduler,
+};
+use std::fmt::Write as _;
+use tsch_sim::{
+    Direction, GlobalInterference, Link, LinkQuality, NodeId, Rate, SimulatorBuilder,
+    SlotframeConfig,
+};
+use workloads::TopologyConfig;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliCommand {
+    /// `partition`: run the static pipeline and print the layout.
+    Partition(NetArgs),
+    /// `simulate`: run the data plane and print per-layer latencies.
+    Simulate {
+        /// Network parameters.
+        net: NetArgs,
+        /// Slotframes to simulate.
+        frames: u64,
+        /// Per-link packet delivery ratio.
+        pdr: f64,
+    },
+    /// `adjust`: measure one traffic-change adjustment.
+    Adjust {
+        /// Network parameters.
+        net: NetArgs,
+        /// The node whose uplink demand changes.
+        node: u16,
+        /// The new cell count.
+        cells: u32,
+    },
+    /// `deadlines`: analytic admission check.
+    Deadlines {
+        /// Network parameters.
+        net: NetArgs,
+        /// Relative deadline in slotframes.
+        frames: u64,
+    },
+    /// `collisions`: average collision probability of one scheduler.
+    Collisions {
+        /// Scheduler name (random|msf|alice|ldsf|harp).
+        scheduler: String,
+        /// Cells per uplink.
+        rate: u32,
+        /// Topologies to average over.
+        count: usize,
+    },
+    /// `help`: usage text.
+    Help,
+}
+
+/// Shared network parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetArgs {
+    /// Node count.
+    pub nodes: u16,
+    /// Layer count.
+    pub layers: u32,
+    /// Topology seed.
+    pub seed: u64,
+    /// Cells per uplink/downlink.
+    pub rate: u32,
+    /// Channel count.
+    pub channels: u16,
+}
+
+impl Default for NetArgs {
+    fn default() -> Self {
+        Self { nodes: 50, layers: 5, seed: 0, rate: 1, channels: 16 }
+    }
+}
+
+/// The usage text printed by `help` and on parse errors.
+pub const USAGE: &str = "\
+harp-cli — hierarchical resource partitioning for industrial wireless networks
+
+USAGE:
+  harp-cli partition  [--nodes N] [--layers L] [--seed S] [--rate R] [--channels C]
+  harp-cli simulate   [net args] [--frames F] [--pdr P]
+  harp-cli adjust     [net args] --node X --cells C
+  harp-cli deadlines  [net args] [--frames F]
+  harp-cli collisions --scheduler random|msf|alice|ldsf|harp [--rate R] [--count N]
+  harp-cli help
+";
+
+fn parse_kv(args: &[String]) -> Result<std::collections::BTreeMap<String, String>, String> {
+    let mut map = std::collections::BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        map.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(map)
+}
+
+fn get<T: std::str::FromStr>(
+    map: &std::collections::BTreeMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match map.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: '{v}'")),
+        None => Ok(default),
+    }
+}
+
+fn parse_net(map: &std::collections::BTreeMap<String, String>) -> Result<NetArgs, String> {
+    let d = NetArgs::default();
+    Ok(NetArgs {
+        nodes: get(map, "nodes", d.nodes)?,
+        layers: get(map, "layers", d.layers)?,
+        seed: get(map, "seed", d.seed)?,
+        rate: get(map, "rate", d.rate)?,
+        channels: get(map, "channels", d.channels)?,
+    })
+}
+
+impl CliCommand {
+    /// Parses a command line (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown commands, flags or
+    /// malformed values.
+    pub fn parse(args: &[String]) -> Result<CliCommand, String> {
+        let Some(command) = args.first() else {
+            return Ok(CliCommand::Help);
+        };
+        let map = parse_kv(&args[1..])?;
+        match command.as_str() {
+            "partition" => Ok(CliCommand::Partition(parse_net(&map)?)),
+            "simulate" => Ok(CliCommand::Simulate {
+                net: parse_net(&map)?,
+                frames: get(&map, "frames", 50)?,
+                pdr: get(&map, "pdr", 1.0)?,
+            }),
+            "adjust" => Ok(CliCommand::Adjust {
+                net: parse_net(&map)?,
+                node: get(&map, "node", u16::MAX)
+                    .and_then(|n: u16| if n == u16::MAX { Err("--node is required".into()) } else { Ok(n) })?,
+                cells: get(&map, "cells", 0)
+                    .and_then(|c: u32| if c == 0 { Err("--cells is required".into()) } else { Ok(c) })?,
+            }),
+            "deadlines" => Ok(CliCommand::Deadlines {
+                net: parse_net(&map)?,
+                frames: get(&map, "frames", 2)?,
+            }),
+            "collisions" => Ok(CliCommand::Collisions {
+                scheduler: map
+                    .get("scheduler")
+                    .cloned()
+                    .ok_or("--scheduler is required")?,
+                rate: get(&map, "rate", 3)?,
+                count: get(&map, "count", 20)?,
+            }),
+            "help" | "--help" | "-h" => Ok(CliCommand::Help),
+            other => Err(format!("unknown command '{other}'\n{USAGE}")),
+        }
+    }
+}
+
+fn build_network(net: NetArgs) -> Result<(tsch_sim::Tree, Requirements, SlotframeConfig), String> {
+    if u32::from(net.nodes) <= net.layers {
+        return Err(format!("need more than {} nodes for {} layers", net.layers, net.layers));
+    }
+    let tree = TopologyConfig { nodes: net.nodes, layers: net.layers, max_children: 8 }
+        .generate(net.seed);
+    let config = SlotframeConfig::paper_default()
+        .with_channels(net.channels)
+        .map_err(|e| e.to_string())?;
+    let reqs = workloads::uniform_link_requirements(&tree, net.rate);
+    Ok((tree, reqs, config))
+}
+
+/// Executes a parsed command and returns its output text.
+///
+/// # Errors
+///
+/// Returns a human-readable message for infeasible configurations.
+pub fn run(command: CliCommand) -> Result<String, String> {
+    match command {
+        CliCommand::Help => Ok(USAGE.to_string()),
+        CliCommand::Partition(net) => {
+            let (tree, reqs, config) = build_network(net)?;
+            let mut hn =
+                HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic);
+            let report = hn.run_static().map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "{} nodes, {} layers (seed {}): converged in {:.2} s with {} mgmt messages",
+                net.nodes,
+                net.layers,
+                net.seed,
+                report.elapsed_seconds(config),
+                report.mgmt_messages
+            );
+            out.push_str(&render_super_partitions(&tree, &partition_table(&tree, &reqs, config)?));
+            let _ = writeln!(out, "{}", render_utilization(hn.schedule()));
+            let _ = writeln!(out, "exclusive: {}", hn.schedule().is_exclusive());
+            Ok(out)
+        }
+        CliCommand::Simulate { net, frames, pdr } => {
+            let (tree, reqs, config) = build_network(net)?;
+            let mut hn =
+                HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic);
+            hn.run_static().map_err(|e| e.to_string())?;
+            let mut builder = SimulatorBuilder::new(tree.clone(), config)
+                .schedule(hn.schedule().clone())
+                .quality(LinkQuality::uniform(pdr).map_err(|e| e.to_string())?)
+                .max_retries(0)
+                .seed(net.seed);
+            for task in workloads::echo_task_per_node(&tree, Rate::per_slotframe(net.rate)) {
+                builder = builder.task(task).map_err(|e| e.to_string())?;
+            }
+            let mut sim = builder.build();
+            sim.run_slotframes(frames);
+            let stats = sim.stats();
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "{} frames: {} generated, {} delivered, {} collisions, {} losses",
+                frames,
+                stats.generated,
+                stats.deliveries.len(),
+                stats.collisions,
+                stats.losses
+            );
+            let slot_s = f64::from(config.slot_duration_us) / 1e6;
+            for layer in 1..=tree.layers() {
+                let nodes = tree.nodes_at_depth(layer);
+                let mut sum = 0.0;
+                let mut n = 0;
+                for node in nodes {
+                    let s = stats.latency_summary(node);
+                    if s.count > 0 {
+                        sum += s.mean * slot_s;
+                        n += 1;
+                    }
+                }
+                let _ = writeln!(
+                    out,
+                    "layer {layer}: mean e2e latency {:.3} s over {n} nodes",
+                    if n > 0 { sum / f64::from(n) } else { 0.0 }
+                );
+            }
+            Ok(out)
+        }
+        CliCommand::Adjust { net, node, cells } => {
+            let (tree, reqs, config) = build_network(net)?;
+            if usize::from(node) >= tree.len() || node == 0 {
+                return Err(format!("--node must name a non-gateway node < {}", tree.len()));
+            }
+            let mut hn =
+                HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic);
+            hn.run_static().map_err(|e| e.to_string())?;
+            let link = Link::up(NodeId(node));
+            let report = hn
+                .adjust_and_settle(hn.now(), link, cells)
+                .map_err(|e| e.to_string())?;
+            Ok(format!(
+                "adjusted {link} to {cells} cells: {} mgmt msgs, {} nodes, {:.2} s ({} slotframes); exclusive: {}\n",
+                report.mgmt_messages,
+                report.involved_nodes.len(),
+                report.elapsed_seconds(config),
+                report.slotframes(config),
+                hn.schedule().is_exclusive()
+            ))
+        }
+        CliCommand::Deadlines { net, frames } => {
+            let (tree, reqs, config) = build_network(net)?;
+            let mut hn =
+                HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic);
+            hn.run_static().map_err(|e| e.to_string())?;
+            let deadline = frames * u64::from(config.slots);
+            let tasks: Vec<DeadlineTask> =
+                workloads::echo_task_per_node(&tree, Rate::per_slotframe(net.rate))
+                    .into_iter()
+                    .map(|task| DeadlineTask { task, deadline_slots: deadline })
+                    .collect();
+            let verdicts =
+                check_deadlines(hn.schedule(), &tree, &tasks).map_err(|e| e.to_string())?;
+            let ok = verdicts.iter().filter(|v| v.is_schedulable()).count();
+            Ok(format!(
+                "{ok}/{} tasks provably meet a {frames}-slotframe deadline\n",
+                verdicts.len()
+            ))
+        }
+        CliCommand::Collisions { scheduler, rate, count } => {
+            let s: &dyn Scheduler = match scheduler.as_str() {
+                "random" => &RandomScheduler,
+                "msf" => &MsfScheduler,
+                "alice" => &AliceScheduler,
+                "ldsf" => &LdsfScheduler,
+                "harp" => &HarpScheduler { policy: SchedulingPolicy::RateMonotonic },
+                other => return Err(format!("unknown scheduler '{other}'")),
+            };
+            let config = SlotframeConfig::paper_default();
+            let topologies = TopologyConfig::paper_50_node().generate_batch(0xF1_611, count);
+            let mut sum = 0.0;
+            for (i, tree) in topologies.iter().enumerate() {
+                let reqs = workloads::uniform_uplink_requirements(tree, rate);
+                let schedule = s.build_schedule(tree, &reqs, config, i as u64);
+                sum += schedule
+                    .collision_report(tree, &GlobalInterference)
+                    .collision_probability();
+            }
+            Ok(format!(
+                "{}: average collision probability {:.2}% over {count} topologies at rate {rate}\n",
+                s.name(),
+                sum / count as f64 * 100.0
+            ))
+        }
+    }
+}
+
+/// Rebuilds the centralized partition table for rendering (the distributed
+/// run and the oracle agree; proven by the test suite).
+fn partition_table(
+    tree: &tsch_sim::Tree,
+    reqs: &Requirements,
+    config: SlotframeConfig,
+) -> Result<harp_core::PartitionTable, String> {
+    let up = harp_core::build_interfaces(tree, reqs, Direction::Up, config.channels)
+        .map_err(|e| e.to_string())?;
+    let down = harp_core::build_interfaces(tree, reqs, Direction::Down, config.channels)
+        .map_err(|e| e.to_string())?;
+    harp_core::allocate_partitions(tree, &up, &down, config).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let cmd = CliCommand::parse(&args("partition")).unwrap();
+        assert_eq!(cmd, CliCommand::Partition(NetArgs::default()));
+    }
+
+    #[test]
+    fn parse_overrides() {
+        let cmd =
+            CliCommand::parse(&args("partition --nodes 20 --layers 3 --seed 7 --rate 2")).unwrap();
+        let CliCommand::Partition(net) = cmd else { panic!() };
+        assert_eq!((net.nodes, net.layers, net.seed, net.rate), (20, 3, 7, 2));
+    }
+
+    #[test]
+    fn parse_errors_are_helpful() {
+        assert!(CliCommand::parse(&args("partition --nodes")).unwrap_err().contains("value"));
+        assert!(CliCommand::parse(&args("partition nodes 3")).unwrap_err().contains("--flag"));
+        assert!(CliCommand::parse(&args("frobnicate")).unwrap_err().contains("unknown command"));
+        assert!(CliCommand::parse(&args("adjust")).unwrap_err().contains("--node"));
+        assert!(CliCommand::parse(&args("collisions")).unwrap_err().contains("--scheduler"));
+        assert!(CliCommand::parse(&args("partition --nodes abc"))
+            .unwrap_err()
+            .contains("invalid value"));
+    }
+
+    #[test]
+    fn empty_args_show_help() {
+        assert_eq!(CliCommand::parse(&[]).unwrap(), CliCommand::Help);
+        assert!(run(CliCommand::Help).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn partition_runs_end_to_end() {
+        let out = run(CliCommand::Partition(NetArgs {
+            nodes: 15,
+            layers: 3,
+            seed: 1,
+            rate: 1,
+            channels: 16,
+        }))
+        .unwrap();
+        assert!(out.contains("exclusive: true"));
+        assert!(out.contains("cells assigned"));
+    }
+
+    #[test]
+    fn simulate_runs_end_to_end() {
+        let out = run(CliCommand::Simulate {
+            net: NetArgs { nodes: 12, layers: 3, seed: 2, rate: 1, channels: 16 },
+            frames: 5,
+            pdr: 1.0,
+        })
+        .unwrap();
+        assert!(out.contains("0 collisions"));
+        assert!(out.contains("layer 1"));
+    }
+
+    #[test]
+    fn adjust_runs_end_to_end() {
+        let out = run(CliCommand::Adjust {
+            net: NetArgs { nodes: 12, layers: 3, seed: 2, rate: 1, channels: 16 },
+            node: 5,
+            cells: 3,
+        })
+        .unwrap();
+        assert!(out.contains("exclusive: true"));
+    }
+
+    #[test]
+    fn deadlines_runs_end_to_end() {
+        let out = run(CliCommand::Deadlines {
+            net: NetArgs { nodes: 12, layers: 3, seed: 2, rate: 1, channels: 16 },
+            frames: 2,
+        })
+        .unwrap();
+        assert!(out.contains("provably meet"));
+    }
+
+    #[test]
+    fn collisions_runs_end_to_end() {
+        let out = run(CliCommand::Collisions {
+            scheduler: "harp".into(),
+            rate: 2,
+            count: 3,
+        })
+        .unwrap();
+        assert!(out.contains("harp"));
+        assert!(out.contains("0.00%"), "harp never collides at rate 2: {out}");
+        assert!(run(CliCommand::Collisions {
+            scheduler: "nope".into(),
+            rate: 1,
+            count: 1
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn invalid_network_rejected() {
+        let err = run(CliCommand::Partition(NetArgs {
+            nodes: 3,
+            layers: 5,
+            seed: 0,
+            rate: 1,
+            channels: 16,
+        }))
+        .unwrap_err();
+        assert!(err.contains("need more"));
+    }
+}

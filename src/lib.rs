@@ -1,0 +1,59 @@
+//! HARP — a reproduction of *HARP: Hierarchical Resource Partitioning in
+//! Dynamic Industrial Wireless Networks* (Wang et al., ICDCS 2022).
+//!
+//! This meta-crate re-exports the workspace's public API:
+//!
+//! * [`core`] — the HARP algorithms and distributed deployment
+//!   ([`harp_core`]).
+//! * [`sim`] — the slot-level TSCH network simulator ([`tsch_sim`]).
+//! * [`packing`] — the 2-D rectangle-packing substrate.
+//! * [`schedulers`] — the Random/MSF/LDSF/APaS comparison schedulers.
+//! * [`workloads`] — seeded topologies, task sets and scenarios.
+//!
+//! # Examples
+//!
+//! ```
+//! use harp::core::{HarpNetwork, SchedulingPolicy};
+//! use harp::sim::{Link, SlotframeConfig, Tree};
+//!
+//! # fn main() -> Result<(), harp::core::HarpError> {
+//! let tree = Tree::paper_fig1_example();
+//! let mut reqs = harp::core::Requirements::new();
+//! for v in tree.nodes().skip(1) {
+//!     reqs.set(Link::up(v), 1);
+//! }
+//! let mut net = HarpNetwork::new(
+//!     tree,
+//!     SlotframeConfig::paper_default(),
+//!     &reqs,
+//!     SchedulingPolicy::RateMonotonic,
+//! );
+//! net.run_static()?;
+//! assert!(net.schedule().is_exclusive());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See the `examples/` directory for runnable scenarios and
+//! `crates/bench/src/bin/` for the binaries regenerating every table and
+//! figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use packing;
+pub use schedulers;
+pub use workloads;
+
+/// The HARP algorithms and distributed deployment (re-export of
+/// [`harp_core`]).
+pub mod core {
+    pub use harp_core::*;
+}
+
+/// The slot-level TSCH network simulator (re-export of [`tsch_sim`]).
+pub mod sim {
+    pub use tsch_sim::*;
+}

@@ -1,0 +1,102 @@
+//! The complete footnote-1 extension: a multi-gateway mesh is decomposed
+//! into a forest, each tree runs HARP inside its own channel band, and the
+//! combined deployment is collision-free across network boundaries.
+
+use harp::core::{BandPlan, HarpNetwork, SchedulingPolicy};
+use harp::sim::{Cell, Link, SlotframeConfig};
+use workloads::Mesh;
+
+#[test]
+fn forest_plus_bands_is_globally_collision_free() {
+    let base = SlotframeConfig::paper_default();
+    let mesh = Mesh::random_geometric(60, 0.25, 99);
+    let gateways = [harp::sim::NodeId(0), harp::sim::NodeId(1), harp::sim::NodeId(2)];
+    let forest = mesh.routing_forest(&gateways);
+    assert_eq!(forest.len(), 3);
+
+    // Channel bands sized by tree population.
+    let widths: Vec<u16> = forest
+        .iter()
+        .map(|t| ((t.tree.len() * 16) / mesh.len()).max(2) as u16)
+        .collect();
+    let plan = BandPlan::allocate(&widths, base.channels).expect("bands fit 16 channels");
+
+    // Each tree runs its own distributed HARP inside its band.
+    let mut lifted = Vec::new();
+    for (i, ft) in forest.iter().enumerate() {
+        let cfg = plan.network_config(i, base).unwrap();
+        let reqs = workloads::uniform_uplink_requirements(&ft.tree, 1);
+        let mut net = HarpNetwork::new(
+            ft.tree.clone(),
+            cfg,
+            &reqs,
+            SchedulingPolicy::RateMonotonic,
+        );
+        net.run_static().unwrap_or_else(|e| panic!("tree {i}: {e}"));
+        assert!(net.schedule().is_exclusive(), "tree {i} internally exclusive");
+        lifted.push(plan.lift_schedule(i, net.schedule(), base).unwrap());
+    }
+
+    // Across networks: no cell is claimed twice. (Links of different trees
+    // share local ids, so compare raw cell sets.)
+    let mut used = std::collections::BTreeSet::<Cell>::new();
+    for (i, schedule) in lifted.iter().enumerate() {
+        for (_, cells) in schedule.iter_links() {
+            for &cell in cells {
+                assert!(used.insert(cell), "cell {cell} shared by network {i} and an earlier one");
+            }
+        }
+    }
+
+    // Every link of every tree is served.
+    for (i, ft) in forest.iter().enumerate() {
+        for v in ft.tree.nodes().skip(1) {
+            assert_eq!(
+                lifted[i].cells_of(Link::up(v)).len(),
+                1,
+                "tree {i} link {v} uplink"
+            );
+        }
+    }
+}
+
+#[test]
+fn band_adjustment_ripples_into_reallocation() {
+    // One network's demand doubles: its band grows, it re-runs HARP in the
+    // wider band, and the combined deployment is still conflict-free.
+    let base = SlotframeConfig::paper_default();
+    let mesh = Mesh::random_geometric(40, 0.3, 5);
+    let gateways = [harp::sim::NodeId(0), harp::sim::NodeId(3)];
+    let forest = mesh.routing_forest(&gateways);
+    let mut plan = BandPlan::allocate(&[6, 6], base.channels).unwrap();
+
+    let build = |plan: &BandPlan, i: usize, rate: u32| {
+        let cfg = plan.network_config(i, base).unwrap();
+        let reqs = workloads::uniform_uplink_requirements(&forest[i].tree, rate);
+        let mut net = HarpNetwork::new(
+            forest[i].tree.clone(),
+            cfg,
+            &reqs,
+            SchedulingPolicy::RateMonotonic,
+        );
+        net.run_static().unwrap();
+        plan.lift_schedule(i, net.schedule(), base).unwrap()
+    };
+
+    let _before_0 = build(&plan, 0, 1);
+    let moved = plan.adjust(1, 10).unwrap();
+    assert!(plan.is_isolated());
+    assert!(moved.contains(&1));
+
+    // Rebuild every moved network; unmoved ones keep their schedules.
+    let after_0 = build(&plan, 0, 1);
+    let after_1 = build(&plan, 1, 3);
+    let mut used = std::collections::BTreeSet::<Cell>::new();
+    for schedule in [&after_0, &after_1] {
+        for (_, cells) in schedule.iter_links() {
+            for &cell in cells {
+                assert!(used.insert(cell), "cross-network conflict at {cell}");
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! End-to-end integration tests spanning every crate: workload generation →
+//! HARP partitioning (centralized and distributed) → data-plane simulation.
+
+use harp::core::{
+    allocate_partitions, build_interfaces, generate_schedule, unsatisfied_links, HarpNetwork,
+    Requirements, SchedulingPolicy,
+};
+use harp::sim::{
+    Direction, GlobalInterference, Link, Rate, SimulatorBuilder, SlotframeConfig, Tree,
+};
+use workloads::TopologyConfig;
+
+fn centralized_schedule(
+    tree: &Tree,
+    reqs: &Requirements,
+    config: SlotframeConfig,
+) -> harp::sim::NetworkSchedule {
+    let up = build_interfaces(tree, reqs, Direction::Up, config.channels).unwrap();
+    let down = build_interfaces(tree, reqs, Direction::Down, config.channels).unwrap();
+    let table = allocate_partitions(tree, &up, &down, config).unwrap();
+    generate_schedule(tree, reqs, &table, SchedulingPolicy::RateMonotonic).unwrap()
+}
+
+#[test]
+fn harp_is_collision_free_on_many_random_topologies() {
+    let config = SlotframeConfig::paper_default();
+    for seed in 0..25 {
+        let tree = TopologyConfig::paper_50_node().generate(seed);
+        let reqs = workloads::uniform_uplink_requirements(&tree, 2);
+        let schedule = centralized_schedule(&tree, &reqs, config);
+        assert!(schedule.is_exclusive(), "seed {seed}");
+        assert!(unsatisfied_links(&tree, &reqs, &schedule).is_empty(), "seed {seed}");
+        let report = schedule.collision_report(&tree, &GlobalInterference);
+        assert_eq!(report.colliding_assignments, 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn distributed_run_matches_centralized_oracle_on_random_topologies() {
+    let config = SlotframeConfig::paper_default();
+    for seed in 0..10 {
+        let tree = TopologyConfig { nodes: 30, layers: 4, max_children: 6 }.generate(seed);
+        let reqs = workloads::aggregated_echo_requirements(&tree, Rate::per_slotframe(1));
+        let centralized = centralized_schedule(&tree, &reqs, config);
+
+        let mut net = HarpNetwork::new(
+            tree.clone(),
+            config,
+            &reqs,
+            SchedulingPolicy::RateMonotonic,
+        );
+        net.run_static().unwrap();
+        // The paper validates that testbed partitions are identical with the
+        // simulation's: every link must hold exactly the same cells.
+        for direction in Direction::BOTH {
+            for link in tree.links(direction) {
+                assert_eq!(
+                    net.schedule().cells_of(link),
+                    centralized.cells_of(link),
+                    "seed {seed}, {link}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn harp_schedule_delivers_all_packets_within_two_slotframes() {
+    let config = SlotframeConfig::paper_default();
+    let tree = workloads::testbed_50_node_tree();
+    let rate = Rate::per_slotframe(1);
+    let reqs = workloads::aggregated_echo_requirements(&tree, rate);
+    let schedule = centralized_schedule(&tree, &reqs, config);
+
+    let mut builder = SimulatorBuilder::new(tree.clone(), config).schedule(schedule);
+    for task in workloads::echo_task_per_node(&tree, rate) {
+        builder = builder.task(task).unwrap();
+    }
+    let mut sim = builder.build();
+    sim.run_slotframes(20);
+
+    let stats = sim.stats();
+    assert_eq!(stats.collisions, 0, "HARP schedules never collide");
+    assert_eq!(stats.queue_drops, 0);
+    assert_eq!(stats.deliveries.len() as u64, stats.generated);
+    let bound = 2 * u64::from(config.slots);
+    for d in &stats.deliveries {
+        assert!(
+            d.latency_slots() <= bound,
+            "packet from {} took {} slots",
+            d.source,
+            d.latency_slots()
+        );
+    }
+}
+
+#[test]
+fn adjustment_storm_preserves_every_invariant() {
+    let config = SlotframeConfig::paper_default();
+    let tree = TopologyConfig::paper_50_node().generate(3);
+    let reqs = workloads::uniform_link_requirements(&tree, 1);
+    let mut net = HarpNetwork::new(
+        tree.clone(),
+        config,
+        &reqs,
+        SchedulingPolicy::RateMonotonic,
+    );
+    net.run_static().unwrap();
+
+    let mut expected = reqs.clone();
+    let mut rng = harp::sim::SplitMix64::new(42);
+    let non_root: Vec<_> = tree.nodes().skip(1).collect();
+    for step in 0..60 {
+        let child = non_root[rng.next_below(non_root.len() as u64) as usize];
+        let direction = if rng.chance(0.5) { Direction::Up } else { Direction::Down };
+        let cells = 1 + rng.next_below(3) as u32;
+        let link = Link { child, direction };
+        net.adjust_and_settle(net.now(), link, cells)
+            .unwrap_or_else(|e| panic!("step {step}: {e}"));
+        expected.set(link, cells);
+        assert!(net.schedule().is_exclusive(), "step {step}");
+        assert!(
+            unsatisfied_links(&tree, &expected, net.schedule()).is_empty(),
+            "step {step}"
+        );
+    }
+}
+
+#[test]
+fn harp_dominates_every_baseline_on_collisions() {
+    use schedulers::{HarpScheduler, LdsfScheduler, MsfScheduler, RandomScheduler, Scheduler};
+    let config = SlotframeConfig::paper_default();
+    let topologies = TopologyConfig::paper_50_node().generate_batch(100, 10);
+    for rate in [2u32, 4] {
+        let baselines: [&dyn Scheduler; 3] = [&RandomScheduler, &MsfScheduler, &LdsfScheduler];
+        let harp = harp_bench_proxy(&HarpScheduler::default(), &topologies, rate, config);
+        for b in baselines {
+            let p = harp_bench_proxy(b, &topologies, rate, config);
+            assert!(
+                harp <= p,
+                "harp {harp} vs {} {p} at rate {rate}",
+                b.name()
+            );
+        }
+        assert_eq!(harp, 0.0, "within capacity HARP never collides");
+    }
+}
+
+/// Local re-implementation of the Fig. 11 inner loop (the bench crate is
+/// not a dependency of the meta-crate).
+fn harp_bench_proxy(
+    scheduler: &dyn schedulers::Scheduler,
+    topologies: &[Tree],
+    rate: u32,
+    config: SlotframeConfig,
+) -> f64 {
+    let mut sum = 0.0;
+    for (i, tree) in topologies.iter().enumerate() {
+        let reqs = workloads::uniform_uplink_requirements(tree, rate);
+        let schedule = scheduler.build_schedule(tree, &reqs, config, i as u64);
+        sum += schedule
+            .collision_report(tree, &GlobalInterference)
+            .collision_probability();
+    }
+    sum / topologies.len() as f64
+}
+
+#[test]
+fn gateway_level_changes_are_absorbed() {
+    // Raising demand at layer 1 exercises the gateway's slotframe-level
+    // adjustment (no parent to escalate to).
+    let config = SlotframeConfig::paper_default();
+    let tree = workloads::testbed_50_node_tree();
+    let reqs = workloads::uniform_link_requirements(&tree, 1);
+    let mut net = HarpNetwork::new(
+        tree.clone(),
+        config,
+        &reqs,
+        SchedulingPolicy::RateMonotonic,
+    );
+    net.run_static().unwrap();
+    for (node, cells) in [(1u16, 5u32), (2, 7), (3, 4), (4, 9)] {
+        let link = Link::up(harp::sim::NodeId(node));
+        net.adjust_and_settle(net.now(), link, cells).unwrap();
+        assert!(net.schedule().is_exclusive());
+        assert_eq!(net.schedule().cells_of(link).len(), cells as usize);
+    }
+}

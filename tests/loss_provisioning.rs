@@ -1,0 +1,69 @@
+//! Integration test for loss-aware provisioning: with demands inflated by
+//! the inverse PDR, a lossy network with retransmissions keeps its queues
+//! and latencies bounded — the regime the exact-fit allocation cannot
+//! sustain (see the Fig. 9 modelling note in EXPERIMENTS.md).
+
+use harp::core::{HarpNetwork, SchedulingPolicy};
+use harp::sim::{LinkQuality, Rate, SimulatorBuilder, SlotframeConfig};
+
+fn run(minutes_of_frames: u64, provision: bool) -> (f64, u64) {
+    let tree = workloads::testbed_50_node_tree();
+    let config = SlotframeConfig::paper_default();
+    let rate = Rate::per_slotframe(1);
+    let quality = LinkQuality::uniform(0.95).unwrap();
+
+    let base = workloads::aggregated_echo_requirements(&tree, rate);
+    let reqs = if provision { base.provisioned_for_loss(&quality) } else { base };
+
+    let mut net = HarpNetwork::new(
+        tree.clone(),
+        config,
+        &reqs,
+        SchedulingPolicy::RateMonotonic,
+    );
+    net.run_static().unwrap();
+
+    let mut builder = SimulatorBuilder::new(tree.clone(), config)
+        .schedule(net.schedule().clone())
+        .quality(quality)
+        .max_retries(8)
+        .seed(0x1055);
+    for task in workloads::echo_task_per_node(&tree, rate) {
+        builder = builder.task(task).unwrap();
+    }
+    let mut sim = builder.build();
+    sim.run_slotframes(minutes_of_frames);
+
+    // Deepest node's mean latency in slotframes, plus total queued backlog.
+    let deep = tsch_sim::NodeId(49);
+    let summary = sim.stats().latency_summary(deep);
+    let mean_frames = summary.mean / f64::from(config.slots);
+    (mean_frames, sim.queued_packets() as u64)
+}
+
+#[test]
+fn provisioning_keeps_lossy_network_stable() {
+    let frames = 150;
+    let (provisioned_latency, provisioned_backlog) = run(frames, true);
+    let (exact_latency, exact_backlog) = run(frames, false);
+
+    // With ceil(r/PDR) capacity, retransmissions are absorbed: the deepest
+    // node's mean latency stays within a few slotframes and the network
+    // carries (almost) no standing backlog.
+    assert!(
+        provisioned_latency < 4.0,
+        "provisioned mean latency {provisioned_latency} frames"
+    );
+    assert!(
+        provisioned_backlog < 30,
+        "provisioned backlog {provisioned_backlog} packets"
+    );
+
+    // Exact-fit allocation under the same loss accumulates queueing: the
+    // provisioned deployment is strictly healthier on both axes.
+    assert!(
+        provisioned_latency < exact_latency,
+        "provisioned {provisioned_latency} vs exact {exact_latency}"
+    );
+    assert!(provisioned_backlog <= exact_backlog);
+}
