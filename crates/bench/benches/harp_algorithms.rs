@@ -3,10 +3,10 @@
 //! and the neighbour-first adjustment of Alg. 2 (vs an immediate full
 //! repack).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use harp_bench::harness::measure;
 use harp_core::{
-    adjust_partition, allocate_partitions, build_interfaces, compose_components,
-    generate_schedule, Requirements, ResourceComponent, SchedulingPolicy,
+    adjust_partition, allocate_partitions, build_interfaces, compose_components, generate_schedule,
+    Requirements, ResourceComponent, SchedulingPolicy,
 };
 use packing::{pack_into, pack_strip, Rect, Size};
 use std::hint::black_box;
@@ -25,14 +25,16 @@ fn random_components(n: usize, seed: u64) -> Vec<(tsch_sim::NodeId, ResourceComp
         .collect()
 }
 
-fn bench_compose(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compose");
+fn bench_compose() {
     for &n in &[4usize, 16, 64] {
         let comps = random_components(n, 11);
         // Ablation: channel extent with and without the second SPP pass.
         let two_pass = compose_components(&comps, 16, 1).unwrap().composite();
         let one_pass = {
-            let items: Vec<Size> = comps.iter().map(|(_, c)| c.as_size_channel_major()).collect();
+            let items: Vec<Size> = comps
+                .iter()
+                .map(|(_, c)| c.as_size_channel_major())
+                .collect();
             let p = pack_strip(&items, 16).unwrap();
             let channels = p.placements().iter().map(Rect::right).max().unwrap_or(0);
             ResourceComponent::new(p.height(), channels)
@@ -41,11 +43,11 @@ fn bench_compose(c: &mut Criterion) {
             "# ablation n={n}: two-pass {two_pass} vs one-pass {one_pass} (channels saved: {})",
             one_pass.channels.saturating_sub(two_pass.channels)
         );
-        group.bench_with_input(BenchmarkId::new("alg1_two_pass", n), &comps, |b, comps| {
-            b.iter(|| compose_components(black_box(comps), 16, 1).unwrap())
+        let m = measure(&format!("compose/alg1_two_pass/{n}"), || {
+            compose_components(black_box(&comps), 16, 1).unwrap()
         });
+        println!("{}", m.report());
     }
-    group.finish();
 }
 
 fn testbed_inputs() -> (Tree, Requirements, SlotframeConfig) {
@@ -54,42 +56,40 @@ fn testbed_inputs() -> (Tree, Requirements, SlotframeConfig) {
     (tree, reqs, SlotframeConfig::paper_default())
 }
 
-fn bench_static_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("static_pipeline");
+fn bench_static_pipeline() {
     let (tree50, reqs50, config) = testbed_inputs();
     let tree81 = TopologyConfig::paper_81_node().generate(1);
     let reqs81 = workloads::uniform_link_requirements(&tree81, 1);
 
-    for (name, tree, reqs) in
-        [("testbed_50", &tree50, &reqs50), ("deep_81", &tree81, &reqs81)]
-    {
-        group.bench_function(BenchmarkId::new("interfaces", name), |b| {
-            b.iter(|| {
-                build_interfaces(black_box(tree), black_box(reqs), Direction::Up, 16).unwrap()
-            })
+    for (name, tree, reqs) in [
+        ("testbed_50", &tree50, &reqs50),
+        ("deep_81", &tree81, &reqs81),
+    ] {
+        let m = measure(&format!("static_pipeline/interfaces/{name}"), || {
+            build_interfaces(black_box(tree), black_box(reqs), Direction::Up, 16).unwrap()
         });
-        group.bench_function(BenchmarkId::new("full_schedule", name), |b| {
-            b.iter(|| {
-                let up = build_interfaces(tree, reqs, Direction::Up, config.channels).unwrap();
-                let down =
-                    build_interfaces(tree, reqs, Direction::Down, config.channels).unwrap();
-                let table = allocate_partitions(tree, &up, &down, config).unwrap();
-                generate_schedule(tree, reqs, &table, SchedulingPolicy::RateMonotonic).unwrap()
-            })
+        println!("{}", m.report());
+        let m = measure(&format!("static_pipeline/full_schedule/{name}"), || {
+            let up = build_interfaces(tree, reqs, Direction::Up, config.channels).unwrap();
+            let down = build_interfaces(tree, reqs, Direction::Down, config.channels).unwrap();
+            let table = allocate_partitions(tree, &up, &down, config).unwrap();
+            generate_schedule(tree, reqs, &table, SchedulingPolicy::RateMonotonic).unwrap()
         });
+        println!("{}", m.report());
     }
-    group.finish();
 }
 
-fn bench_adjustment(c: &mut Criterion) {
-    let mut group = c.benchmark_group("adjustment");
+fn bench_adjustment() {
     // A partly fragmented parent partition with 12 sibling rows.
     let parent = Rect::from_xywh(0, 0, 60, 4);
     let mut children = Vec::new();
     let mut x = 0;
     for i in 0..12u16 {
         let w = 3 + (i as u32 % 3);
-        children.push((tsch_sim::NodeId(i), Rect::from_xywh(x, (i % 3) as u32, w, 1)));
+        children.push((
+            tsch_sim::NodeId(i),
+            Rect::from_xywh(x, (i % 3) as u32, w, 1),
+        ));
         x += w + 1;
     }
     let grown = ResourceComponent::row(9);
@@ -121,34 +121,34 @@ fn bench_adjustment(c: &mut Criterion) {
     };
     println!("# ablation: Alg.2 moves {alg2_moved} partitions, full repack moves {repack_moved}");
 
-    group.bench_function("alg2_neighbour_first", |b| {
-        b.iter(|| {
-            adjust_partition(
-                black_box(parent),
-                black_box(&children),
-                tsch_sim::NodeId(0),
-                grown,
-            )
-            .unwrap()
-        })
+    let m = measure("adjustment/alg2_neighbour_first", || {
+        adjust_partition(
+            black_box(parent),
+            black_box(&children),
+            tsch_sim::NodeId(0),
+            grown,
+        )
+        .unwrap()
     });
-    group.bench_function("full_repack", |b| {
-        b.iter(|| {
-            let sizes: Vec<Size> = children
-                .iter()
-                .map(|&(n, r)| {
-                    if n == tsch_sim::NodeId(0) {
-                        grown.as_size()
-                    } else {
-                        r.size
-                    }
-                })
-                .collect();
-            pack_into(black_box(&sizes), parent.size).unwrap()
-        })
+    println!("{}", m.report());
+    let m = measure("adjustment/full_repack", || {
+        let sizes: Vec<Size> = children
+            .iter()
+            .map(|&(n, r)| {
+                if n == tsch_sim::NodeId(0) {
+                    grown.as_size()
+                } else {
+                    r.size
+                }
+            })
+            .collect();
+        pack_into(black_box(&sizes), parent.size).unwrap()
     });
-    group.finish();
+    println!("{}", m.report());
 }
 
-criterion_group!(benches, bench_compose, bench_static_pipeline, bench_adjustment);
-criterion_main!(benches);
+fn main() {
+    bench_compose();
+    bench_static_pipeline();
+    bench_adjustment();
+}

@@ -2,10 +2,10 @@
 //!
 //! DESIGN.md calls out the choice of the best-fit skyline heuristic over
 //! simpler shelf packers (FFDH/NFDH). This bench measures both runtime and
-//! — via the reported strip heights printed once at startup — solution
+//! — via the reported strip heights printed once per size — solution
 //! quality on workloads shaped like HARP compositions.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use harp_bench::harness::measure;
 use packing::shelf::{pack_strip_ffdh, pack_strip_nfdh};
 use packing::{pack_strip, FreeSpace, Rect, Size};
 use std::hint::black_box;
@@ -24,8 +24,7 @@ fn component_set(n: usize, seed: u64) -> Vec<Size> {
         .collect()
 }
 
-fn bench_strip_packers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("strip_packing");
+fn bench_strip_packers() {
     for &n in &[8usize, 32, 128] {
         let items = component_set(n, 7);
         // Print the quality comparison once per size (ablation data).
@@ -34,35 +33,36 @@ fn bench_strip_packers(c: &mut Criterion) {
         let nfdh = pack_strip_nfdh(&items, 16).unwrap().height();
         println!("# ablation n={n}: heights skyline={sky} ffdh={ffdh} nfdh={nfdh}");
 
-        group.bench_with_input(BenchmarkId::new("skyline", n), &items, |b, items| {
-            b.iter(|| pack_strip(black_box(items), 16).unwrap())
+        let m = measure(&format!("strip_packing/skyline/{n}"), || {
+            pack_strip(black_box(&items), 16).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("ffdh", n), &items, |b, items| {
-            b.iter(|| pack_strip_ffdh(black_box(items), 16).unwrap())
+        println!("{}", m.report());
+        let m = measure(&format!("strip_packing/ffdh/{n}"), || {
+            pack_strip_ffdh(black_box(&items), 16).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("nfdh", n), &items, |b, items| {
-            b.iter(|| pack_strip_nfdh(black_box(items), 16).unwrap())
+        println!("{}", m.report());
+        let m = measure(&format!("strip_packing/nfdh/{n}"), || {
+            pack_strip_nfdh(black_box(&items), 16).unwrap()
         });
+        println!("{}", m.report());
     }
-    group.finish();
 }
 
-fn bench_freespace(c: &mut Criterion) {
-    let mut group = c.benchmark_group("freespace");
-    group.bench_function("occupy_then_place_40", |b| {
-        b.iter(|| {
-            let mut fs = FreeSpace::new(Size::new(199, 16));
-            let mut rng = SplitMix64::new(3);
-            for _ in 0..40 {
-                let x = rng.next_below(180) as u32;
-                let y = rng.next_below(14) as u32;
-                fs.occupy(Rect::from_xywh(x, y, 1 + rng.next_below(8) as u32, 1));
-            }
-            black_box(fs.place(Size::new(6, 1)))
-        })
+fn bench_freespace() {
+    let m = measure("freespace/occupy_then_place_40", || {
+        let mut fs = FreeSpace::new(Size::new(199, 16));
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..40 {
+            let x = rng.next_below(180) as u32;
+            let y = rng.next_below(14) as u32;
+            fs.occupy(Rect::from_xywh(x, y, 1 + rng.next_below(8) as u32, 1));
+        }
+        black_box(fs.place(Size::new(6, 1)))
     });
-    group.finish();
+    println!("{}", m.report());
 }
 
-criterion_group!(benches, bench_strip_packers, bench_freespace);
-criterion_main!(benches);
+fn main() {
+    bench_strip_packers();
+    bench_freespace();
+}

@@ -1,83 +1,164 @@
 //! Throughput benchmarks of the TSCH simulator and the distributed
 //! protocol runner — the substrate costs behind every experiment.
+//!
+//! The headline comparison pits the dense-index fast path
+//! (`tsch_sim::Simulator`) against the map-based engine it replaced
+//! (`tsch_sim::reference::ReferenceSimulator`) on a 100-node network with
+//! the paper's 199-slot, 16-channel slotframe, and writes the results —
+//! including the measured speedup and the dense engine's slots/sec — to
+//! `BENCH_simulator.json` in the working directory.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use harp_bench::harness::{measure, measure_with_setup, to_json, Measurement};
 use harp_core::{HarpNetwork, SchedulingPolicy};
+use schedulers::{HarpScheduler, Scheduler};
 use std::hint::black_box;
-use tsch_sim::{Rate, SimulatorBuilder, SlotframeConfig};
+use tsch_sim::reference::ReferenceSimulator;
+use tsch_sim::{NetworkSchedule, Rate, Simulator, SimulatorBuilder, SlotframeConfig, Task, Tree};
+use workloads::TopologyConfig;
 
-fn bench_data_plane(c: &mut Criterion) {
+/// The dense-vs-reference scenario: 100 nodes, paper slotframe, a HARP
+/// (collision-free) schedule, and an echo task on every node.
+fn scenario_100_nodes() -> (Tree, SlotframeConfig, NetworkSchedule, Vec<Task>) {
+    let tree = TopologyConfig {
+        nodes: 100,
+        layers: 6,
+        max_children: 8,
+    }
+    .generate(42);
+    let config = SlotframeConfig::paper_default();
+    let reqs = workloads::uniform_link_requirements(&tree, 1);
+    let schedule = HarpScheduler::default().build_schedule(&tree, &reqs, config, 0);
+    let tasks = workloads::echo_task_per_node(&tree, Rate::per_slotframe(1));
+    (tree, config, schedule, tasks)
+}
+
+fn build_dense(
+    tree: &Tree,
+    config: SlotframeConfig,
+    schedule: &NetworkSchedule,
+    tasks: &[Task],
+) -> Simulator {
+    let mut builder = SimulatorBuilder::new(tree.clone(), config).schedule(schedule.clone());
+    for task in tasks {
+        builder = builder.task(task.clone()).unwrap();
+    }
+    builder.build()
+}
+
+fn bench_dense_vs_reference(results: &mut Vec<Measurement>) -> (f64, f64) {
+    let (tree, config, schedule, tasks) = scenario_100_nodes();
+    let frames_per_iter = 10u64;
+
+    let dense = measure_with_setup(
+        "dense_sim_10_slotframes_100_nodes",
+        || build_dense(&tree, config, &schedule, &tasks),
+        |mut sim| {
+            sim.run_slotframes(frames_per_iter);
+            black_box(sim.stats().deliveries.len())
+        },
+    );
+    let reference = measure_with_setup(
+        "reference_sim_10_slotframes_100_nodes",
+        || {
+            ReferenceSimulator::new(
+                tree.clone(),
+                config,
+                schedule.clone(),
+                tsch_sim::LinkQuality::perfect(),
+                1,
+                &tasks,
+            )
+        },
+        |mut sim| {
+            sim.run_slotframes(frames_per_iter);
+            black_box(sim.stats().deliveries.len())
+        },
+    );
+    let speedup = reference.mean_ns() / dense.mean_ns();
+
+    // Sustained dense throughput on a longer run, via the engine's own
+    // timing (stats.run_time covers run_slotframes only).
+    let mut sim = build_dense(&tree, config, &schedule, &tasks);
+    sim.run_slotframes(200);
+    let slots_per_sec = sim.stats().slots_per_sec();
+
+    println!("{}", dense.report());
+    println!("{}", reference.report());
+    println!("# dense vs reference: {speedup:.2}x speedup, {slots_per_sec:.0} slots/sec dense");
+    results.push(dense);
+    results.push(reference);
+    (speedup, slots_per_sec)
+}
+
+fn bench_data_plane(results: &mut Vec<Measurement>) {
     let tree = workloads::testbed_50_node_tree();
     let config = SlotframeConfig::paper_default();
     let rate = Rate::per_slotframe(1);
     let reqs = workloads::aggregated_echo_requirements(&tree, rate);
-    let mut net = HarpNetwork::new(
-        tree.clone(),
-        config,
-        &reqs,
-        SchedulingPolicy::RateMonotonic,
-    );
+    let mut net = HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic);
     net.run_static().unwrap();
     let schedule = net.schedule().clone();
+    let tasks = workloads::echo_task_per_node(&tree, rate);
 
-    c.bench_function("sim_slotframe_50_nodes", |b| {
-        b.iter_batched(
-            || {
-                let mut builder =
-                    SimulatorBuilder::new(tree.clone(), config).schedule(schedule.clone());
-                for task in workloads::echo_task_per_node(&tree, rate) {
-                    builder = builder.task(task).unwrap();
-                }
-                builder.build()
-            },
-            |mut sim| {
-                sim.run_slotframes(5);
-                black_box(sim.stats().deliveries.len())
-            },
-            criterion::BatchSize::SmallInput,
-        )
-    });
+    let m = measure_with_setup(
+        "sim_slotframe_50_nodes",
+        || build_dense(&tree, config, &schedule, &tasks),
+        |mut sim| {
+            sim.run_slotframes(5);
+            black_box(sim.stats().deliveries.len())
+        },
+    );
+    println!("{}", m.report());
+    results.push(m);
 }
 
-fn bench_control_plane(c: &mut Criterion) {
+fn bench_control_plane(results: &mut Vec<Measurement>) {
     let tree = workloads::testbed_50_node_tree();
     let config = SlotframeConfig::paper_default();
     let reqs = workloads::uniform_link_requirements(&tree, 1);
 
-    c.bench_function("harp_static_phase_50_nodes", |b| {
-        b.iter(|| {
-            let mut net = HarpNetwork::new(
-                tree.clone(),
-                config,
-                black_box(&reqs),
-                SchedulingPolicy::RateMonotonic,
-            );
-            net.run_static().unwrap();
-            black_box(net.schedule().assignment_count())
-        })
-    });
+    let converged = || {
+        let mut net =
+            HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic);
+        net.run_static().unwrap();
+        net
+    };
 
-    c.bench_function("harp_adjustment_leaf", |b| {
-        b.iter_batched(
-            || {
-                let mut net = HarpNetwork::new(
-                    tree.clone(),
-                    config,
-                    &reqs,
-                    SchedulingPolicy::RateMonotonic,
-                );
-                net.run_static().unwrap();
-                net
-            },
-            |mut net| {
-                let link = tsch_sim::Link::up(tsch_sim::NodeId(45));
-                net.adjust_and_settle(net.now(), link, 2).unwrap();
-                black_box(net.schedule().assignment_count())
-            },
-            criterion::BatchSize::SmallInput,
-        )
+    let static_phase = measure("harp_static_phase_50_nodes", || {
+        let net = converged();
+        black_box(net.schedule().assignment_count())
     });
+    println!("{}", static_phase.report());
+    results.push(static_phase);
+
+    let adjustment = measure_with_setup("harp_adjustment_leaf", converged, |mut net| {
+        let link = tsch_sim::Link::up(tsch_sim::NodeId(45));
+        net.adjust_and_settle(net.now(), link, 2).unwrap();
+        black_box(net.schedule().assignment_count())
+    });
+    println!("{}", adjustment.report());
+    results.push(adjustment);
 }
 
-criterion_group!(benches, bench_data_plane, bench_control_plane);
-criterion_main!(benches);
+fn main() {
+    let mut results = Vec::new();
+    let (speedup, slots_per_sec) = bench_dense_vs_reference(&mut results);
+    bench_data_plane(&mut results);
+    bench_control_plane(&mut results);
+
+    let json = to_json(
+        &results,
+        &[
+            ("dense_speedup_vs_reference", speedup),
+            ("dense_slots_per_sec", slots_per_sec),
+        ],
+    );
+    // Write to the workspace root (two levels above this crate) so the
+    // report lands at a stable path regardless of cargo's bench CWD.
+    let path = match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => std::path::Path::new(&dir).join("../../BENCH_simulator.json"),
+        Err(_) => std::path::PathBuf::from("BENCH_simulator.json"),
+    };
+    std::fs::write(&path, &json).expect("write benchmark report");
+    println!("# wrote {}", path.display());
+}

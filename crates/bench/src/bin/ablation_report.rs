@@ -9,7 +9,7 @@
 //!
 //! Run with `cargo run --release -p harp-bench --bin ablation_report`.
 
-use harp_bench::mean;
+use harp_bench::{mean, par_map};
 use harp_core::{adjust_partition, compose_components, ResourceComponent};
 use packing::shelf::{pack_strip_ffdh, pack_strip_nfdh};
 use packing::{exact_strip_height, pack_into, pack_strip, Rect, Size};
@@ -30,23 +30,26 @@ fn main() {
         "n", "exact", "skyline", "ffdh", "nfdh", "solved"
     );
     for &n in &[4usize, 6, 8] {
-        let mut exact_h = Vec::new();
-        let mut sky = Vec::new();
-        let mut ffdh = Vec::new();
-        let mut nfdh = Vec::new();
-        let mut solved = 0;
         let instances = 40;
-        for seed in 0..instances {
+        // The exact solver dominates this sweep; spread the seeds across
+        // cores and fold the per-seed tuples back in seed order.
+        let seeds: Vec<u64> = (0..instances).collect();
+        let samples = par_map(&seeds, |_, &seed| {
             let items = components(n, seed);
             let e = exact_strip_height(&items, 16, 3_000_000).unwrap();
-            if e.is_optimal() {
-                solved += 1;
-            }
-            exact_h.push(f64::from(e.height()));
-            sky.push(f64::from(pack_strip(&items, 16).unwrap().height()));
-            ffdh.push(f64::from(pack_strip_ffdh(&items, 16).unwrap().height()));
-            nfdh.push(f64::from(pack_strip_nfdh(&items, 16).unwrap().height()));
-        }
+            (
+                e.is_optimal(),
+                f64::from(e.height()),
+                f64::from(pack_strip(&items, 16).unwrap().height()),
+                f64::from(pack_strip_ffdh(&items, 16).unwrap().height()),
+                f64::from(pack_strip_nfdh(&items, 16).unwrap().height()),
+            )
+        });
+        let solved = samples.iter().filter(|s| s.0).count();
+        let exact_h: Vec<f64> = samples.iter().map(|s| s.1).collect();
+        let sky: Vec<f64> = samples.iter().map(|s| s.2).collect();
+        let ffdh: Vec<f64> = samples.iter().map(|s| s.3).collect();
+        let nfdh: Vec<f64> = samples.iter().map(|s| s.4).collect();
         println!(
             "{n:>3} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>6}/{instances}",
             mean(&exact_h),
@@ -58,25 +61,29 @@ fn main() {
     }
 
     println!("\n# Ablation 2 — Alg. 1 second pass (channel extent saved)");
-    println!("{:>3} {:>14} {:>14} {:>8}", "n", "one-pass ch", "two-pass ch", "saved");
+    println!(
+        "{:>3} {:>14} {:>14} {:>8}",
+        "n", "one-pass ch", "two-pass ch", "saved"
+    );
     for &n in &[4usize, 8, 16, 32] {
-        let mut one = Vec::new();
-        let mut two = Vec::new();
-        for seed in 100..140u64 {
+        let seeds: Vec<u64> = (100..140).collect();
+        let samples = par_map(&seeds, |_, &seed| {
             let comps: Vec<(NodeId, ResourceComponent)> = components(n, seed)
                 .into_iter()
                 .enumerate()
                 .map(|(i, s)| (NodeId(i as u16), ResourceComponent::new(s.h, s.w)))
                 .collect();
             let two_pass = compose_components(&comps, 16, 1).unwrap().composite();
-            let items: Vec<Size> =
-                comps.iter().map(|(_, c)| c.as_size_channel_major()).collect();
+            let items: Vec<Size> = comps
+                .iter()
+                .map(|(_, c)| c.as_size_channel_major())
+                .collect();
             let p = pack_strip(&items, 16).unwrap();
-            let one_pass_channels =
-                p.placements().iter().map(Rect::right).max().unwrap_or(0);
-            one.push(f64::from(one_pass_channels));
-            two.push(f64::from(two_pass.channels));
-        }
+            let one_pass_channels = p.placements().iter().map(Rect::right).max().unwrap_or(0);
+            (f64::from(one_pass_channels), f64::from(two_pass.channels))
+        });
+        let one: Vec<f64> = samples.iter().map(|s| s.0).collect();
+        let two: Vec<f64> = samples.iter().map(|s| s.1).collect();
         println!(
             "{n:>3} {:>14.2} {:>14.2} {:>8.2}",
             mean(&one),
@@ -88,9 +95,8 @@ fn main() {
     println!("\n# Ablation 3 — Alg. 2 vs full repack (partitions moved per adjustment)");
     println!("{:>9} {:>10} {:>12}", "siblings", "alg2", "full repack");
     for &n in &[4usize, 8, 12] {
-        let mut alg2_moved = Vec::new();
-        let mut repack_moved = Vec::new();
-        for seed in 200..240u64 {
+        let seeds: Vec<u64> = (200..240).collect();
+        let samples = par_map(&seeds, |_, &seed| {
             let mut rng = SplitMix64::new(seed);
             // Sibling rows spaced with one idle slot between them.
             let parent = Rect::from_xywh(0, 0, 8 * n as u32, 2);
@@ -101,27 +107,36 @@ fn main() {
                 children.push((NodeId(i), Rect::from_xywh(x, 0, w, 1)));
                 x += w + 1;
             }
-            let grown = ResourceComponent::row(
-                children[0].1.width() + 2 + rng.next_below(4) as u32,
-            );
-            if let Some(outcome) =
-                adjust_partition(parent, &children, NodeId(0), grown).unwrap()
-            {
-                alg2_moved.push(outcome.moved_count() as f64);
-            }
+            let grown =
+                ResourceComponent::row(children[0].1.width() + 2 + rng.next_below(4) as u32);
+            let alg2 = adjust_partition(parent, &children, NodeId(0), grown)
+                .unwrap()
+                .map(|outcome| outcome.moved_count() as f64);
             let sizes: Vec<Size> = children
                 .iter()
-                .map(|&(id, r)| if id == NodeId(0) { grown.as_size() } else { r.size })
+                .map(|&(id, r)| {
+                    if id == NodeId(0) {
+                        grown.as_size()
+                    } else {
+                        r.size
+                    }
+                })
                 .collect();
-            if let Some(placements) = pack_into(&sizes, parent.size).unwrap() {
-                let moved = placements
+            let repack = pack_into(&sizes, parent.size).unwrap().map(|placements| {
+                placements
                     .iter()
                     .zip(&children)
                     .filter(|(new, (_, old))| **new != *old)
-                    .count();
-                repack_moved.push(moved as f64);
-            }
-        }
-        println!("{n:>9} {:>10.2} {:>12.2}", mean(&alg2_moved), mean(&repack_moved));
+                    .count() as f64
+            });
+            (alg2, repack)
+        });
+        let alg2_moved: Vec<f64> = samples.iter().filter_map(|s| s.0).collect();
+        let repack_moved: Vec<f64> = samples.iter().filter_map(|s| s.1).collect();
+        println!(
+            "{n:>9} {:>10.2} {:>12.2}",
+            mean(&alg2_moved),
+            mean(&repack_moved)
+        );
     }
 }

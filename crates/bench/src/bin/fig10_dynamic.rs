@@ -41,7 +41,8 @@ fn main() {
     // the real demand. (Local case — no management messages.)
     for (link, cells) in base.iter() {
         if padded.get(link) != cells {
-            net.request_change(net.now(), link, cells).expect("local decrease");
+            net.request_change(net.now(), link, cells)
+                .expect("local decrease");
         }
     }
     net.run_until_quiescent().expect("decreases settle");
@@ -56,11 +57,10 @@ fn main() {
         builder = builder.task(task).expect("valid task");
     }
     let mut sim = builder.build();
-    let observed_task = workloads::task_id_of(&tree, observed).expect("observed is not the gateway");
+    let observed_task =
+        workloads::task_id_of(&tree, observed).expect("observed is not the gateway");
 
-    let phase = |sim: &mut tsch_sim::Simulator,
-                 net: &mut HarpNetwork,
-                 frames: u64| {
+    let phase = |sim: &mut tsch_sim::Simulator, net: &mut HarpNetwork, frames: u64| {
         run_lockstep(sim, net, net_offset, frames * u64::from(config.slots));
     };
 
@@ -69,13 +69,29 @@ fn main() {
 
     // Phase 2: rate 1.5 — absorbed by the headroom (local schedule update).
     let steps = workloads::fig10_rate_steps(observed);
-    sim.set_task_rate(observed_task, steps[0].new_rate).expect("task exists");
-    apply_demand_change(&tree, &mut net, &mut sim, observed, base_rate, steps[0].new_rate);
+    sim.set_task_rate(observed_task, steps[0].new_rate)
+        .expect("task exists");
+    apply_demand_change(
+        &tree,
+        &mut net,
+        &mut sim,
+        observed,
+        base_rate,
+        steps[0].new_rate,
+    );
     phase(&mut sim, &mut net, 30);
 
     // Phase 3: rate 3 — overflows the partition, escalates.
-    sim.set_task_rate(observed_task, steps[1].new_rate).expect("task exists");
-    apply_demand_change(&tree, &mut net, &mut sim, observed, base_rate, steps[1].new_rate);
+    sim.set_task_rate(observed_task, steps[1].new_rate)
+        .expect("task exists");
+    apply_demand_change(
+        &tree,
+        &mut net,
+        &mut sim,
+        observed,
+        base_rate,
+        steps[1].new_rate,
+    );
     phase(&mut sim, &mut net, 40);
 
     // Report: average latency of the observed node per slotframe.
@@ -106,12 +122,19 @@ fn apply_demand_change(
     let ups = uplink_demand_after_change(tree, observed, base_rate, new_rate);
     let mut changes: Vec<(Link, u32)> = ups.clone();
     // Echo traffic: downlinks mirror uplinks.
-    changes.extend(
-        ups.iter()
-            .map(|&(l, c)| (Link { child: l.child, direction: Direction::Down }, c)),
-    );
+    changes.extend(ups.iter().map(|&(l, c)| {
+        (
+            Link {
+                child: l.child,
+                direction: Direction::Down,
+            },
+            c,
+        )
+    }));
     for (link, cells) in changes {
-        let ops = net.request_change(now, link, cells).expect("feasible change");
+        let ops = net
+            .request_change(now, link, cells)
+            .expect("feasible change");
         for op in &ops {
             harp_core::apply_op(sim.schedule_mut(), op).expect("consistent ops");
         }

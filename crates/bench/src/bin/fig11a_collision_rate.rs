@@ -7,7 +7,9 @@
 //! Run with `cargo run --release -p harp-bench --bin fig11a_collision_rate`.
 
 use harp_bench::{average_collision_probability, pct};
-use schedulers::{AliceScheduler, HarpScheduler, LdsfScheduler, MsfScheduler, RandomScheduler, Scheduler};
+use schedulers::{
+    AliceScheduler, HarpScheduler, LdsfScheduler, MsfScheduler, RandomScheduler, Scheduler,
+};
 use tsch_sim::SlotframeConfig;
 
 fn main() {

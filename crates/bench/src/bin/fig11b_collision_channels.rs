@@ -10,7 +10,9 @@
 //! Run with `cargo run --release -p harp-bench --bin fig11b_collision_channels`.
 
 use harp_bench::{average_collision_probability, pct};
-use schedulers::{AliceScheduler, HarpScheduler, LdsfScheduler, MsfScheduler, RandomScheduler, Scheduler};
+use schedulers::{
+    AliceScheduler, HarpScheduler, LdsfScheduler, MsfScheduler, RandomScheduler, Scheduler,
+};
 use tsch_sim::SlotframeConfig;
 
 fn main() {
@@ -28,7 +30,10 @@ fn main() {
     // starvation-induced degradation the paper reports below 4 channels.
     for rate in [3u32, 6] {
         println!("# Fig. 11(b) — collision probability vs number of channels (rate {rate})");
-        println!("# {} topologies, 50 nodes, 5 layers, 199 slots", topologies.len());
+        println!(
+            "# {} topologies, 50 nodes, 5 layers, 199 slots",
+            topologies.len()
+        );
         print!("{:>8}", "channels");
         for s in &schedulers {
             print!(" {:>8}", s.name());

@@ -9,7 +9,7 @@
 //!
 //! Run with `cargo run --release -p harp-bench --bin fig12_overhead`.
 
-use harp_bench::{mean, measure_harp_adjustment};
+use harp_bench::{mean, measure_harp_adjustment, par_map};
 use harp_core::Requirements;
 use schedulers::{apas_adjustment_packets, sixtop_transaction_packets, ApasNetwork};
 use tsch_sim::{Asn, Direction, Link, SlotframeConfig, Tree};
@@ -25,13 +25,20 @@ fn main() {
     let topologies = workloads::fig12_topologies(10);
 
     println!("# Fig. 12 — adjustment overhead (management packets) per layer");
-    println!("# {} topologies, 81 nodes, 10 layers; demand of one uplink 1 -> 2", topologies.len());
+    println!(
+        "# {} topologies, 81 nodes, 10 layers; demand of one uplink 1 -> 2",
+        topologies.len()
+    );
     println!(
         "{:>5} {:>10} {:>10} {:>10} {:>10}",
         "layer", "apas", "harp", "harp_max", "msf_6p"
     );
 
-    for layer in 1..=10u32 {
+    // Every (layer, topology, node) measurement replays the static phase
+    // from scratch, so the layers are independent: sweep them in parallel
+    // and print the rows in layer order.
+    let layers: Vec<u32> = (1..=10).collect();
+    let rows = par_map(&layers, |_, &layer| {
         let mut apas_samples = Vec::new();
         let mut harp_samples = Vec::new();
         for tree in &topologies {
@@ -41,7 +48,10 @@ fn main() {
                 let mut apas = ApasNetwork::new(tree.clone(), config);
                 apas_samples.push(apas.adjust(Asn(0), node).packets as f64);
 
-                let link = Link { child: node, direction: Direction::Up };
+                let link = Link {
+                    child: node,
+                    direction: Direction::Up,
+                };
                 if let Some(sample) =
                     measure_harp_adjustment(tree, &base_requirements(tree), config, link, 2)
                 {
@@ -50,19 +60,22 @@ fn main() {
             }
         }
         let harp_max = harp_samples.iter().copied().fold(0.0f64, f64::max);
+        debug_assert!(
+            (mean(&apas_samples) - apas_adjustment_packets(layer) as f64).abs() < 1e-9,
+            "APaS measurement must match the 3l-1 formula"
+        );
         // MSF adds cells with one 6P pair at any depth — flat and minimal,
         // but with no collision protection (the Fig. 11 trade-off).
-        println!(
+        format!(
             "{:>5} {:>10.2} {:>10.2} {:>10.0} {:>10}",
             layer,
             mean(&apas_samples),
             mean(&harp_samples),
             harp_max,
             sixtop_transaction_packets()
-        );
-        debug_assert!(
-            (mean(&apas_samples) - apas_adjustment_packets(layer) as f64).abs() < 1e-9,
-            "APaS measurement must match the 3l-1 formula"
-        );
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
 }

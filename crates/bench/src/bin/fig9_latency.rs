@@ -11,38 +11,40 @@
 //! Two variants are printed: the exact-fit allocation with drop-on-loss
 //! (the headline table), and a loss-provisioned allocation
 //! (`r'(e) = ceil(r(e)/PDR)`) that sustains link-layer retransmissions —
-//! closer to how the physical testbed stayed stable.
+//! closer to how the physical testbed stayed stable. The variants are
+//! independent simulations and run on separate worker threads; their output
+//! blocks are assembled off-line and printed in a fixed order, so the
+//! report is byte-identical to a serial run.
 //!
 //! Run with `cargo run --release -p harp-bench --bin fig9_latency`.
 
 use harp_core::{HarpNetwork, SchedulingPolicy};
+use std::fmt::Write as _;
 use tsch_sim::{LinkQuality, Rate, SimulatorBuilder, SlotframeConfig};
 
-fn main() {
+fn exact_fit_report(slotframes: u64) -> String {
     let tree = workloads::testbed_50_node_tree();
     let config = SlotframeConfig::paper_default();
     let rate = Rate::per_slotframe(1);
     let reqs = workloads::aggregated_echo_requirements(&tree, rate);
+    let mut out = String::new();
 
     // Distributed static phase.
-    let mut net = HarpNetwork::new(
-        tree.clone(),
-        config,
-        &reqs,
-        SchedulingPolicy::RateMonotonic,
-    );
+    let mut net = HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic);
     let static_report = net.run_static().expect("the testbed workload is feasible");
-    assert!(net.schedule().is_exclusive(), "HARP schedules never collide");
-    println!(
+    assert!(
+        net.schedule().is_exclusive(),
+        "HARP schedules never collide"
+    );
+    writeln!(
+        out,
         "# static phase: {} mgmt msgs, {} cell msgs, {:.2} s",
         static_report.mgmt_messages,
         static_report.cell_messages,
         static_report.elapsed_seconds(config)
-    );
+    )
+    .unwrap();
 
-    // Data plane: 30 minutes = ~905 slotframes of 1.99 s.
-    let minutes = 30u64;
-    let slotframes = (minutes * 60 * 1_000_000) / (u64::from(config.slots) * 10_000);
     // 0.99 per-link PDR, drop on loss (no link-layer retransmission): the
     // partitions run at exactly full utilisation, so any retransmission
     // permanently displaces a later packet and queueing delay accumulates
@@ -61,25 +63,30 @@ fn main() {
     sim.run_slotframes(slotframes);
 
     let stats = sim.stats();
-    println!(
+    writeln!(
+        out,
         "# {} slotframes, generated {}, delivered {}, collisions {}, losses {}",
         slotframes,
         stats.generated,
         stats.deliveries.len(),
         stats.collisions,
         stats.losses
-    );
-    println!(
+    )
+    .unwrap();
+    writeln!(
+        out,
         "{:>4} {:>5} {:>9} {:>9} {:>9} {:>7}",
         "node", "layer", "mean(s)", "p95(s)", "max(s)", "samples"
-    );
+    )
+    .unwrap();
     // Nodes sorted by ascending layer, as in the figure.
     let mut nodes: Vec<_> = tree.nodes().skip(1).collect();
     nodes.sort_by_key(|&n| (tree.depth(n), n));
     for node in nodes {
         let s = stats.latency_summary(node);
         let slot_s = f64::from(config.slot_duration_us) / 1e6;
-        println!(
+        writeln!(
+            out,
             "{:>4} {:>5} {:>9.3} {:>9.3} {:>9.3} {:>7}",
             node.0,
             tree.depth(node),
@@ -87,8 +94,18 @@ fn main() {
             config.slots_to_seconds(s.p95),
             config.slots_to_seconds(s.max),
             s.count
-        );
+        )
+        .unwrap();
     }
+    out
+}
+
+fn provisioned_report(slotframes: u64) -> String {
+    let tree = workloads::testbed_50_node_tree();
+    let config = SlotframeConfig::paper_default();
+    let rate = Rate::per_slotframe(1);
+    let reqs = workloads::aggregated_echo_requirements(&tree, rate);
+    let mut out = String::new();
 
     // Variant: loss-provisioned allocation with retransmissions enabled.
     let quality = LinkQuality::uniform(0.99).expect("valid pdr");
@@ -112,12 +129,14 @@ fn main() {
     sim.run_slotframes(slotframes);
     let stats = sim.stats();
     let slot_s = f64::from(config.slot_duration_us) / 1e6;
-    println!(
+    writeln!(
+        out,
         "\n# provisioned variant (ceil(r/PDR) cells, 8 retries): delivered {}/{}          ({} losses absorbed)",
         stats.deliveries.len(),
         stats.generated,
         stats.losses
-    );
+    )
+    .unwrap();
     let mut layer_means: Vec<(u32, f64, usize)> = Vec::new();
     for layer in 1..=tree.layers() {
         let mut sum = 0.0;
@@ -131,8 +150,22 @@ fn main() {
         }
         layer_means.push((layer, if n > 0 { sum / n as f64 } else { 0.0 }, n));
     }
-    println!("{:>5} {:>12} {:>6}", "layer", "mean lat(s)", "nodes");
+    writeln!(out, "{:>5} {:>12} {:>6}", "layer", "mean lat(s)", "nodes").unwrap();
     for (layer, mean, n) in layer_means {
-        println!("{layer:>5} {mean:>12.3} {n:>6}");
+        writeln!(out, "{layer:>5} {mean:>12.3} {n:>6}").unwrap();
+    }
+    out
+}
+
+fn main() {
+    let config = SlotframeConfig::paper_default();
+    // Data plane: 30 minutes = ~905 slotframes of 1.99 s.
+    let minutes = 30u64;
+    let slotframes = (minutes * 60 * 1_000_000) / (u64::from(config.slots) * 10_000);
+
+    let variants: [fn(u64) -> String; 2] = [exact_fit_report, provisioned_report];
+    let blocks = harp_bench::par_map(&variants, |_, variant| variant(slotframes));
+    for block in blocks {
+        print!("{block}");
     }
 }

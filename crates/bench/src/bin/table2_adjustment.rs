@@ -10,7 +10,7 @@
 //!
 //! Run with `cargo run --release -p harp-bench --bin table2_adjustment`.
 
-use harp_bench::measure_harp_adjustment;
+use harp_bench::{measure_harp_adjustment, par_map};
 use tsch_sim::{Link, NodeId, SlotframeConfig};
 
 fn main() {
@@ -18,10 +18,7 @@ fn main() {
     let config = SlotframeConfig::paper_default();
     // The testbed workload: one echo task per node at 1 pkt/slotframe, so
     // r(e) equals the child-side subtree size in both directions.
-    let reqs = workloads::aggregated_echo_requirements(
-        &tree,
-        tsch_sim::Rate::per_slotframe(1),
-    );
+    let reqs = workloads::aggregated_echo_requirements(&tree, tsch_sim::Rate::per_slotframe(1));
 
     // Events in the spirit of the paper's Table II: demand increases of
     // varying size at links of every depth (the paper's node ids belong to
@@ -41,7 +38,9 @@ fn main() {
         "{:<30} {:>6} {:>7} {:>5} {:>8} {:>4}",
         "Event", "Nodes", "Layers", "Msg.", "Time(s)", "SF"
     );
-    for (link, delta) in events {
+    // Each event replays the static phase from scratch, so the rows are
+    // independent: measure them in parallel, print in event order.
+    let rows = par_map(&events, |_, &(link, delta)| {
         let old = reqs.get(link);
         let new_cells = old + delta;
         let parent = tree.parent(link.child).expect("non-root");
@@ -54,16 +53,14 @@ fn main() {
             new_cells
         );
         match measure_harp_adjustment(&tree, &reqs, config, link, new_cells) {
-            Some(s) => println!(
+            Some(s) => format!(
                 "{:<30} {:>6} {:>7} {:>5} {:>8.2} {:>4}",
-                label,
-                s.involved_nodes,
-                s.layers_touched,
-                s.mgmt_messages,
-                s.seconds,
-                s.slotframes
+                label, s.involved_nodes, s.layers_touched, s.mgmt_messages, s.seconds, s.slotframes
             ),
-            None => println!("{label:<30} infeasible"),
+            None => format!("{label:<30} infeasible"),
         }
+    });
+    for row in rows {
+        println!("{row}");
     }
 }

@@ -228,7 +228,16 @@ fn full_repack<K: Copy + Ord>(
 ) -> Result<Option<AdjustmentOutcome<K>>, HarpError> {
     let entries: Vec<(K, Size)> = children
         .iter()
-        .map(|&(n, r)| (n, if n == requester { new_size.as_size() } else { r.size }))
+        .map(|&(n, r)| {
+            (
+                n,
+                if n == requester {
+                    new_size.as_size()
+                } else {
+                    r.size
+                },
+            )
+        })
         .collect();
     let packable: Vec<(K, Size)> = entries
         .iter()
@@ -243,11 +252,17 @@ fn full_repack<K: Copy + Ord>(
     let mut moved = Vec::new();
     let mut placed = packable.iter().zip(&placements);
     for &(node, old) in children {
-        let size = if node == requester { new_size.as_size() } else { old.size };
+        let size = if node == requester {
+            new_size.as_size()
+        } else {
+            old.size
+        };
         let abs = if size.is_empty() {
             Rect::default()
         } else {
-            let (_, rel) = placed.next().expect("packable entries align with placements");
+            let (_, rel) = placed
+                .next()
+                .expect("packable entries align with placements");
             rel.translated(parent_rect.left(), parent_rect.bottom())
         };
         layout.push((node, abs));
@@ -288,7 +303,10 @@ mod tests {
             } else {
                 assert_eq!(r.size, old.size);
             }
-            assert!(r.is_empty() || parent.contains_rect(&r), "{n} at {r} outside parent");
+            assert!(
+                r.is_empty() || parent.contains_rect(&r),
+                "{n} at {r} outside parent"
+            );
         }
         // No overlaps.
         let rects: Vec<Rect> = outcome
@@ -319,8 +337,15 @@ mod tests {
             .unwrap();
         check_outcome(parent, &children, NodeId(1), rc(2, 1), &outcome);
         assert_eq!(outcome.moved, vec![NodeId(1)]);
-        assert_eq!(outcome.layout.iter().find(|(n, _)| *n == NodeId(1)).unwrap().1,
-            Rect::from_xywh(0, 0, 2, 1));
+        assert_eq!(
+            outcome
+                .layout
+                .iter()
+                .find(|(n, _)| *n == NodeId(1))
+                .unwrap()
+                .1,
+            Rect::from_xywh(0, 0, 2, 1)
+        );
     }
 
     #[test]
@@ -413,7 +438,10 @@ mod tests {
             .unwrap();
         check_outcome(parent, &children, NodeId(1), rc(5, 1), &outcome);
         assert!(outcome.moved.contains(&NodeId(2)));
-        assert!(!outcome.moved.contains(&NodeId(3)), "distant sibling untouched");
+        assert!(
+            !outcome.moved.contains(&NodeId(3)),
+            "distant sibling untouched"
+        );
     }
 
     #[test]
@@ -455,7 +483,11 @@ mod tests {
             .unwrap()
             .unwrap();
         check_outcome(parent, &children, NodeId(1), rc(6, 1), &outcome);
-        let empty = outcome.layout.iter().find(|(n, _)| *n == NodeId(2)).unwrap();
+        let empty = outcome
+            .layout
+            .iter()
+            .find(|(n, _)| *n == NodeId(2))
+            .unwrap();
         assert!(empty.1.is_empty());
         assert!(!outcome.moved.contains(&NodeId(2)));
     }
@@ -488,7 +520,10 @@ mod tests {
     fn feasibility_rejects_overflow() {
         assert!(!is_feasible(rc(10, 1), &[rc(6, 1), rc(5, 1)]).unwrap());
         assert!(!is_feasible(rc(0, 0), &[rc(1, 1)]).unwrap());
-        assert!(!is_feasible(rc(4, 1), &[rc(1, 2)]).unwrap(), "too many channels");
+        assert!(
+            !is_feasible(rc(4, 1), &[rc(1, 2)]).unwrap(),
+            "too many channels"
+        );
     }
 
     #[test]

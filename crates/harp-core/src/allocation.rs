@@ -92,12 +92,14 @@ impl PartitionTable {
 
     /// Iterates over every allocated partition.
     pub fn iter(&self) -> impl Iterator<Item = Partition> + '_ {
-        self.map.iter().map(|(&(node, direction, layer), &rect)| Partition {
-            node,
-            direction,
-            layer,
-            rect,
-        })
+        self.map
+            .iter()
+            .map(|(&(node, direction, layer), &rect)| Partition {
+                node,
+                direction,
+                layer,
+                rect,
+            })
     }
 
     /// Number of allocated partitions.
@@ -177,7 +179,9 @@ pub fn allocate_partitions_unbounded(
     let mut up_layers: Vec<u32> = gw_up.layers().collect();
     up_layers.sort_unstable_by(|a, b| b.cmp(a));
     for layer in up_layers {
-        let c = gw_up.component(layer).expect("layer listed by the interface");
+        let c = gw_up
+            .component(layer)
+            .expect("layer listed by the interface");
         map.insert(
             (tree.root(), Direction::Up, layer),
             Rect::new(Point::new(cursor, 0), c.as_size()),
@@ -189,7 +193,9 @@ pub fn allocate_partitions_unbounded(
     // Downlink super-partition: shallower layers first.
     let gw_down = &down.gateway().interface;
     for layer in gw_down.layers() {
-        let c = gw_down.component(layer).expect("layer listed by the interface");
+        let c = gw_down
+            .component(layer)
+            .expect("layer listed by the interface");
         map.insert(
             (tree.root(), Direction::Down, layer),
             Rect::new(Point::new(cursor, 0), c.as_size()),
@@ -215,7 +221,12 @@ pub fn allocate_partitions_unbounded(
         }
     }
 
-    PartitionTable { config, map, up_slots, total_slots }
+    PartitionTable {
+        config,
+        map,
+        up_slots,
+        total_slots,
+    }
 }
 
 #[cfg(test)]

@@ -64,7 +64,11 @@ fn traverse(
         let tx = match next {
             Some(s) => frame * slots + s,
             None => {
-                let first = cells.iter().map(|c| u64::from(c.slot)).min().expect("non-empty");
+                let first = cells
+                    .iter()
+                    .map(|c| u64::from(c.slot))
+                    .min()
+                    .expect("non-empty");
                 (frame + 1) * slots + first
             }
         };
@@ -141,8 +145,7 @@ pub fn latency_bound(
     let mut best = u64::MAX;
     let mut worst_release = 0u32;
     for release in 0..slots {
-        let latency =
-            traverse(schedule, tree, &route, release).expect("all hops have cells");
+        let latency = traverse(schedule, tree, &route, release).expect("all hops have cells");
         if latency > worst {
             worst = latency;
             worst_release = release;
@@ -215,7 +218,10 @@ pub fn check_deadlines(
 /// for this task (all hops ride within one frame).
 #[must_use]
 pub fn frames_spanned(bound: &LatencyBound, config: tsch_sim::SlotframeConfig) -> u64 {
-    bound.worst_case_slots.div_ceil(u64::from(config.slots)).max(1)
+    bound
+        .worst_case_slots
+        .div_ceil(u64::from(config.slots))
+        .max(1)
 }
 
 /// Convenience: the cell list of a link as `(slot, channel)` pairs, sorted
@@ -277,7 +283,13 @@ mod tests {
         // up(1) has no cells.
         let task = Task::uplink(TaskId(0), NodeId(2), Rate::per_slotframe(1));
         let err = latency_bound(&s, &tree, &task).unwrap_err();
-        assert!(matches!(err, HarpError::MissingPartition { node: NodeId(1), .. }));
+        assert!(matches!(
+            err,
+            HarpError::MissingPartition {
+                node: NodeId(1),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -321,7 +333,10 @@ mod tests {
         };
         let reports = check_deadlines(&s, &tree, &[mk(50), mk(5)]).unwrap();
         assert!(reports[0].is_schedulable());
-        assert!(!reports[1].is_schedulable(), "5 slots is below the worst case");
+        assert!(
+            !reports[1].is_schedulable(),
+            "5 slots is below the worst case"
+        );
     }
 
     #[test]

@@ -90,7 +90,10 @@ impl BandPlan {
             bands.push(ChannelBand { first, width });
             first += width;
         }
-        Ok(Self { total_channels, bands })
+        Ok(Self {
+            total_channels,
+            bands,
+        })
     }
 
     /// Number of co-existing networks.
@@ -137,15 +140,24 @@ impl BandPlan {
             .bands
             .iter()
             .enumerate()
-            .map(|(i, b)| (i, Rect::from_xywh(u32::from(b.first), 0, u32::from(b.width), 1)))
+            .map(|(i, b)| {
+                (
+                    i,
+                    Rect::from_xywh(u32::from(b.first), 0, u32::from(b.width), 1),
+                )
+            })
             .collect();
-        let outcome =
-            adjust_partition(container, &children, index, ResourceComponent::row(u32::from(new_width)))?
-                .ok_or(HarpError::ChannelBudgetExceeded {
-                    layer: 0,
-                    needed: u32::from(new_width),
-                    budget: self.total_channels,
-                })?;
+        let outcome = adjust_partition(
+            container,
+            &children,
+            index,
+            ResourceComponent::row(u32::from(new_width)),
+        )?
+        .ok_or(HarpError::ChannelBudgetExceeded {
+            layer: 0,
+            needed: u32::from(new_width),
+            budget: self.total_channels,
+        })?;
         for &(i, rect) in &outcome.layout {
             self.bands[i] = ChannelBand {
                 first: u16::try_from(rect.left()).expect("bands fit in u16 channels"),
@@ -167,11 +179,12 @@ impl BandPlan {
         base: SlotframeConfig,
     ) -> Result<SlotframeConfig, HarpError> {
         let band = self.band(index);
-        base.with_channels(band.width).map_err(|_| HarpError::ChannelBudgetExceeded {
-            layer: 0,
-            needed: 1,
-            budget: 0,
-        })
+        base.with_channels(band.width)
+            .map_err(|_| HarpError::ChannelBudgetExceeded {
+                layer: 0,
+                needed: 1,
+                budget: 0,
+            })
     }
 
     /// Lifts a schedule built inside network `index`'s band into global
@@ -223,7 +236,13 @@ mod tests {
         let plan = BandPlan::allocate(&[4, 8, 2], 16).unwrap();
         assert_eq!(plan.band(0), ChannelBand { first: 0, width: 4 });
         assert_eq!(plan.band(1), ChannelBand { first: 4, width: 8 });
-        assert_eq!(plan.band(2), ChannelBand { first: 12, width: 2 });
+        assert_eq!(
+            plan.band(2),
+            ChannelBand {
+                first: 12,
+                width: 2
+            }
+        );
         assert_eq!(plan.idle_channels(), 2);
         assert!(plan.is_isolated());
     }
@@ -241,7 +260,11 @@ mod tests {
         assert_eq!(moved, vec![2]);
         assert!(plan.is_isolated());
         assert_eq!(plan.band(2).width, 4);
-        assert_eq!(plan.band(0), ChannelBand { first: 0, width: 4 }, "untouched");
+        assert_eq!(
+            plan.band(0),
+            ChannelBand { first: 0, width: 4 },
+            "untouched"
+        );
     }
 
     #[test]
@@ -334,7 +357,10 @@ mod tests {
         // No cell is used by both networks.
         for (_, cells) in global_a.iter_links() {
             for c in cells {
-                assert!(global_b.links_on(*c).is_empty(), "cell {c} shared across networks");
+                assert!(
+                    global_b.links_on(*c).is_empty(),
+                    "cell {c} shared across networks"
+                );
             }
         }
         // Each network is internally collision-free too.

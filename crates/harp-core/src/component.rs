@@ -172,13 +172,18 @@ impl ResourceInterface {
     /// Total cells over all layers.
     #[must_use]
     pub fn total_cells(&self) -> u64 {
-        self.components.values().map(ResourceComponent::cell_count).sum()
+        self.components
+            .values()
+            .map(ResourceComponent::cell_count)
+            .sum()
     }
 }
 
 impl FromIterator<(u32, ResourceComponent)> for ResourceInterface {
     fn from_iter<I: IntoIterator<Item = (u32, ResourceComponent)>>(iter: I) -> Self {
-        Self { components: iter.into_iter().collect() }
+        Self {
+            components: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -272,10 +277,12 @@ mod tests {
 
     #[test]
     fn interface_display() {
-        let iface: ResourceInterface =
-            [(1, ResourceComponent::row(2)), (2, ResourceComponent::new(1, 1))]
-                .into_iter()
-                .collect();
+        let iface: ResourceInterface = [
+            (1, ResourceComponent::row(2)),
+            (2, ResourceComponent::new(1, 1)),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(iface.to_string(), "{l1:[2, 1], l2:[1, 1]}");
     }
 

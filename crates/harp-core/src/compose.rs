@@ -113,7 +113,10 @@ pub fn compose_components(
     if packable.is_empty() {
         return Ok(CompositionLayout {
             composite: ResourceComponent::default(),
-            placements: children.iter().map(|&(n, _)| (n, Rect::default())).collect(),
+            placements: children
+                .iter()
+                .map(|&(n, _)| (n, Rect::default()))
+                .collect(),
         });
     }
 
@@ -138,7 +141,11 @@ pub fn compose_components(
     // Keep whichever pass used fewer channels (pass 2 can regress when the
     // narrow strip forces stacking; the paper assumes it improves).
     let use_pass2 = pass2.height() <= pass1_channels;
-    let channels = if use_pass2 { pass2.height() } else { pass1_channels };
+    let channels = if use_pass2 {
+        pass2.height()
+    } else {
+        pass1_channels
+    };
 
     let mut placed: BTreeMap<NodeId, Rect> = BTreeMap::new();
     if use_pass2 {
@@ -277,7 +284,10 @@ pub fn build_interfaces(
             iface.set(layer, layout.composite());
             layouts.insert(layer, layout);
         }
-        nodes[v.index()] = NodeInterface { interface: iface, layouts };
+        nodes[v.index()] = NodeInterface {
+            interface: iface,
+            layouts,
+        };
     }
     Ok(InterfaceSet { direction, nodes })
 }
@@ -312,7 +322,10 @@ mod tests {
         let children = [(NodeId(1), rc(4, 2))];
         let layout = compose_components(&children, 16, 2).unwrap();
         assert_eq!(layout.composite(), rc(4, 2));
-        assert_eq!(layout.placement_of(NodeId(1)), Some(Rect::from_xywh(0, 0, 4, 2)));
+        assert_eq!(
+            layout.placement_of(NodeId(1)),
+            Some(Rect::from_xywh(0, 0, 4, 2))
+        );
     }
 
     #[test]
@@ -331,7 +344,11 @@ mod tests {
 
     #[test]
     fn compose_unequal_rows_minimise_slots_then_channels() {
-        let children = [(NodeId(1), rc(5, 1)), (NodeId(2), rc(2, 1)), (NodeId(3), rc(3, 1))];
+        let children = [
+            (NodeId(1), rc(5, 1)),
+            (NodeId(2), rc(2, 1)),
+            (NodeId(3), rc(3, 1)),
+        ];
         let layout = compose_components(&children, 16, 2).unwrap();
         // Minimum slot extent is 5 (the widest row). 2 and 3 fit beside each
         // other in one extra channel row: [5, 2].
@@ -347,21 +364,23 @@ mod tests {
             (NodeId(4), rc(5, 1)),
         ];
         let layout = compose_components(&children, 8, 3).unwrap();
-        let bounds = Rect::from_xywh(
-            0,
-            0,
-            layout.composite().slots,
-            layout.composite().channels,
-        );
+        let bounds = Rect::from_xywh(0, 0, layout.composite().slots, layout.composite().channels);
         let rects: Vec<Rect> = layout.placements().iter().map(|&(_, r)| r).collect();
         assert!(packing::all_disjoint(&rects));
         for ((_, child), rect) in children.iter().zip(layout.placements()) {
-            assert!(bounds.contains_rect(&rect.1), "{:?} outside {bounds}", rect.1);
+            assert!(
+                bounds.contains_rect(&rect.1),
+                "{:?} outside {bounds}",
+                rect.1
+            );
             let _ = child;
         }
         // Sizes preserved.
         for (i, &(_, c)) in children.iter().enumerate() {
-            assert_eq!(layout.placements()[i].1.size, Size::new(c.slots, c.channels));
+            assert_eq!(
+                layout.placements()[i].1.size,
+                Size::new(c.slots, c.channels)
+            );
         }
     }
 
@@ -371,7 +390,11 @@ mod tests {
         let err = compose_components(&children, 4, 3).unwrap_err();
         assert_eq!(
             err,
-            HarpError::ChannelBudgetExceeded { layer: 3, needed: 5, budget: 4 }
+            HarpError::ChannelBudgetExceeded {
+                layer: 3,
+                needed: 5,
+                budget: 4
+            }
         );
     }
 

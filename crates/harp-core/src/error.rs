@@ -54,18 +54,29 @@ pub enum HarpError {
 impl fmt::Display for HarpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            HarpError::ChannelBudgetExceeded { layer, needed, budget } => write!(
+            HarpError::ChannelBudgetExceeded {
+                layer,
+                needed,
+                budget,
+            } => write!(
                 f,
                 "layer {layer} component needs {needed} channels, budget is {budget}"
             ),
-            HarpError::SlotframeOverflow { needed_slots, available } => write!(
+            HarpError::SlotframeOverflow {
+                needed_slots,
+                available,
+            } => write!(
                 f,
                 "allocation needs {needed_slots} slots, slotframe has {available}"
             ),
             HarpError::MissingPartition { node, layer } => {
                 write!(f, "no partition for {node} at layer {layer}")
             }
-            HarpError::PartitionTooSmall { node, required, available } => write!(
+            HarpError::PartitionTooSmall {
+                node,
+                required,
+                available,
+            } => write!(
                 f,
                 "{node} needs {required} cells but its partition holds {available}"
             ),
@@ -107,7 +118,10 @@ mod tests {
 
     #[test]
     fn display_mentions_key_numbers() {
-        let e = HarpError::SlotframeOverflow { needed_slots: 250, available: 199 };
+        let e = HarpError::SlotframeOverflow {
+            needed_slots: 250,
+            available: 199,
+        };
         assert!(e.to_string().contains("250"));
         assert!(e.to_string().contains("199"));
     }
@@ -117,7 +131,10 @@ mod tests {
         use std::error::Error;
         let e = HarpError::Pack(packing::PackError::ZeroWidthStrip);
         assert!(e.source().is_some());
-        let e = HarpError::MissingPartition { node: NodeId(1), layer: 2 };
+        let e = HarpError::MissingPartition {
+            node: NodeId(1),
+            layer: 2,
+        };
         assert!(e.source().is_none());
     }
 

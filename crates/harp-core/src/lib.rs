@@ -83,8 +83,8 @@
 #![warn(missing_docs)]
 
 mod adjust;
-mod analysis;
 mod allocation;
+mod analysis;
 mod coexist;
 mod component;
 mod compose;
@@ -98,12 +98,12 @@ mod schedule_gen;
 mod verify;
 
 pub use adjust::{adjust_partition, is_feasible, AdjustmentOutcome};
+pub use allocation::{
+    allocate_partitions, allocate_partitions_unbounded, Partition, PartitionTable,
+};
 pub use analysis::{
     check_deadlines, frames_spanned, latency_bound, sorted_cells, DeadlineReport, DeadlineTask,
     LatencyBound,
-};
-pub use allocation::{
-    allocate_partitions, allocate_partitions_unbounded, Partition, PartitionTable,
 };
 pub use coexist::{BandPlan, ChannelBand};
 pub use component::{ResourceComponent, ResourceInterface};

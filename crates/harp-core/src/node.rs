@@ -62,7 +62,9 @@ impl Effects {
         let mut merged: Vec<(NodeId, HarpMessage)> = Vec::with_capacity(self.messages.len());
         for (to, msg) in self.messages.drain(..) {
             if let HarpMessage::PostPartitions { partitions } = &msg {
-                if let Some(HarpMessage::PostPartitions { partitions: existing }) = merged
+                if let Some(HarpMessage::PostPartitions {
+                    partitions: existing,
+                }) = merged
                     .iter_mut()
                     .find(|(t, m)| *t == to && matches!(m, HarpMessage::PostPartitions { .. }))
                     .map(|(_, m)| m)
@@ -117,12 +119,7 @@ impl HarpNode {
     /// Creates the node for `id`, copying its one-hop neighbourhood out of
     /// the tree (a real device learns this from RPL).
     #[must_use]
-    pub fn new(
-        tree: &Tree,
-        id: NodeId,
-        config: SlotframeConfig,
-        policy: SchedulingPolicy,
-    ) -> Self {
+    pub fn new(tree: &Tree, id: NodeId, config: SlotframeConfig, policy: SchedulingPolicy) -> Self {
         Self {
             id,
             parent: tree.parent(id),
@@ -304,10 +301,16 @@ impl HarpNode {
                 fx.coalesce_post_partitions();
                 Ok(fx)
             }
-            HarpMessage::PutInterface { direction, layer, component } => {
-                self.on_child_component_update(direction, from, layer, component)
-            }
-            HarpMessage::PutPartition { direction, layer, rect } => {
+            HarpMessage::PutInterface {
+                direction,
+                layer,
+                component,
+            } => self.on_child_component_update(direction, from, layer, component),
+            HarpMessage::PutPartition {
+                direction,
+                layer,
+                rect,
+            } => {
                 let old = self.dir(direction).partitions.get(&layer).copied();
                 self.dir_mut(direction).partitions.insert(layer, rect);
                 self.replace_layer(direction, layer, old)
@@ -317,7 +320,10 @@ impl HarpNode {
                 Ok(Effects {
                     messages: Vec::new(),
                     schedule_ops: vec![ScheduleOp::SetLinkCells {
-                        link: Link { child: self.id, direction },
+                        link: Link {
+                            child: self.id,
+                            direction,
+                        },
                         cells,
                     }],
                 })
@@ -366,7 +372,11 @@ impl HarpNode {
                     Ok(Effects {
                         messages: vec![(
                             parent,
-                            HarpMessage::PutInterface { direction, layer, component },
+                            HarpMessage::PutInterface {
+                                direction,
+                                layer,
+                                component,
+                            },
                         )],
                         schedule_ops: Vec::new(),
                     })
@@ -449,7 +459,11 @@ impl HarpNode {
     fn gateway_allocate(&mut self) -> Result<Effects, HarpError> {
         let mut cursor: u32 = 0;
         for (d, descending) in [(Direction::Up, true), (Direction::Down, false)] {
-            let iface = self.dir(d).interface.clone().expect("generated before allocation");
+            let iface = self
+                .dir(d)
+                .interface
+                .clone()
+                .expect("generated before allocation");
             let mut layers: Vec<u32> = iface.layers().collect();
             if descending {
                 layers.reverse();
@@ -484,13 +498,17 @@ impl HarpNode {
         let layers: Vec<u32> = self.dir(direction).layouts.keys().copied().collect();
         let mut per_child: BTreeMap<NodeId, Vec<(Direction, u32, Rect)>> = BTreeMap::new();
         for layer in layers {
-            let own = self
+            let own = self.dir(direction).partitions.get(&layer).copied().ok_or(
+                HarpError::MissingPartition {
+                    node: self.id,
+                    layer,
+                },
+            )?;
+            let layout = self
                 .dir(direction)
-                .partitions
+                .layouts
                 .get(&layer)
-                .copied()
-                .ok_or(HarpError::MissingPartition { node: self.id, layer })?;
-            let layout = self.dir(direction).layouts.get(&layer).expect("listed layer");
+                .expect("listed layer");
             let placed: Vec<(NodeId, Rect)> = layout
                 .placements()
                 .iter()
@@ -498,14 +516,20 @@ impl HarpNode {
                 .collect();
             for &(c, rect) in &placed {
                 if self.nonleaf_children.contains(&c) {
-                    per_child.entry(c).or_default().push((direction, layer, rect));
+                    per_child
+                        .entry(c)
+                        .or_default()
+                        .push((direction, layer, rect));
                 }
             }
-            self.dir_mut(direction).child_partitions.insert(layer, placed);
+            self.dir_mut(direction)
+                .child_partitions
+                .insert(layer, placed);
         }
         let mut fx = self.schedule_own_row(direction)?;
         for (child, partitions) in per_child {
-            fx.messages.push((child, HarpMessage::PostPartitions { partitions }));
+            fx.messages
+                .push((child, HarpMessage::PostPartitions { partitions }));
         }
         Ok(fx)
     }
@@ -525,13 +549,8 @@ impl HarpNode {
             }
             return Err(HarpError::MissingPartition { node: id, layer });
         };
-        let child_reqs: Vec<(NodeId, u32)> = ds
-            .reqs
-            .iter()
-            .map(|(&c, &r)| (c, r))
-            .collect();
-        let assignments =
-            assign_cells_to_links(id, &child_reqs, direction, row, policy, config)?;
+        let child_reqs: Vec<(NodeId, u32)> = ds.reqs.iter().map(|(&c, &r)| (c, r)).collect();
+        let assignments = assign_cells_to_links(id, &child_reqs, direction, row, policy, config)?;
         let mut fx = Effects::none();
         for a in assignments {
             let child = a.link.child;
@@ -539,7 +558,10 @@ impl HarpNode {
             if old != a.cells {
                 fx.messages.push((
                     child,
-                    HarpMessage::CellAssignment { direction, cells: a.cells.clone() },
+                    HarpMessage::CellAssignment {
+                        direction,
+                        cells: a.cells.clone(),
+                    },
                 ));
                 ds.assignments.insert(child, a.cells);
             }
@@ -585,7 +607,11 @@ impl HarpNode {
                     .expect("moved child is in the layout");
                 fx.messages.push((
                     moved,
-                    HarpMessage::PutPartition { direction, layer, rect },
+                    HarpMessage::PutPartition {
+                        direction,
+                        layer,
+                        rect,
+                    },
                 ));
             }
             self.dir_mut(direction)
@@ -626,7 +652,11 @@ impl HarpNode {
             Ok(Effects {
                 messages: vec![(
                     parent,
-                    HarpMessage::PutInterface { direction, layer, component: composite },
+                    HarpMessage::PutInterface {
+                        direction,
+                        layer,
+                        component: composite,
+                    },
                 )],
                 schedule_ops: Vec::new(),
             })
@@ -664,18 +694,21 @@ impl HarpNode {
                     } else {
                         let dx = r.left() - old.left();
                         let dy = r.bottom() - old.bottom();
-                        (c, Rect::new(Point::new(rect.left() + dx, rect.bottom() + dy), r.size))
+                        (
+                            c,
+                            Rect::new(Point::new(rect.left() + dx, rect.bottom() + dy), r.size),
+                        )
                     }
                 })
                 .collect(),
             // Growth: lay the (re)composed layout into the new rectangle.
             _ => {
-                let layout = self
-                    .dir(direction)
-                    .layouts
-                    .get(&layer)
-                    .cloned()
-                    .ok_or(HarpError::MissingPartition { node: self.id, layer })?;
+                let layout = self.dir(direction).layouts.get(&layer).cloned().ok_or(
+                    HarpError::MissingPartition {
+                        node: self.id,
+                        layer,
+                    },
+                )?;
                 layout
                     .placements()
                     .iter()
@@ -694,7 +727,11 @@ impl HarpNode {
             if r != old_rect && self.nonleaf_children.contains(&c) {
                 fx.messages.push((
                     c,
-                    HarpMessage::PutPartition { direction, layer, rect: r },
+                    HarpMessage::PutPartition {
+                        direction,
+                        layer,
+                        rect: r,
+                    },
                 ));
             }
         }
@@ -732,11 +769,14 @@ impl HarpNode {
             .interface
             .as_ref()
             .and_then(|i| i.component(layer))
-            .ok_or(HarpError::MissingPartition { node: self.id, layer })?;
+            .ok_or(HarpError::MissingPartition {
+                node: self.id,
+                layer,
+            })?;
         let Some(outcome) = adjust_partition(container, &entries, (direction, layer), component)?
         else {
-            let total: u64 = entries.iter().map(|(_, r)| r.area()).sum::<u64>()
-                + component.cell_count();
+            let total: u64 =
+                entries.iter().map(|(_, r)| r.area()).sum::<u64>() + component.cell_count();
             // The binding constraint is either the total area or the grown
             // component's own slot extent (a row wider than the slotframe
             // can never fit, whatever the area says).
@@ -790,7 +830,11 @@ mod tests {
                     nodes[parent.index()].set_requirement(link.direction, link.child, cells);
                 }
             }
-            Self { nodes, schedule_ops: Vec::new(), messages_seen: Vec::new() }
+            Self {
+                nodes,
+                schedule_ops: Vec::new(),
+                messages_seen: Vec::new(),
+            }
         }
 
         fn dispatch(&mut self, from: NodeId, fx: Effects) {
@@ -799,8 +843,11 @@ mod tests {
 
         fn try_dispatch(&mut self, from: NodeId, fx: Effects) -> Result<(), HarpError> {
             self.schedule_ops.extend(fx.schedule_ops);
-            let mut queue: Vec<(NodeId, NodeId, HarpMessage)> =
-                fx.messages.into_iter().map(|(to, m)| (from, to, m)).collect();
+            let mut queue: Vec<(NodeId, NodeId, HarpMessage)> = fx
+                .messages
+                .into_iter()
+                .map(|(to, m)| (from, to, m))
+                .collect();
             while let Some((src, dst, msg)) = queue.pop() {
                 self.messages_seen.push((src, dst, msg.clone()));
                 let fx = self.nodes[dst.index()].handle(src, msg)?;
@@ -824,7 +871,9 @@ mod tests {
                 .iter()
                 .position(|n| n.children.contains(&link.child))
                 .unwrap();
-            let fx = self.nodes[parent].request_change(d, link.child, cells).unwrap();
+            let fx = self.nodes[parent]
+                .request_change(d, link.child, cells)
+                .unwrap();
             let id = self.nodes[parent].id();
             self.dispatch(id, fx);
         }
@@ -868,7 +917,10 @@ mod tests {
                 continue;
             }
             let node = &fabric.nodes[v.index()];
-            assert!(node.interface(Direction::Up).is_some(), "{v} has up interface");
+            assert!(
+                node.interface(Direction::Up).is_some(),
+                "{v} has up interface"
+            );
             assert!(node.partition(Direction::Up, tree.link_layer(v)).is_some());
         }
 
@@ -876,8 +928,7 @@ mod tests {
         // validates exactly this: testbed partitions identical to simulation).
         let cfg = SlotframeConfig::paper_default();
         let up = crate::build_interfaces(&tree, &reqs, Direction::Up, cfg.channels).unwrap();
-        let down =
-            crate::build_interfaces(&tree, &reqs, Direction::Down, cfg.channels).unwrap();
+        let down = crate::build_interfaces(&tree, &reqs, Direction::Down, cfg.channels).unwrap();
         let table = crate::allocate_partitions(&tree, &up, &down, cfg).unwrap();
         for v in tree.nodes() {
             if tree.is_leaf(v) {
@@ -1075,12 +1126,18 @@ mod tests {
         let fx = node
             .handle(
                 NodeId(1),
-                HarpMessage::CellAssignment { direction: Direction::Up, cells: cells.clone() },
+                HarpMessage::CellAssignment {
+                    direction: Direction::Up,
+                    cells: cells.clone(),
+                },
             )
             .unwrap();
         assert_eq!(
             fx.schedule_ops,
-            vec![ScheduleOp::SetLinkCells { link: Link::up(NodeId(4)), cells }]
+            vec![ScheduleOp::SetLinkCells {
+                link: Link::up(NodeId(4)),
+                cells
+            }]
         );
     }
 }

@@ -123,10 +123,18 @@ impl fmt::Display for HarpMessage {
             HarpMessage::PostPartitions { partitions } => {
                 write!(f, "POST part ({} entries)", partitions.len())
             }
-            HarpMessage::PutInterface { direction, layer, component } => {
+            HarpMessage::PutInterface {
+                direction,
+                layer,
+                component,
+            } => {
                 write!(f, "PUT intf {direction} l{layer} {component}")
             }
-            HarpMessage::PutPartition { direction, layer, rect } => {
+            HarpMessage::PutPartition {
+                direction,
+                layer,
+                rect,
+            } => {
                 write!(f, "PUT part {direction} l{layer} {rect}")
             }
             HarpMessage::CellAssignment { direction, cells } => {
@@ -157,7 +165,10 @@ mod tests {
             layer: 1,
             rect: Rect::default(),
         };
-        let cells = HarpMessage::CellAssignment { direction: Direction::Up, cells: vec![] };
+        let cells = HarpMessage::CellAssignment {
+            direction: Direction::Up,
+            cells: vec![],
+        };
         assert_eq!(post_intf.kind(), MessageKind::Interface);
         assert_eq!(put_intf.kind(), MessageKind::Interface);
         assert_eq!(post_part.kind(), MessageKind::Partition);
@@ -167,7 +178,10 @@ mod tests {
 
     #[test]
     fn management_classification() {
-        let cells = HarpMessage::CellAssignment { direction: Direction::Up, cells: vec![] };
+        let cells = HarpMessage::CellAssignment {
+            direction: Direction::Up,
+            cells: vec![],
+        };
         assert!(!cells.is_management());
         assert!(!cells.is_dynamic());
         let put = HarpMessage::PutPartition {

@@ -72,9 +72,7 @@ pub fn render_cell_map(
                 [link] => tree
                     .endpoints(*link)
                     .ok()
-                    .and_then(|(sender, _)| {
-                        std::char::from_digit(u32::from(sender.0) % 36, 36)
-                    })
+                    .and_then(|(sender, _)| std::char::from_digit(u32::from(sender.0) % 36, 36))
                     .unwrap_or('?'),
                 _ => '#',
             };
@@ -101,8 +99,7 @@ pub fn render_utilization(schedule: &NetworkSchedule) -> String {
 mod tests {
     use super::*;
     use crate::{
-        allocate_partitions, build_interfaces, generate_schedule, Requirements,
-        SchedulingPolicy,
+        allocate_partitions, build_interfaces, generate_schedule, Requirements, SchedulingPolicy,
     };
     use tsch_sim::{Direction, Link, NodeId, SlotframeConfig};
 

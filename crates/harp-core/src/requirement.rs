@@ -27,12 +27,19 @@ impl Fraction {
         if self.num == 0 {
             return Fraction { num, den }.reduced();
         }
-        Fraction { num: self.num * den + num * self.den, den: self.den * den }.reduced()
+        Fraction {
+            num: self.num * den + num * self.den,
+            den: self.den * den,
+        }
+        .reduced()
     }
 
     fn reduced(self) -> Fraction {
         let g = gcd(self.num.max(1), self.den);
-        Fraction { num: self.num / g, den: self.den / g }
+        Fraction {
+            num: self.num / g,
+            den: self.den / g,
+        }
     }
 
     fn ceil(self) -> u64 {
@@ -99,7 +106,12 @@ impl Requirements {
     pub fn direct_total(&self, tree: &Tree, parent: NodeId, direction: Direction) -> u32 {
         tree.children(parent)
             .iter()
-            .map(|&c| self.get(Link { child: c, direction }))
+            .map(|&c| {
+                self.get(Link {
+                    child: c,
+                    direction,
+                })
+            })
             .sum()
     }
 
@@ -163,7 +175,10 @@ impl Requirements {
         }
         let mut reqs = Requirements::new();
         for (link, f) in acc {
-            reqs.set(link, u32::try_from(f.ceil()).expect("requirement fits in u32"));
+            reqs.set(
+                link,
+                u32::try_from(f.ceil()).expect("requirement fits in u32"),
+            );
         }
         reqs
     }
@@ -263,7 +278,11 @@ mod tests {
         reqs.set(Link::up(NodeId(5)), 2);
         assert_eq!(reqs.direct_total(&tree, NodeId(1), Direction::Up), 3);
         assert_eq!(reqs.direct_total(&tree, NodeId(1), Direction::Down), 0);
-        assert_eq!(reqs.direct_total(&tree, NodeId(4), Direction::Up), 0, "leaf");
+        assert_eq!(
+            reqs.direct_total(&tree, NodeId(4), Direction::Up),
+            0,
+            "leaf"
+        );
     }
 
     #[test]
@@ -357,7 +376,10 @@ mod tests {
         let mut reqs = Requirements::new();
         reqs.set(Link::up(NodeId(1)), 3);
         let quality = tsch_sim::LinkQuality::uniform(0.0).unwrap();
-        assert_eq!(reqs.provisioned_for_loss(&quality).get(Link::up(NodeId(1))), 3);
+        assert_eq!(
+            reqs.provisioned_for_loss(&quality).get(Link::up(NodeId(1))),
+            3
+        );
     }
 
     #[test]

@@ -15,9 +15,7 @@ use crate::requirement::Requirements;
 use crate::schedule_gen::SchedulingPolicy;
 use std::collections::BTreeSet;
 
-use tsch_sim::{
-    Asn, Direction, Link, MgmtPlane, NetworkSchedule, NodeId, SlotframeConfig, Tree,
-};
+use tsch_sim::{Asn, Direction, Link, MgmtPlane, NetworkSchedule, NodeId, SlotframeConfig, Tree};
 
 /// Counters and metadata for one protocol run (static phase or one dynamic
 /// adjustment) — the raw material of Table II and Fig. 12.
@@ -193,8 +191,7 @@ impl HarpNetwork {
         self.report.involved_nodes.insert(from);
         self.report.involved_nodes.insert(to);
         match msg {
-            HarpMessage::PutInterface { layer, .. }
-            | HarpMessage::PutPartition { layer, .. } => {
+            HarpMessage::PutInterface { layer, .. } | HarpMessage::PutPartition { layer, .. } => {
                 self.report.layers.insert(*layer);
             }
             _ => {}
@@ -291,10 +288,14 @@ impl HarpNetwork {
         let parent = self
             .tree
             .parent(link.child)
-            .ok_or(HarpError::MissingPartition { node: link.child, layer: 0 })?;
+            .ok_or(HarpError::MissingPartition {
+                node: link.child,
+                layer: 0,
+            })?;
         self.now = self.now.max(at);
         self.report.involved_nodes.insert(parent);
-        let fx = self.nodes[parent.index()].request_change(link.direction, link.child, new_cells)?;
+        let fx =
+            self.nodes[parent.index()].request_change(link.direction, link.child, new_cells)?;
         self.send_effects(parent, fx)
     }
 
@@ -352,7 +353,10 @@ impl HarpNetwork {
             for d in Direction::BOTH {
                 for &c in self.tree.children(v).iter() {
                     requirements.set(
-                        Link { child: c, direction: d },
+                        Link {
+                            child: c,
+                            direction: d,
+                        },
                         self.nodes[v.index()].requirement(d, c),
                     );
                 }
@@ -416,19 +420,18 @@ impl HarpNetwork {
         if !self.is_active(parent) {
             return Err(HarpError::NodeDeparted(parent));
         }
-        let (tree, id) = self
-            .tree
-            .with_new_leaf(parent)
-            .map_err(|_| HarpError::MissingPartition { node: parent, layer: 0 })?;
+        let (tree, id) =
+            self.tree
+                .with_new_leaf(parent)
+                .map_err(|_| HarpError::MissingPartition {
+                    node: parent,
+                    layer: 0,
+                })?;
         self.tree = tree;
         let plane_id = self.plane.add_node();
         debug_assert_eq!(plane_id, id);
-        self.nodes.push(HarpNode::new(
-            &self.tree,
-            id,
-            self.config,
-            self.policy,
-        ));
+        self.nodes
+            .push(HarpNode::new(&self.tree, id, self.config, self.policy));
         self.nodes[parent.index()].adopt_child(id);
         // If the parent just stopped being a leaf, its own parent must start
         // forwarding partition updates to it.
@@ -465,7 +468,14 @@ impl HarpNetwork {
         self.now = self.now.max(at);
         self.reset_report();
         for d in Direction::BOTH {
-            self.request_change(self.now, Link { child: leaf, direction: d }, 0)?;
+            self.request_change(
+                self.now,
+                Link {
+                    child: leaf,
+                    direction: d,
+                },
+                0,
+            )?;
         }
         let report = self.run_until_quiescent()?;
         if let Some(parent) = self.tree.parent(leaf) {
@@ -507,15 +517,24 @@ impl HarpNetwork {
         // Release at the old parent first (messages still travel the old
         // tree edge), and drain before rewiring.
         for d in Direction::BOTH {
-            self.request_change(self.now, Link { child: leaf, direction: d }, 0)?;
+            self.request_change(
+                self.now,
+                Link {
+                    child: leaf,
+                    direction: d,
+                },
+                0,
+            )?;
         }
         self.run_until_quiescent()?;
 
         // Rewire.
-        let tree = self
-            .tree
-            .with_reparented(leaf, new_parent)
-            .map_err(|_| HarpError::MissingPartition { node: new_parent, layer: 0 })?;
+        let tree = self.tree.with_reparented(leaf, new_parent).map_err(|_| {
+            HarpError::MissingPartition {
+                node: new_parent,
+                layer: 0,
+            }
+        })?;
         self.tree = tree;
         self.nodes[old_parent.index()].orphan_child(leaf);
         self.nodes[new_parent.index()].adopt_child(leaf);
@@ -665,8 +684,15 @@ mod tests {
             apply_op(&mut external, op).unwrap();
         }
         // The external mirror equals the internal schedule.
-        let a: Vec<_> = external.iter_links().map(|(l, c)| (l, c.to_vec())).collect();
-        let b: Vec<_> = net.schedule().iter_links().map(|(l, c)| (l, c.to_vec())).collect();
+        let a: Vec<_> = external
+            .iter_links()
+            .map(|(l, c)| (l, c.to_vec()))
+            .collect();
+        let b: Vec<_> = net
+            .schedule()
+            .iter_links()
+            .map(|(l, c)| (l, c.to_vec()))
+            .collect();
         assert_eq!(a, b);
     }
 

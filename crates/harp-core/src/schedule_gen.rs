@@ -59,7 +59,15 @@ pub fn assign_cells_in_row(
     let children: Vec<(NodeId, u32)> = tree
         .children(parent)
         .iter()
-        .map(|&c| (c, requirements.get(Link { child: c, direction })))
+        .map(|&c| {
+            (
+                c,
+                requirements.get(Link {
+                    child: c,
+                    direction,
+                }),
+            )
+        })
         .collect();
     assign_cells_to_links(parent, &children, direction, row, policy, config)
 }
@@ -85,7 +93,11 @@ pub fn assign_cells_to_links(
     let required: u32 = children.iter().map(|&(_, r)| r).sum();
     let available = row.width() * row.height();
     if required > available {
-        return Err(HarpError::PartitionTooSmall { node: parent, required, available });
+        return Err(HarpError::PartitionTooSmall {
+            node: parent,
+            required,
+            available,
+        });
     }
     match policy {
         SchedulingPolicy::RateMonotonic => {
@@ -110,7 +122,10 @@ pub fn assign_cells_to_links(
         let link = Link { child, direction };
         let granted: Vec<Cell> = cells.by_ref().take(r as usize).collect();
         debug_assert_eq!(granted.len(), r as usize);
-        out.push(LinkAssignment { link, cells: granted });
+        out.push(LinkAssignment {
+            link,
+            cells: granted,
+        });
     }
     Ok(out)
 }
@@ -171,7 +186,10 @@ pub fn generate_schedule(
                 if need == 0 {
                     continue;
                 }
-                return Err(HarpError::MissingPartition { node: v, layer: tree.link_layer(v) });
+                return Err(HarpError::MissingPartition {
+                    node: v,
+                    layer: tree.link_layer(v),
+                });
             };
             let assignments =
                 assign_cells_in_row(tree, v, direction, row, requirements, policy, config)?;
@@ -197,7 +215,10 @@ pub fn unsatisfied_links(
     let mut out = Vec::new();
     for direction in Direction::BOTH {
         for v in tree.nodes().skip(1) {
-            let link = Link { child: v, direction };
+            let link = Link {
+                child: v,
+                direction,
+            };
             let need = requirements.get(link);
             let got = schedule.cells_of(link).len();
             if (got as u64) < u64::from(need) {
@@ -239,16 +260,20 @@ mod tests {
 
     #[test]
     fn schedule_is_exclusive_and_satisfies_requirements() {
-        let (tree, reqs, schedule) =
-            full_schedule(SlotframeConfig::paper_default(), SchedulingPolicy::RateMonotonic);
+        let (tree, reqs, schedule) = full_schedule(
+            SlotframeConfig::paper_default(),
+            SchedulingPolicy::RateMonotonic,
+        );
         assert!(schedule.is_exclusive());
         assert!(unsatisfied_links(&tree, &reqs, &schedule).is_empty());
     }
 
     #[test]
     fn schedule_has_zero_collisions_under_global_interference() {
-        let (tree, _, schedule) =
-            full_schedule(SlotframeConfig::paper_default(), SchedulingPolicy::RateMonotonic);
+        let (tree, _, schedule) = full_schedule(
+            SlotframeConfig::paper_default(),
+            SchedulingPolicy::RateMonotonic,
+        );
         let report = schedule.collision_report(&tree, &tsch_sim::GlobalInterference);
         assert_eq!(report.colliding_assignments, 0);
         assert_eq!(report.collision_probability(), 0.0);
@@ -256,8 +281,10 @@ mod tests {
 
     #[test]
     fn exact_cell_counts_match_requirements() {
-        let (tree, reqs, schedule) =
-            full_schedule(SlotframeConfig::paper_default(), SchedulingPolicy::ChildOrder);
+        let (tree, reqs, schedule) = full_schedule(
+            SlotframeConfig::paper_default(),
+            SchedulingPolicy::ChildOrder,
+        );
         for (link, need) in reqs.iter() {
             assert_eq!(schedule.cells_of(link).len(), need as usize, "{link}");
         }
@@ -327,7 +354,11 @@ mod tests {
         .unwrap_err();
         assert_eq!(
             err,
-            HarpError::PartitionTooSmall { node: NodeId(0), required: 11, available: 5 }
+            HarpError::PartitionTooSmall {
+                node: NodeId(0),
+                required: 11,
+                available: 5
+            }
         );
     }
 
@@ -350,7 +381,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(assignments.len(), 2);
-        let empty = assignments.iter().find(|a| a.link.child == NodeId(2)).unwrap();
+        let empty = assignments
+            .iter()
+            .find(|a| a.link.child == NodeId(2))
+            .unwrap();
         assert!(empty.cells.is_empty());
     }
 
@@ -373,8 +407,10 @@ mod tests {
 
     #[test]
     fn schedule_covers_fig1_total_cells() {
-        let (_, reqs, schedule) =
-            full_schedule(SlotframeConfig::paper_default(), SchedulingPolicy::RateMonotonic);
+        let (_, reqs, schedule) = full_schedule(
+            SlotframeConfig::paper_default(),
+            SchedulingPolicy::RateMonotonic,
+        );
         let expected: u64 = reqs.total(Direction::Up) + reqs.total(Direction::Down);
         assert_eq!(schedule.assignment_count() as u64, expected);
     }

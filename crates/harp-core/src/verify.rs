@@ -75,13 +75,29 @@ impl fmt::Display for Violation {
             Violation::SharedCell { cell, claimants } => {
                 write!(f, "cell {cell} assigned to {claimants} links")
             }
-            Violation::Shortfall { link, required, granted } => {
+            Violation::Shortfall {
+                link,
+                required,
+                granted,
+            } => {
                 write!(f, "{link} granted {granted} of {required} cells")
             }
-            Violation::NotNested { child, layer, direction } => {
-                write!(f, "{child} {direction} layer {layer} partition escapes its parent")
+            Violation::NotNested {
+                child,
+                layer,
+                direction,
+            } => {
+                write!(
+                    f,
+                    "{child} {direction} layer {layer} partition escapes its parent"
+                )
             }
-            Violation::SiblingOverlap { a, b, layer, direction } => {
+            Violation::SiblingOverlap {
+                a,
+                b,
+                layer,
+                direction,
+            } => {
                 write!(f, "{a} and {b} overlap at {direction} layer {layer}")
             }
             Violation::SchedulingAreaOverlap { a, b } => {
@@ -103,12 +119,19 @@ pub fn verify_schedule(
 ) -> Vec<Violation> {
     let mut out = Vec::new();
     for cell in schedule.shared_cells() {
-        out.push(Violation::SharedCell { cell, claimants: schedule.links_on(cell).len() });
+        out.push(Violation::SharedCell {
+            cell,
+            claimants: schedule.links_on(cell).len(),
+        });
     }
     for (link, required, granted) in
         crate::schedule_gen::unsatisfied_links(tree, requirements, schedule)
     {
-        out.push(Violation::Shortfall { link, required, granted });
+        out.push(Violation::Shortfall {
+            link,
+            required,
+            granted,
+        });
     }
     out
 }
@@ -140,13 +163,19 @@ pub fn verify_partitions(tree: &Tree, table: &PartitionTable) -> Vec<Violation> 
             for (i, &a) in kids.iter().enumerate() {
                 for &b in &kids[i + 1..] {
                     for layer in 1..=tree.layers() {
-                        let (Some(ra), Some(rb)) =
-                            (table.get(a, direction, layer), table.get(b, direction, layer))
-                        else {
+                        let (Some(ra), Some(rb)) = (
+                            table.get(a, direction, layer),
+                            table.get(b, direction, layer),
+                        ) else {
                             continue;
                         };
                         if ra.overlaps(&rb) {
-                            out.push(Violation::SiblingOverlap { a, b, layer, direction });
+                            out.push(Violation::SiblingOverlap {
+                                a,
+                                b,
+                                layer,
+                                direction,
+                            });
                         }
                     }
                 }
@@ -269,11 +298,20 @@ mod tests {
     fn broken_nesting_detected() {
         let (tree, _, mut table, _) = fig1_artifacts();
         // Move node 7's layer-3 partition outside node 3's.
-        table.set(NodeId(7), Direction::Up, 3, packing::Rect::from_xywh(190, 0, 2, 1));
+        table.set(
+            NodeId(7),
+            Direction::Up,
+            3,
+            packing::Rect::from_xywh(190, 0, 2, 1),
+        );
         let violations = verify_partitions(&tree, &table);
         assert!(violations.iter().any(|v| matches!(
             v,
-            Violation::NotNested { child: NodeId(7), layer: 3, .. }
+            Violation::NotNested {
+                child: NodeId(7),
+                layer: 3,
+                ..
+            }
         )));
     }
 
@@ -292,7 +330,9 @@ mod tests {
     fn broken_compliance_detected() {
         let (tree, _, mut table, _) = fig1_artifacts();
         // Put node 7's (deeper) scheduling row after the gateway's.
-        let gw_area = table.scheduling_area(&tree, tree.root(), Direction::Up).unwrap();
+        let gw_area = table
+            .scheduling_area(&tree, tree.root(), Direction::Up)
+            .unwrap();
         table.set(
             NodeId(7),
             Direction::Up,
@@ -307,7 +347,10 @@ mod tests {
 
     #[test]
     fn violation_display_is_informative() {
-        let v = Violation::SharedCell { cell: Cell::new(3, 1), claimants: 2 };
+        let v = Violation::SharedCell {
+            cell: Cell::new(3, 1),
+            claimants: 2,
+        };
         assert!(v.to_string().contains("2 links"));
         let v = Violation::Shortfall {
             link: Link::up(NodeId(4)),

@@ -1,67 +1,78 @@
-//! Property-based tests for the extension modules: channel-band
+//! Seeded randomized tests for the extension modules: channel-band
 //! coexistence, latency analysis, and the verify checkers.
 
 use harp_core::{
     allocate_partitions, build_interfaces, generate_schedule, latency_bound, verify_partitions,
     verify_schedule, verify_uplink_compliance, BandPlan, Requirements, SchedulingPolicy,
 };
-use proptest::prelude::*;
-use tsch_sim::{Direction, Link, NodeId, Rate, SlotframeConfig, Task, TaskId, Tree};
+use tsch_sim::{Direction, Link, NodeId, Rate, SlotframeConfig, SplitMix64, Task, TaskId, Tree};
 
-fn tree_strategy(max_nodes: usize) -> impl Strategy<Value = Tree> {
-    prop::collection::vec(0..1_000_000u32, 1..max_nodes).prop_map(|choices| {
-        let mut pairs = Vec::with_capacity(choices.len());
-        for (i, c) in choices.iter().enumerate() {
-            pairs.push(((i + 1) as u16, (c % (i as u32 + 1)) as u16));
-        }
-        Tree::from_parents(&pairs)
-    })
+fn random_tree(rng: &mut SplitMix64, max_nodes: usize) -> Tree {
+    let edges = 1 + rng.next_below(max_nodes as u64 - 1) as usize;
+    let mut pairs = Vec::with_capacity(edges);
+    for i in 0..edges {
+        pairs.push(((i + 1) as u16, rng.next_below(i as u64 + 1) as u16));
+    }
+    Tree::from_parents(&pairs)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn band_plan_survives_random_adjustment_sequences(
-        widths in prop::collection::vec(1u16..=4, 2..5),
-        adjustments in prop::collection::vec((0usize..5, 1u16..=8), 1..12),
-    ) {
+#[test]
+fn band_plan_survives_random_adjustment_sequences() {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::new(0xBA_2D ^ case);
+        let widths: Vec<u16> = (0..2 + rng.next_below(3))
+            .map(|_| 1 + rng.next_below(4) as u16)
+            .collect();
+        let adjustments: Vec<(usize, u16)> = (0..1 + rng.next_below(11))
+            .map(|_| (rng.next_below(5) as usize, 1 + rng.next_below(8) as u16))
+            .collect();
         let Ok(mut plan) = BandPlan::allocate(&widths, 16) else {
-            return Ok(()); // over-subscribed initial widths: nothing to test
+            continue; // over-subscribed initial widths: nothing to test
         };
         for (idx, new_width) in adjustments {
             let idx = idx % widths.len();
             match plan.adjust(idx, new_width) {
                 Ok(moved) => {
-                    prop_assert!(plan.is_isolated());
-                    prop_assert_eq!(plan.band(idx).width, new_width);
+                    assert!(plan.is_isolated(), "case {case}");
+                    assert_eq!(plan.band(idx).width, new_width, "case {case}");
                     // Every unmoved band is untouched by definition of the
                     // outcome; spot-check the isolation of all widths.
-                    prop_assert!(moved.contains(&idx) || plan.band(idx).width == new_width);
+                    assert!(
+                        moved.contains(&idx) || plan.band(idx).width == new_width,
+                        "case {case}"
+                    );
                 }
                 Err(_) => {
                     // A refusal must leave a consistent plan behind.
-                    prop_assert!(plan.is_isolated());
+                    assert!(plan.is_isolated(), "case {case}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn band_plan_never_exceeds_total(
-        widths in prop::collection::vec(1u16..=6, 1..6),
-    ) {
+#[test]
+fn band_plan_never_exceeds_total() {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::new(0xBA_57 ^ case);
+        let widths: Vec<u16> = (0..1 + rng.next_below(5))
+            .map(|_| 1 + rng.next_below(6) as u16)
+            .collect();
         let total: u32 = widths.iter().map(|&w| u32::from(w)).sum();
         let plan = BandPlan::allocate(&widths, 16);
-        prop_assert_eq!(plan.is_ok(), total <= 16);
+        assert_eq!(plan.is_ok(), total <= 16, "case {case}");
         if let Ok(plan) = plan {
-            prop_assert!(plan.is_isolated());
-            prop_assert_eq!(u32::from(plan.idle_channels()), 16 - total);
+            assert!(plan.is_isolated(), "case {case}");
+            assert_eq!(u32::from(plan.idle_channels()), 16 - total, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn static_allocations_pass_every_verifier(tree in tree_strategy(20)) {
+#[test]
+fn static_allocations_pass_every_verifier() {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::new(0x5A_11 ^ case);
+        let tree = random_tree(&mut rng, 20);
         let cfg = SlotframeConfig::paper_default();
         let mut reqs = Requirements::new();
         for v in tree.nodes().skip(1) {
@@ -71,21 +82,29 @@ proptest! {
         let up = build_interfaces(&tree, &reqs, Direction::Up, cfg.channels).unwrap();
         let down = build_interfaces(&tree, &reqs, Direction::Down, cfg.channels).unwrap();
         let Ok(table) = allocate_partitions(&tree, &up, &down, cfg) else {
-            return Ok(());
+            continue;
         };
         let schedule =
             generate_schedule(&tree, &reqs, &table, SchedulingPolicy::RateMonotonic).unwrap();
-        prop_assert!(verify_schedule(&tree, &reqs, &schedule).is_empty());
-        prop_assert!(verify_partitions(&tree, &table).is_empty());
-        prop_assert!(verify_uplink_compliance(&tree, &table).is_empty());
+        assert!(
+            verify_schedule(&tree, &reqs, &schedule).is_empty(),
+            "case {case}"
+        );
+        assert!(verify_partitions(&tree, &table).is_empty(), "case {case}");
+        assert!(
+            verify_uplink_compliance(&tree, &table).is_empty(),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn compliant_schedules_bound_uplink_latency_by_one_frame_plus_wait(
-        tree in tree_strategy(16),
-    ) {
-        // For a compliant static allocation, an uplink packet that releases
-        // at slot 0 rides the frame in order: best case is under one frame.
+#[test]
+fn compliant_schedules_bound_uplink_latency_by_one_frame_plus_wait() {
+    // For a compliant static allocation, an uplink packet that releases
+    // at slot 0 rides the frame in order: best case is under one frame.
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::new(0x1A_7B ^ case);
+        let tree = random_tree(&mut rng, 16);
         let cfg = SlotframeConfig::paper_default();
         let mut reqs = Requirements::new();
         for v in tree.nodes().skip(1) {
@@ -94,32 +113,34 @@ proptest! {
         let up = build_interfaces(&tree, &reqs, Direction::Up, cfg.channels).unwrap();
         let down = build_interfaces(&tree, &reqs, Direction::Down, cfg.channels).unwrap();
         let Ok(table) = allocate_partitions(&tree, &up, &down, cfg) else {
-            return Ok(());
+            continue;
         };
         let schedule =
             generate_schedule(&tree, &reqs, &table, SchedulingPolicy::RateMonotonic).unwrap();
         for v in tree.nodes().skip(1) {
             let task = Task::uplink(TaskId(0), v, Rate::per_slotframe(1));
             let bound = latency_bound(&schedule, &tree, &task).unwrap();
-            prop_assert!(
+            assert!(
                 bound.best_case_slots <= u64::from(cfg.slots),
-                "{v}: best case {} exceeds a frame",
+                "case {case}: {v}: best case {} exceeds a frame",
                 bound.best_case_slots
             );
             // Worst case is bounded by two frames: missing the whole
             // compliant run costs exactly one extra frame.
-            prop_assert!(
+            assert!(
                 bound.worst_case_slots <= 2 * u64::from(cfg.slots),
-                "{v}: worst case {}",
+                "case {case}: {v}: worst case {}",
                 bound.worst_case_slots
             );
         }
     }
+}
 
-    #[test]
-    fn latency_bound_monotone_in_depth_for_chains(depth in 1u16..10) {
-        // On a chain with one cell per link in compliant order, the bound
-        // grows with depth.
+#[test]
+fn latency_bound_monotone_in_depth_for_chains() {
+    // On a chain with one cell per link in compliant order, the bound
+    // grows with depth.
+    for depth in 1u16..10 {
         let cfg = SlotframeConfig::paper_default();
         let pairs: Vec<(u16, u16)> = (1..=depth).map(|i| (i, i - 1)).collect();
         let tree = Tree::from_parents(&pairs);
@@ -137,7 +158,7 @@ proptest! {
             let node = NodeId(d);
             let task = Task::uplink(TaskId(0), node, Rate::per_slotframe(1));
             let bound = latency_bound(&schedule, &tree, &task).unwrap();
-            prop_assert!(bound.best_case_slots >= last);
+            assert!(bound.best_case_slots >= last, "depth {depth}");
             last = bound.best_case_slots;
         }
     }

@@ -1,9 +1,9 @@
-//! Property-based tests of the HARP invariants on randomly generated trees
-//! and demands.
+//! Seeded randomized tests of the HARP invariants on randomly generated
+//! trees and demands.
 //!
 //! The generators build arbitrary parent-pointer trees (each node's parent
 //! is some earlier node) and arbitrary small per-link demands; the
-//! properties assert the paper's claims hold universally, not just on the
+//! assertions check the paper's claims hold universally, not just on the
 //! canned examples:
 //!
 //! * composition composites contain all children, disjointly, with minimal
@@ -13,55 +13,40 @@
 //! * dynamic adjustment preserves all of the above.
 
 use harp_core::{
-    adjust_partition, allocate_partitions, build_interfaces, compose_components,
-    generate_schedule, is_feasible, unsatisfied_links, Requirements, ResourceComponent,
-    SchedulingPolicy,
+    adjust_partition, allocate_partitions, build_interfaces, compose_components, generate_schedule,
+    is_feasible, unsatisfied_links, Requirements, ResourceComponent, SchedulingPolicy,
 };
 use packing::{all_disjoint, Rect};
-use proptest::prelude::*;
-use tsch_sim::{Direction, Link, NodeId, SlotframeConfig, Tree};
+use tsch_sim::{Direction, Link, NodeId, SlotframeConfig, SplitMix64, Tree};
 
-/// Arbitrary tree with `n` nodes: node i's parent is drawn from `0..i`.
-fn tree_strategy(max_nodes: usize) -> impl Strategy<Value = Tree> {
-    prop::collection::vec(0..1_000_000u32, 1..max_nodes).prop_map(|choices| {
-        let mut pairs = Vec::with_capacity(choices.len());
-        for (i, c) in choices.iter().enumerate() {
-            let child = (i + 1) as u16;
-            let parent = (c % (i as u32 + 1)) as u16;
-            pairs.push((child, parent));
-        }
-        Tree::from_parents(&pairs)
-    })
+/// Arbitrary tree with 2..=`max_nodes` nodes: node i's parent is drawn
+/// from `0..i`.
+fn random_tree(rng: &mut SplitMix64, max_nodes: usize) -> Tree {
+    let edges = 1 + rng.next_below(max_nodes as u64 - 1) as usize;
+    let mut pairs = Vec::with_capacity(edges);
+    for i in 0..edges {
+        pairs.push(((i + 1) as u16, rng.next_below(i as u64 + 1) as u16));
+    }
+    Tree::from_parents(&pairs)
 }
 
 /// Arbitrary demands: every link gets 0..=3 cells in each direction.
-fn reqs_strategy(tree: &Tree) -> impl Strategy<Value = Requirements> {
-    let n = tree.len() - 1;
-    prop::collection::vec((0u32..=3, 0u32..=3), n).prop_map(move |cells| {
-        let mut reqs = Requirements::new();
-        for (i, &(up, down)) in cells.iter().enumerate() {
-            let child = NodeId((i + 1) as u16);
-            reqs.set(Link::up(child), up);
-            reqs.set(Link::down(child), down);
-        }
-        reqs
-    })
+fn random_reqs(rng: &mut SplitMix64, tree: &Tree) -> Requirements {
+    let mut reqs = Requirements::new();
+    for v in tree.nodes().skip(1) {
+        reqs.set(Link::up(v), rng.next_below(4) as u32);
+        reqs.set(Link::down(v), rng.next_below(4) as u32);
+    }
+    reqs
 }
 
-fn tree_and_reqs(max_nodes: usize) -> impl Strategy<Value = (Tree, Requirements)> {
-    tree_strategy(max_nodes).prop_flat_map(|tree| {
-        let reqs = reqs_strategy(&tree);
-        (Just(tree), reqs)
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn composition_contains_children_disjointly(
-        comps in prop::collection::vec((1u32..=8, 1u32..=4), 1..10),
-    ) {
+#[test]
+fn composition_contains_children_disjointly() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0xC0_3E ^ case);
+        let comps: Vec<(u32, u32)> = (0..1 + rng.next_below(9))
+            .map(|_| (1 + rng.next_below(8) as u32, 1 + rng.next_below(4) as u32))
+            .collect();
         let children: Vec<(NodeId, ResourceComponent)> = comps
             .iter()
             .enumerate()
@@ -71,49 +56,66 @@ proptest! {
         let composite = layout.composite();
         // (i) contains all children without overlap.
         let rects: Vec<Rect> = layout.placements().iter().map(|&(_, r)| r).collect();
-        prop_assert!(all_disjoint(&rects));
+        assert!(all_disjoint(&rects), "case {case}");
         let bounds = Rect::from_xywh(0, 0, composite.slots, composite.channels);
         for &(_, r) in layout.placements() {
-            prop_assert!(bounds.contains_rect(&r));
+            assert!(bounds.contains_rect(&r), "case {case}");
         }
         // (ii) the slot extent is minimal-feasible: at least the widest
         // child and at least the 16-channel area bound.
         let widest = comps.iter().map(|&(s, _)| s).max().unwrap();
-        let area: u64 = comps.iter().map(|&(s, c)| u64::from(s) * u64::from(c)).sum();
-        prop_assert!(composite.slots >= widest);
-        prop_assert!(u64::from(composite.slots) >= area.div_ceil(16));
+        let area: u64 = comps
+            .iter()
+            .map(|&(s, c)| u64::from(s) * u64::from(c))
+            .sum();
+        assert!(composite.slots >= widest, "case {case}");
+        assert!(
+            u64::from(composite.slots) >= area.div_ceil(16),
+            "case {case}"
+        );
         // (iii) the channel budget is respected.
-        prop_assert!(composite.channels <= 16);
+        assert!(composite.channels <= 16, "case {case}");
     }
+}
 
-    #[test]
-    fn pipeline_produces_exclusive_satisfying_schedules(
-        (tree, reqs) in tree_and_reqs(24),
-    ) {
+#[test]
+fn pipeline_produces_exclusive_satisfying_schedules() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0xE5_C1 ^ case);
+        let tree = random_tree(&mut rng, 24);
+        let reqs = random_reqs(&mut rng, &tree);
         let config = SlotframeConfig::paper_default();
         let up = build_interfaces(&tree, &reqs, Direction::Up, config.channels).unwrap();
         let down = build_interfaces(&tree, &reqs, Direction::Down, config.channels).unwrap();
         let Ok(table) = allocate_partitions(&tree, &up, &down, config) else {
             // Overflow is a legal outcome for extreme demands; nothing to check.
-            return Ok(());
+            continue;
         };
         let schedule =
             generate_schedule(&tree, &reqs, &table, SchedulingPolicy::RateMonotonic).unwrap();
-        prop_assert!(schedule.is_exclusive());
-        prop_assert!(unsatisfied_links(&tree, &reqs, &schedule).is_empty());
+        assert!(schedule.is_exclusive(), "case {case}");
+        assert!(
+            unsatisfied_links(&tree, &reqs, &schedule).is_empty(),
+            "case {case}"
+        );
         // Exact allocation: no link holds more cells than required.
         for (link, cells) in reqs.iter() {
-            prop_assert_eq!(schedule.cells_of(link).len(), cells as usize);
+            assert_eq!(schedule.cells_of(link).len(), cells as usize, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn scheduling_areas_are_isolated((tree, reqs) in tree_and_reqs(24)) {
+#[test]
+fn scheduling_areas_are_isolated() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0x15_0A ^ case);
+        let tree = random_tree(&mut rng, 24);
+        let reqs = random_reqs(&mut rng, &tree);
         let config = SlotframeConfig::paper_default();
         let up = build_interfaces(&tree, &reqs, Direction::Up, config.channels).unwrap();
         let down = build_interfaces(&tree, &reqs, Direction::Down, config.channels).unwrap();
         let Ok(table) = allocate_partitions(&tree, &up, &down, config) else {
-            return Ok(());
+            continue;
         };
         let mut areas = Vec::new();
         for d in Direction::BOTH {
@@ -126,16 +128,20 @@ proptest! {
                 }
             }
         }
-        prop_assert!(all_disjoint(&areas));
+        assert!(all_disjoint(&areas), "case {case}");
     }
+}
 
-    #[test]
-    fn adjustment_outcome_is_always_valid(
-        widths in prop::collection::vec(1u32..=5, 2..8),
-        grow_to in 1u32..=12,
-        parent_w in 16u32..=30,
-        parent_h in 1u32..=3,
-    ) {
+#[test]
+fn adjustment_outcome_is_always_valid() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0xAD_75 ^ case);
+        let widths: Vec<u32> = (0..2 + rng.next_below(6))
+            .map(|_| 1 + rng.next_below(5) as u32)
+            .collect();
+        let grow_to = 1 + rng.next_below(12) as u32;
+        let parent_w = 16 + rng.next_below(15) as u32;
+        let parent_h = 1 + rng.next_below(3) as u32;
         // Lay siblings out in a row, then grow the first one.
         let mut children = Vec::new();
         let mut x = 0;
@@ -143,7 +149,9 @@ proptest! {
             children.push((NodeId(i as u16), Rect::from_xywh(x, 0, w, 1)));
             x += w;
         }
-        prop_assume!(x <= parent_w);
+        if x > parent_w {
+            continue;
+        }
         let parent = Rect::from_xywh(0, 0, parent_w, parent_h);
         let new_size = ResourceComponent::row(grow_to);
         match adjust_partition(parent, &children, NodeId(0), new_size).unwrap() {
@@ -154,21 +162,21 @@ proptest! {
                     .map(|&(_, r)| r)
                     .filter(|r| !r.is_empty())
                     .collect();
-                prop_assert!(all_disjoint(&rects));
+                assert!(all_disjoint(&rects), "case {case}");
                 for &(n, r) in &outcome.layout {
-                    prop_assert!(parent.contains_rect(&r) || r.is_empty());
+                    assert!(parent.contains_rect(&r) || r.is_empty(), "case {case}");
                     let expected = if n == NodeId(0) {
                         new_size.as_size()
                     } else {
                         children.iter().find(|(c, _)| *c == n).unwrap().1.size
                     };
-                    prop_assert_eq!(r.size, expected);
+                    assert_eq!(r.size, expected, "case {case}");
                 }
                 // Unmoved children really did not move.
                 for &(n, old) in &children {
                     if !outcome.moved.contains(&n) {
                         let now = outcome.layout.iter().find(|(c, _)| *c == n).unwrap().1;
-                        prop_assert_eq!(now, old);
+                        assert_eq!(now, old, "case {case}");
                     }
                 }
             }
@@ -177,23 +185,26 @@ proptest! {
                 // that it is at least tight.
                 let others: u64 = widths[1..].iter().map(|&w| u64::from(w)).sum();
                 let needed = others + u64::from(grow_to);
-                prop_assert!(
-                    needed > u64::from(parent_w) * u64::from(parent_h)
-                        || grow_to > parent_w,
-                    "refused although area and width admit a packing: \
+                assert!(
+                    needed > u64::from(parent_w) * u64::from(parent_h) || grow_to > parent_w,
+                    "case {case}: refused although area and width admit a packing: \
                      needed {needed}, capacity {}",
                     parent_w * parent_h
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn feasibility_test_never_false_positive(
-        comps in prop::collection::vec((1u32..=6, 1u32..=3), 1..8),
-        pw in 1u32..=20,
-        ph in 1u32..=4,
-    ) {
+#[test]
+fn feasibility_test_never_false_positive() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0xFE_A5 ^ case);
+        let comps: Vec<(u32, u32)> = (0..1 + rng.next_below(7))
+            .map(|_| (1 + rng.next_below(6) as u32, 1 + rng.next_below(3) as u32))
+            .collect();
+        let pw = 1 + rng.next_below(20) as u32;
+        let ph = 1 + rng.next_below(4) as u32;
         let components: Vec<ResourceComponent> = comps
             .iter()
             .map(|&(s, c)| ResourceComponent::new(s, c))
@@ -202,15 +213,20 @@ proptest! {
         if is_feasible(parent, &components).unwrap() {
             // A positive answer comes with an actual packing inside.
             let area: u64 = components.iter().map(|c| c.cell_count()).sum();
-            prop_assert!(area <= parent.cell_count());
+            assert!(area <= parent.cell_count(), "case {case}");
             for c in &components {
-                prop_assert!(c.slots <= pw && c.channels <= ph);
+                assert!(c.slots <= pw && c.channels <= ph, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn interfaces_direct_component_matches_demand((tree, reqs) in tree_and_reqs(20)) {
+#[test]
+fn interfaces_direct_component_matches_demand() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0x1F_DC ^ case);
+        let tree = random_tree(&mut rng, 20);
+        let reqs = random_reqs(&mut rng, &tree);
         let set = build_interfaces(&tree, &reqs, Direction::Up, 16).unwrap();
         for v in tree.nodes() {
             if tree.is_leaf(v) {
@@ -221,8 +237,12 @@ proptest! {
                 .interface
                 .component(tree.link_layer(v))
                 .expect("non-leaf nodes have a direct component");
-            prop_assert_eq!(direct.slots, reqs.direct_total(&tree, v, Direction::Up));
-            prop_assert!(direct.channels <= 1 || direct.slots == 0);
+            assert_eq!(
+                direct.slots,
+                reqs.direct_total(&tree, v, Direction::Up),
+                "case {case}"
+            );
+            assert!(direct.channels <= 1 || direct.slots == 0, "case {case}");
         }
     }
 }

@@ -51,7 +51,10 @@ fn post_partitions_carries_both_directions_in_one_message() {
     for (child, partitions) in gateway_posts {
         let has_up = partitions.iter().any(|&(d, _, _)| d == Direction::Up);
         let has_down = partitions.iter().any(|&(d, _, _)| d == Direction::Down);
-        assert!(has_up && has_down, "POST-part to {child} missing a direction");
+        assert!(
+            has_up && has_down,
+            "POST-part to {child} missing a direction"
+        );
     }
 }
 
@@ -63,12 +66,7 @@ fn sibling_move_translates_nested_partitions() {
     let tree = Tree::paper_fig1_example();
     let config = SlotframeConfig::paper_default();
     let reqs = fig1_reqs(&tree);
-    let mut net = HarpNetwork::new(
-        tree.clone(),
-        config,
-        &reqs,
-        SchedulingPolicy::RateMonotonic,
-    );
+    let mut net = HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic);
     net.run_static().unwrap();
 
     // Before: record where node 7 schedules layer 3.
@@ -77,7 +75,8 @@ fn sibling_move_translates_nested_partitions() {
     // A large layer-3 increase from node 8's side forces the gateway layer
     // to reorganise; wherever node 7's partition lands, its cells must
     // still be exclusive and satisfy its links.
-    net.adjust_and_settle(net.now(), Link::up(NodeId(11)), 9).unwrap();
+    net.adjust_and_settle(net.now(), Link::up(NodeId(11)), 9)
+        .unwrap();
     let after = net.node(NodeId(7)).partition(Direction::Up, 3).unwrap();
     assert!(net.schedule().is_exclusive());
     let mut expected = reqs.clone();
@@ -102,17 +101,16 @@ fn pending_requests_are_consumed_once() {
     let tree = Tree::paper_fig1_example();
     let config = SlotframeConfig::paper_default();
     let reqs = fig1_reqs(&tree);
-    let mut net = HarpNetwork::new(
-        tree.clone(),
-        config,
-        &reqs,
-        SchedulingPolicy::RateMonotonic,
-    );
+    let mut net = HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic);
     net.run_static().unwrap();
     for cells in [4u32, 8] {
-        net.adjust_and_settle(net.now(), Link::up(NodeId(9)), cells).unwrap();
+        net.adjust_and_settle(net.now(), Link::up(NodeId(9)), cells)
+            .unwrap();
         assert!(net.schedule().is_exclusive());
-        assert_eq!(net.schedule().cells_of(Link::up(NodeId(9))).len(), cells as usize);
+        assert_eq!(
+            net.schedule().cells_of(Link::up(NodeId(9))).len(),
+            cells as usize
+        );
     }
 }
 
@@ -121,12 +119,7 @@ fn interleaved_up_and_down_changes_do_not_interfere() {
     let tree = Tree::paper_fig1_example();
     let config = SlotframeConfig::paper_default();
     let reqs = fig1_reqs(&tree);
-    let mut net = HarpNetwork::new(
-        tree.clone(),
-        config,
-        &reqs,
-        SchedulingPolicy::RateMonotonic,
-    );
+    let mut net = HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic);
     net.run_static().unwrap();
     // Fire both directions' changes at the same instant, settle once.
     let now = net.now();
@@ -144,12 +137,7 @@ fn report_counts_are_internally_consistent() {
     let tree = Tree::paper_fig1_example();
     let config = SlotframeConfig::paper_default();
     let reqs = fig1_reqs(&tree);
-    let mut net = HarpNetwork::new(
-        tree.clone(),
-        config,
-        &reqs,
-        SchedulingPolicy::RateMonotonic,
-    );
+    let mut net = HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic);
     let report = net.run_static().unwrap();
     assert!(report.completed_at >= report.started_at);
     assert!(!report.involved_nodes.is_empty());
@@ -165,17 +153,13 @@ fn zero_demand_network_converges_with_empty_schedule() {
     let tree = Tree::paper_fig1_example();
     let config = SlotframeConfig::paper_default();
     let reqs = Requirements::new();
-    let mut net = HarpNetwork::new(
-        tree.clone(),
-        config,
-        &reqs,
-        SchedulingPolicy::RateMonotonic,
-    );
+    let mut net = HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic);
     net.run_static().unwrap();
     assert!(net.quiescent());
     assert_eq!(net.schedule().assignment_count(), 0);
     // A first demand can still be injected dynamically.
-    net.adjust_and_settle(net.now(), Link::up(NodeId(4)), 2).unwrap();
+    net.adjust_and_settle(net.now(), Link::up(NodeId(4)), 2)
+        .unwrap();
     assert_eq!(net.schedule().cells_of(Link::up(NodeId(4))).len(), 2);
     assert!(net.schedule().is_exclusive());
 }
@@ -188,18 +172,15 @@ fn resource_component_growth_direction_matters() {
     let tree = Tree::paper_fig1_example();
     let config = SlotframeConfig::paper_default();
     let reqs = fig1_reqs(&tree);
-    let mut net = HarpNetwork::new(
-        tree.clone(),
-        config,
-        &reqs,
-        SchedulingPolicy::RateMonotonic,
-    );
+    let mut net = HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic);
     net.run_static().unwrap();
     // Increase both children of node 7 so that C_{3,3} must grow in the
     // channel dimension (two rows of width 2 compose to [2,2] within the
     // slot budget rather than [4,1]).
-    net.adjust_and_settle(net.now(), Link::up(NodeId(9)), 2).unwrap();
-    net.adjust_and_settle(net.now(), Link::up(NodeId(10)), 2).unwrap();
+    net.adjust_and_settle(net.now(), Link::up(NodeId(9)), 2)
+        .unwrap();
+    net.adjust_and_settle(net.now(), Link::up(NodeId(10)), 2)
+        .unwrap();
     assert!(net.schedule().is_exclusive());
     let iface = net.node(NodeId(7)).interface(Direction::Up).unwrap();
     assert_eq!(iface.component(3), Some(ResourceComponent::row(4)));

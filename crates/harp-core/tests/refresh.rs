@@ -34,7 +34,8 @@ fn refresh_restores_compliance_after_adjustments() {
     let changes = [(9u16, 4u32), (10, 3), (11, 5), (4, 3), (6, 4)];
     let mut expected = reqs.clone();
     for (node, cells) in changes {
-        net.adjust_and_settle(net.now(), Link::up(NodeId(node)), cells).unwrap();
+        net.adjust_and_settle(net.now(), Link::up(NodeId(node)), cells)
+            .unwrap();
         expected.set(Link::up(NodeId(node)), cells);
     }
     assert!(net.schedule().is_exclusive());
@@ -83,10 +84,12 @@ fn refresh_is_idempotent() {
 fn network_remains_adjustable_after_refresh() {
     let (_, _, mut net) = network();
     net.run_static().unwrap();
-    net.adjust_and_settle(net.now(), Link::up(NodeId(9)), 6).unwrap();
+    net.adjust_and_settle(net.now(), Link::up(NodeId(9)), 6)
+        .unwrap();
     net.refresh().unwrap();
     // The refreshed state machines keep working for further dynamics.
-    net.adjust_and_settle(net.now(), Link::up(NodeId(10)), 4).unwrap();
+    net.adjust_and_settle(net.now(), Link::up(NodeId(10)), 4)
+        .unwrap();
     assert!(net.schedule().is_exclusive());
     assert_eq!(net.schedule().cells_of(Link::up(NodeId(9))).len(), 6);
     assert_eq!(net.schedule().cells_of(Link::up(NodeId(10))).len(), 4);
@@ -99,19 +102,24 @@ fn rejected_adjustment_is_fully_rolled_back() {
     // otherwise explode on the phantom requirement.
     let (tree, reqs, mut net) = network();
     net.run_static().unwrap();
-    let before = net.node(tree.parent(NodeId(9)).unwrap()).requirement(Direction::Up, NodeId(9));
+    let before = net
+        .node(tree.parent(NodeId(9)).unwrap())
+        .requirement(Direction::Up, NodeId(9));
 
     let result = net.adjust_and_settle(net.now(), Link::up(NodeId(9)), 500);
     assert!(result.is_err(), "500 cells cannot fit");
 
     // Demand restored at the parent, schedule untouched, plane drained.
-    let after = net.node(tree.parent(NodeId(9)).unwrap()).requirement(Direction::Up, NodeId(9));
+    let after = net
+        .node(tree.parent(NodeId(9)).unwrap())
+        .requirement(Direction::Up, NodeId(9));
     assert_eq!(after, before);
     assert!(net.quiescent());
     assert!(unsatisfied_links(&tree, &reqs, net.schedule()).is_empty());
 
     // Both a follow-up adjustment and a refresh now succeed cleanly.
-    net.adjust_and_settle(net.now(), Link::up(NodeId(9)), 3).unwrap();
+    net.adjust_and_settle(net.now(), Link::up(NodeId(9)), 3)
+        .unwrap();
     let (_, _moved) = net.refresh().unwrap();
     assert!(net.schedule().is_exclusive());
     assert_eq!(net.schedule().cells_of(Link::up(NodeId(9))).len(), 3);

@@ -149,8 +149,7 @@ fn churn_storm_keeps_invariants() {
                     })
                     .collect();
                 let leaf = candidates[rng.next_below(candidates.len() as u64) as usize];
-                let mut target =
-                    NodeId(rng.next_below(net.tree().len() as u64) as u16);
+                let mut target = NodeId(rng.next_below(net.tree().len() as u64) as u16);
                 while target == leaf || !net.is_active(target) {
                     target = NodeId(rng.next_below(net.tree().len() as u64) as u16);
                 }
@@ -166,7 +165,13 @@ fn churn_storm_keeps_invariants() {
     for v in tree.nodes().skip(1) {
         let parent = tree.parent(v).unwrap();
         for d in Direction::BOTH {
-            expected.set(Link { child: v, direction: d }, net.node(parent).requirement(d, v));
+            expected.set(
+                Link {
+                    child: v,
+                    direction: d,
+                },
+                net.node(parent).requirement(d, v),
+            );
         }
     }
     let missing = unsatisfied_links(&tree, &expected, net.schedule());

@@ -80,9 +80,8 @@ impl Search {
             return;
         }
         // Area lower bound on the final height.
-        let remaining_area: u64 =
-            self.items[idx..].iter().map(|s| s.area()).sum::<u64>()
-                + placed.iter().map(|&(_, _, s)| s.area()).sum::<u64>();
+        let remaining_area: u64 = self.items[idx..].iter().map(|s| s.area()).sum::<u64>()
+            + placed.iter().map(|&(_, _, s)| s.area()).sum::<u64>();
         let lb = (remaining_area.div_ceil(u64::from(self.width))) as u32;
         if lb.max(current_height) >= self.best {
             return;
@@ -211,7 +210,10 @@ mod tests {
 
     #[test]
     fn trivial_cases() {
-        assert_eq!(exact_strip_height(&[], 5, 1000).unwrap(), ExactResult::Optimal(0));
+        assert_eq!(
+            exact_strip_height(&[], 5, 1000).unwrap(),
+            ExactResult::Optimal(0)
+        );
         assert_eq!(
             exact_strip_height(&sizes(&[(3, 4)]), 5, 1000).unwrap(),
             ExactResult::Optimal(4)

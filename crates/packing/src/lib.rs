@@ -81,7 +81,11 @@ impl fmt::Display for PackError {
             PackError::EmptyItem { index } => {
                 write!(f, "item {index} has a zero width or height")
             }
-            PackError::ItemTooWide { index, item_width, strip_width } => write!(
+            PackError::ItemTooWide {
+                index,
+                item_width,
+                strip_width,
+            } => write!(
                 f,
                 "item {index} of width {item_width} exceeds strip width {strip_width}"
             ),
@@ -97,7 +101,11 @@ mod tests {
 
     #[test]
     fn error_display_is_lowercase_and_specific() {
-        let e = PackError::ItemTooWide { index: 3, item_width: 9, strip_width: 5 };
+        let e = PackError::ItemTooWide {
+            index: 3,
+            item_width: 9,
+            strip_width: 5,
+        };
         assert_eq!(e.to_string(), "item 3 of width 9 exceeds strip width 5");
         assert!(PackError::ZeroWidthStrip.to_string().starts_with("strip"));
     }

@@ -39,7 +39,11 @@ impl FreeSpace {
     #[must_use]
     pub fn new(container: Size) -> Self {
         let container = Rect::new(Point::ORIGIN, container);
-        let free = if container.is_empty() { Vec::new() } else { vec![container] };
+        let free = if container.is_empty() {
+            Vec::new()
+        } else {
+            vec![container]
+        };
         Self { container, free }
     }
 

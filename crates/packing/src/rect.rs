@@ -243,7 +243,10 @@ impl Rect {
     /// Translates the rectangle by `(dx, dy)`.
     #[must_use]
     pub fn translated(&self, dx: u32, dy: u32) -> Rect {
-        Rect::new(Point::new(self.origin.x + dx, self.origin.y + dy), self.size)
+        Rect::new(
+            Point::new(self.origin.x + dx, self.origin.y + dy),
+            self.size,
+        )
     }
 
     /// The Chebyshev (L∞) distance between the closest cells of two

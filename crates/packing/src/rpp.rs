@@ -136,12 +136,16 @@ mod tests {
 
     #[test]
     fn item_taller_than_container_is_infeasible_not_error() {
-        assert!(pack_into(&sizes(&[(1, 5)]), Size::new(10, 4)).unwrap().is_none());
+        assert!(pack_into(&sizes(&[(1, 5)]), Size::new(10, 4))
+            .unwrap()
+            .is_none());
     }
 
     #[test]
     fn item_wider_than_container_is_infeasible_not_error() {
-        assert!(pack_into(&sizes(&[(11, 1)]), Size::new(10, 4)).unwrap().is_none());
+        assert!(pack_into(&sizes(&[(11, 1)]), Size::new(10, 4))
+            .unwrap()
+            .is_none());
     }
 
     #[test]

@@ -45,17 +45,11 @@ fn validate(items: &[Size], width: u32) -> Result<(), PackError> {
 /// then input order). Shelf algorithms need this order for their guarantees.
 fn decreasing_height_order(items: &[Size]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..items.len()).collect();
-    order.sort_by(|&a, &b| {
-        (items[b].h, items[b].w, a).cmp(&(items[a].h, items[a].w, b))
-    });
+    order.sort_by(|&a, &b| (items[b].h, items[b].w, a).cmp(&(items[a].h, items[a].w, b)));
     order
 }
 
-fn shelf_pack(
-    items: &[Size],
-    width: u32,
-    first_fit: bool,
-) -> Result<StripPacking, PackError> {
+fn shelf_pack(items: &[Size], width: u32, first_fit: bool) -> Result<StripPacking, PackError> {
     validate(items, width)?;
     let mut shelves: Vec<Shelf> = Vec::new();
     let mut placements = vec![Rect::default(); items.len()];
@@ -75,7 +69,11 @@ fn shelf_pack(
         let shelf = match candidate {
             Some(shelf) => shelf,
             None => {
-                shelves.push(Shelf { y: top, height: size.h, used_width: 0 });
+                shelves.push(Shelf {
+                    y: top,
+                    height: size.h,
+                    used_width: 0,
+                });
                 top += size.h;
                 shelves.last_mut().expect("just pushed")
             }
@@ -181,7 +179,11 @@ mod tests {
         );
         assert_eq!(
             pack_strip_nfdh(&sizes(&[(9, 1)]), 5).unwrap_err(),
-            PackError::ItemTooWide { index: 0, item_width: 9, strip_width: 5 }
+            PackError::ItemTooWide {
+                index: 0,
+                item_width: 9,
+                strip_width: 5
+            }
         );
     }
 

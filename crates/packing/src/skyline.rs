@@ -41,7 +41,11 @@ impl StripPacking {
     /// Assembles a packing from raw parts (used by the other packers in this
     /// crate, which uphold the same invariants).
     pub(crate) fn from_parts(placements: Vec<Rect>, width: u32, height: u32) -> Self {
-        Self { placements, width, height }
+        Self {
+            placements,
+            width,
+            height,
+        }
     }
 
     /// The placed rectangles, in the same order as the input items.
@@ -121,7 +125,11 @@ impl Skyline {
             return Err(PackError::ZeroWidthStrip);
         }
         Ok(Self {
-            segments: vec![Segment { x: 0, w: width, y: 0 }],
+            segments: vec![Segment {
+                x: 0,
+                w: width,
+                y: 0,
+            }],
             width,
             max_top: 0,
         })
@@ -153,7 +161,11 @@ impl Skyline {
     /// Heights of the walls bounding segment `i` on the left and right.
     /// The strip edge counts as an infinitely tall wall.
     fn walls(&self, i: usize) -> (u32, u32) {
-        let left = if i == 0 { u32::MAX } else { self.segments[i - 1].y };
+        let left = if i == 0 {
+            u32::MAX
+        } else {
+            self.segments[i - 1].y
+        };
         let right = if i + 1 == self.segments.len() {
             u32::MAX
         } else {
@@ -196,12 +208,24 @@ impl Skyline {
         // the remainder keeps the old height.
         let mut replacement = Vec::with_capacity(3);
         if x > seg.x {
-            replacement.push(Segment { x: seg.x, w: x - seg.x, y: seg.y });
+            replacement.push(Segment {
+                x: seg.x,
+                w: x - seg.x,
+                y: seg.y,
+            });
         }
-        replacement.push(Segment { x, w: size.w, y: top });
+        replacement.push(Segment {
+            x,
+            w: size.w,
+            y: top,
+        });
         let right_rest = (seg.x + seg.w) - (x + size.w);
         if right_rest > 0 {
-            replacement.push(Segment { x: x + size.w, w: right_rest, y: seg.y });
+            replacement.push(Segment {
+                x: x + size.w,
+                w: right_rest,
+                y: seg.y,
+            });
         }
         self.segments.splice(i..=i, replacement);
         self.max_top = self.max_top.max(top);
@@ -458,7 +482,11 @@ mod tests {
         let err = pack_strip(&sizes(&[(6, 1)]), 5).unwrap_err();
         assert_eq!(
             err,
-            PackError::ItemTooWide { index: 0, item_width: 6, strip_width: 5 }
+            PackError::ItemTooWide {
+                index: 0,
+                item_width: 6,
+                strip_width: 5
+            }
         );
     }
 

@@ -29,12 +29,7 @@ impl AliceScheduler {
     /// demand of `count` cells. Both endpoints can compute this without
     /// exchanging a single message.
     #[must_use]
-    pub fn cells_for(
-        link: Link,
-        count: u32,
-        asfn: u64,
-        config: SlotframeConfig,
-    ) -> Vec<Cell> {
+    pub fn cells_for(link: Link, count: u32, asfn: u64, config: SlotframeConfig) -> Vec<Cell> {
         let dir_tag = match link.direction {
             Direction::Up => 0u64,
             Direction::Down => 1u64,
@@ -43,9 +38,8 @@ impl AliceScheduler {
         let mut out = Vec::with_capacity(count as usize);
         let mut i = 0u64;
         while out.len() < count as usize {
-            let h = mix(
-                (u64::from(link.child.0) << 40) ^ (dir_tag << 32) ^ (asfn << 8) ^ i,
-            ) % cells_per_frame;
+            let h = mix((u64::from(link.child.0) << 40) ^ (dir_tag << 32) ^ (asfn << 8) ^ i)
+                % cells_per_frame;
             let cell = Cell::new(
                 (h / u64::from(config.channels)) as u32,
                 (h % u64::from(config.channels)) as u16,

@@ -72,7 +72,11 @@ impl ApasNetwork {
     #[must_use]
     pub fn new(tree: Tree, config: SlotframeConfig) -> Self {
         let plane = MgmtPlane::new(&tree, config);
-        Self { tree, plane, now: Asn::ZERO }
+        Self {
+            tree,
+            plane,
+            now: Asn::ZERO,
+        }
     }
 
     /// The current clock.
@@ -89,7 +93,11 @@ impl ApasNetwork {
     ///
     /// Panics if `node` is the gateway (the root adjusts itself for free).
     pub fn adjust(&mut self, at: Asn, node: NodeId) -> ApasReport {
-        assert_ne!(node, self.tree.root(), "the gateway has no uplink to adjust");
+        assert_ne!(
+            node,
+            self.tree.root(),
+            "the gateway has no uplink to adjust"
+        );
         self.now = self.now.max(at);
         let start = self.now;
         let sent_before = self.plane.messages_sent();
@@ -98,7 +106,13 @@ impl ApasNetwork {
         let mut pending_updates = 0u32;
         // The request leaves `node` toward its parent.
         self.plane
-            .send(&self.tree, self.now, node, parent, ApasMessage::Request { origin: node })
+            .send(
+                &self.tree,
+                self.now,
+                node,
+                parent,
+                ApasMessage::Request { origin: node },
+            )
             .expect("parent is a neighbour");
 
         let mut last_delivery = self.now;

@@ -6,9 +6,7 @@
 
 use crate::traits::Scheduler;
 use harp_core::Requirements;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use tsch_sim::{Cell, Direction, NetworkSchedule, SlotframeConfig, Tree};
+use tsch_sim::{Cell, Direction, NetworkSchedule, SlotframeConfig, SplitMix64, Tree};
 
 /// Uniformly random cell selection: each node picks `r(e)` cells for each
 /// of its links anywhere in the slotframe.
@@ -42,7 +40,7 @@ impl Scheduler for RandomScheduler {
         config: SlotframeConfig,
         seed: u64,
     ) -> NetworkSchedule {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let mut schedule = NetworkSchedule::new(config);
         for direction in Direction::BOTH {
             for link in tree.links(direction) {
@@ -50,8 +48,8 @@ impl Scheduler for RandomScheduler {
                 let mut granted = 0;
                 while granted < need {
                     let cell = Cell::new(
-                        rng.gen_range(0..config.slots),
-                        rng.gen_range(0..config.channels),
+                        rng.next_below(u64::from(config.slots)) as u32,
+                        rng.next_below(u64::from(config.channels)) as u16,
                     );
                     // The same link must not pick one cell twice; retries are
                     // how an autonomous node resolves its own duplicates.
@@ -104,9 +102,8 @@ impl Scheduler for MsfScheduler {
                 let mut granted = 0;
                 let mut i = 0u64;
                 while granted < need {
-                    let h = sax_hash(
-                        (u64::from(link.child.0) << 20) ^ (dir_tag << 16) ^ i,
-                    ) % cells_per_frame;
+                    let h = sax_hash((u64::from(link.child.0) << 20) ^ (dir_tag << 16) ^ i)
+                        % cells_per_frame;
                     let cell = Cell::new(
                         (h / u64::from(config.channels)) as u32,
                         (h % u64::from(config.channels)) as u16,
@@ -142,7 +139,7 @@ impl Scheduler for LdsfScheduler {
         config: SlotframeConfig,
         seed: u64,
     ) -> NetworkSchedule {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x1d5f);
+        let mut rng = SplitMix64::new(seed ^ 0x1d5f);
         let mut schedule = NetworkSchedule::new(config);
         let layers = tree.layers().max(1);
         // One block per layer per direction, uplink half then downlink half.
@@ -168,10 +165,15 @@ impl Scheduler for LdsfScheduler {
                 while granted < need {
                     // A saturated block falls back to the whole slotframe
                     // (LDSF overflows into neighbouring blocks).
-                    let (lo, hi) = if attempts < 64 { (start, end) } else { (0, config.slots) };
+                    let (lo, hi) = if attempts < 64 {
+                        (start, end)
+                    } else {
+                        (0, config.slots)
+                    };
+                    let span = hi.max(lo + 1) - lo;
                     let cell = Cell::new(
-                        rng.gen_range(lo..hi.max(lo + 1)),
-                        rng.gen_range(0..config.channels),
+                        lo + rng.next_below(u64::from(span)) as u32,
+                        rng.next_below(u64::from(config.channels)) as u16,
                     );
                     attempts += 1;
                     if schedule.assign(cell, link).is_ok() {
@@ -201,7 +203,11 @@ mod tests {
     #[test]
     fn all_baselines_satisfy_requirements() {
         let (tree, reqs, cfg) = setup();
-        for s in [&RandomScheduler as &dyn Scheduler, &MsfScheduler, &LdsfScheduler] {
+        for s in [
+            &RandomScheduler as &dyn Scheduler,
+            &MsfScheduler,
+            &LdsfScheduler,
+        ] {
             let schedule = s.build_schedule(&tree, &reqs, cfg, 11);
             assert!(
                 satisfies_requirements(&tree, &reqs, &schedule),
@@ -259,7 +265,11 @@ mod tests {
         let tree = TopologyConfig::paper_50_node().generate(8);
         let reqs = workloads::uniform_link_requirements(&tree, 3);
         let cfg = SlotframeConfig::paper_default();
-        for s in [&RandomScheduler as &dyn Scheduler, &MsfScheduler, &LdsfScheduler] {
+        for s in [
+            &RandomScheduler as &dyn Scheduler,
+            &MsfScheduler,
+            &LdsfScheduler,
+        ] {
             let schedule = s.build_schedule(&tree, &reqs, cfg, 4);
             let report = schedule.collision_report(&tree, &GlobalInterference);
             assert!(

@@ -123,7 +123,9 @@ impl MsfAdaptiveNetwork {
             // The hash may land on a cell this link's *own* other entries
             // use; MsfScheduler already deduplicates per link. Collisions
             // with other links are allowed — that is MSF's trade-off.
-            schedule.assign(cell, link).expect("per-link cells are distinct");
+            schedule
+                .assign(cell, link)
+                .expect("per-link cells are distinct");
         }
     }
 }
@@ -140,8 +142,7 @@ mod tests {
     #[test]
     fn bootstrap_installs_one_cell_per_link() {
         let tree = chain();
-        let mut sim = SimulatorBuilder::new(tree.clone(), SlotframeConfig::paper_default())
-            .build();
+        let mut sim = SimulatorBuilder::new(tree.clone(), SlotframeConfig::paper_default()).build();
         let msf = MsfAdaptiveNetwork::bootstrap(&tree, &mut sim);
         for d in Direction::BOTH {
             for link in tree.links(d) {
@@ -190,7 +191,11 @@ mod tests {
             msf.observe_and_adapt(&mut sim, 4);
             sim.run_slotframes(4);
         }
-        assert_eq!(msf.cells_of(Link::up(NodeId(2))), 1, "sheds back to one cell");
+        assert_eq!(
+            msf.cells_of(Link::up(NodeId(2))),
+            1,
+            "sheds back to one cell"
+        );
     }
 
     #[test]

@@ -50,7 +50,9 @@ pub fn measure_sixtop_transaction(
     node: NodeId,
     at: Asn,
 ) -> SixtopReport {
-    let parent = tree.parent(node).expect("the gateway runs no 6P transactions");
+    let parent = tree
+        .parent(node)
+        .expect("the gateway runs no 6P transactions");
     let mut plane: MgmtPlane<&str> = MgmtPlane::new(tree, config);
     plane
         .send(tree, at, node, parent, "6P ADD request")
@@ -66,7 +68,10 @@ pub fn measure_sixtop_transaction(
             }
         }
     }
-    SixtopReport { packets: plane.messages_sent(), elapsed_slots: last.since(at) }
+    SixtopReport {
+        packets: plane.messages_sent(),
+        elapsed_slots: last.since(at),
+    }
 }
 
 #[cfg(test)]
@@ -93,11 +98,7 @@ mod tests {
     #[should_panic(expected = "gateway runs no 6P")]
     fn gateway_has_no_transaction() {
         let tree = tsch_sim::Tree::from_parents(&[(1, 0)]);
-        let _ = measure_sixtop_transaction(
-            &tree,
-            SlotframeConfig::paper_default(),
-            NodeId(0),
-            Asn(0),
-        );
+        let _ =
+            measure_sixtop_transaction(&tree, SlotframeConfig::paper_default(), NodeId(0), Asn(0));
     }
 }

@@ -9,7 +9,11 @@ use tsch_sim::{NetworkSchedule, SlotframeConfig, Tree};
 /// Implementations must assign *at least* `r(e)` cells to every link (all
 /// the compared schedulers are work-conserving in this sense); whether the
 /// resulting schedule collides is exactly what Fig. 11 measures.
-pub trait Scheduler {
+///
+/// Schedulers are `Send + Sync` so the experiment harness can share one
+/// instance across its sweep worker threads; `build_schedule` takes `&self`,
+/// so implementations keep any randomness in the per-call `seed`.
+pub trait Scheduler: Send + Sync {
     /// Human-readable name used in experiment output.
     fn name(&self) -> &'static str;
 
@@ -48,9 +52,13 @@ mod tests {
         reqs.set(Link::up(NodeId(1)), 2);
         let mut schedule = NetworkSchedule::new(SlotframeConfig::paper_default());
         assert!(!satisfies_requirements(&tree, &reqs, &schedule));
-        schedule.assign(Cell::new(0, 0), Link::up(NodeId(1))).unwrap();
+        schedule
+            .assign(Cell::new(0, 0), Link::up(NodeId(1)))
+            .unwrap();
         assert!(!satisfies_requirements(&tree, &reqs, &schedule));
-        schedule.assign(Cell::new(1, 0), Link::up(NodeId(1))).unwrap();
+        schedule
+            .assign(Cell::new(1, 0), Link::up(NodeId(1)))
+            .unwrap();
         assert!(satisfies_requirements(&tree, &reqs, &schedule));
     }
 }

@@ -102,9 +102,7 @@ fn alice_average_collision_rate_is_stable_across_frames() {
         let mut s = NetworkSchedule::new(config);
         for direction in tsch_sim::Direction::BOTH {
             for link in tree.links(direction) {
-                for cell in
-                    AliceScheduler::cells_for(link, reqs.get(link), frame, config)
-                {
+                for cell in AliceScheduler::cells_for(link, reqs.get(link), frame, config) {
                     s.assign(cell, link).unwrap();
                 }
             }

@@ -16,6 +16,27 @@
 //! The schedule and task rates can be mutated between slots, which is how
 //! the dynamic-adjustment experiments (Fig. 10, Table II) inject traffic
 //! changes while the network is running.
+//!
+//! # Dense fast path
+//!
+//! The hot loop never touches a map. At build time every directed link is
+//! interned into a dense index (`child * 2 + direction`), and the engine
+//! keeps:
+//!
+//! * per-link queues in a `Vec<VecDeque<_>>` indexed by link id;
+//! * per-link PDR values in a flat `Vec<f64>`;
+//! * the pairwise interference relation in a flat boolean matrix, so the
+//!   trait object is consulted once per link pair at build instead of once
+//!   per pair per slot;
+//! * a per-slot table of non-empty cells (channel plus interned link list),
+//!   replacing a `BTreeMap<Cell, Vec<Link>>` probe per (slot, channel).
+//!
+//! The slot table is derived from the [`NetworkSchedule`] and rebuilt lazily
+//! whenever the schedule's version counter changes (see
+//! [`NetworkSchedule::version`]), so runtime reconfiguration through
+//! [`Simulator::schedule_mut`] keeps working. Scratch buffers for the
+//! per-cell active/collided sets are reused across slots, so steady-state
+//! execution performs no allocation.
 
 use crate::interference::InterferenceModel;
 use crate::packet::{Packet, Rate, Task, TaskId};
@@ -24,10 +45,10 @@ use crate::rng::SplitMix64;
 use crate::schedule::NetworkSchedule;
 use crate::stats::SimStats;
 use crate::time::{Asn, Cell, SlotframeConfig};
+use crate::topology::{Direction, Link, NodeId, Tree};
 use crate::trace::{TraceBuffer, TraceEvent};
-use crate::topology::{Link, NodeId, Tree};
 use core::fmt;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Default bound on packets queued per directed link.
@@ -145,10 +166,7 @@ impl SimulatorBuilder {
 
     /// Replaces the interference model.
     #[must_use]
-    pub fn interference(
-        mut self,
-        model: Box<dyn InterferenceModel + Send + Sync>,
-    ) -> Self {
+    pub fn interference(mut self, model: Box<dyn InterferenceModel + Send + Sync>) -> Self {
         self.interference = model;
         self
     }
@@ -203,7 +221,11 @@ impl SimulatorBuilder {
             return Err(SimError::DuplicateTask(task.id));
         }
         let route: Arc<[NodeId]> = task.route(&self.tree).into();
-        self.tasks.push(TaskState { task, route, next_seq: 0 });
+        self.tasks.push(TaskState {
+            task,
+            route,
+            next_seq: 0,
+        });
         Ok(self)
     }
 
@@ -213,21 +235,59 @@ impl SimulatorBuilder {
         let schedule = self
             .schedule
             .unwrap_or_else(|| NetworkSchedule::new(self.config));
-        Simulator {
+        let link_count = self.tree.len() * 2;
+
+        // Intern every directed tree link; the dense id is
+        // `child * 2 + direction`, so `links[id]` inverts the mapping.
+        let links: Vec<Link> = (0..self.tree.len() as u16)
+            .flat_map(|c| [Link::up(NodeId(c)), Link::down(NodeId(c))])
+            .collect();
+
+        // Per-link PDR, frozen at build time (the quality model has no
+        // runtime mutation API).
+        let pdr: Vec<f64> = links.iter().map(|&l| self.quality.pdr(l)).collect();
+
+        // Pairwise interference, consulted once per ordered pair here rather
+        // than once per pair per occupied cell. Links whose child is the
+        // root have no tree edge and can never carry traffic; their rows
+        // stay false.
+        let mut conflicts = vec![false; link_count * link_count];
+        let valid: Vec<usize> = (0..link_count)
+            .filter(|&id| self.tree.parent(links[id].child).is_some())
+            .collect();
+        for &a in &valid {
+            for &b in &valid {
+                if a != b {
+                    conflicts[a * link_count + b] =
+                        self.interference.conflicts(&self.tree, links[a], links[b]);
+                }
+            }
+        }
+
+        let mut sim = Simulator {
             tree: self.tree,
             config: self.config,
             schedule,
-            interference: self.interference,
-            quality: self.quality,
             tasks: self.tasks,
-            queues: BTreeMap::new(),
+            queues: (0..link_count).map(|_| VecDeque::new()).collect(),
+            links,
+            pdr,
+            conflicts,
+            link_count,
+            slot_table: vec![Vec::new(); self.config.slots as usize],
+            table_version: u64::MAX,
+            active_scratch: Vec::new(),
+            collided_scratch: Vec::new(),
+            depth_scratch: Vec::new(),
             now: Asn::ZERO,
             rng: SplitMix64::new(self.seed),
             stats: SimStats::new(),
             queue_capacity: self.queue_capacity,
             max_retries: self.max_retries,
             trace: TraceBuffer::new(self.trace_capacity),
-        }
+        };
+        sim.rebuild_slot_table();
+        sim
     }
 }
 
@@ -236,10 +296,24 @@ pub struct Simulator {
     tree: Tree,
     config: SlotframeConfig,
     schedule: NetworkSchedule,
-    interference: Box<dyn InterferenceModel + Send + Sync>,
-    quality: LinkQuality,
     tasks: Vec<TaskState>,
-    queues: BTreeMap<Link, VecDeque<QueuedPacket>>,
+    /// Per-link queues indexed by dense link id (`child * 2 + direction`).
+    queues: Vec<VecDeque<QueuedPacket>>,
+    /// Dense link id → [`Link`], for stats and trace reporting.
+    links: Vec<Link>,
+    /// Per-link PDR, indexed by dense link id.
+    pdr: Vec<f64>,
+    /// Row-major pairwise conflict matrix over dense link ids.
+    conflicts: Vec<bool>,
+    link_count: usize,
+    /// `slot_table[slot]` lists the slot's non-empty cells in channel order,
+    /// each with its assigned links (dense ids, assignment order).
+    slot_table: Vec<Vec<(u16, Vec<u32>)>>,
+    /// Schedule version the slot table was built from.
+    table_version: u64,
+    active_scratch: Vec<u32>,
+    collided_scratch: Vec<bool>,
+    depth_scratch: Vec<usize>,
     now: Asn,
     rng: SplitMix64,
     stats: SimStats,
@@ -285,6 +359,9 @@ impl Simulator {
     }
 
     /// Mutable access to the schedule (for runtime reconfiguration).
+    ///
+    /// The engine's dense slot table is re-derived automatically before the
+    /// next slot executes, keyed off [`NetworkSchedule::version`].
     #[must_use]
     pub fn schedule_mut(&mut self) -> &mut NetworkSchedule {
         &mut self.schedule
@@ -312,22 +389,21 @@ impl Simulator {
     /// Total packets currently queued anywhere in the network.
     #[must_use]
     pub fn queued_packets(&self) -> usize {
-        self.queues.values().map(VecDeque::len).sum()
+        self.queues.iter().map(VecDeque::len).sum()
     }
 
     /// Packets queued at one node (over all its outgoing links).
     #[must_use]
     pub fn queue_depth(&self, node: NodeId) -> usize {
-        self.queues
-            .iter()
-            .filter(|(link, _)| {
-                self.tree
-                    .endpoints(**link)
-                    .map(|(sender, _)| sender == node)
-                    .unwrap_or(false)
-            })
-            .map(|(_, q)| q.len())
-            .sum()
+        // The node transmits on its own uplink and on each child's downlink.
+        let mut total = match self.tree.parent(node) {
+            Some(_) => self.queues[node.index() * 2].len(),
+            None => 0,
+        };
+        for &child in self.tree.children(node) {
+            total += self.queues[child.index() * 2 + 1].len();
+        }
+        total
     }
 
     /// Changes a task's rate, effective from the next slotframe boundary.
@@ -351,11 +427,14 @@ impl Simulator {
         self.tasks.iter().map(|t| t.task.clone()).collect()
     }
 
-    /// Advances the simulation by `n` slots.
+    /// Advances the simulation by `n` slots, accumulating wall-clock time
+    /// into [`SimStats::run_time`].
     pub fn run_slots(&mut self, n: u64) {
+        let start = std::time::Instant::now();
         for _ in 0..n {
             self.step_slot();
         }
+        self.stats.run_time += start.elapsed();
     }
 
     /// Advances the simulation by `n` whole slotframes.
@@ -369,11 +448,53 @@ impl Simulator {
             self.release_tasks();
             self.sample_queue_depths();
         }
-        let slot = self.config.slot_offset(self.now);
-        for channel in 0..self.config.channels {
-            self.execute_cell(Cell::new(slot, channel));
+        if self.table_version != self.schedule.version() {
+            self.rebuild_slot_table();
         }
+        let slot = self.config.slot_offset(self.now) as usize;
+        // Move the slot's cell list out so the engine can be borrowed
+        // mutably while iterating it; nothing below touches the table.
+        let cells = std::mem::take(&mut self.slot_table[slot]);
+        for (channel, ids) in &cells {
+            self.execute_cell(Cell::new(slot as u32, *channel), ids);
+        }
+        self.slot_table[slot] = cells;
+        self.stats.slots_simulated += 1;
         self.now = self.now.plus(1);
+    }
+
+    /// The dense id of `link`, or `None` for links outside the tree's id
+    /// space (they can never carry traffic).
+    fn intern(&self, link: Link) -> Option<u32> {
+        if link.child.index() >= self.tree.len() {
+            return None;
+        }
+        let bit = match link.direction {
+            Direction::Up => 0,
+            Direction::Down => 1,
+        };
+        Some((link.child.index() * 2 + bit) as u32)
+    }
+
+    /// Re-derives the per-slot schedule table from the live schedule.
+    fn rebuild_slot_table(&mut self) {
+        for slot in &mut self.slot_table {
+            slot.clear();
+        }
+        for (cell, links) in self.schedule.iter_cells() {
+            // Mirror the map-based engine: only cells inside the simulator's
+            // own slotframe bounds ever execute.
+            if cell.slot >= self.config.slots || cell.channel >= self.config.channels {
+                continue;
+            }
+            let ids: Vec<u32> = links.iter().filter_map(|&l| self.intern(l)).collect();
+            if !ids.is_empty() {
+                // `iter_cells` is cell-ordered, so channels arrive ascending
+                // within each slot.
+                self.slot_table[cell.slot as usize].push((cell.channel, ids));
+            }
+        }
+        self.table_version = self.schedule.version();
     }
 
     /// Releases task packets at a slotframe boundary.
@@ -395,7 +516,8 @@ impl Simulator {
                 let packet = Packet::new(task, seq0 + k, self.now, route.clone());
                 if packet.is_delivered() {
                     // Gateway-sourced degenerate route: delivered instantly.
-                    self.stats.record_delivery(packet.holder(), self.now, self.now);
+                    self.stats
+                        .record_delivery(packet.holder(), self.now, self.now);
                 } else {
                     self.enqueue(packet);
                 }
@@ -405,8 +527,8 @@ impl Simulator {
 
     /// Queues a packet at its current holder for its next hop.
     fn enqueue(&mut self, packet: Packet) {
-        let link = self.next_link(&packet);
-        let queue = self.queues.entry(link).or_default();
+        let id = self.next_link_id(&packet);
+        let queue = &mut self.queues[id];
         if queue.len() >= self.queue_capacity {
             self.stats.queue_drops += 1;
         } else {
@@ -414,75 +536,94 @@ impl Simulator {
         }
     }
 
-    /// The directed link a packet must traverse next.
+    /// The dense id of the link a packet must traverse next.
     ///
     /// # Panics
     ///
     /// Panics if the packet is already delivered or its route does not
     /// follow tree edges.
-    fn next_link(&self, packet: &Packet) -> Link {
+    fn next_link_id(&self, packet: &Packet) -> usize {
         let holder = packet.holder();
         let next = packet.next_hop().expect("packet not delivered");
         if self.tree.parent(holder) == Some(next) {
-            Link::up(holder)
+            holder.index() * 2 // Link::up(holder)
         } else if self.tree.parent(next) == Some(holder) {
-            Link::down(next)
+            next.index() * 2 + 1 // Link::down(next)
         } else {
             panic!("route hop {holder}->{next} is not a tree edge");
         }
     }
 
     /// Executes all transmissions scheduled on one cell.
-    fn execute_cell(&mut self, cell: Cell) {
+    fn execute_cell(&mut self, cell: Cell, ids: &[u32]) {
         // Links with traffic ready on this cell.
-        let active: Vec<Link> = self
-            .schedule
-            .links_on(cell)
-            .iter()
-            .copied()
-            .filter(|link| self.queues.get(link).is_some_and(|q| !q.is_empty()))
-            .collect();
-        if active.is_empty() {
+        self.active_scratch.clear();
+        for &id in ids {
+            if !self.queues[id as usize].is_empty() {
+                self.active_scratch.push(id);
+            }
+        }
+        let n = self.active_scratch.len();
+        if n == 0 {
             return;
         }
-        self.stats.tx_attempts += active.len() as u64;
-        for &link in &active {
+        self.stats.tx_attempts += n as u64;
+        for &id in &self.active_scratch {
+            let link = self.links[id as usize];
             *self.stats.tx_attempts_per_link.entry(link).or_default() += 1;
         }
 
-        // Pairwise interference among simultaneous transmissions.
-        let mut collided = vec![false; active.len()];
-        for i in 0..active.len() {
-            for j in i + 1..active.len() {
-                if self.interference.conflicts(&self.tree, active[i], active[j]) {
-                    collided[i] = true;
-                    collided[j] = true;
+        // Pairwise interference among simultaneous transmissions, resolved
+        // against the precomputed matrix.
+        self.collided_scratch.clear();
+        self.collided_scratch.resize(n, false);
+        for i in 0..n {
+            for j in i + 1..n {
+                let a = self.active_scratch[i] as usize;
+                let b = self.active_scratch[j] as usize;
+                if self.conflicts[a * self.link_count + b] {
+                    self.collided_scratch[i] = true;
+                    self.collided_scratch[j] = true;
                 }
             }
         }
 
-        for (idx, &link) in active.iter().enumerate() {
-            if collided[idx] {
+        for idx in 0..n {
+            let id = self.active_scratch[idx] as usize;
+            let link = self.links[id];
+            if self.collided_scratch[idx] {
                 self.stats.collisions += 1;
-                self.trace.record(TraceEvent::TxCollision { at: self.now, link, cell });
-                self.fail_head(link);
+                self.trace.record(TraceEvent::TxCollision {
+                    at: self.now,
+                    link,
+                    cell,
+                });
+                self.fail_head(id, link);
                 continue;
             }
-            let pdr = self.quality.pdr(link);
+            let pdr = self.pdr[id];
             if pdr < 1.0 && !self.rng.chance(pdr) {
                 self.stats.losses += 1;
-                self.trace.record(TraceEvent::TxLoss { at: self.now, link, cell });
-                self.fail_head(link);
+                self.trace.record(TraceEvent::TxLoss {
+                    at: self.now,
+                    link,
+                    cell,
+                });
+                self.fail_head(id, link);
                 continue;
             }
-            self.trace.record(TraceEvent::TxOk { at: self.now, link, cell });
-            self.deliver_head(link);
+            self.trace.record(TraceEvent::TxOk {
+                at: self.now,
+                link,
+                cell,
+            });
+            self.deliver_head(id);
         }
     }
 
     /// Handles a failed transmission: retry or drop the head packet.
-    fn fail_head(&mut self, link: Link) {
-        let queue = self.queues.get_mut(&link).expect("active link has a queue");
+    fn fail_head(&mut self, id: usize, link: Link) {
+        let queue = &mut self.queues[id];
         let head = queue.front_mut().expect("active link queue is non-empty");
         head.retries += 1;
         if head.retries > self.max_retries {
@@ -492,10 +633,11 @@ impl Simulator {
         }
     }
 
-    /// Advances the head packet of `link` by one hop.
-    fn deliver_head(&mut self, link: Link) {
-        let queue = self.queues.get_mut(&link).expect("active link has a queue");
-        let mut queued = queue.pop_front().expect("active link queue is non-empty");
+    /// Advances the head packet of link `id` by one hop.
+    fn deliver_head(&mut self, id: usize) {
+        let mut queued = self.queues[id]
+            .pop_front()
+            .expect("active link queue is non-empty");
         queued.packet.advance();
         if queued.packet.is_delivered() {
             let source = queued.packet.route[0];
@@ -509,17 +651,27 @@ impl Simulator {
 
     /// Samples per-node queue depths into the stats high-water marks.
     fn sample_queue_depths(&mut self) {
-        let mut per_node: BTreeMap<NodeId, usize> = BTreeMap::new();
-        for (link, queue) in &self.queues {
+        self.depth_scratch.clear();
+        self.depth_scratch.resize(self.tree.len(), 0);
+        for (id, queue) in self.queues.iter().enumerate() {
             if queue.is_empty() {
                 continue;
             }
-            if let Ok((sender, _)) = self.tree.endpoints(*link) {
-                *per_node.entry(sender).or_default() += queue.len();
+            let link = self.links[id];
+            // The sender of an uplink is the child itself; of a downlink,
+            // the child's parent. Links without a tree edge hold no traffic.
+            let sender = match link.direction {
+                Direction::Up => self.tree.parent(link.child).map(|_| link.child),
+                Direction::Down => self.tree.parent(link.child),
+            };
+            if let Some(sender) = sender {
+                self.depth_scratch[sender.index()] += queue.len();
             }
         }
-        for (node, depth) in per_node {
-            self.stats.record_queue_depth(node, depth);
+        for (i, &depth) in self.depth_scratch.iter().enumerate() {
+            if depth > 0 {
+                self.stats.record_queue_depth(NodeId(i as u16), depth);
+            }
         }
     }
 }
@@ -670,7 +822,11 @@ mod tests {
             .schedule(chain_schedule())
             .quality(quality)
             .max_retries(3)
-            .task(Task::uplink(TaskId(0), NodeId(2), Rate::new(1, 10).unwrap()))
+            .task(Task::uplink(
+                TaskId(0),
+                NodeId(2),
+                Rate::new(1, 10).unwrap(),
+            ))
             .unwrap();
         let mut sim = sim.build();
         sim.run_slotframes(10);
@@ -700,7 +856,8 @@ mod tests {
         let mut sim = sim.build();
         sim.run_slotframes(2);
         assert_eq!(sim.stats().generated, 2);
-        sim.set_task_rate(TaskId(0), Rate::per_slotframe(3)).unwrap();
+        sim.set_task_rate(TaskId(0), Rate::per_slotframe(3))
+            .unwrap();
         sim.run_slotframes(2);
         assert_eq!(sim.stats().generated, 2 + 6);
         assert!(matches!(
@@ -723,6 +880,23 @@ mod tests {
             .unwrap();
         sim.run_slotframes(2);
         assert!(!sim.stats().deliveries.is_empty());
+    }
+
+    #[test]
+    fn schedule_unassign_at_runtime_stops_traffic() {
+        let sim = SimulatorBuilder::new(chain_tree(), small_config())
+            .schedule(chain_schedule())
+            .task(Task::uplink(TaskId(0), NodeId(2), Rate::per_slotframe(1)))
+            .unwrap();
+        let mut sim = sim.build();
+        sim.run_slotframes(2);
+        let delivered = sim.stats().deliveries.len();
+        assert!(delivered > 0);
+        // Remove the first hop's cell: new packets stall at node 2.
+        sim.schedule_mut().unassign_link(Link::up(NodeId(2)));
+        sim.run_slotframes(3);
+        assert_eq!(sim.stats().deliveries.len(), delivered);
+        assert!(sim.queue_depth(NodeId(2)) > 0);
     }
 
     #[test]
@@ -810,5 +984,40 @@ mod tests {
         sim.run_slotframes(1);
         assert_eq!(sim.queue_depth(NodeId(2)), 2);
         assert_eq!(sim.queue_depth(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn slots_simulated_counts_every_slot() {
+        let sim = SimulatorBuilder::new(chain_tree(), small_config())
+            .schedule(chain_schedule())
+            .task(Task::uplink(TaskId(0), NodeId(2), Rate::per_slotframe(1)))
+            .unwrap();
+        let mut sim = sim.build();
+        sim.run_slotframes(4);
+        assert_eq!(sim.stats().slots_simulated, 40);
+        assert!(sim.stats().run_time > std::time::Duration::ZERO);
+        assert!(sim.stats().slots_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn out_of_bounds_schedule_cells_are_ignored() {
+        // A schedule built for a larger slotframe: cells beyond the
+        // simulator's own bounds never execute, exactly as when they were
+        // probed cell-by-cell.
+        let big = SlotframeConfig::new(50, 8, 10_000).unwrap();
+        let mut s = NetworkSchedule::new(big);
+        s.assign(Cell::new(0, 0), Link::up(NodeId(2))).unwrap();
+        s.assign(Cell::new(1, 0), Link::up(NodeId(1))).unwrap();
+        s.assign(Cell::new(40, 0), Link::up(NodeId(2))).unwrap(); // beyond 10 slots
+        s.assign(Cell::new(2, 5), Link::up(NodeId(2))).unwrap(); // beyond 2 channels
+        let sim = SimulatorBuilder::new(chain_tree(), small_config())
+            .schedule(s)
+            .task(Task::uplink(TaskId(0), NodeId(2), Rate::per_slotframe(1)))
+            .unwrap();
+        let mut sim = sim.build();
+        sim.run_slotframes(1);
+        // Delivered via the two in-bounds cells only.
+        assert_eq!(sim.stats().deliveries.len(), 1);
+        assert_eq!(sim.stats().tx_attempts, 2);
     }
 }

@@ -46,7 +46,9 @@ impl HoppingSequence {
     pub fn ieee_2_4ghz_default() -> Self {
         // The 6TiSCH minimal (RFC 8180) hopping pattern.
         Self {
-            channels: vec![16, 17, 23, 18, 26, 15, 25, 22, 19, 11, 12, 13, 24, 14, 20, 21],
+            channels: vec![
+                16, 17, 23, 18, 26, 15, 25, 22, 19, 11, 12, 13, 24, 14, 20, 21,
+            ],
         }
     }
 
@@ -170,8 +172,9 @@ mod tests {
     #[test]
     fn same_offset_hops_over_time() {
         let seq = HoppingSequence::ieee_2_4ghz_default();
-        let visited: std::collections::BTreeSet<u16> =
-            (0..seq.period()).map(|a| seq.physical_channel(Asn(a), 3)).collect();
+        let visited: std::collections::BTreeSet<u16> = (0..seq.period())
+            .map(|a| seq.physical_channel(Asn(a), 3))
+            .collect();
         assert_eq!(visited.len(), 16, "one period visits every channel");
     }
 
@@ -190,7 +193,10 @@ mod tests {
 
     #[test]
     fn constructor_validation() {
-        assert_eq!(HoppingSequence::new(vec![]).unwrap_err(), HoppingError::Empty);
+        assert_eq!(
+            HoppingSequence::new(vec![]).unwrap_err(),
+            HoppingError::Empty
+        );
         assert_eq!(
             HoppingSequence::new(vec![11, 12, 11]).unwrap_err(),
             HoppingError::Duplicate(11)

@@ -74,7 +74,9 @@ impl TwoHopInterference {
     /// Interference limited to tree adjacency (no extra radio edges).
     #[must_use]
     pub fn from_tree(_tree: &Tree) -> Self {
-        Self { extra_edges: HashSet::new() }
+        Self {
+            extra_edges: HashSet::new(),
+        }
     }
 
     /// Adds extra radio edges beyond the routing tree.
@@ -237,6 +239,9 @@ mod tests {
         assert!(m.in_range(&t, NodeId(1), NodeId(0)));
         assert!(m.in_range(&t, NodeId(0), NodeId(1)));
         assert!(m.in_range(&t, NodeId(4), NodeId(4)));
-        assert!(!m.in_range(&t, NodeId(4), NodeId(5)), "siblings not in range");
+        assert!(
+            !m.in_range(&t, NodeId(4), NodeId(5)),
+            "siblings not in range"
+        );
     }
 }

@@ -54,6 +54,7 @@ mod interference;
 mod mgmt;
 mod packet;
 mod radio;
+pub mod reference;
 mod rng;
 mod schedule;
 mod stats;
@@ -71,7 +72,7 @@ pub use packet::{Packet, Rate, RateError, Task, TaskId, TaskKind};
 pub use radio::{LinkQuality, PdrError};
 pub use rng::SplitMix64;
 pub use schedule::{CollisionReport, NetworkSchedule, ScheduleError};
-pub use stats::{DeliveryRecord, LatencySummary, SimStats};
+pub use stats::{mean, percentile_nearest_rank, DeliveryRecord, LatencySummary, SimStats};
 pub use time::{Asn, Cell, ConfigError, SlotframeConfig};
 pub use topology::{Direction, Link, NodeId, TopologyError, Tree, TreeBuilder};
 pub use trace::{TraceBuffer, TraceEvent};

@@ -165,7 +165,8 @@ impl<M> MgmtPlane<M> {
     pub fn add_node(&mut self) -> NodeId {
         let i = self.up_slot.len();
         let channels = u32::from(self.config.channels).max(1);
-        self.up_slot.push(((2 * i as u32) / channels) % self.config.slots);
+        self.up_slot
+            .push(((2 * i as u32) / channels) % self.config.slots);
         self.down_slot
             .push(((2 * i as u32 + 1) / channels) % self.config.slots);
         self.up_busy_until.push(Asn::ZERO);
@@ -204,9 +205,15 @@ impl<M> MgmtPlane<M> {
         payload: M,
     ) -> Result<Asn, MgmtError> {
         let (slot, busy_until) = if tree.parent(from) == Some(to) {
-            (self.up_slot[from.index()], &mut self.up_busy_until[from.index()])
+            (
+                self.up_slot[from.index()],
+                &mut self.up_busy_until[from.index()],
+            )
         } else if tree.parent(to) == Some(from) {
-            (self.down_slot[to.index()], &mut self.down_busy_until[to.index()])
+            (
+                self.down_slot[to.index()],
+                &mut self.down_busy_until[to.index()],
+            )
         } else {
             return Err(MgmtError::NotNeighbors { from, to });
         };
@@ -215,7 +222,13 @@ impl<M> MgmtPlane<M> {
         let earliest = now.plus(1).max(busy_until.plus(1));
         let deliver_at = self.config.next_occurrence(earliest, slot);
         *busy_until = deliver_at;
-        self.in_flight.push(InFlight { deliver_at, seq: self.seq, from, to, payload });
+        self.in_flight.push(InFlight {
+            deliver_at,
+            seq: self.seq,
+            from,
+            to,
+            payload,
+        });
         self.seq += 1;
         self.sent += 1;
         Ok(deliver_at)
@@ -230,7 +243,12 @@ impl<M> MgmtPlane<M> {
                 break;
             }
             let m = self.in_flight.pop().expect("peeked element exists");
-            out.push(Delivered { from: m.from, to: m.to, at: m.deliver_at, payload: m.payload });
+            out.push(Delivered {
+                from: m.from,
+                to: m.to,
+                at: m.deliver_at,
+                payload: m.payload,
+            });
         }
         out
     }
@@ -280,9 +298,14 @@ mod tests {
     fn downlink_send_uses_child_slot() {
         let t = tree();
         let mut plane: MgmtPlane<&str> = MgmtPlane::new(&t, cfg());
-        let at = plane.send(&t, Asn(5), NodeId(1), NodeId(4), "part").unwrap();
+        let at = plane
+            .send(&t, Asn(5), NodeId(1), NodeId(4), "part")
+            .unwrap();
         assert!(at > Asn(5));
-        assert!(at.0 - 5 <= u64::from(cfg().slots), "at most one slotframe per hop");
+        assert!(
+            at.0 - 5 <= u64::from(cfg().slots),
+            "at most one slotframe per hop"
+        );
     }
 
     #[test]
@@ -290,12 +313,18 @@ mod tests {
         let t = tree();
         let mut plane: MgmtPlane<&str> = MgmtPlane::new(&t, cfg());
         assert_eq!(
-            plane.send(&t, Asn(0), NodeId(4), NodeId(0), "x").unwrap_err(),
-            MgmtError::NotNeighbors { from: NodeId(4), to: NodeId(0) }
+            plane
+                .send(&t, Asn(0), NodeId(4), NodeId(0), "x")
+                .unwrap_err(),
+            MgmtError::NotNeighbors {
+                from: NodeId(4),
+                to: NodeId(0)
+            }
         );
-        assert!(plane
-            .send(&t, Asn(0), NodeId(4), NodeId(5), "x")
-            .is_err(), "siblings are not neighbours");
+        assert!(
+            plane.send(&t, Asn(0), NodeId(4), NodeId(5), "x").is_err(),
+            "siblings are not neighbours"
+        );
     }
 
     #[test]
@@ -307,7 +336,11 @@ mod tests {
         plane.send(&t, Asn(0), NodeId(0), NodeId(1), 3).unwrap();
         assert_eq!(plane.messages_sent(), 3);
         let _ = plane.poll(Asn(1000));
-        assert_eq!(plane.messages_sent(), 3, "polling does not change the count");
+        assert_eq!(
+            plane.messages_sent(),
+            3,
+            "polling does not change the count"
+        );
     }
 
     #[test]
@@ -336,7 +369,10 @@ mod tests {
         let b = plane.send(&t, Asn(0), NodeId(4), NodeId(1), 2).unwrap();
         assert_eq!(b.0 - a.0, u64::from(cfg().slots), "one frame apart");
         let delivered = plane.poll(Asn(1000));
-        assert_eq!(delivered.iter().map(|d| d.payload).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(
+            delivered.iter().map(|d| d.payload).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
     }
 
     #[test]

@@ -63,13 +63,19 @@ impl Rate {
         if per_slotframes == 0 {
             return Err(RateError::ZeroDenominator);
         }
-        Ok(Self { packets, per_slotframes })
+        Ok(Self {
+            packets,
+            per_slotframes,
+        })
     }
 
     /// A whole number of packets every slotframe.
     #[must_use]
     pub const fn per_slotframe(packets: u32) -> Self {
-        Self { packets, per_slotframes: 1 }
+        Self {
+            packets,
+            per_slotframes: 1,
+        }
     }
 
     /// The rate as a float (packets per slotframe).
@@ -169,13 +175,23 @@ impl Task {
     /// Creates an echo task (the testbed default).
     #[must_use]
     pub fn echo(id: TaskId, source: NodeId, rate: Rate) -> Self {
-        Self { id, source, rate, kind: TaskKind::Echo }
+        Self {
+            id,
+            source,
+            rate,
+            kind: TaskKind::Echo,
+        }
     }
 
     /// Creates an uplink-only task.
     #[must_use]
     pub fn uplink(id: TaskId, source: NodeId, rate: Rate) -> Self {
-        Self { id, source, rate, kind: TaskKind::UplinkOnly }
+        Self {
+            id,
+            source,
+            rate,
+            kind: TaskKind::UplinkOnly,
+        }
     }
 
     /// The full node path this task's packets traverse: source → … → gateway
@@ -221,7 +237,13 @@ impl Packet {
     #[must_use]
     pub fn new(task: TaskId, seq: u64, created: Asn, route: Arc<[NodeId]>) -> Self {
         assert!(!route.is_empty(), "a packet route cannot be empty");
-        Self { task, seq, created, route, hop: 0 }
+        Self {
+            task,
+            seq,
+            created,
+            route,
+            hop: 0,
+        }
     }
 
     /// The node currently holding the packet.
@@ -314,7 +336,10 @@ mod tests {
     fn task_routes() {
         let tree = Tree::paper_fig1_example();
         let up = Task::uplink(TaskId(0), NodeId(9), Rate::default());
-        assert_eq!(up.route(&tree), vec![NodeId(9), NodeId(7), NodeId(3), NodeId(0)]);
+        assert_eq!(
+            up.route(&tree),
+            vec![NodeId(9), NodeId(7), NodeId(3), NodeId(0)]
+        );
         let echo = Task::echo(TaskId(1), NodeId(9), Rate::default());
         assert_eq!(
             echo.route(&tree),

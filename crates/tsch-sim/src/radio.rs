@@ -32,7 +32,10 @@ impl LinkQuality {
     /// Every transmission succeeds (no environmental loss).
     #[must_use]
     pub fn perfect() -> Self {
-        Self { default_pdr: 1.0, overrides: HashMap::new() }
+        Self {
+            default_pdr: 1.0,
+            overrides: HashMap::new(),
+        }
     }
 
     /// A uniform PDR for every link.
@@ -42,13 +45,19 @@ impl LinkQuality {
     /// Returns [`PdrError`] if `pdr` is not within `[0, 1]`.
     pub fn uniform(pdr: f64) -> Result<Self, PdrError> {
         validate(pdr)?;
-        Ok(Self { default_pdr: pdr, overrides: HashMap::new() })
+        Ok(Self {
+            default_pdr: pdr,
+            overrides: HashMap::new(),
+        })
     }
 
     /// The PDR of a specific link.
     #[must_use]
     pub fn pdr(&self, link: Link) -> f64 {
-        self.overrides.get(&link).copied().unwrap_or(self.default_pdr)
+        self.overrides
+            .get(&link)
+            .copied()
+            .unwrap_or(self.default_pdr)
     }
 
     /// Overrides the PDR of one link.

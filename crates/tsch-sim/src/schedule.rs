@@ -11,6 +11,15 @@ use crate::time::{Cell, SlotframeConfig};
 use crate::topology::{Link, Tree};
 use core::fmt;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide monotone counter backing [`NetworkSchedule::version`].
+///
+/// Starts at 1 so version 0 is reserved for freshly created (empty)
+/// schedules: two schedules share a version only when they have identical
+/// contents (both empty, or clones of the same mutation point), which is
+/// exactly the property the simulator's cache keying relies on.
+static NEXT_VERSION: AtomicU64 = AtomicU64::new(1);
 
 /// Errors raised by schedule mutation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -37,7 +46,11 @@ pub enum ScheduleError {
 impl fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ScheduleError::CellOutOfBounds { cell, slots, channels } => write!(
+            ScheduleError::CellOutOfBounds {
+                cell,
+                slots,
+                channels,
+            } => write!(
                 f,
                 "cell {cell} outside slotframe of {slots} slots x {channels} channels"
             ),
@@ -98,19 +111,42 @@ pub struct NetworkSchedule {
     config: SlotframeConfig,
     by_cell: BTreeMap<Cell, Vec<Link>>,
     by_link: BTreeMap<Link, Vec<Cell>>,
+    version: u64,
 }
 
 impl NetworkSchedule {
     /// Creates an empty schedule for the given slotframe.
     #[must_use]
     pub fn new(config: SlotframeConfig) -> Self {
-        Self { config, by_cell: BTreeMap::new(), by_link: BTreeMap::new() }
+        Self {
+            config,
+            by_cell: BTreeMap::new(),
+            by_link: BTreeMap::new(),
+            version: 0,
+        }
     }
 
     /// The slotframe configuration this schedule belongs to.
     #[must_use]
     pub fn config(&self) -> SlotframeConfig {
         self.config
+    }
+
+    /// An opaque mutation counter.
+    ///
+    /// Every successful [`assign`](Self::assign),
+    /// [`unassign_link`](Self::unassign_link) or [`clear`](Self::clear)
+    /// stamps the schedule with a fresh process-unique version, so a cached
+    /// derivation (such as the simulator's per-slot table) is valid exactly
+    /// while the version it was built from still matches. Clones share
+    /// their origin's version; fresh empty schedules are version 0.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    fn bump_version(&mut self) {
+        self.version = NEXT_VERSION.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Assigns `link` to `cell`. Multiple links may share a cell (that is
@@ -135,6 +171,7 @@ impl NetworkSchedule {
         }
         links.push(link);
         self.by_link.entry(link).or_default().push(cell);
+        self.bump_version();
         Ok(())
     }
 
@@ -151,6 +188,7 @@ impl NetworkSchedule {
                 }
             }
         }
+        self.bump_version();
         cells.len()
     }
 
@@ -237,6 +275,7 @@ impl NetworkSchedule {
     pub fn clear(&mut self) {
         self.by_cell.clear();
         self.by_link.clear();
+        self.bump_version();
     }
 }
 
@@ -352,6 +391,30 @@ mod tests {
         assert_eq!(s.assignment_count(), 0);
         assert!(s.iter_cells().next().is_none());
         assert!(s.iter_links().next().is_none());
+    }
+
+    #[test]
+    fn version_changes_on_every_mutation() {
+        let mut s = NetworkSchedule::new(cfg());
+        assert_eq!(s.version(), 0, "fresh schedules are version 0");
+        let v0 = s.version();
+        s.assign(Cell::new(0, 0), Link::up(NodeId(1))).unwrap();
+        let v1 = s.version();
+        assert_ne!(v0, v1);
+        // Failed mutations leave the version untouched.
+        assert!(s.assign(Cell::new(0, 0), Link::up(NodeId(1))).is_err());
+        assert_eq!(s.version(), v1);
+        assert_eq!(s.unassign_link(Link::up(NodeId(9))), 0);
+        assert_eq!(s.version(), v1);
+        // Clones keep their origin's version until mutated themselves.
+        let mut clone = s.clone();
+        assert_eq!(clone.version(), v1);
+        clone.clear();
+        assert_ne!(clone.version(), v1);
+        assert_eq!(s.version(), v1);
+        s.unassign_link(Link::up(NodeId(1)));
+        assert_ne!(s.version(), v1);
+        assert_ne!(s.version(), clone.version(), "versions are process-unique");
     }
 
     #[test]

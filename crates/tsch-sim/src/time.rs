@@ -116,7 +116,11 @@ impl SlotframeConfig {
     /// simulations: 199 slots, 16 channels, 10 ms slots.
     #[must_use]
     pub const fn paper_default() -> Self {
-        Self { slots: 199, channels: 16, slot_duration_us: 10_000 }
+        Self {
+            slots: 199,
+            channels: 16,
+            slot_duration_us: 10_000,
+        }
     }
 
     /// Creates a configuration, validating that both dimensions are nonzero.
@@ -131,7 +135,11 @@ impl SlotframeConfig {
         if channels == 0 {
             return Err(ConfigError::ZeroChannels);
         }
-        Ok(Self { slots, channels, slot_duration_us })
+        Ok(Self {
+            slots,
+            channels,
+            slot_duration_us,
+        })
     }
 
     /// Same slotframe with a different channel budget (used by the Fig. 11(b)
@@ -254,8 +262,14 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert_eq!(SlotframeConfig::new(0, 16, 10).unwrap_err(), ConfigError::ZeroSlots);
-        assert_eq!(SlotframeConfig::new(9, 0, 10).unwrap_err(), ConfigError::ZeroChannels);
+        assert_eq!(
+            SlotframeConfig::new(0, 16, 10).unwrap_err(),
+            ConfigError::ZeroSlots
+        );
+        assert_eq!(
+            SlotframeConfig::new(9, 0, 10).unwrap_err(),
+            ConfigError::ZeroChannels
+        );
         assert!(SlotframeConfig::new(9, 2, 10).is_ok());
     }
 
@@ -283,7 +297,11 @@ mod tests {
         let cfg = SlotframeConfig::new(10, 2, 10_000).unwrap();
         assert_eq!(cfg.next_occurrence(Asn(12), 2), Asn(12));
         assert_eq!(cfg.next_occurrence(Asn(12), 5), Asn(15));
-        assert_eq!(cfg.next_occurrence(Asn(12), 1), Asn(21), "wraps to next frame");
+        assert_eq!(
+            cfg.next_occurrence(Asn(12), 1),
+            Asn(21),
+            "wraps to next frame"
+        );
         assert_eq!(cfg.next_occurrence(Asn(0), 0), Asn(0));
     }
 

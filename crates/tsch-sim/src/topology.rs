@@ -98,19 +98,28 @@ impl Link {
     /// The uplink of `child` (child → parent).
     #[must_use]
     pub const fn up(child: NodeId) -> Self {
-        Self { child, direction: Direction::Up }
+        Self {
+            child,
+            direction: Direction::Up,
+        }
     }
 
     /// The downlink of `child` (parent → child).
     #[must_use]
     pub const fn down(child: NodeId) -> Self {
-        Self { child, direction: Direction::Down }
+        Self {
+            child,
+            direction: Direction::Down,
+        }
     }
 
     /// The same edge in the opposite direction.
     #[must_use]
     pub const fn reversed(self) -> Link {
-        Link { child: self.child, direction: self.direction.reversed() }
+        Link {
+            child: self.child,
+            direction: self.direction.reversed(),
+        }
     }
 }
 
@@ -305,7 +314,13 @@ impl Tree {
             }
         }
 
-        Tree { parent, children, depth, subtree_layer, subtree_size }
+        Tree {
+            parent,
+            children,
+            depth,
+            subtree_layer,
+            subtree_size,
+        }
     }
 
     /// The gateway (root) node.
@@ -475,7 +490,9 @@ impl Tree {
     ///
     /// Returns [`TopologyError::RootHasNoParent`] if `link.child` is the root.
     pub fn endpoints(&self, link: Link) -> Result<(NodeId, NodeId), TopologyError> {
-        let parent = self.parent(link.child).ok_or(TopologyError::RootHasNoParent)?;
+        let parent = self
+            .parent(link.child)
+            .ok_or(TopologyError::RootHasNoParent)?;
         Ok(match link.direction {
             Direction::Up => (link.child, parent),
             Direction::Down => (parent, link.child),
@@ -487,7 +504,10 @@ impl Tree {
     pub fn links(&self, direction: Direction) -> Vec<Link> {
         self.nodes()
             .filter(|&v| v != self.root())
-            .map(|v| Link { child: v, direction })
+            .map(|v| Link {
+                child: v,
+                direction,
+            })
             .collect()
     }
 
@@ -676,7 +696,14 @@ mod tests {
         let sub = t.subtree_nodes(NodeId(3));
         assert_eq!(
             sub,
-            vec![NodeId(3), NodeId(7), NodeId(9), NodeId(10), NodeId(8), NodeId(11)]
+            vec![
+                NodeId(3),
+                NodeId(7),
+                NodeId(9),
+                NodeId(10),
+                NodeId(8),
+                NodeId(11)
+            ]
         );
     }
 
@@ -685,11 +712,13 @@ mod tests {
         let t = fig1();
         let order = t.postorder();
         assert_eq!(order.len(), 12);
-        let pos =
-            |n: u16| order.iter().position(|&v| v == NodeId(n)).expect("node in order");
-        for &(child, parent) in
-            &[(1u16, 0u16), (4, 1), (7, 3), (9, 7), (11, 8), (3, 0)]
-        {
+        let pos = |n: u16| {
+            order
+                .iter()
+                .position(|&v| v == NodeId(n))
+                .expect("node in order")
+        };
+        for &(child, parent) in &[(1u16, 0u16), (4, 1), (7, 3), (9, 7), (11, 8), (3, 0)] {
             assert!(pos(child) < pos(parent), "{child} before {parent}");
         }
     }
@@ -727,8 +756,14 @@ mod tests {
     #[test]
     fn endpoints_follow_direction() {
         let t = fig1();
-        assert_eq!(t.endpoints(Link::up(NodeId(9))).unwrap(), (NodeId(9), NodeId(7)));
-        assert_eq!(t.endpoints(Link::down(NodeId(9))).unwrap(), (NodeId(7), NodeId(9)));
+        assert_eq!(
+            t.endpoints(Link::up(NodeId(9))).unwrap(),
+            (NodeId(9), NodeId(7))
+        );
+        assert_eq!(
+            t.endpoints(Link::down(NodeId(9))).unwrap(),
+            (NodeId(7), NodeId(9))
+        );
         assert_eq!(
             t.endpoints(Link::up(NodeId(0))).unwrap_err(),
             TopologyError::RootHasNoParent

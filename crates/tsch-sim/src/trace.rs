@@ -185,7 +185,11 @@ mod tests {
     use crate::topology::NodeId;
 
     fn ok(at: u64, node: u16) -> TraceEvent {
-        TraceEvent::TxOk { at: Asn(at), link: Link::up(NodeId(node)), cell: Cell::new(0, 0) }
+        TraceEvent::TxOk {
+            at: Asn(at),
+            link: Link::up(NodeId(node)),
+            cell: Cell::new(0, 0),
+        }
     }
 
     #[test]
@@ -217,7 +221,10 @@ mod tests {
             link: Link::up(NodeId(2)),
             cell: Cell::new(1, 0),
         });
-        t.record(TraceEvent::Drop { at: Asn(2), link: Link::up(NodeId(2)) });
+        t.record(TraceEvent::Drop {
+            at: Asn(2),
+            link: Link::up(NodeId(2)),
+        });
         assert_eq!(t.failures().count(), 2);
         assert!(t.failures().all(TraceEvent::is_failure));
     }

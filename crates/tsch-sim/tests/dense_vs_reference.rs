@@ -1,0 +1,171 @@
+//! Determinism regression: the dense-index fast path must be observationally
+//! identical to the straightforward map-based engine it replaced.
+//!
+//! The reference is [`tsch_sim::reference::ReferenceSimulator`] — per-link
+//! queues in a `BTreeMap<Link, VecDeque<_>>`, a `links_on` probe for every
+//! (slot, channel) pair, pairwise interference checks on every occupied
+//! cell. Both engines consume the same `SplitMix64` stream, so any
+//! divergence in RNG call order, cell execution order, or retry/drop
+//! bookkeeping shows up as a stats or trace mismatch.
+
+use tsch_sim::reference::ReferenceSimulator;
+use tsch_sim::{
+    Cell, Link, LinkQuality, NetworkSchedule, NodeId, Rate, Simulator, SimulatorBuilder,
+    SlotframeConfig, SplitMix64, Task, TaskId, TraceEvent, Tree,
+};
+
+fn random_tree(rng: &mut SplitMix64, max_nodes: usize) -> Tree {
+    let edges = 1 + rng.next_below(max_nodes as u64 - 1) as usize;
+    let mut pairs = Vec::with_capacity(edges);
+    for i in 0..edges {
+        pairs.push(((i + 1) as u16, rng.next_below(i as u64 + 1) as u16));
+    }
+    Tree::from_parents(&pairs)
+}
+
+/// A schedule with shared cells and imperfect links, to exercise the
+/// collision and loss paths, not just clean delivery.
+fn random_scenario(
+    rng: &mut SplitMix64,
+    tree: &Tree,
+    config: SlotframeConfig,
+) -> (NetworkSchedule, LinkQuality, Vec<Task>) {
+    let mut schedule = NetworkSchedule::new(config);
+    let mut quality = LinkQuality::perfect();
+    for v in tree.nodes().skip(1) {
+        for link in [Link::up(v), Link::down(v)] {
+            let cells = 1 + rng.next_below(3);
+            for _ in 0..cells {
+                let cell = Cell::new(
+                    rng.next_below(u64::from(config.slots)) as u32,
+                    rng.next_below(u64::from(config.channels)) as u16,
+                );
+                // Duplicate (cell, link) draws are legal to skip: both
+                // engines consume the schedule, not the draw sequence.
+                let _ = schedule.assign(cell, link);
+            }
+            if rng.chance(0.4) {
+                quality.set_pdr(link, 0.3 + 0.7 * rng.next_f64()).unwrap();
+            }
+        }
+    }
+    let tasks: Vec<Task> = tree
+        .nodes()
+        .skip(1)
+        .map(|v| {
+            let rate = Rate::per_slotframe(1 + rng.next_below(2) as u32);
+            if rng.chance(0.5) {
+                Task::echo(TaskId(v.0), v, rate)
+            } else {
+                Task::uplink(TaskId(v.0), v, rate)
+            }
+        })
+        .collect();
+    (schedule, quality, tasks)
+}
+
+fn assert_equivalent(dense: &Simulator, reference: &ReferenceSimulator, label: &str) {
+    let d = dense.stats();
+    let r = reference.stats();
+    assert_eq!(d.deliveries, r.deliveries, "{label}: deliveries");
+    assert_eq!(d.tx_attempts, r.tx_attempts, "{label}: tx_attempts");
+    assert_eq!(
+        d.tx_attempts_per_link, r.tx_attempts_per_link,
+        "{label}: per-link attempts"
+    );
+    assert_eq!(d.collisions, r.collisions, "{label}: collisions");
+    assert_eq!(d.losses, r.losses, "{label}: losses");
+    assert_eq!(d.queue_drops, r.queue_drops, "{label}: queue_drops");
+    assert_eq!(d.generated, r.generated, "{label}: generated");
+    assert_eq!(
+        d.queue_high_water, r.queue_high_water,
+        "{label}: queue high-water"
+    );
+    assert_eq!(
+        d.slots_simulated, r.slots_simulated,
+        "{label}: slots simulated"
+    );
+    let dense_trace: Vec<TraceEvent> = dense.trace().iter().copied().collect();
+    assert_eq!(dense_trace, reference.trace(), "{label}: trace events");
+}
+
+#[test]
+fn dense_engine_matches_reference_on_random_scenarios() {
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::new(0x000D_E25E ^ case);
+        let tree = random_tree(&mut rng, 24);
+        let config = SlotframeConfig::new(20, 4, 10_000).unwrap();
+        let (schedule, quality, tasks) = random_scenario(&mut rng, &tree, config);
+        let seed = rng.next_u64();
+        let frames = 12;
+
+        let mut builder = SimulatorBuilder::new(tree.clone(), config)
+            .schedule(schedule.clone())
+            .quality(quality.clone())
+            .seed(seed)
+            .trace_capacity(1 << 20);
+        for task in &tasks {
+            builder = builder.task(task.clone()).unwrap();
+        }
+        let mut dense = builder.build();
+        dense.run_slotframes(frames);
+
+        let mut reference = ReferenceSimulator::new(tree, config, schedule, quality, seed, &tasks);
+        reference.run_slotframes(frames);
+
+        assert_equivalent(&dense, &reference, &format!("case {case}"));
+    }
+}
+
+#[test]
+fn dense_engine_matches_reference_under_runtime_schedule_mutation() {
+    // The fast path caches a per-slot table keyed on the schedule version;
+    // mutating the schedule mid-run must invalidate it exactly like the
+    // reference's per-slot probing.
+    for case in 0..12u64 {
+        let mut rng = SplitMix64::new(0x0034_17ED ^ case);
+        let tree = random_tree(&mut rng, 16);
+        let config = SlotframeConfig::new(15, 3, 10_000).unwrap();
+        let (schedule, quality, tasks) = random_scenario(&mut rng, &tree, config);
+        let seed = rng.next_u64();
+
+        let mut builder = SimulatorBuilder::new(tree.clone(), config)
+            .schedule(schedule.clone())
+            .quality(quality.clone())
+            .seed(seed)
+            .trace_capacity(1 << 20);
+        for task in &tasks {
+            builder = builder.task(task.clone()).unwrap();
+        }
+        let mut dense = builder.build();
+        let mut reference =
+            ReferenceSimulator::new(tree.clone(), config, schedule, quality, seed, &tasks);
+
+        for _round in 0..6u64 {
+            dense.run_slotframes(2);
+            reference.run_slotframes(2);
+            // Apply the same mutation to both engines.
+            let victim = NodeId(1 + rng.next_below(tree.len() as u64 - 1) as u16);
+            let link = if rng.chance(0.5) {
+                Link::up(victim)
+            } else {
+                Link::down(victim)
+            };
+            if rng.chance(0.5) {
+                dense.schedule_mut().unassign_link(link);
+                reference.schedule_mut().unassign_link(link);
+            } else {
+                let cell = Cell::new(
+                    rng.next_below(u64::from(config.slots)) as u32,
+                    rng.next_below(u64::from(config.channels)) as u16,
+                );
+                let _ = dense.schedule_mut().assign(cell, link);
+                let _ = reference.schedule_mut().assign(cell, link);
+            }
+        }
+        dense.run_slotframes(4);
+        reference.run_slotframes(4);
+
+        assert_equivalent(&dense, &reference, &format!("case {case}"));
+    }
+}

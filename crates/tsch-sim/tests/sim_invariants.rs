@@ -1,21 +1,25 @@
-//! Property-based tests of the simulator's conservation and timing
+//! Seeded randomized tests of the simulator's conservation and timing
 //! invariants.
+//!
+//! Inputs are drawn from the crate's own [`SplitMix64`] generator, so every
+//! case is reproducible from the fixed seeds below and the suite builds
+//! offline with no external property-testing dependency.
 
-use proptest::prelude::*;
 use std::sync::Arc;
 use tsch_sim::{
     Cell, Direction, Link, NetworkSchedule, NodeId, Packet, Rate, SimulatorBuilder,
-    SlotframeConfig, Task, TaskId, Tree,
+    SlotframeConfig, SplitMix64, Task, TaskId, Tree,
 };
 
-fn tree_strategy(max_nodes: usize) -> impl Strategy<Value = Tree> {
-    prop::collection::vec(0..1_000_000u32, 1..max_nodes).prop_map(|choices| {
-        let mut pairs = Vec::with_capacity(choices.len());
-        for (i, c) in choices.iter().enumerate() {
-            pairs.push(((i + 1) as u16, (c % (i as u32 + 1)) as u16));
-        }
-        Tree::from_parents(&pairs)
-    })
+/// Arbitrary parent-pointer tree: node `i + 1` attaches to a random earlier
+/// node, giving between 2 and `max_nodes` nodes.
+fn random_tree(rng: &mut SplitMix64, max_nodes: usize) -> Tree {
+    let edges = 1 + rng.next_below(max_nodes as u64 - 1) as usize;
+    let mut pairs = Vec::with_capacity(edges);
+    for i in 0..edges {
+        pairs.push(((i + 1) as u16, rng.next_below(i as u64 + 1) as u16));
+    }
+    Tree::from_parents(&pairs)
 }
 
 /// A collision-free uplink schedule: every link gets one dedicated cell,
@@ -35,12 +39,13 @@ fn chain_schedule(tree: &Tree, config: SlotframeConfig) -> NetworkSchedule {
     schedule
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn packet_conservation(tree in tree_strategy(16), frames in 1u64..6) {
-        // generated = delivered + queued + dropped, always.
+#[test]
+fn packet_conservation() {
+    // generated = delivered + queued + dropped, always.
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::new(0xC0_5E ^ case);
+        let tree = random_tree(&mut rng, 16);
+        let frames = 1 + rng.next_below(5);
         let config = SlotframeConfig::new(32, 4, 10_000).unwrap();
         let schedule = chain_schedule(&tree, config);
         let mut builder = SimulatorBuilder::new(tree.clone(), config).schedule(schedule);
@@ -52,16 +57,19 @@ proptest! {
         let mut sim = builder.build();
         sim.run_slotframes(frames);
         let stats = sim.stats();
-        prop_assert_eq!(
+        assert_eq!(
             stats.generated,
-            stats.deliveries.len() as u64 + sim.queued_packets() as u64 + stats.queue_drops
+            stats.deliveries.len() as u64 + sim.queued_packets() as u64 + stats.queue_drops,
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn one_cell_per_link_uplink_delivers_everything_eventually(
-        tree in tree_strategy(12),
-    ) {
+#[test]
+fn one_cell_per_link_uplink_delivers_everything_eventually() {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::new(0xDE_11 ^ case);
+        let tree = random_tree(&mut rng, 12);
         let config = SlotframeConfig::new(32, 4, 10_000).unwrap();
         let schedule = chain_schedule(&tree, config);
         let mut builder = SimulatorBuilder::new(tree.clone(), config).schedule(schedule);
@@ -69,21 +77,33 @@ proptest! {
             // A single packet per node (released in frame 0 only): with one
             // dedicated cell per link, everything must eventually arrive.
             builder = builder
-                .task(Task::uplink(TaskId(i as u16), v, Rate::new(1, 10_000).unwrap()))
+                .task(Task::uplink(
+                    TaskId(i as u16),
+                    v,
+                    Rate::new(1, 10_000).unwrap(),
+                ))
                 .unwrap();
         }
         let mut sim = builder.build();
         // Horizon: the most congested link serves a whole subtree at one
         // cell per frame, plus the path depth.
         sim.run_slotframes(tree.len() as u64 + u64::from(tree.layers()) + 1);
-        prop_assert!(sim.stats().generated > 0);
-        prop_assert_eq!(sim.stats().deliveries.len() as u64, sim.stats().generated);
-        prop_assert_eq!(sim.stats().collisions, 0);
+        assert!(sim.stats().generated > 0, "case {case}");
+        assert_eq!(
+            sim.stats().deliveries.len() as u64,
+            sim.stats().generated,
+            "case {case}"
+        );
+        assert_eq!(sim.stats().collisions, 0, "case {case}");
     }
+}
 
-    #[test]
-    fn latency_respects_hop_count(tree in tree_strategy(12)) {
-        // A packet from depth d needs at least d slots to reach the root.
+#[test]
+fn latency_respects_hop_count() {
+    // A packet from depth d needs at least d slots to reach the root.
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::new(0x1A_7E ^ case);
+        let tree = random_tree(&mut rng, 12);
         let config = SlotframeConfig::new(64, 4, 10_000).unwrap();
         let schedule = chain_schedule(&tree, config);
         let mut builder = SimulatorBuilder::new(tree.clone(), config).schedule(schedule);
@@ -96,31 +116,37 @@ proptest! {
         sim.run_slotframes(10);
         for d in &sim.stats().deliveries {
             let depth = tree.depth(d.source);
-            prop_assert!(
+            assert!(
                 d.latency_slots() >= u64::from(depth),
-                "{} at depth {depth} delivered in {} slots",
+                "case {case}: {} at depth {depth} delivered in {} slots",
                 d.source,
                 d.latency_slots()
             );
         }
     }
+}
 
-    #[test]
-    fn rate_release_counts_are_exact(
-        packets in 1u32..6,
-        per in 1u32..5,
-        frames in 1u64..40,
-    ) {
+#[test]
+fn rate_release_counts_are_exact() {
+    for case in 0..200u64 {
+        let mut rng = SplitMix64::new(0x4A_7E ^ case);
+        let packets = 1 + rng.next_below(5) as u32;
+        let per = 1 + rng.next_below(4) as u32;
+        let frames = 1 + rng.next_below(39);
         let rate = Rate::new(packets, per).unwrap();
-        let released: u64 = (0..frames).map(|f| u64::from(rate.packets_in_slotframe(f))).sum();
+        let released: u64 = (0..frames)
+            .map(|f| u64::from(rate.packets_in_slotframe(f)))
+            .sum();
         let exact = u64::from(packets) * frames / u64::from(per);
         // Accumulated releases never drift more than one period's worth.
-        prop_assert!(released >= exact);
-        prop_assert!(released <= exact + u64::from(packets));
+        assert!(released >= exact, "case {case}");
+        assert!(released <= exact + u64::from(packets), "case {case}");
     }
+}
 
-    #[test]
-    fn packet_route_traversal_never_skips(hops in 1usize..8) {
+#[test]
+fn packet_route_traversal_never_skips() {
+    for hops in 1usize..8 {
         let route: Arc<[NodeId]> = (0..=hops as u16).map(NodeId).collect();
         let mut p = Packet::new(TaskId(0), 0, tsch_sim::Asn(0), route);
         let mut visited = vec![p.holder()];
@@ -128,7 +154,7 @@ proptest! {
             p.advance();
             visited.push(p.holder());
         }
-        prop_assert_eq!(visited.len(), hops + 1);
+        assert_eq!(visited.len(), hops + 1);
         let _ = Link::up(NodeId(0));
     }
 }

@@ -29,7 +29,6 @@ pub use scenarios::{
 };
 pub use tasks::{
     aggregated_echo_requirements, echo_task_per_node, task_id_of, uniform_link_requirements,
-    uniform_uplink_requirements,
-    uplink_task_per_node,
+    uniform_uplink_requirements, uplink_task_per_node,
 };
 pub use topo_gen::TopologyConfig;

@@ -11,9 +11,7 @@
 //! real 6TiSCH deployment looks, where nodes hear more neighbours than
 //! they route through.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use tsch_sim::{NodeId, Tree};
+use tsch_sim::{NodeId, SplitMix64, Tree};
 
 /// A connectivity mesh: nodes with undirected radio links.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,13 +69,13 @@ impl Mesh {
     #[must_use]
     pub fn random_geometric(nodes: u16, radius: f64, seed: u64) -> Mesh {
         assert!(nodes > 0, "a mesh needs at least the gateway");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let positions: Vec<(f64, f64)> = (0..nodes)
             .map(|i| {
                 if i == 0 {
                     (0.5, 0.5) // gateway in the middle of the plant floor
                 } else {
-                    (rng.gen::<f64>(), rng.gen::<f64>())
+                    (rng.next_f64(), rng.next_f64())
                 }
             })
             .collect();
@@ -98,8 +96,9 @@ impl Mesh {
         // pair (a long-range link through a repeater, in deployment terms).
         let mut component = union_find(usize::from(nodes), &edges);
         loop {
-            let roots: std::collections::BTreeSet<u16> =
-                (0..usize::from(nodes)).map(|i| find(&mut component, i) as u16).collect();
+            let roots: std::collections::BTreeSet<u16> = (0..usize::from(nodes))
+                .map(|i| find(&mut component, i) as u16)
+                .collect();
             if roots.len() <= 1 {
                 break;
             }
@@ -159,7 +158,12 @@ impl Mesh {
         }
         debug_assert!(depth.iter().all(Option::is_some), "mesh is connected");
         let pairs: Vec<(u16, u16)> = (1..n)
-            .map(|i| (i as u16, parent[i].expect("non-gateway node has a parent").0))
+            .map(|i| {
+                (
+                    i as u16,
+                    parent[i].expect("non-gateway node has a parent").0,
+                )
+            })
             .collect();
         let tree = Tree::from_parents(&pairs);
         let extra: Vec<(NodeId, NodeId)> = self

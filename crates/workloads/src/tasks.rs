@@ -123,4 +123,3 @@ mod tests {
         assert_eq!(task_id_of(&tree, tree.root()), None);
     }
 }
-

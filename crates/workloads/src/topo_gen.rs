@@ -7,9 +7,7 @@
 //! requested depth, then attaches the remaining nodes to uniformly chosen
 //! parents whose depth leaves room within the layer bound.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use tsch_sim::{Tree, TreeBuilder};
+use tsch_sim::{SplitMix64, Tree, TreeBuilder};
 
 /// Parameters for random tree generation.
 ///
@@ -38,13 +36,21 @@ impl TopologyConfig {
     /// The paper's Fig. 11 simulation setting: 50 nodes, 5 layers.
     #[must_use]
     pub const fn paper_50_node() -> Self {
-        Self { nodes: 50, layers: 5, max_children: 8 }
+        Self {
+            nodes: 50,
+            layers: 5,
+            max_children: 8,
+        }
     }
 
     /// The paper's Fig. 12 setting: 81 nodes, 10 layers.
     #[must_use]
     pub const fn paper_81_node() -> Self {
-        Self { nodes: 81, layers: 10, max_children: 8 }
+        Self {
+            nodes: 81,
+            layers: 10,
+            max_children: 8,
+        }
     }
 
     /// Generates a random tree for this configuration.
@@ -64,8 +70,11 @@ impl TopologyConfig {
             self.layers,
             self.layers
         );
-        assert!(self.layers > 0 || self.nodes == 1, "multi-node trees need layers");
-        let mut rng = StdRng::seed_from_u64(seed);
+        assert!(
+            self.layers > 0 || self.nodes == 1,
+            "multi-node trees need layers"
+        );
+        let mut rng = SplitMix64::new(seed);
         let mut builder = TreeBuilder::new();
         let mut depth = vec![0u32];
         let mut child_count = vec![0usize];
@@ -91,7 +100,7 @@ impl TopologyConfig {
                 self.max_children,
                 self.nodes
             );
-            let parent_idx = eligible[rng.gen_range(0..eligible.len())];
+            let parent_idx = eligible[rng.next_below(eligible.len() as u64) as usize];
             let parent = tsch_sim::NodeId(parent_idx as u16);
             builder.add_child(parent).expect("parent exists");
             depth.push(depth[parent_idx] + 1);
@@ -126,14 +135,22 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let cfg = TopologyConfig { nodes: 30, layers: 4, max_children: 6 };
+        let cfg = TopologyConfig {
+            nodes: 30,
+            layers: 4,
+            max_children: 6,
+        };
         assert_eq!(cfg.generate(7), cfg.generate(7));
         assert_ne!(cfg.generate(7), cfg.generate(8));
     }
 
     #[test]
     fn respects_max_children() {
-        let cfg = TopologyConfig { nodes: 40, layers: 3, max_children: 4 };
+        let cfg = TopologyConfig {
+            nodes: 40,
+            layers: 3,
+            max_children: 4,
+        };
         let tree = cfg.generate(3);
         for v in tree.nodes() {
             assert!(tree.children(v).len() <= 4);
@@ -157,7 +174,11 @@ mod tests {
 
     #[test]
     fn minimal_chain() {
-        let cfg = TopologyConfig { nodes: 4, layers: 3, max_children: 2 };
+        let cfg = TopologyConfig {
+            nodes: 4,
+            layers: 3,
+            max_children: 2,
+        };
         let tree = cfg.generate(0);
         assert_eq!(tree.len(), 4);
         assert_eq!(tree.layers(), 3);
@@ -166,7 +187,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "need more than")]
     fn too_few_nodes_panics() {
-        let _ = TopologyConfig { nodes: 3, layers: 5, max_children: 4 }.generate(0);
+        let _ = TopologyConfig {
+            nodes: 3,
+            layers: 5,
+            max_children: 4,
+        }
+        .generate(0);
     }
 
     #[test]

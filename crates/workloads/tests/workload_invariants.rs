@@ -1,0 +1,152 @@
+//! Seeded randomized tests of the workload generators: random trees, meshes
+//! and their decomposition, and demand models.
+
+use tsch_sim::{Direction, Link, Rate, SplitMix64};
+use workloads::{Mesh, TopologyConfig};
+
+#[test]
+fn random_trees_match_their_configuration() {
+    for case in 0..32u64 {
+        let mut rng = SplitMix64::new(0x7E_EE ^ case);
+        let nodes = 10 + rng.next_below(50) as u16;
+        let layers = 2 + rng.next_below(4) as u32;
+        let seed = rng.next_below(1000);
+        if u32::from(nodes) <= layers {
+            continue;
+        }
+        let cfg = TopologyConfig {
+            nodes,
+            layers,
+            max_children: 10,
+        };
+        let tree = cfg.generate(seed);
+        assert_eq!(tree.len(), usize::from(nodes), "case {case}");
+        assert_eq!(tree.layers(), layers, "case {case}");
+        for v in tree.nodes() {
+            assert!(tree.children(v).len() <= 10, "case {case}");
+            assert!(tree.depth(v) <= layers, "case {case}");
+        }
+    }
+}
+
+#[test]
+fn mesh_decomposition_invariants() {
+    for case in 0..32u64 {
+        let mut rng = SplitMix64::new(0x3E_5A ^ case);
+        let nodes = 5 + rng.next_below(35) as u16;
+        let radius = 0.15 + rng.next_f64() * 0.35;
+        let seed = rng.next_below(500);
+        let mesh = Mesh::random_geometric(nodes, radius, seed);
+        let (tree, extra) = mesh.routing_tree();
+        // Every node routed.
+        assert_eq!(tree.len(), usize::from(nodes), "case {case}");
+        // Edge partition: tree edges + interference edges = radio edges.
+        assert_eq!(
+            extra.len() + tree.len() - 1,
+            mesh.edges().len(),
+            "case {case}"
+        );
+        // Interference edges really are non-tree radio edges.
+        for &(a, b) in &extra {
+            assert!(
+                tree.parent(a) != Some(b) && tree.parent(b) != Some(a),
+                "case {case}"
+            );
+            let key = if a < b { (a, b) } else { (b, a) };
+            assert!(mesh.edges().contains(&key), "case {case}");
+        }
+        // BFS optimality: depth(v) is the hop distance in the mesh.
+        for v in tree.nodes() {
+            for w in mesh.neighbors(v) {
+                assert!(tree.depth(v) <= tree.depth(w) + 1, "case {case}");
+            }
+        }
+    }
+}
+
+#[test]
+fn aggregated_demand_equals_rate_times_subtree() {
+    for case in 0..32u64 {
+        let mut rng = SplitMix64::new(0xA6_6E ^ case);
+        let nodes = 5 + rng.next_below(25) as u16;
+        let layers = 2 + rng.next_below(3) as u32;
+        let rate = 1 + rng.next_below(3) as u32;
+        let seed = rng.next_below(200);
+        if u32::from(nodes) <= layers {
+            continue;
+        }
+        let tree = TopologyConfig {
+            nodes,
+            layers,
+            max_children: 8,
+        }
+        .generate(seed);
+        let reqs = workloads::aggregated_echo_requirements(&tree, Rate::per_slotframe(rate));
+        for v in tree.nodes().skip(1) {
+            let expected = rate * tree.subtree_size(v);
+            assert_eq!(reqs.get(Link::up(v)), expected, "case {case}");
+            assert_eq!(reqs.get(Link::down(v)), expected, "case {case}");
+        }
+    }
+}
+
+#[test]
+fn uniform_demand_models_cover_expected_links() {
+    for case in 0..32u64 {
+        let mut rng = SplitMix64::new(0x0D_E1 ^ case);
+        let nodes = 5 + rng.next_below(25) as u16;
+        let cells = 1 + rng.next_below(4) as u32;
+        let tree = TopologyConfig {
+            nodes,
+            layers: 2,
+            max_children: 32,
+        }
+        .generate(1);
+        let both = workloads::uniform_link_requirements(&tree, cells);
+        let up_only = workloads::uniform_uplink_requirements(&tree, cells);
+        assert_eq!(
+            both.total(Direction::Up),
+            both.total(Direction::Down),
+            "case {case}"
+        );
+        assert_eq!(up_only.total(Direction::Down), 0, "case {case}");
+        assert_eq!(
+            up_only.total(Direction::Up),
+            u64::from(cells) * (u64::from(nodes) - 1),
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn demand_recomputation_is_consistent_with_task_model() {
+    // uplink_demand_after_change must agree with recomputing the whole
+    // task set from scratch.
+    for case in 0..32u64 {
+        let mut rng = SplitMix64::new(0xDE_CA ^ case);
+        let seed = rng.next_below(100);
+        let new_rate_num = 1 + rng.next_below(5) as u32;
+        let tree = TopologyConfig {
+            nodes: 20,
+            layers: 4,
+            max_children: 6,
+        }
+        .generate(seed);
+        let base = Rate::per_slotframe(1);
+        let new_rate = Rate::per_slotframe(new_rate_num);
+        let node = tree.nodes_at_depth(tree.layers())[0];
+        let incremental = workloads::uplink_demand_after_change(&tree, node, base, new_rate);
+
+        // Oracle: rebuild the task set with the changed rate.
+        let mut tasks = workloads::echo_task_per_node(&tree, base);
+        for t in &mut tasks {
+            if t.source == node {
+                t.rate = new_rate;
+            }
+        }
+        let oracle = harp_core::Requirements::from_tasks(&tree, &tasks);
+        for (link, cells) in incremental {
+            assert_eq!(cells, oracle.get(link), "case {case}: {link}");
+        }
+    }
+}

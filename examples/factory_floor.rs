@@ -9,12 +9,8 @@
 //!
 //! Run with `cargo run --example factory_floor`.
 
-use harp::core::{
-    check_deadlines, DeadlineTask, HarpNetwork, Requirements, SchedulingPolicy,
-};
-use harp::sim::{
-    LinkQuality, NodeId, Rate, SimulatorBuilder, SlotframeConfig, Task, TaskId,
-};
+use harp::core::{check_deadlines, DeadlineTask, HarpNetwork, Requirements, SchedulingPolicy};
+use harp::sim::{LinkQuality, NodeId, Rate, SimulatorBuilder, SlotframeConfig, Task, TaskId};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tree = workloads::testbed_50_node_tree();
@@ -46,12 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // HARP static phase.
-    let mut net = HarpNetwork::new(
-        tree.clone(),
-        config,
-        &reqs,
-        SchedulingPolicy::RateMonotonic,
-    );
+    let mut net = HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic);
     let report = net.run_static()?;
     println!(
         "HARP converged in {:.2} s with {} management messages; collision-free: {}",
@@ -102,8 +93,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let verdicts = check_deadlines(net.schedule(), &tree, &deadline_tasks)?;
     let analytic_misses = verdicts.iter().filter(|v| !v.is_schedulable()).count();
-    println!("analytic admission: {} of {} loops provably meet their deadlines",
-        verdicts.len() - analytic_misses, verdicts.len());
+    println!(
+        "analytic admission: {} of {} loops provably meet their deadlines",
+        verdicts.len() - analytic_misses,
+        verdicts.len()
+    );
 
     for (label, sources, deadline_s) in [
         ("fast pressure loops ", &fast, 2.0),

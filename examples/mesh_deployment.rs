@@ -36,12 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reqs = Requirements::from_tasks(&tree, &tasks);
 
     // HARP static phase over the extracted tree.
-    let mut net = HarpNetwork::new(
-        tree.clone(),
-        config,
-        &reqs,
-        SchedulingPolicy::RateMonotonic,
-    );
+    let mut net = HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic);
     let report = net.run_static()?;
     println!(
         "HARP converged: {} mgmt messages in {:.2} s, exclusive: {}",
@@ -55,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let deadline = 2 * u64::from(config.slots);
     let deadline_tasks: Vec<DeadlineTask> = tasks
         .iter()
-        .map(|task| DeadlineTask { task: task.clone(), deadline_slots: deadline })
+        .map(|task| DeadlineTask {
+            task: task.clone(),
+            deadline_slots: deadline,
+        })
         .collect();
     let verdicts = check_deadlines(net.schedule(), &tree, &deadline_tasks)?;
     let misses: Vec<_> = verdicts.iter().filter(|v| !v.is_schedulable()).collect();
@@ -64,9 +62,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         verdicts.len() - misses.len(),
         verdicts.len(),
         config.slots_to_seconds(deadline),
-        if misses.is_empty() { " — admitted" } else { "" },
+        if misses.is_empty() {
+            " — admitted"
+        } else {
+            ""
+        },
     );
-    assert!(misses.is_empty(), "HARP's compliant layout meets 2-frame deadlines");
+    assert!(
+        misses.is_empty(),
+        "HARP's compliant layout meets 2-frame deadlines"
+    );
 
     // Go live under the REAL interference graph (mesh edges included) with
     // tracing on: HARP's exclusive cells ignore the extra edges entirely.

@@ -16,23 +16,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SlotframeConfig::paper_default();
     let reqs = workloads::uniform_link_requirements(&tree, 1);
 
-    let mut net = HarpNetwork::new(
-        tree.clone(),
-        config,
-        &reqs,
-        SchedulingPolicy::RateMonotonic,
-    );
+    let mut net = HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic);
     net.run_static()?;
-    println!("static phase done at {:.2} s\n", config.slots_to_seconds(net.now().0));
+    println!(
+        "static phase done at {:.2} s\n",
+        config.slots_to_seconds(net.now().0)
+    );
 
     // A burst of demand changes at different layers, including decreases.
     let events: [(Link, u32, &str); 7] = [
         (Link::up(NodeId(45)), 2, "leaf sensor doubles its rate"),
-        (Link::up(NodeId(17)), 3, "layer-3 relay aggregates a new sensor"),
-        (Link::down(NodeId(14)), 2, "actuator at layer 2 gets a new setpoint stream"),
+        (
+            Link::up(NodeId(17)),
+            3,
+            "layer-3 relay aggregates a new sensor",
+        ),
+        (
+            Link::down(NodeId(14)),
+            2,
+            "actuator at layer 2 gets a new setpoint stream",
+        ),
         (Link::up(NodeId(45)), 1, "leaf sensor backs off again"),
-        (Link::up(NodeId(5)), 4, "layer-2 subtree turns on a camera burst"),
-        (Link::down(NodeId(33)), 3, "deep actuator joins a control loop"),
+        (
+            Link::up(NodeId(5)),
+            4,
+            "layer-2 subtree turns on a camera burst",
+        ),
+        (
+            Link::down(NodeId(33)),
+            3,
+            "deep actuator joins a control loop",
+        ),
         (Link::up(NodeId(1)), 6, "whole east wing ramps up"),
     ];
 
@@ -55,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An impossible demand is rejected without corrupting the network.
     let before = net.schedule().assignment_count();
     match net.adjust_and_settle(net.now(), Link::up(NodeId(45)), 500) {
-        Err(HarpError::SlotframeOverflow { needed_slots, available }) => println!(
+        Err(HarpError::SlotframeOverflow {
+            needed_slots,
+            available,
+        }) => println!(
             "\ninfeasible request rejected: needs {needed_slots} slots, slotframe has {available}"
         ),
         other => panic!("expected an overflow rejection, got {other:?}"),

@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for chunk_start in (0..width).step_by(100) {
         let chunk_end = (chunk_start + 100).min(width);
         println!("\nslots {chunk_start}..{chunk_end}");
-        print!("{}", render_cell_map(&tree, &schedule, chunk_start..chunk_end));
+        print!(
+            "{}",
+            render_cell_map(&tree, &schedule, chunk_start..chunk_end)
+        );
     }
     println!("\n{}", render_utilization(&schedule));
 

@@ -78,7 +78,13 @@ pub struct NetArgs {
 
 impl Default for NetArgs {
     fn default() -> Self {
-        Self { nodes: 50, layers: 5, seed: 0, rate: 1, channels: 16 }
+        Self {
+            nodes: 50,
+            layers: 5,
+            seed: 0,
+            rate: 1,
+            channels: 16,
+        }
     }
 }
 
@@ -117,7 +123,9 @@ fn get<T: std::str::FromStr>(
     default: T,
 ) -> Result<T, String> {
     match map.get(key) {
-        Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: '{v}'")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for --{key}: '{v}'")),
         None => Ok(default),
     }
 }
@@ -154,10 +162,20 @@ impl CliCommand {
             }),
             "adjust" => Ok(CliCommand::Adjust {
                 net: parse_net(&map)?,
-                node: get(&map, "node", u16::MAX)
-                    .and_then(|n: u16| if n == u16::MAX { Err("--node is required".into()) } else { Ok(n) })?,
-                cells: get(&map, "cells", 0)
-                    .and_then(|c: u32| if c == 0 { Err("--cells is required".into()) } else { Ok(c) })?,
+                node: get(&map, "node", u16::MAX).and_then(|n: u16| {
+                    if n == u16::MAX {
+                        Err("--node is required".into())
+                    } else {
+                        Ok(n)
+                    }
+                })?,
+                cells: get(&map, "cells", 0).and_then(|c: u32| {
+                    if c == 0 {
+                        Err("--cells is required".into())
+                    } else {
+                        Ok(c)
+                    }
+                })?,
             }),
             "deadlines" => Ok(CliCommand::Deadlines {
                 net: parse_net(&map)?,
@@ -179,10 +197,17 @@ impl CliCommand {
 
 fn build_network(net: NetArgs) -> Result<(tsch_sim::Tree, Requirements, SlotframeConfig), String> {
     if u32::from(net.nodes) <= net.layers {
-        return Err(format!("need more than {} nodes for {} layers", net.layers, net.layers));
+        return Err(format!(
+            "need more than {} nodes for {} layers",
+            net.layers, net.layers
+        ));
     }
-    let tree = TopologyConfig { nodes: net.nodes, layers: net.layers, max_children: 8 }
-        .generate(net.seed);
+    let tree = TopologyConfig {
+        nodes: net.nodes,
+        layers: net.layers,
+        max_children: 8,
+    }
+    .generate(net.seed);
     let config = SlotframeConfig::paper_default()
         .with_channels(net.channels)
         .map_err(|e| e.to_string())?;
@@ -213,7 +238,10 @@ pub fn run(command: CliCommand) -> Result<String, String> {
                 report.elapsed_seconds(config),
                 report.mgmt_messages
             );
-            out.push_str(&render_super_partitions(&tree, &partition_table(&tree, &reqs, config)?));
+            out.push_str(&render_super_partitions(
+                &tree,
+                &partition_table(&tree, &reqs, config)?,
+            ));
             let _ = writeln!(out, "{}", render_utilization(hn.schedule()));
             let _ = writeln!(out, "exclusive: {}", hn.schedule().is_exclusive());
             Ok(out)
@@ -267,7 +295,10 @@ pub fn run(command: CliCommand) -> Result<String, String> {
         CliCommand::Adjust { net, node, cells } => {
             let (tree, reqs, config) = build_network(net)?;
             if usize::from(node) >= tree.len() || node == 0 {
-                return Err(format!("--node must name a non-gateway node < {}", tree.len()));
+                return Err(format!(
+                    "--node must name a non-gateway node < {}",
+                    tree.len()
+                ));
             }
             let mut hn =
                 HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic);
@@ -294,7 +325,10 @@ pub fn run(command: CliCommand) -> Result<String, String> {
             let tasks: Vec<DeadlineTask> =
                 workloads::echo_task_per_node(&tree, Rate::per_slotframe(net.rate))
                     .into_iter()
-                    .map(|task| DeadlineTask { task, deadline_slots: deadline })
+                    .map(|task| DeadlineTask {
+                        task,
+                        deadline_slots: deadline,
+                    })
                     .collect();
             let verdicts =
                 check_deadlines(hn.schedule(), &tree, &tasks).map_err(|e| e.to_string())?;
@@ -304,13 +338,19 @@ pub fn run(command: CliCommand) -> Result<String, String> {
                 verdicts.len()
             ))
         }
-        CliCommand::Collisions { scheduler, rate, count } => {
+        CliCommand::Collisions {
+            scheduler,
+            rate,
+            count,
+        } => {
             let s: &dyn Scheduler = match scheduler.as_str() {
                 "random" => &RandomScheduler,
                 "msf" => &MsfScheduler,
                 "alice" => &AliceScheduler,
                 "ldsf" => &LdsfScheduler,
-                "harp" => &HarpScheduler { policy: SchedulingPolicy::RateMonotonic },
+                "harp" => &HarpScheduler {
+                    policy: SchedulingPolicy::RateMonotonic,
+                },
                 other => return Err(format!("unknown scheduler '{other}'")),
             };
             let config = SlotframeConfig::paper_default();
@@ -364,17 +404,29 @@ mod tests {
     fn parse_overrides() {
         let cmd =
             CliCommand::parse(&args("partition --nodes 20 --layers 3 --seed 7 --rate 2")).unwrap();
-        let CliCommand::Partition(net) = cmd else { panic!() };
+        let CliCommand::Partition(net) = cmd else {
+            panic!()
+        };
         assert_eq!((net.nodes, net.layers, net.seed, net.rate), (20, 3, 7, 2));
     }
 
     #[test]
     fn parse_errors_are_helpful() {
-        assert!(CliCommand::parse(&args("partition --nodes")).unwrap_err().contains("value"));
-        assert!(CliCommand::parse(&args("partition nodes 3")).unwrap_err().contains("--flag"));
-        assert!(CliCommand::parse(&args("frobnicate")).unwrap_err().contains("unknown command"));
-        assert!(CliCommand::parse(&args("adjust")).unwrap_err().contains("--node"));
-        assert!(CliCommand::parse(&args("collisions")).unwrap_err().contains("--scheduler"));
+        assert!(CliCommand::parse(&args("partition --nodes"))
+            .unwrap_err()
+            .contains("value"));
+        assert!(CliCommand::parse(&args("partition nodes 3"))
+            .unwrap_err()
+            .contains("--flag"));
+        assert!(CliCommand::parse(&args("frobnicate"))
+            .unwrap_err()
+            .contains("unknown command"));
+        assert!(CliCommand::parse(&args("adjust"))
+            .unwrap_err()
+            .contains("--node"));
+        assert!(CliCommand::parse(&args("collisions"))
+            .unwrap_err()
+            .contains("--scheduler"));
         assert!(CliCommand::parse(&args("partition --nodes abc"))
             .unwrap_err()
             .contains("invalid value"));
@@ -403,7 +455,13 @@ mod tests {
     #[test]
     fn simulate_runs_end_to_end() {
         let out = run(CliCommand::Simulate {
-            net: NetArgs { nodes: 12, layers: 3, seed: 2, rate: 1, channels: 16 },
+            net: NetArgs {
+                nodes: 12,
+                layers: 3,
+                seed: 2,
+                rate: 1,
+                channels: 16,
+            },
             frames: 5,
             pdr: 1.0,
         })
@@ -415,7 +473,13 @@ mod tests {
     #[test]
     fn adjust_runs_end_to_end() {
         let out = run(CliCommand::Adjust {
-            net: NetArgs { nodes: 12, layers: 3, seed: 2, rate: 1, channels: 16 },
+            net: NetArgs {
+                nodes: 12,
+                layers: 3,
+                seed: 2,
+                rate: 1,
+                channels: 16,
+            },
             node: 5,
             cells: 3,
         })
@@ -426,7 +490,13 @@ mod tests {
     #[test]
     fn deadlines_runs_end_to_end() {
         let out = run(CliCommand::Deadlines {
-            net: NetArgs { nodes: 12, layers: 3, seed: 2, rate: 1, channels: 16 },
+            net: NetArgs {
+                nodes: 12,
+                layers: 3,
+                seed: 2,
+                rate: 1,
+                channels: 16,
+            },
             frames: 2,
         })
         .unwrap();
@@ -442,7 +512,10 @@ mod tests {
         })
         .unwrap();
         assert!(out.contains("harp"));
-        assert!(out.contains("0.00%"), "harp never collides at rate 2: {out}");
+        assert!(
+            out.contains("0.00%"),
+            "harp never collides at rate 2: {out}"
+        );
         assert!(run(CliCommand::Collisions {
             scheduler: "nope".into(),
             rate: 1,

@@ -2,12 +2,8 @@
 //! latency/deadline analysis validated against the simulator, and HARP over
 //! mesh topologies decomposed into a routing tree plus interference edges.
 
-use harp::core::{
-    check_deadlines, latency_bound, DeadlineTask, HarpNetwork, SchedulingPolicy,
-};
-use harp::sim::{
-    Rate, SimulatorBuilder, SlotframeConfig, Task, TaskId, TwoHopInterference,
-};
+use harp::core::{check_deadlines, latency_bound, DeadlineTask, HarpNetwork, SchedulingPolicy};
+use harp::sim::{Rate, SimulatorBuilder, SlotframeConfig, Task, TaskId, TwoHopInterference};
 use schedulers::{AliceScheduler, HarpScheduler, RandomScheduler, Scheduler};
 use workloads::{Mesh, TopologyConfig};
 
@@ -17,15 +13,16 @@ fn analysis_bound_dominates_simulated_latency() {
     // latency must sit within [best_case, worst_case] of the analysis.
     let config = SlotframeConfig::paper_default();
     for seed in 0..5 {
-        let tree = TopologyConfig { nodes: 20, layers: 4, max_children: 5 }.generate(seed);
+        let tree = TopologyConfig {
+            nodes: 20,
+            layers: 4,
+            max_children: 5,
+        }
+        .generate(seed);
         let rate = Rate::per_slotframe(1);
         let reqs = workloads::aggregated_echo_requirements(&tree, rate);
-        let mut net = HarpNetwork::new(
-            tree.clone(),
-            config,
-            &reqs,
-            SchedulingPolicy::RateMonotonic,
-        );
+        let mut net =
+            HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic);
         net.run_static().unwrap();
         let schedule = net.schedule().clone();
 
@@ -63,18 +60,16 @@ fn harp_static_schedules_are_deadline_schedulable_within_two_frames() {
     let tree = workloads::testbed_50_node_tree();
     let rate = Rate::per_slotframe(1);
     let reqs = workloads::aggregated_echo_requirements(&tree, rate);
-    let mut net = HarpNetwork::new(
-        tree.clone(),
-        config,
-        &reqs,
-        SchedulingPolicy::RateMonotonic,
-    );
+    let mut net = HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic);
     net.run_static().unwrap();
 
     let deadline = 2 * u64::from(config.slots);
     let tasks: Vec<DeadlineTask> = workloads::echo_task_per_node(&tree, rate)
         .into_iter()
-        .map(|task| DeadlineTask { task, deadline_slots: deadline })
+        .map(|task| DeadlineTask {
+            task,
+            deadline_slots: deadline,
+        })
         .collect();
     let reports = check_deadlines(net.schedule(), &tree, &tasks).unwrap();
     for r in &reports {
@@ -109,7 +104,9 @@ fn harp_on_mesh_topologies_stays_collision_free_under_real_interference() {
             let tree_only = schedule
                 .collision_report(&tree, &TwoHopInterference::from_tree(&tree))
                 .colliding_assignments;
-            let with_mesh = schedule.collision_report(&tree, &model).colliding_assignments;
+            let with_mesh = schedule
+                .collision_report(&tree, &model)
+                .colliding_assignments;
             assert!(
                 with_mesh >= tree_only,
                 "{}: mesh interference cannot reduce collisions",
@@ -128,21 +125,14 @@ fn mesh_deployment_runs_end_to_end() {
     let (tree, extra) = mesh.routing_tree();
     let rate = Rate::per_slotframe(1);
     let reqs = workloads::aggregated_echo_requirements(&tree, rate);
-    let mut net = HarpNetwork::new(
-        tree.clone(),
-        config,
-        &reqs,
-        SchedulingPolicy::RateMonotonic,
-    );
+    let mut net = HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic);
     net.run_static().unwrap();
 
     let mut builder = SimulatorBuilder::new(tree.clone(), config)
         .schedule(net.schedule().clone())
         .interference(Box::new(TwoHopInterference::with_extra_edges(extra)));
     for (i, v) in tree.nodes().skip(1).enumerate() {
-        builder = builder
-            .task(Task::echo(TaskId(i as u16), v, rate))
-            .unwrap();
+        builder = builder.task(Task::echo(TaskId(i as u16), v, rate)).unwrap();
     }
     let mut sim = builder.build();
     sim.run_slotframes(10);

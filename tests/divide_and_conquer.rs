@@ -10,7 +10,11 @@ use workloads::Mesh;
 fn forest_plus_bands_is_globally_collision_free() {
     let base = SlotframeConfig::paper_default();
     let mesh = Mesh::random_geometric(60, 0.25, 99);
-    let gateways = [harp::sim::NodeId(0), harp::sim::NodeId(1), harp::sim::NodeId(2)];
+    let gateways = [
+        harp::sim::NodeId(0),
+        harp::sim::NodeId(1),
+        harp::sim::NodeId(2),
+    ];
     let forest = mesh.routing_forest(&gateways);
     assert_eq!(forest.len(), 3);
 
@@ -26,14 +30,13 @@ fn forest_plus_bands_is_globally_collision_free() {
     for (i, ft) in forest.iter().enumerate() {
         let cfg = plan.network_config(i, base).unwrap();
         let reqs = workloads::uniform_uplink_requirements(&ft.tree, 1);
-        let mut net = HarpNetwork::new(
-            ft.tree.clone(),
-            cfg,
-            &reqs,
-            SchedulingPolicy::RateMonotonic,
-        );
+        let mut net =
+            HarpNetwork::new(ft.tree.clone(), cfg, &reqs, SchedulingPolicy::RateMonotonic);
         net.run_static().unwrap_or_else(|e| panic!("tree {i}: {e}"));
-        assert!(net.schedule().is_exclusive(), "tree {i} internally exclusive");
+        assert!(
+            net.schedule().is_exclusive(),
+            "tree {i} internally exclusive"
+        );
         lifted.push(plan.lift_schedule(i, net.schedule(), base).unwrap());
     }
 
@@ -43,7 +46,10 @@ fn forest_plus_bands_is_globally_collision_free() {
     for (i, schedule) in lifted.iter().enumerate() {
         for (_, cells) in schedule.iter_links() {
             for &cell in cells {
-                assert!(used.insert(cell), "cell {cell} shared by network {i} and an earlier one");
+                assert!(
+                    used.insert(cell),
+                    "cell {cell} shared by network {i} and an earlier one"
+                );
             }
         }
     }

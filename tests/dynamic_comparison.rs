@@ -22,12 +22,7 @@ fn harp_absorbs_surge_without_collisions() {
     let (tree, surging) = scenario();
     let config = SlotframeConfig::paper_default();
     let reqs = workloads::uniform_link_requirements(&tree, 1);
-    let mut net = HarpNetwork::new(
-        tree.clone(),
-        config,
-        &reqs,
-        SchedulingPolicy::RateMonotonic,
-    );
+    let mut net = HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic);
     net.run_static().unwrap();
     // The surge raises demand on every link of the node's uplink path.
     let mut total_msgs = 0;
@@ -49,7 +44,8 @@ fn harp_absorbs_surge_without_collisions() {
     sim.run_slotframes(20);
     // Drain the in-flight tail (adjusted partitions lose the compliant
     // ordering, so a packet may span two frames).
-    sim.set_task_rate(TaskId(0), Rate::per_slotframe(0)).unwrap();
+    sim.set_task_rate(TaskId(0), Rate::per_slotframe(0))
+        .unwrap();
     sim.run_slotframes(4);
 
     assert_eq!(sim.stats().collisions, 0, "HARP never collides");
@@ -68,8 +64,14 @@ fn msf_adapts_cheaply_but_collides() {
         .interference(Box::new(GlobalInterference))
         .seed(3);
     for (id, v) in tree.nodes().skip(1).enumerate() {
-        let rate = if v == surging { Rate::per_slotframe(4) } else { Rate::new(1, 2).unwrap() };
-        builder = builder.task(Task::uplink(TaskId(id as u16), v, rate)).unwrap();
+        let rate = if v == surging {
+            Rate::per_slotframe(4)
+        } else {
+            Rate::new(1, 2).unwrap()
+        };
+        builder = builder
+            .task(Task::uplink(TaskId(id as u16), v, rate))
+            .unwrap();
     }
     let mut sim = builder.build();
     let mut msf = MsfAdaptiveNetwork::bootstrap(&tree, &mut sim);

@@ -29,7 +29,10 @@ fn harp_is_collision_free_on_many_random_topologies() {
         let reqs = workloads::uniform_uplink_requirements(&tree, 2);
         let schedule = centralized_schedule(&tree, &reqs, config);
         assert!(schedule.is_exclusive(), "seed {seed}");
-        assert!(unsatisfied_links(&tree, &reqs, &schedule).is_empty(), "seed {seed}");
+        assert!(
+            unsatisfied_links(&tree, &reqs, &schedule).is_empty(),
+            "seed {seed}"
+        );
         let report = schedule.collision_report(&tree, &GlobalInterference);
         assert_eq!(report.colliding_assignments, 0, "seed {seed}");
     }
@@ -39,16 +42,17 @@ fn harp_is_collision_free_on_many_random_topologies() {
 fn distributed_run_matches_centralized_oracle_on_random_topologies() {
     let config = SlotframeConfig::paper_default();
     for seed in 0..10 {
-        let tree = TopologyConfig { nodes: 30, layers: 4, max_children: 6 }.generate(seed);
+        let tree = TopologyConfig {
+            nodes: 30,
+            layers: 4,
+            max_children: 6,
+        }
+        .generate(seed);
         let reqs = workloads::aggregated_echo_requirements(&tree, Rate::per_slotframe(1));
         let centralized = centralized_schedule(&tree, &reqs, config);
 
-        let mut net = HarpNetwork::new(
-            tree.clone(),
-            config,
-            &reqs,
-            SchedulingPolicy::RateMonotonic,
-        );
+        let mut net =
+            HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic);
         net.run_static().unwrap();
         // The paper validates that testbed partitions are identical with the
         // simulation's: every link must hold exactly the same cells.
@@ -99,12 +103,7 @@ fn adjustment_storm_preserves_every_invariant() {
     let config = SlotframeConfig::paper_default();
     let tree = TopologyConfig::paper_50_node().generate(3);
     let reqs = workloads::uniform_link_requirements(&tree, 1);
-    let mut net = HarpNetwork::new(
-        tree.clone(),
-        config,
-        &reqs,
-        SchedulingPolicy::RateMonotonic,
-    );
+    let mut net = HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic);
     net.run_static().unwrap();
 
     let mut expected = reqs.clone();
@@ -112,7 +111,11 @@ fn adjustment_storm_preserves_every_invariant() {
     let non_root: Vec<_> = tree.nodes().skip(1).collect();
     for step in 0..60 {
         let child = non_root[rng.next_below(non_root.len() as u64) as usize];
-        let direction = if rng.chance(0.5) { Direction::Up } else { Direction::Down };
+        let direction = if rng.chance(0.5) {
+            Direction::Up
+        } else {
+            Direction::Down
+        };
         let cells = 1 + rng.next_below(3) as u32;
         let link = Link { child, direction };
         net.adjust_and_settle(net.now(), link, cells)
@@ -136,11 +139,7 @@ fn harp_dominates_every_baseline_on_collisions() {
         let harp = harp_bench_proxy(&HarpScheduler::default(), &topologies, rate, config);
         for b in baselines {
             let p = harp_bench_proxy(b, &topologies, rate, config);
-            assert!(
-                harp <= p,
-                "harp {harp} vs {} {p} at rate {rate}",
-                b.name()
-            );
+            assert!(harp <= p, "harp {harp} vs {} {p} at rate {rate}", b.name());
         }
         assert_eq!(harp, 0.0, "within capacity HARP never collides");
     }
@@ -172,12 +171,7 @@ fn gateway_level_changes_are_absorbed() {
     let config = SlotframeConfig::paper_default();
     let tree = workloads::testbed_50_node_tree();
     let reqs = workloads::uniform_link_requirements(&tree, 1);
-    let mut net = HarpNetwork::new(
-        tree.clone(),
-        config,
-        &reqs,
-        SchedulingPolicy::RateMonotonic,
-    );
+    let mut net = HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic);
     net.run_static().unwrap();
     for (node, cells) in [(1u16, 5u32), (2, 7), (3, 4), (4, 9)] {
         let link = Link::up(harp::sim::NodeId(node));

@@ -12,12 +12,7 @@ fn continuous_operation_under_random_changes_never_collides() {
     let config = SlotframeConfig::paper_default();
     let reqs = workloads::uniform_link_requirements(&tree, 1);
 
-    let mut net = HarpNetwork::new(
-        tree.clone(),
-        config,
-        &reqs,
-        SchedulingPolicy::RateMonotonic,
-    );
+    let mut net = HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic);
     net.run_static().unwrap();
     let net_offset = net.now().0;
 
@@ -42,11 +37,22 @@ fn continuous_operation_under_random_changes_never_collides() {
         // Roughly every four frames, inject a random change mid-frame.
         if frame % 4 == 1 {
             let node = NodeId(1 + rng.next_below(49) as u16);
-            let direction = if rng.chance(0.5) { Direction::Up } else { Direction::Down };
+            let direction = if rng.chance(0.5) {
+                Direction::Up
+            } else {
+                Direction::Down
+            };
             let cells = 1 + rng.next_below(3) as u32;
             let at = Asn(sim.now().0 + net_offset);
             let ops = net
-                .request_change(at, Link { child: node, direction }, cells)
+                .request_change(
+                    at,
+                    Link {
+                        child: node,
+                        direction,
+                    },
+                    cells,
+                )
                 .unwrap_or_else(|e| panic!("frame {frame}: {e}"));
             for op in &ops {
                 apply_op(sim.schedule_mut(), op).unwrap();
@@ -69,7 +75,10 @@ fn continuous_operation_under_random_changes_never_collides() {
         }
     }
     // Sanity: traffic actually flowed and changes actually happened.
-    assert!(sim.stats().deliveries.len() as u64 > frames, "data plane was active");
+    assert!(
+        sim.stats().deliveries.len() as u64 > frames,
+        "data plane was active"
+    );
     assert!(net.quiescent(), "all adjustments settled");
     assert!(sim.schedule().is_exclusive());
 }

@@ -13,14 +13,13 @@ fn run(minutes_of_frames: u64, provision: bool) -> (f64, u64) {
     let quality = LinkQuality::uniform(0.95).unwrap();
 
     let base = workloads::aggregated_echo_requirements(&tree, rate);
-    let reqs = if provision { base.provisioned_for_loss(&quality) } else { base };
+    let reqs = if provision {
+        base.provisioned_for_loss(&quality)
+    } else {
+        base
+    };
 
-    let mut net = HarpNetwork::new(
-        tree.clone(),
-        config,
-        &reqs,
-        SchedulingPolicy::RateMonotonic,
-    );
+    let mut net = HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic);
     net.run_static().unwrap();
 
     let mut builder = SimulatorBuilder::new(tree.clone(), config)
