@@ -49,6 +49,9 @@ pub enum HarpError {
     Pack(packing::PackError),
     /// An underlying schedule mutation failed.
     Schedule(tsch_sim::ScheduleError),
+    /// The management plane rejected or gave up on a protocol message
+    /// (a routing bug, or a neighbour unreachable after retransmissions).
+    Mgmt(tsch_sim::MgmtError),
 }
 
 impl fmt::Display for HarpError {
@@ -86,6 +89,7 @@ impl fmt::Display for HarpError {
             HarpError::NodeDeparted(n) => write!(f, "{n} has left the network"),
             HarpError::Pack(e) => write!(f, "packing failed: {e}"),
             HarpError::Schedule(e) => write!(f, "schedule update failed: {e}"),
+            HarpError::Mgmt(e) => write!(f, "management plane failed: {e}"),
         }
     }
 }
@@ -95,6 +99,7 @@ impl std::error::Error for HarpError {
         match self {
             HarpError::Pack(e) => Some(e),
             HarpError::Schedule(e) => Some(e),
+            HarpError::Mgmt(e) => Some(e),
             _ => None,
         }
     }
@@ -109,6 +114,12 @@ impl From<packing::PackError> for HarpError {
 impl From<tsch_sim::ScheduleError> for HarpError {
     fn from(e: tsch_sim::ScheduleError) -> Self {
         HarpError::Schedule(e)
+    }
+}
+
+impl From<tsch_sim::MgmtError> for HarpError {
+    fn from(e: tsch_sim::MgmtError) -> Self {
+        HarpError::Mgmt(e)
     }
 }
 

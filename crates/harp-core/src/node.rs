@@ -96,6 +96,10 @@ struct DirState {
     child_partitions: BTreeMap<u32, Vec<(NodeId, Rect)>>,
     /// Cells this node assigned to each child link.
     assignments: BTreeMap<NodeId, Vec<Cell>>,
+    /// Cells granted to this node's own link by its parent (`None` until
+    /// the first `CellAssignment` arrives). Tracked so a re-delivered
+    /// assignment is recognisable as a duplicate.
+    own_cells: Option<Vec<Cell>>,
     /// Escalated layers awaiting a bigger partition from the parent:
     /// layer → the child whose component grew.
     pending: BTreeMap<u32, NodeId>,
@@ -276,17 +280,40 @@ impl HarpNode {
 
     /// Handles one protocol message from a neighbour.
     ///
+    /// Handlers are **idempotent**: the transport layer may re-deliver any
+    /// message (a retransmission whose original squeaked through), so each
+    /// arm recognises "nothing new" and returns [`Effects::none`] instead of
+    /// re-applying state or re-triggering adjustments.
+    ///
     /// # Errors
     ///
     /// Propagates algorithmic failures (overflow, packing, missing state).
     pub fn handle(&mut self, from: NodeId, msg: HarpMessage) -> Result<Effects, HarpError> {
         match msg {
             HarpMessage::PostInterface { up, down } => {
+                // A static-phase report is a fact about the child's subtree;
+                // once this node generated its own interface, every child
+                // already contributed, so a further copy is a re-delivery.
+                // Storing it again would clobber dynamic (`PUT intf`)
+                // updates that arrived since.
+                if self.up.interface.is_some() {
+                    return Ok(Effects::none());
+                }
                 self.up.child_interfaces.insert(from, up);
                 self.down.child_interfaces.insert(from, down);
                 self.maybe_generate_and_report()
             }
             HarpMessage::PostPartitions { partitions } => {
+                // Every entry identical to stored state ⇒ the original of
+                // this message was already processed (storage and
+                // distribution happen atomically below).
+                if !partitions.is_empty()
+                    && partitions
+                        .iter()
+                        .all(|&(d, layer, rect)| self.dir(d).partitions.get(&layer) == Some(&rect))
+                {
+                    return Ok(Effects::none());
+                }
                 let mut dirs = Vec::new();
                 for &(d, layer, rect) in &partitions {
                     self.dir_mut(d).partitions.insert(layer, rect);
@@ -312,16 +339,30 @@ impl HarpNode {
                 rect,
             } => {
                 let old = self.dir(direction).partitions.get(&layer).copied();
+                // An unchanged grant with no escalation pending is a
+                // re-delivery; replaying it would only recompute a layout
+                // identical to the stored one.
+                if old == Some(rect) && !self.dir(direction).pending.contains_key(&layer) {
+                    return Ok(Effects::none());
+                }
                 self.dir_mut(direction).partitions.insert(layer, rect);
                 self.replace_layer(direction, layer, old)
             }
             HarpMessage::CellAssignment { direction, cells } => {
                 // The child starts (or stops) using the granted cells now.
+                // A re-delivered assignment matches the cells already in
+                // use and must not re-emit the (externally visible) op.
+                let id = self.id;
+                let ds = self.dir_mut(direction);
+                if ds.own_cells.as_ref() == Some(&cells) {
+                    return Ok(Effects::none());
+                }
+                ds.own_cells = Some(cells.clone());
                 Ok(Effects {
                     messages: Vec::new(),
                     schedule_ops: vec![ScheduleOp::SetLinkCells {
                         link: Link {
-                            child: self.id,
+                            child: id,
                             direction,
                         },
                         cells,
@@ -580,6 +621,27 @@ impl HarpNode {
         layer: u32,
         component: ResourceComponent,
     ) -> Result<Effects, HarpError> {
+        // Duplicate guard: the stored interface already matches and either
+        // the child's current grant at this layer covers the component (the
+        // original was fully absorbed) or an escalation for exactly this
+        // child is already pending at the parent — re-processing would
+        // re-grant or re-escalate redundantly.
+        {
+            let ds = self.dir(direction);
+            let already_stored = ds
+                .child_interfaces
+                .get(&child)
+                .and_then(|i| i.component(layer))
+                == Some(component);
+            let already_granted = ds.child_partitions.get(&layer).is_some_and(|ps| {
+                ps.iter()
+                    .any(|&(c, r)| c == child && r.size == component.as_size())
+            });
+            let already_escalated = ds.pending.get(&layer) == Some(&child);
+            if already_stored && (already_granted || already_escalated) {
+                return Ok(Effects::none());
+            }
+        }
         let ds = self.dir_mut(direction);
         ds.child_interfaces
             .entry(child)

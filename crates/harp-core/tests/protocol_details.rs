@@ -185,3 +185,118 @@ fn resource_component_growth_direction_matters() {
     let iface = net.node(NodeId(7)).interface(Direction::Up).unwrap();
     assert_eq!(iface.component(3), Some(ResourceComponent::row(4)));
 }
+
+// ---- handler idempotency (transport duplicates as defence in depth) ----
+
+fn variant(msg: &HarpMessage) -> &'static str {
+    match msg {
+        HarpMessage::PostInterface { .. } => "PostInterface",
+        HarpMessage::PostPartitions { .. } => "PostPartitions",
+        HarpMessage::PutInterface { .. } => "PutInterface",
+        HarpMessage::PutPartition { .. } => "PutPartition",
+        HarpMessage::CellAssignment { .. } => "CellAssignment",
+    }
+}
+
+/// Drives a synchronous exchange delivering every message **twice**. The
+/// duplicate must be a no-op: no new messages, no new schedule ops, and the
+/// receiver's state byte-identical (compared via its `Debug` rendering).
+/// Returns the set of message variants exercised.
+fn drive_with_duplicates(
+    nodes: &mut [HarpNode],
+    mut inbox: Vec<(NodeId, NodeId, HarpMessage)>,
+) -> std::collections::BTreeSet<&'static str> {
+    let mut covered = std::collections::BTreeSet::new();
+    while let Some((from, to, msg)) = inbox.pop() {
+        covered.insert(variant(&msg));
+        let fx = nodes[to.index()].handle(from, msg.clone()).unwrap();
+        let state_after = format!("{:?}", nodes[to.index()]);
+        let dup = nodes[to.index()].handle(from, msg.clone()).unwrap();
+        assert!(
+            dup.messages.is_empty(),
+            "duplicate {} re-delivered to {to} re-emitted messages: {:?}",
+            variant(&msg),
+            dup.messages
+        );
+        assert!(
+            dup.schedule_ops.is_empty(),
+            "duplicate {} re-delivered to {to} re-emitted schedule ops: {:?}",
+            variant(&msg),
+            dup.schedule_ops
+        );
+        assert_eq!(
+            format!("{:?}", nodes[to.index()]),
+            state_after,
+            "duplicate {} re-delivered to {to} changed node state",
+            variant(&msg)
+        );
+        inbox.extend(fx.messages.into_iter().map(|(t, m)| (to, t, m)));
+    }
+    covered
+}
+
+fn fresh_nodes(tree: &Tree, config: SlotframeConfig) -> Vec<HarpNode> {
+    let mut nodes: Vec<HarpNode> = tree
+        .nodes()
+        .map(|v| HarpNode::new(tree, v, config, SchedulingPolicy::RateMonotonic))
+        .collect();
+    for (link, cells) in fig1_reqs(tree).iter() {
+        let parent = tree.parent(link.child).unwrap();
+        nodes[parent.index()].set_requirement(link.direction, link.child, cells);
+    }
+    nodes
+}
+
+#[test]
+fn static_phase_handlers_are_idempotent() {
+    let tree = Tree::paper_fig1_example();
+    let config = SlotframeConfig::paper_default();
+    let mut nodes = fresh_nodes(&tree, config);
+    let mut inbox: Vec<(NodeId, NodeId, HarpMessage)> = Vec::new();
+    for node in &mut nodes {
+        let from = node.id();
+        let fx = node.bootstrap().unwrap();
+        inbox.extend(fx.messages.into_iter().map(|(to, m)| (from, to, m)));
+    }
+    let covered = drive_with_duplicates(&mut nodes, inbox);
+    for want in ["PostInterface", "PostPartitions", "CellAssignment"] {
+        assert!(
+            covered.contains(want),
+            "static phase never exercised {want}"
+        );
+    }
+}
+
+#[test]
+fn dynamic_phase_handlers_are_idempotent() {
+    let tree = Tree::paper_fig1_example();
+    let config = SlotframeConfig::paper_default();
+    let mut nodes = fresh_nodes(&tree, config);
+    // Converge the static phase first (without duplicates).
+    let mut inbox: Vec<(NodeId, NodeId, HarpMessage)> = Vec::new();
+    for node in &mut nodes {
+        let from = node.id();
+        let fx = node.bootstrap().unwrap();
+        inbox.extend(fx.messages.into_iter().map(|(to, m)| (from, to, m)));
+    }
+    while let Some((from, to, msg)) = inbox.pop() {
+        let fx = nodes[to.index()].handle(from, msg).unwrap();
+        inbox.extend(fx.messages.into_iter().map(|(t, m)| (to, t, m)));
+    }
+    // A large increase deep in the tree escalates through every ancestor,
+    // exercising PUT intf, PUT part and fresh cell assignments; deliver the
+    // whole cascade with duplicates.
+    let parent = tree.parent(NodeId(9)).unwrap();
+    let fx = nodes[parent.index()]
+        .request_change(Direction::Up, NodeId(9), 8)
+        .unwrap();
+    let inbox: Vec<(NodeId, NodeId, HarpMessage)> = fx
+        .messages
+        .into_iter()
+        .map(|(to, m)| (parent, to, m))
+        .collect();
+    let covered = drive_with_duplicates(&mut nodes, inbox);
+    for want in ["PutInterface", "PutPartition", "CellAssignment"] {
+        assert!(covered.contains(want), "adjustment never exercised {want}");
+    }
+}

@@ -10,7 +10,7 @@
 //! simulated management plane so both the packet count and the elapsed
 //! time are measured rather than assumed.
 
-use tsch_sim::{Asn, MgmtPlane, NodeId, SlotframeConfig, Tree};
+use tsch_sim::{Asn, ControlPlane, NodeId, SlotframeConfig, Tree};
 
 /// The analytic per-adjustment packet cost of APaS for a node at `layer`.
 ///
@@ -63,7 +63,7 @@ impl ApasReport {
 #[derive(Debug)]
 pub struct ApasNetwork {
     tree: Tree,
-    plane: MgmtPlane<ApasMessage>,
+    plane: ControlPlane<ApasMessage>,
     now: Asn,
 }
 
@@ -71,7 +71,7 @@ impl ApasNetwork {
     /// Builds the deployment.
     #[must_use]
     pub fn new(tree: Tree, config: SlotframeConfig) -> Self {
-        let plane = MgmtPlane::new(&tree, config);
+        let plane = ControlPlane::reliable(&tree, config);
         Self {
             tree,
             plane,
@@ -116,9 +116,13 @@ impl ApasNetwork {
             .expect("parent is a neighbour");
 
         let mut last_delivery = self.now;
-        while let Some(next) = self.plane.next_delivery() {
+        while let Some(next) = self.plane.next_event() {
             self.now = next;
-            for d in self.plane.poll(next) {
+            let delivered = self
+                .plane
+                .poll(&self.tree, next)
+                .expect("reliable transport never exhausts retries");
+            for d in delivered {
                 last_delivery = last_delivery.max(d.at);
                 match d.payload {
                     ApasMessage::Request { origin } => {

@@ -12,7 +12,9 @@
 //! * periodic tasks, packets, queues and the slot-by-slot data-plane
 //!   execution ([`Task`], [`Simulator`]);
 //! * the management plane carrying network-management messages with
-//!   management-cell timing ([`MgmtPlane`]).
+//!   management-cell timing ([`MgmtPlane`]), plus a CoAP-style transport
+//!   layer with pluggable loss models and reliability ([`ControlPlane`],
+//!   [`Transport`]).
 //!
 //! Everything is deterministic given a `u64` seed.
 //!
@@ -61,6 +63,7 @@ mod stats;
 mod time;
 mod topology;
 mod trace;
+mod transport;
 
 pub use engine::{
     SimError, Simulator, SimulatorBuilder, DEFAULT_MAX_RETRIES, DEFAULT_QUEUE_CAPACITY,
@@ -76,6 +79,10 @@ pub use stats::{mean, percentile_nearest_rank, DeliveryRecord, LatencySummary, S
 pub use time::{Asn, Cell, ConfigError, SlotframeConfig};
 pub use topology::{Direction, Link, NodeId, TopologyError, Tree, TreeBuilder};
 pub use trace::{TraceBuffer, TraceEvent};
+pub use transport::{
+    Chaos, ControlPlane, Envelope, EnvelopeKind, Lossy, ReliabilityConfig, Reliable, Transport,
+    TransportStats, TxFate,
+};
 
 #[cfg(test)]
 mod lib_tests {
@@ -92,6 +99,7 @@ mod lib_tests {
         assert_debug::<NetworkSchedule>();
         assert_debug::<Simulator>();
         assert_debug::<MgmtPlane<u8>>();
+        assert_debug::<ControlPlane<u8>>();
         assert_debug::<SimStats>();
     }
 
@@ -100,5 +108,6 @@ mod lib_tests {
         fn assert_send<T: Send>() {}
         assert_send::<Simulator>();
         assert_send::<MgmtPlane<u64>>();
+        assert_send::<ControlPlane<u64>>();
     }
 }

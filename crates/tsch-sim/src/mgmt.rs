@@ -42,6 +42,14 @@ pub enum MgmtError {
         /// The non-adjacent intended receiver.
         to: NodeId,
     },
+    /// A confirmable message exhausted its retransmission budget without
+    /// being acknowledged (the link is effectively down).
+    RetriesExhausted {
+        /// The sender that gave up.
+        from: NodeId,
+        /// The unreachable neighbour.
+        to: NodeId,
+    },
 }
 
 impl fmt::Display for MgmtError {
@@ -49,6 +57,9 @@ impl fmt::Display for MgmtError {
         match self {
             MgmtError::NotNeighbors { from, to } => {
                 write!(f, "{from} and {to} are not tree neighbours")
+            }
+            MgmtError::RetriesExhausted { from, to } => {
+                write!(f, "{from} gave up retransmitting to {to}")
             }
         }
     }
@@ -204,6 +215,27 @@ impl<M> MgmtPlane<M> {
         to: NodeId,
         payload: M,
     ) -> Result<Asn, MgmtError> {
+        let deliver_at = self.transmit_time(tree, now, from, to)?;
+        self.enqueue_raw(deliver_at, from, to, payload);
+        Ok(deliver_at)
+    }
+
+    /// Occupies the sender's next management cell for the `from → to` hop
+    /// and counts one transmission, returning when that cell fires — without
+    /// enqueuing anything. The transport layer decides what (if anything)
+    /// actually arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MgmtError::NotNeighbors`] unless `to` is `from`'s parent or
+    /// child.
+    pub(crate) fn transmit_time(
+        &mut self,
+        tree: &Tree,
+        now: Asn,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<Asn, MgmtError> {
         let (slot, busy_until) = if tree.parent(from) == Some(to) {
             (
                 self.up_slot[from.index()],
@@ -222,6 +254,36 @@ impl<M> MgmtPlane<M> {
         let earliest = now.plus(1).max(busy_until.plus(1));
         let deliver_at = self.config.next_occurrence(earliest, slot);
         *busy_until = deliver_at;
+        self.sent += 1;
+        Ok(deliver_at)
+    }
+
+    /// When the next `from → to` management cell fires, strictly after
+    /// `now`, *without* occupying it or counting a transmission. ACKs
+    /// piggyback on this occurrence: they share the cell with regular
+    /// traffic instead of serialising behind it.
+    pub(crate) fn peek_transmit_time(
+        &self,
+        tree: &Tree,
+        now: Asn,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<Asn, MgmtError> {
+        let slot = if tree.parent(from) == Some(to) {
+            self.up_slot[from.index()]
+        } else if tree.parent(to) == Some(from) {
+            self.down_slot[to.index()]
+        } else {
+            return Err(MgmtError::NotNeighbors { from, to });
+        };
+        Ok(self.config.next_occurrence(now.plus(1), slot))
+    }
+
+    /// Enqueues a payload for delivery at `deliver_at`, bypassing cell
+    /// accounting (the transport layer has already paid for the airtime via
+    /// [`MgmtPlane::transmit_time`], or deliberately avoids paying for it,
+    /// as piggybacked ACKs do).
+    pub(crate) fn enqueue_raw(&mut self, deliver_at: Asn, from: NodeId, to: NodeId, payload: M) {
         self.in_flight.push(InFlight {
             deliver_at,
             seq: self.seq,
@@ -230,8 +292,6 @@ impl<M> MgmtPlane<M> {
             payload,
         });
         self.seq += 1;
-        self.sent += 1;
-        Ok(deliver_at)
     }
 
     /// Delivers every message whose time has come (deliver_at ≤ `now`), in

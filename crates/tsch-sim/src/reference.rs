@@ -5,8 +5,8 @@
 //! per-link queues live in a `BTreeMap<Link, VecDeque<_>>`, every
 //! (slot, channel) pair probes [`NetworkSchedule::links_on`], and the
 //! interference model is consulted pairwise on every occupied cell. It is
-//! deliberately simple and obviously faithful to the TSCH semantics
-//! described in [`crate::engine`].
+//! deliberately simple and obviously faithful to the TSCH semantics the
+//! optimised [`Simulator`](crate::Simulator) implements.
 //!
 //! Two consumers rely on it:
 //!
