@@ -8,7 +8,7 @@
 //! including the measured speedup and the dense engine's slots/sec — to
 //! `BENCH_simulator.json` in the working directory.
 
-use harp_bench::harness::{measure, measure_with_setup, to_json, Measurement};
+use harp_bench::harness::{measure, measure_with_setup, to_json_with_sections, Measurement};
 use harp_core::{HarpNetwork, SchedulingPolicy};
 use schedulers::{HarpScheduler, Scheduler};
 use std::hint::black_box;
@@ -45,7 +45,17 @@ fn build_dense(
     builder.build()
 }
 
-fn bench_dense_vs_reference(results: &mut Vec<Measurement>) -> (f64, f64) {
+/// Headline numbers plus the observability artefacts of the sustained run.
+struct DenseOutcome {
+    speedup: f64,
+    slots_per_sec: f64,
+    /// Rendered metrics snapshot of the instrumented sustained run.
+    obs_json: String,
+    /// Rendered sample of the most recent slotframe spans.
+    trace_json: String,
+}
+
+fn bench_dense_vs_reference(results: &mut Vec<Measurement>) -> DenseOutcome {
     let (tree, config, schedule, tasks) = scenario_100_nodes();
     let frames_per_iter = 10u64;
 
@@ -77,17 +87,33 @@ fn bench_dense_vs_reference(results: &mut Vec<Measurement>) -> (f64, f64) {
     let speedup = reference.mean_ns() / dense.mean_ns();
 
     // Sustained dense throughput on a longer run, via the engine's own
-    // timing (stats.run_time covers run_slotframes only).
-    let mut sim = build_dense(&tree, config, &schedule, &tasks);
+    // timing (stats.run_time covers run_slotframes only). This run has
+    // observability ON — the reported slots/sec is the *instrumented*
+    // throughput, which the acceptance budget requires to stay within
+    // noise of the uninstrumented engine.
+    let mut builder = SimulatorBuilder::new(tree.clone(), config)
+        .schedule(schedule.clone())
+        .observability(1024);
+    for task in &tasks {
+        builder = builder.task(task.clone()).unwrap();
+    }
+    let mut sim = builder.build();
     sim.run_slotframes(200);
     let slots_per_sec = sim.stats().slots_per_sec();
+    let obs_json = sim.metrics_snapshot().to_json();
+    let trace_json = sim.obs().spans.to_json(16);
 
     println!("{}", dense.report());
     println!("{}", reference.report());
     println!("# dense vs reference: {speedup:.2}x speedup, {slots_per_sec:.0} slots/sec dense");
     results.push(dense);
     results.push(reference);
-    (speedup, slots_per_sec)
+    DenseOutcome {
+        speedup,
+        slots_per_sec,
+        obs_json,
+        trace_json,
+    }
 }
 
 fn bench_data_plane(results: &mut Vec<Measurement>) {
@@ -142,15 +168,19 @@ fn bench_control_plane(results: &mut Vec<Measurement>) {
 
 fn main() {
     let mut results = Vec::new();
-    let (speedup, slots_per_sec) = bench_dense_vs_reference(&mut results);
+    let outcome = bench_dense_vs_reference(&mut results);
     bench_data_plane(&mut results);
     bench_control_plane(&mut results);
 
-    let json = to_json(
+    let json = to_json_with_sections(
         &results,
         &[
-            ("dense_speedup_vs_reference", speedup),
-            ("dense_slots_per_sec", slots_per_sec),
+            ("dense_speedup_vs_reference", outcome.speedup),
+            ("dense_slots_per_sec", outcome.slots_per_sec),
+        ],
+        &[
+            ("obs", outcome.obs_json.clone()),
+            ("trace_sample", outcome.trace_json.clone()),
         ],
     );
     // Write to the workspace root (two levels above this crate) so the
@@ -161,4 +191,12 @@ fn main() {
     };
     std::fs::write(&path, &json).expect("write benchmark report");
     println!("# wrote {}", path.display());
+
+    // Standalone trace sample (CI uploads it as an artifact; not committed).
+    let trace_path = match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => std::path::Path::new(&dir).join("../../BENCH_trace_sample.json"),
+        Err(_) => std::path::PathBuf::from("BENCH_trace_sample.json"),
+    };
+    std::fs::write(&trace_path, format!("{}\n", outcome.trace_json)).expect("write trace sample");
+    println!("# wrote {}", trace_path.display());
 }

@@ -139,4 +139,5 @@ fn main() {
             mean(&repack_moved)
         );
     }
+    println!("{}", harp_bench::obs_footer());
 }

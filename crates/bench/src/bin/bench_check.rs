@@ -1,0 +1,65 @@
+//! CI perf-regression gate: diffs fresh benchmark reports against their
+//! committed baselines and exits nonzero when any value falls outside the
+//! documented tolerances (see [`harp_bench::gate`] for the tolerance
+//! rationale).
+//!
+//! Usage: `bench_check <baseline.json> <fresh.json> [<baseline2> <fresh2> ...]`
+//!
+//! Typical CI flow:
+//!
+//! ```sh
+//! cp BENCH_simulator.json /tmp/baseline_sim.json
+//! cargo bench -p harp-bench --bench simulator        # rewrites BENCH_simulator.json
+//! cargo run -p harp-bench --bin bench_check -- /tmp/baseline_sim.json BENCH_simulator.json
+//! ```
+
+use harp_bench::gate::compare_report_strs;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: bench_check <baseline.json> <fresh.json> [<baseline2> <fresh2> ...]");
+        return ExitCode::from(2);
+    }
+
+    let mut total_violations = 0usize;
+    for pair in args.chunks(2) {
+        let [baseline_path, fresh_path] = pair else {
+            eprintln!("usage: bench_check <baseline.json> <fresh.json> [<baseline2> <fresh2> ...]");
+            return ExitCode::from(2);
+        };
+        let read =
+            |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+        let result = read(baseline_path)
+            .and_then(|b| read(fresh_path).map(|f| (b, f)))
+            .and_then(|(b, f)| compare_report_strs(&b, &f));
+        match result {
+            Ok(violations) if violations.is_empty() => {
+                println!("# bench_check: OK  {baseline_path} vs {fresh_path}");
+            }
+            Ok(violations) => {
+                println!(
+                    "# bench_check: {} violation(s)  {baseline_path} vs {fresh_path}",
+                    violations.len()
+                );
+                for v in &violations {
+                    println!("  REGRESSION {v}");
+                }
+                total_violations += violations.len();
+            }
+            Err(e) => {
+                eprintln!("bench_check: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if total_violations > 0 {
+        eprintln!("bench_check: FAILED with {total_violations} violation(s)");
+        ExitCode::FAILURE
+    } else {
+        println!("# bench_check: all reports within tolerance");
+        ExitCode::SUCCESS
+    }
+}

@@ -106,6 +106,7 @@ fn main() {
         "# schedule exclusive throughout: {}",
         sim.schedule().is_exclusive()
     );
+    println!("{}", harp_bench::obs_footer());
 }
 
 /// Recomputes the demand of every link on the observed node's path for the

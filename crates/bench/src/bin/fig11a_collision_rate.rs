@@ -45,4 +45,5 @@ fn main() {
         // 49 uplinks per topology.
         println!(" {:>12}", 49 * rate);
     }
+    println!("{}", harp_bench::obs_footer());
 }

@@ -53,4 +53,5 @@ fn main() {
         }
         println!();
     }
+    println!("{}", harp_bench::obs_footer());
 }

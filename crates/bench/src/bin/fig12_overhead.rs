@@ -78,4 +78,5 @@ fn main() {
     for row in rows {
         println!("{row}");
     }
+    println!("{}", harp_bench::obs_footer());
 }

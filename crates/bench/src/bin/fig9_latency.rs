@@ -168,4 +168,5 @@ fn main() {
     for block in blocks {
         print!("{block}");
     }
+    println!("{}", harp_bench::obs_footer());
 }

@@ -89,9 +89,13 @@ fn main() {
         );
         assert_eq!(ideal.static_report.dropped, 0);
     }
+    let obs_snapshot;
     {
         // Explicit equivalence check on one topology: Lossy at PDR 1.0
-        // (every chance() draw succeeds) vs the Reliable fast path.
+        // (every chance() draw succeeds) vs the Reliable fast path. The
+        // ideal run doubles as the sweep's observability probe: metrics
+        // recording must not perturb the protocol (the comparison against
+        // the uninstrumented Lossy run below proves it run-for-run).
         let reqs = workloads::uniform_link_requirements(&trees[0], 1);
         let mut ideal = HarpNetwork::new(
             trees[0].clone(),
@@ -99,6 +103,7 @@ fn main() {
             &reqs,
             SchedulingPolicy::RateMonotonic,
         );
+        ideal.enable_observability(1024);
         let ideal_report = ideal.run_static().unwrap();
         let mut lossy = HarpNetwork::with_transport(
             trees[0].clone(),
@@ -122,6 +127,10 @@ fn main() {
         let a: Vec<_> = ideal.schedule().iter_links().collect();
         let b: Vec<_> = lossy.schedule().iter_links().collect();
         assert_eq!(a, b, "schedules must be identical at PDR 1.0");
+        let mut snap = ideal.metrics_snapshot();
+        snap.add_counters(packing::obs::totals());
+        snap.add_counters(workloads::obs::totals());
+        obs_snapshot = snap;
     }
 
     let mut json = String::from("{\n");
@@ -187,7 +196,10 @@ fn main() {
              \"adjust_messages\": {adj_msgs:.3}, \"adjust_slotframes\": {adj_frames:.3}}}{sep}\n"
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n  \"obs\": ");
+    json.push_str(&obs_snapshot.to_json());
+    json.push_str("\n}\n");
+    println!("{}", harp_bench::obs_footer());
 
     // Write to the workspace root (two levels above this crate) so the
     // report lands at a stable path regardless of cargo's CWD.

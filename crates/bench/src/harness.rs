@@ -150,6 +150,20 @@ pub fn measure_with_setup<S, R>(
 ///   "metrics": {...}}`.
 #[must_use]
 pub fn to_json(measurements: &[Measurement], metrics: &[(&str, f64)]) -> String {
+    to_json_with_sections(measurements, metrics, &[])
+}
+
+/// [`to_json`] with extra top-level sections, each a key plus an
+/// already-rendered JSON value (e.g. an observability snapshot from
+/// [`harp_obs::MetricsSnapshot::to_json`] or a span-ring dump). The gate
+/// ([`crate::gate`]) ignores sections it does not classify, so reports may
+/// grow new sections without breaking old baselines.
+#[must_use]
+pub fn to_json_with_sections(
+    measurements: &[Measurement],
+    metrics: &[(&str, f64)],
+    sections: &[(&str, String)],
+) -> String {
     let mut out = String::from("{\n  \"benchmarks\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let sep = if i + 1 < measurements.len() { "," } else { "" };
@@ -166,7 +180,11 @@ pub fn to_json(measurements: &[Measurement], metrics: &[(&str, f64)]) -> String 
         let sep = if i + 1 < metrics.len() { "," } else { "" };
         out.push_str(&format!("    \"{}\": {value:.3}{sep}\n", escape(name)));
     }
-    out.push_str("  }\n}\n");
+    out.push_str("  }");
+    for (name, rendered) in sections {
+        out.push_str(&format!(",\n  \"{}\": {rendered}", escape(name)));
+    }
+    out.push_str("\n}\n");
     out
 }
 

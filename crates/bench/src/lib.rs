@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gate;
 pub mod harness;
 
 use harp_core::{HarpNetwork, Requirements, SchedulingPolicy};
@@ -169,6 +170,28 @@ pub fn measure_harp_adjustment(
 #[must_use]
 pub fn pct(p: f64) -> String {
     format!("{:6.2}%", p * 100.0)
+}
+
+/// One-line stdout footer summarising the process-wide library counters
+/// (packing, workloads, schedulers) — appended by the experiment binaries
+/// so a CI log shows how much algorithmic work each figure cost.
+#[must_use]
+pub fn obs_footer() -> String {
+    let mut parts = Vec::new();
+    for (name, v) in packing::obs::totals()
+        .into_iter()
+        .chain(workloads::obs::totals())
+        .chain(schedulers::obs::totals())
+    {
+        if v > 0 {
+            parts.push(format!("{name}={v}"));
+        }
+    }
+    if parts.is_empty() {
+        "# metrics: (none)".to_owned()
+    } else {
+        format!("# metrics: {}", parts.join(" "))
+    }
 }
 
 /// Advances a HARP control plane and a data-plane simulator in lockstep for

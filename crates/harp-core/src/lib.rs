@@ -111,7 +111,7 @@ pub use compose::{
     build_interfaces, compose_components, CompositionLayout, InterfaceSet, NodeInterface,
 };
 pub use error::HarpError;
-pub use node::{Effects, HarpNode, ScheduleOp};
+pub use node::{Effects, HarpNode, NodeObsCounters, ScheduleOp};
 pub use protocol::{HarpMessage, MessageKind};
 pub use render::{render_cell_map, render_super_partitions, render_utilization};
 pub use requirement::Requirements;

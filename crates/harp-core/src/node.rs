@@ -105,6 +105,44 @@ struct DirState {
     pending: BTreeMap<u32, NodeId>,
 }
 
+/// Plain counters of one node's dynamic-adjustment activity, aggregated by
+/// the runner into its metrics snapshot.
+///
+/// Deliberately not an `Obs` handle: the counters travel with the node's
+/// state (they are cloned with it), so a transactional rollback in
+/// [`HarpNetwork::adjust_and_settle`](crate::HarpNetwork::adjust_and_settle)
+/// rolls the counts of the aborted attempt back too — the snapshot only ever
+/// reports work that actually happened.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeObsCounters {
+    /// Case-1 changes absorbed in the node's own row (no mgmt messages).
+    pub local_updates: u64,
+    /// Case-2 escalations sent toward the gateway (`PUT intf`), including
+    /// re-escalations from intermediate nodes.
+    pub escalations: u64,
+    /// Partition adjustments (Alg. 2) that fit locally — the feasibility
+    /// test passed at this node.
+    pub adjust_feasible: u64,
+    /// Partition adjustments that could not fit even with a full repack —
+    /// the feasibility test failed and the request escalated (or, at the
+    /// gateway, overflowed the slotframe).
+    pub adjust_infeasible: u64,
+    /// Partition rectangles moved by successful adjustments (the
+    /// communication-overhead metric Alg. 2 minimises).
+    pub partitions_moved: u64,
+}
+
+impl NodeObsCounters {
+    /// Folds another node's counters into this one.
+    pub fn absorb(&mut self, other: &NodeObsCounters) {
+        self.local_updates += other.local_updates;
+        self.escalations += other.escalations;
+        self.adjust_feasible += other.adjust_feasible;
+        self.adjust_infeasible += other.adjust_infeasible;
+        self.partitions_moved += other.partitions_moved;
+    }
+}
+
 /// One HARP participant: the distributed state machine of a single device.
 #[derive(Debug, Clone)]
 pub struct HarpNode {
@@ -117,6 +155,7 @@ pub struct HarpNode {
     policy: SchedulingPolicy,
     up: DirState,
     down: DirState,
+    counters: NodeObsCounters,
 }
 
 impl HarpNode {
@@ -139,6 +178,7 @@ impl HarpNode {
             policy,
             up: DirState::default(),
             down: DirState::default(),
+            counters: NodeObsCounters::default(),
         }
     }
 
@@ -146,6 +186,12 @@ impl HarpNode {
     #[must_use]
     pub fn id(&self) -> NodeId {
         self.id
+    }
+
+    /// This node's adjustment-activity counters.
+    #[must_use]
+    pub fn obs_counters(&self) -> &NodeObsCounters {
+        &self.counters
     }
 
     /// Returns `true` for the gateway.
@@ -396,6 +442,7 @@ impl HarpNode {
         match row {
             Some(row) if total <= row.width() * row.height() => {
                 // Case 1: enough idle cells in the current partition.
+                self.counters.local_updates += 1;
                 self.schedule_own_row(direction)
             }
             _ => {
@@ -409,6 +456,7 @@ impl HarpNode {
                 if self.is_gateway() {
                     self.gateway_reallocate(direction, layer)
                 } else {
+                    self.counters.escalations += 1;
                     let parent = self.parent.expect("non-gateway has a parent");
                     Ok(Effects {
                         messages: vec![(
@@ -659,6 +707,8 @@ impl HarpNode {
         }
 
         if let Some(outcome) = adjust_partition(own, &placements, child, component)? {
+            self.counters.adjust_feasible += 1;
+            self.counters.partitions_moved += outcome.moved_count() as u64;
             let mut fx = Effects::none();
             for &moved in &outcome.moved {
                 let rect = outcome
@@ -682,6 +732,7 @@ impl HarpNode {
             return Ok(fx);
         }
 
+        self.counters.adjust_infeasible += 1;
         self.escalate_layer(direction, layer, child)
     }
 
@@ -710,6 +761,7 @@ impl HarpNode {
         if self.is_gateway() {
             self.gateway_reallocate(direction, layer)
         } else {
+            self.counters.escalations += 1;
             let parent = self.parent.expect("non-gateway has a parent");
             Ok(Effects {
                 messages: vec![(
@@ -837,6 +889,7 @@ impl HarpNode {
             })?;
         let Some(outcome) = adjust_partition(container, &entries, (direction, layer), component)?
         else {
+            self.counters.adjust_infeasible += 1;
             let total: u64 =
                 entries.iter().map(|(_, r)| r.area()).sum::<u64>() + component.cell_count();
             // The binding constraint is either the total area or the grown
@@ -850,6 +903,8 @@ impl HarpNode {
                 available: self.config.slots,
             });
         };
+        self.counters.adjust_feasible += 1;
+        self.counters.partitions_moved += outcome.moved_count() as u64;
         let mut fx = Effects::none();
         for &(d, l) in &outcome.moved {
             let rect = outcome

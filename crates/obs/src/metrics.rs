@@ -1,0 +1,529 @@
+//! The metrics registry: counters, gauges and histograms keyed by static
+//! names, with stable-JSON snapshots.
+//!
+//! Handles ([`CounterId`] &c.) are dense indices handed out at registration,
+//! so the record path is one bounds-checked array access plus an integer
+//! add — cheap enough for the simulator's slot loop. A disabled registry
+//! still hands out handles (instrumentation code stays branch-free at the
+//! call site) but every record call returns after one flag test.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+#[derive(Debug, Clone)]
+struct Histogram {
+    name: &'static str,
+    /// Ascending inclusive upper bounds; one implicit overflow bucket above.
+    bounds: &'static [u64],
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+/// A registry of named metrics owned by one instrumented component.
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, f64)>,
+    histograms: Vec<Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates a registry; a disabled one records nothing and snapshots
+    /// empty.
+    #[must_use]
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+        }
+    }
+
+    /// Whether record calls are live.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Registers (or finds) a counter. Registration is idempotent per name.
+    pub fn counter(&mut self, name: &'static str) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|&(n, _)| n == name) {
+            return CounterId(i);
+        }
+        self.counters.push((name, 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers (or finds) a gauge.
+    pub fn gauge(&mut self, name: &'static str) -> GaugeId {
+        if let Some(i) = self.gauges.iter().position(|&(n, _)| n == name) {
+            return GaugeId(i);
+        }
+        self.gauges.push((name, 0.0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Registers (or finds) a histogram over `bounds` (ascending inclusive
+    /// upper bucket bounds; values above the last bound land in an implicit
+    /// overflow bucket).
+    pub fn histogram(&mut self, name: &'static str, bounds: &'static [u64]) -> HistogramId {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "ascending bounds");
+        if let Some(i) = self.histograms.iter().position(|h| h.name == name) {
+            return HistogramId(i);
+        }
+        self.histograms.push(Histogram {
+            name,
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        });
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Adds `by` to a counter (no-op while disabled).
+    #[inline]
+    pub fn inc(&mut self, id: CounterId, by: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.counters[id.0].1 += by;
+    }
+
+    /// Sets a gauge to `value` (no-op while disabled).
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.gauges[id.0].1 = value;
+    }
+
+    /// Raises a gauge to `value` if it is higher (high-water marks).
+    #[inline]
+    pub fn set_max(&mut self, id: GaugeId, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        let slot = &mut self.gauges[id.0].1;
+        if value > *slot {
+            *slot = value;
+        }
+    }
+
+    /// Records one histogram observation (no-op while disabled).
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        let h = &mut self.histograms[id.0];
+        let bucket = h
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(h.bounds.len());
+        h.counts[bucket] += 1;
+        h.count += 1;
+        h.sum += u128::from(value);
+        h.min = h.min.min(value);
+        h.max = h.max.max(value);
+    }
+
+    /// The current value of a counter (0 while disabled).
+    #[must_use]
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].1
+    }
+
+    /// Snapshots every metric into an owned, name-sorted view. Empty for a
+    /// disabled registry.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        if !self.enabled {
+            return snap;
+        }
+        for &(name, v) in &self.counters {
+            snap.counters.insert(name.to_owned(), v);
+        }
+        for &(name, v) in &self.gauges {
+            snap.gauges.insert(name.to_owned(), v);
+        }
+        for h in &self.histograms {
+            snap.histograms.insert(
+                h.name.to_owned(),
+                HistogramSnapshot {
+                    bounds: h.bounds.to_vec(),
+                    counts: h.counts.clone(),
+                    count: h.count,
+                    sum: h.sum,
+                    min: if h.count == 0 { 0 } else { h.min },
+                    max: h.max,
+                },
+            );
+        }
+        snap
+    }
+}
+
+/// One histogram's frozen state.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bucket bounds (ascending).
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u128,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value; 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A frozen, name-sorted view of a registry (or a merge of several).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// True when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Looks up one counter.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Looks up one gauge.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Folds `other` into `self`: counters add, gauges keep the maximum
+    /// (they carry high-water marks when merged across runs), histograms
+    /// add bucket-wise when the bounds agree (otherwise only the aggregate
+    /// count/sum/min/max fold in).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, &v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, &v) in &other.gauges {
+            let e = self.gauges.entry(name.clone()).or_insert(f64::MIN);
+            if v > *e {
+                *e = v;
+            }
+        }
+        for (name, h) in &other.histograms {
+            let e = self.histograms.entry(name.clone()).or_default();
+            if e.count == 0 {
+                *e = h.clone();
+                continue;
+            }
+            if e.bounds == h.bounds {
+                for (a, b) in e.counts.iter_mut().zip(&h.counts) {
+                    *a += b;
+                }
+            }
+            e.min = if h.count == 0 {
+                e.min
+            } else {
+                e.min.min(h.min)
+            };
+            e.max = e.max.max(h.max);
+            e.count += h.count;
+            e.sum += h.sum;
+        }
+    }
+
+    /// Adds a batch of externally collected counter totals (e.g. the
+    /// process-wide [`StaticCounter`]s of the library crates).
+    pub fn add_counters<I: IntoIterator<Item = (&'static str, u64)>>(&mut self, totals: I) {
+        for (name, v) in totals {
+            *self.counters.entry(name.to_owned()).or_insert(0) += v;
+        }
+    }
+
+    /// Renders the snapshot as a stable (name-sorted) JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {v}", escape(name)));
+        }
+        out.push_str("}, \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {}", escape(name), fmt_f64(*v)));
+        }
+        out.push_str("}, \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "\"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \"buckets\": [",
+                escape(name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                fmt_f64(h.mean()),
+            ));
+            for (j, &n) in h.counts.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                match h.bounds.get(j) {
+                    Some(&le) => out.push_str(&format!("{{\"le\": {le}, \"n\": {n}}}")),
+                    None => out.push_str(&format!("{{\"le\": \"inf\", \"n\": {n}}}")),
+                }
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Formats an `f64` as a JSON-valid number (non-finite values become 0).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` on an integral f64 prints without a fraction, which is still
+        // valid JSON; nothing more to do.
+        s
+    } else {
+        "0".to_owned()
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// A process-wide counter for library crates with no instance to own a
+/// registry (packing calls, topology generations). Relaxed atomics: totals
+/// are exact, ordering across threads is not observable.
+#[derive(Debug)]
+pub struct StaticCounter(AtomicU64);
+
+impl StaticCounter {
+    /// A zeroed counter (usable in `static` items).
+    #[must_use]
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Adds `by`.
+    #[inline]
+    pub fn add(&self, by: u64) {
+        self.0.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// The total so far.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for StaticCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_once_and_accumulate() {
+        let mut r = MetricsRegistry::new(true);
+        let a = r.counter("a");
+        let a2 = r.counter("a");
+        assert_eq!(a, a2);
+        r.inc(a, 2);
+        r.inc(a2, 3);
+        assert_eq!(r.counter_value(a), 5);
+        assert_eq!(r.snapshot().counter("a"), Some(5));
+    }
+
+    #[test]
+    fn disabled_registry_snapshots_empty() {
+        let mut r = MetricsRegistry::new(false);
+        let c = r.counter("a");
+        let g = r.gauge("g");
+        let h = r.histogram("h", &[1, 2]);
+        r.inc(c, 1);
+        r.set(g, 4.0);
+        r.observe(h, 1);
+        assert!(r.snapshot().is_empty());
+        assert_eq!(r.counter_value(c), 0);
+    }
+
+    #[test]
+    fn gauges_set_and_set_max() {
+        let mut r = MetricsRegistry::new(true);
+        let g = r.gauge("g");
+        r.set(g, 2.0);
+        r.set_max(g, 1.0);
+        assert_eq!(r.snapshot().gauge("g"), Some(2.0));
+        r.set_max(g, 7.5);
+        assert_eq!(r.snapshot().gauge("g"), Some(7.5));
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut r = MetricsRegistry::new(true);
+        let h = r.histogram("lat", &[10, 100]);
+        for v in [1, 10, 11, 1000] {
+            r.observe(h, v);
+        }
+        let snap = r.snapshot();
+        let hs = &snap.histograms["lat"];
+        assert_eq!(hs.counts, vec![2, 1, 1]);
+        assert_eq!((hs.count, hs.min, hs.max), (4, 1, 1000));
+        assert_eq!(hs.sum, 1022);
+        assert_eq!(hs.mean(), 255.5);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero_min() {
+        let mut r = MetricsRegistry::new(true);
+        r.histogram("h", &[1]);
+        let snap = r.snapshot();
+        assert_eq!(snap.histograms["h"].min, 0);
+        assert_eq!(snap.histograms["h"].mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_buckets() {
+        let mut a = MetricsRegistry::new(true);
+        let c = a.counter("c");
+        let h = a.histogram("h", &[5]);
+        a.inc(c, 1);
+        a.observe(h, 3);
+        let mut snap = a.snapshot();
+        let mut b = MetricsRegistry::new(true);
+        let c2 = b.counter("c");
+        let h2 = b.histogram("h", &[5]);
+        let g = b.gauge("g");
+        b.inc(c2, 4);
+        b.observe(h2, 9);
+        b.set(g, 2.0);
+        snap.merge(&b.snapshot());
+        assert_eq!(snap.counter("c"), Some(5));
+        assert_eq!(snap.gauge("g"), Some(2.0));
+        let hs = &snap.histograms["h"];
+        assert_eq!(hs.counts, vec![1, 1]);
+        assert_eq!((hs.count, hs.min, hs.max), (2, 3, 9));
+    }
+
+    #[test]
+    fn add_counters_folds_static_totals() {
+        let mut snap = MetricsSnapshot::default();
+        snap.add_counters([("pack.calls", 3), ("pack.calls", 2)]);
+        assert_eq!(snap.counter("pack.calls"), Some(5));
+    }
+
+    #[test]
+    fn snapshot_json_is_stable_and_parseable() {
+        let mut r = MetricsRegistry::new(true);
+        let c = r.counter("z.count");
+        let c2 = r.counter("a.count");
+        let g = r.gauge("g");
+        let h = r.histogram("h", &[2]);
+        r.inc(c, 1);
+        r.inc(c2, 2);
+        r.set(g, 1.5);
+        r.observe(h, 1);
+        r.observe(h, 3);
+        let json = r.snapshot().to_json();
+        // Name-sorted: "a.count" precedes "z.count".
+        assert!(json.find("a.count").unwrap() < json.find("z.count").unwrap());
+        let parsed = crate::json::parse(&json).expect("valid JSON");
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("a.count"))
+                .and_then(crate::json::Json::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(
+            parsed
+                .get("gauges")
+                .and_then(|g| g.get("g"))
+                .and_then(crate::json::Json::as_f64),
+            Some(1.5)
+        );
+    }
+
+    #[test]
+    fn static_counter_accumulates() {
+        static C: StaticCounter = StaticCounter::new();
+        C.add(2);
+        C.add(3);
+        assert!(C.get() >= 5);
+    }
+
+    #[test]
+    fn fmt_f64_guards_non_finite() {
+        assert_eq!(fmt_f64(f64::NAN), "0");
+        assert_eq!(fmt_f64(f64::INFINITY), "0");
+        assert_eq!(fmt_f64(2.5), "2.5");
+        assert_eq!(fmt_f64(3.0), "3");
+    }
+}

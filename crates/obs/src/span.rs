@@ -1,0 +1,242 @@
+//! Slotframe-time trace spans.
+//!
+//! A span is an interval of simulated time — stamped with its start and end
+//! ASN — labelled with the subsystem ("layer") that produced it, the node it
+//! concerns (or [`NO_NODE`] for network-wide events) and a free-form integer
+//! detail (messages exchanged, cells moved, transmissions attempted).
+//! Spans land in a bounded ring so steady-state recording never allocates
+//! unboundedly; experiments keep the tail that explains *why* the run ended
+//! the way it did.
+
+use core::fmt;
+use std::collections::VecDeque;
+
+/// Sentinel node id for network-wide spans.
+pub const NO_NODE: u16 = u16::MAX;
+
+/// One recorded span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// What happened (e.g. `"slotframe"`, `"adjust"`, `"retx"`).
+    pub name: &'static str,
+    /// Which subsystem recorded it (e.g. `"sim"`, `"transport"`, `"harp"`).
+    pub layer: &'static str,
+    /// The node concerned, or [`NO_NODE`].
+    pub node: u16,
+    /// First ASN of the interval.
+    pub start_asn: u64,
+    /// Last ASN of the interval (inclusive; equal to `start_asn` for
+    /// instantaneous events).
+    pub end_asn: u64,
+    /// Free-form magnitude (messages, cells, attempts, ...).
+    pub detail: i64,
+}
+
+impl SpanEvent {
+    /// The span's length in slots.
+    #[must_use]
+    pub fn duration_slots(&self) -> u64 {
+        self.end_asn.saturating_sub(self.start_asn)
+    }
+}
+
+impl fmt::Display for SpanEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}..{}] {}/{}",
+            self.start_asn, self.end_asn, self.layer, self.name
+        )?;
+        if self.node != NO_NODE {
+            write!(f, " N{}", self.node)?;
+        }
+        write!(f, " detail={}", self.detail)
+    }
+}
+
+/// A bounded ring buffer of spans (capacity 0 disables recording).
+#[derive(Debug, Clone, Default)]
+pub struct SpanRing {
+    events: VecDeque<SpanEvent>,
+    capacity: usize,
+    total_recorded: u64,
+}
+
+impl SpanRing {
+    /// A ring keeping the most recent `capacity` spans.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            total_recorded: 0,
+        }
+    }
+
+    /// Records one span, evicting the oldest when full.
+    #[inline]
+    pub fn record(&mut self, event: SpanEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(event);
+        self.total_recorded += 1;
+    }
+
+    /// The retained spans, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &SpanEvent> {
+        self.events.iter()
+    }
+
+    /// Retained spans from one subsystem.
+    pub fn for_layer(&self, layer: &'static str) -> impl Iterator<Item = &SpanEvent> + '_ {
+        self.events.iter().filter(move |e| e.layer == layer)
+    }
+
+    /// Retained spans with one name.
+    pub fn named(&self, name: &'static str) -> impl Iterator<Item = &SpanEvent> + '_ {
+        self.events.iter().filter(move |e| e.name == name)
+    }
+
+    /// Number of retained spans.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total spans ever recorded (including evicted ones).
+    #[must_use]
+    pub fn total_recorded(&self) -> u64 {
+        self.total_recorded
+    }
+
+    /// Clears the retained spans (the total keeps counting).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Renders up to `limit` of the most recent spans as a JSON array.
+    #[must_use]
+    pub fn to_json(&self, limit: usize) -> String {
+        let skip = self.events.len().saturating_sub(limit);
+        let mut out = String::from("[");
+        for (i, e) in self.events.iter().skip(skip).enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"name\": \"{}\", \"layer\": \"{}\", \"node\": {}, \"start_asn\": {}, \"end_asn\": {}, \"detail\": {}}}",
+                e.name,
+                e.layer,
+                if e.node == NO_NODE { -1 } else { i64::from(e.node) },
+                e.start_asn,
+                e.end_asn,
+                e.detail,
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, layer: &'static str, start: u64) -> SpanEvent {
+        SpanEvent {
+            name,
+            layer,
+            node: 2,
+            start_asn: start,
+            end_asn: start + 5,
+            detail: 7,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut r = SpanRing::new(2);
+        for i in 0..4 {
+            r.record(ev("a", "sim", i));
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.total_recorded(), 4);
+        let starts: Vec<u64> = r.iter().map(|e| e.start_asn).collect();
+        assert_eq!(starts, vec![2, 3]);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut r = SpanRing::new(0);
+        r.record(ev("a", "sim", 0));
+        assert!(r.is_empty());
+        assert_eq!(r.total_recorded(), 0);
+    }
+
+    #[test]
+    fn filters_by_layer_and_name() {
+        let mut r = SpanRing::new(8);
+        r.record(ev("a", "sim", 0));
+        r.record(ev("b", "transport", 1));
+        r.record(ev("a", "harp", 2));
+        assert_eq!(r.for_layer("sim").count(), 1);
+        assert_eq!(r.named("a").count(), 2);
+    }
+
+    #[test]
+    fn display_and_duration() {
+        let e = ev("adjust", "harp", 100);
+        assert_eq!(e.duration_slots(), 5);
+        assert_eq!(e.to_string(), "[100..105] harp/adjust N2 detail=7");
+        let net = SpanEvent { node: NO_NODE, ..e };
+        assert_eq!(net.to_string(), "[100..105] harp/adjust detail=7");
+    }
+
+    #[test]
+    fn json_keeps_most_recent_limit() {
+        let mut r = SpanRing::new(8);
+        for i in 0..5 {
+            r.record(ev("a", "sim", i));
+        }
+        let json = r.to_json(2);
+        let parsed = crate::json::parse(&json).unwrap();
+        let arr = parsed.as_arr().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(
+            arr[0].get("start_asn").and_then(crate::json::Json::as_f64),
+            Some(3.0)
+        );
+        // NO_NODE serialises as -1.
+        let mut r2 = SpanRing::new(2);
+        r2.record(SpanEvent {
+            node: NO_NODE,
+            ..ev("a", "sim", 0)
+        });
+        let parsed = crate::json::parse(&r2.to_json(10)).unwrap();
+        assert_eq!(
+            parsed.as_arr().unwrap()[0]
+                .get("node")
+                .and_then(crate::json::Json::as_f64),
+            Some(-1.0)
+        );
+    }
+
+    #[test]
+    fn clear_keeps_total() {
+        let mut r = SpanRing::new(4);
+        r.record(ev("a", "sim", 0));
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.total_recorded(), 1);
+    }
+}

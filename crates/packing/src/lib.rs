@@ -48,6 +48,44 @@ pub use skyline::{pack_strip, Skyline, StripPacking};
 
 use core::fmt;
 
+/// Process-wide activity counters of the packing substrate.
+///
+/// The packing algorithms are pure functions with no handle to thread an
+/// [`harp_obs::Obs`] through, so the library keeps always-on global totals
+/// instead: plain relaxed atomics whose cost is one uncontended fetch-add
+/// per *algorithm invocation* (never per inner-loop step). Fold them into a
+/// snapshot with [`harp_obs::MetricsSnapshot::add_counters`] via
+/// [`totals`](obs::totals).
+pub mod obs {
+    use harp_obs::StaticCounter;
+
+    /// Strip packings computed ([`pack_strip`](crate::pack_strip) — HARP's
+    /// component composition, Alg. 1).
+    pub static STRIP_PACKS: StaticCounter = StaticCounter::new();
+    /// Fixed-container packings attempted ([`pack_into`](crate::pack_into)).
+    pub static CONTAINER_PACKS: StaticCounter = StaticCounter::new();
+    /// Feasibility tests run ([`fits_into`](crate::fits_into) — Problem 2).
+    pub static FEASIBILITY_TESTS: StaticCounter = StaticCounter::new();
+    /// Idle-area batch placements
+    /// ([`FreeSpace::place_all`](crate::FreeSpace::place_all) — Alg. 2's
+    /// cost-aware adjustment).
+    pub static FREESPACE_PLACEMENTS: StaticCounter = StaticCounter::new();
+
+    /// Current totals, in the shape
+    /// [`MetricsSnapshot::add_counters`](harp_obs::MetricsSnapshot::add_counters)
+    /// accepts. Totals are process-wide and monotonic (tests and parallel
+    /// sweeps sharing the process all contribute).
+    #[must_use]
+    pub fn totals() -> [(&'static str, u64); 4] {
+        [
+            ("packing.strip_packs", STRIP_PACKS.get()),
+            ("packing.container_packs", CONTAINER_PACKS.get()),
+            ("packing.feasibility_tests", FEASIBILITY_TESTS.get()),
+            ("packing.freespace_placements", FREESPACE_PLACEMENTS.get()),
+        ]
+    }
+}
+
 /// Errors reported by the packing algorithms.
 ///
 /// All of these indicate invalid *input* — a heuristic failing to find a

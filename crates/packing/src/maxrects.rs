@@ -201,6 +201,7 @@ impl FreeSpace {
     /// them; returns one placement per input (input order), or `None` if any
     /// fails — in which case `self` is left unchanged.
     pub fn place_all(&mut self, sizes: &[Size]) -> Option<Vec<Rect>> {
+        crate::obs::FREESPACE_PLACEMENTS.add(1);
         let mut trial = self.clone();
         let mut order: Vec<usize> = (0..sizes.len()).collect();
         // Largest-area-first is the standard decreasing heuristic order.

@@ -43,6 +43,7 @@ use crate::{pack_strip, PackError, Rect, Size};
 /// # }
 /// ```
 pub fn pack_into(items: &[Size], container: Size) -> Result<Option<Vec<Rect>>, PackError> {
+    crate::obs::CONTAINER_PACKS.add(1);
     if container.is_empty() {
         return Err(PackError::ZeroWidthStrip);
     }
@@ -96,6 +97,7 @@ pub fn pack_into(items: &[Size], container: Size) -> Result<Option<Vec<Rect>>, P
 /// # }
 /// ```
 pub fn fits_into(items: &[Size], container: Size) -> Result<bool, PackError> {
+    crate::obs::FEASIBILITY_TESTS.add(1);
     Ok(pack_into(items, container)?.is_some())
 }
 

@@ -305,6 +305,7 @@ fn validate(items: &[Size], width: u32) -> Result<(), PackError> {
 /// # }
 /// ```
 pub fn pack_strip(items: &[Size], width: u32) -> Result<StripPacking, PackError> {
+    crate::obs::STRIP_PACKS.add(1);
     validate(items, width)?;
     let mut skyline = Skyline::new(width)?;
     let mut placements = vec![Rect::default(); items.len()];

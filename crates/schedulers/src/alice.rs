@@ -65,6 +65,7 @@ impl Scheduler for AliceScheduler {
         config: SlotframeConfig,
         _seed: u64,
     ) -> NetworkSchedule {
+        crate::obs::SCHEDULES_BUILT.add(1);
         let mut schedule = NetworkSchedule::new(config);
         for direction in Direction::BOTH {
             for link in tree.links(direction) {

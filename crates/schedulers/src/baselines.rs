@@ -40,6 +40,7 @@ impl Scheduler for RandomScheduler {
         config: SlotframeConfig,
         seed: u64,
     ) -> NetworkSchedule {
+        crate::obs::SCHEDULES_BUILT.add(1);
         let mut rng = SplitMix64::new(seed);
         let mut schedule = NetworkSchedule::new(config);
         for direction in Direction::BOTH {
@@ -90,6 +91,7 @@ impl Scheduler for MsfScheduler {
         config: SlotframeConfig,
         _seed: u64,
     ) -> NetworkSchedule {
+        crate::obs::SCHEDULES_BUILT.add(1);
         let mut schedule = NetworkSchedule::new(config);
         let cells_per_frame = config.cells_per_slotframe();
         for direction in Direction::BOTH {
@@ -139,6 +141,7 @@ impl Scheduler for LdsfScheduler {
         config: SlotframeConfig,
         seed: u64,
     ) -> NetworkSchedule {
+        crate::obs::SCHEDULES_BUILT.add(1);
         let mut rng = SplitMix64::new(seed ^ 0x1d5f);
         let mut schedule = NetworkSchedule::new(config);
         let layers = tree.layers().max(1);

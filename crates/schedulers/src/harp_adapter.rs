@@ -33,6 +33,7 @@ impl Scheduler for HarpScheduler {
         config: SlotframeConfig,
         _seed: u64,
     ) -> NetworkSchedule {
+        crate::obs::SCHEDULES_BUILT.add(1);
         let up = build_interfaces(tree, requirements, Direction::Up, config.channels)
             .expect("per-link demands fit the channel budget");
         let down = build_interfaces(tree, requirements, Direction::Down, config.channels)

@@ -39,3 +39,24 @@ pub use harp_adapter::HarpScheduler;
 pub use msf_adaptive::{MsfAdaptiveNetwork, LIM_HIGH, LIM_LOW};
 pub use sixtop::{measure_sixtop_transaction, sixtop_transaction_packets, SixtopReport};
 pub use traits::{satisfies_requirements, Scheduler};
+
+/// Process-wide activity counters of the scheduler comparison suite.
+///
+/// Always-on relaxed atomics ([`harp_obs::StaticCounter`]); one fetch-add
+/// per built schedule. Fold into a snapshot with
+/// [`harp_obs::MetricsSnapshot::add_counters`] via [`totals`](obs::totals).
+pub mod obs {
+    use harp_obs::StaticCounter;
+
+    /// Full network schedules built via [`Scheduler::build_schedule`](crate::Scheduler::build_schedule),
+    /// summed over every scheduler implementation.
+    pub static SCHEDULES_BUILT: StaticCounter = StaticCounter::new();
+
+    /// Current totals, in the shape
+    /// [`MetricsSnapshot::add_counters`](harp_obs::MetricsSnapshot::add_counters)
+    /// accepts. Process-wide and monotonic.
+    #[must_use]
+    pub fn totals() -> [(&'static str, u64); 1] {
+        [("schedulers.schedules_built", SCHEDULES_BUILT.get())]
+    }
+}

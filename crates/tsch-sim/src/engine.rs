@@ -48,8 +48,44 @@ use crate::time::{Asn, Cell, SlotframeConfig};
 use crate::topology::{Direction, Link, NodeId, Tree};
 use crate::trace::{TraceBuffer, TraceEvent};
 use core::fmt;
+use harp_obs::{CounterId, GaugeId, HistogramId, MetricsSnapshot, Obs, NO_NODE};
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// Latency histogram bucket bounds, in slots (inclusive upper bounds; one
+/// implicit overflow bucket above).
+const LATENCY_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+/// Pre-registered metric handles for the engine's hot paths. Registration
+/// happens once at build time so the slot loop never searches by name.
+#[derive(Debug, Clone, Copy)]
+struct SimObsIds {
+    slots: CounterId,
+    tx_attempts: CounterId,
+    collisions: CounterId,
+    losses: CounterId,
+    queue_drops: CounterId,
+    deliveries: CounterId,
+    generated: CounterId,
+    latency: HistogramId,
+    queue_high_water: GaugeId,
+}
+
+impl SimObsIds {
+    fn register(obs: &mut Obs) -> Self {
+        Self {
+            slots: obs.metrics.counter("sim.slots"),
+            tx_attempts: obs.metrics.counter("sim.tx_attempts"),
+            collisions: obs.metrics.counter("sim.collisions"),
+            losses: obs.metrics.counter("sim.losses"),
+            queue_drops: obs.metrics.counter("sim.queue_drops"),
+            deliveries: obs.metrics.counter("sim.deliveries"),
+            generated: obs.metrics.counter("sim.generated"),
+            latency: obs.metrics.histogram("sim.latency_slots", LATENCY_BOUNDS),
+            queue_high_water: obs.metrics.gauge("sim.queue_high_water"),
+        }
+    }
+}
 
 /// Default bound on packets queued per directed link.
 pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
@@ -125,6 +161,7 @@ pub struct SimulatorBuilder {
     queue_capacity: usize,
     max_retries: u32,
     trace_capacity: usize,
+    obs_span_capacity: Option<usize>,
 }
 
 impl fmt::Debug for SimulatorBuilder {
@@ -154,6 +191,7 @@ impl SimulatorBuilder {
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             max_retries: DEFAULT_MAX_RETRIES,
             trace_capacity: 0,
+            obs_span_capacity: None,
         }
     }
 
@@ -204,6 +242,16 @@ impl SimulatorBuilder {
     #[must_use]
     pub fn trace_capacity(mut self, capacity: usize) -> Self {
         self.trace_capacity = capacity;
+        self
+    }
+
+    /// Enables the observability layer, retaining the most recent
+    /// `span_capacity` slotframe-time spans. Off by default; a disabled
+    /// simulator records nothing and snapshots empty, and its random
+    /// processes are untouched, so runs are byte-identical either way.
+    #[must_use]
+    pub fn observability(mut self, span_capacity: usize) -> Self {
+        self.obs_span_capacity = Some(span_capacity);
         self
     }
 
@@ -264,6 +312,12 @@ impl SimulatorBuilder {
             }
         }
 
+        let mut obs = match self.obs_span_capacity {
+            Some(capacity) => Obs::enabled(capacity),
+            None => Obs::disabled(),
+        };
+        let obs_ids = SimObsIds::register(&mut obs);
+
         let mut sim = Simulator {
             tree: self.tree,
             config: self.config,
@@ -285,6 +339,10 @@ impl SimulatorBuilder {
             queue_capacity: self.queue_capacity,
             max_retries: self.max_retries,
             trace: TraceBuffer::new(self.trace_capacity),
+            obs,
+            obs_ids,
+            frame_start_asn: 0,
+            frame_tx_base: 0,
         };
         sim.rebuild_slot_table();
         sim
@@ -320,6 +378,12 @@ pub struct Simulator {
     queue_capacity: usize,
     max_retries: u32,
     trace: TraceBuffer,
+    obs: Obs,
+    obs_ids: SimObsIds,
+    /// First ASN of the slotframe in progress (observability only).
+    frame_start_asn: u64,
+    /// `stats.tx_attempts` at the start of the slotframe in progress.
+    frame_tx_base: u64,
 }
 
 impl fmt::Debug for Simulator {
@@ -386,6 +450,26 @@ impl Simulator {
         &self.trace
     }
 
+    /// The observability handle (disabled unless enabled via
+    /// [`SimulatorBuilder::observability`]).
+    #[must_use]
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Mutable access to the observability handle (e.g. to clear spans
+    /// between measurement windows).
+    #[must_use]
+    pub fn obs_mut(&mut self) -> &mut Obs {
+        &mut self.obs
+    }
+
+    /// Snapshots the engine's metrics (empty while observability is off).
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.obs.metrics.snapshot()
+    }
+
     /// Total packets currently queued anywhere in the network.
     #[must_use]
     pub fn queued_packets(&self) -> usize {
@@ -445,6 +529,21 @@ impl Simulator {
     /// Executes exactly one slot.
     pub fn step_slot(&mut self) {
         if self.config.slot_offset(self.now) == 0 {
+            if self.obs.is_enabled() {
+                if self.now.0 > 0 {
+                    let tx_in_frame = self.stats.tx_attempts - self.frame_tx_base;
+                    self.obs.span(
+                        "slotframe",
+                        "sim",
+                        NO_NODE,
+                        self.frame_start_asn,
+                        self.now.0 - 1,
+                        tx_in_frame as i64,
+                    );
+                }
+                self.frame_start_asn = self.now.0;
+                self.frame_tx_base = self.stats.tx_attempts;
+            }
             self.release_tasks();
             self.sample_queue_depths();
         }
@@ -460,6 +559,7 @@ impl Simulator {
         }
         self.slot_table[slot] = cells;
         self.stats.slots_simulated += 1;
+        self.obs.metrics.inc(self.obs_ids.slots, 1);
         self.now = self.now.plus(1);
     }
 
@@ -513,9 +613,12 @@ impl Simulator {
         for (route, task, seq0, n) in releases {
             for k in 0..u64::from(n) {
                 self.stats.generated += 1;
+                self.obs.metrics.inc(self.obs_ids.generated, 1);
                 let packet = Packet::new(task, seq0 + k, self.now, route.clone());
                 if packet.is_delivered() {
                     // Gateway-sourced degenerate route: delivered instantly.
+                    self.obs.metrics.inc(self.obs_ids.deliveries, 1);
+                    self.obs.metrics.observe(self.obs_ids.latency, 0);
                     self.stats
                         .record_delivery(packet.holder(), self.now, self.now);
                 } else {
@@ -531,6 +634,7 @@ impl Simulator {
         let queue = &mut self.queues[id];
         if queue.len() >= self.queue_capacity {
             self.stats.queue_drops += 1;
+            self.obs.metrics.inc(self.obs_ids.queue_drops, 1);
         } else {
             queue.push_back(QueuedPacket { packet, retries: 0 });
         }
@@ -568,6 +672,7 @@ impl Simulator {
             return;
         }
         self.stats.tx_attempts += n as u64;
+        self.obs.metrics.inc(self.obs_ids.tx_attempts, n as u64);
         for &id in &self.active_scratch {
             let link = self.links[id as usize];
             *self.stats.tx_attempts_per_link.entry(link).or_default() += 1;
@@ -593,6 +698,7 @@ impl Simulator {
             let link = self.links[id];
             if self.collided_scratch[idx] {
                 self.stats.collisions += 1;
+                self.obs.metrics.inc(self.obs_ids.collisions, 1);
                 self.trace.record(TraceEvent::TxCollision {
                     at: self.now,
                     link,
@@ -604,6 +710,7 @@ impl Simulator {
             let pdr = self.pdr[id];
             if pdr < 1.0 && !self.rng.chance(pdr) {
                 self.stats.losses += 1;
+                self.obs.metrics.inc(self.obs_ids.losses, 1);
                 self.trace.record(TraceEvent::TxLoss {
                     at: self.now,
                     link,
@@ -629,6 +736,7 @@ impl Simulator {
         if head.retries > self.max_retries {
             queue.pop_front();
             self.stats.queue_drops += 1;
+            self.obs.metrics.inc(self.obs_ids.queue_drops, 1);
             self.trace.record(TraceEvent::Drop { at: self.now, link });
         }
     }
@@ -641,8 +749,14 @@ impl Simulator {
         queued.packet.advance();
         if queued.packet.is_delivered() {
             let source = queued.packet.route[0];
+            let delivered_at = self.now.plus(1);
+            self.obs.metrics.inc(self.obs_ids.deliveries, 1);
+            self.obs.metrics.observe(
+                self.obs_ids.latency,
+                delivered_at.0 - queued.packet.created.0,
+            );
             self.stats
-                .record_delivery(source, queued.packet.created, self.now.plus(1));
+                .record_delivery(source, queued.packet.created, delivered_at);
         } else {
             queued.retries = 0;
             self.enqueue(queued.packet);
@@ -671,6 +785,9 @@ impl Simulator {
         for (i, &depth) in self.depth_scratch.iter().enumerate() {
             if depth > 0 {
                 self.stats.record_queue_depth(NodeId(i as u16), depth);
+                self.obs
+                    .metrics
+                    .set_max(self.obs_ids.queue_high_water, depth as f64);
             }
         }
     }

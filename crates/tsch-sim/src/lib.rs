@@ -68,6 +68,7 @@ mod transport;
 pub use engine::{
     SimError, Simulator, SimulatorBuilder, DEFAULT_MAX_RETRIES, DEFAULT_QUEUE_CAPACITY,
 };
+pub use harp_obs::{MetricsSnapshot, Obs, SpanEvent, SpanRing, NO_NODE};
 pub use hopping::{HoppingError, HoppingSequence};
 pub use interference::{GlobalInterference, InterferenceModel, TwoHopInterference};
 pub use mgmt::{Delivered, MgmtError, MgmtPlane};

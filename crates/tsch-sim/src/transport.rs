@@ -33,7 +33,30 @@ use crate::rng::SplitMix64;
 use crate::time::{Asn, SlotframeConfig};
 use crate::topology::{Link, NodeId, Tree};
 use core::fmt;
+use harp_obs::{CounterId, MetricsSnapshot, Obs};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Pre-registered metric handles for the reliability sublayer.
+#[derive(Debug, Clone, Copy)]
+struct TransportObsIds {
+    attempts: CounterId,
+    retransmissions: CounterId,
+    acks_sent: CounterId,
+    dropped: CounterId,
+    duplicates_suppressed: CounterId,
+}
+
+impl TransportObsIds {
+    fn register(obs: &mut Obs) -> Self {
+        Self {
+            attempts: obs.metrics.counter("transport.attempts"),
+            retransmissions: obs.metrics.counter("transport.retransmissions"),
+            acks_sent: obs.metrics.counter("transport.acks_sent"),
+            dropped: obs.metrics.counter("transport.dropped"),
+            duplicates_suppressed: obs.metrics.counter("transport.duplicates_suppressed"),
+        }
+    }
+}
 
 /// Whether an envelope carries data or confirms receipt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -329,6 +352,8 @@ pub struct ControlPlane<M> {
     /// Receiver-side dedup windows per directed `(sender, receiver)` pair.
     windows: BTreeMap<(NodeId, NodeId), DedupWindow>,
     stats: TransportStats,
+    obs: Obs,
+    obs_ids: TransportObsIds,
 }
 
 /// The directed management hop a `from → to` transmission crosses.
@@ -348,6 +373,8 @@ impl<M: Clone> ControlPlane<M> {
     #[must_use]
     pub fn new(tree: &Tree, config: SlotframeConfig, transport: Box<dyn Transport>) -> Self {
         let lossless = transport.is_lossless();
+        let mut obs = Obs::disabled();
+        let obs_ids = TransportObsIds::register(&mut obs);
         Self {
             config,
             reliability: ReliabilityConfig::default(),
@@ -359,6 +386,8 @@ impl<M: Clone> ControlPlane<M> {
             next_msg_id: BTreeMap::new(),
             windows: BTreeMap::new(),
             stats: TransportStats::default(),
+            obs,
+            obs_ids,
         }
     }
 
@@ -419,6 +448,28 @@ impl<M: Clone> ControlPlane<M> {
         self.stats
     }
 
+    /// Enables the observability layer, retaining the most recent
+    /// `span_capacity` spans (retransmissions and duplicate suppressions).
+    /// Off by default; counters mirror [`TransportStats`] exactly.
+    pub fn enable_observability(&mut self, span_capacity: usize) {
+        let mut obs = Obs::enabled(span_capacity);
+        self.obs_ids = TransportObsIds::register(&mut obs);
+        self.obs = obs;
+    }
+
+    /// The observability handle (disabled unless
+    /// [`ControlPlane::enable_observability`] was called).
+    #[must_use]
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Snapshots the transport metrics (empty while observability is off).
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.obs.metrics.snapshot()
+    }
+
     /// Sends `payload` from `from` to its tree neighbour `to` as a
     /// confirmable message, drawing its fate from the transport. Returns
     /// the ASN of the transmission's management cell (the arrival time if
@@ -439,6 +490,7 @@ impl<M: Clone> ControlPlane<M> {
         let link = hop_link(tree, from, to)?;
         let deliver_at = self.plane.transmit_time(tree, now, from, to)?;
         self.stats.attempts += 1;
+        self.obs.metrics.inc(self.obs_ids.attempts, 1);
         if self.lossless {
             self.plane.enqueue_raw(
                 deliver_at,
@@ -495,6 +547,7 @@ impl<M: Clone> ControlPlane<M> {
     ) {
         if !fate.delivered {
             self.stats.dropped += 1;
+            self.obs.metrics.inc(self.obs_ids.dropped, 1);
             return;
         }
         if fate.duplicated {
@@ -555,6 +608,9 @@ impl<M: Clone> ControlPlane<M> {
                         });
                     } else {
                         self.stats.duplicates_suppressed += 1;
+                        self.obs.metrics.inc(self.obs_ids.duplicates_suppressed, 1);
+                        self.obs
+                            .span("dup_suppressed", "transport", d.to.0, d.at.0, d.at.0, 1);
                     }
                 }
             }
@@ -576,6 +632,7 @@ impl<M: Clone> ControlPlane<M> {
     ) -> Result<(), MgmtError> {
         let ack_at = self.plane.peek_transmit_time(tree, received_at, from, to)?;
         self.stats.acks_sent += 1;
+        self.obs.metrics.inc(self.obs_ids.acks_sent, 1);
         let fate = self.transport.fate(hop_link(tree, from, to)?);
         if fate.delivered {
             self.plane.enqueue_raw(
@@ -591,6 +648,7 @@ impl<M: Clone> ControlPlane<M> {
             );
         } else {
             self.stats.dropped += 1;
+            self.obs.metrics.inc(self.obs_ids.dropped, 1);
         }
         Ok(())
     }
@@ -617,6 +675,16 @@ impl<M: Clone> ControlPlane<M> {
             let deliver_at = self.plane.transmit_time(tree, now, from, to)?;
             self.stats.attempts += 1;
             self.stats.retransmissions += 1;
+            self.obs.metrics.inc(self.obs_ids.attempts, 1);
+            self.obs.metrics.inc(self.obs_ids.retransmissions, 1);
+            self.obs.span(
+                "retx",
+                "transport",
+                from.0,
+                now.0,
+                deliver_at.0,
+                i64::from(self.outstanding[i].retries_left),
+            );
             let fate = self.transport.fate(hop_link(tree, from, to)?);
             self.deliver_per_fate(
                 fate,

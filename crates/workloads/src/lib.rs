@@ -32,3 +32,29 @@ pub use tasks::{
     uniform_uplink_requirements, uplink_task_per_node,
 };
 pub use topo_gen::TopologyConfig;
+
+/// Process-wide activity counters of the workload generators.
+///
+/// Always-on relaxed atomics ([`harp_obs::StaticCounter`]) — generators are
+/// free functions with no state to hang an [`harp_obs::Obs`] handle on. One
+/// fetch-add per generated artefact; fold into a snapshot with
+/// [`harp_obs::MetricsSnapshot::add_counters`] via [`totals`](obs::totals).
+pub mod obs {
+    use harp_obs::StaticCounter;
+
+    /// Random trees generated ([`TopologyConfig::generate`](crate::TopologyConfig::generate)).
+    pub static TOPOLOGIES_GENERATED: StaticCounter = StaticCounter::new();
+    /// Periodic tasks generated (the `*_task_per_node` helpers).
+    pub static TASKS_GENERATED: StaticCounter = StaticCounter::new();
+
+    /// Current totals, in the shape
+    /// [`MetricsSnapshot::add_counters`](harp_obs::MetricsSnapshot::add_counters)
+    /// accepts. Process-wide and monotonic.
+    #[must_use]
+    pub fn totals() -> [(&'static str, u64); 2] {
+        [
+            ("workloads.topologies_generated", TOPOLOGIES_GENERATED.get()),
+            ("workloads.tasks_generated", TASKS_GENERATED.get()),
+        ]
+    }
+}

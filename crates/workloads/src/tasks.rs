@@ -21,22 +21,28 @@ use tsch_sim::{NodeId, Rate, Task, TaskId, Tree};
 /// ```
 #[must_use]
 pub fn echo_task_per_node(tree: &Tree, rate: Rate) -> Vec<Task> {
-    tree.nodes()
+    let tasks: Vec<Task> = tree
+        .nodes()
         .skip(1)
         .enumerate()
         .map(|(i, n)| Task::echo(TaskId(i as u16), n, rate))
-        .collect()
+        .collect();
+    crate::obs::TASKS_GENERATED.add(tasks.len() as u64);
+    tasks
 }
 
 /// One uplink-only task per non-gateway node at a uniform rate — the
 /// simulation workload of Fig. 11.
 #[must_use]
 pub fn uplink_task_per_node(tree: &Tree, rate: Rate) -> Vec<Task> {
-    tree.nodes()
+    let tasks: Vec<Task> = tree
+        .nodes()
         .skip(1)
         .enumerate()
         .map(|(i, n)| Task::uplink(TaskId(i as u16), n, rate))
-        .collect()
+        .collect();
+    crate::obs::TASKS_GENERATED.add(tasks.len() as u64);
+    tasks
 }
 
 /// The task of `node` within a per-node task set (tasks are indexed by

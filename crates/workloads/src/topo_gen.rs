@@ -64,6 +64,7 @@ impl TopologyConfig {
     /// `max_children` allows.
     #[must_use]
     pub fn generate(&self, seed: u64) -> Tree {
+        crate::obs::TOPOLOGIES_GENERATED.add(1);
         assert!(
             u32::from(self.nodes) > self.layers,
             "need more than {} nodes for {} layers",
