@@ -8,10 +8,17 @@
 //! overflows the partition and triggers a partition-adjustment escalation —
 //! visible as a longer latency excursion before the network settles again.
 //!
+//! Writes `BENCH_fig10.json` at the workspace root: the latency timeline as
+//! gated rows plus a merged control-/data-plane trace sample in which the
+//! rate-step escalation shows up as overlapping `change`/`adjust` spans
+//! (`harp_trace BENCH_fig10.json --view storms --storm-k 2` finds them).
+//!
 //! Run with `cargo run --release -p harp-bench --bin fig10_dynamic`.
 
+use harp_bench::harness::{rows_json, to_json_with_sections, write_report};
 use harp_bench::run_lockstep;
 use harp_core::{HarpNetwork, SchedulingPolicy};
+use harp_obs::merged_trace_json;
 use tsch_sim::{Asn, Direction, Link, Rate, SimulatorBuilder, SlotframeConfig};
 use workloads::{fig10_observed_node, uplink_demand_after_change};
 
@@ -36,6 +43,7 @@ fn main() {
         &padded,
         SchedulingPolicy::RateMonotonic,
     );
+    net.enable_observability(2048);
     net.run_static().expect("feasible static phase");
     // Release the headroom: partitions keep their size, schedules shrink to
     // the real demand. (Local case — no management messages.)
@@ -52,7 +60,8 @@ fn main() {
     let net_offset = net.now().0;
     let mut builder = SimulatorBuilder::new(tree.clone(), config)
         .schedule(net.schedule().clone())
-        .seed(0xF10);
+        .seed(0xF10)
+        .observability(256);
     for task in workloads::echo_task_per_node(&tree, base_rate) {
         builder = builder.task(task).expect("valid task");
     }
@@ -99,7 +108,8 @@ fn main() {
     println!("# rate steps at slotframe 30 (1 -> 1.5) and 60 (1.5 -> 3)");
     println!("{:>10} {:>12}", "slotframe", "latency(s)");
     let slot_s = f64::from(config.slot_duration_us) / 1e6;
-    for (frame, mean_slots) in sim.stats().latency_timeline(observed, config.slots) {
+    let timeline = sim.stats().latency_timeline(observed, config.slots);
+    for &(frame, mean_slots) in &timeline {
         println!("{frame:>10} {:>12.3}", mean_slots * slot_s);
     }
     println!(
@@ -107,6 +117,41 @@ fn main() {
         sim.schedule().is_exclusive()
     );
     println!("{}", harp_bench::obs_footer());
+
+    // Gated report: the timeline itself as rows (seeded, deterministic),
+    // delivery totals, and the merged trace. The rate steps appear in the
+    // trace as `change` spans on the observed node's path; the phase-3
+    // escalation is the storm `harp_trace --view storms` reports.
+    let rows: Vec<(String, Vec<(&'static str, f64)>)> = timeline
+        .iter()
+        .map(|&(frame, mean_slots)| {
+            (
+                format!("sf{frame:03}"),
+                vec![("mean_latency_slots", mean_slots)],
+            )
+        })
+        .collect();
+    let stats = sim.stats();
+    let metrics: Vec<(&str, f64)> = vec![
+        ("generated", stats.generated as f64),
+        ("delivered", stats.deliveries.len() as f64),
+        ("collisions", stats.collisions as f64),
+        ("losses", stats.losses as f64),
+    ];
+    let mut snap = net.metrics_snapshot();
+    snap.add_counters(packing::obs::totals());
+    snap.add_counters(workloads::obs::totals());
+    let trace = merged_trace_json(&[&net.obs().spans, &sim.obs().spans], 96);
+    let json = to_json_with_sections(
+        &[],
+        &metrics,
+        &[
+            ("rows", rows_json(&rows)),
+            ("obs", snap.to_json()),
+            ("trace_sample", trace),
+        ],
+    );
+    write_report("BENCH_fig10.json", &json);
 }
 
 /// Recomputes the demand of every link on the observed node's path for the

@@ -4,9 +4,17 @@
 //! demands `rate` cells; four schedulers compared. The paper's shape:
 //! Random/MSF/LDSF grow roughly linearly with the rate, HARP stays at zero.
 //!
+//! Writes `BENCH_fig11a.json` at the workspace root: one gated row per
+//! rate with every scheduler's collision probability, plus a synthetic
+//! sweep trace (one span per sweep cell on a virtual clock — layer
+//! `bench`, depth = rate) so `harp_trace` can show where the sweep spent
+//! its slots.
+//!
 //! Run with `cargo run --release -p harp-bench --bin fig11a_collision_rate`.
 
+use harp_bench::harness::{rows_json, to_json_with_sections, write_report};
 use harp_bench::{average_collision_probability, pct};
+use harp_obs::{spans_to_json, MetricsSnapshot, SpanEvent, NO_NODE};
 use schedulers::{
     AliceScheduler, HarpScheduler, LdsfScheduler, MsfScheduler, RandomScheduler, Scheduler,
 };
@@ -36,14 +44,46 @@ fn main() {
     }
     println!(" {:>12}", "total_cells");
 
+    let mut rows: Vec<(String, Vec<(&'static str, f64)>)> = Vec::new();
+    let mut spans: Vec<SpanEvent> = Vec::new();
     for rate in 1..=8u32 {
         print!("{rate:>4}");
-        for s in &schedulers {
+        let mut fields: Vec<(&'static str, f64)> = Vec::new();
+        for (si, s) in schedulers.iter().enumerate() {
             let p = average_collision_probability(*s, &topologies, rate, config);
             print!(" {:>8}", pct(p));
+            fields.push((s.name(), p));
+            // One span per sweep cell on a virtual clock: 1000 "slots" per
+            // rate step, one lane per scheduler, depth carries the rate.
+            let start = u64::from(rate - 1) * 1000 + si as u64 * 150;
+            spans.push(SpanEvent {
+                name: s.name(),
+                layer: "bench",
+                node: NO_NODE,
+                depth: rate,
+                start_asn: start,
+                end_asn: start + 149,
+                detail: (p * 1e6).round() as i64,
+            });
         }
-        // 49 uplinks per topology.
+        fields.push(("total_cells", f64::from(49 * rate)));
         println!(" {:>12}", 49 * rate);
+        rows.push((format!("rate{rate}"), fields));
     }
     println!("{}", harp_bench::obs_footer());
+
+    let mut snap = MetricsSnapshot::default();
+    snap.add_counters(workloads::obs::totals());
+    snap.add_counters(schedulers::obs::totals());
+    let total = spans.len() as u64;
+    let json = to_json_with_sections(
+        &[],
+        &[],
+        &[
+            ("rows", rows_json(&rows)),
+            ("obs", snap.to_json()),
+            ("trace_sample", spans_to_json(spans.iter(), total)),
+        ],
+    );
+    write_report("BENCH_fig11a.json", &json);
 }

@@ -7,9 +7,16 @@
 //! vanish; HARP stays at zero until the slotframe physically cannot hold
 //! the demand, then rises slightly but keeps dominating.
 //!
+//! Writes `BENCH_fig11b.json` at the workspace root: one gated row per
+//! (rate, channels) point with every scheduler's collision probability,
+//! plus a synthetic sweep trace on a virtual clock (layer `bench`, depth =
+//! channel count) for `harp_trace`.
+//!
 //! Run with `cargo run --release -p harp-bench --bin fig11b_collision_channels`.
 
+use harp_bench::harness::{rows_json, to_json_with_sections, write_report};
 use harp_bench::{average_collision_probability, pct};
+use harp_obs::{spans_to_json, MetricsSnapshot, SpanEvent, NO_NODE};
 use schedulers::{
     AliceScheduler, HarpScheduler, LdsfScheduler, MsfScheduler, RandomScheduler, Scheduler,
 };
@@ -24,6 +31,9 @@ fn main() {
         &LdsfScheduler,
         &HarpScheduler::default(),
     ];
+    let mut rows: Vec<(String, Vec<(&'static str, f64)>)> = Vec::new();
+    let mut spans: Vec<SpanEvent> = Vec::new();
+    let mut step = 0u64;
     // The paper sweeps at rate 3. Our composition packs tighter than the
     // testbed implementation, so at rate 3 HARP stays collision-free even
     // on one channel; the rate-6 sweep below exposes the same
@@ -45,13 +55,42 @@ fn main() {
                 .with_channels(channels)
                 .expect("nonzero channel count");
             print!("{channels:>8}");
-            for s in &schedulers {
+            let mut fields: Vec<(&'static str, f64)> = Vec::new();
+            for (si, s) in schedulers.iter().enumerate() {
                 let p = average_collision_probability(*s, &topologies, rate, config);
                 print!(" {:>8}", pct(p));
+                fields.push((s.name(), p));
+                let start = step * 1000 + si as u64 * 150;
+                spans.push(SpanEvent {
+                    name: s.name(),
+                    layer: "bench",
+                    node: NO_NODE,
+                    depth: u32::from(channels),
+                    start_asn: start,
+                    end_asn: start + 149,
+                    detail: (p * 1e6).round() as i64,
+                });
             }
             println!();
+            rows.push((format!("r{rate}c{channels:02}"), fields));
+            step += 1;
         }
         println!();
     }
     println!("{}", harp_bench::obs_footer());
+
+    let mut snap = MetricsSnapshot::default();
+    snap.add_counters(workloads::obs::totals());
+    snap.add_counters(schedulers::obs::totals());
+    let total = spans.len() as u64;
+    let json = to_json_with_sections(
+        &[],
+        &[],
+        &[
+            ("rows", rows_json(&rows)),
+            ("obs", snap.to_json()),
+            ("trace_sample", spans_to_json(spans.iter(), total)),
+        ],
+    );
+    write_report("BENCH_fig11b.json", &json);
 }

@@ -7,10 +7,17 @@
 //! layer `l` (grows linearly with depth); HARP's cost is small and roughly
 //! flat because most requests resolve at the parent.
 //!
+//! Writes `BENCH_fig12.json` at the workspace root: one gated row per
+//! layer, plus a trace sample from one instrumented adjustment per layer
+//! (the `adjust` spans carry the layer depth, so the flame view shows how
+//! deep each escalation reached).
+//!
 //! Run with `cargo run --release -p harp-bench --bin fig12_overhead`.
 
-use harp_bench::{mean, measure_harp_adjustment, par_map};
+use harp_bench::harness::{rows_json, to_json_with_sections, write_report};
+use harp_bench::{mean, measure_harp_adjustment, measure_harp_adjustment_traced, par_map};
 use harp_core::Requirements;
+use harp_obs::{spans_to_json, MetricsSnapshot, SpanEvent};
 use schedulers::{apas_adjustment_packets, sixtop_transaction_packets, ApasNetwork};
 use tsch_sim::{Asn, Direction, Link, SlotframeConfig, Tree};
 
@@ -38,13 +45,14 @@ fn main() {
     // from scratch, so the layers are independent: sweep them in parallel
     // and print the rows in layer order.
     let layers: Vec<u32> = (1..=10).collect();
-    let rows = par_map(&layers, |_, &layer| {
+    let per_layer = par_map(&layers, |_, &layer| {
         let mut apas_samples = Vec::new();
         let mut harp_samples = Vec::new();
-        for tree in &topologies {
+        let mut spans: Vec<SpanEvent> = Vec::new();
+        for (ti, tree) in topologies.iter().enumerate() {
             // Sample up to three nodes at this layer per topology.
             let nodes = tree.nodes_at_depth(layer);
-            for &node in nodes.iter().take(3) {
+            for (ni, &node) in nodes.iter().take(3).enumerate() {
                 let mut apas = ApasNetwork::new(tree.clone(), config);
                 apas_samples.push(apas.adjust(Asn(0), node).packets as f64);
 
@@ -52,7 +60,21 @@ fn main() {
                     child: node,
                     direction: Direction::Up,
                 };
-                if let Some(sample) =
+                // The first sample of each layer runs instrumented and
+                // contributes its protocol spans to the trace sample;
+                // observability never changes the measured numbers.
+                if ti == 0 && ni == 0 {
+                    if let Some((sample, trace)) = measure_harp_adjustment_traced(
+                        tree,
+                        &base_requirements(tree),
+                        config,
+                        link,
+                        2,
+                    ) {
+                        harp_samples.push(sample.mgmt_messages as f64);
+                        spans.extend(trace.iter().filter(|s| s.name == "adjust"));
+                    }
+                } else if let Some(sample) =
                     measure_harp_adjustment(tree, &base_requirements(tree), config, link, 2)
                 {
                     harp_samples.push(sample.mgmt_messages as f64);
@@ -66,17 +88,44 @@ fn main() {
         );
         // MSF adds cells with one 6P pair at any depth — flat and minimal,
         // but with no collision protection (the Fig. 11 trade-off).
-        format!(
+        let text = format!(
             "{:>5} {:>10.2} {:>10.2} {:>10.0} {:>10}",
             layer,
             mean(&apas_samples),
             mean(&harp_samples),
             harp_max,
             sixtop_transaction_packets()
-        )
+        );
+        let fields: Vec<(&'static str, f64)> = vec![
+            ("apas_packets", mean(&apas_samples)),
+            ("harp_messages", mean(&harp_samples)),
+            ("harp_max", harp_max),
+            ("msf_6p", sixtop_transaction_packets() as f64),
+        ];
+        (text, (format!("L{layer:02}"), fields), spans)
     });
-    for row in rows {
-        println!("{row}");
+    let mut rows = Vec::new();
+    let mut spans = Vec::new();
+    for (text, row, layer_spans) in per_layer {
+        println!("{text}");
+        rows.push(row);
+        spans.extend(layer_spans);
     }
     println!("{}", harp_bench::obs_footer());
+
+    let mut snap = MetricsSnapshot::default();
+    snap.add_counters(packing::obs::totals());
+    snap.add_counters(workloads::obs::totals());
+    snap.add_counters(schedulers::obs::totals());
+    let total = spans.len() as u64;
+    let json = to_json_with_sections(
+        &[],
+        &[],
+        &[
+            ("rows", rows_json(&rows)),
+            ("obs", snap.to_json()),
+            ("trace_sample", spans_to_json(spans.iter(), total)),
+        ],
+    );
+    write_report("BENCH_fig12.json", &json);
 }

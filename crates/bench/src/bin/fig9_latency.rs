@@ -16,13 +16,27 @@
 //! blocks are assembled off-line and printed in a fixed order, so the
 //! report is byte-identical to a serial run.
 //!
+//! Writes `BENCH_fig9.json` at the workspace root: per-layer latency rows,
+//! deterministic delivery metrics, an observability snapshot, and a merged
+//! control-plane + data-plane trace sample (render it with `harp_trace`).
+//!
 //! Run with `cargo run --release -p harp-bench --bin fig9_latency`.
 
+use harp_bench::harness::{rows_json, to_json_with_sections, write_report};
 use harp_core::{HarpNetwork, SchedulingPolicy};
+use harp_obs::{merged_trace_json, SpanRing};
 use std::fmt::Write as _;
 use tsch_sim::{LinkQuality, Rate, SimulatorBuilder, SlotframeConfig};
 
-fn exact_fit_report(slotframes: u64) -> String {
+/// One variant's printable block plus its report fragments.
+struct VariantOut {
+    text: String,
+    rows: Vec<(String, Vec<(&'static str, f64)>)>,
+    metrics: Vec<(&'static str, f64)>,
+    rings: Vec<SpanRing>,
+}
+
+fn exact_fit_report(slotframes: u64) -> VariantOut {
     let tree = workloads::testbed_50_node_tree();
     let config = SlotframeConfig::paper_default();
     let rate = Rate::per_slotframe(1);
@@ -31,6 +45,7 @@ fn exact_fit_report(slotframes: u64) -> String {
 
     // Distributed static phase.
     let mut net = HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic);
+    net.enable_observability(1024);
     let static_report = net.run_static().expect("the testbed workload is feasible");
     assert!(
         net.schedule().is_exclusive(),
@@ -55,7 +70,8 @@ fn exact_fit_report(slotframes: u64) -> String {
         .schedule(net.schedule().clone())
         .quality(LinkQuality::uniform(0.99).expect("valid pdr"))
         .max_retries(0)
-        .seed(0xF19);
+        .seed(0xF19)
+        .observability(256);
     for task in workloads::echo_task_per_node(&tree, rate) {
         builder = builder.task(task).expect("valid task");
     }
@@ -97,10 +113,53 @@ fn exact_fit_report(slotframes: u64) -> String {
         )
         .unwrap();
     }
-    out
+    // Per-layer rows for the gated report (latency in slots — seeded, so
+    // deterministic; seconds would just rescale by the slot duration).
+    let rows = (1..=tree.layers())
+        .map(|layer| (format!("exact_L{layer}"), layer_row(&tree, stats, layer)))
+        .collect();
+    let metrics = vec![
+        ("exact_generated", stats.generated as f64),
+        ("exact_delivered", stats.deliveries.len() as f64),
+        ("exact_collisions", stats.collisions as f64),
+        ("exact_losses", stats.losses as f64),
+        ("static_mgmt_messages", static_report.mgmt_messages as f64),
+        ("static_cell_messages", static_report.cell_messages as f64),
+    ];
+    let rings = vec![net.obs().spans.clone(), sim.obs().spans.clone()];
+    VariantOut {
+        text: out,
+        rows,
+        metrics,
+        rings,
+    }
 }
 
-fn provisioned_report(slotframes: u64) -> String {
+/// Mean latency (slots) and sample count over one layer's nodes.
+fn layer_row(
+    tree: &tsch_sim::Tree,
+    stats: &tsch_sim::SimStats,
+    layer: u32,
+) -> Vec<(&'static str, f64)> {
+    let mut sum = 0.0;
+    let mut samples = 0usize;
+    let mut nodes = 0usize;
+    for node in tree.nodes_at_depth(layer) {
+        let s = stats.latency_summary(node);
+        if s.count > 0 {
+            sum += s.mean;
+            samples += s.count;
+            nodes += 1;
+        }
+    }
+    let mean_slots = if nodes > 0 { sum / nodes as f64 } else { 0.0 };
+    vec![
+        ("mean_latency_slots", mean_slots),
+        ("samples", samples as f64),
+    ]
+}
+
+fn provisioned_report(slotframes: u64) -> VariantOut {
     let tree = workloads::testbed_50_node_tree();
     let config = SlotframeConfig::paper_default();
     let rate = Rate::per_slotframe(1);
@@ -116,12 +175,14 @@ fn provisioned_report(slotframes: u64) -> String {
         &provisioned,
         SchedulingPolicy::RateMonotonic,
     );
+    net.enable_observability(1024);
     net.run_static().expect("provisioned demand still fits");
     let mut builder = SimulatorBuilder::new(tree.clone(), config)
         .schedule(net.schedule().clone())
         .quality(quality)
         .max_retries(8)
-        .seed(0xF19);
+        .seed(0xF19)
+        .observability(256);
     for task in workloads::echo_task_per_node(&tree, rate) {
         builder = builder.task(task).expect("valid task");
     }
@@ -154,7 +215,21 @@ fn provisioned_report(slotframes: u64) -> String {
     for (layer, mean, n) in layer_means {
         writeln!(out, "{layer:>5} {mean:>12.3} {n:>6}").unwrap();
     }
-    out
+    let rows = (1..=tree.layers())
+        .map(|layer| (format!("prov_L{layer}"), layer_row(&tree, stats, layer)))
+        .collect();
+    let metrics = vec![
+        ("prov_generated", stats.generated as f64),
+        ("prov_delivered", stats.deliveries.len() as f64),
+        ("prov_losses", stats.losses as f64),
+    ];
+    let rings = vec![net.obs().spans.clone(), sim.obs().spans.clone()];
+    VariantOut {
+        text: out,
+        rows,
+        metrics,
+        rings,
+    }
 }
 
 fn main() {
@@ -163,10 +238,35 @@ fn main() {
     let minutes = 30u64;
     let slotframes = (minutes * 60 * 1_000_000) / (u64::from(config.slots) * 10_000);
 
-    let variants: [fn(u64) -> String; 2] = [exact_fit_report, provisioned_report];
+    let variants: [fn(u64) -> VariantOut; 2] = [exact_fit_report, provisioned_report];
     let blocks = harp_bench::par_map(&variants, |_, variant| variant(slotframes));
-    for block in blocks {
-        print!("{block}");
+    for block in &blocks {
+        print!("{}", block.text);
     }
     println!("{}", harp_bench::obs_footer());
+
+    // Assemble the gated report: rows + metrics from both variants, the
+    // library-counter snapshot, and a merged trace across all four rings
+    // (control plane + data plane of each variant).
+    let mut rows: Vec<(String, Vec<(&'static str, f64)>)> = Vec::new();
+    let mut metrics: Vec<(&str, f64)> = Vec::new();
+    for block in &blocks {
+        rows.extend(block.rows.iter().cloned());
+        metrics.extend(block.metrics.iter().copied());
+    }
+    let mut snap = harp_obs::MetricsSnapshot::default();
+    snap.add_counters(packing::obs::totals());
+    snap.add_counters(workloads::obs::totals());
+    snap.add_counters(schedulers::obs::totals());
+    let rings: Vec<&SpanRing> = blocks.iter().flat_map(|b| b.rings.iter()).collect();
+    let json = to_json_with_sections(
+        &[],
+        &metrics,
+        &[
+            ("rows", rows_json(&rows)),
+            ("obs", snap.to_json()),
+            ("trace_sample", merged_trace_json(&rings, 64)),
+        ],
+    );
+    write_report("BENCH_fig9.json", &json);
 }

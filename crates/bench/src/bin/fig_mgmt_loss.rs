@@ -14,6 +14,7 @@
 //! pass `--quick` for a two-topology smoke run (CI). Writes
 //! `BENCH_mgmt_loss.json` at the workspace root.
 
+use harp_bench::harness::write_report;
 use harp_bench::{mean, par_map};
 use harp_core::{HarpNetwork, ProtocolReport, SchedulingPolicy};
 use tsch_sim::{Link, Lossy, SlotframeConfig, Tree};
@@ -90,6 +91,7 @@ fn main() {
         assert_eq!(ideal.static_report.dropped, 0);
     }
     let obs_snapshot;
+    let trace_sample;
     {
         // Explicit equivalence check on one topology: Lossy at PDR 1.0
         // (every chance() draw succeeds) vs the Reliable fast path. The
@@ -131,6 +133,7 @@ fn main() {
         snap.add_counters(packing::obs::totals());
         snap.add_counters(workloads::obs::totals());
         obs_snapshot = snap;
+        trace_sample = ideal.obs().spans.to_json(32);
     }
 
     let mut json = String::from("{\n");
@@ -198,17 +201,12 @@ fn main() {
     }
     json.push_str("  ],\n  \"obs\": ");
     json.push_str(&obs_snapshot.to_json());
+    json.push_str(",\n  \"trace_sample\": ");
+    json.push_str(&trace_sample);
     json.push_str("\n}\n");
     println!("{}", harp_bench::obs_footer());
 
-    // Write to the workspace root (two levels above this crate) so the
-    // report lands at a stable path regardless of cargo's CWD.
-    let path = match std::env::var("CARGO_MANIFEST_DIR") {
-        Ok(dir) => std::path::Path::new(&dir).join("../../BENCH_mgmt_loss.json"),
-        Err(_) => std::path::PathBuf::from("BENCH_mgmt_loss.json"),
-    };
-    std::fs::write(&path, &json).expect("write loss-sweep report");
-    println!("# wrote {}", path.display());
+    write_report("BENCH_mgmt_loss.json", &json);
 }
 
 #[cfg(test)]

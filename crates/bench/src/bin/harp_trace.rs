@@ -1,0 +1,259 @@
+//! `harp_trace` — renders a recorded span trace into human- and
+//! tool-readable views: a flamegraph-style text view, the collapsed-stack
+//! format understood by inferno / `flamegraph.pl`, Chrome trace-event JSON
+//! (load it at `chrome://tracing` or in Perfetto), a slotframe-utilization
+//! heatmap, and an adjustment-storm report.
+//!
+//! ```text
+//! harp_trace [INPUT.json] [options]
+//!   INPUT.json        report with a `trace_sample` section, a span dump
+//!                     ({"spans": [...]}) or a bare span array
+//!                     (default: BENCH_trace_sample.json at the repo root)
+//!   --live            ignore INPUT; run an instrumented 50-node static
+//!                     phase + one deep adjustment and render its trace
+//!   --view VIEW       all | flame | collapsed | chrome | heatmap | storms
+//!                     (default: all)
+//!   --out-dir DIR     write <stem>.flame.txt / .collapsed.txt /
+//!                     .chrome.json / .heatmap.txt / .storms.txt into DIR
+//!                     instead of printing to stdout
+//!   --slot-us N       microseconds per slot for the Chrome export
+//!                     (default: 10000, the paper's 10 ms slots)
+//!   --storm-k K       minimum distinct nodes whose adjustment spans must
+//!                     overlap to count as a storm (default: 3)
+//! ```
+//!
+//! Every view is a pure function of the input spans, so re-rendering a
+//! committed trace is byte-identical — CI relies on that.
+
+use harp_obs::flame::{
+    chrome_trace, collapsed_stacks, detect_storms, storm_report, text_flame, utilization_heatmap,
+    TraceDoc,
+};
+use std::process::ExitCode;
+
+/// Heatmap width in character columns.
+const HEATMAP_COLS: usize = 64;
+
+struct Options {
+    input: Option<String>,
+    live: bool,
+    view: String,
+    out_dir: Option<String>,
+    slot_us: u64,
+    storm_k: usize,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        input: None,
+        live: false,
+        view: "all".to_owned(),
+        out_dir: None,
+        slot_us: 10_000,
+        storm_k: 3,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--live" => opts.live = true,
+            "--view" => opts.view = value("--view")?,
+            "--out-dir" => opts.out_dir = Some(value("--out-dir")?),
+            "--slot-us" => {
+                opts.slot_us = value("--slot-us")?
+                    .parse()
+                    .map_err(|e| format!("--slot-us: {e}"))?;
+            }
+            "--storm-k" => {
+                opts.storm_k = value("--storm-k")?
+                    .parse()
+                    .map_err(|e| format!("--storm-k: {e}"))?;
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => {
+                if opts.input.replace(other.to_owned()).is_some() {
+                    return Err("at most one input file".to_owned());
+                }
+            }
+        }
+    }
+    match opts.view.as_str() {
+        "all" | "flame" | "collapsed" | "chrome" | "heatmap" | "storms" => Ok(opts),
+        v => Err(format!(
+            "unknown view {v} (expected all|flame|collapsed|chrome|heatmap|storms)"
+        )),
+    }
+}
+
+/// Default input: the committed trace sample at the workspace root.
+fn default_input() -> std::path::PathBuf {
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => std::path::Path::new(&dir).join("../../BENCH_trace_sample.json"),
+        Err(_) => std::path::PathBuf::from("BENCH_trace_sample.json"),
+    }
+}
+
+/// Runs an instrumented static phase plus one deep adjustment on the
+/// 50-node testbed topology and returns the recorded trace.
+fn live_trace() -> TraceDoc {
+    use tsch_sim::{Link, NodeId, SlotframeConfig};
+    let tree = workloads::testbed_50_node_tree();
+    let config = SlotframeConfig::paper_default();
+    let reqs = workloads::aggregated_echo_requirements(&tree, tsch_sim::Rate::per_slotframe(1));
+    let mut net = harp_core::HarpNetwork::new(
+        tree,
+        config,
+        &reqs,
+        harp_core::SchedulingPolicy::RateMonotonic,
+    );
+    net.enable_observability(2048);
+    net.run_static().expect("testbed workload is feasible");
+    let link = Link::up(NodeId(45));
+    let new_cells = reqs.get(link) + 2;
+    net.adjust_and_settle(net.now(), link, new_cells)
+        .expect("adjustment resolves");
+    TraceDoc::from_events(net.obs().spans.iter())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("harp_trace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let (doc, stem) = if opts.live {
+        (live_trace(), "live".to_owned())
+    } else {
+        let path = opts
+            .input
+            .as_ref()
+            .map_or_else(default_input, std::path::PathBuf::from);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("harp_trace: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let doc = match TraceDoc::parse_str(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("harp_trace: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let stem = path
+            .file_stem()
+            .map_or_else(|| "trace".to_owned(), |s| s.to_string_lossy().into_owned());
+        (doc, stem)
+    };
+
+    let spans = &doc.spans;
+    let want = |v: &str| opts.view == "all" || opts.view == v;
+    let mut outputs: Vec<(&str, String)> = Vec::new();
+    if want("flame") {
+        outputs.push(("flame.txt", text_flame(spans)));
+    }
+    if want("collapsed") {
+        outputs.push(("collapsed.txt", collapsed_stacks(spans)));
+    }
+    if want("chrome") {
+        outputs.push(("chrome.json", chrome_trace(spans, opts.slot_us)));
+    }
+    if want("heatmap") {
+        outputs.push(("heatmap.txt", utilization_heatmap(spans, HEATMAP_COLS)));
+    }
+    if want("storms") {
+        let storms = detect_storms(spans, opts.storm_k);
+        outputs.push(("storms.txt", storm_report(&storms, opts.storm_k)));
+    }
+
+    eprintln!("# {}", doc.coverage_banner());
+    match &opts.out_dir {
+        Some(dir) => {
+            let dir = std::path::Path::new(dir);
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("harp_trace: cannot create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+            for (suffix, content) in &outputs {
+                let path = dir.join(format!("{stem}.{suffix}"));
+                if let Err(e) = std::fs::write(&path, content) {
+                    eprintln!("harp_trace: cannot write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!("# wrote {}", path.display());
+            }
+        }
+        None => {
+            for (i, (suffix, content)) in outputs.iter().enumerate() {
+                if opts.view == "all" {
+                    if i > 0 {
+                        println!();
+                    }
+                    println!("== {stem}.{suffix} ==");
+                }
+                print!("{content}");
+                if !content.ends_with('\n') {
+                    println!();
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Result<Options, String> {
+        parse_args(&args.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_flags_and_positional_input() {
+        let o = opts(&[
+            "in.json",
+            "--view",
+            "chrome",
+            "--slot-us",
+            "500",
+            "--storm-k",
+            "2",
+            "--out-dir",
+            "d",
+        ])
+        .unwrap();
+        assert_eq!(o.input.as_deref(), Some("in.json"));
+        assert_eq!(o.view, "chrome");
+        assert_eq!(o.slot_us, 500);
+        assert_eq!(o.storm_k, 2);
+        assert_eq!(o.out_dir.as_deref(), Some("d"));
+        assert!(!o.live);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(opts(&["--view", "nope"]).is_err());
+        assert!(opts(&["--slot-us"]).is_err());
+        assert!(opts(&["--frobnicate"]).is_err());
+        assert!(opts(&["a.json", "b.json"]).is_err());
+    }
+
+    #[test]
+    fn live_trace_produces_spans() {
+        let doc = live_trace();
+        assert!(!doc.spans.is_empty());
+        assert!(doc.spans.iter().any(|s| s.name == "adjust"));
+        assert!(doc.spans.iter().any(|s| s.name == "static"));
+    }
+}

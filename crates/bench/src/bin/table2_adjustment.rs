@@ -8,9 +8,16 @@
 //! the shape to check is that deeper/larger events involve more nodes,
 //! layers, messages and time.
 //!
+//! Writes `BENCH_table2.json` at the workspace root: one gated row per
+//! event plus a trace sample merging all six instrumented adjustments —
+//! six `adjust` spans at different depths, the canonical input for the
+//! `harp_trace` flame view.
+//!
 //! Run with `cargo run --release -p harp-bench --bin table2_adjustment`.
 
-use harp_bench::{measure_harp_adjustment, par_map};
+use harp_bench::harness::{rows_json, to_json_with_sections, write_report};
+use harp_bench::{measure_harp_adjustment_traced, par_map};
+use harp_obs::{spans_to_json, MetricsSnapshot, SpanEvent};
 use tsch_sim::{Link, NodeId, SlotframeConfig};
 
 fn main() {
@@ -40,7 +47,7 @@ fn main() {
     );
     // Each event replays the static phase from scratch, so the rows are
     // independent: measure them in parallel, print in event order.
-    let rows = par_map(&events, |_, &(link, delta)| {
+    let results = par_map(&events, |_, &(link, delta)| {
         let old = reqs.get(link);
         let new_cells = old + delta;
         let parent = tree.parent(link.child).expect("non-root");
@@ -52,16 +59,62 @@ fn main() {
             old,
             new_cells
         );
-        match measure_harp_adjustment(&tree, &reqs, config, link, new_cells) {
-            Some(s) => format!(
-                "{:<30} {:>6} {:>7} {:>5} {:>8.2} {:>4}",
-                label, s.involved_nodes, s.layers_touched, s.mgmt_messages, s.seconds, s.slotframes
-            ),
-            None => format!("{label:<30} infeasible"),
+        match measure_harp_adjustment_traced(&tree, &reqs, config, link, new_cells) {
+            Some((s, trace)) => {
+                let text = format!(
+                    "{:<30} {:>6} {:>7} {:>5} {:>8.2} {:>4}",
+                    label,
+                    s.involved_nodes,
+                    s.layers_touched,
+                    s.mgmt_messages,
+                    s.seconds,
+                    s.slotframes
+                );
+                let row = (
+                    format!(
+                        "C{}_L{}_N{}",
+                        parent.0,
+                        tree.layer_of_link(link),
+                        link.child.0
+                    ),
+                    vec![
+                        ("involved_nodes", s.involved_nodes as f64),
+                        ("layers_touched", s.layers_touched as f64),
+                        ("mgmt_messages", s.mgmt_messages as f64),
+                        ("seconds", s.seconds),
+                        ("slotframes", s.slotframes as f64),
+                    ],
+                );
+                // Keep the adjustment spans only: the six identical static
+                // phases would otherwise drown the interesting part.
+                let spans: Vec<SpanEvent> =
+                    trace.into_iter().filter(|s| s.name == "adjust").collect();
+                (text, Some(row), spans)
+            }
+            None => (format!("{label:<30} infeasible"), None, Vec::new()),
         }
     });
-    for row in rows {
-        println!("{row}");
+    let mut rows = Vec::new();
+    let mut spans: Vec<SpanEvent> = Vec::new();
+    for (text, row, event_spans) in results {
+        println!("{text}");
+        rows.extend(row);
+        spans.extend(event_spans);
     }
     println!("{}", harp_bench::obs_footer());
+
+    let mut snap = MetricsSnapshot::default();
+    snap.add_counters(packing::obs::totals());
+    snap.add_counters(workloads::obs::totals());
+    let total = spans.len() as u64;
+    let json = to_json_with_sections(
+        &[],
+        &[],
+        &[
+            ("rows", rows_json(&rows)),
+            ("obs", snap.to_json()),
+            ("trace_sample", spans_to_json(spans.iter(), total)),
+        ],
+    );
+    write_report("BENCH_table2.json", &json);
 }

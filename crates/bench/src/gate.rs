@@ -193,9 +193,23 @@ fn compare_keyed_array(
     }
 }
 
+/// Picks the label field for a `rows` array: experiment reports label rows
+/// with a `name` field; the original `BENCH_mgmt_loss.json` keys rows by
+/// their numeric `pdr` sweep point instead.
+fn rows_label_key(rows: &[Json]) -> &'static str {
+    let has = |k: &str| rows.first().is_some_and(|r| r.get(k).is_some());
+    if has("name") {
+        "name"
+    } else {
+        "pdr"
+    }
+}
+
 /// Compares a baseline report against a fresh one. Both are whole JSON
-/// documents in either committed shape (`BENCH_simulator.json` with
-/// `benchmarks` + `metrics`, or `BENCH_mgmt_loss.json` with `rows`).
+/// documents in any committed shape (`BENCH_simulator.json` with
+/// `benchmarks` + `metrics`, `BENCH_mgmt_loss.json` with `pdr`-keyed
+/// `rows`, or the `BENCH_fig*.json` experiment reports with `name`-keyed
+/// `rows`).
 #[must_use]
 pub fn compare_reports(baseline: &Json, fresh: &Json) -> Vec<Violation> {
     let mut out = Vec::new();
@@ -207,7 +221,8 @@ pub fn compare_reports(baseline: &Json, fresh: &Json) -> Vec<Violation> {
     }
     if let Some(base) = arr(baseline, "rows") {
         let fresh_arr = arr(fresh, "rows").unwrap_or_default();
-        compare_keyed_array("rows", "pdr", &base, &fresh_arr, &mut out);
+        let key = rows_label_key(&base);
+        compare_keyed_array("rows", key, &base, &fresh_arr, &mut out);
     }
     if let Some(Json::Obj(base)) = baseline.get("metrics") {
         let empty = Vec::new();
@@ -358,9 +373,32 @@ mod tests {
     }
 
     #[test]
+    fn name_keyed_rows_use_name_label() {
+        let base = r#"{"rows": [
+            {"name": "sf0", "slotframes": 12.0, "mean_latency_slots": 3.5}
+        ]}"#;
+        let drifted = r#"{"rows": [
+            {"name": "sf0", "slotframes": 13.0, "mean_latency_slots": 3.5}
+        ]}"#;
+        let v = compare_report_strs(base, drifted).unwrap();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].key, "rows[sf0].slotframes");
+        assert!(compare_report_strs(base, base).unwrap().is_empty());
+    }
+
+    #[test]
     fn committed_baselines_self_compare_clean() {
         // The real committed artefacts must parse and self-compare empty.
-        for file in ["../../BENCH_simulator.json", "../../BENCH_mgmt_loss.json"] {
+        for file in [
+            "../../BENCH_simulator.json",
+            "../../BENCH_mgmt_loss.json",
+            "../../BENCH_fig9.json",
+            "../../BENCH_fig10.json",
+            "../../BENCH_fig11a.json",
+            "../../BENCH_fig11b.json",
+            "../../BENCH_fig12.json",
+            "../../BENCH_table2.json",
+        ] {
             let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(file);
             let text = std::fs::read_to_string(&path).unwrap();
             let v = compare_report_strs(&text, &text).unwrap();

@@ -164,18 +164,22 @@ pub fn to_json_with_sections(
     metrics: &[(&str, f64)],
     sections: &[(&str, String)],
 ) -> String {
-    let mut out = String::from("{\n  \"benchmarks\": [\n");
-    for (i, m) in measurements.iter().enumerate() {
-        let sep = if i + 1 < measurements.len() { "," } else { "" };
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"iters\": {}, \"total_ns\": {}, \"mean_ns\": {:.1}}}{sep}\n",
-            escape(&m.name),
-            m.iters,
-            m.total.as_nanos(),
-            m.mean_ns()
-        ));
+    let mut out = String::from("{\n");
+    if !measurements.is_empty() {
+        out.push_str("  \"benchmarks\": [\n");
+        for (i, m) in measurements.iter().enumerate() {
+            let sep = if i + 1 < measurements.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"iters\": {}, \"total_ns\": {}, \"mean_ns\": {:.1}}}{sep}\n",
+                escape(&m.name),
+                m.iters,
+                m.total.as_nanos(),
+                m.mean_ns()
+            ));
+        }
+        out.push_str("  ],\n");
     }
-    out.push_str("  ],\n  \"metrics\": {\n");
+    out.push_str("  \"metrics\": {\n");
     for (i, (name, value)) in metrics.iter().enumerate() {
         let sep = if i + 1 < metrics.len() { "," } else { "" };
         out.push_str(&format!("    \"{}\": {value:.3}{sep}\n", escape(name)));
@@ -190,6 +194,42 @@ pub fn to_json_with_sections(
 
 fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders a `rows` section: an array of objects each labelled with a
+/// `name` field followed by its numeric fields, in the given order. The
+/// gate keys row comparison on `name`, so labels must be unique within a
+/// report and stable across runs.
+#[must_use]
+pub fn rows_json(rows: &[(String, Vec<(&str, f64)>)]) -> String {
+    let mut out = String::from("[\n");
+    for (i, (name, fields)) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        out.push_str(&format!("    {{\"name\": \"{}\"", escape(name)));
+        for (k, v) in fields {
+            out.push_str(&format!(", \"{}\": {v:.3}", escape(k)));
+        }
+        out.push_str(&format!("}}{sep}\n"));
+    }
+    out.push_str("  ]");
+    out
+}
+
+/// Writes a report file at the workspace root (resolved relative to this
+/// crate's manifest when run under cargo, else the working directory) and
+/// prints where it went.
+///
+/// # Panics
+///
+/// Panics when the file cannot be written — a bench run whose report
+/// silently vanishes would let the CI gate pass on stale data.
+pub fn write_report(file_name: &str, contents: &str) {
+    let path = match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => std::path::Path::new(&dir).join("../../").join(file_name),
+        Err(_) => std::path::PathBuf::from(file_name),
+    };
+    std::fs::write(&path, contents).unwrap_or_else(|e| panic!("write {file_name}: {e}"));
+    println!("wrote {}", path.display());
 }
 
 #[cfg(test)]
@@ -243,6 +283,28 @@ mod tests {
         assert!(json.contains("\"speedup\": 2.500"));
         assert!(json.contains("\"rate\": 100.000"));
         // Balanced braces/brackets as a cheap structural check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_measurements_omit_benchmarks_section() {
+        let json = to_json_with_sections(&[], &[("x", 1.0)], &[("rows", "[\n  ]".into())]);
+        assert!(!json.contains("\"benchmarks\""));
+        assert!(json.contains("\"x\": 1.000"));
+        assert!(json.contains("\"rows\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn rows_json_labels_and_orders_fields() {
+        let rows = vec![
+            ("sf0".to_owned(), vec![("a", 1.0), ("b", 2.5)]),
+            ("sf\"1".to_owned(), vec![("a", 3.0)]),
+        ];
+        let json = rows_json(&rows);
+        assert!(json.contains("{\"name\": \"sf0\", \"a\": 1.000, \"b\": 2.500},"));
+        assert!(json.contains("{\"name\": \"sf\\\"1\", \"a\": 3.000}\n"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }

@@ -166,6 +166,42 @@ pub fn measure_harp_adjustment(
     })
 }
 
+/// [`measure_harp_adjustment`] with span capture: runs the same static
+/// phase + adjustment on an observability-enabled network and also returns
+/// the recorded protocol spans (static run, the adjustment itself, and any
+/// cascaded layer work), for the `trace_sample` section of the experiment
+/// reports. The sample itself is unchanged — observability never alters
+/// protocol behaviour.
+#[must_use]
+pub fn measure_harp_adjustment_traced(
+    tree: &Tree,
+    requirements: &Requirements,
+    config: SlotframeConfig,
+    link: Link,
+    new_cells: u32,
+) -> Option<(AdjustmentSample, Vec<harp_obs::SpanEvent>)> {
+    let mut net = HarpNetwork::new(
+        tree.clone(),
+        config,
+        requirements,
+        SchedulingPolicy::RateMonotonic,
+    );
+    net.enable_observability(1024);
+    net.run_static().ok()?;
+    let report = net.adjust_and_settle(net.now(), link, new_cells).ok()?;
+    let sample = AdjustmentSample {
+        link,
+        layer: tree.layer_of_link(link),
+        mgmt_messages: report.mgmt_messages,
+        involved_nodes: report.involved_nodes.len(),
+        layers_touched: report.layers.len(),
+        seconds: report.elapsed_seconds(config),
+        slotframes: report.slotframes(config),
+    };
+    let spans: Vec<harp_obs::SpanEvent> = net.obs().spans.iter().copied().collect();
+    Some((sample, spans))
+}
+
 /// Formats a probability as a percentage with two decimals.
 #[must_use]
 pub fn pct(p: f64) -> String {

@@ -29,7 +29,7 @@
 //! let mut obs = Obs::enabled(64);
 //! let tx = obs.metrics.counter("sim.tx_attempts");
 //! obs.metrics.inc(tx, 3);
-//! obs.span("slotframe", "sim", harp_obs::NO_NODE, 0, 199, 3);
+//! obs.span("slotframe", "sim", harp_obs::NO_NODE, 0, 0, 199, 3);
 //! let snap = obs.metrics.snapshot();
 //! assert_eq!(snap.counter("sim.tx_attempts"), Some(3));
 //! assert_eq!(obs.spans.len(), 1);
@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flame;
 pub mod json;
 mod metrics;
 mod span;
@@ -46,7 +47,7 @@ pub use metrics::{
     CounterId, GaugeId, HistogramId, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
     StaticCounter,
 };
-pub use span::{SpanEvent, SpanRing, NO_NODE};
+pub use span::{merged_trace_json, spans_to_json, SpanEvent, SpanRing, NO_NODE};
 
 /// One observability handle: a metrics registry plus a span ring.
 ///
@@ -87,13 +88,17 @@ impl Obs {
         self.metrics.is_enabled()
     }
 
-    /// Records one span (no-op while disabled).
+    /// Records one span (no-op while disabled). `depth` is the tree depth
+    /// of the node concerned — the HARP layer the event folds into in flame
+    /// views — and 0 for network-wide events.
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     pub fn span(
         &mut self,
         name: &'static str,
         layer: &'static str,
         node: u16,
+        depth: u32,
         start_asn: u64,
         end_asn: u64,
         detail: i64,
@@ -102,6 +107,7 @@ impl Obs {
             name,
             layer,
             node,
+            depth,
             start_asn,
             end_asn,
             detail,
@@ -124,7 +130,7 @@ mod tests {
         let mut obs = Obs::disabled();
         let c = obs.metrics.counter("x");
         obs.metrics.inc(c, 9);
-        obs.span("s", "l", NO_NODE, 0, 1, 0);
+        obs.span("s", "l", NO_NODE, 0, 0, 1, 0);
         assert!(!obs.is_enabled());
         assert!(obs.metrics.snapshot().is_empty());
         assert!(obs.spans.is_empty());
@@ -136,7 +142,7 @@ mod tests {
         assert!(obs.is_enabled());
         let c = obs.metrics.counter("x");
         obs.metrics.inc(c, 2);
-        obs.span("s", "l", 3, 10, 20, -1);
+        obs.span("s", "l", 3, 1, 10, 20, -1);
         assert_eq!(obs.metrics.snapshot().counter("x"), Some(2));
         assert_eq!(obs.spans.iter().next().unwrap().duration_slots(), 10);
     }

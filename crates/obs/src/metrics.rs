@@ -213,6 +213,32 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The `q`-quantile (`0 < q <= 1`) as an upper bound: the smallest
+    /// bucket bound whose cumulative count reaches `ceil(q * count)`.
+    /// Observations in the overflow bucket resolve to the recorded `max`,
+    /// and an empty histogram reports 0. Deterministic — pure integer
+    /// bucket arithmetic, no interpolation.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return match self.bounds.get(i) {
+                    // The bucket bound caps the observations in it, but the
+                    // histogram's true extremes are exact: clamp into them.
+                    Some(&le) => le.min(self.max).max(self.min),
+                    None => self.max,
+                };
+            }
+        }
+        self.max
+    }
 }
 
 /// A frozen, name-sorted view of a registry (or a merge of several).
@@ -313,13 +339,16 @@ impl MetricsSnapshot {
                 out.push_str(", ");
             }
             out.push_str(&format!(
-                "\"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \"buckets\": [",
+                "\"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [",
                 escape(name),
                 h.count,
                 h.sum,
                 h.min,
                 h.max,
                 fmt_f64(h.mean()),
+                h.percentile(0.50),
+                h.percentile(0.95),
+                h.percentile(0.99),
             ));
             for (j, &n) in h.counts.iter().enumerate() {
                 if j > 0 {
@@ -438,6 +467,61 @@ mod tests {
         assert_eq!((hs.count, hs.min, hs.max), (4, 1, 1000));
         assert_eq!(hs.sum, 1022);
         assert_eq!(hs.mean(), 255.5);
+    }
+
+    #[test]
+    fn percentiles_resolve_to_bucket_bounds() {
+        let mut r = MetricsRegistry::new(true);
+        let h = r.histogram("lat", &[10, 100, 1000]);
+        // 90 observations <= 10, 9 in (10, 100], 1 in (1000, inf).
+        for _ in 0..90 {
+            r.observe(h, 5);
+        }
+        for _ in 0..9 {
+            r.observe(h, 50);
+        }
+        r.observe(h, 5000);
+        let snap = r.snapshot();
+        let hs = &snap.histograms["lat"];
+        assert_eq!(hs.percentile(0.50), 10);
+        assert_eq!(hs.percentile(0.95), 100);
+        assert_eq!(hs.percentile(0.99), 100);
+        // The tail lands in the overflow bucket: report the exact max.
+        assert_eq!(hs.percentile(1.0), 5000);
+        // Empty histogram: all zeros.
+        assert_eq!(HistogramSnapshot::default().percentile(0.95), 0);
+        // Single observation: every quantile is that observation's bucket,
+        // clamped into the [min, max] range actually seen.
+        let mut r2 = MetricsRegistry::new(true);
+        let h2 = r2.histogram("one", &[64]);
+        r2.observe(h2, 7);
+        let s2 = r2.snapshot();
+        assert_eq!(s2.histograms["one"].percentile(0.5), 7);
+    }
+
+    #[test]
+    fn snapshot_json_includes_percentiles() {
+        let mut r = MetricsRegistry::new(true);
+        let h = r.histogram("lat", &[10, 100]);
+        for v in [1, 2, 3, 50] {
+            r.observe(h, v);
+        }
+        let json = r.snapshot().to_json();
+        let parsed = crate::json::parse(&json).expect("valid JSON");
+        let hist = parsed.get("histograms").and_then(|h| h.get("lat")).unwrap();
+        assert_eq!(
+            hist.get("p50").and_then(crate::json::Json::as_f64),
+            Some(10.0)
+        );
+        assert_eq!(
+            hist.get("p95").and_then(crate::json::Json::as_f64),
+            Some(50.0),
+            "p95 bucket bound 100 clamps to the observed max"
+        );
+        assert_eq!(
+            hist.get("p99").and_then(crate::json::Json::as_f64),
+            Some(50.0)
+        );
     }
 
     #[test]

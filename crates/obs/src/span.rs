@@ -2,8 +2,9 @@
 //!
 //! A span is an interval of simulated time — stamped with its start and end
 //! ASN — labelled with the subsystem ("layer") that produced it, the node it
-//! concerns (or [`NO_NODE`] for network-wide events) and a free-form integer
-//! detail (messages exchanged, cells moved, transmissions attempted).
+//! concerns (or [`NO_NODE`] for network-wide events), the node's tree depth
+//! (the HARP layer the event folds into) and a free-form integer detail
+//! (messages exchanged, cells moved, transmissions attempted).
 //! Spans land in a bounded ring so steady-state recording never allocates
 //! unboundedly; experiments keep the tail that explains *why* the run ended
 //! the way it did.
@@ -23,6 +24,9 @@ pub struct SpanEvent {
     pub layer: &'static str,
     /// The node concerned, or [`NO_NODE`].
     pub node: u16,
+    /// Tree depth of the node concerned (the HARP layer the event belongs
+    /// to); 0 for network-wide events and the gateway.
+    pub depth: u32,
     /// First ASN of the interval.
     pub start_asn: u64,
     /// Last ASN of the interval (inclusive; equal to `start_asn` for
@@ -38,6 +42,30 @@ impl SpanEvent {
     pub fn duration_slots(&self) -> u64 {
         self.end_asn.saturating_sub(self.start_asn)
     }
+
+    /// The span's *mass* in slots: the number of slots the inclusive
+    /// interval covers (`end - start + 1`). Flame folding aggregates mass,
+    /// so instantaneous events still weigh one slot.
+    #[must_use]
+    pub fn slot_mass(&self) -> u64 {
+        self.end_asn.saturating_sub(self.start_asn) + 1
+    }
+
+    /// Renders this span as one JSON object (the element shape of
+    /// [`SpanRing::to_json`]).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\": \"{}\", \"layer\": \"{}\", \"node\": {}, \"depth\": {}, \"start_asn\": {}, \"end_asn\": {}, \"detail\": {}}}",
+            self.name,
+            self.layer,
+            if self.node == NO_NODE { -1 } else { i64::from(self.node) },
+            self.depth,
+            self.start_asn,
+            self.end_asn,
+            self.detail,
+        )
+    }
 }
 
 impl fmt::Display for SpanEvent {
@@ -48,10 +76,33 @@ impl fmt::Display for SpanEvent {
             self.start_asn, self.end_asn, self.layer, self.name
         )?;
         if self.node != NO_NODE {
-            write!(f, " N{}", self.node)?;
+            write!(f, " N{}@L{}", self.node, self.depth)?;
         }
         write!(f, " detail={}", self.detail)
     }
+}
+
+/// Renders a batch of spans as a self-describing JSON object:
+/// `{"total_recorded": T, "dropped": D, "spans": [...]}`, where `dropped`
+/// counts spans recorded but *not* present in the array (evicted by a ring
+/// bound or cut by a render limit) — so a truncated trace can never be
+/// mistaken for a complete one.
+#[must_use]
+pub fn spans_to_json<'a, I>(events: I, total_recorded: u64) -> String
+where
+    I: IntoIterator<Item = &'a SpanEvent>,
+{
+    let mut body = String::new();
+    let mut rendered = 0u64;
+    for e in events {
+        if rendered > 0 {
+            body.push_str(", ");
+        }
+        body.push_str(&e.to_json());
+        rendered += 1;
+    }
+    let dropped = total_recorded.saturating_sub(rendered);
+    format!("{{\"total_recorded\": {total_recorded}, \"dropped\": {dropped}, \"spans\": [{body}]}}")
 }
 
 /// A bounded ring buffer of spans (capacity 0 disables recording).
@@ -124,28 +175,30 @@ impl SpanRing {
         self.events.clear();
     }
 
-    /// Renders up to `limit` of the most recent spans as a JSON array.
+    /// Renders up to `limit` of the most recent spans as a JSON object
+    /// `{"total_recorded", "dropped", "spans"}` — `dropped` states how many
+    /// recorded spans the output does *not* contain (ring evictions plus
+    /// the render limit), so consumers can tell a truncated trace from a
+    /// complete one.
     #[must_use]
     pub fn to_json(&self, limit: usize) -> String {
         let skip = self.events.len().saturating_sub(limit);
-        let mut out = String::from("[");
-        for (i, e) in self.events.iter().skip(skip).enumerate() {
-            if i > 0 {
-                out.push_str(", ");
-            }
-            out.push_str(&format!(
-                "{{\"name\": \"{}\", \"layer\": \"{}\", \"node\": {}, \"start_asn\": {}, \"end_asn\": {}, \"detail\": {}}}",
-                e.name,
-                e.layer,
-                if e.node == NO_NODE { -1 } else { i64::from(e.node) },
-                e.start_asn,
-                e.end_asn,
-                e.detail,
-            ));
-        }
-        out.push(']');
-        out
+        spans_to_json(self.events.iter().skip(skip), self.total_recorded)
     }
+}
+
+/// Merges the retained spans of several rings into one JSON trace document
+/// (same shape as [`SpanRing::to_json`]), ordered by `(start_asn, end_asn,
+/// layer, name, node)` so the merge is deterministic regardless of ring
+/// order. The union's `total_recorded` is the sum over the rings, so the
+/// `dropped` count carries across the merge.
+#[must_use]
+pub fn merged_trace_json(rings: &[&SpanRing], limit: usize) -> String {
+    let mut all: Vec<&SpanEvent> = rings.iter().flat_map(|r| r.iter()).collect();
+    all.sort_by_key(|e| (e.start_asn, e.end_asn, e.layer, e.name, e.node));
+    let skip = all.len().saturating_sub(limit);
+    let total: u64 = rings.iter().map(|r| r.total_recorded()).sum();
+    spans_to_json(all.into_iter().skip(skip), total)
 }
 
 #[cfg(test)]
@@ -157,6 +210,7 @@ mod tests {
             name,
             layer,
             node: 2,
+            depth: 3,
             start_asn: start,
             end_asn: start + 5,
             detail: 7,
@@ -194,26 +248,47 @@ mod tests {
     }
 
     #[test]
-    fn display_and_duration() {
+    fn display_duration_and_mass() {
         let e = ev("adjust", "harp", 100);
         assert_eq!(e.duration_slots(), 5);
-        assert_eq!(e.to_string(), "[100..105] harp/adjust N2 detail=7");
+        assert_eq!(e.slot_mass(), 6);
+        assert_eq!(e.to_string(), "[100..105] harp/adjust N2@L3 detail=7");
         let net = SpanEvent { node: NO_NODE, ..e };
         assert_eq!(net.to_string(), "[100..105] harp/adjust detail=7");
+        let point = SpanEvent { end_asn: 100, ..e };
+        assert_eq!(point.slot_mass(), 1);
     }
 
     #[test]
-    fn json_keeps_most_recent_limit() {
+    fn json_keeps_most_recent_limit_and_counts_dropped() {
         let mut r = SpanRing::new(8);
         for i in 0..5 {
             r.record(ev("a", "sim", i));
         }
         let json = r.to_json(2);
         let parsed = crate::json::parse(&json).unwrap();
-        let arr = parsed.as_arr().unwrap();
+        assert_eq!(
+            parsed
+                .get("total_recorded")
+                .and_then(crate::json::Json::as_f64),
+            Some(5.0)
+        );
+        assert_eq!(
+            parsed.get("dropped").and_then(crate::json::Json::as_f64),
+            Some(3.0),
+            "2 rendered of 5 recorded -> 3 dropped"
+        );
+        let arr = parsed
+            .get("spans")
+            .and_then(crate::json::Json::as_arr)
+            .unwrap();
         assert_eq!(arr.len(), 2);
         assert_eq!(
             arr[0].get("start_asn").and_then(crate::json::Json::as_f64),
+            Some(3.0)
+        );
+        assert_eq!(
+            arr[0].get("depth").and_then(crate::json::Json::as_f64),
             Some(3.0)
         );
         // NO_NODE serialises as -1.
@@ -223,11 +298,66 @@ mod tests {
             ..ev("a", "sim", 0)
         });
         let parsed = crate::json::parse(&r2.to_json(10)).unwrap();
+        let spans = parsed
+            .get("spans")
+            .and_then(crate::json::Json::as_arr)
+            .unwrap();
         assert_eq!(
-            parsed.as_arr().unwrap()[0]
-                .get("node")
-                .and_then(crate::json::Json::as_f64),
+            spans[0].get("node").and_then(crate::json::Json::as_f64),
             Some(-1.0)
+        );
+        assert_eq!(
+            parsed.get("dropped").and_then(crate::json::Json::as_f64),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn eviction_counts_as_dropped_even_without_limit() {
+        let mut r = SpanRing::new(2);
+        for i in 0..6 {
+            r.record(ev("a", "sim", i));
+        }
+        let parsed = crate::json::parse(&r.to_json(100)).unwrap();
+        assert_eq!(
+            parsed
+                .get("total_recorded")
+                .and_then(crate::json::Json::as_f64),
+            Some(6.0)
+        );
+        assert_eq!(
+            parsed.get("dropped").and_then(crate::json::Json::as_f64),
+            Some(4.0)
+        );
+    }
+
+    #[test]
+    fn merged_trace_orders_by_time_across_rings() {
+        let mut a = SpanRing::new(8);
+        let mut b = SpanRing::new(8);
+        a.record(ev("a", "sim", 10));
+        b.record(ev("b", "harp", 0));
+        b.record(ev("c", "harp", 20));
+        let json = merged_trace_json(&[&a, &b], 100);
+        let parsed = crate::json::parse(&json).unwrap();
+        let spans = parsed
+            .get("spans")
+            .and_then(crate::json::Json::as_arr)
+            .unwrap();
+        let starts: Vec<f64> = spans
+            .iter()
+            .map(|s| {
+                s.get("start_asn")
+                    .and_then(crate::json::Json::as_f64)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(starts, vec![0.0, 10.0, 20.0]);
+        assert_eq!(
+            parsed
+                .get("total_recorded")
+                .and_then(crate::json::Json::as_f64),
+            Some(3.0)
         );
     }
 

@@ -536,6 +536,7 @@ impl Simulator {
                         "slotframe",
                         "sim",
                         NO_NODE,
+                        0,
                         self.frame_start_asn,
                         self.now.0 - 1,
                         tx_in_frame as i64,

@@ -609,8 +609,15 @@ impl<M: Clone> ControlPlane<M> {
                     } else {
                         self.stats.duplicates_suppressed += 1;
                         self.obs.metrics.inc(self.obs_ids.duplicates_suppressed, 1);
-                        self.obs
-                            .span("dup_suppressed", "transport", d.to.0, d.at.0, d.at.0, 1);
+                        self.obs.span(
+                            "dup_suppressed",
+                            "transport",
+                            d.to.0,
+                            tree.depth(d.to),
+                            d.at.0,
+                            d.at.0,
+                            1,
+                        );
                     }
                 }
             }
@@ -681,6 +688,7 @@ impl<M: Clone> ControlPlane<M> {
                 "retx",
                 "transport",
                 from.0,
+                tree.depth(from),
                 now.0,
                 deliver_at.0,
                 i64::from(self.outstanding[i].retries_left),
