@@ -18,7 +18,7 @@ fn random_components(n: usize, seed: u64) -> Vec<(tsch_sim::NodeId, ResourceComp
     (0..n)
         .map(|i| {
             (
-                tsch_sim::NodeId(i as u16),
+                tsch_sim::NodeId(i as u32),
                 ResourceComponent::new(1 + rng.next_below(10) as u32, 1 + rng.next_below(3) as u32),
             )
         })
@@ -84,12 +84,9 @@ fn bench_adjustment() {
     let parent = Rect::from_xywh(0, 0, 60, 4);
     let mut children = Vec::new();
     let mut x = 0;
-    for i in 0..12u16 {
-        let w = 3 + (i as u32 % 3);
-        children.push((
-            tsch_sim::NodeId(i),
-            Rect::from_xywh(x, (i % 3) as u32, w, 1),
-        ));
+    for i in 0..12u32 {
+        let w = 3 + (i % 3);
+        children.push((tsch_sim::NodeId(i), Rect::from_xywh(x, i % 3, w, 1)));
         x += w + 1;
     }
     let grown = ResourceComponent::row(9);

@@ -71,7 +71,7 @@ fn main() {
             let comps: Vec<(NodeId, ResourceComponent)> = components(n, seed)
                 .into_iter()
                 .enumerate()
-                .map(|(i, s)| (NodeId(i as u16), ResourceComponent::new(s.h, s.w)))
+                .map(|(i, s)| (NodeId(i as u32), ResourceComponent::new(s.h, s.w)))
                 .collect();
             let two_pass = compose_components(&comps, 16, 1).unwrap().composite();
             let items: Vec<Size> = comps
@@ -102,7 +102,7 @@ fn main() {
             let parent = Rect::from_xywh(0, 0, 8 * n as u32, 2);
             let mut children = Vec::new();
             let mut x = 0;
-            for i in 0..n as u16 {
+            for i in 0..n as u32 {
                 let w = 2 + rng.next_below(4) as u32;
                 children.push((NodeId(i), Rect::from_xywh(x, 0, w, 1)));
                 x += w + 1;

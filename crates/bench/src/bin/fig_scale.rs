@@ -1,0 +1,162 @@
+//! Scale study: dense-engine throughput and conflict-storage footprint at
+//! 1k / 10k / 100k nodes, plus the sharded-execution speedup.
+//!
+//! Each size runs the [`workloads::scale_scenario`] — 16 grafted fanout-4
+//! subtrees, a 199-slot × 16-channel slotframe, and a conflict-free
+//! schedule confined to per-subtree slot ranges — first on the monolithic
+//! dense engine, then sharded per depth-1 subtree on two worker threads
+//! (capped low so the gated speedup is stable on small CI runners). Both
+//! runs use streaming stats, so memory stays flat no matter how many
+//! packets flow.
+//!
+//! Writes `BENCH_scale.json` at the workspace root: one gated row per
+//! size with the slots/sec rate, the CSR conflict-storage bytes (the
+//! scale proxy that replaced the dense `(2n)^2` matrix), and the
+//! deterministic traffic counts.
+//!
+//! Run with `cargo run --release -p harp-bench --bin fig_scale`; pass
+//! `--smoke` for the CI debug-assertions pass (10k nodes, 2 slotframes,
+//! no report).
+
+use harp_bench::harness::{rows_json, to_json_with_sections, write_report};
+use harp_obs::MetricsSnapshot;
+use tsch_sim::{
+    LinkQuality, ShardOptions, ShardedSimulator, SimStats, Simulator, SimulatorBuilder, StatsMode,
+};
+use workloads::{scale_scenario, ScaleScenario};
+
+/// Shard workers for the gated speedup: two, even on wider machines, so
+/// the committed ratio does not depend on the runner's core count.
+const SHARD_THREADS: usize = 2;
+
+/// The acceptance bound on CSR conflict storage at every size (the dense
+/// matrix needed ~37 GiB at 100k nodes).
+const CONFLICT_BYTES_LIMIT: usize = 64 << 20;
+
+fn scenario_seed(nodes: u32) -> u64 {
+    0x5CA1E000 | u64::from(nodes)
+}
+
+fn dense_run(scenario: &ScaleScenario, frames: u64) -> (Simulator, f64) {
+    let mut builder = SimulatorBuilder::new(scenario.tree.clone(), scenario.config)
+        .schedule(scenario.schedule.clone())
+        .stats_mode(StatsMode::Streaming);
+    for task in &scenario.tasks {
+        builder = builder.task(task.clone()).expect("unique task ids");
+    }
+    let mut sim = builder.build();
+    sim.run_slotframes(frames);
+    let rate = sim.stats().slots_per_sec();
+    (sim, rate)
+}
+
+fn sharded_run(scenario: &ScaleScenario, frames: u64, threads: usize) -> (SimStats, f64) {
+    let mut sharded = ShardedSimulator::try_new(
+        &scenario.tree,
+        scenario.config,
+        &scenario.schedule,
+        &LinkQuality::perfect(),
+        scenario_seed(scenario.tree.len() as u32),
+        &scenario.tasks,
+        ShardOptions {
+            trace_capacity: 0,
+            stats_mode: StatsMode::Streaming,
+        },
+    )
+    .expect("scale scenario shards by construction");
+    sharded.run_slotframes_with_threads(frames, threads);
+    let stats = sharded.stats();
+    let rate = stats.slots_per_sec();
+    (stats, rate)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (sizes, frames): (&[u32], u64) = if smoke {
+        (&[10_000], 2)
+    } else {
+        (&[1_000, 10_000, 100_000], 200)
+    };
+
+    println!("# Scale study — dense vs sharded engine, streaming stats");
+    println!("# {frames} slotframes per size; sharded on {SHARD_THREADS} threads");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>14} {:>8} {:>10} {:>10}",
+        "nodes",
+        "conflict_B",
+        "entries",
+        "slots/s",
+        "shard_slots/s",
+        "speedup",
+        "delivered",
+        "collisions"
+    );
+
+    let mut rows = Vec::new();
+    for &nodes in sizes {
+        let scenario = scale_scenario(nodes, scenario_seed(nodes));
+        let (dense, dense_rate) = dense_run(&scenario, frames);
+        let stats = dense.stats();
+        let conflict_bytes = dense.conflict_storage_bytes();
+        let conflict_entries = dense.conflict_entries();
+        assert!(
+            conflict_bytes < CONFLICT_BYTES_LIMIT,
+            "conflict storage {conflict_bytes} B exceeds the {CONFLICT_BYTES_LIMIT} B budget"
+        );
+        assert_eq!(stats.collisions, 0, "the scale schedule is conflict-free");
+
+        let (shard_stats, shard_rate) = sharded_run(&scenario, frames, SHARD_THREADS);
+        assert_eq!(
+            shard_stats.delivered(),
+            stats.delivered(),
+            "sharded delivery count must match the dense engine"
+        );
+        let speedup = shard_rate / dense_rate;
+
+        println!(
+            "{:>8} {:>14} {:>14} {:>14.0} {:>14.0} {:>8.2} {:>10} {:>10}",
+            nodes,
+            conflict_bytes,
+            conflict_entries,
+            dense_rate,
+            shard_rate,
+            speedup,
+            stats.delivered(),
+            stats.collisions
+        );
+
+        let label = if nodes >= 1_000 {
+            format!("scale_{}k", nodes / 1_000)
+        } else {
+            format!("scale_{nodes}")
+        };
+        rows.push((
+            label,
+            vec![
+                ("nodes", f64::from(nodes)),
+                ("conflict_bytes", conflict_bytes as f64),
+                ("conflict_entries", conflict_entries as f64),
+                ("slots_per_sec", dense_rate),
+                ("sharded_slots_per_sec", shard_rate),
+                ("sharded_speedup", speedup),
+                ("delivered", stats.delivered() as f64),
+                ("collisions", stats.collisions as f64),
+                ("queue_drops", stats.queue_drops as f64),
+            ],
+        ));
+    }
+    println!("{}", harp_bench::obs_footer());
+
+    if smoke {
+        println!("smoke mode: report not written");
+        return;
+    }
+    let mut snap = MetricsSnapshot::default();
+    snap.add_counters(workloads::obs::totals());
+    let json = to_json_with_sections(
+        &[],
+        &[("shard_threads", SHARD_THREADS as f64)],
+        &[("rows", rows_json(&rows)), ("obs", snap.to_json())],
+    );
+    write_report("BENCH_scale.json", &json);
+}

@@ -398,6 +398,7 @@ mod tests {
             "../../BENCH_fig11b.json",
             "../../BENCH_fig12.json",
             "../../BENCH_table2.json",
+            "../../BENCH_scale.json",
         ] {
             let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(file);
             let text = std::fs::read_to_string(&path).unwrap();

@@ -72,7 +72,7 @@ pub fn render_cell_map(
                 [link] => tree
                     .endpoints(*link)
                     .ok()
-                    .and_then(|(sender, _)| std::char::from_digit(u32::from(sender.0) % 36, 36))
+                    .and_then(|(sender, _)| std::char::from_digit(sender.0 % 36, 36))
                     .unwrap_or('?'),
                 _ => '#',
             };

@@ -144,7 +144,7 @@ impl Requirements {
     ///     .nodes()
     ///     .skip(1)
     ///     .enumerate()
-    ///     .map(|(i, n)| Task::echo(TaskId(i as u16), n, Rate::per_slotframe(1)))
+    ///     .map(|(i, n)| Task::echo(TaskId(i as u32), n, Rate::per_slotframe(1)))
     ///     .collect();
     /// let reqs = Requirements::from_tasks(&tree, &tasks);
     /// // Node 3's uplink forwards its whole 6-node subtree.
@@ -294,7 +294,7 @@ mod tests {
             .nodes()
             .skip(1)
             .enumerate()
-            .map(|(i, n)| Task::echo(TaskId(i as u16), n, Rate::per_slotframe(1)))
+            .map(|(i, n)| Task::echo(TaskId(i as u32), n, Rate::per_slotframe(1)))
             .collect();
         let reqs = Requirements::from_tasks(&tree, &tasks);
         for node in tree.nodes().skip(1) {

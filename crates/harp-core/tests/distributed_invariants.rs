@@ -14,7 +14,7 @@ fn random_tree(rng: &mut SplitMix64, max_nodes: usize) -> Tree {
     let edges = 1 + rng.next_below(max_nodes as u64 - 1) as usize;
     let mut pairs = Vec::with_capacity(edges);
     for i in 0..edges {
-        pairs.push(((i + 1) as u16, rng.next_below(i as u64 + 1) as u16));
+        pairs.push(((i + 1) as u32, rng.next_below(i as u64 + 1) as u32));
     }
     Tree::from_parents(&pairs)
 }
@@ -66,10 +66,10 @@ fn random_adjustment_sequences_keep_invariants() {
         let mut rng = SplitMix64::new(0xAD_3C ^ case);
         let tree = random_tree(&mut rng, 14);
         let n = tree.len() as u64;
-        let changes: Vec<(u16, bool, u32)> = (0..1 + rng.next_below(11))
+        let changes: Vec<(u32, bool, u32)> = (0..1 + rng.next_below(11))
             .map(|_| {
                 (
-                    1 + rng.next_below(n - 1) as u16,
+                    1 + rng.next_below(n - 1) as u32,
                     rng.next_below(2) == 1,
                     1 + rng.next_below(3) as u32,
                 )

@@ -11,7 +11,7 @@ fn random_tree(rng: &mut SplitMix64, max_nodes: usize) -> Tree {
     let edges = 1 + rng.next_below(max_nodes as u64 - 1) as usize;
     let mut pairs = Vec::with_capacity(edges);
     for i in 0..edges {
-        pairs.push(((i + 1) as u16, rng.next_below(i as u64 + 1) as u16));
+        pairs.push(((i + 1) as u32, rng.next_below(i as u64 + 1) as u32));
     }
     Tree::from_parents(&pairs)
 }
@@ -140,9 +140,9 @@ fn compliant_schedules_bound_uplink_latency_by_one_frame_plus_wait() {
 fn latency_bound_monotone_in_depth_for_chains() {
     // On a chain with one cell per link in compliant order, the bound
     // grows with depth.
-    for depth in 1u16..10 {
+    for depth in 1u32..10 {
         let cfg = SlotframeConfig::paper_default();
-        let pairs: Vec<(u16, u16)> = (1..=depth).map(|i| (i, i - 1)).collect();
+        let pairs: Vec<(u32, u32)> = (1..=depth).map(|i| (i, i - 1)).collect();
         let tree = Tree::from_parents(&pairs);
         let mut reqs = Requirements::new();
         for v in tree.nodes().skip(1) {

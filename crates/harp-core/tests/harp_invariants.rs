@@ -25,7 +25,7 @@ fn random_tree(rng: &mut SplitMix64, max_nodes: usize) -> Tree {
     let edges = 1 + rng.next_below(max_nodes as u64 - 1) as usize;
     let mut pairs = Vec::with_capacity(edges);
     for i in 0..edges {
-        pairs.push(((i + 1) as u16, rng.next_below(i as u64 + 1) as u16));
+        pairs.push(((i + 1) as u32, rng.next_below(i as u64 + 1) as u32));
     }
     Tree::from_parents(&pairs)
 }
@@ -50,7 +50,7 @@ fn composition_contains_children_disjointly() {
         let children: Vec<(NodeId, ResourceComponent)> = comps
             .iter()
             .enumerate()
-            .map(|(i, &(s, c))| (NodeId(i as u16), ResourceComponent::new(s, c)))
+            .map(|(i, &(s, c))| (NodeId(i as u32), ResourceComponent::new(s, c)))
             .collect();
         let layout = compose_components(&children, 16, 1).unwrap();
         let composite = layout.composite();
@@ -146,7 +146,7 @@ fn adjustment_outcome_is_always_valid() {
         let mut children = Vec::new();
         let mut x = 0;
         for (i, &w) in widths.iter().enumerate() {
-            children.push((NodeId(i as u16), Rect::from_xywh(x, 0, w, 1)));
+            children.push((NodeId(i as u32), Rect::from_xywh(x, 0, w, 1)));
             x += w;
         }
         if x > parent_w {

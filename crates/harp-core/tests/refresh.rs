@@ -31,7 +31,7 @@ fn refresh_restores_compliance_after_adjustments() {
 
     // A storm of growth that drags partitions into the slotframe's idle
     // area (losing compliant ordering).
-    let changes = [(9u16, 4u32), (10, 3), (11, 5), (4, 3), (6, 4)];
+    let changes = [(9u32, 4u32), (10, 3), (11, 5), (4, 3), (6, 4)];
     let mut expected = reqs.clone();
     for (node, cells) in changes {
         net.adjust_and_settle(net.now(), Link::up(NodeId(node)), cells)

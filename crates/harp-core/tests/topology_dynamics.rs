@@ -120,9 +120,9 @@ fn churn_storm_keeps_invariants() {
         match rng.next_below(3) {
             0 => {
                 // Join under a random active node.
-                let mut parent = NodeId(rng.next_below(net.tree().len() as u64) as u16);
+                let mut parent = NodeId(rng.next_below(net.tree().len() as u64) as u32);
                 while !net.is_active(parent) {
-                    parent = NodeId(rng.next_below(net.tree().len() as u64) as u16);
+                    parent = NodeId(rng.next_below(net.tree().len() as u64) as u32);
                 }
                 let (id, _) = net
                     .join_leaf(net.now(), parent, 1 + rng.next_below(2) as u32, 1)
@@ -149,9 +149,9 @@ fn churn_storm_keeps_invariants() {
                     })
                     .collect();
                 let leaf = candidates[rng.next_below(candidates.len() as u64) as usize];
-                let mut target = NodeId(rng.next_below(net.tree().len() as u64) as u16);
+                let mut target = NodeId(rng.next_below(net.tree().len() as u64) as u32);
                 while target == leaf || !net.is_active(target) {
-                    target = NodeId(rng.next_below(net.tree().len() as u64) as u16);
+                    target = NodeId(rng.next_below(net.tree().len() as u64) as u32);
                 }
                 net.reparent_leaf(net.now(), leaf, target)
                     .unwrap_or_else(|e| panic!("round {round} reparent: {e}"));

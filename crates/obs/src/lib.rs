@@ -45,7 +45,7 @@ mod span;
 
 pub use metrics::{
     CounterId, GaugeId, HistogramId, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
-    StaticCounter,
+    StaticCounter, LATENCY_SLOT_BOUNDS,
 };
 pub use span::{merged_trace_json, spans_to_json, SpanEvent, SpanRing, NO_NODE};
 
@@ -97,7 +97,7 @@ impl Obs {
         &mut self,
         name: &'static str,
         layer: &'static str,
-        node: u16,
+        node: u32,
         depth: u32,
         start_asn: u64,
         end_asn: u64,

@@ -10,6 +10,19 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Power-of-two bucket bounds for slot-latency histograms, `1..=2^20`
+/// (inclusive upper bounds; one implicit overflow bucket above).
+///
+/// Shared by the simulator's metrics histogram and the streaming stats
+/// collector so both resolve percentiles over the same ladder. The top
+/// bound covers a packet sitting queued for a million slots — beyond any
+/// latency the experiments produce — so real observations never land in
+/// the overflow bucket, where percentile estimates degrade to the max.
+pub const LATENCY_SLOT_BOUNDS: &[u64] = &[
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131_072,
+    262_144, 524_288, 1_048_576,
+];
+
 /// Handle to a registered counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CounterId(usize);
@@ -214,11 +227,17 @@ impl HistogramSnapshot {
         }
     }
 
-    /// The `q`-quantile (`0 < q <= 1`) as an upper bound: the smallest
-    /// bucket bound whose cumulative count reaches `ceil(q * count)`.
-    /// Observations in the overflow bucket resolve to the recorded `max`,
-    /// and an empty histogram reports 0. Deterministic — pure integer
-    /// bucket arithmetic, no interpolation.
+    /// The `q`-quantile (`0 < q <= 1`), linearly interpolated within the
+    /// bucket holding rank `ceil(q * count)`: observations in a bucket are
+    /// assumed uniform over `(lower, upper]`, so a rank `k` of `n` resolves
+    /// to `lower + width * k / n` (integer arithmetic), clamped into the
+    /// exactly-recorded `[min, max]`. Overflow-bucket ranks interpolate up
+    /// to `max`. An empty histogram reports 0. Deterministic.
+    ///
+    /// Without interpolation, every quantile collapses to its bucket's
+    /// upper bound — with exponentially spaced bounds that overstates p50
+    /// by up to 2x and makes p50/p95/p99 indistinguishable whenever the
+    /// distribution fits a single bucket.
     #[must_use]
     pub fn percentile(&self, q: f64) -> u64 {
         if self.count == 0 {
@@ -227,14 +246,18 @@ impl HistogramSnapshot {
         let rank = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut cumulative = 0u64;
         for (i, &n) in self.counts.iter().enumerate() {
+            let below = cumulative;
             cumulative += n;
             if cumulative >= rank {
-                return match self.bounds.get(i) {
-                    // The bucket bound caps the observations in it, but the
-                    // histogram's true extremes are exact: clamp into them.
-                    Some(&le) => le.min(self.max).max(self.min),
+                let lower = if i == 0 { 0 } else { self.bounds[i - 1] };
+                let upper = match self.bounds.get(i) {
+                    Some(&le) => le,
                     None => self.max,
                 };
+                let width = upper.saturating_sub(lower);
+                let into = rank - below; // 1..=n
+                let est = lower + (u128::from(width) * u128::from(into) / u128::from(n)) as u64;
+                return est.clamp(self.min, self.max);
             }
         }
         self.max
@@ -470,7 +493,7 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_resolve_to_bucket_bounds() {
+    fn percentiles_interpolate_within_buckets() {
         let mut r = MetricsRegistry::new(true);
         let h = r.histogram("lat", &[10, 100, 1000]);
         // 90 observations <= 10, 9 in (10, 100], 1 in (1000, inf).
@@ -483,8 +506,12 @@ mod tests {
         r.observe(h, 5000);
         let snap = r.snapshot();
         let hs = &snap.histograms["lat"];
-        assert_eq!(hs.percentile(0.50), 10);
-        assert_eq!(hs.percentile(0.95), 100);
+        // Rank 50 of 90 in (0, 10]: 10 * 50 / 90 = 5 — the true value,
+        // where bucket-bound resolution would report 10.
+        assert_eq!(hs.percentile(0.50), 5);
+        // Rank 95 is the 5th of 9 in (10, 100]: 10 + 90 * 5 / 9 = 60.
+        assert_eq!(hs.percentile(0.95), 60);
+        // Rank 99 is the last of that bucket: its upper bound.
         assert_eq!(hs.percentile(0.99), 100);
         // The tail lands in the overflow bucket: report the exact max.
         assert_eq!(hs.percentile(1.0), 5000);
@@ -511,12 +538,13 @@ mod tests {
         let hist = parsed.get("histograms").and_then(|h| h.get("lat")).unwrap();
         assert_eq!(
             hist.get("p50").and_then(crate::json::Json::as_f64),
-            Some(10.0)
+            Some(6.0),
+            "rank 2 of 3 in (0, 10] interpolates to 6"
         );
         assert_eq!(
             hist.get("p95").and_then(crate::json::Json::as_f64),
             Some(50.0),
-            "p95 bucket bound 100 clamps to the observed max"
+            "p95 interpolates past 50 but clamps to the observed max"
         );
         assert_eq!(
             hist.get("p99").and_then(crate::json::Json::as_f64),

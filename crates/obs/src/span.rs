@@ -13,7 +13,7 @@ use core::fmt;
 use std::collections::VecDeque;
 
 /// Sentinel node id for network-wide spans.
-pub const NO_NODE: u16 = u16::MAX;
+pub const NO_NODE: u32 = u32::MAX;
 
 /// One recorded span.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,7 +23,7 @@ pub struct SpanEvent {
     /// Which subsystem recorded it (e.g. `"sim"`, `"transport"`, `"harp"`).
     pub layer: &'static str,
     /// The node concerned, or [`NO_NODE`].
-    pub node: u16,
+    pub node: u32,
     /// Tree depth of the node concerned (the HARP layer the event belongs
     /// to); 0 for network-wide events and the gateway.
     pub depth: u32,

@@ -285,3 +285,37 @@ fn exact_solver_sandwiched_between_bounds() {
         assert!(optimal >= tallest, "case {case}");
     }
 }
+
+#[test]
+fn maxrects_strip_never_beats_exact_optimum() {
+    // The bench's quality factor divides a greedy-MaxRects strip height by
+    // the exact optimum; the factor is only meaningful if every height
+    // MaxRects succeeds at is a genuine packing, so optimal ≤ maxrects.
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::new(0x3A_C7 ^ case);
+        let width = 4 + rng.next_below(6) as u32;
+        let items: Vec<Size> = (0..1 + rng.next_below(6))
+            .map(|_| {
+                Size::new(
+                    1 + rng.next_below(u64::from(width.min(5))) as u32,
+                    1 + rng.next_below(5) as u32,
+                )
+            })
+            .collect();
+        let exact = packing::exact_strip_height(&items, width, 2_000_000).unwrap();
+        assert!(exact.is_optimal(), "case {case}");
+        let total_h: u32 = items.iter().map(|i| i.h).sum();
+        let mut h = exact.height();
+        let maxrects = loop {
+            assert!(h <= total_h.max(1), "case {case}: scan ran away");
+            match FreeSpace::new(Size::new(width, h)).place_all(&items) {
+                Some(rects) => {
+                    assert!(all_disjoint(&rects), "case {case}: overlap at {h}");
+                    break h;
+                }
+                None => h += 1,
+            }
+        };
+        assert!(maxrects >= exact.height(), "case {case}");
+    }
+}

@@ -198,7 +198,7 @@ mod tests {
         let tree = Tree::from_parents(&[(1, 0), (2, 1), (3, 2)]);
         let cfg = SlotframeConfig::paper_default();
         let mut net = ApasNetwork::new(tree.clone(), cfg);
-        for node in [1u16, 2, 3] {
+        for node in [1u32, 2, 3] {
             let mut fresh = ApasNetwork::new(tree.clone(), cfg);
             let layer = tree.depth(NodeId(node));
             let report = fresh.adjust(Asn(0), NodeId(node));

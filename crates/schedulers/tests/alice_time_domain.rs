@@ -37,7 +37,7 @@ where
         .max_retries(0);
     for (i, v) in tree.nodes().skip(1).enumerate() {
         builder = builder
-            .task(Task::uplink(TaskId(i as u16), v, Rate::per_slotframe(1)))
+            .task(Task::uplink(TaskId(i as u32), v, Rate::per_slotframe(1)))
             .unwrap();
     }
     let mut sim = builder.build();

@@ -25,9 +25,11 @@
 //!
 //! * per-link queues in a `Vec<VecDeque<_>>` indexed by link id;
 //! * per-link PDR values in a flat `Vec<f64>`;
-//! * the pairwise interference relation in a flat boolean matrix, so the
-//!   trait object is consulted once per link pair at build instead of once
-//!   per pair per slot;
+//! * the pairwise interference relation in a sparse CSR adjacency (built
+//!   from [`InterferenceModel::conflict_candidates`] when the model has
+//!   bounded range), so the trait object is consulted once per candidate
+//!   pair at build instead of once per pair per slot, and storage stays
+//!   O(Σ degree) instead of `(2n)²`;
 //! * a per-slot table of non-empty cells (channel plus interned link list),
 //!   replacing a `BTreeMap<Cell, Vec<Link>>` probe per (slot, channel).
 //!
@@ -43,7 +45,7 @@ use crate::packet::{Packet, Rate, Task, TaskId};
 use crate::radio::LinkQuality;
 use crate::rng::SplitMix64;
 use crate::schedule::NetworkSchedule;
-use crate::stats::SimStats;
+use crate::stats::{SimStats, StatsMode};
 use crate::time::{Asn, Cell, SlotframeConfig};
 use crate::topology::{Direction, Link, NodeId, Tree};
 use crate::trace::{TraceBuffer, TraceEvent};
@@ -51,10 +53,6 @@ use core::fmt;
 use harp_obs::{CounterId, GaugeId, HistogramId, MetricsSnapshot, Obs, NO_NODE};
 use std::collections::VecDeque;
 use std::sync::Arc;
-
-/// Latency histogram bucket bounds, in slots (inclusive upper bounds; one
-/// implicit overflow bucket above).
-const LATENCY_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
 
 /// Pre-registered metric handles for the engine's hot paths. Registration
 /// happens once at build time so the slot loop never searches by name.
@@ -81,7 +79,9 @@ impl SimObsIds {
             queue_drops: obs.metrics.counter("sim.queue_drops"),
             deliveries: obs.metrics.counter("sim.deliveries"),
             generated: obs.metrics.counter("sim.generated"),
-            latency: obs.metrics.histogram("sim.latency_slots", LATENCY_BOUNDS),
+            latency: obs
+                .metrics
+                .histogram("sim.latency_slots", harp_obs::LATENCY_SLOT_BOUNDS),
             queue_high_water: obs.metrics.gauge("sim.queue_high_water"),
         }
     }
@@ -162,6 +162,7 @@ pub struct SimulatorBuilder {
     max_retries: u32,
     trace_capacity: usize,
     obs_span_capacity: Option<usize>,
+    stats_mode: StatsMode,
 }
 
 impl fmt::Debug for SimulatorBuilder {
@@ -192,7 +193,17 @@ impl SimulatorBuilder {
             max_retries: DEFAULT_MAX_RETRIES,
             trace_capacity: 0,
             obs_span_capacity: None,
+            stats_mode: StatsMode::Full,
         }
+    }
+
+    /// Selects how stats are retained; [`StatsMode::Streaming`] keeps
+    /// memory O(nodes) on runs whose delivery count would otherwise
+    /// dominate (see the [`SimStats`] docs).
+    #[must_use]
+    pub fn stats_mode(mut self, mode: StatsMode) -> Self {
+        self.stats_mode = mode;
+        self
     }
 
     /// Installs the initial network schedule.
@@ -287,7 +298,7 @@ impl SimulatorBuilder {
 
         // Intern every directed tree link; the dense id is
         // `child * 2 + direction`, so `links[id]` inverts the mapping.
-        let links: Vec<Link> = (0..self.tree.len() as u16)
+        let links: Vec<Link> = (0..self.tree.len() as u32)
             .flat_map(|c| [Link::up(NodeId(c)), Link::down(NodeId(c))])
             .collect();
 
@@ -295,21 +306,65 @@ impl SimulatorBuilder {
         // runtime mutation API).
         let pdr: Vec<f64> = links.iter().map(|&l| self.quality.pdr(l)).collect();
 
-        // Pairwise interference, consulted once per ordered pair here rather
-        // than once per pair per occupied cell. Links whose child is the
-        // root have no tree edge and can never carry traffic; their rows
-        // stay false.
-        let mut conflicts = vec![false; link_count * link_count];
-        let valid: Vec<usize> = (0..link_count)
-            .filter(|&id| self.tree.parent(links[id].child).is_some())
+        // Pairwise interference in sparse CSR form, consulted once per
+        // ordered pair here rather than once per pair per occupied cell.
+        // Links whose child is the root have no tree edge and can never
+        // carry traffic; their rows stay empty. Models exposing conflict
+        // candidates (bounded-range interference such as
+        // [`crate::TwoHopInterference`]) make the build near-linear —
+        // O(Σ degree) storage instead of the old dense `(2n)²` matrix,
+        // which is ~37 GiB at 100k nodes.
+        let valid: Vec<bool> = (0..link_count)
+            .map(|id| self.tree.parent(links[id].child).is_some())
             .collect();
-        for &a in &valid {
-            for &b in &valid {
-                if a != b {
-                    conflicts[a * link_count + b] =
-                        self.interference.conflicts(&self.tree, links[a], links[b]);
-                }
+        let intern = |link: Link| -> Option<usize> {
+            if link.child.index() >= self.tree.len() {
+                return None;
             }
+            let bit = match link.direction {
+                Direction::Up => 0,
+                Direction::Down => 1,
+            };
+            Some(link.child.index() * 2 + bit)
+        };
+        let mut conflict_offsets: Vec<u32> = Vec::with_capacity(link_count + 1);
+        let mut conflict_neighbors: Vec<u32> = Vec::new();
+        let mut row: Vec<u32> = Vec::new();
+        conflict_offsets.push(0);
+        for a in 0..link_count {
+            row.clear();
+            if valid[a] {
+                match self.interference.conflict_candidates(&self.tree, links[a]) {
+                    Some(candidates) => {
+                        for candidate in candidates {
+                            if let Some(b) = intern(candidate) {
+                                if b != a
+                                    && valid[b]
+                                    && self.interference.conflicts(&self.tree, links[a], links[b])
+                                {
+                                    row.push(b as u32);
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        for b in 0..link_count {
+                            if b != a
+                                && valid[b]
+                                && self.interference.conflicts(&self.tree, links[a], links[b])
+                            {
+                                row.push(b as u32);
+                            }
+                        }
+                    }
+                }
+                row.sort_unstable();
+                row.dedup();
+            }
+            conflict_neighbors.extend_from_slice(&row);
+            conflict_offsets.push(
+                u32::try_from(conflict_neighbors.len()).expect("conflict adjacency fits u32"),
+            );
         }
 
         let mut obs = match self.obs_span_capacity {
@@ -326,16 +381,21 @@ impl SimulatorBuilder {
             queues: (0..link_count).map(|_| VecDeque::new()).collect(),
             links,
             pdr,
-            conflicts,
-            link_count,
+            conflict_offsets,
+            conflict_neighbors,
             slot_table: vec![Vec::new(); self.config.slots as usize],
             table_version: u64::MAX,
             active_scratch: Vec::new(),
             collided_scratch: Vec::new(),
             depth_scratch: Vec::new(),
+            active_stamp: vec![0; link_count],
+            stamp: 0,
             now: Asn::ZERO,
             rng: SplitMix64::new(self.seed),
-            stats: SimStats::new(),
+            stats: match self.stats_mode {
+                StatsMode::Full => SimStats::new(),
+                StatsMode::Streaming => SimStats::streaming(),
+            },
             queue_capacity: self.queue_capacity,
             max_retries: self.max_retries,
             trace: TraceBuffer::new(self.trace_capacity),
@@ -361,9 +421,11 @@ pub struct Simulator {
     links: Vec<Link>,
     /// Per-link PDR, indexed by dense link id.
     pdr: Vec<f64>,
-    /// Row-major pairwise conflict matrix over dense link ids.
-    conflicts: Vec<bool>,
-    link_count: usize,
+    /// CSR offsets into [`Self::conflict_neighbors`]; row `id` spans
+    /// `conflict_offsets[id]..conflict_offsets[id + 1]`.
+    conflict_offsets: Vec<u32>,
+    /// Concatenated, per-row-sorted conflicting link ids.
+    conflict_neighbors: Vec<u32>,
     /// `slot_table[slot]` lists the slot's non-empty cells in channel order,
     /// each with its assigned links (dense ids, assignment order).
     slot_table: Vec<Vec<(u16, Vec<u32>)>>,
@@ -372,6 +434,11 @@ pub struct Simulator {
     active_scratch: Vec<u32>,
     collided_scratch: Vec<bool>,
     depth_scratch: Vec<usize>,
+    /// Per-link stamp marking membership in the current cell's active set;
+    /// a link is active iff `active_stamp[id] == stamp`.
+    active_stamp: Vec<u32>,
+    /// Stamp for the cell currently executing (0 = never stamped).
+    stamp: u32,
     now: Asn,
     rng: SplitMix64,
     stats: SimStats,
@@ -474,6 +541,21 @@ impl Simulator {
     #[must_use]
     pub fn queued_packets(&self) -> usize {
         self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Bytes held by the sparse conflict adjacency (CSR offsets plus
+    /// neighbor ids) — the scale experiments' peak-RSS proxy. The old
+    /// dense matrix cost `(2n)²` bytes; this is O(Σ conflict degree).
+    #[must_use]
+    pub fn conflict_storage_bytes(&self) -> usize {
+        std::mem::size_of_val(self.conflict_offsets.as_slice())
+            + std::mem::size_of_val(self.conflict_neighbors.as_slice())
+    }
+
+    /// Directed conflict pairs stored in the sparse adjacency.
+    #[must_use]
+    pub fn conflict_entries(&self) -> usize {
+        self.conflict_neighbors.len()
     }
 
     /// Packets queued at one node (over all its outgoing links).
@@ -675,21 +757,36 @@ impl Simulator {
         self.stats.tx_attempts += n as u64;
         self.obs.metrics.inc(self.obs_ids.tx_attempts, n as u64);
         for &id in &self.active_scratch {
-            let link = self.links[id as usize];
-            *self.stats.tx_attempts_per_link.entry(link).or_default() += 1;
+            self.stats.record_tx_attempt(self.links[id as usize]);
         }
 
-        // Pairwise interference among simultaneous transmissions, resolved
-        // against the precomputed matrix.
+        // Interference among simultaneous transmissions, resolved against
+        // the sparse conflict rows: stamp the active set, then walk each
+        // active link's row until a co-active conflict is found. The rows
+        // hold exactly the links the old pairwise matrix scan consulted,
+        // and the relation is symmetric, so the marking is identical —
+        // at O(Σ active-row degree) instead of O(k²) probes.
         self.collided_scratch.clear();
         self.collided_scratch.resize(n, false);
-        for i in 0..n {
-            for j in i + 1..n {
+        if n > 1 {
+            self.stamp = self.stamp.wrapping_add(1);
+            if self.stamp == 0 {
+                // Stamp wrapped: clear stale marks so no link looks active.
+                self.active_stamp.iter_mut().for_each(|s| *s = 0);
+                self.stamp = 1;
+            }
+            for &id in &self.active_scratch {
+                self.active_stamp[id as usize] = self.stamp;
+            }
+            for i in 0..n {
                 let a = self.active_scratch[i] as usize;
-                let b = self.active_scratch[j] as usize;
-                if self.conflicts[a * self.link_count + b] {
-                    self.collided_scratch[i] = true;
-                    self.collided_scratch[j] = true;
+                let lo = self.conflict_offsets[a] as usize;
+                let hi = self.conflict_offsets[a + 1] as usize;
+                for &b in &self.conflict_neighbors[lo..hi] {
+                    if self.active_stamp[b as usize] == self.stamp {
+                        self.collided_scratch[i] = true;
+                        break;
+                    }
                 }
             }
         }
@@ -785,7 +882,7 @@ impl Simulator {
         }
         for (i, &depth) in self.depth_scratch.iter().enumerate() {
             if depth > 0 {
-                self.stats.record_queue_depth(NodeId(i as u16), depth);
+                self.stats.record_queue_depth(NodeId(i as u32), depth);
                 self.obs
                     .metrics
                     .set_max(self.obs_ids.queue_high_water, depth as f64);

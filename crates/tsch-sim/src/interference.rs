@@ -13,7 +13,7 @@
 //!   physically close but not tree neighbours).
 
 use crate::topology::{Link, NodeId, Tree};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Decides whether two links assigned to the same cell interfere.
 ///
@@ -22,6 +22,19 @@ pub trait InterferenceModel {
     /// Returns `true` if simultaneous transmissions on `a` and `b` (same slot
     /// and channel) fail due to interference or radio constraints.
     fn conflicts(&self, tree: &Tree, a: Link, b: Link) -> bool;
+
+    /// Returns a *superset* of the links that may conflict with `link`, or
+    /// `None` when the model has no locality to exploit (the caller must
+    /// then probe every link pair).
+    ///
+    /// Models whose interference is bounded in the radio graph override
+    /// this so the engine can build its sparse conflict adjacency in
+    /// near-linear time and space; the engine still filters candidates
+    /// through [`InterferenceModel::conflicts`], so over-approximation is
+    /// safe while *under*-approximation is not.
+    fn conflict_candidates(&self, _tree: &Tree, _link: Link) -> Option<Vec<Link>> {
+        None
+    }
 }
 
 /// Every pair of same-cell transmissions collides.
@@ -68,6 +81,9 @@ impl InterferenceModel for GlobalInterference {
 pub struct TwoHopInterference {
     /// Undirected extra radio edges, stored with the smaller id first.
     extra_edges: HashSet<(NodeId, NodeId)>,
+    /// Per-node extra-edge partners, for candidate enumeration without
+    /// scanning the whole edge set.
+    extra_adjacency: HashMap<NodeId, Vec<NodeId>>,
 }
 
 impl TwoHopInterference {
@@ -76,6 +92,7 @@ impl TwoHopInterference {
     pub fn from_tree(_tree: &Tree) -> Self {
         Self {
             extra_edges: HashSet::new(),
+            extra_adjacency: HashMap::new(),
         }
     }
 
@@ -86,10 +103,17 @@ impl TwoHopInterference {
         I: IntoIterator<Item = (NodeId, NodeId)>,
     {
         let mut extra_edges = HashSet::new();
+        let mut extra_adjacency: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
         for (a, b) in edges {
-            extra_edges.insert(normalise(a, b));
+            if extra_edges.insert(normalise(a, b)) {
+                extra_adjacency.entry(a).or_default().push(b);
+                extra_adjacency.entry(b).or_default().push(a);
+            }
         }
-        Self { extra_edges }
+        Self {
+            extra_edges,
+            extra_adjacency,
+        }
     }
 
     /// Returns `true` if `a` and `b` are within radio range of each other.
@@ -123,6 +147,42 @@ impl InterferenceModel for TwoHopInterference {
         }
         // Hidden terminal: a receiver hears the other sender.
         self.in_range(tree, s2, r1) || self.in_range(tree, s1, r2)
+    }
+
+    fn conflict_candidates(&self, tree: &Tree, link: Link) -> Option<Vec<Link>> {
+        // Every conflict with `link` requires the other link to have an
+        // endpoint that is either an endpoint of `link` (shared node) or a
+        // radio neighbour of one (hidden terminal), so enumerating the
+        // links incident to that closed neighbourhood is a complete
+        // over-approximation.
+        let Ok((sender, receiver)) = tree.endpoints(link) else {
+            return Some(Vec::new()); // No tree edge: conflicts with nothing.
+        };
+        let mut nodes: Vec<NodeId> = Vec::new();
+        for n in [sender, receiver] {
+            nodes.push(n);
+            if let Some(p) = tree.parent(n) {
+                nodes.push(p);
+            }
+            nodes.extend_from_slice(tree.children(n));
+            if let Some(extra) = self.extra_adjacency.get(&n) {
+                nodes.extend_from_slice(extra);
+            }
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        let mut candidates: Vec<Link> = Vec::with_capacity(nodes.len() * 4);
+        for v in nodes {
+            // Links with endpoint `v`: its own up/down pair plus each
+            // child's (whose far endpoint is `v`).
+            candidates.push(Link::up(v));
+            candidates.push(Link::down(v));
+            for &c in tree.children(v) {
+                candidates.push(Link::up(c));
+                candidates.push(Link::down(c));
+            }
+        }
+        Some(candidates)
     }
 }
 
@@ -230,6 +290,36 @@ mod tests {
         let m = TwoHopInterference::from_tree(&t);
         // Link::up(root) is invalid; conflicts must return false, not panic.
         assert!(!m.conflicts(&t, Link::up(NodeId(0)), Link::up(NodeId(4))));
+    }
+
+    #[test]
+    fn conflict_candidates_cover_all_conflicts() {
+        let t = tree();
+        // Extra edges participate in candidate enumeration too.
+        let m = TwoHopInterference::with_extra_edges([(NodeId(4), NodeId(7))]);
+        let all: Vec<Link> = t
+            .links(Direction::Up)
+            .into_iter()
+            .chain(t.links(Direction::Down))
+            .collect();
+        for &a in &all {
+            let candidates = m.conflict_candidates(&t, a).unwrap();
+            for &b in &all {
+                if a != b && m.conflicts(&t, a, b) {
+                    assert!(
+                        candidates.contains(&b),
+                        "{a:?} conflicts with {b:?} but candidates miss it"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn root_uplink_has_no_candidates() {
+        let t = tree();
+        let m = TwoHopInterference::from_tree(&t);
+        assert_eq!(m.conflict_candidates(&t, Link::up(NodeId(0))), Some(vec![]));
     }
 
     #[test]

@@ -55,10 +55,12 @@ mod hopping;
 mod interference;
 mod mgmt;
 mod packet;
+mod par;
 mod radio;
 pub mod reference;
 mod rng;
 mod schedule;
+pub mod sharded;
 mod stats;
 mod time;
 mod topology;
@@ -73,10 +75,14 @@ pub use hopping::{HoppingError, HoppingSequence};
 pub use interference::{GlobalInterference, InterferenceModel, TwoHopInterference};
 pub use mgmt::{Delivered, MgmtError, MgmtPlane};
 pub use packet::{Packet, Rate, RateError, Task, TaskId, TaskKind};
+pub use par::{bench_threads, par_for_each_mut_with_threads, par_map, par_map_with_threads};
 pub use radio::{LinkQuality, PdrError};
 pub use rng::SplitMix64;
 pub use schedule::{CollisionReport, NetworkSchedule, ScheduleError};
-pub use stats::{mean, percentile_nearest_rank, DeliveryRecord, LatencySummary, SimStats};
+pub use sharded::{ShardOptions, ShardViolation, ShardedSimulator};
+pub use stats::{
+    mean, percentile_nearest_rank, DeliveryRecord, LatencySummary, SimStats, StatsMode,
+};
 pub use time::{Asn, Cell, ConfigError, SlotframeConfig};
 pub use topology::{Direction, Link, NodeId, TopologyError, Tree, TreeBuilder};
 pub use trace::{TraceBuffer, TraceEvent};

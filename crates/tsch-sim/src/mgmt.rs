@@ -182,7 +182,7 @@ impl<M> MgmtPlane<M> {
             .push(((2 * i as u32 + 1) / channels) % self.config.slots);
         self.up_busy_until.push(Asn::ZERO);
         self.down_busy_until.push(Asn::ZERO);
-        NodeId(u16::try_from(i).expect("more than u16::MAX nodes"))
+        NodeId(u32::try_from(i).expect("more than u32::MAX nodes"))
     }
 
     /// Total management messages transmitted so far — the overhead metric of

@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 /// Identifier of a task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
-pub struct TaskId(pub u16);
+pub struct TaskId(pub u32);
 
 impl TaskId {
     /// The id as a `usize` index.

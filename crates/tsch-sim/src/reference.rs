@@ -87,6 +87,14 @@ impl ReferenceSimulator {
         }
     }
 
+    /// Replaces the interference model (builder-style), e.g. to add extra
+    /// radio edges beyond the routing tree.
+    #[must_use]
+    pub fn with_interference(mut self, interference: TwoHopInterference) -> Self {
+        self.interference = interference;
+        self
+    }
+
     /// Collected measurements so far.
     #[must_use]
     pub fn stats(&self) -> &SimStats {
@@ -185,7 +193,7 @@ impl ReferenceSimulator {
         }
         self.stats.tx_attempts += active.len() as u64;
         for &link in &active {
-            *self.stats.tx_attempts_per_link.entry(link).or_default() += 1;
+            self.stats.record_tx_attempt(link);
         }
         let mut collided = vec![false; active.len()];
         for i in 0..active.len() {

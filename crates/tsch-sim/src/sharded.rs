@@ -1,0 +1,513 @@
+//! Sharded subtree execution: one [`Simulator`] per depth-1 subtree,
+//! driven concurrently.
+//!
+//! In a TSCH tree the only radio shared between two depth-1 subtrees is
+//! the gateway itself. If no scheduled cell mixes links from different
+//! subtrees, transmissions in different subtrees are never checked against
+//! each other (interference is only resolved among links sharing a cell),
+//! and every packet's route stays inside its subtree plus the gateway. The
+//! slot loop then factors exactly: each subtree — grafted under its own
+//! copy of the gateway — can be simulated by an independent engine, and
+//! the per-shard measurements merge into network totals afterwards.
+//!
+//! [`ShardedSimulator::try_new`] verifies the two preconditions and
+//! reports a [`ShardViolation`] otherwise:
+//!
+//! * no task may originate at the gateway (its traffic would fan into
+//!   other shards);
+//! * no cell may be assigned links from two different subtrees.
+//!
+//! # Fidelity
+//!
+//! Shard executions are *exact* with respect to the monolithic engine —
+//! same queues, same collisions, same retries — except for two documented
+//! deviations:
+//!
+//! * each shard consumes its own deterministic RNG stream (derived from
+//!   the run seed), so on lossy links (`pdr < 1.0`) the loss pattern
+//!   differs from the monolithic engine's single stream while remaining
+//!   statistically equivalent and fully reproducible. With perfect links
+//!   no randomness is drawn and the match is bit-exact.
+//! * the gateway's queue high-water mark is reported as the sum of the
+//!   per-shard peaks — an upper bound on the true instantaneous peak,
+//!   since shard peaks need not coincide in time.
+//!
+//! Results never depend on the worker-thread count: shards are merged in
+//! subtree order, and [`stats`](ShardedSimulator::stats) sorts delivery
+//! records by delivery time.
+
+use crate::packet::{Task, TaskKind};
+use crate::par::{bench_threads, par_for_each_mut_with_threads};
+use crate::radio::LinkQuality;
+use crate::schedule::NetworkSchedule;
+use crate::stats::{SimStats, StatsMode};
+use crate::time::{Cell, SlotframeConfig};
+use crate::topology::{Link, NodeId, Tree};
+use crate::trace::TraceEvent;
+use crate::{Simulator, SimulatorBuilder};
+use core::fmt;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Why a scenario cannot be sharded (fall back to the monolithic
+/// [`Simulator`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardViolation {
+    /// A task originates at the gateway, so its packets would cross from
+    /// the gateway into a subtree's downlinks.
+    GatewayTask(crate::packet::TaskId),
+    /// A cell is assigned links from two different depth-1 subtrees, so
+    /// their conflict would span shards.
+    MixedCell(Cell),
+}
+
+impl fmt::Display for ShardViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardViolation::GatewayTask(t) => write!(f, "task {t} originates at the gateway"),
+            ShardViolation::MixedCell(c) => {
+                write!(f, "cell {c} mixes links from different subtrees")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardViolation {}
+
+/// Per-shard engine knobs, applied uniformly to every shard.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardOptions {
+    /// Trace-ring capacity per shard (0 disables tracing, the default).
+    pub trace_capacity: usize,
+    /// Stats retention mode for every shard and the merged view.
+    pub stats_mode: StatsMode,
+}
+
+struct Shard {
+    sim: Simulator,
+    /// Local node index → global [`NodeId`]; entry 0 is the gateway.
+    node_map: Vec<NodeId>,
+}
+
+/// A simulator partitioned into independently executed depth-1 subtrees.
+/// See the module docs for the preconditions and fidelity contract.
+pub struct ShardedSimulator {
+    shards: Vec<Shard>,
+    stats_mode: StatsMode,
+    run_time: Duration,
+}
+
+impl fmt::Debug for ShardedSimulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedSimulator")
+            .field("shards", &self.shards.len())
+            .field("stats_mode", &self.stats_mode)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedSimulator {
+    /// Partitions the scenario by depth-1 subtree and builds one engine
+    /// per shard (two-hop interference, per-shard seeds derived from
+    /// `seed`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShardViolation`] when a task originates at the gateway
+    /// or a cell mixes links from different subtrees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a task's source is outside the tree (mirroring
+    /// [`SimulatorBuilder::task`](crate::SimulatorBuilder)'s validation,
+    /// which would reject it).
+    pub fn try_new(
+        tree: &Tree,
+        config: SlotframeConfig,
+        schedule: &NetworkSchedule,
+        quality: &LinkQuality,
+        seed: u64,
+        tasks: &[Task],
+        options: ShardOptions,
+    ) -> Result<Self, ShardViolation> {
+        let root = NodeId(0);
+        // Global node → owning shard (None for the gateway).
+        let mut shard_of: Vec<Option<usize>> = vec![None; tree.len()];
+        // Per shard: local index → global node, gateway first, then the
+        // subtree in preorder.
+        let mut node_maps: Vec<Vec<NodeId>> = Vec::new();
+        for &top in tree.children(root) {
+            let k = node_maps.len();
+            let mut map = vec![root];
+            let mut stack = vec![top];
+            while let Some(v) = stack.pop() {
+                shard_of[v.index()] = Some(k);
+                map.push(v);
+                stack.extend(tree.children(v).iter().rev());
+            }
+            node_maps.push(map);
+        }
+
+        for task in tasks {
+            if task.source == root {
+                return Err(ShardViolation::GatewayTask(task.id));
+            }
+        }
+
+        // Invert the maps once: global node → local index in its shard.
+        let mut local_of: Vec<u32> = vec![0; tree.len()];
+        for map in &node_maps {
+            for (local, &global) in map.iter().enumerate() {
+                if global != root {
+                    local_of[global.index()] = u32::try_from(local).expect("local id fits u32");
+                }
+            }
+        }
+        let localize = |link: Link| Link {
+            child: NodeId(local_of[link.child.index()]),
+            direction: link.direction,
+        };
+
+        let mut schedules: Vec<NetworkSchedule> = node_maps
+            .iter()
+            .map(|_| NetworkSchedule::new(config))
+            .collect();
+        let mut cell_owner: HashMap<Cell, usize> = HashMap::new();
+        for (cell, links) in schedule.iter_cells() {
+            for &link in links {
+                let k = shard_of[link.child.index()].expect("scheduled link has a child owner");
+                if *cell_owner.entry(cell).or_insert(k) != k {
+                    return Err(ShardViolation::MixedCell(cell));
+                }
+                schedules[k]
+                    .assign(cell, localize(link))
+                    .expect("remapping preserves a valid assignment");
+            }
+        }
+
+        let mut shards = Vec::with_capacity(node_maps.len());
+        let mut seed_rng = crate::rng::SplitMix64::new(seed);
+        for (k, map) in node_maps.iter().enumerate() {
+            let pairs: Vec<(u32, u32)> = map
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(local, &global)| {
+                    let parent = tree.parent(global).expect("non-root node has a parent");
+                    let local_parent = if parent == root {
+                        0
+                    } else {
+                        local_of[parent.index()]
+                    };
+                    (
+                        u32::try_from(local).expect("local id fits u32"),
+                        local_parent,
+                    )
+                })
+                .collect();
+            let local_tree = Tree::from_parents(&pairs);
+
+            let mut local_quality = LinkQuality::perfect();
+            for (local, &global) in map.iter().enumerate().skip(1) {
+                for global_link in [Link::up(global), Link::down(global)] {
+                    let pdr = quality.pdr(global_link);
+                    if pdr < 1.0 {
+                        let child = NodeId(u32::try_from(local).expect("local id fits u32"));
+                        let local_link = Link {
+                            child,
+                            direction: global_link.direction,
+                        };
+                        local_quality
+                            .set_pdr(local_link, pdr)
+                            .expect("pdr was valid globally");
+                    }
+                }
+            }
+
+            let shard_seed = seed_rng.next_u64();
+            let mut builder = SimulatorBuilder::new(local_tree, config)
+                .schedule(std::mem::replace(
+                    &mut schedules[k],
+                    NetworkSchedule::new(config),
+                ))
+                .quality(local_quality)
+                .seed(shard_seed)
+                .trace_capacity(options.trace_capacity)
+                .stats_mode(options.stats_mode);
+            for task in tasks
+                .iter()
+                .filter(|t| shard_of[t.source.index()] == Some(k))
+            {
+                let local_source = NodeId(local_of[task.source.index()]);
+                let local_task = match task.kind {
+                    TaskKind::Echo => Task::echo(task.id, local_source, task.rate),
+                    TaskKind::UplinkOnly => Task::uplink(task.id, local_source, task.rate),
+                };
+                builder = builder
+                    .task(local_task)
+                    .expect("task ids are unique per shard");
+            }
+            shards.push(Shard {
+                sim: builder.build(),
+                node_map: map.clone(),
+            });
+        }
+
+        Ok(Self {
+            shards,
+            stats_mode: options.stats_mode,
+            run_time: Duration::ZERO,
+        })
+    }
+
+    /// Number of depth-1 subtree shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total conflict-adjacency storage across all shards, in bytes.
+    #[must_use]
+    pub fn conflict_storage_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.sim.conflict_storage_bytes())
+            .sum()
+    }
+
+    /// Advances every shard by `n` slotframes on [`bench_threads`] workers.
+    pub fn run_slotframes(&mut self, n: u64) {
+        self.run_slotframes_with_threads(n, bench_threads());
+    }
+
+    /// Advances every shard by `n` slotframes on `threads` workers. The
+    /// outcome is identical for every thread count.
+    pub fn run_slotframes_with_threads(&mut self, n: u64, threads: usize) {
+        let start = Instant::now();
+        par_for_each_mut_with_threads(&mut self.shards, threads, |_, shard| {
+            shard.sim.run_slotframes(n);
+        });
+        self.run_time += start.elapsed();
+    }
+
+    /// Merged network-wide measurements, with local node ids remapped to
+    /// global ones and delivery records sorted by delivery time. The
+    /// gateway's queue high-water mark is the sum of per-shard peaks (an
+    /// upper bound); `run_time` is the wall-clock time of the parallel
+    /// runs, so `slots_per_sec` reflects the sharded throughput.
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        let mut merged = match self.stats_mode {
+            StatsMode::Full => SimStats::new(),
+            StatsMode::Streaming => SimStats::streaming(),
+        };
+        for shard in &self.shards {
+            merged.merge_shard(shard.sim.stats(), &shard.node_map);
+        }
+        let root_peak: usize = self
+            .shards
+            .iter()
+            .map(|s| s.sim.stats().queue_high_water_of(NodeId(0)))
+            .sum();
+        if root_peak > 0 {
+            merged.record_queue_depth(NodeId(0), root_peak);
+        }
+        merged.slots_simulated = self
+            .shards
+            .first()
+            .map_or(0, |s| s.sim.stats().slots_simulated);
+        merged.run_time = self.run_time;
+        merged
+            .deliveries
+            .sort_by_key(|d| (d.delivered.0, d.source.0, d.created.0));
+        merged
+    }
+
+    /// All shards' trace events with global node ids, in the canonical
+    /// [`sort_trace`] order. Complete only if
+    /// [`ShardOptions::trace_capacity`] exceeded each shard's event count.
+    #[must_use]
+    pub fn merged_trace(&self) -> Vec<TraceEvent> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            let globalize = |link: Link| Link {
+                child: shard.node_map[link.child.index()],
+                direction: link.direction,
+            };
+            for event in shard.sim.trace().iter() {
+                all.push(match *event {
+                    TraceEvent::TxOk { at, link, cell } => TraceEvent::TxOk {
+                        at,
+                        link: globalize(link),
+                        cell,
+                    },
+                    TraceEvent::TxCollision { at, link, cell } => TraceEvent::TxCollision {
+                        at,
+                        link: globalize(link),
+                        cell,
+                    },
+                    TraceEvent::TxLoss { at, link, cell } => TraceEvent::TxLoss {
+                        at,
+                        link: globalize(link),
+                        cell,
+                    },
+                    TraceEvent::Drop { at, link } => TraceEvent::Drop {
+                        at,
+                        link: globalize(link),
+                    },
+                });
+            }
+        }
+        sort_trace(&mut all);
+        all
+    }
+}
+
+/// Sorts trace events into the canonical cross-shard order: by time, then
+/// cell, then event kind, then link. Use it on a monolithic engine's trace
+/// before comparing against [`ShardedSimulator::merged_trace`].
+pub fn sort_trace(events: &mut [TraceEvent]) {
+    fn key(e: &TraceEvent) -> (u64, u32, u16, u8, u32, bool) {
+        match *e {
+            TraceEvent::TxOk { at, link, cell } => (
+                at.0,
+                cell.slot,
+                cell.channel,
+                0,
+                link.child.0,
+                link.direction == crate::topology::Direction::Down,
+            ),
+            TraceEvent::TxCollision { at, link, cell } => (
+                at.0,
+                cell.slot,
+                cell.channel,
+                1,
+                link.child.0,
+                link.direction == crate::topology::Direction::Down,
+            ),
+            TraceEvent::TxLoss { at, link, cell } => (
+                at.0,
+                cell.slot,
+                cell.channel,
+                2,
+                link.child.0,
+                link.direction == crate::topology::Direction::Down,
+            ),
+            TraceEvent::Drop { at, link } => (
+                at.0,
+                u32::MAX,
+                u16::MAX,
+                3,
+                link.child.0,
+                link.direction == crate::topology::Direction::Down,
+            ),
+        }
+    }
+    events.sort_by_key(key);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Rate, TaskId};
+    use crate::time::Asn;
+
+    fn star_of_chains() -> Tree {
+        // Two depth-1 subtrees: 1-{3,4} and 2-{5}.
+        Tree::from_parents(&[(1, 0), (2, 0), (3, 1), (4, 1), (5, 2)])
+    }
+
+    #[test]
+    fn simulators_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Simulator>();
+        assert_send::<ShardedSimulator>();
+    }
+
+    #[test]
+    fn gateway_task_is_rejected() {
+        let tree = star_of_chains();
+        let config = SlotframeConfig::new(10, 2, 10_000).unwrap();
+        let schedule = NetworkSchedule::new(config);
+        let tasks = [Task::uplink(TaskId(0), NodeId(0), Rate::per_slotframe(1))];
+        let err = ShardedSimulator::try_new(
+            &tree,
+            config,
+            &schedule,
+            &LinkQuality::perfect(),
+            0,
+            &tasks,
+            ShardOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ShardViolation::GatewayTask(TaskId(0)));
+    }
+
+    #[test]
+    fn mixed_cell_is_rejected() {
+        let tree = star_of_chains();
+        let config = SlotframeConfig::new(10, 2, 10_000).unwrap();
+        let mut schedule = NetworkSchedule::new(config);
+        let cell = Cell::new(3, 1);
+        schedule.assign(cell, Link::up(NodeId(3))).unwrap();
+        schedule.assign(cell, Link::up(NodeId(5))).unwrap();
+        let err = ShardedSimulator::try_new(
+            &tree,
+            config,
+            &schedule,
+            &LinkQuality::perfect(),
+            0,
+            &[],
+            ShardOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ShardViolation::MixedCell(cell));
+    }
+
+    #[test]
+    fn shards_follow_depth_one_subtrees() {
+        let tree = star_of_chains();
+        let config = SlotframeConfig::new(10, 2, 10_000).unwrap();
+        let sharded = ShardedSimulator::try_new(
+            &tree,
+            config,
+            &NetworkSchedule::new(config),
+            &LinkQuality::perfect(),
+            0,
+            &[],
+            ShardOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(sharded.shard_count(), 2);
+        assert_eq!(
+            sharded.shards[0].node_map,
+            vec![NodeId(0), NodeId(1), NodeId(3), NodeId(4)]
+        );
+        assert_eq!(
+            sharded.shards[1].node_map,
+            vec![NodeId(0), NodeId(2), NodeId(5)]
+        );
+    }
+
+    #[test]
+    fn sort_trace_orders_by_time_cell_and_kind() {
+        let late = TraceEvent::TxOk {
+            at: Asn(5),
+            link: Link::up(NodeId(1)),
+            cell: Cell::new(0, 0),
+        };
+        let early_loss = TraceEvent::TxLoss {
+            at: Asn(1),
+            link: Link::up(NodeId(2)),
+            cell: Cell::new(1, 0),
+        };
+        let early_ok = TraceEvent::TxOk {
+            at: Asn(1),
+            link: Link::up(NodeId(3)),
+            cell: Cell::new(1, 0),
+        };
+        let mut events = vec![late, early_loss, early_ok];
+        sort_trace(&mut events);
+        assert_eq!(events, vec![early_ok, early_loss, late]);
+    }
+}

@@ -4,9 +4,33 @@
 //! The experiment harness consumes these to reproduce the paper's figures:
 //! per-node end-to-end latency (Fig. 9), latency over time under traffic
 //! changes (Fig. 10), and transmission/collision counts (Fig. 11).
+//!
+//! # Storage modes
+//!
+//! [`SimStats`] records in one of two [`StatsMode`]s:
+//!
+//! * [`Full`](StatsMode::Full) (the default) keeps every
+//!   [`DeliveryRecord`], so per-source percentiles and timelines are exact.
+//!   Memory grows with the delivery count — fine for the paper-scale
+//!   experiments, ruinous for million-node runs.
+//! * [`Streaming`](StatsMode::Streaming) drops individual records and keeps
+//!   only O(nodes + buckets) state: per-source count/sum/min/max plus a
+//!   fixed-bucket latency histogram (bounds shared with the observability
+//!   layer, [`harp_obs::LATENCY_SLOT_BOUNDS`]), and dense per-frame
+//!   timelines for sources registered via
+//!   [`track_timeline`](SimStats::track_timeline). Counters, per-link
+//!   attempts, queue high-water marks, delivery counts, means, minima,
+//!   maxima and tracked timelines are identical to `Full` mode;
+//!   per-source p95 becomes a histogram interpolation instead of an exact
+//!   nearest-rank.
+//!
+//! In both modes per-link attempts and per-node queue high-water marks live
+//! in dense id-indexed vectors (one add on the hot path); the `HashMap`
+//! views the analysis code consumes are materialized only on export.
 
 use crate::time::Asn;
-use crate::topology::{Link, NodeId};
+use crate::topology::{Direction, Link, NodeId};
+use harp_obs::{HistogramSnapshot, LATENCY_SLOT_BOUNDS};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -64,7 +88,9 @@ pub struct LatencySummary {
     pub min: u64,
     /// Maximum latency in slots.
     pub max: u64,
-    /// 95th-percentile latency in slots (nearest-rank).
+    /// 95th-percentile latency in slots (nearest-rank in
+    /// [`StatsMode::Full`], histogram-interpolated in
+    /// [`StatsMode::Streaming`]).
     pub p95: u64,
 }
 
@@ -90,16 +116,46 @@ impl LatencySummary {
     }
 }
 
+/// How a [`SimStats`] retains per-delivery data. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StatsMode {
+    /// Keep every [`DeliveryRecord`]; memory grows with deliveries.
+    #[default]
+    Full,
+    /// Keep only streaming aggregates; memory is O(nodes + buckets).
+    Streaming,
+}
+
+/// Streaming per-source latency aggregate.
+#[derive(Debug, Clone, Default)]
+struct SourceAgg {
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+    /// Bucket counts over [`LATENCY_SLOT_BOUNDS`]; allocated on the first
+    /// delivery in streaming mode only (full mode has the exact records).
+    hist: Vec<u64>,
+}
+
+/// Dense per-slotframe latency timeline for one registered source.
+#[derive(Debug, Clone)]
+struct TimelineTracker {
+    source: NodeId,
+    slots_per_frame: u32,
+    /// Indexed by slotframe: (latency sum, delivery count).
+    frames: Vec<(u64, u64)>,
+}
+
 /// All measurements recorded by a simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct SimStats {
-    /// Every end-to-end delivery, in delivery order.
+    /// Every end-to-end delivery, in delivery order. Empty in
+    /// [`StatsMode::Streaming`] — use [`delivered`](Self::delivered) for
+    /// the count and the summary/timeline accessors for aggregates.
     pub deliveries: Vec<DeliveryRecord>,
     /// Transmission attempts (includes retries).
     pub tx_attempts: u64,
-    /// Transmission attempts per directed link (includes retries) — the
-    /// usage signal adaptive schedulers like MSF monitor.
-    pub tx_attempts_per_link: HashMap<Link, u64>,
     /// Attempts that failed due to interference collisions.
     pub collisions: u64,
     /// Attempts that failed due to the radio loss process (PDR).
@@ -108,8 +164,6 @@ pub struct SimStats {
     pub queue_drops: u64,
     /// Packets generated by tasks.
     pub generated: u64,
-    /// Per-node high-water mark of total queued packets.
-    pub queue_high_water: HashMap<NodeId, usize>,
     /// Slots executed so far.
     pub slots_simulated: u64,
     /// Wall-clock time spent inside [`run_slots`](crate::Simulator::run_slots)
@@ -117,37 +171,276 @@ pub struct SimStats {
     /// stepped one at a time via `step_slot` are counted in
     /// `slots_simulated` but not timed.
     pub run_time: Duration,
+    mode: StatsMode,
+    delivered: u64,
+    /// Attempts per directed link, indexed by `child * 2 + direction`.
+    tx_attempts_by_link: Vec<u64>,
+    /// High-water mark of queued packets, indexed by node.
+    queue_high_water_by_node: Vec<usize>,
+    /// Per-source latency aggregates, indexed by node; maintained in both
+    /// modes (they are O(nodes) and make network-wide summaries cheap).
+    per_source: Vec<SourceAgg>,
+    timelines: Vec<TimelineTracker>,
 }
 
 impl SimStats {
-    /// Creates an empty stats collector.
+    /// Creates an empty stats collector in [`StatsMode::Full`].
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an empty collector in [`StatsMode::Streaming`].
+    #[must_use]
+    pub fn streaming() -> Self {
+        Self {
+            mode: StatsMode::Streaming,
+            ..Self::default()
+        }
+    }
+
+    /// The collector's storage mode.
+    #[must_use]
+    pub fn mode(&self) -> StatsMode {
+        self.mode
+    }
+
+    /// End-to-end deliveries so far (maintained in both modes).
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    fn link_index(link: Link) -> usize {
+        link.child.index() * 2 + usize::from(link.direction == Direction::Down)
+    }
+
+    fn link_of(index: usize) -> Link {
+        let child = NodeId(u32::try_from(index / 2).expect("link index fits u32"));
+        if index & 1 == 0 {
+            Link::up(child)
+        } else {
+            Link::down(child)
+        }
+    }
+
+    fn observe_bucket(hist: &mut [u64], latency: u64) {
+        let bucket = LATENCY_SLOT_BOUNDS
+            .partition_point(|&b| b < latency)
+            .min(LATENCY_SLOT_BOUNDS.len());
+        hist[bucket] += 1;
+    }
+
+    /// Records one transmission attempt on `link` (per-link bookkeeping
+    /// only; the caller maintains the aggregate `tx_attempts` counter).
+    pub fn record_tx_attempt(&mut self, link: Link) {
+        let i = Self::link_index(link);
+        if i >= self.tx_attempts_by_link.len() {
+            self.tx_attempts_by_link.resize(i + 1, 0);
+        }
+        self.tx_attempts_by_link[i] += 1;
+    }
+
     /// Transmission attempts recorded for one link so far.
     #[must_use]
     pub fn tx_attempts_of(&self, link: Link) -> u64 {
-        self.tx_attempts_per_link.get(&link).copied().unwrap_or(0)
+        self.tx_attempts_by_link
+            .get(Self::link_index(link))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Attempts per directed link, materialized as a map (links with zero
+    /// attempts are omitted).
+    #[must_use]
+    pub fn tx_attempts_per_link(&self) -> HashMap<Link, u64> {
+        self.tx_attempts_by_link
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::link_of(i), n))
+            .collect()
+    }
+
+    /// Registers a per-slotframe latency timeline for `source`, so
+    /// [`latency_timeline`](Self::latency_timeline) stays available in
+    /// [`StatsMode::Streaming`]. Idempotent; must be called before the
+    /// deliveries it should cover.
+    pub fn track_timeline(&mut self, source: NodeId, slots_per_frame: u32) {
+        let tracked = self
+            .timelines
+            .iter()
+            .any(|t| t.source == source && t.slots_per_frame == slots_per_frame);
+        if !tracked {
+            self.timelines.push(TimelineTracker {
+                source,
+                slots_per_frame,
+                frames: Vec::new(),
+            });
+        }
     }
 
     /// Records a delivery.
     pub fn record_delivery(&mut self, source: NodeId, created: Asn, delivered: Asn) {
-        self.deliveries.push(DeliveryRecord {
-            source,
-            created,
-            delivered,
-        });
+        let latency = delivered.since(created);
+        self.delivered += 1;
+        let idx = source.index();
+        if idx >= self.per_source.len() {
+            self.per_source.resize_with(idx + 1, SourceAgg::default);
+        }
+        let agg = &mut self.per_source[idx];
+        if agg.count == 0 {
+            agg.min = latency;
+            agg.max = latency;
+        } else {
+            agg.min = agg.min.min(latency);
+            agg.max = agg.max.max(latency);
+        }
+        agg.count += 1;
+        agg.sum += u128::from(latency);
+        for tracker in &mut self.timelines {
+            if tracker.source != source {
+                continue;
+            }
+            let frame = usize::try_from(delivered.0 / u64::from(tracker.slots_per_frame))
+                .expect("slotframe index fits usize");
+            if frame >= tracker.frames.len() {
+                tracker.frames.resize(frame + 1, (0, 0));
+            }
+            tracker.frames[frame].0 += latency;
+            tracker.frames[frame].1 += 1;
+        }
+        match self.mode {
+            StatsMode::Full => self.deliveries.push(DeliveryRecord {
+                source,
+                created,
+                delivered,
+            }),
+            StatsMode::Streaming => {
+                if agg.hist.is_empty() {
+                    agg.hist = vec![0; LATENCY_SLOT_BOUNDS.len() + 1];
+                }
+                Self::observe_bucket(&mut agg.hist, latency);
+            }
+        }
+    }
+
+    /// Folds a shard's measurements into this collector, remapping the
+    /// shard's local node ids through `node_map` (`node_map[local]` is the
+    /// global [`NodeId`]) — the merge step of the sharded simulator.
+    ///
+    /// Counters, per-link attempts, per-source latency aggregates and
+    /// delivery records add; queue high-water marks merge by maximum —
+    /// shards own disjoint nodes except the shared gateway, whose true
+    /// cross-shard peak the caller must reconstruct itself.
+    /// `slots_simulated`, `run_time` and timeline trackers are left
+    /// untouched: shards execute the same slot range concurrently, so the
+    /// caller sets those once for the whole run.
+    pub fn merge_shard(&mut self, other: &SimStats, node_map: &[NodeId]) {
+        self.tx_attempts += other.tx_attempts;
+        self.collisions += other.collisions;
+        self.losses += other.losses;
+        self.queue_drops += other.queue_drops;
+        self.generated += other.generated;
+        self.delivered += other.delivered;
+        for (i, &n) in other.tx_attempts_by_link.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let local = Self::link_of(i);
+            let global = Link {
+                child: node_map[local.child.index()],
+                direction: local.direction,
+            };
+            let gi = Self::link_index(global);
+            if gi >= self.tx_attempts_by_link.len() {
+                self.tx_attempts_by_link.resize(gi + 1, 0);
+            }
+            self.tx_attempts_by_link[gi] += n;
+        }
+        for (i, &depth) in other.queue_high_water_by_node.iter().enumerate() {
+            if depth > 0 {
+                self.record_queue_depth(node_map[i], depth);
+            }
+        }
+        for (i, agg) in other.per_source.iter().enumerate() {
+            if agg.count == 0 {
+                continue;
+            }
+            let gi = node_map[i].index();
+            if gi >= self.per_source.len() {
+                self.per_source.resize_with(gi + 1, SourceAgg::default);
+            }
+            let mine = &mut self.per_source[gi];
+            if mine.count == 0 {
+                mine.min = agg.min;
+                mine.max = agg.max;
+            } else {
+                mine.min = mine.min.min(agg.min);
+                mine.max = mine.max.max(agg.max);
+            }
+            mine.count += agg.count;
+            mine.sum += agg.sum;
+            if !agg.hist.is_empty() {
+                if mine.hist.is_empty() {
+                    mine.hist = vec![0; LATENCY_SLOT_BOUNDS.len() + 1];
+                }
+                for (a, &b) in mine.hist.iter_mut().zip(&agg.hist) {
+                    *a += b;
+                }
+            }
+        }
+        for d in &other.deliveries {
+            self.deliveries.push(DeliveryRecord {
+                source: node_map[d.source.index()],
+                ..*d
+            });
+        }
     }
 
     /// Updates a node's queue high-water mark.
     pub fn record_queue_depth(&mut self, node: NodeId, depth: usize) {
-        let entry = self.queue_high_water.entry(node).or_insert(0);
+        let i = node.index();
+        if i >= self.queue_high_water_by_node.len() {
+            self.queue_high_water_by_node.resize(i + 1, 0);
+        }
+        let entry = &mut self.queue_high_water_by_node[i];
         *entry = (*entry).max(depth);
     }
 
-    /// Latency samples (slots) for packets originating at `source`.
+    /// One node's queue high-water mark (0 if never recorded).
+    #[must_use]
+    pub fn queue_high_water_of(&self, node: NodeId) -> usize {
+        self.queue_high_water_by_node
+            .get(node.index())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The deepest queue high-water mark across all nodes.
+    #[must_use]
+    pub fn max_queue_high_water(&self) -> usize {
+        self.queue_high_water_by_node
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-node queue high-water marks, materialized as a map (nodes that
+    /// never queued a packet are omitted).
+    #[must_use]
+    pub fn queue_high_water(&self) -> HashMap<NodeId, usize> {
+        self.queue_high_water_by_node
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d > 0)
+            .map(|(i, &d)| (NodeId(u32::try_from(i).expect("node index fits u32")), d))
+            .collect()
+    }
+
+    /// Latency samples (slots) for packets originating at `source`. Exact
+    /// records exist only in [`StatsMode::Full`]; empty when streaming.
     #[must_use]
     pub fn latencies_of(&self, source: NodeId) -> Vec<u64> {
         self.deliveries
@@ -157,29 +450,102 @@ impl SimStats {
             .collect()
     }
 
-    /// Latency summary for one source node.
+    /// Latency summary for one source node. Exact in [`StatsMode::Full`];
+    /// in [`StatsMode::Streaming`] the count/mean/min/max are still exact
+    /// and p95 is interpolated from the per-source histogram.
     #[must_use]
     pub fn latency_summary(&self, source: NodeId) -> LatencySummary {
-        LatencySummary::from_samples(&self.latencies_of(source))
+        match self.mode {
+            StatsMode::Full => LatencySummary::from_samples(&self.latencies_of(source)),
+            StatsMode::Streaming => {
+                let Some(agg) = self.per_source.get(source.index()).filter(|a| a.count > 0) else {
+                    return LatencySummary::default();
+                };
+                let snapshot = HistogramSnapshot {
+                    bounds: LATENCY_SLOT_BOUNDS.to_vec(),
+                    counts: agg.hist.clone(),
+                    count: agg.count,
+                    sum: agg.sum,
+                    min: agg.min,
+                    max: agg.max,
+                };
+                LatencySummary {
+                    count: usize::try_from(agg.count).expect("delivery count fits usize"),
+                    mean: agg.sum as f64 / agg.count as f64,
+                    min: agg.min,
+                    max: agg.max,
+                    p95: snapshot.percentile(0.95),
+                }
+            }
+        }
+    }
+
+    /// Network-wide latency histogram over [`LATENCY_SLOT_BOUNDS`], folded
+    /// from the per-source aggregates. In [`StatsMode::Full`] bucket counts
+    /// are rebuilt from the exact records; both modes agree.
+    #[must_use]
+    pub fn latency_histogram(&self) -> HistogramSnapshot {
+        let mut counts = vec![0u64; LATENCY_SLOT_BOUNDS.len() + 1];
+        let (mut count, mut sum) = (0u64, 0u128);
+        let (mut min, mut max) = (u64::MAX, 0u64);
+        for agg in self.per_source.iter().filter(|a| a.count > 0) {
+            count += agg.count;
+            sum += agg.sum;
+            min = min.min(agg.min);
+            max = max.max(agg.max);
+            for (total, &n) in counts.iter_mut().zip(&agg.hist) {
+                *total += n;
+            }
+        }
+        if self.mode == StatsMode::Full {
+            for d in &self.deliveries {
+                Self::observe_bucket(&mut counts, d.latency_slots());
+            }
+        }
+        HistogramSnapshot {
+            bounds: LATENCY_SLOT_BOUNDS.to_vec(),
+            counts,
+            count,
+            sum,
+            min: if count == 0 { 0 } else { min },
+            max,
+        }
     }
 
     /// Deliveries from `source` bucketed by the slotframe of their delivery
-    /// time — the Fig. 10 timeline series.
+    /// time — the Fig. 10 timeline series. Computed from exact records in
+    /// [`StatsMode::Full`]; in [`StatsMode::Streaming`] the source must
+    /// have been registered via [`track_timeline`](Self::track_timeline)
+    /// with the same `slots_per_frame` (empty otherwise).
     #[must_use]
     pub fn latency_timeline(&self, source: NodeId, slots_per_frame: u32) -> Vec<(u64, f64)> {
-        let mut buckets: HashMap<u64, (u64, u64)> = HashMap::new();
-        for d in self.deliveries.iter().filter(|d| d.source == source) {
-            let frame = d.delivered.0 / u64::from(slots_per_frame);
-            let e = buckets.entry(frame).or_insert((0, 0));
-            e.0 += d.latency_slots();
-            e.1 += 1;
+        if self.mode == StatsMode::Full {
+            let mut buckets: HashMap<u64, (u64, u64)> = HashMap::new();
+            for d in self.deliveries.iter().filter(|d| d.source == source) {
+                let frame = d.delivered.0 / u64::from(slots_per_frame);
+                let e = buckets.entry(frame).or_insert((0, 0));
+                e.0 += d.latency_slots();
+                e.1 += 1;
+            }
+            let mut out: Vec<(u64, f64)> = buckets
+                .into_iter()
+                .map(|(frame, (sum, n))| (frame, sum as f64 / n as f64))
+                .collect();
+            out.sort_by_key(|&(frame, _)| frame);
+            return out;
         }
-        let mut out: Vec<(u64, f64)> = buckets
-            .into_iter()
-            .map(|(frame, (sum, n))| (frame, sum as f64 / n as f64))
-            .collect();
-        out.sort_by_key(|&(frame, _)| frame);
-        out
+        self.timelines
+            .iter()
+            .find(|t| t.source == source && t.slots_per_frame == slots_per_frame)
+            .map(|t| {
+                t.frames
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &(_, n))| n > 0)
+                    .map(|(frame, &(sum, n))| (frame as u64, sum as f64 / n as f64))
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     /// Simulation throughput in slots per wall-clock second, over the time
@@ -201,7 +567,7 @@ impl SimStats {
         if self.generated == 0 {
             1.0
         } else {
-            self.deliveries.len() as f64 / self.generated as f64
+            self.delivered as f64 / self.generated as f64
         }
     }
 }
@@ -249,6 +615,7 @@ mod tests {
         assert_eq!(stats.latencies_of(NodeId(1)), vec![10, 20]);
         assert_eq!(stats.latency_summary(NodeId(1)).mean, 15.0);
         assert_eq!(stats.latencies_of(NodeId(3)), Vec::<u64>::new());
+        assert_eq!(stats.delivered(), 3);
     }
 
     #[test]
@@ -265,6 +632,22 @@ mod tests {
     fn per_link_attempts_default_to_zero() {
         let stats = SimStats::new();
         assert_eq!(stats.tx_attempts_of(Link::up(NodeId(3))), 0);
+        assert!(stats.tx_attempts_per_link().is_empty());
+    }
+
+    #[test]
+    fn per_link_attempts_roundtrip_through_export() {
+        let mut stats = SimStats::new();
+        stats.record_tx_attempt(Link::up(NodeId(3)));
+        stats.record_tx_attempt(Link::up(NodeId(3)));
+        stats.record_tx_attempt(Link::down(NodeId(3)));
+        assert_eq!(stats.tx_attempts_of(Link::up(NodeId(3))), 2);
+        assert_eq!(stats.tx_attempts_of(Link::down(NodeId(3))), 1);
+        assert_eq!(stats.tx_attempts_of(Link::up(NodeId(1))), 0);
+        let map = stats.tx_attempts_per_link();
+        assert_eq!(map.len(), 2, "zero entries are omitted");
+        assert_eq!(map[&Link::up(NodeId(3))], 2);
+        assert_eq!(map[&Link::down(NodeId(3))], 1);
     }
 
     #[test]
@@ -273,7 +656,56 @@ mod tests {
         stats.record_queue_depth(NodeId(1), 3);
         stats.record_queue_depth(NodeId(1), 1);
         stats.record_queue_depth(NodeId(1), 5);
-        assert_eq!(stats.queue_high_water[&NodeId(1)], 5);
+        assert_eq!(stats.queue_high_water_of(NodeId(1)), 5);
+        assert_eq!(stats.max_queue_high_water(), 5);
+        assert_eq!(stats.queue_high_water(), HashMap::from([(NodeId(1), 5)]));
+    }
+
+    #[test]
+    fn streaming_mode_matches_full_aggregates() {
+        let mut full = SimStats::new();
+        let mut streaming = SimStats::streaming();
+        streaming.track_timeline(NodeId(1), 10);
+        let deliveries = [
+            (NodeId(1), Asn(0), Asn(5)),
+            (NodeId(1), Asn(2), Asn(9)),
+            (NodeId(2), Asn(0), Asn(20)),
+            (NodeId(1), Asn(12), Asn(25)),
+        ];
+        for (source, created, delivered) in deliveries {
+            full.record_delivery(source, created, delivered);
+            streaming.record_delivery(source, created, delivered);
+        }
+        assert!(streaming.deliveries.is_empty());
+        assert_eq!(streaming.delivered(), full.delivered());
+        for node in [NodeId(1), NodeId(2), NodeId(3)] {
+            let f = full.latency_summary(node);
+            let s = streaming.latency_summary(node);
+            assert_eq!(
+                (f.count, f.mean, f.min, f.max),
+                (s.count, s.mean, s.min, s.max)
+            );
+        }
+        assert_eq!(
+            streaming.latency_timeline(NodeId(1), 10),
+            full.latency_timeline(NodeId(1), 10)
+        );
+        // An untracked source has no streaming timeline.
+        assert!(streaming.latency_timeline(NodeId(2), 10).is_empty());
+        let (fh, sh) = (full.latency_histogram(), streaming.latency_histogram());
+        assert_eq!(fh, sh, "histograms agree bucket-for-bucket across modes");
+        assert_eq!(fh.count, 4);
+    }
+
+    #[test]
+    fn streaming_summary_p95_is_within_observed_range() {
+        let mut stats = SimStats::streaming();
+        for i in 0..100u64 {
+            stats.record_delivery(NodeId(1), Asn(0), Asn(1 + i));
+        }
+        let s = stats.latency_summary(NodeId(1));
+        assert_eq!((s.count, s.min, s.max), (100, 1, 100));
+        assert!((90..=100).contains(&s.p95), "p95 estimate {} off", s.p95);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use core::fmt;
 /// assert_eq!(n.to_string(), "N3");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
-pub struct NodeId(pub u16);
+pub struct NodeId(pub u32);
 
 impl NodeId {
     /// The id as a `usize` index.
@@ -204,7 +204,7 @@ impl TreeBuilder {
         if parent.index() >= self.parent.len() {
             return Err(TopologyError::UnknownNode(parent));
         }
-        let id = NodeId(u16::try_from(self.parent.len()).expect("more than u16::MAX nodes"));
+        let id = NodeId(u32::try_from(self.parent.len()).expect("more than u32::MAX nodes"));
         self.parent.push(Some(parent));
         Ok(id)
     }
@@ -259,7 +259,7 @@ impl Tree {
     /// assert_eq!(tree.children(NodeId(0)), &[NodeId(1), NodeId(3)]);
     /// ```
     #[must_use]
-    pub fn from_parents(pairs: &[(u16, u16)]) -> Tree {
+    pub fn from_parents(pairs: &[(u32, u32)]) -> Tree {
         let n = pairs.len() + 1;
         let mut parent: Vec<Option<NodeId>> = vec![None; n];
         for &(child, par) in pairs {
@@ -277,7 +277,7 @@ impl Tree {
         let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         for (i, &p) in parent.iter().enumerate() {
             if let Some(p) = p {
-                children[p.index()].push(NodeId(u16::try_from(i).expect("dense u16 ids")));
+                children[p.index()].push(NodeId(u32::try_from(i).expect("dense u32 ids")));
             } else {
                 assert_eq!(i, 0, "exactly node 0 may be the root");
             }
@@ -303,7 +303,7 @@ impl Tree {
         let mut subtree_layer = depth.clone();
         let mut subtree_size = vec![1u32; n];
         let mut order: Vec<NodeId> = (0..n)
-            .map(|i| NodeId(u16::try_from(i).expect("dense u16 ids")))
+            .map(|i| NodeId(u32::try_from(i).expect("dense u32 ids")))
             .collect();
         order.sort_by_key(|&v| std::cmp::Reverse(depth[v.index()]));
         for &v in &order {
@@ -343,7 +343,7 @@ impl Tree {
 
     /// Iterates over all node ids in increasing order.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.parent.len()).map(|i| NodeId(i as u16))
+        (0..self.parent.len()).map(|i| NodeId(i as u32))
     }
 
     /// The parent of `node`, or `None` for the root.
@@ -574,7 +574,7 @@ impl Tree {
         if parent.index() >= self.len() {
             return Err(TopologyError::UnknownNode(parent));
         }
-        let id = NodeId(u16::try_from(self.len()).expect("more than u16::MAX nodes"));
+        let id = NodeId(u32::try_from(self.len()).expect("more than u32::MAX nodes"));
         let mut parents = self.parent.clone();
         parents.push(Some(parent));
         Ok((Tree::from_parent_vec(parents), id))
@@ -712,13 +712,13 @@ mod tests {
         let t = fig1();
         let order = t.postorder();
         assert_eq!(order.len(), 12);
-        let pos = |n: u16| {
+        let pos = |n: u32| {
             order
                 .iter()
                 .position(|&v| v == NodeId(n))
                 .expect("node in order")
         };
-        for &(child, parent) in &[(1u16, 0u16), (4, 1), (7, 3), (9, 7), (11, 8), (3, 0)] {
+        for &(child, parent) in &[(1u32, 0u32), (4, 1), (7, 3), (9, 7), (11, 8), (3, 0)] {
             assert!(pos(child) < pos(parent), "{child} before {parent}");
         }
     }

@@ -184,7 +184,7 @@ mod tests {
     use super::*;
     use crate::topology::NodeId;
 
-    fn ok(at: u64, node: u16) -> TraceEvent {
+    fn ok(at: u64, node: u32) -> TraceEvent {
         TraceEvent::TxOk {
             at: Asn(at),
             link: Link::up(NodeId(node)),

@@ -18,7 +18,7 @@ fn random_tree(rng: &mut SplitMix64, max_nodes: usize) -> Tree {
     let edges = 1 + rng.next_below(max_nodes as u64 - 1) as usize;
     let mut pairs = Vec::with_capacity(edges);
     for i in 0..edges {
-        pairs.push(((i + 1) as u16, rng.next_below(i as u64 + 1) as u16));
+        pairs.push(((i + 1) as u32, rng.next_below(i as u64 + 1) as u32));
     }
     Tree::from_parents(&pairs)
 }
@@ -70,7 +70,8 @@ fn assert_equivalent(dense: &Simulator, reference: &ReferenceSimulator, label: &
     assert_eq!(d.deliveries, r.deliveries, "{label}: deliveries");
     assert_eq!(d.tx_attempts, r.tx_attempts, "{label}: tx_attempts");
     assert_eq!(
-        d.tx_attempts_per_link, r.tx_attempts_per_link,
+        d.tx_attempts_per_link(),
+        r.tx_attempts_per_link(),
         "{label}: per-link attempts"
     );
     assert_eq!(d.collisions, r.collisions, "{label}: collisions");
@@ -78,7 +79,8 @@ fn assert_equivalent(dense: &Simulator, reference: &ReferenceSimulator, label: &
     assert_eq!(d.queue_drops, r.queue_drops, "{label}: queue_drops");
     assert_eq!(d.generated, r.generated, "{label}: generated");
     assert_eq!(
-        d.queue_high_water, r.queue_high_water,
+        d.queue_high_water(),
+        r.queue_high_water(),
         "{label}: queue high-water"
     );
     assert_eq!(
@@ -118,6 +120,52 @@ fn dense_engine_matches_reference_on_random_scenarios() {
 }
 
 #[test]
+fn sparse_conflicts_match_reference_with_extra_radio_edges() {
+    // Extra (non-tree) radio edges exercise the candidate-set CSR build:
+    // the sparse adjacency must capture exactly the conflicts the
+    // reference probes pairwise on every occupied cell.
+    use tsch_sim::TwoHopInterference;
+    for case in 0..16u64 {
+        let mut rng = SplitMix64::new(0x0E_D6E5 ^ case);
+        let tree = random_tree(&mut rng, 24);
+        let config = SlotframeConfig::new(20, 4, 10_000).unwrap();
+        let (schedule, quality, tasks) = random_scenario(&mut rng, &tree, config);
+        let n = tree.len() as u64;
+        let edges: Vec<(NodeId, NodeId)> = (0..4)
+            .map(|_| {
+                (
+                    NodeId(rng.next_below(n) as u32),
+                    NodeId(rng.next_below(n) as u32),
+                )
+            })
+            .filter(|(a, b)| a != b)
+            .collect();
+        let seed = rng.next_u64();
+        let frames = 10;
+
+        let mut builder = SimulatorBuilder::new(tree.clone(), config)
+            .schedule(schedule.clone())
+            .quality(quality.clone())
+            .interference(Box::new(TwoHopInterference::with_extra_edges(
+                edges.iter().copied(),
+            )))
+            .seed(seed)
+            .trace_capacity(1 << 20);
+        for task in &tasks {
+            builder = builder.task(task.clone()).unwrap();
+        }
+        let mut dense = builder.build();
+        dense.run_slotframes(frames);
+
+        let mut reference = ReferenceSimulator::new(tree, config, schedule, quality, seed, &tasks)
+            .with_interference(TwoHopInterference::with_extra_edges(edges));
+        reference.run_slotframes(frames);
+
+        assert_equivalent(&dense, &reference, &format!("extra-edge case {case}"));
+    }
+}
+
+#[test]
 fn dense_engine_matches_reference_under_runtime_schedule_mutation() {
     // The fast path caches a per-slot table keyed on the schedule version;
     // mutating the schedule mid-run must invalidate it exactly like the
@@ -145,7 +193,7 @@ fn dense_engine_matches_reference_under_runtime_schedule_mutation() {
             dense.run_slotframes(2);
             reference.run_slotframes(2);
             // Apply the same mutation to both engines.
-            let victim = NodeId(1 + rng.next_below(tree.len() as u64 - 1) as u16);
+            let victim = NodeId(1 + rng.next_below(tree.len() as u64 - 1) as u32);
             let link = if rng.chance(0.5) {
                 Link::up(victim)
             } else {

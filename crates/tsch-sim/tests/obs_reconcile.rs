@@ -60,7 +60,7 @@ fn build(observability: bool) -> Simulator {
             Rate::per_slotframe(1)
         };
         builder = builder
-            .task(Task::uplink(TaskId(i as u16), v, rate))
+            .task(Task::uplink(TaskId(i as u32), v, rate))
             .unwrap();
     }
     builder.build()
@@ -78,12 +78,12 @@ fn fingerprint(stats: &SimStats) -> impl PartialEq + std::fmt::Debug + '_ {
     (
         &stats.deliveries,
         stats.tx_attempts,
-        &stats.tx_attempts_per_link,
+        stats.tx_attempts_per_link(),
         stats.collisions,
         stats.losses,
         stats.queue_drops,
         stats.generated,
-        &stats.queue_high_water,
+        stats.queue_high_water(),
         stats.slots_simulated,
     )
 }
@@ -132,7 +132,7 @@ fn metrics_reconcile_exactly_with_sim_stats() {
     assert_eq!(latency.sum, total);
 
     // The high-water gauge tracks the deepest queue seen anywhere.
-    let deepest = stats.queue_high_water.values().copied().max().unwrap_or(0);
+    let deepest = stats.max_queue_high_water();
     assert_eq!(snap.gauge("sim.queue_high_water"), Some(deepest as f64));
 }
 

@@ -1,0 +1,284 @@
+//! Sharded-execution fidelity: running one engine per depth-1 subtree and
+//! merging the results must match the monolithic reference engine.
+//!
+//! With perfect links neither engine draws randomness, so the match is
+//! bit-exact (modulo the documented gateway high-water upper bound and
+//! delivery/trace ordering, which the merge canonicalizes). With lossy
+//! links the per-shard RNG streams diverge from the monolithic stream, but
+//! the sharded outcome must still be byte-identical across worker-thread
+//! counts.
+
+use tsch_sim::reference::ReferenceSimulator;
+use tsch_sim::sharded::sort_trace;
+use tsch_sim::{
+    Cell, DeliveryRecord, Link, LinkQuality, NetworkSchedule, NodeId, Rate, ShardOptions,
+    ShardedSimulator, SplitMix64, StatsMode, Task, TaskId, TraceEvent, Tree,
+};
+
+/// A random tree guaranteed to have several depth-1 subtrees.
+fn random_shardable_tree(rng: &mut SplitMix64, max_nodes: usize) -> Tree {
+    let tops = 2 + rng.next_below(3) as usize;
+    let extra = rng.next_below((max_nodes - tops) as u64) as usize;
+    let mut pairs = Vec::with_capacity(tops + extra);
+    for i in 0..tops {
+        pairs.push(((i + 1) as u32, 0));
+    }
+    for i in 0..extra {
+        let v = (tops + i + 1) as u32;
+        pairs.push((v, 1 + rng.next_below((tops + i) as u64) as u32));
+    }
+    Tree::from_parents(&pairs)
+}
+
+/// Depth-1 ancestor of `v` (the shard it belongs to).
+fn top_of(tree: &Tree, mut v: NodeId) -> NodeId {
+    loop {
+        let parent = tree.parent(v).expect("non-root");
+        if parent == NodeId(0) {
+            return v;
+        }
+        v = parent;
+    }
+}
+
+/// A random scenario whose schedule keeps every cell inside one subtree:
+/// each depth-1 subtree draws its cells from a private slot range. Shared
+/// cells *within* a subtree still occur, exercising collisions.
+fn shardable_scenario(
+    rng: &mut SplitMix64,
+    tree: &Tree,
+    slots: u32,
+    channels: u16,
+) -> (NetworkSchedule, Vec<Task>) {
+    let config = tsch_sim::SlotframeConfig::new(slots, channels, 10_000).unwrap();
+    let tops: Vec<NodeId> = tree.children(NodeId(0)).to_vec();
+    let width = slots / tops.len() as u32;
+    assert!(width >= 2, "slot range too narrow to be interesting");
+    let mut schedule = NetworkSchedule::new(config);
+    for v in tree.nodes().skip(1) {
+        let k = tops.iter().position(|&t| t == top_of(tree, v)).unwrap() as u32;
+        for link in [Link::up(v), Link::down(v)] {
+            let cells = 1 + rng.next_below(3);
+            for _ in 0..cells {
+                let cell = Cell::new(
+                    k * width + rng.next_below(u64::from(width)) as u32,
+                    rng.next_below(u64::from(channels)) as u16,
+                );
+                let _ = schedule.assign(cell, link);
+            }
+        }
+    }
+    let tasks: Vec<Task> = tree
+        .nodes()
+        .skip(1)
+        .map(|v| {
+            let rate = Rate::per_slotframe(1 + rng.next_below(2) as u32);
+            if rng.chance(0.5) {
+                Task::echo(TaskId(v.0), v, rate)
+            } else {
+                Task::uplink(TaskId(v.0), v, rate)
+            }
+        })
+        .collect();
+    (schedule, tasks)
+}
+
+fn sorted_deliveries(records: &[DeliveryRecord]) -> Vec<DeliveryRecord> {
+    let mut out = records.to_vec();
+    out.sort_by_key(|d| (d.delivered.0, d.source.0, d.created.0));
+    out
+}
+
+#[test]
+fn sharded_matches_reference_with_perfect_links() {
+    for case in 0..16u64 {
+        let mut rng = SplitMix64::new(0x5AA2_DED0 ^ case);
+        let tree = random_shardable_tree(&mut rng, 24);
+        let config = tsch_sim::SlotframeConfig::new(40, 4, 10_000).unwrap();
+        let (schedule, tasks) = shardable_scenario(&mut rng, &tree, 40, 4);
+        let seed = rng.next_u64();
+        let frames = 12;
+
+        let mut sharded = ShardedSimulator::try_new(
+            &tree,
+            config,
+            &schedule,
+            &LinkQuality::perfect(),
+            seed,
+            &tasks,
+            ShardOptions {
+                trace_capacity: 1 << 20,
+                stats_mode: StatsMode::Full,
+            },
+        )
+        .unwrap();
+        sharded.run_slotframes(frames);
+        let s = sharded.stats();
+
+        let mut reference = ReferenceSimulator::new(
+            tree.clone(),
+            config,
+            schedule,
+            LinkQuality::perfect(),
+            seed,
+            &tasks,
+        );
+        reference.run_slotframes(frames);
+        let r = reference.stats();
+
+        let label = format!("case {case}");
+        assert_eq!(s.tx_attempts, r.tx_attempts, "{label}: tx_attempts");
+        assert_eq!(s.collisions, r.collisions, "{label}: collisions");
+        assert_eq!(s.losses, r.losses, "{label}: losses");
+        assert_eq!(s.queue_drops, r.queue_drops, "{label}: queue_drops");
+        assert_eq!(s.generated, r.generated, "{label}: generated");
+        assert_eq!(
+            s.slots_simulated, r.slots_simulated,
+            "{label}: slots simulated"
+        );
+        assert_eq!(
+            s.tx_attempts_per_link(),
+            r.tx_attempts_per_link(),
+            "{label}: per-link attempts"
+        );
+        assert_eq!(
+            s.deliveries,
+            sorted_deliveries(&r.deliveries),
+            "{label}: deliveries"
+        );
+
+        // Queue high-water: exact for every node but the gateway, whose
+        // merged value is a documented upper bound on the reference peak.
+        let mut s_hw = s.queue_high_water();
+        let mut r_hw = r.queue_high_water();
+        let s_root = s_hw.remove(&NodeId(0)).unwrap_or(0);
+        let r_root = r_hw.remove(&NodeId(0)).unwrap_or(0);
+        assert_eq!(s_hw, r_hw, "{label}: non-gateway queue high-water");
+        assert!(
+            s_root >= r_root,
+            "{label}: gateway high-water {s_root} must bound reference {r_root}"
+        );
+
+        // Trace: same event multiset, compared in the canonical order.
+        let mut r_trace: Vec<TraceEvent> = reference.trace().to_vec();
+        sort_trace(&mut r_trace);
+        assert_eq!(sharded.merged_trace(), r_trace, "{label}: trace events");
+    }
+}
+
+#[test]
+fn sharded_serial_and_parallel_runs_are_byte_identical() {
+    for case in 0..8u64 {
+        let mut rng = SplitMix64::new(0x0DD5_EED5 ^ case);
+        let tree = random_shardable_tree(&mut rng, 24);
+        let config = tsch_sim::SlotframeConfig::new(40, 4, 10_000).unwrap();
+        let (schedule, tasks) = shardable_scenario(&mut rng, &tree, 40, 4);
+        // Lossy links: per-shard RNG streams must not depend on the
+        // thread count, only on the shard index.
+        let mut quality = LinkQuality::perfect();
+        for v in tree.nodes().skip(1) {
+            for link in [Link::up(v), Link::down(v)] {
+                if rng.chance(0.5) {
+                    quality.set_pdr(link, 0.3 + 0.7 * rng.next_f64()).unwrap();
+                }
+            }
+        }
+        let seed = rng.next_u64();
+        let options = ShardOptions {
+            trace_capacity: 1 << 20,
+            stats_mode: StatsMode::Full,
+        };
+
+        let mut serial =
+            ShardedSimulator::try_new(&tree, config, &schedule, &quality, seed, &tasks, options)
+                .unwrap();
+        let mut parallel =
+            ShardedSimulator::try_new(&tree, config, &schedule, &quality, seed, &tasks, options)
+                .unwrap();
+        serial.run_slotframes_with_threads(10, 1);
+        parallel.run_slotframes_with_threads(10, 4);
+
+        let a = serial.stats();
+        let b = parallel.stats();
+        let label = format!("case {case}");
+        assert_eq!(a.deliveries, b.deliveries, "{label}: deliveries");
+        assert_eq!(a.tx_attempts, b.tx_attempts, "{label}: tx_attempts");
+        assert_eq!(a.collisions, b.collisions, "{label}: collisions");
+        assert_eq!(a.losses, b.losses, "{label}: losses");
+        assert_eq!(a.queue_drops, b.queue_drops, "{label}: queue_drops");
+        assert_eq!(a.generated, b.generated, "{label}: generated");
+        assert_eq!(
+            a.tx_attempts_per_link(),
+            b.tx_attempts_per_link(),
+            "{label}: per-link attempts"
+        );
+        assert_eq!(
+            a.queue_high_water(),
+            b.queue_high_water(),
+            "{label}: queue high-water"
+        );
+        assert_eq!(
+            a.slots_simulated, b.slots_simulated,
+            "{label}: slots simulated"
+        );
+        assert_eq!(
+            serial.merged_trace(),
+            parallel.merged_trace(),
+            "{label}: trace events"
+        );
+    }
+}
+
+#[test]
+fn streaming_sharded_stats_match_full_aggregates() {
+    let mut rng = SplitMix64::new(0x57AE_A11E);
+    let tree = random_shardable_tree(&mut rng, 20);
+    let config = tsch_sim::SlotframeConfig::new(40, 4, 10_000).unwrap();
+    let (schedule, tasks) = shardable_scenario(&mut rng, &tree, 40, 4);
+    let seed = rng.next_u64();
+
+    let mut full = ShardedSimulator::try_new(
+        &tree,
+        config,
+        &schedule,
+        &LinkQuality::perfect(),
+        seed,
+        &tasks,
+        ShardOptions {
+            trace_capacity: 0,
+            stats_mode: StatsMode::Full,
+        },
+    )
+    .unwrap();
+    let mut streaming = ShardedSimulator::try_new(
+        &tree,
+        config,
+        &schedule,
+        &LinkQuality::perfect(),
+        seed,
+        &tasks,
+        ShardOptions {
+            trace_capacity: 0,
+            stats_mode: StatsMode::Streaming,
+        },
+    )
+    .unwrap();
+    full.run_slotframes(10);
+    streaming.run_slotframes(10);
+
+    let f = full.stats();
+    let s = streaming.stats();
+    assert!(s.deliveries.is_empty(), "streaming mode keeps no records");
+    assert_eq!(s.delivered(), f.delivered(), "delivered counter");
+    assert_eq!(s.generated, f.generated);
+    assert_eq!(s.tx_attempts_per_link(), f.tx_attempts_per_link());
+    assert_eq!(s.latency_histogram(), f.latency_histogram());
+    for source in tasks.iter().map(|t| t.source) {
+        let fs = f.latency_summary(source);
+        let ss = s.latency_summary(source);
+        assert_eq!(fs.count, ss.count, "source {source:?} count");
+        assert_eq!(fs.min, ss.min, "source {source:?} min");
+        assert_eq!(fs.max, ss.max, "source {source:?} max");
+        assert!((fs.mean - ss.mean).abs() < 1e-9, "source {source:?} mean");
+    }
+}

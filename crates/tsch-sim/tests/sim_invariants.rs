@@ -17,7 +17,7 @@ fn random_tree(rng: &mut SplitMix64, max_nodes: usize) -> Tree {
     let edges = 1 + rng.next_below(max_nodes as u64 - 1) as usize;
     let mut pairs = Vec::with_capacity(edges);
     for i in 0..edges {
-        pairs.push(((i + 1) as u16, rng.next_below(i as u64 + 1) as u16));
+        pairs.push(((i + 1) as u32, rng.next_below(i as u64 + 1) as u32));
     }
     Tree::from_parents(&pairs)
 }
@@ -51,7 +51,7 @@ fn packet_conservation() {
         let mut builder = SimulatorBuilder::new(tree.clone(), config).schedule(schedule);
         for (i, v) in tree.nodes().skip(1).enumerate() {
             builder = builder
-                .task(Task::uplink(TaskId(i as u16), v, Rate::per_slotframe(1)))
+                .task(Task::uplink(TaskId(i as u32), v, Rate::per_slotframe(1)))
                 .unwrap();
         }
         let mut sim = builder.build();
@@ -78,7 +78,7 @@ fn one_cell_per_link_uplink_delivers_everything_eventually() {
             // dedicated cell per link, everything must eventually arrive.
             builder = builder
                 .task(Task::uplink(
-                    TaskId(i as u16),
+                    TaskId(i as u32),
                     v,
                     Rate::new(1, 10_000).unwrap(),
                 ))
@@ -109,7 +109,7 @@ fn latency_respects_hop_count() {
         let mut builder = SimulatorBuilder::new(tree.clone(), config).schedule(schedule);
         for (i, v) in tree.nodes().skip(1).enumerate() {
             builder = builder
-                .task(Task::uplink(TaskId(i as u16), v, Rate::new(1, 8).unwrap()))
+                .task(Task::uplink(TaskId(i as u32), v, Rate::new(1, 8).unwrap()))
                 .unwrap();
         }
         let mut sim = builder.build();
@@ -147,7 +147,7 @@ fn rate_release_counts_are_exact() {
 #[test]
 fn packet_route_traversal_never_skips() {
     for hops in 1usize..8 {
-        let route: Arc<[NodeId]> = (0..=hops as u16).map(NodeId).collect();
+        let route: Arc<[NodeId]> = (0..=hops as u32).map(NodeId).collect();
         let mut p = Packet::new(TaskId(0), 0, tsch_sim::Asn(0), route);
         let mut visited = vec![p.holder()];
         while !p.is_delivered() {

@@ -18,12 +18,14 @@
 
 mod dynamics;
 mod mesh;
+mod scale;
 mod scenarios;
 mod tasks;
 mod topo_gen;
 
 pub use dynamics::{fig10_rate_steps, uplink_demand_after_change, TrafficChange};
 pub use mesh::{ForestTree, Mesh};
+pub use scale::{scale_scenario, ScaleScenario, SCALE_SOURCES_PER_SUBTREE, SCALE_SUBTREES};
 pub use scenarios::{
     fig10_observed_node, fig11_topologies, fig12_topologies, testbed_50_node_tree,
 };

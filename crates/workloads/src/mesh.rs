@@ -17,7 +17,7 @@ use tsch_sim::{NodeId, SplitMix64, Tree};
 #[derive(Debug, Clone, PartialEq)]
 pub struct Mesh {
     /// Number of nodes; node 0 is the gateway.
-    nodes: u16,
+    nodes: u32,
     /// Undirected radio edges (smaller id first), sorted and deduplicated.
     edges: Vec<(NodeId, NodeId)>,
 }
@@ -26,7 +26,7 @@ impl Mesh {
     /// Number of nodes in the mesh.
     #[must_use]
     pub fn len(&self) -> usize {
-        usize::from(self.nodes)
+        self.nodes as usize
     }
 
     /// Returns `true` for a single-node mesh.
@@ -67,7 +67,7 @@ impl Mesh {
     ///
     /// Panics if `nodes == 0`.
     #[must_use]
-    pub fn random_geometric(nodes: u16, radius: f64, seed: u64) -> Mesh {
+    pub fn random_geometric(nodes: u32, radius: f64, seed: u64) -> Mesh {
         assert!(nodes > 0, "a mesh needs at least the gateway");
         let mut rng = SplitMix64::new(seed);
         let positions: Vec<(f64, f64)> = (0..nodes)
@@ -85,26 +85,26 @@ impl Mesh {
             dx * dx + dy * dy
         };
         let mut edges = Vec::new();
-        for a in 0..usize::from(nodes) {
-            for b in a + 1..usize::from(nodes) {
+        for a in 0..nodes as usize {
+            for b in a + 1..nodes as usize {
                 if dist2(a, b) <= radius * radius {
-                    edges.push((NodeId(a as u16), NodeId(b as u16)));
+                    edges.push((NodeId(a as u32), NodeId(b as u32)));
                 }
             }
         }
         // Connect components: repeatedly join the closest cross-component
         // pair (a long-range link through a repeater, in deployment terms).
-        let mut component = union_find(usize::from(nodes), &edges);
+        let mut component = union_find(nodes as usize, &edges);
         loop {
-            let roots: std::collections::BTreeSet<u16> = (0..usize::from(nodes))
-                .map(|i| find(&mut component, i) as u16)
+            let roots: std::collections::BTreeSet<u32> = (0..nodes as usize)
+                .map(|i| find(&mut component, i) as u32)
                 .collect();
             if roots.len() <= 1 {
                 break;
             }
             let mut best: Option<(usize, usize, f64)> = None;
-            for a in 0..usize::from(nodes) {
-                for b in a + 1..usize::from(nodes) {
+            for a in 0..nodes as usize {
+                for b in a + 1..nodes as usize {
                     if find(&mut component, a) != find(&mut component, b) {
                         let d = dist2(a, b);
                         if best.map(|(_, _, bd)| d < bd).unwrap_or(true) {
@@ -114,7 +114,7 @@ impl Mesh {
                 }
             }
             let (a, b, _) = best.expect("disconnected components exist");
-            edges.push((NodeId(a as u16), NodeId(b as u16)));
+            edges.push((NodeId(a as u32), NodeId(b as u32)));
             union(&mut component, a, b);
         }
         edges.sort_unstable();
@@ -157,10 +157,10 @@ impl Mesh {
             }
         }
         debug_assert!(depth.iter().all(Option::is_some), "mesh is connected");
-        let pairs: Vec<(u16, u16)> = (1..n)
+        let pairs: Vec<(u32, u32)> = (1..n)
             .map(|i| {
                 (
-                    i as u16,
+                    i as u32,
                     parent[i].expect("non-gateway node has a parent").0,
                 )
             })
@@ -251,16 +251,16 @@ impl Mesh {
             let mut mesh_ids = vec![g];
             let mut local_of = std::collections::BTreeMap::new();
             local_of.insert(g, NodeId(0));
-            let mut pairs: Vec<(u16, u16)> = Vec::new();
+            let mut pairs: Vec<(u32, u32)> = Vec::new();
             let mut stack: Vec<NodeId> = vec![g];
             while let Some(u) = stack.pop() {
-                let mut kids: Vec<NodeId> = (0..self.len() as u16)
+                let mut kids: Vec<NodeId> = (0..self.len() as u32)
                     .map(NodeId)
                     .filter(|&v| owner[v.index()] == Some(g_idx) && parent[v.index()] == Some(u))
                     .collect();
                 kids.sort_unstable();
                 for v in kids {
-                    let local = NodeId(mesh_ids.len() as u16);
+                    let local = NodeId(mesh_ids.len() as u32);
                     mesh_ids.push(v);
                     local_of.insert(v, local);
                     pairs.push((local.0, local_of[&u].0));

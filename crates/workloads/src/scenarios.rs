@@ -25,26 +25,26 @@ use tsch_sim::{NodeId, Tree};
 pub fn testbed_50_node_tree() -> Tree {
     // (child, parent) pairs. Gateway 0; layer 1: 1-4; layer 2: 5-16;
     // layer 3: 17-32; layer 4: 33-44; layer 5: 45-49.
-    let mut pairs: Vec<(u16, u16)> = Vec::new();
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
     // Layer 1: four relays under the gateway.
     for c in 1..=4 {
         pairs.push((c, 0));
     }
     // Layer 2: three children per relay.
     for (i, c) in (5..=16).enumerate() {
-        pairs.push((c, 1 + (i / 3) as u16));
+        pairs.push((c, 1 + (i / 3) as u32));
     }
     // Layer 3: sixteen nodes spread over layer 2 (nodes 5..=12 get two each).
     for (i, c) in (17..=32).enumerate() {
-        pairs.push((c, 5 + (i / 2) as u16));
+        pairs.push((c, 5 + (i / 2) as u32));
     }
     // Layer 4: twelve nodes under the first twelve layer-3 nodes.
     for (i, c) in (33..=44).enumerate() {
-        pairs.push((c, 17 + i as u16));
+        pairs.push((c, 17 + i as u32));
     }
     // Layer 5: five leaves under the first five layer-4 nodes.
     for (i, c) in (45..=49).enumerate() {
-        pairs.push((c, 33 + i as u16));
+        pairs.push((c, 33 + i as u32));
     }
     Tree::from_parents(&pairs)
 }

@@ -25,7 +25,7 @@ pub fn echo_task_per_node(tree: &Tree, rate: Rate) -> Vec<Task> {
         .nodes()
         .skip(1)
         .enumerate()
-        .map(|(i, n)| Task::echo(TaskId(i as u16), n, rate))
+        .map(|(i, n)| Task::echo(TaskId(i as u32), n, rate))
         .collect();
     crate::obs::TASKS_GENERATED.add(tasks.len() as u64);
     tasks
@@ -39,7 +39,7 @@ pub fn uplink_task_per_node(tree: &Tree, rate: Rate) -> Vec<Task> {
         .nodes()
         .skip(1)
         .enumerate()
-        .map(|(i, n)| Task::uplink(TaskId(i as u16), n, rate))
+        .map(|(i, n)| Task::uplink(TaskId(i as u32), n, rate))
         .collect();
     crate::obs::TASKS_GENERATED.add(tasks.len() as u64);
     tasks
@@ -52,7 +52,7 @@ pub fn task_id_of(tree: &Tree, node: NodeId) -> Option<TaskId> {
     tree.nodes()
         .skip(1)
         .position(|n| n == node)
-        .map(|i| TaskId(i as u16))
+        .map(|i| TaskId(i as u32))
 }
 
 /// Uniform per-link cell demand: every link (both directions) requires
@@ -106,7 +106,7 @@ mod tests {
             assert_ne!(t.source, tree.root());
         }
         // Unique ids.
-        let mut ids: Vec<u16> = tasks.iter().map(|t| t.id.0).collect();
+        let mut ids: Vec<u32> = tasks.iter().map(|t| t.id.0).collect();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), tasks.len());

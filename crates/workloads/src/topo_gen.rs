@@ -9,6 +9,87 @@
 
 use tsch_sim::{SplitMix64, Tree, TreeBuilder};
 
+/// An order-statistics set over node indices: membership toggles and
+/// "k-th smallest member" queries in `O(log n)` via a Fenwick tree.
+///
+/// [`TopologyConfig::generate`] draws a uniform eligible parent per
+/// attached node; rebuilding the eligible list per draw is `O(n)` and made
+/// generation quadratic, which matters for the 100k+-node scale
+/// topologies. Selecting the k-th member of this set is draw-for-draw
+/// identical to indexing that list, so trees are unchanged.
+struct EligibleSet {
+    /// 1-based Fenwick array over the *full* capacity (so membership can
+    /// be added incrementally without re-aggregating prefix ranges).
+    fenwick: Vec<i64>,
+    member: Vec<bool>,
+    count: u64,
+}
+
+impl EligibleSet {
+    fn with_capacity(capacity: usize) -> Self {
+        Self {
+            fenwick: vec![0; capacity + 1],
+            member: Vec::with_capacity(capacity),
+            count: 0,
+        }
+    }
+
+    fn add(&mut self, index: usize, delta: i64) {
+        let mut pos = index + 1;
+        while pos < self.fenwick.len() {
+            self.fenwick[pos] += delta;
+            pos += pos & pos.wrapping_neg();
+        }
+    }
+
+    /// Appends the next index with the given membership.
+    fn push(&mut self, eligible: bool) {
+        let index = self.member.len();
+        assert!(index + 1 < self.fenwick.len(), "capacity exceeded");
+        self.member.push(eligible);
+        if eligible {
+            self.count += 1;
+            self.add(index, 1);
+        }
+    }
+
+    /// Sets an existing index's membership.
+    fn set(&mut self, index: usize, eligible: bool) {
+        if self.member[index] != eligible {
+            self.member[index] = eligible;
+            if eligible {
+                self.count += 1;
+                self.add(index, 1);
+            } else {
+                self.count -= 1;
+                self.add(index, -1);
+            }
+        }
+    }
+
+    fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Index of the `k`-th member (0-based, in increasing index order).
+    fn kth(&self, k: u64) -> usize {
+        debug_assert!(k < self.count);
+        let target = i64::try_from(k + 1).expect("member count fits i64");
+        let mut pos = 0usize;
+        let mut remaining = target;
+        let mut step = (self.fenwick.len() - 1).next_power_of_two();
+        while step > 0 {
+            let next = pos + step;
+            if next < self.fenwick.len() && self.fenwick[next] < remaining {
+                remaining -= self.fenwick[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        pos // largest 1-based prefix below the target, i.e. the 0-based answer
+    }
+}
+
 /// Parameters for random tree generation.
 ///
 /// # Examples
@@ -24,7 +105,7 @@ use tsch_sim::{SplitMix64, Tree, TreeBuilder};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TopologyConfig {
     /// Total number of nodes including the gateway.
-    pub nodes: u16,
+    pub nodes: u32,
     /// Exact depth of the tree (the maximum link layer).
     pub layers: u32,
     /// Upper bound on children per node (keeps trees realistic; use a large
@@ -66,7 +147,7 @@ impl TopologyConfig {
     pub fn generate(&self, seed: u64) -> Tree {
         crate::obs::TOPOLOGIES_GENERATED.add(1);
         assert!(
-            u32::from(self.nodes) > self.layers,
+            self.nodes > self.layers,
             "need more than {} nodes for {} layers",
             self.layers,
             self.layers
@@ -79,6 +160,14 @@ impl TopologyConfig {
         let mut builder = TreeBuilder::new();
         let mut depth = vec![0u32];
         let mut child_count = vec![0usize];
+        // A node is an eligible parent while its depth leaves room within
+        // the layer bound and it has child capacity left. The set tracks
+        // exactly the list the former O(n) rebuild produced, so each
+        // `kth(next_below(count))` draw picks the same parent.
+        let mut eligible = EligibleSet::with_capacity(self.nodes as usize);
+        let is_eligible =
+            |depth: u32, children: usize| depth < self.layers && children < self.max_children;
+        eligible.push(is_eligible(0, 0));
 
         // Backbone: a chain realising the exact depth.
         let mut tip = builder.root();
@@ -87,26 +176,33 @@ impl TopologyConfig {
             depth.push(depth[tip.index()] + 1);
             child_count.push(0);
             child_count[tip.index()] += 1;
+            eligible.set(
+                tip.index(),
+                is_eligible(depth[tip.index()], child_count[tip.index()]),
+            );
+            eligible.push(is_eligible(depth[node.index()], 0));
             tip = node;
         }
 
         // Attach the rest to random eligible parents.
-        while builder.len() < usize::from(self.nodes) {
-            let eligible: Vec<usize> = (0..builder.len())
-                .filter(|&i| depth[i] < self.layers && child_count[i] < self.max_children)
-                .collect();
+        while builder.len() < self.nodes as usize {
             assert!(
-                !eligible.is_empty(),
+                eligible.count() > 0,
                 "max_children {} too small for {} nodes",
                 self.max_children,
                 self.nodes
             );
-            let parent_idx = eligible[rng.next_below(eligible.len() as u64) as usize];
-            let parent = tsch_sim::NodeId(parent_idx as u16);
+            let parent_idx = eligible.kth(rng.next_below(eligible.count()));
+            let parent = tsch_sim::NodeId(parent_idx as u32);
             builder.add_child(parent).expect("parent exists");
             depth.push(depth[parent_idx] + 1);
             child_count.push(0);
             child_count[parent_idx] += 1;
+            eligible.set(
+                parent_idx,
+                is_eligible(depth[parent_idx], child_count[parent_idx]),
+            );
+            eligible.push(is_eligible(*depth.last().unwrap(), 0));
         }
         builder.build()
     }
@@ -124,6 +220,80 @@ impl TopologyConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The pre-Fenwick generator: rebuilds the eligible list per draw.
+    /// Kept verbatim as the semantic reference for draw-for-draw identity.
+    fn naive_generate(cfg: &TopologyConfig, seed: u64) -> Tree {
+        let mut rng = SplitMix64::new(seed);
+        let mut builder = TreeBuilder::new();
+        let mut depth = vec![0u32];
+        let mut child_count = vec![0usize];
+        let mut tip = builder.root();
+        for _ in 0..cfg.layers {
+            let node = builder.add_child(tip).expect("tip exists");
+            depth.push(depth[tip.index()] + 1);
+            child_count.push(0);
+            child_count[tip.index()] += 1;
+            tip = node;
+        }
+        while builder.len() < cfg.nodes as usize {
+            let eligible: Vec<usize> = (0..builder.len())
+                .filter(|&i| depth[i] < cfg.layers && child_count[i] < cfg.max_children)
+                .collect();
+            let parent_idx = eligible[rng.next_below(eligible.len() as u64) as usize];
+            let parent = tsch_sim::NodeId(parent_idx as u32);
+            builder.add_child(parent).expect("parent exists");
+            depth.push(depth[parent_idx] + 1);
+            child_count.push(0);
+            child_count[parent_idx] += 1;
+        }
+        builder.build()
+    }
+
+    #[test]
+    fn fenwick_generator_is_draw_identical_to_naive() {
+        let configs = [
+            TopologyConfig::paper_50_node(),
+            TopologyConfig::paper_81_node(),
+            TopologyConfig {
+                nodes: 200,
+                layers: 7,
+                max_children: 3,
+            },
+            TopologyConfig {
+                nodes: 4,
+                layers: 3,
+                max_children: 2,
+            },
+        ];
+        for cfg in configs {
+            for seed in 0..10 {
+                assert_eq!(
+                    cfg.generate(seed),
+                    naive_generate(&cfg, seed),
+                    "{cfg:?} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eligible_set_selects_kth_member() {
+        let mut set = EligibleSet::with_capacity(10);
+        for i in 0..10 {
+            set.push(i % 2 == 0); // members: 0, 2, 4, 6, 8
+        }
+        assert_eq!(set.count(), 5);
+        for (k, expect) in [(0, 0), (1, 2), (2, 4), (3, 6), (4, 8)] {
+            assert_eq!(set.kth(k), expect);
+        }
+        set.set(4, false);
+        set.set(5, true);
+        assert_eq!(set.count(), 5);
+        assert_eq!(set.kth(2), 5);
+        set.set(5, true); // idempotent
+        assert_eq!(set.count(), 5);
+    }
 
     #[test]
     fn exact_node_and_layer_counts() {

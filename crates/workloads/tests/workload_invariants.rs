@@ -8,10 +8,10 @@ use workloads::{Mesh, TopologyConfig};
 fn random_trees_match_their_configuration() {
     for case in 0..32u64 {
         let mut rng = SplitMix64::new(0x7E_EE ^ case);
-        let nodes = 10 + rng.next_below(50) as u16;
+        let nodes = 10 + rng.next_below(50) as u32;
         let layers = 2 + rng.next_below(4) as u32;
         let seed = rng.next_below(1000);
-        if u32::from(nodes) <= layers {
+        if nodes <= layers {
             continue;
         }
         let cfg = TopologyConfig {
@@ -20,7 +20,7 @@ fn random_trees_match_their_configuration() {
             max_children: 10,
         };
         let tree = cfg.generate(seed);
-        assert_eq!(tree.len(), usize::from(nodes), "case {case}");
+        assert_eq!(tree.len(), nodes as usize, "case {case}");
         assert_eq!(tree.layers(), layers, "case {case}");
         for v in tree.nodes() {
             assert!(tree.children(v).len() <= 10, "case {case}");
@@ -33,13 +33,13 @@ fn random_trees_match_their_configuration() {
 fn mesh_decomposition_invariants() {
     for case in 0..32u64 {
         let mut rng = SplitMix64::new(0x3E_5A ^ case);
-        let nodes = 5 + rng.next_below(35) as u16;
+        let nodes = 5 + rng.next_below(35) as u32;
         let radius = 0.15 + rng.next_f64() * 0.35;
         let seed = rng.next_below(500);
         let mesh = Mesh::random_geometric(nodes, radius, seed);
         let (tree, extra) = mesh.routing_tree();
         // Every node routed.
-        assert_eq!(tree.len(), usize::from(nodes), "case {case}");
+        assert_eq!(tree.len(), nodes as usize, "case {case}");
         // Edge partition: tree edges + interference edges = radio edges.
         assert_eq!(
             extra.len() + tree.len() - 1,
@@ -68,11 +68,11 @@ fn mesh_decomposition_invariants() {
 fn aggregated_demand_equals_rate_times_subtree() {
     for case in 0..32u64 {
         let mut rng = SplitMix64::new(0xA6_6E ^ case);
-        let nodes = 5 + rng.next_below(25) as u16;
+        let nodes = 5 + rng.next_below(25) as u32;
         let layers = 2 + rng.next_below(3) as u32;
         let rate = 1 + rng.next_below(3) as u32;
         let seed = rng.next_below(200);
-        if u32::from(nodes) <= layers {
+        if nodes <= layers {
             continue;
         }
         let tree = TopologyConfig {
@@ -94,7 +94,7 @@ fn aggregated_demand_equals_rate_times_subtree() {
 fn uniform_demand_models_cover_expected_links() {
     for case in 0..32u64 {
         let mut rng = SplitMix64::new(0x0D_E1 ^ case);
-        let nodes = 5 + rng.next_below(25) as u16;
+        let nodes = 5 + rng.next_below(25) as u32;
         let cells = 1 + rng.next_below(4) as u32;
         let tree = TopologyConfig {
             nodes,

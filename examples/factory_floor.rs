@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let medium: Vec<NodeId> = tree.nodes_at_depth(3); // flow loops
     let slow: Vec<NodeId> = tree.nodes_at_depth(5); // temperature telemetry
     let mut tasks: Vec<Task> = Vec::new();
-    let mut next_id = 0u16;
+    let mut next_id = 0u32;
     let mut add_tasks = |sources: &[NodeId], rate: Rate, tasks: &mut Vec<Task>| {
         for &s in sources {
             tasks.push(Task::echo(TaskId(next_id), s, rate));

@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .nodes()
         .skip(1)
         .enumerate()
-        .map(|(i, n)| Task::echo(TaskId(i as u16), n, rate))
+        .map(|(i, n)| Task::echo(TaskId(i as u32), n, rate))
         .collect();
     let reqs = Requirements::from_tasks(&tree, &tasks);
 

@@ -37,7 +37,7 @@ pub enum CliCommand {
         /// Network parameters.
         net: NetArgs,
         /// The node whose uplink demand changes.
-        node: u16,
+        node: u32,
         /// The new cell count.
         cells: u32,
     },
@@ -65,7 +65,7 @@ pub enum CliCommand {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NetArgs {
     /// Node count.
-    pub nodes: u16,
+    pub nodes: u32,
     /// Layer count.
     pub layers: u32,
     /// Topology seed.
@@ -162,8 +162,8 @@ impl CliCommand {
             }),
             "adjust" => Ok(CliCommand::Adjust {
                 net: parse_net(&map)?,
-                node: get(&map, "node", u16::MAX).and_then(|n: u16| {
-                    if n == u16::MAX {
+                node: get(&map, "node", u32::MAX).and_then(|n: u32| {
+                    if n == u32::MAX {
                         Err("--node is required".into())
                     } else {
                         Ok(n)
@@ -196,7 +196,7 @@ impl CliCommand {
 }
 
 fn build_network(net: NetArgs) -> Result<(tsch_sim::Tree, Requirements, SlotframeConfig), String> {
-    if u32::from(net.nodes) <= net.layers {
+    if net.nodes <= net.layers {
         return Err(format!(
             "need more than {} nodes for {} layers",
             net.layers, net.layers
@@ -294,7 +294,7 @@ pub fn run(command: CliCommand) -> Result<String, String> {
         }
         CliCommand::Adjust { net, node, cells } => {
             let (tree, reqs, config) = build_network(net)?;
-            if usize::from(node) >= tree.len() || node == 0 {
+            if node as usize >= tree.len() || node == 0 {
                 return Err(format!(
                     "--node must name a non-gateway node < {}",
                     tree.len()

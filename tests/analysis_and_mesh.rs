@@ -132,7 +132,7 @@ fn mesh_deployment_runs_end_to_end() {
         .schedule(net.schedule().clone())
         .interference(Box::new(TwoHopInterference::with_extra_edges(extra)));
     for (i, v) in tree.nodes().skip(1).enumerate() {
-        builder = builder.task(Task::echo(TaskId(i as u16), v, rate)).unwrap();
+        builder = builder.task(Task::echo(TaskId(i as u32), v, rate)).unwrap();
     }
     let mut sim = builder.build();
     sim.run_slotframes(10);

@@ -70,7 +70,7 @@ fn msf_adapts_cheaply_but_collides() {
             Rate::new(1, 2).unwrap()
         };
         builder = builder
-            .task(Task::uplink(TaskId(id as u16), v, rate))
+            .task(Task::uplink(TaskId(id as u32), v, rate))
             .unwrap();
     }
     let mut sim = builder.build();

@@ -173,7 +173,7 @@ fn gateway_level_changes_are_absorbed() {
     let reqs = workloads::uniform_link_requirements(&tree, 1);
     let mut net = HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic);
     net.run_static().unwrap();
-    for (node, cells) in [(1u16, 5u32), (2, 7), (3, 4), (4, 9)] {
+    for (node, cells) in [(1u32, 5u32), (2, 7), (3, 4), (4, 9)] {
         let link = Link::up(harp::sim::NodeId(node));
         net.adjust_and_settle(net.now(), link, cells).unwrap();
         assert!(net.schedule().is_exclusive());

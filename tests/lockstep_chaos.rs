@@ -23,7 +23,7 @@ fn continuous_operation_under_random_changes_never_collides() {
     for (i, v) in tree.nodes().skip(1).enumerate().take(10) {
         builder = builder
             .task(harp::sim::Task::uplink(
-                harp::sim::TaskId(i as u16),
+                harp::sim::TaskId(i as u32),
                 v,
                 Rate::new(1, 4).unwrap(),
             ))
@@ -36,7 +36,7 @@ fn continuous_operation_under_random_changes_never_collides() {
     for frame in 0..frames {
         // Roughly every four frames, inject a random change mid-frame.
         if frame % 4 == 1 {
-            let node = NodeId(1 + rng.next_below(49) as u16);
+            let node = NodeId(1 + rng.next_below(49) as u32);
             let direction = if rng.chance(0.5) {
                 Direction::Up
             } else {
