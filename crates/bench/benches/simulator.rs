@@ -250,6 +250,7 @@ fn main() {
     let mut metrics = vec![
         ("dense_speedup_vs_reference", outcome.speedup),
         ("dense_slots_per_sec", outcome.slots_per_sec),
+        ("bench_threads", tsch_sim::bench_threads() as f64),
     ];
     metrics.extend(quality);
 

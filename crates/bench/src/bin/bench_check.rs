@@ -13,7 +13,7 @@
 //! cargo run -p harp-bench --bin bench_check -- /tmp/baseline_sim.json BENCH_simulator.json
 //! ```
 
-use harp_bench::gate::compare_report_strs;
+use harp_bench::gate::{compare_report_strs, scale_check_str};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -33,7 +33,16 @@ fn main() -> ExitCode {
             |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
         let result = read(baseline_path)
             .and_then(|b| read(fresh_path).map(|f| (b, f)))
-            .and_then(|(b, f)| compare_report_strs(&b, &f));
+            .and_then(|(b, f)| {
+                let mut v = compare_report_strs(&b, &f)?;
+                // The scale report additionally carries absolute
+                // invariants (zero idle wakeups, speedup floor, flat
+                // per-active-cell cost) checked on the fresh report alone.
+                if fresh_path.contains("scale") {
+                    v.extend(scale_check_str(&f)?);
+                }
+                Ok(v)
+            });
         match result {
             Ok(violations) if violations.is_empty() => {
                 println!("# bench_check: OK  {baseline_path} vs {fresh_path}");

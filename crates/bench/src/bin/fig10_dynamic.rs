@@ -137,6 +137,7 @@ fn main() {
         ("delivered", stats.deliveries.len() as f64),
         ("collisions", stats.collisions as f64),
         ("losses", stats.losses as f64),
+        ("bench_threads", tsch_sim::bench_threads() as f64),
     ];
     let mut snap = net.metrics_snapshot();
     snap.add_counters(packing::obs::totals());

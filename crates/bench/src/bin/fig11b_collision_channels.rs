@@ -85,7 +85,7 @@ fn main() {
     let total = spans.len() as u64;
     let json = to_json_with_sections(
         &[],
-        &[],
+        &[("bench_threads", tsch_sim::bench_threads() as f64)],
         &[
             ("rows", rows_json(&rows)),
             ("obs", snap.to_json()),

@@ -254,6 +254,7 @@ fn main() {
         rows.extend(block.rows.iter().cloned());
         metrics.extend(block.metrics.iter().copied());
     }
+    metrics.push(("bench_threads", tsch_sim::bench_threads() as f64));
     let mut snap = harp_obs::MetricsSnapshot::default();
     snap.add_counters(packing::obs::totals());
     snap.add_counters(workloads::obs::totals());

@@ -138,6 +138,10 @@ fn main() {
 
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"topologies\": {topologies},\n"));
+    json.push_str(&format!(
+        "  \"metrics\": {{\"bench_threads\": {}}},\n",
+        tsch_sim::bench_threads()
+    ));
     json.push_str("  \"rows\": [\n");
     for (p, &pdr) in PDRS.iter().enumerate() {
         let rows: Vec<&Sample> = samples

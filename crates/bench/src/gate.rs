@@ -57,7 +57,14 @@ pub enum Kind {
 /// Classifies a metric key by name.
 #[must_use]
 pub fn classify(key: &str) -> Kind {
-    if key == "iters" || key == "total_ns" || key == "obs" || key == "trace_sample" {
+    if key == "iters"
+        || key == "total_ns"
+        || key == "obs"
+        || key == "trace_sample"
+        || key == "bench_threads"
+    {
+        // `bench_threads` records the machine's resolved worker count —
+        // provenance, not performance, and different on every runner.
         Kind::Ignored
     } else if key.ends_with("_ns") {
         Kind::TimeNs
@@ -248,6 +255,85 @@ pub fn compare_reports(baseline: &Json, fresh: &Json) -> Vec<Violation> {
     out
 }
 
+/// The scale report's per-active-cell rate must stay within this ratio
+/// of the geometric mean across rows (the flat-cost acceptance bound).
+pub const SCALE_FLATNESS_TOLERANCE: f64 = 0.25;
+
+/// Invariants specific to `BENCH_scale.json`, checked on the *fresh*
+/// report alone (they hold by construction, not relative to a baseline):
+///
+/// * `idle_wakeups` is zero on every row — the event calendar never woke
+///   a slot without traffic;
+/// * `sharded_speedup` is at least `1.0` on every row — the serial
+///   fallback guarantees sharding never loses to the dense engine;
+/// * `active_cell_slots_per_sec` stays within
+///   [`SCALE_FLATNESS_TOLERANCE`] of the geometric mean across rows —
+///   per-active-cell cost is flat in the node count.
+#[must_use]
+pub fn scale_checks(fresh: &Json) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let Some(rows) = fresh.get("rows").and_then(Json::as_arr) else {
+        missing("rows".to_owned(), None, &mut out);
+        return out;
+    };
+    let mut rates: Vec<(String, f64)> = Vec::new();
+    for row in rows {
+        let label = entry_label(row, "name").unwrap_or_else(|| "?".to_owned());
+        let field = |k: &str| row.get(k).and_then(Json::as_f64);
+        if let Some(wakeups) = field("idle_wakeups") {
+            if wakeups != 0.0 {
+                out.push(Violation {
+                    key: format!("rows[{label}].idle_wakeups"),
+                    baseline: Some(0.0),
+                    fresh: Some(wakeups),
+                    limit: "event calendar must never wake an idle slot".to_owned(),
+                });
+            }
+        }
+        if let Some(speedup) = field("sharded_speedup") {
+            if speedup < 1.0 {
+                out.push(Violation {
+                    key: format!("rows[{label}].sharded_speedup"),
+                    baseline: Some(1.0),
+                    fresh: Some(speedup),
+                    limit: "sharded run must never lose to the dense engine".to_owned(),
+                });
+            }
+        }
+        if let Some(rate) = field("active_cell_slots_per_sec") {
+            rates.push((label, rate));
+        }
+    }
+    if rates.len() > 1 && rates.iter().all(|&(_, r)| r > 0.0) {
+        let mean = (rates.iter().map(|(_, r)| r.ln()).sum::<f64>() / rates.len() as f64).exp();
+        for (label, rate) in rates {
+            let ratio = rate / mean;
+            if !(1.0 - SCALE_FLATNESS_TOLERANCE..=1.0 + SCALE_FLATNESS_TOLERANCE).contains(&ratio) {
+                out.push(Violation {
+                    key: format!("rows[{label}].active_cell_slots_per_sec"),
+                    baseline: Some(mean),
+                    fresh: Some(rate),
+                    limit: format!(
+                        "per-active-cell rate must stay within \
+                         ±{SCALE_FLATNESS_TOLERANCE} of the geometric mean"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// [`scale_checks`] on a report string.
+///
+/// # Errors
+///
+/// Returns the parse error message if the document is not valid JSON.
+pub fn scale_check_str(fresh: &str) -> Result<Vec<Violation>, String> {
+    let f = parse(fresh).map_err(|e| format!("fresh: {e}"))?;
+    Ok(scale_checks(&f))
+}
+
 /// Parses two report strings and compares them.
 ///
 /// # Errors
@@ -405,6 +491,40 @@ mod tests {
             let v = compare_report_strs(&text, &text).unwrap();
             assert!(v.is_empty(), "{file}: {v:?}");
         }
+    }
+
+    #[test]
+    fn bench_threads_metric_is_ignored() {
+        let base = r#"{"metrics": {"bench_threads": 2.0, "x_per_sec": 100.0}}"#;
+        let fresh = r#"{"metrics": {"bench_threads": 64.0, "x_per_sec": 100.0}}"#;
+        assert!(compare_report_strs(base, fresh).unwrap().is_empty());
+    }
+
+    #[test]
+    fn scale_checks_accept_flat_zero_wakeup_rows() {
+        let fresh = r#"{"rows": [
+            {"name": "scale_1k", "idle_wakeups": 0.0, "sharded_speedup": 1.0,
+             "active_cell_slots_per_sec": 95000.0},
+            {"name": "scale_1m", "idle_wakeups": 0.0, "sharded_speedup": 2.1,
+             "active_cell_slots_per_sec": 105000.0}
+        ]}"#;
+        assert!(scale_check_str(fresh).unwrap().is_empty());
+    }
+
+    #[test]
+    fn scale_checks_trip_on_wakeups_slowdown_and_drift() {
+        let fresh = r#"{"rows": [
+            {"name": "scale_1k", "idle_wakeups": 3.0, "sharded_speedup": 0.9,
+             "active_cell_slots_per_sec": 100000.0},
+            {"name": "scale_1m", "idle_wakeups": 0.0, "sharded_speedup": 1.5,
+             "active_cell_slots_per_sec": 20000.0}
+        ]}"#;
+        let v = scale_check_str(fresh).unwrap();
+        assert!(v.iter().any(|x| x.key == "rows[scale_1k].idle_wakeups"));
+        assert!(v.iter().any(|x| x.key == "rows[scale_1k].sharded_speedup"));
+        assert!(v
+            .iter()
+            .any(|x| x.key == "rows[scale_1m].active_cell_slots_per_sec"));
     }
 
     #[test]

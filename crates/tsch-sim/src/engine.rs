@@ -39,6 +39,36 @@
 //! [`Simulator::schedule_mut`] keeps working. Scratch buffers for the
 //! per-cell active/collided sets are reused across slots, so steady-state
 //! execution performs no allocation.
+//!
+//! # Event-driven wake index
+//!
+//! The dense fast path alone still walks every slot's cell list and, at
+//! slotframe boundaries, every per-link queue — at 100k+ nodes the
+//! slotframe is overwhelmingly idle per (link, slot) and those walks
+//! dominate. The engine therefore keeps an *event calendar* derived from
+//! the same slot table:
+//!
+//! * `link_slot_offsets`/`link_slots` — a CSR bucket array mapping each
+//!   link to the slot offsets where it holds a scheduled cell (one entry
+//!   per assignment, rebuilt with the slot table);
+//! * `slot_busy` — per slot, the number of scheduled assignments whose
+//!   link currently has queued traffic. A queue's empty ↔ non-empty
+//!   transitions adjust the counters through the link's CSR row, so a slot
+//!   executes only when `slot_busy` is non-zero — otherwise every
+//!   scheduled link would be skipped by the in-cell queue check anyway,
+//!   consuming no RNG and recording nothing, and the slot can be skipped
+//!   wholesale without observable difference;
+//! * `occupied_links`/`occupied_pos` — a swap-remove index of links with
+//!   non-empty queues, so boundary queue-depth sampling visits O(occupied)
+//!   queues instead of all `2n` (the high-water merge is order-blind).
+//!
+//! The invariant that a skipped slot truly had no work is self-checked: a
+//! slot whose `slot_busy` count promised work but whose cells all turned
+//! out idle increments the `sim.idle_wakeups` counter (and trips a debug
+//! assertion); the equivalence suite pins that counter to zero. Builders
+//! can opt back into the unconditional walk with
+//! [`SimulatorBuilder::dense_walk`], which is kept as the in-tree
+//! differential baseline.
 
 use crate::interference::InterferenceModel;
 use crate::packet::{Packet, Rate, Task, TaskId};
@@ -65,6 +95,9 @@ struct SimObsIds {
     queue_drops: CounterId,
     deliveries: CounterId,
     generated: CounterId,
+    /// Slots the wake index executed without finding an active link —
+    /// must stay 0 (see the module docs).
+    idle_wakeups: CounterId,
     latency: HistogramId,
     queue_high_water: GaugeId,
 }
@@ -79,6 +112,7 @@ impl SimObsIds {
             queue_drops: obs.metrics.counter("sim.queue_drops"),
             deliveries: obs.metrics.counter("sim.deliveries"),
             generated: obs.metrics.counter("sim.generated"),
+            idle_wakeups: obs.metrics.counter("sim.idle_wakeups"),
             latency: obs
                 .metrics
                 .histogram("sim.latency_slots", harp_obs::LATENCY_SLOT_BOUNDS),
@@ -122,14 +156,24 @@ impl std::error::Error for SimError {}
 struct TaskState {
     task: Task,
     route: Arc<[NodeId]>,
+    /// Lane of each route hop's link, precomputed at build so the enqueue
+    /// hot path never walks the tree or the id→lane table.
+    route_lanes: Arc<[u32]>,
     next_seq: u64,
 }
 
 #[derive(Debug, Clone)]
 struct QueuedPacket {
     packet: Packet,
+    /// The packet's task-wide lane route (`route_lanes[hop]` is the lane
+    /// the packet queues on next), shared via `Arc` like the route itself.
+    route_lanes: Arc<[u32]>,
     retries: u32,
 }
+
+/// One slotframe-boundary release: route, lane route, task, first
+/// sequence number, and packet count.
+type TaskRelease = (Arc<[NodeId]>, Arc<[u32]>, TaskId, u64, u32);
 
 /// Configures and builds a [`Simulator`].
 ///
@@ -163,6 +207,7 @@ pub struct SimulatorBuilder {
     trace_capacity: usize,
     obs_span_capacity: Option<usize>,
     stats_mode: StatsMode,
+    dense_walk: bool,
 }
 
 impl fmt::Debug for SimulatorBuilder {
@@ -194,7 +239,19 @@ impl SimulatorBuilder {
             trace_capacity: 0,
             obs_span_capacity: None,
             stats_mode: StatsMode::Full,
+            dense_walk: false,
         }
+    }
+
+    /// Disables the event-driven slot skip, walking every slot's cell list
+    /// unconditionally like the pre-calendar engine. Off by default — the
+    /// two modes are observationally identical (pinned by the
+    /// `event_engine_reconcile` suite); this toggle exists as the in-tree
+    /// differential baseline for that suite.
+    #[must_use]
+    pub fn dense_walk(mut self, dense: bool) -> Self {
+        self.dense_walk = dense;
+        self
     }
 
     /// Selects how stats are retained; [`StatsMode::Streaming`] keeps
@@ -283,6 +340,7 @@ impl SimulatorBuilder {
         self.tasks.push(TaskState {
             task,
             route,
+            route_lanes: Arc::from([]),
             next_seq: 0,
         });
         Ok(self)
@@ -378,16 +436,27 @@ impl SimulatorBuilder {
             config: self.config,
             schedule,
             tasks: self.tasks,
-            queues: (0..link_count).map(|_| VecDeque::new()).collect(),
+            queues: Vec::new(),
+            lane_of: vec![u32::MAX; link_count],
+            lane_links: Vec::new(),
+            lane_link_id: Vec::new(),
+            lane_pdr: Vec::new(),
             links,
             pdr,
             conflict_offsets,
             conflict_neighbors,
             slot_table: vec![Vec::new(); self.config.slots as usize],
             table_version: u64::MAX,
+            link_slot_offsets: vec![0; link_count + 1],
+            link_slots: Vec::new(),
+            slot_busy: vec![0; self.config.slots as usize],
+            occupied_links: Vec::new(),
+            occupied_pos: Vec::new(),
+            dense_walk: self.dense_walk,
             active_scratch: Vec::new(),
             collided_scratch: Vec::new(),
             depth_scratch: Vec::new(),
+            touched_scratch: Vec::new(),
             active_stamp: vec![0; link_count],
             stamp: 0,
             now: Asn::ZERO,
@@ -405,6 +474,20 @@ impl SimulatorBuilder {
             frame_tx_base: 0,
         };
         sim.rebuild_slot_table();
+        // Scheduled links took the low (cache-densest) lanes above; now
+        // resolve each task route into its per-hop lane sequence so the
+        // enqueue path is a single indexed read.
+        for i in 0..sim.tasks.len() {
+            let route = sim.tasks[i].route.clone();
+            let lanes: Vec<u32> = route
+                .windows(2)
+                .map(|hop| {
+                    let id = sim.route_link_id(hop[0], hop[1]);
+                    sim.lane_for(id) as u32
+                })
+                .collect();
+            sim.tasks[i].route_lanes = lanes.into();
+        }
         sim
     }
 }
@@ -415,9 +498,21 @@ pub struct Simulator {
     config: SlotframeConfig,
     schedule: NetworkSchedule,
     tasks: Vec<TaskState>,
-    /// Per-link queues indexed by dense link id (`child * 2 + direction`).
+    /// Per-lane queues. All mutable per-link hot state is indexed by the
+    /// compact *lane* id — allocated on first schedule appearance or first
+    /// queued packet — so the cache/TLB working set scales with the number
+    /// of links that ever carry traffic, not with the tree size.
     queues: Vec<VecDeque<QueuedPacket>>,
-    /// Dense link id → [`Link`], for stats and trace reporting.
+    /// Dense link id (`child * 2 + direction`) → lane, `u32::MAX` while
+    /// the link has no lane yet.
+    lane_of: Vec<u32>,
+    /// Lane → [`Link`], for stats, trace and sampler reporting.
+    lane_links: Vec<Link>,
+    /// Lane → dense link id (conflict rows and stamps stay id-indexed).
+    lane_link_id: Vec<u32>,
+    /// Lane → PDR (copied from [`Self::pdr`]; quality is frozen at build).
+    lane_pdr: Vec<f64>,
+    /// Dense link id → [`Link`], consulted at build and lane creation.
     links: Vec<Link>,
     /// Per-link PDR, indexed by dense link id.
     pdr: Vec<f64>,
@@ -427,13 +522,35 @@ pub struct Simulator {
     /// Concatenated, per-row-sorted conflicting link ids.
     conflict_neighbors: Vec<u32>,
     /// `slot_table[slot]` lists the slot's non-empty cells in channel order,
-    /// each with its assigned links (dense ids, assignment order).
+    /// each with its assigned links (lanes, assignment order).
     slot_table: Vec<Vec<(u16, Vec<u32>)>>,
     /// Schedule version the slot table was built from.
     table_version: u64,
+    /// CSR offsets into [`Self::link_slots`]; lane `l`'s scheduled slot
+    /// offsets span `link_slot_offsets[l]..link_slot_offsets[l + 1]`.
+    /// Lanes allocated since the last rebuild are past the end and
+    /// (being unscheduled) have an empty range — see
+    /// [`Self::lane_slot_range`].
+    link_slot_offsets: Vec<u32>,
+    /// Concatenated per-lane scheduled slot offsets, one entry per (cell,
+    /// assignment) occurrence — the event calendar's bucket array.
+    link_slots: Vec<u32>,
+    /// Per slot: scheduled assignments whose link queue is non-empty. A
+    /// slot with count 0 is skipped (no RNG, stats or trace possible).
+    slot_busy: Vec<u32>,
+    /// Lanes with non-empty queues, unordered (swap-remove membership).
+    occupied_links: Vec<u32>,
+    /// Lane → its index in [`Self::occupied_links`], `u32::MAX` when
+    /// the queue is empty.
+    occupied_pos: Vec<u32>,
+    /// Walk every slot unconditionally (the pre-calendar behaviour), kept
+    /// as the differential baseline for the equivalence suite.
+    dense_walk: bool,
     active_scratch: Vec<u32>,
     collided_scratch: Vec<bool>,
     depth_scratch: Vec<usize>,
+    /// Sender nodes touched by the current queue-depth sample.
+    touched_scratch: Vec<u32>,
     /// Per-link stamp marking membership in the current cell's active set;
     /// a link is active iff `active_stamp[id] == stamp`.
     active_stamp: Vec<u32>,
@@ -563,13 +680,21 @@ impl Simulator {
     pub fn queue_depth(&self, node: NodeId) -> usize {
         // The node transmits on its own uplink and on each child's downlink.
         let mut total = match self.tree.parent(node) {
-            Some(_) => self.queues[node.index() * 2].len(),
+            Some(_) => self.id_queue_len(node.index() * 2),
             None => 0,
         };
         for &child in self.tree.children(node) {
-            total += self.queues[child.index() * 2 + 1].len();
+            total += self.id_queue_len(child.index() * 2 + 1);
         }
         total
+    }
+
+    /// Queue length of the dense link id, 0 while the link has no lane.
+    fn id_queue_len(&self, id: usize) -> usize {
+        match self.lane_of[id] {
+            u32::MAX => 0,
+            lane => self.queues[lane as usize].len(),
+        }
     }
 
     /// Changes a task's rate, effective from the next slotframe boundary.
@@ -610,6 +735,14 @@ impl Simulator {
 
     /// Executes exactly one slot.
     pub fn step_slot(&mut self) {
+        // Re-derive the slot table and wake index *before* any queue
+        // transition this slot: boundary releases must raise queue
+        // pressure through the fresh schedule, not a stale one. The
+        // rebuild is a pure derivation, so hoisting it ahead of the
+        // boundary work cannot change observable behaviour.
+        if self.table_version != self.schedule.version() {
+            self.rebuild_slot_table();
+        }
         if self.config.slot_offset(self.now) == 0 {
             if self.obs.is_enabled() {
                 if self.now.0 > 0 {
@@ -630,17 +763,28 @@ impl Simulator {
             self.release_tasks();
             self.sample_queue_depths();
         }
-        if self.table_version != self.schedule.version() {
-            self.rebuild_slot_table();
-        }
         let slot = self.config.slot_offset(self.now) as usize;
-        // Move the slot's cell list out so the engine can be borrowed
-        // mutably while iterating it; nothing below touches the table.
-        let cells = std::mem::take(&mut self.slot_table[slot]);
-        for (channel, ids) in &cells {
-            self.execute_cell(Cell::new(slot as u32, *channel), ids);
+        // Event-driven skip: a slot none of whose scheduled links has
+        // queued traffic would reject every cell at the in-cell queue
+        // check — no transmission, no RNG draw, no stats or trace — so it
+        // can be skipped without touching its cell list at all.
+        if self.dense_walk || self.slot_busy[slot] > 0 {
+            // Move the slot's cell list out so the engine can be borrowed
+            // mutably while iterating it; nothing below touches the table.
+            let cells = std::mem::take(&mut self.slot_table[slot]);
+            let mut any_active = false;
+            for (channel, ids) in &cells {
+                any_active |= self.execute_cell(Cell::new(slot as u32, *channel), ids);
+            }
+            self.slot_table[slot] = cells;
+            if !self.dense_walk && !any_active {
+                // The queue-pressure index promised work but every cell
+                // was idle — unreachable by construction; the reconcile
+                // suite and the bench gate pin this counter to zero.
+                self.obs.metrics.inc(self.obs_ids.idle_wakeups, 1);
+                debug_assert!(false, "event calendar woke idle slot {slot}");
+            }
         }
-        self.slot_table[slot] = cells;
         self.stats.slots_simulated += 1;
         self.obs.metrics.inc(self.obs_ids.slots, 1);
         self.now = self.now.plus(1);
@@ -677,7 +821,133 @@ impl Simulator {
                 self.slot_table[cell.slot as usize].push((cell.channel, ids));
             }
         }
+        // Second pass: dense ids → lanes (a `&mut self` call, so it cannot
+        // run while `iter_cells` borrows the schedule). Every scheduled
+        // link gets its lane here, in (slot, channel, assignment) order.
+        let mut table = std::mem::take(&mut self.slot_table);
+        for cells in &mut table {
+            for (_, ids) in cells.iter_mut() {
+                for id in ids.iter_mut() {
+                    *id = self.lane_for(*id as usize) as u32;
+                }
+            }
+        }
+        self.slot_table = table;
         self.table_version = self.schedule.version();
+        self.rebuild_wake_index();
+    }
+
+    /// The lane of dense link `id`, allocated on first use. A lane pins
+    /// the link's queue, occupancy slot and wake rows into contiguous
+    /// arrays, so per-slot work touches memory proportional to the active
+    /// link population — the mechanism behind the flat per-active-cell
+    /// cost from 1k to 1M nodes.
+    fn lane_for(&mut self, id: usize) -> usize {
+        let lane = self.lane_of[id];
+        if lane != u32::MAX {
+            return lane as usize;
+        }
+        let lane = self.lane_links.len();
+        self.lane_of[id] = u32::try_from(lane).expect("lane count fits u32");
+        self.lane_links.push(self.links[id]);
+        self.lane_link_id.push(id as u32);
+        self.lane_pdr.push(self.pdr[id]);
+        self.queues.push(VecDeque::new());
+        self.occupied_pos.push(u32::MAX);
+        lane
+    }
+
+    /// Scheduled slot range of `lane` in the wake CSR. Lanes allocated
+    /// after the last rebuild are necessarily unscheduled: empty range.
+    fn lane_slot_range(&self, lane: usize) -> (usize, usize) {
+        if lane + 1 < self.link_slot_offsets.len() {
+            (
+                self.link_slot_offsets[lane] as usize,
+                self.link_slot_offsets[lane + 1] as usize,
+            )
+        } else {
+            (0, 0)
+        }
+    }
+
+    /// Re-derives the link→slots CSR and per-slot queue-pressure counts
+    /// from the freshly rebuilt slot table.
+    ///
+    /// One CSR entry exists per (slot, cell, link) assignment — duplicates
+    /// are kept deliberately so that `slot_busy` increments and decrements
+    /// stay balanced when a link appears several times in one slotframe.
+    fn rebuild_wake_index(&mut self) {
+        let lane_count = self.lane_links.len();
+        self.link_slot_offsets.clear();
+        self.link_slot_offsets.resize(lane_count + 1, 0);
+        for cells in &self.slot_table {
+            for (_, lanes) in cells {
+                for &lane in lanes {
+                    self.link_slot_offsets[lane as usize + 1] += 1;
+                }
+            }
+        }
+        for i in 0..lane_count {
+            self.link_slot_offsets[i + 1] += self.link_slot_offsets[i];
+        }
+        let total = self.link_slot_offsets[lane_count] as usize;
+        self.link_slots.clear();
+        self.link_slots.resize(total, 0);
+        let mut cursor: Vec<u32> = self.link_slot_offsets[..lane_count].to_vec();
+        for (slot, cells) in self.slot_table.iter().enumerate() {
+            for (_, lanes) in cells {
+                for &lane in lanes {
+                    let c = &mut cursor[lane as usize];
+                    self.link_slots[*c as usize] = slot as u32;
+                    *c += 1;
+                }
+            }
+        }
+        // Re-derive slot pressure from the lanes that currently hold
+        // traffic; the occupied set itself is schedule-independent.
+        self.slot_busy.clear();
+        self.slot_busy.resize(self.slot_table.len(), 0);
+        for i in 0..self.occupied_links.len() {
+            let lane = self.occupied_links[i] as usize;
+            let (lo, hi) = self.lane_slot_range(lane);
+            for k in lo..hi {
+                self.slot_busy[self.link_slots[k] as usize] += 1;
+            }
+        }
+    }
+
+    /// Records that `lane`'s queue just went from empty to non-empty:
+    /// raises queue pressure on every slot the link is scheduled in.
+    fn note_queue_nonempty(&mut self, lane: usize) {
+        debug_assert_eq!(self.occupied_pos[lane], u32::MAX);
+        self.occupied_pos[lane] = self.occupied_links.len() as u32;
+        self.occupied_links.push(lane as u32);
+        let (lo, hi) = self.lane_slot_range(lane);
+        for k in lo..hi {
+            self.slot_busy[self.link_slots[k] as usize] += 1;
+        }
+    }
+
+    /// Records that `lane`'s queue just drained to empty: drops its
+    /// queue pressure and swap-removes it from the occupied set.
+    fn note_queue_empty(&mut self, lane: usize) {
+        let pos = self.occupied_pos[lane];
+        debug_assert_ne!(pos, u32::MAX);
+        let last = self
+            .occupied_links
+            .pop()
+            .expect("occupied set contains the draining lane");
+        if last != lane as u32 {
+            self.occupied_links[pos as usize] = last;
+            self.occupied_pos[last as usize] = pos;
+        }
+        self.occupied_pos[lane] = u32::MAX;
+        let (lo, hi) = self.lane_slot_range(lane);
+        for k in lo..hi {
+            let busy = &mut self.slot_busy[self.link_slots[k] as usize];
+            debug_assert!(*busy > 0);
+            *busy -= 1;
+        }
     }
 
     /// Releases task packets at a slotframe boundary.
@@ -685,15 +955,21 @@ impl Simulator {
         let frame = self.config.slotframe_index(self.now);
         // Collect first: route clones are cheap (Arc), and we must not hold
         // a borrow of `self.tasks` while enqueueing.
-        let mut releases: Vec<(Arc<[NodeId]>, TaskId, u64, u32)> = Vec::new();
+        let mut releases: Vec<TaskRelease> = Vec::new();
         for state in &mut self.tasks {
             let n = state.task.rate.packets_in_slotframe(frame);
             if n > 0 {
-                releases.push((state.route.clone(), state.task.id, state.next_seq, n));
+                releases.push((
+                    state.route.clone(),
+                    state.route_lanes.clone(),
+                    state.task.id,
+                    state.next_seq,
+                    n,
+                ));
                 state.next_seq += u64::from(n);
             }
         }
-        for (route, task, seq0, n) in releases {
+        for (route, route_lanes, task, seq0, n) in releases {
             for k in 0..u64::from(n) {
                 self.stats.generated += 1;
                 self.obs.metrics.inc(self.obs_ids.generated, 1);
@@ -705,33 +981,39 @@ impl Simulator {
                     self.stats
                         .record_delivery(packet.holder(), self.now, self.now);
                 } else {
-                    self.enqueue(packet);
+                    self.enqueue(packet, route_lanes.clone());
                 }
             }
         }
     }
 
     /// Queues a packet at its current holder for its next hop.
-    fn enqueue(&mut self, packet: Packet) {
-        let id = self.next_link_id(&packet);
-        let queue = &mut self.queues[id];
+    fn enqueue(&mut self, packet: Packet, route_lanes: Arc<[u32]>) {
+        let lane = route_lanes[packet.hop] as usize;
+        let queue = &mut self.queues[lane];
         if queue.len() >= self.queue_capacity {
             self.stats.queue_drops += 1;
             self.obs.metrics.inc(self.obs_ids.queue_drops, 1);
         } else {
-            queue.push_back(QueuedPacket { packet, retries: 0 });
+            let was_empty = queue.is_empty();
+            queue.push_back(QueuedPacket {
+                packet,
+                route_lanes,
+                retries: 0,
+            });
+            if was_empty {
+                self.note_queue_nonempty(lane);
+            }
         }
     }
 
-    /// The dense id of the link a packet must traverse next.
+    /// The dense id of the link from `holder` to `next` (build-time route
+    /// resolution; see [`TaskState::route_lanes`]).
     ///
     /// # Panics
     ///
-    /// Panics if the packet is already delivered or its route does not
-    /// follow tree edges.
-    fn next_link_id(&self, packet: &Packet) -> usize {
-        let holder = packet.holder();
-        let next = packet.next_hop().expect("packet not delivered");
+    /// Panics if the hop is not a tree edge.
+    fn route_link_id(&self, holder: NodeId, next: NodeId) -> usize {
         if self.tree.parent(holder) == Some(next) {
             holder.index() * 2 // Link::up(holder)
         } else if self.tree.parent(next) == Some(holder) {
@@ -742,22 +1024,25 @@ impl Simulator {
     }
 
     /// Executes all transmissions scheduled on one cell.
-    fn execute_cell(&mut self, cell: Cell, ids: &[u32]) {
+    ///
+    /// Returns `true` if at least one link transmitted, so `step_slot` can
+    /// verify that the queue-pressure index never wakes an idle slot.
+    fn execute_cell(&mut self, cell: Cell, lanes: &[u32]) -> bool {
         // Links with traffic ready on this cell.
         self.active_scratch.clear();
-        for &id in ids {
-            if !self.queues[id as usize].is_empty() {
-                self.active_scratch.push(id);
+        for &lane in lanes {
+            if !self.queues[lane as usize].is_empty() {
+                self.active_scratch.push(lane);
             }
         }
         let n = self.active_scratch.len();
         if n == 0 {
-            return;
+            return false;
         }
         self.stats.tx_attempts += n as u64;
         self.obs.metrics.inc(self.obs_ids.tx_attempts, n as u64);
-        for &id in &self.active_scratch {
-            self.stats.record_tx_attempt(self.links[id as usize]);
+        for &lane in &self.active_scratch {
+            self.stats.record_tx_attempt(self.lane_links[lane as usize]);
         }
 
         // Interference among simultaneous transmissions, resolved against
@@ -775,11 +1060,11 @@ impl Simulator {
                 self.active_stamp.iter_mut().for_each(|s| *s = 0);
                 self.stamp = 1;
             }
-            for &id in &self.active_scratch {
-                self.active_stamp[id as usize] = self.stamp;
+            for &lane in &self.active_scratch {
+                self.active_stamp[self.lane_link_id[lane as usize] as usize] = self.stamp;
             }
             for i in 0..n {
-                let a = self.active_scratch[i] as usize;
+                let a = self.lane_link_id[self.active_scratch[i] as usize] as usize;
                 let lo = self.conflict_offsets[a] as usize;
                 let hi = self.conflict_offsets[a + 1] as usize;
                 for &b in &self.conflict_neighbors[lo..hi] {
@@ -792,8 +1077,8 @@ impl Simulator {
         }
 
         for idx in 0..n {
-            let id = self.active_scratch[idx] as usize;
-            let link = self.links[id];
+            let lane = self.active_scratch[idx] as usize;
+            let link = self.lane_links[lane];
             if self.collided_scratch[idx] {
                 self.stats.collisions += 1;
                 self.obs.metrics.inc(self.obs_ids.collisions, 1);
@@ -802,10 +1087,10 @@ impl Simulator {
                     link,
                     cell,
                 });
-                self.fail_head(id, link);
+                self.fail_head(lane, link);
                 continue;
             }
-            let pdr = self.pdr[id];
+            let pdr = self.lane_pdr[lane];
             if pdr < 1.0 && !self.rng.chance(pdr) {
                 self.stats.losses += 1;
                 self.obs.metrics.inc(self.obs_ids.losses, 1);
@@ -814,7 +1099,7 @@ impl Simulator {
                     link,
                     cell,
                 });
-                self.fail_head(id, link);
+                self.fail_head(lane, link);
                 continue;
             }
             self.trace.record(TraceEvent::TxOk {
@@ -822,28 +1107,36 @@ impl Simulator {
                 link,
                 cell,
             });
-            self.deliver_head(id);
+            self.deliver_head(lane);
         }
+        true
     }
 
     /// Handles a failed transmission: retry or drop the head packet.
-    fn fail_head(&mut self, id: usize, link: Link) {
-        let queue = &mut self.queues[id];
+    fn fail_head(&mut self, lane: usize, link: Link) {
+        let queue = &mut self.queues[lane];
         let head = queue.front_mut().expect("active link queue is non-empty");
         head.retries += 1;
         if head.retries > self.max_retries {
             queue.pop_front();
+            let emptied = queue.is_empty();
             self.stats.queue_drops += 1;
             self.obs.metrics.inc(self.obs_ids.queue_drops, 1);
             self.trace.record(TraceEvent::Drop { at: self.now, link });
+            if emptied {
+                self.note_queue_empty(lane);
+            }
         }
     }
 
-    /// Advances the head packet of link `id` by one hop.
-    fn deliver_head(&mut self, id: usize) {
-        let mut queued = self.queues[id]
+    /// Advances the head packet of lane `lane` by one hop.
+    fn deliver_head(&mut self, lane: usize) {
+        let mut queued = self.queues[lane]
             .pop_front()
             .expect("active link queue is non-empty");
+        if self.queues[lane].is_empty() {
+            self.note_queue_empty(lane);
+        }
         queued.packet.advance();
         if queued.packet.is_delivered() {
             let source = queued.packet.route[0];
@@ -857,36 +1150,73 @@ impl Simulator {
                 .record_delivery(source, queued.packet.created, delivered_at);
         } else {
             queued.retries = 0;
-            self.enqueue(queued.packet);
+            self.enqueue(queued.packet, queued.route_lanes);
         }
     }
 
     /// Samples per-node queue depths into the stats high-water marks.
+    ///
+    /// The event-driven path walks only the occupied links — the nodes it
+    /// reports and the depths it reports for them are exactly those the
+    /// dense scan finds, because empty queues contribute nothing either
+    /// way and `record_queue_depth`/`set_max` are order-insensitive
+    /// max-merges.
     fn sample_queue_depths(&mut self) {
-        self.depth_scratch.clear();
-        self.depth_scratch.resize(self.tree.len(), 0);
-        for (id, queue) in self.queues.iter().enumerate() {
-            if queue.is_empty() {
-                continue;
+        if self.dense_walk {
+            self.depth_scratch.clear();
+            self.depth_scratch.resize(self.tree.len(), 0);
+            for (lane, queue) in self.queues.iter().enumerate() {
+                if queue.is_empty() {
+                    continue;
+                }
+                let link = self.lane_links[lane];
+                // The sender of an uplink is the child itself; of a downlink,
+                // the child's parent. Links without a tree edge hold no
+                // traffic.
+                let sender = match link.direction {
+                    Direction::Up => self.tree.parent(link.child).map(|_| link.child),
+                    Direction::Down => self.tree.parent(link.child),
+                };
+                if let Some(sender) = sender {
+                    self.depth_scratch[sender.index()] += queue.len();
+                }
             }
-            let link = self.links[id];
-            // The sender of an uplink is the child itself; of a downlink,
-            // the child's parent. Links without a tree edge hold no traffic.
+            for (i, &depth) in self.depth_scratch.iter().enumerate() {
+                if depth > 0 {
+                    self.stats.record_queue_depth(NodeId(i as u32), depth);
+                    self.obs
+                        .metrics
+                        .set_max(self.obs_ids.queue_high_water, depth as f64);
+                }
+            }
+            return;
+        }
+        if self.depth_scratch.len() < self.tree.len() {
+            self.depth_scratch.resize(self.tree.len(), 0);
+        }
+        self.touched_scratch.clear();
+        for i in 0..self.occupied_links.len() {
+            let lane = self.occupied_links[i] as usize;
+            let link = self.lane_links[lane];
             let sender = match link.direction {
                 Direction::Up => self.tree.parent(link.child).map(|_| link.child),
                 Direction::Down => self.tree.parent(link.child),
             };
-            if let Some(sender) = sender {
-                self.depth_scratch[sender.index()] += queue.len();
+            let sender = sender.expect("occupied link lies on a tree edge");
+            if self.depth_scratch[sender.index()] == 0 {
+                self.touched_scratch.push(sender.index() as u32);
             }
+            self.depth_scratch[sender.index()] += self.queues[lane].len();
         }
-        for (i, &depth) in self.depth_scratch.iter().enumerate() {
-            if depth > 0 {
-                self.stats.record_queue_depth(NodeId(i as u32), depth);
-                self.obs
-                    .metrics
-                    .set_max(self.obs_ids.queue_high_water, depth as f64);
-            }
+        self.touched_scratch.sort_unstable();
+        for i in 0..self.touched_scratch.len() {
+            let node = self.touched_scratch[i] as usize;
+            let depth = self.depth_scratch[node];
+            self.depth_scratch[node] = 0;
+            self.stats.record_queue_depth(NodeId(node as u32), depth);
+            self.obs
+                .metrics
+                .set_max(self.obs_ids.queue_high_water, depth as f64);
         }
     }
 }

@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod calendar;
 mod engine;
 mod hopping;
 mod interference;
@@ -67,6 +68,7 @@ mod topology;
 mod trace;
 mod transport;
 
+pub use calendar::EventCalendar;
 pub use engine::{
     SimError, Simulator, SimulatorBuilder, DEFAULT_MAX_RETRIES, DEFAULT_QUEUE_CAPACITY,
 };

@@ -13,10 +13,10 @@
 //! timing and accounting semantics (message counts feed Table II and
 //! Fig. 12).
 
+use crate::calendar::EventCalendar;
 use crate::time::{Asn, SlotframeConfig};
 use crate::topology::{NodeId, Tree};
 use core::fmt;
-use std::collections::BinaryHeap;
 
 /// A message delivered by [`MgmtPlane::poll`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,31 +67,13 @@ impl fmt::Display for MgmtError {
 
 impl std::error::Error for MgmtError {}
 
-/// An in-flight message ordered by delivery time (earliest first).
+/// An in-flight message's routing envelope; its delivery time and FIFO
+/// tiebreak live in the [`EventCalendar`] that carries it.
+#[derive(Debug)]
 struct InFlight<M> {
-    deliver_at: Asn,
-    seq: u64,
     from: NodeId,
     to: NodeId,
     payload: M,
-}
-
-impl<M> PartialEq for InFlight<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.deliver_at == other.deliver_at && self.seq == other.seq
-    }
-}
-impl<M> Eq for InFlight<M> {}
-impl<M> PartialOrd for InFlight<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for InFlight<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reverse order: BinaryHeap is a max-heap, we want earliest first.
-        (other.deliver_at, other.seq).cmp(&(self.deliver_at, self.seq))
-    }
 }
 
 /// The management plane of a network: carries one-hop messages with
@@ -120,24 +102,15 @@ pub struct MgmtPlane<M> {
     /// Per-node slot offset of the downlink management cell (indexed by the
     /// *receiving child*).
     down_slot: Vec<u32>,
-    in_flight: BinaryHeap<InFlight<M>>,
+    /// Future deliveries registered as calendar wakeups; simultaneous
+    /// deliveries fire in registration (seq) order.
+    in_flight: EventCalendar<InFlight<M>>,
     /// Last used occurrence of each node's uplink management cell, to
     /// serialise messages: one message per cell per slotframe.
     up_busy_until: Vec<Asn>,
     /// Same for the downlink management cells (indexed by receiving child).
     down_busy_until: Vec<Asn>,
-    seq: u64,
     sent: u64,
-}
-
-impl<M: fmt::Debug> fmt::Debug for InFlight<M> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("InFlight")
-            .field("deliver_at", &self.deliver_at)
-            .field("from", &self.from)
-            .field("to", &self.to)
-            .finish_non_exhaustive()
-    }
 }
 
 impl<M> MgmtPlane<M> {
@@ -162,10 +135,9 @@ impl<M> MgmtPlane<M> {
             config,
             up_slot,
             down_slot,
-            in_flight: BinaryHeap::new(),
+            in_flight: EventCalendar::new(),
             up_busy_until: vec![Asn::ZERO; n],
             down_busy_until: vec![Asn::ZERO; n],
-            seq: 0,
             sent: 0,
         }
     }
@@ -284,29 +256,19 @@ impl<M> MgmtPlane<M> {
     /// [`MgmtPlane::transmit_time`], or deliberately avoids paying for it,
     /// as piggybacked ACKs do).
     pub(crate) fn enqueue_raw(&mut self, deliver_at: Asn, from: NodeId, to: NodeId, payload: M) {
-        self.in_flight.push(InFlight {
-            deliver_at,
-            seq: self.seq,
-            from,
-            to,
-            payload,
-        });
-        self.seq += 1;
+        self.in_flight
+            .schedule(deliver_at, InFlight { from, to, payload });
     }
 
     /// Delivers every message whose time has come (deliver_at ≤ `now`), in
     /// delivery-time order.
     pub fn poll(&mut self, now: Asn) -> Vec<Delivered<M>> {
         let mut out = Vec::new();
-        while let Some(head) = self.in_flight.peek() {
-            if head.deliver_at > now {
-                break;
-            }
-            let m = self.in_flight.pop().expect("peeked element exists");
+        while let Some((at, m)) = self.in_flight.pop_due(now) {
             out.push(Delivered {
                 from: m.from,
                 to: m.to,
-                at: m.deliver_at,
+                at,
                 payload: m.payload,
             });
         }
@@ -323,7 +285,7 @@ impl<M> MgmtPlane<M> {
     /// loops that skip idle slots.
     #[must_use]
     pub fn next_delivery(&self) -> Option<Asn> {
-        self.in_flight.peek().map(|m| m.deliver_at)
+        self.in_flight.next_fire()
     }
 }
 

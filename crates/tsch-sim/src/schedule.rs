@@ -214,10 +214,22 @@ impl NetworkSchedule {
         self.by_link.iter().map(|(&l, cs)| (l, cs.as_slice()))
     }
 
-    /// Total number of (cell, link) assignments.
+    /// Total number of (cell, link) assignments — per-slotframe
+    /// transmission opportunities. The event-driven engine's work per
+    /// slotframe tracks this count (plus queued retransmissions), not the
+    /// node count, so the scale study reports throughput per assignment
+    /// ("active cell"). Distinct cells would undercount: non-conflicting
+    /// links may share a cell, and the sharing density grows with size.
     #[must_use]
     pub fn assignment_count(&self) -> usize {
         self.by_link.values().map(Vec::len).sum()
+    }
+
+    /// Number of distinct cells with at least one assigned link — the
+    /// schedule's cell footprint in the slotframe matrix.
+    #[must_use]
+    pub fn active_cells(&self) -> usize {
+        self.by_cell.len()
     }
 
     /// Returns `true` if no cell hosts more than one link — HARP's invariant.

@@ -81,6 +81,14 @@ pub struct ShardOptions {
     pub trace_capacity: usize,
     /// Stats retention mode for every shard and the merged view.
     pub stats_mode: StatsMode,
+    /// When the mean shard size (`tree.len() / subtree count`) falls below
+    /// this threshold, skip sharding and run one monolithic engine
+    /// serially instead — below a few thousand nodes per shard, thread
+    /// fork-join overhead outweighs the parallel win. `0` (the default)
+    /// never falls back. Preconditions are validated either way, and the
+    /// fallback run is bit-exact with a plain [`Simulator`] on the same
+    /// seed.
+    pub serial_fallback_threshold: usize,
 }
 
 struct Shard {
@@ -93,6 +101,9 @@ struct Shard {
 /// See the module docs for the preconditions and fidelity contract.
 pub struct ShardedSimulator {
     shards: Vec<Shard>,
+    /// Monolithic engine used instead of `shards` when the scenario fell
+    /// below [`ShardOptions::serial_fallback_threshold`].
+    fallback: Option<Simulator>,
     stats_mode: StatsMode,
     run_time: Duration,
 }
@@ -185,6 +196,28 @@ impl ShardedSimulator {
             }
         }
 
+        // Preconditions hold; below the fallback threshold a single
+        // monolithic engine beats fork-join overhead, so build that
+        // instead of per-subtree shards.
+        let mean_shard_size = tree.len() / node_maps.len().max(1);
+        if mean_shard_size < options.serial_fallback_threshold {
+            let mut builder = SimulatorBuilder::new(tree.clone(), config)
+                .schedule(schedule.clone())
+                .quality(quality.clone())
+                .seed(seed)
+                .trace_capacity(options.trace_capacity)
+                .stats_mode(options.stats_mode);
+            for task in tasks {
+                builder = builder.task(task.clone()).expect("task ids are unique");
+            }
+            return Ok(Self {
+                shards: Vec::new(),
+                fallback: Some(builder.build()),
+                stats_mode: options.stats_mode,
+                run_time: Duration::ZERO,
+            });
+        }
+
         let mut shards = Vec::with_capacity(node_maps.len());
         let mut seed_rng = crate::rng::SplitMix64::new(seed);
         for (k, map) in node_maps.iter().enumerate() {
@@ -255,20 +288,37 @@ impl ShardedSimulator {
 
         Ok(Self {
             shards,
+            fallback: None,
             stats_mode: options.stats_mode,
             run_time: Duration::ZERO,
         })
     }
 
-    /// Number of depth-1 subtree shards.
+    /// Number of depth-1 subtree shards (`1` in serial-fallback mode,
+    /// where a single monolithic engine runs everything).
     #[must_use]
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        if self.fallback.is_some() {
+            1
+        } else {
+            self.shards.len()
+        }
+    }
+
+    /// Whether the scenario fell below
+    /// [`ShardOptions::serial_fallback_threshold`] and runs on one
+    /// monolithic serial engine instead of per-subtree shards.
+    #[must_use]
+    pub fn is_fallback(&self) -> bool {
+        self.fallback.is_some()
     }
 
     /// Total conflict-adjacency storage across all shards, in bytes.
     #[must_use]
     pub fn conflict_storage_bytes(&self) -> usize {
+        if let Some(sim) = &self.fallback {
+            return sim.conflict_storage_bytes();
+        }
         self.shards
             .iter()
             .map(|s| s.sim.conflict_storage_bytes())
@@ -284,9 +334,13 @@ impl ShardedSimulator {
     /// outcome is identical for every thread count.
     pub fn run_slotframes_with_threads(&mut self, n: u64, threads: usize) {
         let start = Instant::now();
-        par_for_each_mut_with_threads(&mut self.shards, threads, |_, shard| {
-            shard.sim.run_slotframes(n);
-        });
+        if let Some(sim) = &mut self.fallback {
+            sim.run_slotframes(n);
+        } else {
+            par_for_each_mut_with_threads(&mut self.shards, threads, |_, shard| {
+                shard.sim.run_slotframes(n);
+            });
+        }
         self.run_time += start.elapsed();
     }
 
@@ -297,6 +351,16 @@ impl ShardedSimulator {
     /// runs, so `slots_per_sec` reflects the sharded throughput.
     #[must_use]
     pub fn stats(&self) -> SimStats {
+        if let Some(sim) = &self.fallback {
+            // Monolithic stats are already global; only normalize to the
+            // sharded contract (merged run_time, canonical delivery sort).
+            let mut stats = sim.stats().clone();
+            stats.run_time = self.run_time;
+            stats
+                .deliveries
+                .sort_by_key(|d| (d.delivered.0, d.source.0, d.created.0));
+            return stats;
+        }
         let mut merged = match self.stats_mode {
             StatsMode::Full => SimStats::new(),
             StatsMode::Streaming => SimStats::streaming(),
@@ -329,6 +393,11 @@ impl ShardedSimulator {
     #[must_use]
     pub fn merged_trace(&self) -> Vec<TraceEvent> {
         let mut all = Vec::new();
+        if let Some(sim) = &self.fallback {
+            all.extend(sim.trace().iter().copied());
+            sort_trace(&mut all);
+            return all;
+        }
         for shard in &self.shards {
             let globalize = |link: Link| Link {
                 child: shard.node_map[link.child.index()],
@@ -487,6 +556,82 @@ mod tests {
             sharded.shards[1].node_map,
             vec![NodeId(0), NodeId(2), NodeId(5)]
         );
+    }
+
+    #[test]
+    fn serial_fallback_matches_monolithic_engine_exactly() {
+        let tree = star_of_chains();
+        let config = SlotframeConfig::new(10, 2, 10_000).unwrap();
+        let mut schedule = NetworkSchedule::new(config);
+        schedule
+            .assign(Cell::new(0, 0), Link::up(NodeId(3)))
+            .unwrap();
+        schedule
+            .assign(Cell::new(1, 0), Link::up(NodeId(1)))
+            .unwrap();
+        schedule
+            .assign(Cell::new(2, 0), Link::up(NodeId(5)))
+            .unwrap();
+        schedule
+            .assign(Cell::new(3, 0), Link::up(NodeId(2)))
+            .unwrap();
+        let tasks = [
+            Task::uplink(TaskId(0), NodeId(3), Rate::per_slotframe(1)),
+            Task::uplink(TaskId(1), NodeId(5), Rate::per_slotframe(1)),
+        ];
+        let mut quality = LinkQuality::perfect();
+        quality.set_pdr(Link::up(NodeId(3)), 0.7).unwrap();
+
+        let options = ShardOptions {
+            trace_capacity: 1024,
+            // Mean shard size is 3 (6 nodes / 2 subtrees) — force fallback.
+            serial_fallback_threshold: 1000,
+            ..ShardOptions::default()
+        };
+        let mut sharded =
+            ShardedSimulator::try_new(&tree, config, &schedule, &quality, 42, &tasks, options)
+                .unwrap();
+        assert!(sharded.is_fallback());
+        assert_eq!(sharded.shard_count(), 1);
+        sharded.run_slotframes_with_threads(20, 8);
+
+        let mut builder = crate::SimulatorBuilder::new(tree, config)
+            .schedule(schedule)
+            .quality(quality)
+            .seed(42)
+            .trace_capacity(1024);
+        for task in &tasks {
+            builder = builder.task(task.clone()).unwrap();
+        }
+        let mut mono = builder.build();
+        mono.run_slotframes(20);
+
+        let sharded_stats = sharded.stats();
+        let mono_stats = mono.stats();
+        assert_eq!(sharded_stats.tx_attempts, mono_stats.tx_attempts);
+        assert_eq!(sharded_stats.losses, mono_stats.losses);
+        assert_eq!(sharded_stats.generated, mono_stats.generated);
+        let mut mono_deliveries = mono_stats.deliveries.clone();
+        mono_deliveries.sort_by_key(|d| (d.delivered.0, d.source.0, d.created.0));
+        assert_eq!(sharded_stats.deliveries, mono_deliveries);
+        let mut mono_trace: Vec<TraceEvent> = mono.trace().iter().copied().collect();
+        sort_trace(&mut mono_trace);
+        assert_eq!(sharded.merged_trace(), mono_trace);
+
+        // The gateway-task and mixed-cell preconditions are still enforced
+        // in fallback mode.
+        let bad = [Task::uplink(TaskId(0), NodeId(0), Rate::per_slotframe(1))];
+        let err = ShardedSimulator::try_new(
+            &star_of_chains(),
+            config,
+            &NetworkSchedule::new(config),
+            &LinkQuality::perfect(),
+            0,
+            &bad,
+            options,
+        )
+        .unwrap_err();
+        assert_eq!(err, ShardViolation::GatewayTask(TaskId(0)));
     }
 
     #[test]

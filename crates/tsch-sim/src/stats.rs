@@ -561,6 +561,25 @@ impl SimStats {
         }
     }
 
+    /// Throughput normalized to schedule density: active-cell executions
+    /// per wall-clock second, i.e. [`slots_per_sec`] scaled by
+    /// `active_cells / slots_per_frame`. `active_cells` is the schedule's
+    /// (cell, link) assignment count (`NetworkSchedule::assignment_count`)
+    /// — per-slotframe transmission opportunities. With an event-driven
+    /// engine this is the scale-study headline — it stays flat as the
+    /// network grows because per-slot cost tracks the scheduled
+    /// assignments, not the node count. `0.0` before any timed run or
+    /// with an empty schedule.
+    ///
+    /// [`slots_per_sec`]: Self::slots_per_sec
+    #[must_use]
+    pub fn active_cell_slots_per_sec(&self, active_cells: usize, slots_per_frame: u32) -> f64 {
+        if slots_per_frame == 0 {
+            return 0.0;
+        }
+        self.slots_per_sec() * active_cells as f64 / f64::from(slots_per_frame)
+    }
+
     /// Fraction of generated packets that were delivered.
     #[must_use]
     pub fn delivery_ratio(&self) -> f64 {
@@ -727,6 +746,17 @@ mod tests {
         stats.slots_simulated = 1000;
         stats.run_time = Duration::from_millis(500);
         assert_eq!(stats.slots_per_sec(), 2000.0);
+    }
+
+    #[test]
+    fn active_cell_rate_scales_slots_per_sec_by_schedule_density() {
+        let mut stats = SimStats::new();
+        stats.slots_simulated = 1000;
+        stats.run_time = Duration::from_millis(500);
+        // 2000 slots/s × 50 active cells / 200 slots per frame.
+        assert_eq!(stats.active_cell_slots_per_sec(50, 200), 500.0);
+        assert_eq!(stats.active_cell_slots_per_sec(50, 0), 0.0);
+        assert_eq!(stats.active_cell_slots_per_sec(0, 200), 0.0);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! ids, no ACKs, no timers — deliveries are bit-for-bit identical to the
 //! plain [`MgmtPlane`], which keeps the paper-reproduction reports stable.
 
+use crate::calendar::EventCalendar;
 use crate::mgmt::{Delivered, MgmtError, MgmtPlane};
 use crate::radio::{LinkQuality, PdrError};
 use crate::rng::SplitMix64;
@@ -346,6 +347,11 @@ pub struct ControlPlane<M> {
     lossless: bool,
     plane: MgmtPlane<Envelope<M>>,
     outstanding: Vec<OutstandingCon<M>>,
+    /// Retransmission wakeups (token keyed by fire time). Entries are never
+    /// cancelled: an ACK or a reschedule leaves a stale entry behind, and
+    /// [`ControlPlane::run_retransmission_timers`] validates each popped
+    /// token against the live `outstanding` state instead (lazy deletion).
+    retry_timers: EventCalendar<u64>,
     next_token: u64,
     /// Next msg id per directed `(sender, receiver)` pair.
     next_msg_id: BTreeMap<(NodeId, NodeId), u64>,
@@ -382,6 +388,7 @@ impl<M: Clone> ControlPlane<M> {
             lossless,
             plane: MgmtPlane::new(tree, config),
             outstanding: Vec::new(),
+            retry_timers: EventCalendar::new(),
             next_token: 0,
             next_msg_id: BTreeMap::new(),
             windows: BTreeMap::new(),
@@ -521,6 +528,8 @@ impl<M: Clone> ControlPlane<M> {
             payload: Some(payload.clone()),
         };
         self.deliver_per_fate(fate, deliver_at, from, to, envelope);
+        let next_retry_at =
+            deliver_at.plus(self.reliability.ack_timeout_slotframes * u64::from(self.config.slots));
         self.outstanding.push(OutstandingCon {
             token,
             msg_id,
@@ -529,9 +538,9 @@ impl<M: Clone> ControlPlane<M> {
             payload,
             retries_left: self.reliability.max_retransmissions,
             backoff_slotframes: self.reliability.ack_timeout_slotframes,
-            next_retry_at: deliver_at
-                .plus(self.reliability.ack_timeout_slotframes * u64::from(self.config.slots)),
+            next_retry_at,
         });
+        self.retry_timers.schedule(next_retry_at, token);
         Ok(deliver_at)
     }
 
@@ -662,22 +671,39 @@ impl<M: Clone> ControlPlane<M> {
 
     /// Retransmits every timed-out `Con`, backing off exponentially;
     /// removes (and reports) exchanges whose retry budget is exhausted.
+    ///
+    /// Driven by the wakeup calendar: only tokens with a due wakeup are
+    /// examined, instead of the old full scan over every outstanding
+    /// exchange per poll. Due tokens fire in ascending token order — the
+    /// order the scan used, since `outstanding` always stays sorted by
+    /// token (tokens are assigned monotonically and removals keep order) —
+    /// so the transport RNG stream and cell occupations are unchanged.
     fn run_retransmission_timers(&mut self, tree: &Tree, now: Asn) -> Result<(), MgmtError> {
+        let mut due: Vec<u64> = Vec::new();
+        while let Some((_, token)) = self.retry_timers.pop_due(now) {
+            due.push(token);
+        }
+        if due.is_empty() {
+            return Ok(());
+        }
+        due.sort_unstable();
+        due.dedup();
         let mut exhausted: Option<(NodeId, NodeId)> = None;
-        let mut i = 0;
-        while i < self.outstanding.len() {
+        for token in due {
+            let Ok(i) = self.outstanding.binary_search_by_key(&token, |o| o.token) else {
+                continue; // ACKed or cancelled before the timer fired.
+            };
             if self.outstanding[i].next_retry_at > now {
-                i += 1;
-                continue;
+                continue; // Stale wakeup: the exchange was rescheduled.
             }
             if self.outstanding[i].retries_left == 0 {
                 let o = self.outstanding.remove(i);
                 exhausted.get_or_insert((o.from, o.to));
                 continue;
             }
-            let (from, to, msg_id, token, payload) = {
+            let (from, to, msg_id, payload) = {
                 let o = &self.outstanding[i];
-                (o.from, o.to, o.msg_id, o.token, o.payload.clone())
+                (o.from, o.to, o.msg_id, o.payload.clone())
             };
             let deliver_at = self.plane.transmit_time(tree, now, from, to)?;
             self.stats.attempts += 1;
@@ -711,7 +737,7 @@ impl<M: Clone> ControlPlane<M> {
             o.retries_left -= 1;
             o.backoff_slotframes = (o.backoff_slotframes * 2).min(backoff_cap);
             o.next_retry_at = deliver_at.plus(o.backoff_slotframes * u64::from(self.config.slots));
-            i += 1;
+            self.retry_timers.schedule(o.next_retry_at, token);
         }
         if let Some((from, to)) = exhausted {
             return Err(MgmtError::RetriesExhausted { from, to });
@@ -739,6 +765,7 @@ impl<M: Clone> ControlPlane<M> {
     pub fn cancel_in_flight(&mut self) {
         self.plane.clear_in_flight();
         self.outstanding.clear();
+        self.retry_timers.clear();
     }
 
     /// Rebuilds the underlying plane for (possibly new) `tree`/`config`,
@@ -748,6 +775,7 @@ impl<M: Clone> ControlPlane<M> {
         self.config = config;
         self.plane = MgmtPlane::new(tree, config);
         self.outstanding.clear();
+        self.retry_timers.clear();
         self.next_msg_id.clear();
         self.windows.clear();
         self.next_token = 0;

@@ -1,0 +1,324 @@
+//! Equivalence suite for the event-driven slot engine.
+//!
+//! Three engines must agree byte-for-byte on every seeded scenario:
+//!
+//! * the default **event** engine — slots are skipped unless a scheduled
+//!   link holds traffic (the queue-pressure wake index);
+//! * the **dense walk** — the same engine with
+//!   [`SimulatorBuilder::dense_walk`] forcing the unconditional per-slot
+//!   cell iteration the event path replaced;
+//! * the map-based [`ReferenceSimulator`] oracle.
+//!
+//! The skip is sound because an idle slot draws no RNG, emits no stats and
+//! no trace; these tests pin that argument empirically across random
+//! topologies, shared cells, lossy links (both engines consume one
+//! `SplitMix64` stream — a single extra or missing draw diverges
+//! everything after it), runtime schedule mutation, and the calendar-based
+//! control-plane retransmission timers. A final property test drives the
+//! engine with observability on and requires the `sim.idle_wakeups`
+//! counter to stay zero: the wake index may never promise work an
+//! executed slot does not find.
+
+use tsch_sim::reference::ReferenceSimulator;
+use tsch_sim::{
+    Asn, Cell, Chaos, ControlPlane, Delivered, Link, LinkQuality, Lossy, NetworkSchedule, NodeId,
+    Rate, Simulator, SimulatorBuilder, SlotframeConfig, SplitMix64, Task, TaskId, TraceEvent,
+    TransportStats, Tree,
+};
+
+fn random_tree(rng: &mut SplitMix64, max_nodes: usize) -> Tree {
+    let edges = 1 + rng.next_below(max_nodes as u64 - 1) as usize;
+    let mut pairs = Vec::with_capacity(edges);
+    for i in 0..edges {
+        pairs.push(((i + 1) as u32, rng.next_below(i as u64 + 1) as u32));
+    }
+    Tree::from_parents(&pairs)
+}
+
+/// A schedule with shared cells, to exercise collisions; `lossy` adds
+/// imperfect links so the RNG stream is actually consumed.
+fn random_scenario(
+    rng: &mut SplitMix64,
+    tree: &Tree,
+    config: SlotframeConfig,
+    lossy: bool,
+) -> (NetworkSchedule, LinkQuality, Vec<Task>) {
+    let mut schedule = NetworkSchedule::new(config);
+    let mut quality = LinkQuality::perfect();
+    for v in tree.nodes().skip(1) {
+        for link in [Link::up(v), Link::down(v)] {
+            let cells = 1 + rng.next_below(3);
+            for _ in 0..cells {
+                let cell = Cell::new(
+                    rng.next_below(u64::from(config.slots)) as u32,
+                    rng.next_below(u64::from(config.channels)) as u16,
+                );
+                let _ = schedule.assign(cell, link);
+            }
+            if lossy && rng.chance(0.4) {
+                quality.set_pdr(link, 0.3 + 0.7 * rng.next_f64()).unwrap();
+            }
+        }
+    }
+    let tasks: Vec<Task> = tree
+        .nodes()
+        .skip(1)
+        .map(|v| {
+            let rate = Rate::per_slotframe(1 + rng.next_below(2) as u32);
+            if rng.chance(0.5) {
+                Task::echo(TaskId(v.0), v, rate)
+            } else {
+                Task::uplink(TaskId(v.0), v, rate)
+            }
+        })
+        .collect();
+    (schedule, quality, tasks)
+}
+
+fn build(
+    tree: &Tree,
+    config: SlotframeConfig,
+    schedule: &NetworkSchedule,
+    quality: &LinkQuality,
+    seed: u64,
+    tasks: &[Task],
+    dense_walk: bool,
+) -> Simulator {
+    let mut builder = SimulatorBuilder::new(tree.clone(), config)
+        .schedule(schedule.clone())
+        .quality(quality.clone())
+        .seed(seed)
+        .dense_walk(dense_walk)
+        .trace_capacity(1 << 20);
+    for task in tasks {
+        builder = builder.task(task.clone()).unwrap();
+    }
+    builder.build()
+}
+
+fn assert_sims_identical(a: &Simulator, b: &Simulator, label: &str) {
+    let (x, y) = (a.stats(), b.stats());
+    assert_eq!(x.deliveries, y.deliveries, "{label}: deliveries");
+    assert_eq!(x.tx_attempts, y.tx_attempts, "{label}: tx_attempts");
+    assert_eq!(
+        x.tx_attempts_per_link(),
+        y.tx_attempts_per_link(),
+        "{label}: per-link attempts"
+    );
+    assert_eq!(x.collisions, y.collisions, "{label}: collisions");
+    assert_eq!(x.losses, y.losses, "{label}: losses");
+    assert_eq!(x.queue_drops, y.queue_drops, "{label}: queue_drops");
+    assert_eq!(x.generated, y.generated, "{label}: generated");
+    assert_eq!(
+        x.queue_high_water(),
+        y.queue_high_water(),
+        "{label}: queue high-water"
+    );
+    assert_eq!(
+        x.slots_simulated, y.slots_simulated,
+        "{label}: slots simulated"
+    );
+    let ta: Vec<TraceEvent> = a.trace().iter().copied().collect();
+    let tb: Vec<TraceEvent> = b.trace().iter().copied().collect();
+    assert_eq!(ta, tb, "{label}: trace events");
+}
+
+fn assert_matches_reference(sim: &Simulator, reference: &ReferenceSimulator, label: &str) {
+    let (d, r) = (sim.stats(), reference.stats());
+    assert_eq!(d.deliveries, r.deliveries, "{label}: deliveries");
+    assert_eq!(d.tx_attempts, r.tx_attempts, "{label}: tx_attempts");
+    assert_eq!(d.collisions, r.collisions, "{label}: collisions");
+    assert_eq!(d.losses, r.losses, "{label}: losses");
+    assert_eq!(d.queue_drops, r.queue_drops, "{label}: queue_drops");
+    assert_eq!(
+        d.queue_high_water(),
+        r.queue_high_water(),
+        "{label}: queue high-water"
+    );
+    let trace: Vec<TraceEvent> = sim.trace().iter().copied().collect();
+    assert_eq!(trace, reference.trace(), "{label}: trace events");
+}
+
+#[test]
+fn event_engine_matches_dense_walk_and_reference_at_perfect_pdr() {
+    for case in 0..16u64 {
+        let mut rng = SplitMix64::new(0xE7E4_7000 ^ case);
+        let tree = random_tree(&mut rng, 24);
+        let config = SlotframeConfig::new(20, 4, 10_000).unwrap();
+        let (schedule, quality, tasks) = random_scenario(&mut rng, &tree, config, false);
+        let seed = rng.next_u64();
+        let frames = 12;
+
+        let mut event = build(&tree, config, &schedule, &quality, seed, &tasks, false);
+        let mut dense = build(&tree, config, &schedule, &quality, seed, &tasks, true);
+        event.run_slotframes(frames);
+        dense.run_slotframes(frames);
+        assert_sims_identical(&event, &dense, &format!("perfect case {case}"));
+
+        let mut reference = ReferenceSimulator::new(tree, config, schedule, quality, seed, &tasks);
+        reference.run_slotframes(frames);
+        assert_matches_reference(&event, &reference, &format!("perfect case {case}"));
+    }
+}
+
+#[test]
+fn event_engine_matches_dense_walk_on_lossy_links() {
+    // Lossy links make slot skipping observable through the shared RNG
+    // stream: if the event engine ever skipped a slot the dense walk
+    // executes (or vice versa), the loss pattern diverges from that draw
+    // on.
+    for case in 0..16u64 {
+        let mut rng = SplitMix64::new(0xE7E4_7105 ^ case);
+        let tree = random_tree(&mut rng, 24);
+        let config = SlotframeConfig::new(20, 4, 10_000).unwrap();
+        let (schedule, quality, tasks) = random_scenario(&mut rng, &tree, config, true);
+        let seed = rng.next_u64();
+        let frames = 12;
+
+        let mut event = build(&tree, config, &schedule, &quality, seed, &tasks, false);
+        let mut dense = build(&tree, config, &schedule, &quality, seed, &tasks, true);
+        event.run_slotframes(frames);
+        dense.run_slotframes(frames);
+        assert_sims_identical(&event, &dense, &format!("lossy case {case}"));
+        assert!(
+            event.stats().losses > 0,
+            "lossy case {case}: scenario must actually draw losses"
+        );
+
+        let mut reference = ReferenceSimulator::new(tree, config, schedule, quality, seed, &tasks);
+        reference.run_slotframes(frames);
+        assert_matches_reference(&event, &reference, &format!("lossy case {case}"));
+    }
+}
+
+#[test]
+fn event_engine_matches_dense_walk_under_schedule_mutation() {
+    // Mutating the schedule mid-run rebuilds the wake index; pressure
+    // accumulated by occupied links must survive the rebuild exactly.
+    for case in 0..12u64 {
+        let mut rng = SplitMix64::new(0xE7E4_7200 ^ case);
+        let tree = random_tree(&mut rng, 16);
+        let config = SlotframeConfig::new(15, 3, 10_000).unwrap();
+        let (schedule, quality, tasks) = random_scenario(&mut rng, &tree, config, true);
+        let seed = rng.next_u64();
+
+        let mut event = build(&tree, config, &schedule, &quality, seed, &tasks, false);
+        let mut dense = build(&tree, config, &schedule, &quality, seed, &tasks, true);
+        for _round in 0..6u64 {
+            event.run_slotframes(2);
+            dense.run_slotframes(2);
+            let victim = NodeId(1 + rng.next_below(tree.len() as u64 - 1) as u32);
+            let link = if rng.chance(0.5) {
+                Link::up(victim)
+            } else {
+                Link::down(victim)
+            };
+            if rng.chance(0.5) {
+                event.schedule_mut().unassign_link(link);
+                dense.schedule_mut().unassign_link(link);
+            } else {
+                let cell = Cell::new(
+                    rng.next_below(u64::from(config.slots)) as u32,
+                    rng.next_below(u64::from(config.channels)) as u16,
+                );
+                let _ = event.schedule_mut().assign(cell, link);
+                let _ = dense.schedule_mut().assign(cell, link);
+            }
+        }
+        event.run_slotframes(4);
+        dense.run_slotframes(4);
+        assert_sims_identical(&event, &dense, &format!("mutation case {case}"));
+    }
+}
+
+/// Runs a seeded control-plane scenario to completion and returns its
+/// full observable outcome.
+fn control_plane_outcome(
+    make_transport: &dyn Fn() -> Box<dyn tsch_sim::Transport>,
+) -> (Vec<Delivered<u32>>, TransportStats, u64) {
+    let tree = Tree::paper_fig1_example();
+    let config = SlotframeConfig::new(20, 4, 10_000).unwrap();
+    let mut plane: ControlPlane<u32> = ControlPlane::new(&tree, config, make_transport());
+    let pairs = [
+        (NodeId(9), NodeId(7)),
+        (NodeId(4), NodeId(1)),
+        (NodeId(1), NodeId(4)),
+        (NodeId(7), NodeId(9)),
+    ];
+    for (i, &(from, to)) in pairs.iter().cycle().take(12).enumerate() {
+        plane
+            .send(&tree, Asn(i as u64 * 3), from, to, i as u32)
+            .unwrap();
+    }
+    let mut delivered = Vec::new();
+    while let Some(at) = plane.next_event() {
+        delivered.extend(plane.poll(&tree, at).unwrap());
+    }
+    (delivered, plane.stats(), plane.messages_sent())
+}
+
+#[test]
+fn calendar_timers_are_byte_identical_under_lossy_transport() {
+    // The retransmission path is driven by the event calendar; two
+    // identically seeded runs must produce the same delivery stream,
+    // stats, and message count — and retransmissions must actually fire,
+    // so the calendar path is the one being exercised.
+    let run = || control_plane_outcome(&|| Box::new(Lossy::uniform(0.5, 0xCAFE).unwrap()) as _);
+    let (delivered, stats, sent) = run();
+    assert_eq!((delivered.clone(), stats, sent), run(), "lossy reruns");
+    assert!(stats.retransmissions > 0, "timers must fire");
+    assert_eq!(delivered.len(), 12, "reliability recovers every payload");
+}
+
+#[test]
+fn calendar_timers_are_byte_identical_under_chaos_transport() {
+    let run = || control_plane_outcome(&|| Box::new(Chaos::new(0xD1CE, 0.25, 0.2, 0.5, 7)) as _);
+    let (delivered, stats, sent) = run();
+    assert_eq!((delivered.clone(), stats, sent), run(), "chaos reruns");
+    assert!(stats.retransmissions > 0, "timers must fire");
+    assert!(
+        stats.duplicates_suppressed > 0,
+        "chaos duplicates exercise the dedup window"
+    );
+    assert_eq!(delivered.len(), 12, "reliability recovers every payload");
+}
+
+#[test]
+fn calendar_never_wakes_an_idle_slot() {
+    // Property: with observability on, the engine's own idle-wakeup
+    // counter stays zero across random scenarios, lossy links, and
+    // runtime schedule mutation — executed slots always find work.
+    for case in 0..12u64 {
+        let mut rng = SplitMix64::new(0xE7E4_7300 ^ case);
+        let tree = random_tree(&mut rng, 24);
+        let config = SlotframeConfig::new(20, 4, 10_000).unwrap();
+        let (schedule, quality, tasks) = random_scenario(&mut rng, &tree, config, true);
+        let seed = rng.next_u64();
+
+        let mut builder = SimulatorBuilder::new(tree.clone(), config)
+            .schedule(schedule.clone())
+            .quality(quality.clone())
+            .seed(seed)
+            .observability(16);
+        for task in &tasks {
+            builder = builder.task(task.clone()).unwrap();
+        }
+        let mut sim = builder.build();
+        for _round in 0..4u64 {
+            sim.run_slotframes(3);
+            let victim = NodeId(1 + rng.next_below(tree.len() as u64 - 1) as u32);
+            sim.schedule_mut().unassign_link(Link::up(victim));
+        }
+        sim.run_slotframes(3);
+        let snap = sim.metrics_snapshot();
+        assert_eq!(
+            snap.counter("sim.idle_wakeups"),
+            Some(0),
+            "case {case}: the wake index promised work an executed slot did not find"
+        );
+        assert!(
+            snap.counter("sim.slots").unwrap_or(0) > 0,
+            "case {case}: the run actually executed"
+        );
+    }
+}

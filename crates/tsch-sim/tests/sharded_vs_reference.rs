@@ -109,6 +109,7 @@ fn sharded_matches_reference_with_perfect_links() {
             ShardOptions {
                 trace_capacity: 1 << 20,
                 stats_mode: StatsMode::Full,
+                serial_fallback_threshold: 0,
             },
         )
         .unwrap();
@@ -187,6 +188,7 @@ fn sharded_serial_and_parallel_runs_are_byte_identical() {
         let options = ShardOptions {
             trace_capacity: 1 << 20,
             stats_mode: StatsMode::Full,
+            serial_fallback_threshold: 0,
         };
 
         let mut serial =
@@ -247,6 +249,7 @@ fn streaming_sharded_stats_match_full_aggregates() {
         ShardOptions {
             trace_capacity: 0,
             stats_mode: StatsMode::Full,
+            serial_fallback_threshold: 0,
         },
     )
     .unwrap();
@@ -260,6 +263,7 @@ fn streaming_sharded_stats_match_full_aggregates() {
         ShardOptions {
             trace_capacity: 0,
             stats_mode: StatsMode::Streaming,
+            serial_fallback_threshold: 0,
         },
     )
     .unwrap();

@@ -25,7 +25,9 @@ mod topo_gen;
 
 pub use dynamics::{fig10_rate_steps, uplink_demand_after_change, TrafficChange};
 pub use mesh::{ForestTree, Mesh};
-pub use scale::{scale_scenario, ScaleScenario, SCALE_SOURCES_PER_SUBTREE, SCALE_SUBTREES};
+pub use scale::{
+    scale_scenario, ScaleScenario, SCALE_SIZES, SCALE_SOURCES_PER_SUBTREE, SCALE_SUBTREES,
+};
 pub use scenarios::{
     fig10_observed_node, fig11_topologies, fig12_topologies, testbed_50_node_tree,
 };

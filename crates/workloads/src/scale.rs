@@ -23,6 +23,10 @@ use tsch_sim::{
 /// Depth-1 subtrees (= shards) in every scale scenario.
 pub const SCALE_SUBTREES: usize = 16;
 
+/// Node counts of the scale-study rows (1k → 1M). The bench harness and
+/// its gate both iterate this list, so adding a row here grows both.
+pub const SCALE_SIZES: [u32; 4] = [1_000, 10_000, 100_000, 1_000_000];
+
 /// Traffic sources per subtree (the deepest nodes, so routes are long).
 pub const SCALE_SOURCES_PER_SUBTREE: usize = 8;
 
@@ -290,5 +294,7 @@ mod tests {
         assert_eq!(fanout4_layers(21), 2);
         assert_eq!(fanout4_layers(22), 3);
         assert_eq!(fanout4_layers(6_250), 7);
+        // Per-subtree size at the 1M-node row: 999_999 / 16 ≈ 62_500.
+        assert_eq!(fanout4_layers(62_500), 8);
     }
 }
