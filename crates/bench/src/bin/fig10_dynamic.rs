@@ -1,189 +1,25 @@
 //! Fig. 10: end-to-end latency of the observed node while its data rate
 //! steps 1 → 1.5 → 3 packets/slotframe.
 //!
-//! The control plane (HARP nodes + management plane) and the data plane
-//! (slot-level simulator) run in lockstep. As on the testbed, the observed
-//! node's partition starts with idle headroom cells, so the first rate step
-//! is absorbed by a purely local schedule update, while the second step
-//! overflows the partition and triggers a partition-adjustment escalation —
-//! visible as a longer latency excursion before the network settles again.
+//! The experiment itself is the checked-in `scenarios/fig10_dynamic.scn`
+//! (topology, headroom, rate steps, report shape) replayed through the
+//! shared scenario runner — this binary is a thin wrapper kept for CI and
+//! muscle memory. Equivalent invocation:
+//! `harp_sim --scenario scenarios/fig10_dynamic.scn`.
 //!
-//! Writes `BENCH_fig10.json` at the workspace root: the latency timeline as
-//! gated rows plus a merged control-/data-plane trace sample in which the
-//! rate-step escalation shows up as overlapping `change`/`adjust` spans
-//! (`harp_trace BENCH_fig10.json --view storms --storm-k 2` finds them).
-//!
-//! Run with `cargo run --release -p harp-bench --bin fig10_dynamic`.
+//! Writes `BENCH_fig10.json` at the workspace root.
 
-use harp_bench::harness::{rows_json, to_json_with_sections, write_report};
-use harp_bench::run_lockstep;
-use harp_core::{HarpNetwork, SchedulingPolicy};
-use harp_obs::merged_trace_json;
-use tsch_sim::{Asn, Direction, Link, Rate, SimulatorBuilder, SlotframeConfig};
-use workloads::{fig10_observed_node, uplink_demand_after_change};
+use harp_bench::harness::flag;
+use harp_bench::scenario_run::{load_scenario_file, run_scenario, scenario_dir, RunOptions};
 
 fn main() {
-    let tree = workloads::testbed_50_node_tree();
-    let config = SlotframeConfig::paper_default();
-    let observed = fig10_observed_node();
-    let base_rate = Rate::per_slotframe(1);
-
-    // Static phase with +1 headroom on every link of the observed node's
-    // path (the testbed's partitions had idle cells; §VI-C).
-    let mut padded = workloads::aggregated_echo_requirements(&tree, base_rate);
-    let base = padded.clone();
-    for hop in tree.path_to_root(observed).windows(2) {
-        for link in [Link::up(hop[0]), Link::down(hop[0])] {
-            padded.set(link, padded.get(link) + 1);
-        }
-    }
-    let mut net = HarpNetwork::new(
-        tree.clone(),
-        config,
-        &padded,
-        SchedulingPolicy::RateMonotonic,
-    );
-    net.enable_observability(2048);
-    net.run_static().expect("feasible static phase");
-    // Release the headroom: partitions keep their size, schedules shrink to
-    // the real demand. (Local case — no management messages.)
-    for (link, cells) in base.iter() {
-        if padded.get(link) != cells {
-            net.request_change(net.now(), link, cells)
-                .expect("local decrease");
-        }
-    }
-    net.run_until_quiescent().expect("decreases settle");
-    assert!(net.schedule().is_exclusive());
-
-    // Data plane.
-    let net_offset = net.now().0;
-    let mut builder = SimulatorBuilder::new(tree.clone(), config)
-        .schedule(net.schedule().clone())
-        .seed(0xF10)
-        .observability(256);
-    for task in workloads::echo_task_per_node(&tree, base_rate) {
-        builder = builder.task(task).expect("valid task");
-    }
-    let mut sim = builder.build();
-    let observed_task =
-        workloads::task_id_of(&tree, observed).expect("observed is not the gateway");
-
-    let phase = |sim: &mut tsch_sim::Simulator, net: &mut HarpNetwork, frames: u64| {
-        run_lockstep(sim, net, net_offset, frames * u64::from(config.slots));
+    let scenario = load_scenario_file(&scenario_dir().join("fig10_dynamic.scn"))
+        .expect("checked-in scenario parses");
+    let opts = RunOptions {
+        quick: flag("--quick"),
+        ..RunOptions::default()
     };
-
-    // Phase 1: steady state at 1 pkt/slotframe.
-    phase(&mut sim, &mut net, 30);
-
-    // Phase 2: rate 1.5 — absorbed by the headroom (local schedule update).
-    let steps = workloads::fig10_rate_steps(observed);
-    sim.set_task_rate(observed_task, steps[0].new_rate)
-        .expect("task exists");
-    apply_demand_change(
-        &tree,
-        &mut net,
-        &mut sim,
-        observed,
-        base_rate,
-        steps[0].new_rate,
-    );
-    phase(&mut sim, &mut net, 30);
-
-    // Phase 3: rate 3 — overflows the partition, escalates.
-    sim.set_task_rate(observed_task, steps[1].new_rate)
-        .expect("task exists");
-    apply_demand_change(
-        &tree,
-        &mut net,
-        &mut sim,
-        observed,
-        base_rate,
-        steps[1].new_rate,
-    );
-    phase(&mut sim, &mut net, 40);
-
-    // Report: average latency of the observed node per slotframe.
-    println!("# Fig. 10 — e2e latency of node {} over time", observed.0);
-    println!("# rate steps at slotframe 30 (1 -> 1.5) and 60 (1.5 -> 3)");
-    println!("{:>10} {:>12}", "slotframe", "latency(s)");
-    let slot_s = f64::from(config.slot_duration_us) / 1e6;
-    let timeline = sim.stats().latency_timeline(observed, config.slots);
-    for &(frame, mean_slots) in &timeline {
-        println!("{frame:>10} {:>12.3}", mean_slots * slot_s);
-    }
-    println!(
-        "# schedule exclusive throughout: {}",
-        sim.schedule().is_exclusive()
-    );
-    println!("{}", harp_bench::obs_footer());
-
-    // Gated report: the timeline itself as rows (seeded, deterministic),
-    // delivery totals, and the merged trace. The rate steps appear in the
-    // trace as `change` spans on the observed node's path; the phase-3
-    // escalation is the storm `harp_trace --view storms` reports.
-    let rows: Vec<(String, Vec<(&'static str, f64)>)> = timeline
-        .iter()
-        .map(|&(frame, mean_slots)| {
-            (
-                format!("sf{frame:03}"),
-                vec![("mean_latency_slots", mean_slots)],
-            )
-        })
-        .collect();
-    let stats = sim.stats();
-    let metrics: Vec<(&str, f64)> = vec![
-        ("generated", stats.generated as f64),
-        ("delivered", stats.deliveries.len() as f64),
-        ("collisions", stats.collisions as f64),
-        ("losses", stats.losses as f64),
-        ("bench_threads", tsch_sim::bench_threads() as f64),
-    ];
-    let mut snap = net.metrics_snapshot();
-    snap.add_counters(packing::obs::totals());
-    snap.add_counters(workloads::obs::totals());
-    let trace = merged_trace_json(&[&net.obs().spans, &sim.obs().spans], 96);
-    let json = to_json_with_sections(
-        &[],
-        &metrics,
-        &[
-            ("rows", rows_json(&rows)),
-            ("obs", snap.to_json()),
-            ("trace_sample", trace),
-        ],
-    );
-    write_report("BENCH_fig10.json", &json);
-}
-
-/// Recomputes the demand of every link on the observed node's path for the
-/// new rate and injects the changes into the control plane.
-fn apply_demand_change(
-    tree: &tsch_sim::Tree,
-    net: &mut HarpNetwork,
-    sim: &mut tsch_sim::Simulator,
-    observed: tsch_sim::NodeId,
-    base_rate: Rate,
-    new_rate: Rate,
-) {
-    let now = Asn(net.now().0.max(sim.now().0));
-    let ups = uplink_demand_after_change(tree, observed, base_rate, new_rate);
-    let mut changes: Vec<(Link, u32)> = ups.clone();
-    // Echo traffic: downlinks mirror uplinks.
-    changes.extend(ups.iter().map(|&(l, c)| {
-        (
-            Link {
-                child: l.child,
-                direction: Direction::Down,
-            },
-            c,
-        )
-    }));
-    for (link, cells) in changes {
-        let ops = net
-            .request_change(now, link, cells)
-            .expect("feasible change");
-        for op in &ops {
-            harp_core::apply_op(sim.schedule_mut(), op).expect("consistent ops");
-        }
-    }
+    run_scenario(&scenario, &opts)
+        .expect("scenario runs")
+        .emit();
 }

@@ -114,9 +114,7 @@ fn main() {
     println!("{}", harp_bench::obs_footer());
 
     let mut snap = MetricsSnapshot::default();
-    snap.add_counters(packing::obs::totals());
-    snap.add_counters(workloads::obs::totals());
-    snap.add_counters(schedulers::obs::totals());
+    harp_bench::add_all_library_counters(&mut snap);
     let total = spans.len() as u64;
     let json = to_json_with_sections(
         &[],

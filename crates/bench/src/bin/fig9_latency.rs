@@ -256,9 +256,7 @@ fn main() {
     }
     metrics.push(("bench_threads", tsch_sim::bench_threads() as f64));
     let mut snap = harp_obs::MetricsSnapshot::default();
-    snap.add_counters(packing::obs::totals());
-    snap.add_counters(workloads::obs::totals());
-    snap.add_counters(schedulers::obs::totals());
+    harp_bench::add_all_library_counters(&mut snap);
     let rings: Vec<&SpanRing> = blocks.iter().flat_map(|b| b.rings.iter()).collect();
     let json = to_json_with_sections(
         &[],

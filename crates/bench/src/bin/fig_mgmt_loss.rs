@@ -1,227 +1,26 @@
 //! Management-frame loss sweep: static-phase convergence and adjustment
 //! overhead vs the per-hop PDR of the control channel.
 //!
-//! The paper's testbed measures HARP over a real (imperfect) channel; this
-//! experiment quantifies what loss costs the control plane. For each PDR in
-//! {1.0, 0.99, 0.95, 0.9, 0.8}, seeded 50-node topologies run the full
-//! static phase and one dynamic adjustment over a [`Lossy`] transport with
-//! CoAP-style reliability, counting convergence time (slotframes),
-//! management messages, retransmissions, ACKs and channel drops. The
-//! PDR 1.0 row must match the ideal-channel baseline exactly, with zero
-//! retransmissions — the reliability sublayer is free when the channel is.
+//! The experiment itself is the checked-in `scenarios/mgmt_loss.scn`
+//! (topology batch, PDR list, the deepest-link adjustment) replayed
+//! through the shared scenario runner — this binary is a thin wrapper
+//! kept for CI and muscle memory. Equivalent invocation:
+//! `harp_sim --scenario scenarios/mgmt_loss.scn [--quick]`.
 //!
-//! Run with `cargo run --release -p harp-bench --bin fig_mgmt_loss`;
-//! pass `--quick` for a two-topology smoke run (CI). Writes
-//! `BENCH_mgmt_loss.json` at the workspace root.
+//! Writes `BENCH_mgmt_loss.json` at the workspace root; `--quick` runs the
+//! two-topology smoke batch (CI).
 
-use harp_bench::harness::write_report;
-use harp_bench::{mean, par_map};
-use harp_core::{HarpNetwork, ProtocolReport, SchedulingPolicy};
-use tsch_sim::{Link, Lossy, SlotframeConfig, Tree};
-use workloads::TopologyConfig;
-
-const PDRS: [f64; 5] = [1.0, 0.99, 0.95, 0.9, 0.8];
-
-struct Sample {
-    static_report: ProtocolReport,
-    adjust_report: ProtocolReport,
-}
-
-/// One full run — static phase plus one deep adjustment — over `transport`.
-fn run_one(tree: &Tree, config: SlotframeConfig, pdr: f64, seed: u64) -> Sample {
-    let reqs = workloads::uniform_link_requirements(tree, 1);
-    let mut net = if pdr >= 1.0 {
-        HarpNetwork::new(tree.clone(), config, &reqs, SchedulingPolicy::RateMonotonic)
-    } else {
-        HarpNetwork::with_transport(
-            tree.clone(),
-            config,
-            &reqs,
-            SchedulingPolicy::RateMonotonic,
-            Box::new(Lossy::uniform(pdr, seed).expect("valid pdr")),
-        )
-    };
-    let static_report = net.run_static().expect("static phase converges");
-
-    // One adjustment at the deepest populated layer: demand 1 → 2.
-    let deepest = tree.nodes().map(|v| tree.depth(v)).max().unwrap_or(1);
-    let node = (1..=deepest)
-        .rev()
-        .find_map(|d| tree.nodes_at_depth(d).first().copied())
-        .expect("non-trivial tree");
-    let adjust_report = net
-        .adjust_and_settle(net.now(), Link::up(node), 2)
-        .expect("adjustment resolves");
-    Sample {
-        static_report,
-        adjust_report,
-    }
-}
+use harp_bench::harness::flag;
+use harp_bench::scenario_run::{load_scenario_file, run_scenario, scenario_dir, RunOptions};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let topologies = if quick { 2 } else { 10 };
-    let config = SlotframeConfig::paper_default();
-    let trees = TopologyConfig::paper_50_node().generate_batch(0x10EF, topologies);
-
-    println!("# Management-frame loss sweep — static phase + one adjustment");
-    println!("# {topologies} seeded 50-node topologies per PDR");
-    println!(
-        "{:>6} {:>9} {:>9} {:>7} {:>7} {:>8} {:>9} {:>9}",
-        "pdr", "st_frames", "st_msgs", "retx", "drops", "acks", "adj_msgs", "adj_frames"
-    );
-
-    // Each (pdr, topology) cell is independent; sweep them in parallel.
-    let jobs: Vec<(usize, usize)> = (0..PDRS.len())
-        .flat_map(|p| (0..trees.len()).map(move |t| (p, t)))
-        .collect();
-    let samples = par_map(&jobs, |_, &(p, t)| {
-        let seed = 0xA5ED_0000_u64 + ((p as u64) << 8) + t as u64;
-        run_one(&trees[t], config, PDRS[p], seed)
-    });
-
-    // The PDR 1.0 row runs the ideal channel; a Lossy transport at the same
-    // PDR must be indistinguishable: same report, zero retransmissions.
-    for ideal in samples.iter().take(trees.len()) {
-        // The first trees.len() jobs are the pdr 1.0 column.
-        assert_eq!(
-            ideal.static_report.retransmissions, 0,
-            "ideal channel must need no retransmissions"
-        );
-        assert_eq!(ideal.static_report.dropped, 0);
-    }
-    let obs_snapshot;
-    let trace_sample;
-    {
-        // Explicit equivalence check on one topology: Lossy at PDR 1.0
-        // (every chance() draw succeeds) vs the Reliable fast path. The
-        // ideal run doubles as the sweep's observability probe: metrics
-        // recording must not perturb the protocol (the comparison against
-        // the uninstrumented Lossy run below proves it run-for-run).
-        let reqs = workloads::uniform_link_requirements(&trees[0], 1);
-        let mut ideal = HarpNetwork::new(
-            trees[0].clone(),
-            config,
-            &reqs,
-            SchedulingPolicy::RateMonotonic,
-        );
-        ideal.enable_observability(1024);
-        let ideal_report = ideal.run_static().unwrap();
-        let mut lossy = HarpNetwork::with_transport(
-            trees[0].clone(),
-            config,
-            &reqs,
-            SchedulingPolicy::RateMonotonic,
-            Box::new(Lossy::uniform(1.0, 7).unwrap()),
-        );
-        let lossy_report = lossy.run_static().unwrap();
-        // The one permitted difference: under Lossy the reliability
-        // sublayer is engaged, so ACKs flow (piggybacked, free). Timing,
-        // message counts and the schedule itself must be identical.
-        let mut comparable = lossy_report.clone();
-        comparable.acks = ideal_report.acks;
-        assert_eq!(
-            ideal_report, comparable,
-            "Lossy at PDR 1.0 must match the ideal channel exactly"
-        );
-        assert_eq!(lossy_report.retransmissions, 0);
-        assert_eq!(lossy_report.dropped, 0);
-        let a: Vec<_> = ideal.schedule().iter_links().collect();
-        let b: Vec<_> = lossy.schedule().iter_links().collect();
-        assert_eq!(a, b, "schedules must be identical at PDR 1.0");
-        let mut snap = ideal.metrics_snapshot();
-        snap.add_counters(packing::obs::totals());
-        snap.add_counters(workloads::obs::totals());
-        obs_snapshot = snap;
-        trace_sample = ideal.obs().spans.to_json(32);
-    }
-
-    let mut json = String::from("{\n");
-    json.push_str(&format!("  \"topologies\": {topologies},\n"));
-    json.push_str(&format!(
-        "  \"metrics\": {{\"bench_threads\": {}}},\n",
-        tsch_sim::bench_threads()
-    ));
-    json.push_str("  \"rows\": [\n");
-    for (p, &pdr) in PDRS.iter().enumerate() {
-        let rows: Vec<&Sample> = samples
-            .iter()
-            .zip(&jobs)
-            .filter(|(_, &(jp, _))| jp == p)
-            .map(|(s, _)| s)
-            .collect();
-        let st_frames = mean(
-            &rows
-                .iter()
-                .map(|s| s.static_report.slotframes(config) as f64)
-                .collect::<Vec<_>>(),
-        );
-        let st_msgs = mean(
-            &rows
-                .iter()
-                .map(|s| (s.static_report.mgmt_messages + s.static_report.cell_messages) as f64)
-                .collect::<Vec<_>>(),
-        );
-        let retx = mean(
-            &rows
-                .iter()
-                .map(|s| s.static_report.retransmissions as f64)
-                .collect::<Vec<_>>(),
-        );
-        let drops = mean(
-            &rows
-                .iter()
-                .map(|s| s.static_report.dropped as f64)
-                .collect::<Vec<_>>(),
-        );
-        let acks = mean(
-            &rows
-                .iter()
-                .map(|s| s.static_report.acks as f64)
-                .collect::<Vec<_>>(),
-        );
-        let adj_msgs = mean(
-            &rows
-                .iter()
-                .map(|s| (s.adjust_report.mgmt_messages + s.adjust_report.cell_messages) as f64)
-                .collect::<Vec<_>>(),
-        );
-        let adj_frames = mean(
-            &rows
-                .iter()
-                .map(|s| s.adjust_report.slotframes(config) as f64)
-                .collect::<Vec<_>>(),
-        );
-        println!(
-            "{pdr:>6.2} {st_frames:>9.2} {st_msgs:>9.2} {retx:>7.2} {drops:>7.2} {acks:>8.2} {adj_msgs:>9.2} {adj_frames:>10.2}"
-        );
-        let sep = if p + 1 < PDRS.len() { "," } else { "" };
-        json.push_str(&format!(
-            "    {{\"pdr\": {pdr}, \"static_slotframes\": {st_frames:.3}, \
-             \"static_messages\": {st_msgs:.3}, \"retransmissions\": {retx:.3}, \
-             \"dropped\": {drops:.3}, \"acks\": {acks:.3}, \
-             \"adjust_messages\": {adj_msgs:.3}, \"adjust_slotframes\": {adj_frames:.3}}}{sep}\n"
-        ));
-    }
-    json.push_str("  ],\n  \"obs\": ");
-    json.push_str(&obs_snapshot.to_json());
-    json.push_str(",\n  \"trace_sample\": ");
-    json.push_str(&trace_sample);
-    json.push_str("\n}\n");
-    println!("{}", harp_bench::obs_footer());
-
-    write_report("BENCH_mgmt_loss.json", &json);
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn lossy_run_converges_on_one_topology() {
-        let tree = TopologyConfig::paper_50_node().generate(3);
-        let sample = run_one(&tree, SlotframeConfig::paper_default(), 0.9, 42);
-        assert!(sample.static_report.mgmt_messages > 0);
-        assert!(sample.adjust_report.elapsed_slots() > 0);
-    }
+    let scenario = load_scenario_file(&scenario_dir().join("mgmt_loss.scn"))
+        .expect("checked-in scenario parses");
+    let opts = RunOptions {
+        quick: flag("--quick"),
+        ..RunOptions::default()
+    };
+    run_scenario(&scenario, &opts)
+        .expect("scenario runs")
+        .emit();
 }

@@ -164,7 +164,7 @@ fn timed_frames<F: FnOnce()>(frames: u64, slots: u32, run: F) -> f64 {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = harp_bench::harness::flag("--smoke");
     let (sizes, rounds, frames, warmup): (&[u32], usize, u64, u64) = if smoke {
         (&[10_000], 1, 2, 2)
     } else {

@@ -1,0 +1,77 @@
+//! `harp_sim` — run any declarative scenario file through the shared
+//! runner.
+//!
+//! ```text
+//! harp_sim --scenario scenarios/mgmt_loss.scn [--seed 42] [--quick] [--threads N]
+//! ```
+//!
+//! The scenario file declares topology, scheduler, workload, fault
+//! schedule and report shape (grammar in `DESIGN.md` §14); the runner
+//! replays it deterministically — the same scenario and seed produce a
+//! byte-identical report on every run and for every `--threads` value.
+//! `--seed` overrides the file's seed; `--quick` shrinks topology sweeps
+//! to their `quick_count` (the CI smoke setting).
+
+use harp_bench::harness::{arg_value, flag};
+use harp_bench::scenario_run::{load_scenario_file, run_scenario, RunOptions};
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: harp_sim --scenario <file.scn> [--seed <n>] [--quick] [--threads <n>]";
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn main() -> ExitCode {
+    let Some(path) = arg_value("--scenario") else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let seed = match arg_value("--seed") {
+        Some(v) => match parse_u64(&v) {
+            Some(n) => Some(n),
+            None => {
+                eprintln!("error: invalid --seed `{v}`");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    let threads = match arg_value("--threads") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => {
+                eprintln!("error: invalid --threads `{v}`");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    let opts = RunOptions {
+        quick: flag("--quick"),
+        seed,
+        threads,
+    };
+    let scenario = match load_scenario_file(Path::new(&path)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_scenario(&scenario, &opts) {
+        Ok(output) => {
+            output.emit();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,120 +1,25 @@
 //! Table II: partition-adjustment overhead for a selected set of events at
 //! different layers of the 50-node testbed network.
 //!
-//! Each event raises one subtree component (by raising a link demand under
-//! it) and reports: involved nodes, layers crossed, HARP messages
-//! exchanged, elapsed time in seconds, and slotframes — the same columns as
-//! the paper's Table II. Absolute values depend on the stand-in topology;
-//! the shape to check is that deeper/larger events involve more nodes,
-//! layers, messages and time.
+//! The experiment itself is the checked-in `scenarios/table2_adjustment.scn`
+//! (one `demand_step` per Table II event) replayed through the shared
+//! scenario runner — this binary is a thin wrapper kept for CI and muscle
+//! memory. Equivalent invocation:
+//! `harp_sim --scenario scenarios/table2_adjustment.scn`.
 //!
-//! Writes `BENCH_table2.json` at the workspace root: one gated row per
-//! event plus a trace sample merging all six instrumented adjustments —
-//! six `adjust` spans at different depths, the canonical input for the
-//! `harp_trace` flame view.
-//!
-//! Run with `cargo run --release -p harp-bench --bin table2_adjustment`.
+//! Writes `BENCH_table2.json` at the workspace root.
 
-use harp_bench::harness::{rows_json, to_json_with_sections, write_report};
-use harp_bench::{measure_harp_adjustment_traced, par_map};
-use harp_obs::{spans_to_json, MetricsSnapshot, SpanEvent};
-use tsch_sim::{Link, NodeId, SlotframeConfig};
+use harp_bench::harness::flag;
+use harp_bench::scenario_run::{load_scenario_file, run_scenario, scenario_dir, RunOptions};
 
 fn main() {
-    let tree = workloads::testbed_50_node_tree();
-    let config = SlotframeConfig::paper_default();
-    // The testbed workload: one echo task per node at 1 pkt/slotframe, so
-    // r(e) equals the child-side subtree size in both directions.
-    let reqs = workloads::aggregated_echo_requirements(&tree, tsch_sim::Rate::per_slotframe(1));
-
-    // Events in the spirit of the paper's Table II: demand increases of
-    // varying size at links of every depth (the paper's node ids belong to
-    // its own testbed layout and do not transfer). Raising r(e) of a link
-    // whose child is node N at depth d grows component C_{parent(N), d}.
-    let events: [(Link, u32); 6] = [
-        (Link::up(NodeId(1)), 2),
-        (Link::up(NodeId(14)), 2),
-        (Link::up(NodeId(5)), 3),
-        (Link::up(NodeId(17)), 2),
-        (Link::up(NodeId(33)), 2),
-        (Link::up(NodeId(45)), 2),
-    ];
-
-    println!("# Table II — partition adjustment overhead for selected events");
-    println!(
-        "{:<30} {:>6} {:>7} {:>5} {:>8} {:>4}",
-        "Event", "Nodes", "Layers", "Msg.", "Time(s)", "SF"
-    );
-    // Each event replays the static phase from scratch, so the rows are
-    // independent: measure them in parallel, print in event order.
-    let results = par_map(&events, |_, &(link, delta)| {
-        let old = reqs.get(link);
-        let new_cells = old + delta;
-        let parent = tree.parent(link.child).expect("non-root");
-        let label = format!(
-            "C_{{{},{}}}: r(up N{}) {}->{}",
-            parent.0,
-            tree.layer_of_link(link),
-            link.child.0,
-            old,
-            new_cells
-        );
-        match measure_harp_adjustment_traced(&tree, &reqs, config, link, new_cells) {
-            Some((s, trace)) => {
-                let text = format!(
-                    "{:<30} {:>6} {:>7} {:>5} {:>8.2} {:>4}",
-                    label,
-                    s.involved_nodes,
-                    s.layers_touched,
-                    s.mgmt_messages,
-                    s.seconds,
-                    s.slotframes
-                );
-                let row = (
-                    format!(
-                        "C{}_L{}_N{}",
-                        parent.0,
-                        tree.layer_of_link(link),
-                        link.child.0
-                    ),
-                    vec![
-                        ("involved_nodes", s.involved_nodes as f64),
-                        ("layers_touched", s.layers_touched as f64),
-                        ("mgmt_messages", s.mgmt_messages as f64),
-                        ("seconds", s.seconds),
-                        ("slotframes", s.slotframes as f64),
-                    ],
-                );
-                // Keep the adjustment spans only: the six identical static
-                // phases would otherwise drown the interesting part.
-                let spans: Vec<SpanEvent> =
-                    trace.into_iter().filter(|s| s.name == "adjust").collect();
-                (text, Some(row), spans)
-            }
-            None => (format!("{label:<30} infeasible"), None, Vec::new()),
-        }
-    });
-    let mut rows = Vec::new();
-    let mut spans: Vec<SpanEvent> = Vec::new();
-    for (text, row, event_spans) in results {
-        println!("{text}");
-        rows.extend(row);
-        spans.extend(event_spans);
-    }
-    println!("{}", harp_bench::obs_footer());
-
-    let mut snap = MetricsSnapshot::default();
-    snap.add_counters(packing::obs::totals());
-    snap.add_counters(workloads::obs::totals());
-    let total = spans.len() as u64;
-    let json = to_json_with_sections(
-        &[],
-        &[("bench_threads", tsch_sim::bench_threads() as f64)],
-        &[
-            ("rows", rows_json(&rows)),
-            ("obs", snap.to_json()),
-            ("trace_sample", spans_to_json(spans.iter(), total)),
-        ],
-    );
-    write_report("BENCH_table2.json", &json);
+    let scenario = load_scenario_file(&scenario_dir().join("table2_adjustment.scn"))
+        .expect("checked-in scenario parses");
+    let opts = RunOptions {
+        quick: flag("--quick"),
+        ..RunOptions::default()
+    };
+    run_scenario(&scenario, &opts)
+        .expect("scenario runs")
+        .emit();
 }

@@ -485,6 +485,8 @@ mod tests {
             "../../BENCH_fig12.json",
             "../../BENCH_table2.json",
             "../../BENCH_scale.json",
+            "../../BENCH_faults.json",
+            "../../BENCH_churn.json",
         ] {
             let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(file);
             let text = std::fs::read_to_string(&path).unwrap();

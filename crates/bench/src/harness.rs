@@ -215,8 +215,37 @@ pub fn rows_json(rows: &[(String, Vec<(&str, f64)>)]) -> String {
     out
 }
 
-/// Writes a report file at the workspace root (resolved relative to this
-/// crate's manifest when run under cargo, else the working directory) and
+/// Resolves a path against the workspace root: relative to this crate's
+/// manifest when run under cargo, else the working directory. Reports,
+/// committed baselines and the `scenarios/` directory all live there.
+#[must_use]
+pub fn workspace_path(rel: &str) -> std::path::PathBuf {
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => std::path::Path::new(&dir).join("../../").join(rel),
+        Err(_) => std::path::PathBuf::from(rel),
+    }
+}
+
+/// True when `name` appears among the process arguments — the experiment
+/// binaries' shared convention for flags like `--quick`.
+#[must_use]
+pub fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Value of a `--key value` argument pair, if present.
+#[must_use]
+pub fn arg_value(key: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == key {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Writes a report file at the workspace root (see [`workspace_path`]) and
 /// prints where it went.
 ///
 /// # Panics
@@ -224,10 +253,7 @@ pub fn rows_json(rows: &[(String, Vec<(&str, f64)>)]) -> String {
 /// Panics when the file cannot be written — a bench run whose report
 /// silently vanishes would let the CI gate pass on stale data.
 pub fn write_report(file_name: &str, contents: &str) {
-    let path = match std::env::var("CARGO_MANIFEST_DIR") {
-        Ok(dir) => std::path::Path::new(&dir).join("../../").join(file_name),
-        Err(_) => std::path::PathBuf::from(file_name),
-    };
+    let path = workspace_path(file_name);
     std::fs::write(&path, contents).unwrap_or_else(|e| panic!("write {file_name}: {e}"));
     println!("wrote {}", path.display());
 }

@@ -10,6 +10,7 @@
 
 pub mod gate;
 pub mod harness;
+pub mod scenario_run;
 
 use harp_core::{HarpNetwork, Requirements, SchedulingPolicy};
 use schedulers::Scheduler;
@@ -130,6 +131,20 @@ pub fn measure_harp_adjustment_traced(
     };
     let spans: Vec<harp_obs::SpanEvent> = net.obs().spans.iter().copied().collect();
     Some((sample, spans))
+}
+
+/// Folds the process-wide packing and workloads counters into a snapshot —
+/// the `obs` section boilerplate every experiment report shares.
+pub fn add_library_counters(snap: &mut tsch_sim::MetricsSnapshot) {
+    snap.add_counters(packing::obs::totals());
+    snap.add_counters(workloads::obs::totals());
+}
+
+/// [`add_library_counters`] plus the scheduler counters — for experiments
+/// that exercise the pluggable schedulers (Fig. 9, Fig. 12).
+pub fn add_all_library_counters(snap: &mut tsch_sim::MetricsSnapshot) {
+    add_library_counters(snap);
+    snap.add_counters(schedulers::obs::totals());
 }
 
 /// Formats a probability as a percentage with two decimals.

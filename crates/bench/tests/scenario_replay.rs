@@ -1,0 +1,189 @@
+//! Replay determinism: the same scenario file and seed must produce
+//! byte-identical output — across repeated runs, across `--threads`
+//! settings, and with fault windows active mid-run.
+//!
+//! Two layers of coverage:
+//!
+//! * end to end through the `harp_sim` binary (fresh process each run, so
+//!   stdout, the report file and the process-wide counter footer are all
+//!   compared byte for byte);
+//! * in-process through [`run_scenario`], where the `obs` section is
+//!   masked out (library counters are process-cumulative by design, so a
+//!   second run in the same process legitimately reports larger totals).
+
+use harp_bench::scenario_run::{load_scenario_file, run_scenario, scenario_dir, RunOptions};
+use std::path::PathBuf;
+use std::process::Command;
+use workloads::scenario_dsl::parse_scenario;
+
+/// A fault-heavy replicates scenario: every window is inside the run, so
+/// a replay that mishandles fault state cannot accidentally pass.
+const FAULTY_REPLICATES: &str = "\
+scenario replay_probe
+seed 0xBEEF
+frames 30
+
+[topology]
+generator testbed50
+
+[workloads]
+demand echo rate=1
+
+[faults]
+crash node=7 at_frame=5 restart_frame=12
+pdr_window link=up:9 from_frame=6 frames=8 pdr=0.5
+partition subtree=3 at_frame=20 frames=4
+burst node=21 at_frame=4 packets=10
+
+[report]
+";
+
+/// Drops the `obs` section from a rendered report, keeping metrics, rows
+/// and the trace sample intact.
+fn without_obs(json: &str) -> String {
+    let Some(start) = json.find("\"obs\":") else {
+        return json.to_owned();
+    };
+    let end = json[start..]
+        .find("\"trace_sample\"")
+        .map_or(json.len(), |i| start + i);
+    format!("{}{}", &json[..start], &json[end..])
+}
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../")
+}
+
+/// Runs the `harp_sim` binary on `scenario_path` and returns its stdout
+/// plus the bytes of the report it wrote.
+fn run_harp_sim(
+    scenario_path: &std::path::Path,
+    seed: u64,
+    threads: usize,
+    report: &str,
+) -> (String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_harp_sim"))
+        .args([
+            "--scenario",
+            &scenario_path.display().to_string(),
+            "--seed",
+            &seed.to_string(),
+            "--threads",
+            &threads.to_string(),
+        ])
+        .env("CARGO_MANIFEST_DIR", env!("CARGO_MANIFEST_DIR"))
+        .env("HARP_BENCH_THREADS", "3") // pin the env-derived metric
+        .output()
+        .expect("harp_sim spawns");
+    assert!(
+        out.status.success(),
+        "harp_sim failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    let json = std::fs::read_to_string(workspace_root().join(report)).expect("report written");
+    (stdout, json)
+}
+
+#[test]
+fn harp_sim_replays_byte_identically_across_runs_and_threads() {
+    let dir = std::env::temp_dir().join("harp_scenario_replay_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let scn = dir.join("replay_probe.scn");
+    let report = "target/replay_probe.json";
+    std::fs::write(
+        &scn,
+        format!("{FAULTY_REPLICATES}file {report}\nmode replicates repeats=3\n"),
+    )
+    .unwrap();
+
+    let (stdout_a, json_a) = run_harp_sim(&scn, 5, 1, report);
+    let (stdout_b, json_b) = run_harp_sim(&scn, 5, 1, report);
+    assert_eq!(stdout_a, stdout_b, "same seed, same threads: same bytes");
+    assert_eq!(json_a, json_b);
+
+    let (stdout_c, json_c) = run_harp_sim(&scn, 5, 4, report);
+    assert_eq!(stdout_a, stdout_c, "thread count must not leak into output");
+    assert_eq!(json_a, json_c);
+
+    // The comparison must have happened under live fault pressure: all
+    // nine lowered events (crash 2, pdr_window 2, partition 4, burst 1)
+    // fire inside every replicate's 30 frames.
+    assert!(json_a.contains("\"fault_events\": 9.000"), "got: {json_a}");
+    assert!(json_a.contains("\"faults_fired\": 9.000"), "got: {json_a}");
+}
+
+#[test]
+fn timeline_replays_byte_identically_under_fault_windows() {
+    let scenario = parse_scenario(
+        "scenario timeline_replay
+seed 0x7E57
+frames 12
+
+[workloads]
+demand echo rate=1
+rate_step node=15 at_frame=6 rate=2
+
+[faults]
+crash node=7 at_frame=4 restart_frame=8
+pdr_window link=up:15 from_frame=3 frames=5 pdr=0.6
+
+[report]
+mode timeline node=15
+",
+    )
+    .unwrap();
+    let opts = RunOptions {
+        seed: Some(11),
+        ..RunOptions::default()
+    };
+    let a = run_scenario(&scenario, &opts).unwrap();
+    let b = run_scenario(&scenario, &opts).unwrap();
+    assert_eq!(a.stdout, b.stdout);
+    assert_eq!(without_obs(&a.json), without_obs(&b.json));
+}
+
+#[test]
+fn pdr_sweep_is_thread_count_invariant() {
+    let scenario = load_scenario_file(&scenario_dir().join("mgmt_loss.scn"))
+        .expect("checked-in scenario parses");
+    let run = |threads: usize| {
+        run_scenario(
+            &scenario,
+            &RunOptions {
+                quick: true,
+                threads: Some(threads),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap()
+    };
+    let one = run(1);
+    let four = run(4);
+    assert_eq!(one.stdout, four.stdout);
+    assert_eq!(without_obs(&one.json), without_obs(&four.json));
+}
+
+#[test]
+fn seed_override_changes_the_replay() {
+    let scenario =
+        parse_scenario(&format!("{FAULTY_REPLICATES}mode replicates repeats=2\n")).unwrap();
+    let run = |seed: u64| {
+        run_scenario(
+            &scenario,
+            &RunOptions {
+                seed: Some(seed),
+                threads: Some(2),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap()
+    };
+    let a = run(1);
+    let b = run(2);
+    assert_ne!(
+        without_obs(&a.json),
+        without_obs(&b.json),
+        "the PDR window makes replicate stats seed-dependent"
+    );
+}

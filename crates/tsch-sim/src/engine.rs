@@ -70,9 +70,11 @@
 //! [`SimulatorBuilder::dense_walk`], which is kept as the in-tree
 //! differential baseline.
 
+use crate::calendar::EventCalendar;
+use crate::faults::{FaultAction, FaultPlan};
 use crate::interference::InterferenceModel;
 use crate::packet::{Packet, Rate, Task, TaskId};
-use crate::radio::LinkQuality;
+use crate::radio::{LinkQuality, PdrError};
 use crate::rng::SplitMix64;
 use crate::schedule::NetworkSchedule;
 use crate::stats::{SimStats, StatsMode};
@@ -208,6 +210,7 @@ pub struct SimulatorBuilder {
     obs_span_capacity: Option<usize>,
     stats_mode: StatsMode,
     dense_walk: bool,
+    fault_plan: FaultPlan,
 }
 
 impl fmt::Debug for SimulatorBuilder {
@@ -240,6 +243,7 @@ impl SimulatorBuilder {
             obs_span_capacity: None,
             stats_mode: StatsMode::Full,
             dense_walk: false,
+            fault_plan: FaultPlan::new(),
         }
     }
 
@@ -320,6 +324,19 @@ impl SimulatorBuilder {
     #[must_use]
     pub fn observability(mut self, span_capacity: usize) -> Self {
         self.obs_span_capacity = Some(span_capacity);
+        self
+    }
+
+    /// Installs a fault-injection plan; its actions fire at their exact
+    /// ASNs as the simulation advances (see [`FaultPlan`]).
+    ///
+    /// The plan is validated when [`build`](Self::build) runs: every
+    /// referenced node and link must lie inside the tree's id space, PDR
+    /// values must be within `[0, 1]`, and every referenced task must be
+    /// registered — `build` panics otherwise.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
         self
     }
 
@@ -431,6 +448,45 @@ impl SimulatorBuilder {
         };
         let obs_ids = SimObsIds::register(&mut obs);
 
+        // Validate the fault plan against the tree and task set, then load
+        // it onto the event calendar. Same-ASN actions keep plan order
+        // (the calendar is FIFO within a slot).
+        let mut fault_calendar = EventCalendar::new();
+        for &(at, action) in self.fault_plan.events() {
+            match action {
+                FaultAction::NodeDown(n) | FaultAction::NodeUp(n) => {
+                    assert!(
+                        n.index() < self.tree.len(),
+                        "fault plan names node {n} outside the tree"
+                    );
+                }
+                FaultAction::LinkMask(l, _) => {
+                    assert!(
+                        l.child.index() < self.tree.len(),
+                        "fault plan names link {l:?} outside the tree"
+                    );
+                }
+                FaultAction::LinkPdr(l, p) => {
+                    assert!(
+                        l.child.index() < self.tree.len(),
+                        "fault plan names link {l:?} outside the tree"
+                    );
+                    assert!(
+                        (0.0..=1.0).contains(&p),
+                        "fault plan PDR {p} outside [0, 1]"
+                    );
+                }
+                FaultAction::TaskBurst(t, _) | FaultAction::TaskRate(t, _) => {
+                    assert!(
+                        self.tasks.iter().any(|s| s.task.id == t),
+                        "fault plan names unregistered task {t}"
+                    );
+                }
+            }
+            fault_calendar.schedule(at, action);
+        }
+
+        let node_count = self.tree.len();
         let mut sim = Simulator {
             tree: self.tree,
             config: self.config,
@@ -472,6 +528,11 @@ impl SimulatorBuilder {
             obs_ids,
             frame_start_asn: 0,
             frame_tx_base: 0,
+            fault_calendar,
+            node_down: vec![false; node_count],
+            link_masked: vec![false; link_count],
+            faults_fired: 0,
+            idle_wakeup_count: 0,
         };
         sim.rebuild_slot_table();
         // Scheduled links took the low (cache-densest) lanes above; now
@@ -568,6 +629,18 @@ pub struct Simulator {
     frame_start_asn: u64,
     /// `stats.tx_attempts` at the start of the slotframe in progress.
     frame_tx_base: u64,
+    /// Pending fault actions, drained at the top of every slot
+    /// ([`FaultPlan`]). Empty unless a plan was installed.
+    fault_calendar: EventCalendar<FaultAction>,
+    /// Per node: currently crashed. Adjacent links read as PDR 0.
+    node_down: Vec<bool>,
+    /// Per dense link id: effective PDR forced to 0 (partition windows).
+    link_masked: Vec<bool>,
+    /// Fault actions applied so far.
+    faults_fired: u64,
+    /// Always-on mirror of the `sim.idle_wakeups` obs counter, so the
+    /// invariant is checkable without enabling observability.
+    idle_wakeup_count: u64,
 }
 
 impl fmt::Debug for Simulator {
@@ -743,6 +816,16 @@ impl Simulator {
         if self.table_version != self.schedule.version() {
             self.rebuild_slot_table();
         }
+        // Drain fault actions due this slot *before* boundary work, so a
+        // crash or rate change landing on a frame boundary governs that
+        // frame's releases. One heap peek per slot when a plan is armed,
+        // one branch when none is.
+        if !self.fault_calendar.is_empty() {
+            while let Some((_, action)) = self.fault_calendar.pop_due(self.now) {
+                self.faults_fired += 1;
+                self.apply_fault(action);
+            }
+        }
         if self.config.slot_offset(self.now) == 0 {
             if self.obs.is_enabled() {
                 if self.now.0 > 0 {
@@ -781,6 +864,7 @@ impl Simulator {
                 // The queue-pressure index promised work but every cell
                 // was idle — unreachable by construction; the reconcile
                 // suite and the bench gate pin this counter to zero.
+                self.idle_wakeup_count += 1;
                 self.obs.metrics.inc(self.obs_ids.idle_wakeups, 1);
                 debug_assert!(false, "event calendar woke idle slot {slot}");
             }
@@ -851,7 +935,7 @@ impl Simulator {
         self.lane_of[id] = u32::try_from(lane).expect("lane count fits u32");
         self.lane_links.push(self.links[id]);
         self.lane_link_id.push(id as u32);
-        self.lane_pdr.push(self.pdr[id]);
+        self.lane_pdr.push(self.effective_pdr(id));
         self.queues.push(VecDeque::new());
         self.occupied_pos.push(u32::MAX);
         lane
@@ -957,6 +1041,11 @@ impl Simulator {
         // a borrow of `self.tasks` while enqueueing.
         let mut releases: Vec<TaskRelease> = Vec::new();
         for state in &mut self.tasks {
+            // A crashed node generates nothing while down (the sensor is
+            // off, not buffering); its sequence numbers do not advance.
+            if self.node_down[state.task.source.index()] {
+                continue;
+            }
             let n = state.task.rate.packets_in_slotframe(frame);
             if n > 0 {
                 releases.push((
@@ -1218,6 +1307,193 @@ impl Simulator {
                 .metrics
                 .set_max(self.obs_ids.queue_high_water, depth as f64);
         }
+    }
+
+    // --- Fault injection -------------------------------------------------
+
+    /// Applies one fault action now (see [`FaultPlan`] for semantics).
+    fn apply_fault(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::NodeDown(node) => {
+                if self.node_down[node.index()] {
+                    return;
+                }
+                self.node_down[node.index()] = true;
+                // A crash loses the node's RAM: drop everything it had
+                // queued to send before its links go dark.
+                self.clear_sender_queues(node);
+                self.refresh_node_links(node);
+            }
+            FaultAction::NodeUp(node) => {
+                if !self.node_down[node.index()] {
+                    return;
+                }
+                self.node_down[node.index()] = false;
+                self.refresh_node_links(node);
+            }
+            FaultAction::LinkMask(link, masked) => {
+                if let Some(id) = self.intern(link) {
+                    self.link_masked[id as usize] = masked;
+                    self.refresh_link_quality(id as usize);
+                }
+            }
+            FaultAction::LinkPdr(link, pdr) => {
+                if let Some(id) = self.intern(link) {
+                    self.pdr[id as usize] = pdr;
+                    self.refresh_link_quality(id as usize);
+                }
+            }
+            FaultAction::TaskBurst(task, n) => self.release_burst(task, n),
+            FaultAction::TaskRate(task, rate) => {
+                self.set_task_rate(task, rate)
+                    .expect("fault plan tasks are validated at build");
+            }
+        }
+    }
+
+    /// The PDR link `id` currently transmits at: 0 while either endpoint
+    /// is down or the link is masked, its configured value otherwise.
+    fn effective_pdr(&self, id: usize) -> f64 {
+        if self.link_masked[id] {
+            return 0.0;
+        }
+        let link = self.links[id];
+        if self.node_down[link.child.index()] {
+            return 0.0;
+        }
+        if let Some(parent) = self.tree.parent(link.child) {
+            if self.node_down[parent.index()] {
+                return 0.0;
+            }
+        }
+        self.pdr[id]
+    }
+
+    /// Re-derives the lane-cached PDR of link `id` after a fault mutation.
+    /// Links without a lane need nothing: [`Self::lane_for`] reads the
+    /// effective value at allocation.
+    fn refresh_link_quality(&mut self, id: usize) {
+        let lane = self.lane_of[id];
+        if lane != u32::MAX {
+            self.lane_pdr[lane as usize] = self.effective_pdr(id);
+        }
+    }
+
+    /// Refreshes every link with `node` as an endpoint: its own up/down
+    /// pair and each child's up/down pair.
+    fn refresh_node_links(&mut self, node: NodeId) {
+        let mut ids = vec![node.index() * 2, node.index() * 2 + 1];
+        for &child in self.tree.children(node) {
+            ids.push(child.index() * 2);
+            ids.push(child.index() * 2 + 1);
+        }
+        for id in ids {
+            self.refresh_link_quality(id);
+        }
+    }
+
+    /// Drops everything `node` had queued to send (its uplink and each
+    /// child's downlink), with queue-drop accounting and trace events, and
+    /// releases the lanes' queue pressure.
+    fn clear_sender_queues(&mut self, node: NodeId) {
+        let mut ids = Vec::new();
+        if self.tree.parent(node).is_some() {
+            ids.push(node.index() * 2); // Link::up(node)
+        }
+        for &child in self.tree.children(node) {
+            ids.push(child.index() * 2 + 1); // Link::down(child)
+        }
+        for id in ids {
+            let lane = self.lane_of[id];
+            if lane == u32::MAX {
+                continue;
+            }
+            let lane = lane as usize;
+            let n = self.queues[lane].len();
+            if n == 0 {
+                continue;
+            }
+            let link = self.lane_links[lane];
+            self.queues[lane].clear();
+            self.stats.queue_drops += n as u64;
+            self.obs.metrics.inc(self.obs_ids.queue_drops, n as u64);
+            for _ in 0..n {
+                self.trace.record(TraceEvent::Drop { at: self.now, link });
+            }
+            self.note_queue_empty(lane);
+        }
+    }
+
+    /// Releases `n` extra packets for `task` immediately (off the
+    /// slotframe-boundary cadence), through the normal enqueue path. A
+    /// burst at a crashed node is silently absorbed — the radio is off.
+    fn release_burst(&mut self, id: TaskId, n: u32) {
+        let Some(i) = self.tasks.iter().position(|t| t.task.id == id) else {
+            return;
+        };
+        if self.node_down[self.tasks[i].task.source.index()] {
+            return;
+        }
+        let route = self.tasks[i].route.clone();
+        let route_lanes = self.tasks[i].route_lanes.clone();
+        let seq0 = self.tasks[i].next_seq;
+        self.tasks[i].next_seq += u64::from(n);
+        for k in 0..u64::from(n) {
+            self.stats.generated += 1;
+            self.obs.metrics.inc(self.obs_ids.generated, 1);
+            let packet = Packet::new(id, seq0 + k, self.now, route.clone());
+            if packet.is_delivered() {
+                self.obs.metrics.inc(self.obs_ids.deliveries, 1);
+                self.obs.metrics.observe(self.obs_ids.latency, 0);
+                self.stats
+                    .record_delivery(packet.holder(), self.now, self.now);
+            } else {
+                self.enqueue(packet, route_lanes.clone());
+            }
+        }
+    }
+
+    /// Rewrites one directed link's configured PDR at runtime, outside any
+    /// fault plan. Masks and crashed endpoints still override it to 0.
+    ///
+    /// # Errors
+    ///
+    /// [`PdrError`] if `pdr` is outside `[0, 1]`.
+    pub fn set_link_pdr(&mut self, link: Link, pdr: f64) -> Result<(), PdrError> {
+        if !(0.0..=1.0).contains(&pdr) {
+            return Err(PdrError { pdr });
+        }
+        if let Some(id) = self.intern(link) {
+            self.pdr[id as usize] = pdr;
+            self.refresh_link_quality(id as usize);
+        }
+        Ok(())
+    }
+
+    /// Whether `node` is currently crashed by a fault plan.
+    #[must_use]
+    pub fn node_is_down(&self, node: NodeId) -> bool {
+        node.index() < self.node_down.len() && self.node_down[node.index()]
+    }
+
+    /// Fault actions applied so far.
+    #[must_use]
+    pub fn faults_fired(&self) -> u64 {
+        self.faults_fired
+    }
+
+    /// Fault actions still scheduled to fire.
+    #[must_use]
+    pub fn pending_faults(&self) -> usize {
+        self.fault_calendar.len()
+    }
+
+    /// Slots the event calendar woke without finding work — the engine's
+    /// core invariant pins this to 0 (always counted, observability or
+    /// not; mirrored to the `sim.idle_wakeups` metric when enabled).
+    #[must_use]
+    pub fn idle_wakeups(&self) -> u64 {
+        self.idle_wakeup_count
     }
 }
 

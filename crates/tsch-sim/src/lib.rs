@@ -52,6 +52,7 @@
 
 mod calendar;
 mod engine;
+mod faults;
 mod hopping;
 mod interference;
 mod mgmt;
@@ -72,6 +73,7 @@ pub use calendar::EventCalendar;
 pub use engine::{
     SimError, Simulator, SimulatorBuilder, DEFAULT_MAX_RETRIES, DEFAULT_QUEUE_CAPACITY,
 };
+pub use faults::{FaultAction, FaultPlan};
 pub use harp_obs::{MetricsSnapshot, Obs, SpanEvent, SpanRing, NO_NODE};
 pub use hopping::{HoppingError, HoppingSequence};
 pub use interference::{GlobalInterference, InterferenceModel, TwoHopInterference};

@@ -19,6 +19,7 @@
 mod dynamics;
 mod mesh;
 mod scale;
+pub mod scenario_dsl;
 mod scenarios;
 mod tasks;
 mod topo_gen;

@@ -1,0 +1,263 @@
+//! The parsed scenario tree — plain data, no behaviour beyond defaults.
+//!
+//! Every field mirrors one grammar directive (see the [module
+//! docs](super)); the compile helpers in [`super::compile`] lower these
+//! specs onto simulator types.
+
+use tsch_sim::Rate;
+
+/// A fully parsed scenario file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name from the `scenario <name>` preamble line.
+    pub name: String,
+    /// Base seed for every random process (`seed`, default 0). Runner
+    /// flags may override it.
+    pub seed: u64,
+    /// Data-plane run length in slotframes (`frames`, default 100).
+    pub frames: u64,
+    /// `[topology]` section.
+    pub topology: TopologySpec,
+    /// `[scheduler]` section.
+    pub scheduler: SchedulerSpec,
+    /// `[workloads]` section.
+    pub workload: WorkloadSpec,
+    /// `[faults]` section, in file order.
+    pub faults: Vec<FaultSpec>,
+    /// `[report]` section.
+    pub report: ReportSpec,
+}
+
+/// How the routing tree (or batch of trees) is obtained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// The 50-node testbed layout ([`crate::testbed_50_node_tree`]).
+    Testbed50,
+    /// The paper's Fig. 1 example tree.
+    Fig1,
+    /// Seeded random trees from [`crate::TopologyConfig`].
+    Random {
+        /// Nodes per tree (default 50).
+        nodes: u32,
+        /// Maximum layers (default 5).
+        layers: u32,
+        /// Maximum children per node (default 8).
+        max_children: usize,
+        /// Batch seed (`generate_batch`).
+        seed: u64,
+        /// Trees in the batch (default 1).
+        count: usize,
+        /// Batch size under `--quick` (default = `count`).
+        quick_count: usize,
+    },
+    /// Explicit `link <child> <parent>` lines, in file order.
+    Explicit(Vec<(u32, u32)>),
+}
+
+/// Slotframe geometry and the control channel's quality sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerSpec {
+    /// Slots per slotframe (default 199, the paper's).
+    pub slots: u32,
+    /// Channel offsets (default 16).
+    pub channels: u16,
+    /// Control-plane PDR points; a sweep for `pdr_sweep` reports
+    /// (default `[1.0]`, the ideal channel).
+    pub control_pdrs: Vec<f64>,
+}
+
+impl Default for SchedulerSpec {
+    fn default() -> Self {
+        Self {
+            slots: 199,
+            channels: 16,
+            control_pdrs: vec![1.0],
+        }
+    }
+}
+
+/// How link demand (and the data-plane task set) is derived.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DemandModel {
+    /// One echo task per node at `rate`; link demand aggregates subtree
+    /// traffic in both directions ([`crate::aggregated_echo_requirements`]).
+    Echo(Rate),
+    /// Every link demands a flat `cells`
+    /// ([`crate::uniform_link_requirements`]).
+    Uniform(u32),
+}
+
+/// Idle headroom cells padded onto one node's path at the static phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Headroom {
+    /// The node whose root path is padded.
+    pub node: u32,
+    /// Extra cells per path link, both directions.
+    pub cells: u32,
+}
+
+/// One runtime rate change of a node's task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateStep {
+    /// The node whose task steps.
+    pub node: u32,
+    /// Slotframe at which the new rate takes effect.
+    pub at_frame: u64,
+    /// The new rate.
+    pub rate: Rate,
+}
+
+/// A directed-link selector usable before the tree is built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkSel {
+    /// `up:<node>` — the node's uplink.
+    Up(u32),
+    /// `down:<node>` — the node's downlink.
+    Down(u32),
+    /// `deepest` — the uplink of the first node at the deepest populated
+    /// layer (resolved per tree).
+    Deepest,
+}
+
+/// `[workloads]` — demand model plus the dynamic event streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Demand model (default `demand echo rate=1`).
+    pub demand: DemandModel,
+    /// Optional static-phase headroom padding.
+    pub headroom: Option<Headroom>,
+    /// Task rate steps, in file order.
+    pub rate_steps: Vec<RateStep>,
+    /// Control-plane demand adjustments (`adjustments`/`pdr_sweep`
+    /// events), in file order.
+    pub demand_steps: Vec<DemandStep>,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        Self {
+            demand: DemandModel::Echo(Rate::per_slotframe(1)),
+            headroom: None,
+            rate_steps: Vec::new(),
+            demand_steps: Vec::new(),
+        }
+    }
+}
+
+/// One control-plane demand adjustment: raise a link's demand by `delta`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DemandStep {
+    /// The adjusted link.
+    pub link: LinkSel,
+    /// Cells added on top of the link's modelled demand.
+    pub delta: u32,
+}
+
+/// One fault directive. The data-plane kinds lower onto
+/// [`tsch_sim::FaultPlan`] actions at exact ASNs; `Reparent` is
+/// control-plane churn consumed by the `churn` report driver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultSpec {
+    /// `crash node=N at_frame=F [restart_frame=G]`
+    Crash {
+        /// Crashed node.
+        node: u32,
+        /// Slotframe the crash fires at.
+        at_frame: u64,
+        /// Optional restart slotframe (strictly after `at_frame`).
+        restart_frame: Option<u64>,
+    },
+    /// `gateway_failover at_frame=F frames=D` — the root goes dark for
+    /// `frames` slotframes.
+    GatewayFailover {
+        /// Slotframe the gateway goes down.
+        at_frame: u64,
+        /// Outage length in slotframes.
+        frames: u64,
+    },
+    /// `pdr_window link=L from_frame=F frames=D pdr=P` — degrade one
+    /// link's PDR over a window, restoring afterwards.
+    PdrWindow {
+        /// Degraded link.
+        link: LinkSel,
+        /// Window start slotframe.
+        from_frame: u64,
+        /// Window length in slotframes.
+        frames: u64,
+        /// Degraded PDR in `[0, 1]`.
+        pdr: f64,
+    },
+    /// `partition subtree=N at_frame=F frames=D` — cut the subtree rooted
+    /// at `N` off the network for a window (both cut-crossing links).
+    Partition {
+        /// Subtree root (non-gateway).
+        subtree: u32,
+        /// Window start slotframe.
+        at_frame: u64,
+        /// Window length in slotframes.
+        frames: u64,
+    },
+    /// `burst node=N at_frame=F packets=K` — release `K` extra packets
+    /// of the node's task at an exact slotframe boundary.
+    Burst {
+        /// Bursting node (non-gateway).
+        node: u32,
+        /// Slotframe of the burst.
+        at_frame: u64,
+        /// Extra packets released.
+        packets: u32,
+    },
+    /// `reparent node=N to=M at_frame=F` — mobile-node churn: leaf `N`
+    /// re-attaches under `M` (control plane; `churn` reports).
+    Reparent {
+        /// The moving leaf.
+        node: u32,
+        /// Its new parent.
+        to: u32,
+        /// Slotframe of the move.
+        at_frame: u64,
+    },
+}
+
+/// What the runner executes and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportMode {
+    /// Lockstep control+data planes; per-slotframe latency rows of one
+    /// observed node (the Fig. 10 shape).
+    Timeline {
+        /// Observed node.
+        node: u32,
+    },
+    /// Control-plane PDR sweep over the scheduler's `control_pdr` list
+    /// (the mgmt-loss shape).
+    PdrSweep,
+    /// One row per `demand_step` adjustment (the Table II shape).
+    Adjustments,
+    /// Fault-driven data-plane replicates: `repeats` independently seeded
+    /// runs of the same scenario, one row each.
+    Replicates {
+        /// Number of replicate runs.
+        repeats: u32,
+    },
+    /// Sequential control-plane churn: one row per fault/demand event.
+    Churn,
+}
+
+/// `[report]` — output file and mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportSpec {
+    /// `BENCH_*.json` file written at the workspace root (omit to print
+    /// only).
+    pub file: Option<String>,
+    /// Report mode (default `replicates repeats=1`).
+    pub mode: ReportMode,
+}
+
+impl Default for ReportSpec {
+    fn default() -> Self {
+        Self {
+            file: None,
+            mode: ReportMode::Replicates { repeats: 1 },
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Lowering a parsed [`Scenario`] onto simulator types: trees, slotframe
+//! config, requirements, task sets and the exact-ASN [`FaultPlan`].
+//!
+//! Frame-denominated directives lower as `asn = frame * slots`, i.e. the
+//! top of the named slotframe, so a fault at `at_frame=F` governs frame
+//! `F`'s releases (the engine drains due faults before boundary work).
+//! `reparent` is control-plane churn and never enters the data-plane plan;
+//! the `churn` report driver consumes it from [`Scenario::faults`]
+//! directly.
+
+use super::ast::{DemandModel, FaultSpec, LinkSel, Scenario, TopologySpec};
+use crate::{
+    aggregated_echo_requirements, echo_task_per_node, task_id_of, testbed_50_node_tree,
+    uniform_link_requirements, uplink_task_per_node, TopologyConfig,
+};
+use tsch_sim::{Asn, FaultAction, FaultPlan, Link, NodeId, Rate, SlotframeConfig, Task, Tree};
+
+/// A [`super::DemandStep`] resolved against a concrete tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DemandStepEvent {
+    /// The adjusted directed link.
+    pub link: Link,
+    /// Cells added on top of the link's modelled demand.
+    pub delta: u32,
+}
+
+impl LinkSel {
+    /// Resolves the selector against a tree.
+    ///
+    /// `deepest` picks the uplink of the first node at the deepest
+    /// populated layer (the management-loss experiment's victim rule).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the selector when the node is outside the tree,
+    /// is the gateway, or (for `deepest`) the tree has a single node.
+    pub fn resolve(self, tree: &Tree) -> Result<Link, String> {
+        let node = |n: u32| -> Result<NodeId, String> {
+            let id = NodeId(n);
+            if id.index() >= tree.len() {
+                return Err(format!("link selector names node {n} outside the tree"));
+            }
+            if id == tree.root() {
+                return Err(format!("link selector names the gateway (node {n})"));
+            }
+            Ok(id)
+        };
+        match self {
+            LinkSel::Up(n) => Ok(Link::up(node(n)?)),
+            LinkSel::Down(n) => Ok(Link::down(node(n)?)),
+            LinkSel::Deepest => (1..=tree.layers())
+                .rev()
+                .find_map(|d| tree.nodes_at_depth(d).first().copied())
+                .map(Link::up)
+                .ok_or_else(|| "`deepest` needs a tree with at least one non-root node".into()),
+        }
+    }
+}
+
+impl Scenario {
+    /// The slotframe geometry from the `[scheduler]` section.
+    ///
+    /// # Errors
+    ///
+    /// A message when the slot/channel combination is rejected by
+    /// [`SlotframeConfig::new`].
+    pub fn slotframe_config(&self) -> Result<SlotframeConfig, String> {
+        SlotframeConfig::new(self.scheduler.slots, self.scheduler.channels, 10_000)
+            .map_err(|e| format!("invalid scheduler geometry: {e}"))
+    }
+
+    /// Builds the scenario's tree batch. `quick` selects the random
+    /// generator's `quick_count`; the fixed topologies always yield one
+    /// tree.
+    #[must_use]
+    pub fn trees(&self, quick: bool) -> Vec<Tree> {
+        match &self.topology {
+            TopologySpec::Testbed50 => vec![testbed_50_node_tree()],
+            TopologySpec::Fig1 => vec![Tree::paper_fig1_example()],
+            TopologySpec::Random {
+                nodes,
+                layers,
+                max_children,
+                seed,
+                count,
+                quick_count,
+            } => {
+                let cfg = TopologyConfig {
+                    nodes: *nodes,
+                    layers: *layers,
+                    max_children: *max_children,
+                };
+                cfg.generate_batch(*seed, if quick { *quick_count } else { *count })
+            }
+            TopologySpec::Explicit(links) => vec![Tree::from_parents(links)],
+        }
+    }
+
+    /// Per-link cell demand under the scenario's demand model.
+    #[must_use]
+    pub fn requirements(&self, tree: &Tree) -> harp_core::Requirements {
+        match self.workload.demand {
+            DemandModel::Echo(rate) => aggregated_echo_requirements(tree, rate),
+            DemandModel::Uniform(cells) => uniform_link_requirements(tree, cells),
+        }
+    }
+
+    /// The data-plane task set matching [`Scenario::requirements`]: echo
+    /// tasks at the demand rate, or (for uniform demand) one
+    /// packet-per-frame uplink task per node as monitoring traffic.
+    #[must_use]
+    pub fn tasks(&self, tree: &Tree) -> Vec<Task> {
+        match self.workload.demand {
+            DemandModel::Echo(rate) => echo_task_per_node(tree, rate),
+            DemandModel::Uniform(_) => uplink_task_per_node(tree, Rate::per_slotframe(1)),
+        }
+    }
+
+    /// Resolves every `demand_step` against a tree, in file order.
+    ///
+    /// # Errors
+    ///
+    /// The first selector that does not resolve (see [`LinkSel::resolve`]).
+    pub fn demand_step_events(&self, tree: &Tree) -> Result<Vec<DemandStepEvent>, String> {
+        self.workload
+            .demand_steps
+            .iter()
+            .map(|s| {
+                Ok(DemandStepEvent {
+                    link: s.link.resolve(tree)?,
+                    delta: s.delta,
+                })
+            })
+            .collect()
+    }
+
+    /// Lowers the data-plane fault directives onto an exact-ASN
+    /// [`FaultPlan`] for `tree` (see the module docs for the frame → ASN
+    /// rule). `reparent` directives are validated but excluded — they are
+    /// control-plane churn.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first directive whose node, link or task does
+    /// not exist in `tree` (bursts need a task, so they require a node the
+    /// demand model generates traffic for).
+    pub fn data_fault_plan(&self, tree: &Tree) -> Result<FaultPlan, String> {
+        let slots = u64::from(self.scheduler.slots);
+        let asn = |frame: u64| Asn(frame * slots);
+        let node = |n: u32, what: &str| -> Result<NodeId, String> {
+            let id = NodeId(n);
+            if id.index() >= tree.len() {
+                return Err(format!("`{what}` names node {n} outside the tree"));
+            }
+            Ok(id)
+        };
+        let mut plan = FaultPlan::new();
+        for fault in &self.faults {
+            match *fault {
+                FaultSpec::Crash {
+                    node: n,
+                    at_frame,
+                    restart_frame,
+                } => {
+                    plan = plan.crash(node(n, "crash")?, asn(at_frame), restart_frame.map(asn));
+                }
+                FaultSpec::GatewayFailover { at_frame, frames } => {
+                    plan = plan.crash(tree.root(), asn(at_frame), Some(asn(at_frame + frames)));
+                }
+                FaultSpec::PdrWindow {
+                    link,
+                    from_frame,
+                    frames,
+                    pdr,
+                } => {
+                    let link = link.resolve(tree)?;
+                    plan =
+                        plan.pdr_window(link, asn(from_frame), asn(from_frame + frames), pdr, 1.0);
+                }
+                FaultSpec::Partition {
+                    subtree,
+                    at_frame,
+                    frames,
+                } => {
+                    let root = node(subtree, "partition")?;
+                    if root == tree.root() {
+                        return Err("`partition` cannot cut the gateway's subtree".into());
+                    }
+                    let (from, until) = (asn(at_frame), asn(at_frame + frames));
+                    plan = plan.mask_window(Link::up(root), from, until).mask_window(
+                        Link::down(root),
+                        from,
+                        until,
+                    );
+                }
+                FaultSpec::Burst {
+                    node: n,
+                    at_frame,
+                    packets,
+                } => {
+                    let id = node(n, "burst")?;
+                    let task = task_id_of(tree, id)
+                        .ok_or_else(|| format!("`burst` names node {n}, which has no task"))?;
+                    plan = plan.at(asn(at_frame), FaultAction::TaskBurst(task, packets));
+                }
+                FaultSpec::Reparent { node: n, to, .. } => {
+                    node(n, "reparent")?;
+                    node(to, "reparent")?;
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The control-plane churn stream: every `reparent` directive as
+    /// `(at_frame, node, new_parent)`, in file order.
+    #[must_use]
+    pub fn reparent_events(&self) -> Vec<(u64, u32, u32)> {
+        self.faults
+            .iter()
+            .filter_map(|f| match *f {
+                FaultSpec::Reparent { node, to, at_frame } => Some((at_frame, node, to)),
+                _ => None,
+            })
+            .collect()
+    }
+}

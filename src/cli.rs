@@ -1,8 +1,13 @@
 //! The `harp-cli` command-line interface: run the HARP pipeline, simulate
-//! traffic, measure adjustments and check deadlines from a shell.
+//! traffic, measure adjustments, check deadlines and lint scenario files
+//! from a shell.
 //!
 //! The parser and command runners live in the library so they are unit
-//! tested; the binary (`src/bin/harp-cli.rs`) is a thin wrapper.
+//! tested; the binary (`src/bin/harp-cli.rs`) is a thin wrapper. The
+//! `scenarios` commands run both the grammar parse (positioned
+//! diagnostics) and the compile checks against each scenario's own
+//! topology — an out-of-tree node or an unresolvable link selector fails
+//! validation, not the run.
 
 use harp_core::{
     check_deadlines, render_super_partitions, render_utilization, DeadlineTask, HarpNetwork,
@@ -12,10 +17,12 @@ use schedulers::{
     AliceScheduler, HarpScheduler, LdsfScheduler, MsfScheduler, RandomScheduler, Scheduler,
 };
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 use tsch_sim::{
     Direction, GlobalInterference, Link, LinkQuality, NodeId, Rate, SimulatorBuilder,
     SlotframeConfig,
 };
+use workloads::scenario_dsl::{parse_scenario, ReportMode, Scenario};
 use workloads::TopologyConfig;
 
 /// A parsed CLI invocation.
@@ -57,6 +64,10 @@ pub enum CliCommand {
         /// Topologies to average over.
         count: usize,
     },
+    /// `scenarios list`: list + validate the checked-in scenario files.
+    ScenariosList,
+    /// `scenarios validate <file>..`: parse + compile-check scenario files.
+    ScenariosValidate(Vec<String>),
     /// `help`: usage text.
     Help,
 }
@@ -98,6 +109,8 @@ USAGE:
   harp-cli adjust     [net args] --node X --cells C
   harp-cli deadlines  [net args] [--frames F]
   harp-cli collisions --scheduler random|msf|alice|ldsf|harp [--rate R] [--count N]
+  harp-cli scenarios  list
+  harp-cli scenarios  validate <file.scn>..
   harp-cli help
 ";
 
@@ -152,6 +165,18 @@ impl CliCommand {
         let Some(command) = args.first() else {
             return Ok(CliCommand::Help);
         };
+        // `scenarios` takes positional operands, not --flag pairs.
+        if command == "scenarios" {
+            return match args.get(1).map(String::as_str) {
+                Some("list") => Ok(CliCommand::ScenariosList),
+                Some("validate") if args.len() > 2 => {
+                    Ok(CliCommand::ScenariosValidate(args[2..].to_vec()))
+                }
+                Some("validate") => Err("`scenarios validate` needs at least one file".into()),
+                Some(other) => Err(format!("unknown scenarios subcommand '{other}'\n{USAGE}")),
+                None => Err(format!("`scenarios` needs a subcommand\n{USAGE}")),
+            };
+        }
         let map = parse_kv(&args[1..])?;
         match command.as_str() {
             "partition" => Ok(CliCommand::Partition(parse_net(&map)?)),
@@ -223,6 +248,15 @@ fn build_network(net: NetArgs) -> Result<(tsch_sim::Tree, Requirements, Slotfram
 pub fn run(command: CliCommand) -> Result<String, String> {
     match command {
         CliCommand::Help => Ok(USAGE.to_string()),
+        CliCommand::ScenariosList => list_scenarios(),
+        CliCommand::ScenariosValidate(files) => {
+            let mut out = String::new();
+            for file in &files {
+                let scenario = validate_scenario_file(Path::new(file))?;
+                let _ = writeln!(out, "{file}: ok ({})", describe_scenario(&scenario));
+            }
+            Ok(out)
+        }
         CliCommand::Partition(net) => {
             let (tree, reqs, config) = build_network(net)?;
             let mut hn =
@@ -372,6 +406,82 @@ pub fn run(command: CliCommand) -> Result<String, String> {
     }
 }
 
+/// The checked-in scenario directory at the workspace root (this crate's
+/// manifest directory under cargo, the working directory otherwise).
+#[must_use]
+pub fn scenario_dir() -> PathBuf {
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => Path::new(&dir).join("scenarios"),
+        Err(_) => PathBuf::from("scenarios"),
+    }
+}
+
+/// Parses and compile-checks one scenario file.
+///
+/// # Errors
+///
+/// `"<path>: line L, column C: ..."` for grammar errors, or
+/// `"<path>: ..."` for compile failures against the scenario's topology.
+pub fn validate_scenario_file(path: &Path) -> Result<Scenario, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let scenario = parse_scenario(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let prefix = |e: String| format!("{}: {e}", path.display());
+    scenario.slotframe_config().map_err(prefix)?;
+    // The quick batch is enough: every tree in a batch shares node count
+    // and depth, which is all the compile checks consult.
+    for tree in scenario.trees(true) {
+        scenario.data_fault_plan(&tree).map_err(prefix)?;
+        scenario.demand_step_events(&tree).map_err(prefix)?;
+    }
+    Ok(scenario)
+}
+
+fn describe_scenario(s: &Scenario) -> String {
+    let mode = match s.report.mode {
+        ReportMode::Timeline { node } => format!("timeline node={node}"),
+        ReportMode::PdrSweep => "pdr_sweep".into(),
+        ReportMode::Adjustments => "adjustments".into(),
+        ReportMode::Replicates { repeats } => format!("replicates repeats={repeats}"),
+        ReportMode::Churn => "churn".into(),
+    };
+    format!(
+        "{}, {} frames, {} faults, mode {mode}",
+        s.name,
+        s.frames,
+        s.faults.len()
+    )
+}
+
+fn list_scenarios() -> Result<String, String> {
+    let dir = scenario_dir();
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "scn"))
+        .collect();
+    files.sort();
+    let mut out = String::new();
+    for path in files {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        match validate_scenario_file(&path) {
+            Ok(s) => {
+                let _ = writeln!(out, "{name:<24} {}", describe_scenario(&s));
+            }
+            Err(e) => {
+                let _ = writeln!(out, "{name:<24} INVALID: {e}");
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no scenario files found)\n");
+    }
+    Ok(out)
+}
+
 /// Rebuilds the centralized partition table for rendering (the distributed
 /// run and the oracle agree; proven by the test suite).
 fn partition_table(
@@ -436,6 +546,57 @@ mod tests {
     fn empty_args_show_help() {
         assert_eq!(CliCommand::parse(&[]).unwrap(), CliCommand::Help);
         assert!(run(CliCommand::Help).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn parse_scenarios_commands() {
+        assert_eq!(
+            CliCommand::parse(&args("scenarios list")).unwrap(),
+            CliCommand::ScenariosList
+        );
+        assert_eq!(
+            CliCommand::parse(&args("scenarios validate a.scn b.scn")).unwrap(),
+            CliCommand::ScenariosValidate(vec!["a.scn".into(), "b.scn".into()])
+        );
+        assert!(CliCommand::parse(&args("scenarios validate"))
+            .unwrap_err()
+            .contains("at least one file"));
+        assert!(CliCommand::parse(&args("scenarios frobnicate"))
+            .unwrap_err()
+            .contains("unknown scenarios subcommand"));
+    }
+
+    #[test]
+    fn scenario_validation_reports_line_and_column() {
+        let dir = std::env::temp_dir().join("harp_cli_validate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.scn");
+        std::fs::write(&bad, "scenario x\n[faults]\nmeteor node=1\n").unwrap();
+        let err = validate_scenario_file(&bad).unwrap_err();
+        assert!(err.contains("bad.scn: line 3, column 1"), "got: {err}");
+        assert!(err.contains("unknown fault kind"));
+
+        // Grammar-valid but compile-invalid: node outside the topology.
+        let oob = dir.join("oob.scn");
+        std::fs::write(
+            &oob,
+            "scenario x\n[topology]\nlink 1 0\n[faults]\ncrash node=9 at_frame=1\n",
+        )
+        .unwrap();
+        let err = validate_scenario_file(&oob).unwrap_err();
+        assert!(err.contains("outside the tree"), "got: {err}");
+    }
+
+    #[test]
+    fn checked_in_scenarios_all_validate() {
+        let out = run(CliCommand::ScenariosList).unwrap();
+        assert!(out.contains("fig10_dynamic.scn"), "got: {out}");
+        assert!(out.contains("mgmt_loss.scn"));
+        assert!(out.contains("table2_adjustment.scn"));
+        assert!(out.contains("fault_storm.scn"));
+        assert!(out.contains("gateway_failover.scn"));
+        assert!(out.contains("reparent_churn.scn"));
+        assert!(!out.contains("INVALID"), "got: {out}");
     }
 
     #[test]
