@@ -3,32 +3,83 @@
 //! documented tolerances (see [`harp_bench::gate`] for the tolerance
 //! rationale).
 //!
-//! Usage: `bench_check <baseline.json> <fresh.json> [<baseline2> <fresh2> ...]`
+//! Two invocation forms:
+//!
+//! ```sh
+//! # Explicit pairs (ad-hoc use):
+//! bench_check <baseline.json> <fresh.json> [<baseline2> <fresh2> ...]
+//!
+//! # Manifest-driven (what CI runs): every report registered in
+//! # crates/bench/bench_manifest.txt, baselines under --baseline-dir,
+//! # fresh reports in the working directory.
+//! bench_check --manifest crates/bench/bench_manifest.txt --baseline-dir /tmp/bench-baselines
+//! ```
 //!
 //! Typical CI flow:
 //!
 //! ```sh
-//! cp BENCH_simulator.json /tmp/baseline_sim.json
-//! cargo bench -p harp-bench --bench simulator        # rewrites BENCH_simulator.json
-//! cargo run -p harp-bench --bin bench_check -- /tmp/baseline_sim.json BENCH_simulator.json
+//! mkdir -p /tmp/bench-baselines
+//! grep -vE '^\s*(#|$)' crates/bench/bench_manifest.txt \
+//!   | xargs -I{} cp {} /tmp/bench-baselines/                            # snapshot
+//! cargo bench -p harp-bench --bench simulator                           # regenerate...
+//! cargo run -p harp-bench --bin bench_check -- \
+//!   --manifest crates/bench/bench_manifest.txt --baseline-dir /tmp/bench-baselines
 //! ```
 
-use harp_bench::gate::{compare_report_strs, scale_check_str};
+use harp_bench::gate::{compare_report_strs, manifest_files, scale_check_str};
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: bench_check <baseline.json> <fresh.json> [<baseline2> <fresh2> ...]\n       bench_check --manifest <manifest.txt> --baseline-dir <dir>";
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Resolves the (baseline, fresh) path pairs to gate, from either form.
+fn pairs(args: &[String]) -> Result<Vec<(String, String)>, String> {
+    if let Some(manifest_path) = arg_value(args, "--manifest") {
+        let baseline_dir = arg_value(args, "--baseline-dir")
+            .ok_or_else(|| "--manifest requires --baseline-dir <dir>".to_owned())?;
+        let text = std::fs::read_to_string(&manifest_path)
+            .map_err(|e| format!("cannot read manifest {manifest_path}: {e}"))?;
+        let files = manifest_files(&text);
+        if files.is_empty() {
+            return Err(format!("manifest {manifest_path} lists no reports"));
+        }
+        Ok(files
+            .into_iter()
+            .map(|f| {
+                let name = std::path::Path::new(&f)
+                    .file_name()
+                    .map_or_else(|| f.clone(), |n| n.to_string_lossy().into_owned());
+                (format!("{baseline_dir}/{name}"), f)
+            })
+            .collect())
+    } else if !args.is_empty() {
+        let chunks = args.chunks_exact(2);
+        if !chunks.remainder().is_empty() {
+            return Err(USAGE.to_owned());
+        }
+        Ok(chunks.map(|p| (p[0].clone(), p[1].clone())).collect())
+    } else {
+        Err(USAGE.to_owned())
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        eprintln!("usage: bench_check <baseline.json> <fresh.json> [<baseline2> <fresh2> ...]");
-        return ExitCode::from(2);
-    }
+    let pairs = match pairs(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
 
     let mut total_violations = 0usize;
-    for pair in args.chunks(2) {
-        let [baseline_path, fresh_path] = pair else {
-            eprintln!("usage: bench_check <baseline.json> <fresh.json> [<baseline2> <fresh2> ...]");
-            return ExitCode::from(2);
-        };
+    for (baseline_path, fresh_path) in &pairs {
         let read =
             |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
         let result = read(baseline_path)

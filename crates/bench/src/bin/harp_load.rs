@@ -1,0 +1,442 @@
+//! `harp_load`: the service-side load generator and CI smoke client for
+//! `harpd`.
+//!
+//! Two modes share one minimal HTTP client ([`harpd::client`]):
+//!
+//! * **`--smoke`** — boots a `harpd` *child process* (`--harpd <bin>`),
+//!   waits for the socket, walks the whole API surface once against
+//!   `scenarios/fig10_dynamic.scn` (inline body *and* named file), checks
+//!   every response is 2xx and `/metrics` is valid Prometheus text, then
+//!   drives the token-guarded shutdown and requires a clean (code 0)
+//!   child exit. Exit status is the CI verdict — no curl, no jq.
+//! * **default (gated)** — hosts an *in-process* server on a loopback
+//!   port and drives it closed-loop from client threads: waves of
+//!   create → adjustment storm → schedule queries → delete across many
+//!   tenants, accumulating per-request latencies into the shared
+//!   power-of-two histogram. Writes `BENCH_service.json` with
+//!   requests/sec rates, p50/p95/p99 latencies and exact request counts
+//!   for the bench gate.
+//!
+//! Knobs (defaults in parentheses): `--networks` per wave (2048),
+//! `--waves` (2), `--nodes` per network (256), `--clients` (2),
+//! `--workers` (2), `--adjust-rounds` (4), `--schedule-rounds` (4);
+//! `--quick` shrinks to a seconds-long run (8 networks × 1 wave × 40
+//! nodes). The defaults sweep 4096 hosted networks and over a million
+//! aggregate nodes through the daemon while keeping 2048 networks
+//! resident at once (~1.5 GiB peak).
+
+use std::time::{Duration, Instant};
+
+use harp_bench::harness::{arg_value, flag, to_json_with_sections, workspace_path, write_report};
+use harp_obs::prometheus::validate_exposition;
+use harpd::client::{ClientResponse, HttpClient};
+use harpd::server::{Server, ServerConfig};
+use harpd::state::REQUEST_US_BOUNDS;
+
+fn parse_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    arg_value(key)
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{key} takes a number, got {v:?}"))
+        })
+        .unwrap_or(default)
+}
+
+fn main() {
+    if flag("--smoke") {
+        smoke();
+        return;
+    }
+    load();
+}
+
+// ---------------------------------------------------------------- smoke
+
+fn expect_2xx(what: &str, result: Result<ClientResponse, String>) -> ClientResponse {
+    match result {
+        Ok(resp) if resp.is_success() => {
+            println!("smoke: {what}: {}", resp.status);
+            resp
+        }
+        Ok(resp) => {
+            eprintln!("smoke: {what}: HTTP {} — {}", resp.status, resp.body);
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("smoke: {what}: transport error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Boots a `harpd` child and walks the API surface once. Exits non-zero
+/// on the first non-2xx, invalid exposition, or unclean child exit.
+fn smoke() {
+    let harpd_bin = arg_value("--harpd").unwrap_or_else(|| {
+        eprintln!("smoke: --harpd <path-to-binary> is required");
+        std::process::exit(2);
+    });
+    let port = parse_or("--port", 47464u16);
+    let scenario_dir = arg_value("--scenario-dir")
+        .unwrap_or_else(|| workspace_path("scenarios").display().to_string());
+    let token = "ci-smoke";
+
+    let mut child = std::process::Command::new(&harpd_bin)
+        .args([
+            "--addr",
+            "127.0.0.1",
+            "--port",
+            &port.to_string(),
+            "--workers",
+            "2",
+            "--token",
+            token,
+            "--scenario-dir",
+            &scenario_dir,
+        ])
+        .spawn()
+        .unwrap_or_else(|e| {
+            eprintln!("smoke: spawn {harpd_bin}: {e}");
+            std::process::exit(2);
+        });
+
+    let addr: std::net::SocketAddr = format!("127.0.0.1:{port}").parse().expect("loopback addr");
+    let ready = (0..300).any(|_| {
+        std::thread::sleep(Duration::from_millis(100));
+        std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_ok()
+    });
+    if !ready {
+        eprintln!("smoke: harpd did not open {addr} within 30s");
+        let _ = child.kill();
+        std::process::exit(1);
+    }
+
+    let mut client = HttpClient::new(addr).with_timeout(Duration::from_secs(60));
+
+    let health = expect_2xx("GET /health", client.get("/health"));
+    if !health.body.contains("\"status\": \"ok\"") {
+        eprintln!("smoke: /health body unexpected: {}", health.body);
+        std::process::exit(1);
+    }
+
+    let metrics = expect_2xx("GET /metrics", client.get("/metrics"));
+    if let Err(e) = validate_exposition(&metrics.body) {
+        eprintln!("smoke: /metrics is not valid Prometheus text: {e}");
+        std::process::exit(1);
+    }
+
+    // Create one network from the inline scenario body and one from the
+    // checked-in name — both paths CI must keep working.
+    let scn_path = std::path::Path::new(&scenario_dir).join("fig10_dynamic.scn");
+    let scn = std::fs::read_to_string(&scn_path).unwrap_or_else(|e| {
+        eprintln!("smoke: read {}: {e}", scn_path.display());
+        std::process::exit(2);
+    });
+    let inline_body = format!(
+        "{{\"tenant\": \"smoke-inline\", \"scenario\": \"{}\"}}",
+        scn.replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n")
+    );
+    expect_2xx(
+        "POST /networks (inline fig10_dynamic)",
+        client.post("/networks", &inline_body),
+    );
+    expect_2xx(
+        "POST /networks (named fig10_dynamic)",
+        client.post(
+            "/networks",
+            "{\"tenant\": \"smoke-named\", \"scenario_file\": \"fig10_dynamic\"}",
+        ),
+    );
+
+    let sched = expect_2xx(
+        "GET /networks/smoke-inline/schedule",
+        client.get("/networks/smoke-inline/schedule"),
+    );
+    if !sched.body.contains("\"exclusive\": true") {
+        eprintln!("smoke: schedule is not collision-free: {}", sched.body);
+        std::process::exit(1);
+    }
+
+    let bill = expect_2xx(
+        "POST /networks/smoke-inline/adjust",
+        client.post(
+            "/networks/smoke-inline/adjust",
+            "{\"node\": 15, \"cells\": 2}",
+        ),
+    );
+    if !bill.body.contains("\"mgmt_messages\"") {
+        eprintln!(
+            "smoke: adjustment bill missing mgmt_messages: {}",
+            bill.body
+        );
+        std::process::exit(1);
+    }
+
+    let metrics = expect_2xx("GET /metrics (after traffic)", client.get("/metrics"));
+    if let Err(e) = validate_exposition(&metrics.body) {
+        eprintln!("smoke: post-traffic /metrics invalid: {e}");
+        std::process::exit(1);
+    }
+    if !metrics.body.contains("tenant=\"smoke-inline\"") {
+        eprintln!("smoke: /metrics lacks per-tenant series");
+        std::process::exit(1);
+    }
+
+    expect_2xx(
+        "POST /shutdown",
+        client.post(&format!("/shutdown?token={token}"), ""),
+    );
+    let status = child.wait().unwrap_or_else(|e| {
+        eprintln!("smoke: wait on harpd: {e}");
+        std::process::exit(1);
+    });
+    if !status.success() {
+        eprintln!("smoke: harpd exited uncleanly: {status}");
+        std::process::exit(1);
+    }
+    println!("smoke: harpd drained cleanly; all checks passed");
+}
+
+// ----------------------------------------------------------------- load
+
+#[derive(Clone, Copy)]
+struct LoadConfig {
+    networks_per_wave: usize,
+    waves: usize,
+    nodes: u32,
+    clients: usize,
+    workers: usize,
+    adjust_rounds: usize,
+    schedule_rounds: usize,
+}
+
+/// Request-kind markers in the latency log.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Create,
+    Adjust,
+    Schedule,
+    Delete,
+}
+
+fn scenario_body(tenant: &str, nodes: u32, seed: u64) -> String {
+    // Uniform demand needs slotframe room that grows with the tree; the
+    // paper's 199-slot frame fits a few hundred nodes, larger networks
+    // get a prime-length 997-slot frame (same 16 channels).
+    let slots = if nodes <= 256 { 199 } else { 997 };
+    let scn = format!(
+        "scenario {tenant}\nseed 0x{seed:X}\n[topology]\ngenerator random nodes={nodes} layers=8 max_children=4 seed=0x{seed:X} count=1\n[scheduler]\nslots {slots}\nchannels 16\n[workloads]\ndemand uniform cells=1\n"
+    );
+    format!(
+        "{{\"tenant\": \"{tenant}\", \"scenario\": \"{}\"}}",
+        scn.replace('\n', "\\n")
+    )
+}
+
+struct ClientLog {
+    samples: Vec<(Kind, u64)>,
+    failures: u64,
+}
+
+fn timed(log: &mut ClientLog, kind: Kind, result: Result<ClientResponse, String>, start: Instant) {
+    let us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    match result {
+        Ok(resp) if resp.is_success() => log.samples.push((kind, us)),
+        Ok(resp) => {
+            eprintln!("load: HTTP {}: {}", resp.status, resp.body);
+            log.failures += 1;
+        }
+        Err(e) => {
+            eprintln!("load: transport: {e}");
+            log.failures += 1;
+        }
+    }
+}
+
+/// One client thread's share of a wave: create, storm, query, delete its
+/// slice of tenants.
+fn client_wave(
+    addr: std::net::SocketAddr,
+    cfg: LoadConfig,
+    wave: usize,
+    tenants: Vec<usize>,
+) -> ClientLog {
+    let mut client = HttpClient::new(addr).with_timeout(Duration::from_secs(120));
+    let mut log = ClientLog {
+        samples: Vec::new(),
+        failures: 0,
+    };
+    let tenant_name = |i: usize| format!("w{wave}-n{i}");
+
+    for &i in &tenants {
+        let seed = 0x5EED_0000 + (wave * cfg.networks_per_wave + i) as u64;
+        let body = scenario_body(&tenant_name(i), cfg.nodes, seed);
+        let start = Instant::now();
+        let resp = client.post("/networks", &body);
+        timed(&mut log, Kind::Create, resp, start);
+    }
+    for round in 0..cfg.adjust_rounds {
+        // Alternate raising and relaxing one deep link per tenant — the
+        // adjustment storm the partition hierarchy must keep absorbing.
+        let cells = if round % 2 == 0 { 2 } else { 1 };
+        let body = format!("{{\"node\": 5, \"cells\": {cells}}}");
+        for &i in &tenants {
+            let path = format!("/networks/{}/adjust", tenant_name(i));
+            let start = Instant::now();
+            let resp = client.post(&path, &body);
+            timed(&mut log, Kind::Adjust, resp, start);
+        }
+    }
+    for _ in 0..cfg.schedule_rounds {
+        for &i in &tenants {
+            let path = format!("/networks/{}/schedule", tenant_name(i));
+            let start = Instant::now();
+            let resp = client.get(&path);
+            timed(&mut log, Kind::Schedule, resp, start);
+        }
+    }
+    for &i in &tenants {
+        let path = format!("/networks/{}", tenant_name(i));
+        let start = Instant::now();
+        let resp = client.delete(&path);
+        timed(&mut log, Kind::Delete, resp, start);
+    }
+    log
+}
+
+fn load() {
+    let quick = flag("--quick");
+    let cfg = LoadConfig {
+        networks_per_wave: parse_or("--networks", if quick { 8 } else { 2048 }),
+        waves: parse_or("--waves", if quick { 1 } else { 2 }),
+        nodes: parse_or("--nodes", if quick { 40 } else { 256 }),
+        clients: parse_or("--clients", 2),
+        workers: parse_or("--workers", 2),
+        adjust_rounds: parse_or("--adjust-rounds", 4),
+        schedule_rounds: parse_or("--schedule-rounds", 4),
+    };
+
+    let server = Server::bind(ServerConfig::loopback(
+        cfg.workers,
+        "load-token",
+        &workspace_path("scenarios").display().to_string(),
+    ))
+    .expect("bind loopback server");
+    let addr = server.local_addr().expect("local addr");
+    let server_thread = std::thread::spawn(move || server.run());
+
+    println!(
+        "harp_load: {} wave(s) x {} networks x {} nodes against {addr} ({} clients, {} workers)",
+        cfg.waves, cfg.networks_per_wave, cfg.nodes, cfg.clients, cfg.workers
+    );
+
+    let start = Instant::now();
+    let mut samples: Vec<(Kind, u64)> = Vec::new();
+    let mut failures = 0u64;
+    let mut metrics_bytes = 0usize;
+    let mut control = HttpClient::new(addr).with_timeout(Duration::from_secs(120));
+    for wave in 0..cfg.waves {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|c| {
+                let tenants: Vec<usize> = (0..cfg.networks_per_wave)
+                    .filter(|i| i % cfg.clients == c)
+                    .collect();
+                std::thread::spawn(move || client_wave(addr, cfg, wave, tenants))
+            })
+            .collect();
+        for handle in handles {
+            let log = handle.join().expect("client thread");
+            samples.extend(log.samples);
+            failures += log.failures;
+        }
+        // One scrape per wave: the exposition must stay valid under load.
+        let scrape = control.get("/metrics").expect("scrape /metrics");
+        validate_exposition(&scrape.body).expect("exposition stays valid under load");
+        metrics_bytes = scrape.body.len();
+    }
+    println!("harp_load: last /metrics scrape was {metrics_bytes} bytes");
+    let elapsed = start.elapsed();
+
+    let shutdown = control
+        .post("/shutdown?token=load-token", "")
+        .expect("shutdown");
+    assert!(shutdown.is_success(), "shutdown refused: {}", shutdown.body);
+    let summary = server_thread.join().expect("server drains");
+
+    // Fold the latency log into the shared power-of-two histogram for
+    // interpolated percentiles, overall and per request kind.
+    let mut registry = harp_obs::MetricsRegistry::new(true);
+    let all = registry.histogram("load.request_us", REQUEST_US_BOUNDS);
+    let create = registry.histogram("load.create_us", REQUEST_US_BOUNDS);
+    let adjust = registry.histogram("load.adjust_us", REQUEST_US_BOUNDS);
+    let schedule = registry.histogram("load.schedule_us", REQUEST_US_BOUNDS);
+    for &(kind, us) in &samples {
+        registry.observe(all, us);
+        match kind {
+            Kind::Create => registry.observe(create, us),
+            Kind::Adjust => registry.observe(adjust, us),
+            Kind::Schedule => registry.observe(schedule, us),
+            Kind::Delete => {}
+        }
+    }
+    let snap = registry.snapshot();
+    let ns = |name: &str, q: f64| {
+        snap.histograms
+            .get(name)
+            .map_or(0.0, |h| h.percentile(q) as f64 * 1000.0)
+    };
+    let count = |kind: Kind| samples.iter().filter(|&&(k, _)| k == kind).count();
+
+    let total_networks = cfg.networks_per_wave * cfg.waves;
+    let total_requests = samples.len() as u64 + failures;
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let creates = count(Kind::Create);
+    let adjusts = count(Kind::Adjust);
+    let schedules = count(Kind::Schedule);
+    let mean_ns = snap
+        .histograms
+        .get("load.request_us")
+        .map_or(0.0, |h| h.mean() * 1000.0);
+
+    let metrics: Vec<(&str, f64)> = vec![
+        ("networks", total_networks as f64),
+        ("concurrent_networks", cfg.networks_per_wave as f64),
+        ("nodes_per_network", f64::from(cfg.nodes)),
+        (
+            "aggregate_nodes",
+            total_networks as f64 * f64::from(cfg.nodes),
+        ),
+        ("total_requests", total_requests as f64),
+        ("create_requests", creates as f64),
+        ("adjust_requests", adjusts as f64),
+        ("schedule_requests", schedules as f64),
+        ("failed_requests", failures as f64),
+        ("client_threads", cfg.clients as f64),
+        ("server_workers", cfg.workers as f64),
+        ("requests_per_sec", total_requests as f64 / secs),
+        ("creates_per_sec", creates as f64 / secs),
+        ("adjusts_per_sec", adjusts as f64 / secs),
+        ("schedules_per_sec", schedules as f64 / secs),
+        ("mean_request_ns", mean_ns),
+        ("p50_request_ns", ns("load.request_us", 0.50)),
+        ("p95_request_ns", ns("load.request_us", 0.95)),
+        ("p99_request_ns", ns("load.request_us", 0.99)),
+        ("p99_create_ns", ns("load.create_us", 0.99)),
+        ("p99_adjust_ns", ns("load.adjust_us", 0.99)),
+        ("p99_schedule_ns", ns("load.schedule_us", 0.99)),
+    ];
+
+    for (name, value) in &metrics {
+        println!("  {name:<28} {value:.3}");
+    }
+    assert_eq!(failures, 0, "load run saw {failures} failed requests");
+    assert_eq!(
+        summary.networks, 0,
+        "every wave deletes its networks; none may leak"
+    );
+
+    let report = to_json_with_sections(&[], &metrics, &[("obs", summary.metrics.to_json())]);
+    write_report("BENCH_service.json", &report);
+}

@@ -346,6 +346,20 @@ pub fn compare_report_strs(baseline: &str, fresh: &str) -> Result<Vec<Violation>
     Ok(compare_reports(&b, &f))
 }
 
+/// Parses a bench manifest (`crates/bench/bench_manifest.txt`): one
+/// workspace-relative report file per line, `#` comments and blank lines
+/// ignored. The manifest is the single registry of gated reports — CI's
+/// snapshot step and `bench_check --manifest` both consume it, so a
+/// report is registered exactly once.
+#[must_use]
+pub fn manifest_files(text: &str) -> Vec<String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_owned)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -474,25 +488,27 @@ mod tests {
 
     #[test]
     fn committed_baselines_self_compare_clean() {
-        // The real committed artefacts must parse and self-compare empty.
-        for file in [
-            "../../BENCH_simulator.json",
-            "../../BENCH_mgmt_loss.json",
-            "../../BENCH_fig9.json",
-            "../../BENCH_fig10.json",
-            "../../BENCH_fig11a.json",
-            "../../BENCH_fig11b.json",
-            "../../BENCH_fig12.json",
-            "../../BENCH_table2.json",
-            "../../BENCH_scale.json",
-            "../../BENCH_faults.json",
-            "../../BENCH_churn.json",
-        ] {
-            let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(file);
-            let text = std::fs::read_to_string(&path).unwrap();
+        // Every report the manifest registers must exist, parse, and
+        // self-compare empty — the manifest and the committed artefacts
+        // cannot drift apart.
+        let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("bench_manifest.txt");
+        let files = manifest_files(&std::fs::read_to_string(&manifest).unwrap());
+        assert!(files.len() >= 12, "manifest lists the gated reports");
+        for file in files {
+            let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../../")
+                .join(&file);
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("manifest entry {file} unreadable: {e}"));
             let v = compare_report_strs(&text, &text).unwrap();
             assert!(v.is_empty(), "{file}: {v:?}");
         }
+    }
+
+    #[test]
+    fn manifest_parser_skips_comments_and_blanks() {
+        let files = manifest_files("# registry\n\nBENCH_a.json\n  BENCH_b.json  \n# tail\n");
+        assert_eq!(files, vec!["BENCH_a.json", "BENCH_b.json"]);
     }
 
     #[test]

@@ -89,6 +89,7 @@ mod coexist;
 mod component;
 mod compose;
 mod error;
+mod handle;
 mod node;
 mod protocol;
 mod render;
@@ -111,6 +112,7 @@ pub use compose::{
     build_interfaces, compose_components, CompositionLayout, InterfaceSet, NodeInterface,
 };
 pub use error::HarpError;
+pub use handle::{AdjustmentBill, AllocatorHandle, ScheduleSummary};
 pub use node::{Effects, HarpNode, NodeObsCounters, ScheduleOp};
 pub use protocol::{HarpMessage, MessageKind};
 pub use render::{render_cell_map, render_super_partitions, render_utilization};

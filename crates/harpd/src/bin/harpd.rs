@@ -1,0 +1,61 @@
+//! The `harpd` binary: bind, serve, drain, print the final metrics.
+//!
+//! ```text
+//! harpd [--addr 127.0.0.1] [--port 0] [--workers 4] \
+//!       [--token <secret>] [--scenario-dir scenarios]
+//! ```
+//!
+//! Prints `harpd listening on <addr>:<port>` once ready (the load
+//! generator and CI smoke poll for the socket, but the line makes logs
+//! self-describing), serves until a token-matched `POST /shutdown`, then
+//! prints the final Prometheus snapshot to stdout and exits 0.
+
+use std::time::Duration;
+
+use harpd::server::{Server, ServerConfig};
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: harpd [--addr ADDR] [--port PORT] [--workers N] [--token SECRET] [--scenario-dir DIR]"
+        );
+        return;
+    }
+    let addr = arg_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1".to_owned());
+    let port = arg_value(&args, "--port").unwrap_or_else(|| "0".to_owned());
+    let workers: usize = arg_value(&args, "--workers")
+        .map(|w| w.parse().expect("--workers takes a number"))
+        .unwrap_or(4);
+    let token = arg_value(&args, "--token").unwrap_or_else(|| "harpd".to_owned());
+    let scenario_dir = arg_value(&args, "--scenario-dir").unwrap_or_else(|| "scenarios".to_owned());
+
+    let config = ServerConfig {
+        addr: format!("{addr}:{port}"),
+        workers,
+        token,
+        scenario_dir: scenario_dir.into(),
+        read_timeout: Duration::from_secs(5),
+    };
+    let server = match Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("harpd: bind {addr}:{port} failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(local) => println!("harpd listening on {local}"),
+        Err(e) => eprintln!("harpd: local_addr: {e}"),
+    }
+
+    let summary = server.run();
+    println!("harpd: drained with {} network(s) hosted", summary.networks);
+    print!("{}", summary.exposition());
+}

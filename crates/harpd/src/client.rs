@@ -1,0 +1,207 @@
+//! A minimal blocking HTTP/1.1 client for the daemon's own tests and
+//! load generator: keep-alive, `content-length` framing only, one
+//! reconnect on a broken connection.
+//!
+//! This is deliberately not a general HTTP client — it speaks exactly
+//! the dialect [`crate::http`] serves (no chunking, no redirects, no
+//! TLS), which keeps the round trip dependency-free.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A keep-alive connection to one daemon.
+#[derive(Debug)]
+pub struct HttpClient {
+    addr: SocketAddr,
+    timeout: Duration,
+    stream: Option<TcpStream>,
+}
+
+/// One response: status code and body text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body decoded as UTF-8 (lossy).
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// Whether the status is 2xx.
+    #[must_use]
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+impl HttpClient {
+    /// A client for `addr`; connects lazily on the first request.
+    #[must_use]
+    pub fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            timeout: Duration::from_secs(30),
+            stream: None,
+        }
+    }
+
+    /// Overrides the per-request socket timeout (default 30 s).
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    fn connect(&self) -> Result<TcpStream, String> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)
+            .map_err(|e| format!("connect {}: {e}", self.addr))?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.timeout)))
+            .and_then(|()| stream.set_nodelay(true))
+            .map_err(|e| format!("socket options: {e}"))?;
+        Ok(stream)
+    }
+
+    /// GET `path`.
+    ///
+    /// # Errors
+    ///
+    /// A message when the transport fails (after one reconnect attempt)
+    /// or the response does not parse.
+    pub fn get(&mut self, path: &str) -> Result<ClientResponse, String> {
+        self.request("GET", path, None)
+    }
+
+    /// POST `body` (as JSON) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// See [`HttpClient::get`].
+    pub fn post(&mut self, path: &str, body: &str) -> Result<ClientResponse, String> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// DELETE `path`.
+    ///
+    /// # Errors
+    ///
+    /// See [`HttpClient::get`].
+    pub fn delete(&mut self, path: &str) -> Result<ClientResponse, String> {
+        self.request("DELETE", path, None)
+    }
+
+    /// Issues one request, reusing the pooled connection when possible and
+    /// reconnecting once if the pooled connection has gone away.
+    ///
+    /// # Errors
+    ///
+    /// A message when the transport fails or the response does not parse.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<ClientResponse, String> {
+        let pooled = self.stream.is_some();
+        match self.try_request(method, path, body) {
+            Ok(resp) => Ok(resp),
+            Err(_) if pooled => {
+                // The pooled connection died (server closed it between
+                // requests); retry exactly once on a fresh one.
+                self.stream = None;
+                self.try_request(method, path, body)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<ClientResponse, String> {
+        if self.stream.is_none() {
+            self.stream = Some(self.connect()?);
+        }
+        let stream = self.stream.as_mut().expect("stream just ensured");
+        let body = body.unwrap_or_default();
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: harpd\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        let write = stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(body.as_bytes()))
+            .and_then(|()| stream.flush());
+        if let Err(e) = write {
+            self.stream = None;
+            return Err(format!("write: {e}"));
+        }
+        match read_response(stream) {
+            Ok((resp, close)) => {
+                if close {
+                    self.stream = None;
+                }
+                Ok(resp)
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Reads one `content-length`-framed response; returns it plus whether
+/// the server asked to close the connection.
+fn read_response(stream: &mut TcpStream) -> Result<(ClientResponse, bool), String> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("server closed before response head".into());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| "non-UTF-8 head".to_owned())?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    let mut content_length = 0usize;
+    let mut close = false;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name.to_ascii_lowercase();
+        if name == "content-length" {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| "bad content-length".to_owned())?;
+        } else if name == "connection" && value.trim().eq_ignore_ascii_case("close") {
+            close = true;
+        }
+    }
+    let body_start = head_end + 4;
+    while buf.len() < body_start + content_length {
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("server closed mid-body".into());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let body = String::from_utf8_lossy(&buf[body_start..body_start + content_length]).into_owned();
+    Ok((ClientResponse { status, body }, close))
+}

@@ -1,0 +1,676 @@
+//! Daemon state: the tenant map, daemon-level metrics, and the router
+//! that turns parsed [`Request`]s into [`Response`]s.
+//!
+//! Locking is two-level so tenants never block each other: the outer
+//! `RwLock` guards only the *map* (create/delete/list take the write
+//! lock briefly; everything else a read lock), and each tenant sits
+//! behind its own `Mutex`, held for the duration of one allocator
+//! operation. A slow convergence in tenant A never delays a schedule
+//! query on tenant B.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use harp_core::{AllocatorHandle, Requirements, SchedulingPolicy};
+use harp_obs::json::{parse, Json};
+use harp_obs::prometheus::{render_exposition, Labels};
+use harp_obs::{MetricsRegistry, MetricsSnapshot};
+use tsch_sim::{Link, NodeId};
+use workloads::scenario_dsl::parse_scenario;
+
+use crate::http::{escape_json, HttpError, Request, Response};
+
+/// Microsecond bucket bounds for the request-latency histogram:
+/// powers of two from 1 µs to ~67 s, wide enough that a large-network
+/// convergence never lands in the overflow bucket.
+pub const REQUEST_US_BOUNDS: &[u64] = &[
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131_072,
+    262_144, 524_288, 1_048_576, 2_097_152, 4_194_304, 8_388_608, 16_777_216, 33_554_432,
+    67_108_864,
+];
+
+/// One hosted network: a converged allocator plus per-tenant counters.
+pub struct Tenant {
+    /// The long-lived allocator.
+    pub handle: AllocatorHandle,
+    /// The scenario name the network was created from.
+    pub scenario_name: String,
+    /// Schedule queries served for this tenant.
+    pub schedule_queries: u64,
+}
+
+impl Tenant {
+    /// Per-tenant metrics as a synthetic snapshot for the `/metrics`
+    /// exposition, labelled with `tenant="<id>"` by the caller.
+    fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        let summary = self.handle.summary();
+        snap.counters
+            .insert("harpd.tenant.adjustments".into(), self.handle.adjustments());
+        snap.counters.insert(
+            "harpd.tenant.mgmt_messages".into(),
+            self.handle.mgmt_messages_total(),
+        );
+        snap.counters.insert(
+            "harpd.tenant.cell_messages".into(),
+            self.handle.cell_messages_total(),
+        );
+        snap.counters.insert(
+            "harpd.tenant.schedule_queries".into(),
+            self.schedule_queries,
+        );
+        snap.gauges
+            .insert("harpd.tenant.nodes".into(), summary.nodes as f64);
+        snap.gauges.insert(
+            "harpd.tenant.assignments".into(),
+            summary.assignments as f64,
+        );
+        snap.gauges.insert(
+            "harpd.tenant.active_cells".into(),
+            summary.active_cells as f64,
+        );
+        snap
+    }
+}
+
+/// Daemon-wide metrics: one registry with pre-registered ids, behind one
+/// mutex (the registry itself is not thread-safe).
+pub struct DaemonMetrics {
+    registry: MetricsRegistry,
+    requests_total: harp_obs::CounterId,
+    http_errors: harp_obs::CounterId,
+    creates: harp_obs::CounterId,
+    adjustments: harp_obs::CounterId,
+    schedule_queries: harp_obs::CounterId,
+    request_us: harp_obs::HistogramId,
+    networks: harp_obs::GaugeId,
+    aggregate_nodes: harp_obs::GaugeId,
+}
+
+impl DaemonMetrics {
+    fn new() -> Self {
+        let mut registry = MetricsRegistry::new(true);
+        Self {
+            requests_total: registry.counter("harpd.requests_total"),
+            http_errors: registry.counter("harpd.http_errors"),
+            creates: registry.counter("harpd.networks_created"),
+            adjustments: registry.counter("harpd.adjustments"),
+            schedule_queries: registry.counter("harpd.schedule_queries"),
+            request_us: registry.histogram("harpd.request_us", REQUEST_US_BOUNDS),
+            networks: registry.gauge("harpd.networks"),
+            aggregate_nodes: registry.gauge("harpd.aggregate_nodes"),
+            registry,
+        }
+    }
+}
+
+/// Shared state behind every worker thread.
+pub struct AppState {
+    tenants: RwLock<BTreeMap<String, Arc<Mutex<Tenant>>>>,
+    metrics: Mutex<DaemonMetrics>,
+    shutdown: AtomicBool,
+    token: String,
+    scenario_dir: PathBuf,
+}
+
+impl AppState {
+    /// Fresh state with the given shutdown token and the directory named
+    /// scenarios (`scenario_file` bodies) are resolved under.
+    #[must_use]
+    pub fn new(token: String, scenario_dir: PathBuf) -> Self {
+        Self {
+            tenants: RwLock::new(BTreeMap::new()),
+            metrics: Mutex::new(DaemonMetrics::new()),
+            shutdown: AtomicBool::new(false),
+            token,
+            scenario_dir,
+        }
+    }
+
+    /// Whether a shutdown has been requested.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown (also used by the server on accept errors).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Hosted network count.
+    #[must_use]
+    pub fn network_count(&self) -> usize {
+        self.tenants.read().map(|t| t.len()).unwrap_or(0)
+    }
+
+    /// The final daemon metrics snapshot (flushed on shutdown).
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics
+            .lock()
+            .map(|m| m.registry.snapshot())
+            .unwrap_or_default()
+    }
+
+    fn record_request(&self, us: u64, is_error: bool) {
+        if let Ok(mut m) = self.metrics.lock() {
+            let (req, err, hist) = (m.requests_total, m.http_errors, m.request_us);
+            m.registry.inc(req, 1);
+            if is_error {
+                m.registry.inc(err, 1);
+            }
+            m.registry.observe(hist, us);
+        }
+    }
+
+    fn refresh_network_gauges(&self) {
+        let (count, nodes) = {
+            let tenants = match self.tenants.read() {
+                Ok(t) => t,
+                Err(_) => return,
+            };
+            let nodes: usize = tenants
+                .values()
+                .filter_map(|t| t.lock().ok().map(|t| t.handle.summary().nodes))
+                .sum();
+            (tenants.len(), nodes)
+        };
+        if let Ok(mut m) = self.metrics.lock() {
+            let (g_networks, g_nodes) = (m.networks, m.aggregate_nodes);
+            m.registry.set(g_networks, count as f64);
+            m.registry.set(g_nodes, nodes as f64);
+        }
+    }
+}
+
+/// Routes one request; this is the whole HTTP surface of the daemon.
+/// Always returns a [`Response`] — failures become their status code.
+pub fn handle_request(state: &AppState, req: &Request) -> Response {
+    let start = Instant::now();
+    let result = route(state, req);
+    let response = match result {
+        Ok(resp) => resp,
+        Err(err) => Response::from_error(&err),
+    };
+    let us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    state.record_request(us, response.status >= 400);
+    response
+}
+
+fn route(state: &AppState, req: &Request) -> Result<Response, HttpError> {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["health"]) => Ok(health(state)),
+        ("GET", ["metrics"]) => Ok(metrics(state)),
+        ("GET", ["networks"]) => Ok(list_networks(state)),
+        ("POST", ["networks"]) => create_network(state, req),
+        ("GET", ["networks", id, "schedule"]) => schedule(state, id),
+        ("POST", ["networks", id, "adjust"]) => adjust(state, id, req),
+        ("DELETE", ["networks", id]) => delete_network(state, id),
+        ("POST", ["shutdown"]) => shutdown(state, req),
+        (_, ["health" | "metrics" | "networks" | "shutdown", ..]) => {
+            Err(HttpError::new(405, "method not allowed on this resource"))
+        }
+        _ => Err(HttpError::new(404, "no such route")),
+    }
+}
+
+fn health(state: &AppState) -> Response {
+    Response::json(
+        200,
+        format!(
+            "{{\"status\": \"ok\", \"networks\": {}, \"shutting_down\": {}}}\n",
+            state.network_count(),
+            state.is_shutting_down()
+        ),
+    )
+}
+
+fn metrics(state: &AppState) -> Response {
+    state.refresh_network_gauges();
+    let mut groups: Vec<(Labels, MetricsSnapshot)> = vec![(Vec::new(), state.metrics_snapshot())];
+    if let Ok(tenants) = state.tenants.read() {
+        for (id, tenant) in tenants.iter() {
+            if let Ok(tenant) = tenant.lock() {
+                groups.push((vec![("tenant".into(), id.clone())], tenant.metrics()));
+            }
+        }
+    }
+    Response::text(200, "text/plain; version=0.0.4", render_exposition(&groups))
+}
+
+fn list_networks(state: &AppState) -> Response {
+    let mut body = String::from("{\"networks\": [");
+    if let Ok(tenants) = state.tenants.read() {
+        let mut first = true;
+        for (id, tenant) in tenants.iter() {
+            let Ok(tenant) = tenant.lock() else { continue };
+            if !first {
+                body.push_str(", ");
+            }
+            first = false;
+            let s = tenant.handle.summary();
+            body.push_str(&format!(
+                "{{\"tenant\": \"{}\", \"scenario\": \"{}\", \"nodes\": {}, \"adjustments\": {}}}",
+                escape_json(id),
+                escape_json(&tenant.scenario_name),
+                s.nodes,
+                tenant.handle.adjustments()
+            ));
+        }
+    }
+    body.push_str("]}\n");
+    Response::json(200, body)
+}
+
+fn body_json(req: &Request) -> Result<Json, HttpError> {
+    let text = req.body_str()?;
+    parse(text).map_err(|e| HttpError::new(400, format!("invalid JSON body: {e}")))
+}
+
+fn str_field<'j>(json: &'j Json, key: &str) -> Result<&'j str, HttpError> {
+    json.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| HttpError::new(400, format!("missing string field \"{key}\"")))
+}
+
+fn u64_field(json: &Json, key: &str) -> Result<u64, HttpError> {
+    let v = json
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| HttpError::new(400, format!("missing numeric field \"{key}\"")))?;
+    if v < 0.0 || v.fract() != 0.0 {
+        return Err(HttpError::new(
+            400,
+            format!("field \"{key}\" must be a non-negative integer"),
+        ));
+    }
+    Ok(v as u64)
+}
+
+fn load_scenario_text(state: &AppState, json: &Json) -> Result<(String, String), HttpError> {
+    if let Some(inline) = json.get("scenario").and_then(Json::as_str) {
+        return Ok(("inline".to_owned(), inline.to_owned()));
+    }
+    let name = str_field(json, "scenario_file").map_err(|_| {
+        HttpError::new(
+            400,
+            "body needs \"scenario\" (inline) or \"scenario_file\" (named)",
+        )
+    })?;
+    if name.contains('/') || name.contains('\\') || name.contains("..") {
+        return Err(HttpError::new(400, "scenario_file must be a bare name"));
+    }
+    let file = if name.ends_with(".scn") {
+        name.to_owned()
+    } else {
+        format!("{name}.scn")
+    };
+    let path = state.scenario_dir.join(&file);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|_| HttpError::new(404, format!("no checked-in scenario named \"{file}\"")))?;
+    Ok((name.to_owned(), text))
+}
+
+fn create_network(state: &AppState, req: &Request) -> Result<Response, HttpError> {
+    if state.is_shutting_down() {
+        return Err(HttpError::new(409, "daemon is shutting down"));
+    }
+    let json = body_json(req)?;
+    let tenant_id = str_field(&json, "tenant")?.to_owned();
+    if tenant_id.is_empty() || tenant_id.len() > 128 {
+        return Err(HttpError::new(400, "tenant id must be 1..=128 characters"));
+    }
+    let (source, text) = load_scenario_text(state, &json)?;
+    let scenario = parse_scenario(&text)
+        .map_err(|e| HttpError::new(422, format!("scenario does not parse: {e}")))?;
+    let config = scenario
+        .slotframe_config()
+        .map_err(|e| HttpError::new(422, e))?;
+    let tree = scenario
+        .trees(true)
+        .into_iter()
+        .next()
+        .ok_or_else(|| HttpError::new(422, "scenario yields no topology"))?;
+    let requirements: Requirements = scenario.requirements(&tree);
+    let handle =
+        AllocatorHandle::converge(tree, config, &requirements, SchedulingPolicy::RateMonotonic)
+            .map_err(|e| HttpError::new(422, format!("scenario demand is infeasible: {e}")))?;
+
+    let scenario_name = if source == "inline" {
+        scenario.name.clone()
+    } else {
+        source
+    };
+    let summary = handle.summary();
+    let static_report = handle.static_report();
+    let body = format!(
+        "{{\"tenant\": \"{}\", \"scenario\": \"{}\", \"nodes\": {}, \"assignments\": {}, \
+         \"active_cells\": {}, \"exclusive\": {}, \"static_mgmt_messages\": {}}}\n",
+        escape_json(&tenant_id),
+        escape_json(&scenario_name),
+        summary.nodes,
+        summary.assignments,
+        summary.active_cells,
+        summary.exclusive,
+        static_report.mgmt_messages
+    );
+
+    let tenant = Tenant {
+        handle,
+        scenario_name,
+        schedule_queries: 0,
+    };
+    {
+        let mut tenants = state
+            .tenants
+            .write()
+            .map_err(|_| HttpError::new(500, "tenant map poisoned"))?;
+        if tenants.contains_key(&tenant_id) {
+            return Err(HttpError::new(
+                409,
+                format!("tenant \"{tenant_id}\" already hosts a network"),
+            ));
+        }
+        tenants.insert(tenant_id, Arc::new(Mutex::new(tenant)));
+    }
+    if let Ok(mut m) = state.metrics.lock() {
+        let c = m.creates;
+        m.registry.inc(c, 1);
+    }
+    Ok(Response::json(201, body))
+}
+
+fn tenant_of(state: &AppState, id: &str) -> Result<Arc<Mutex<Tenant>>, HttpError> {
+    state
+        .tenants
+        .read()
+        .map_err(|_| HttpError::new(500, "tenant map poisoned"))?
+        .get(id)
+        .cloned()
+        .ok_or_else(|| HttpError::new(404, format!("no network for tenant \"{id}\"")))
+}
+
+fn schedule(state: &AppState, id: &str) -> Result<Response, HttpError> {
+    let tenant = tenant_of(state, id)?;
+    let mut tenant = tenant
+        .lock()
+        .map_err(|_| HttpError::new(500, "tenant poisoned"))?;
+    tenant.schedule_queries += 1;
+    if let Ok(mut m) = state.metrics.lock() {
+        let c = m.schedule_queries;
+        m.registry.inc(c, 1);
+    }
+    let s = tenant.handle.summary();
+    Ok(Response::json(
+        200,
+        format!(
+            "{{\"tenant\": \"{}\", \"nodes\": {}, \"scheduled_links\": {}, \"assignments\": {}, \
+             \"active_cells\": {}, \"slots\": {}, \"channels\": {}, \"exclusive\": {}, \"asn\": {}}}\n",
+            escape_json(id),
+            s.nodes,
+            s.scheduled_links,
+            s.assignments,
+            s.active_cells,
+            s.slots,
+            s.channels,
+            s.exclusive,
+            s.asn
+        ),
+    ))
+}
+
+fn adjust(state: &AppState, id: &str, req: &Request) -> Result<Response, HttpError> {
+    let json = body_json(req)?;
+    let node = u64_field(&json, "node")?;
+    let cells = u64_field(&json, "cells")?;
+    let node = u32::try_from(node).map_err(|_| HttpError::new(400, "node out of range"))?;
+    let cells = u32::try_from(cells).map_err(|_| HttpError::new(400, "cells out of range"))?;
+    let down = matches!(json.get("direction").and_then(Json::as_str), Some("down"));
+
+    let tenant = tenant_of(state, id)?;
+    let mut tenant = tenant
+        .lock()
+        .map_err(|_| HttpError::new(500, "tenant poisoned"))?;
+    if !tenant.handle.is_adjustable_node(NodeId(node)) {
+        return Err(HttpError::new(
+            422,
+            format!("node {node} is not an adjustable (non-gateway) node of this network"),
+        ));
+    }
+    let link = if down {
+        Link::down(NodeId(node))
+    } else {
+        Link::up(NodeId(node))
+    };
+    let bill = tenant.handle.adjust(link, cells).map_err(|e| {
+        HttpError::new(
+            409,
+            format!("adjustment infeasible, schedule rolled back: {e}"),
+        )
+    })?;
+    if let Ok(mut m) = state.metrics.lock() {
+        let c = m.adjustments;
+        m.registry.inc(c, 1);
+    }
+    Ok(Response::json(
+        200,
+        format!(
+            "{{\"tenant\": \"{}\", \"node\": {node}, \"cells\": {cells}, \
+             \"mgmt_messages\": {}, \"cell_messages\": {}, \"involved_nodes\": {}, \
+             \"layers_touched\": {}, \"slotframes\": {}, \"seconds\": {:.6}}}\n",
+            escape_json(id),
+            bill.mgmt_messages,
+            bill.cell_messages,
+            bill.involved_nodes,
+            bill.layers_touched,
+            bill.slotframes,
+            bill.seconds
+        ),
+    ))
+}
+
+fn delete_network(state: &AppState, id: &str) -> Result<Response, HttpError> {
+    let removed = state
+        .tenants
+        .write()
+        .map_err(|_| HttpError::new(500, "tenant map poisoned"))?
+        .remove(id)
+        .is_some();
+    if !removed {
+        return Err(HttpError::new(
+            404,
+            format!("no network for tenant \"{id}\""),
+        ));
+    }
+    Ok(Response::json(
+        200,
+        format!(
+            "{{\"tenant\": \"{}\", \"deleted\": true}}\n",
+            escape_json(id)
+        ),
+    ))
+}
+
+fn shutdown(state: &AppState, req: &Request) -> Result<Response, HttpError> {
+    let presented = req
+        .query_value("token")
+        .or_else(|| req.header("x-harpd-token"))
+        .unwrap_or_default();
+    if presented != state.token {
+        return Err(HttpError::new(403, "shutdown token mismatch"));
+    }
+    state.request_shutdown();
+    Ok(Response::json(
+        200,
+        "{\"shutting_down\": true}\n".to_owned(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY_SCN: &str =
+        "scenario tiny\nseed 1\n[topology]\ngenerator fig1\n[workloads]\ndemand uniform cells=1\n";
+
+    fn state() -> AppState {
+        AppState::new("secret".into(), PathBuf::from("/nonexistent"))
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            query: Vec::new(),
+            headers: Vec::new(),
+            body: Vec::new(),
+            keep_alive: true,
+        }
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            query: Vec::new(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+            keep_alive: true,
+        }
+    }
+
+    fn create_tiny(state: &AppState, tenant: &str) -> Response {
+        let body = format!(
+            "{{\"tenant\": \"{tenant}\", \"scenario\": \"{}\"}}",
+            TINY_SCN.replace('\n', "\\n")
+        );
+        handle_request(state, &post("/networks", &body))
+    }
+
+    #[test]
+    fn create_query_adjust_delete_round_trip() {
+        let state = state();
+        let resp = create_tiny(&state, "t1");
+        assert_eq!(resp.status, 201, "{}", String::from_utf8_lossy(&resp.body));
+
+        let resp = handle_request(&state, &get("/networks/t1/schedule"));
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"exclusive\": true"), "{text}");
+
+        let resp = handle_request(
+            &state,
+            &post("/networks/t1/adjust", "{\"node\": 9, \"cells\": 2}"),
+        );
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"mgmt_messages\""), "{text}");
+
+        let mut req = get("/networks/t1");
+        req.method = "DELETE".into();
+        assert_eq!(handle_request(&state, &req).status, 200);
+        assert_eq!(
+            handle_request(&state, &get("/networks/t1/schedule")).status,
+            404
+        );
+    }
+
+    #[test]
+    fn duplicate_tenant_is_conflict() {
+        let state = state();
+        assert_eq!(create_tiny(&state, "dup").status, 201);
+        assert_eq!(create_tiny(&state, "dup").status, 409);
+    }
+
+    #[test]
+    fn malformed_and_missing_routes() {
+        let state = state();
+        assert_eq!(
+            handle_request(&state, &post("/networks", "{nope")).status,
+            400
+        );
+        assert_eq!(
+            handle_request(&state, &post("/networks", "{\"tenant\": \"x\"}")).status,
+            400
+        );
+        assert_eq!(handle_request(&state, &get("/nope")).status, 404);
+        assert_eq!(handle_request(&state, &post("/health", "")).status, 405);
+        assert_eq!(
+            handle_request(
+                &state,
+                &post("/networks/ghost/adjust", "{\"node\": 1, \"cells\": 1}")
+            )
+            .status,
+            404
+        );
+    }
+
+    #[test]
+    fn scenario_file_names_are_sandboxed() {
+        let state = state();
+        let resp = handle_request(
+            &state,
+            &post(
+                "/networks",
+                "{\"tenant\": \"t\", \"scenario_file\": \"../../etc/passwd\"}",
+            ),
+        );
+        assert_eq!(resp.status, 400);
+        let resp = handle_request(
+            &state,
+            &post(
+                "/networks",
+                "{\"tenant\": \"t\", \"scenario_file\": \"ghost\"}",
+            ),
+        );
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn shutdown_requires_token() {
+        let state = state();
+        let mut req = post("/shutdown", "");
+        assert_eq!(handle_request(&state, &req).status, 403);
+        assert!(!state.is_shutting_down());
+        req.query = vec![("token".into(), "secret".into())];
+        assert_eq!(handle_request(&state, &req).status, 200);
+        assert!(state.is_shutting_down());
+        // Creates are refused while draining.
+        assert_eq!(create_tiny(&state, "late").status, 409);
+    }
+
+    #[test]
+    fn metrics_exposition_is_valid_and_labelled() {
+        let state = state();
+        assert_eq!(create_tiny(&state, "t1").status, 201);
+        handle_request(&state, &get("/networks/t1/schedule"));
+        let resp = handle_request(&state, &get("/metrics"));
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        harp_obs::prometheus::validate_exposition(&text).expect("valid exposition");
+        assert!(text.contains("harpd_requests_total"), "{text}");
+        assert!(text.contains("tenant=\"t1\""), "{text}");
+        assert!(text.contains("harpd_request_us_p99"), "{text}");
+    }
+
+    #[test]
+    fn infeasible_adjustment_is_conflict_not_crash() {
+        let state = state();
+        assert_eq!(create_tiny(&state, "t1").status, 201);
+        let resp = handle_request(
+            &state,
+            &post("/networks/t1/adjust", "{\"node\": 9, \"cells\": 100000}"),
+        );
+        assert_eq!(resp.status, 409);
+        // The network still serves.
+        assert_eq!(
+            handle_request(&state, &get("/networks/t1/schedule")).status,
+            200
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Seeded fuzz of the HTTP request parser: whatever bytes arrive, the
+//! parser must return `Complete`, `Incomplete` or a 4xx — never panic,
+//! never claim progress it did not make, and never mis-frame a pipeline.
+
+use harpd::http::{try_parse, Parsed, MAX_HEAD_BYTES};
+use tsch_sim::SplitMix64;
+
+const VALID: &str = "POST /networks/t-1/adjust?verbose=1 HTTP/1.1\r\nhost: h\r\ncontent-length: 17\r\n\r\n{\"node\":9,\"c\":2}\n";
+
+/// Drives `try_parse` and asserts its structural invariants.
+fn check_invariants(bytes: &[u8]) {
+    match try_parse(bytes) {
+        Ok(Parsed::Complete(req, consumed)) => {
+            assert!(consumed <= bytes.len(), "consumed beyond the buffer");
+            assert!(consumed > 0, "complete parse must consume bytes");
+            assert!(!req.method.is_empty());
+            assert!(req.path.starts_with('/'));
+        }
+        Ok(Parsed::Incomplete) => {
+            assert!(
+                bytes.len() < MAX_HEAD_BYTES || bytes.windows(4).any(|w| w == b"\r\n\r\n"),
+                "oversized heads must reject, not stall"
+            );
+        }
+        Err(err) => {
+            assert!(
+                (400..500).contains(&err.status),
+                "parser failures are client errors, got {}",
+                err.status
+            );
+            assert!(!err.message.is_empty());
+        }
+    }
+}
+
+#[test]
+fn fuzz_random_bytes_never_panic() {
+    let mut rng = SplitMix64::new(0xFA22_0001);
+    for _ in 0..2000 {
+        let len = rng.next_below(512) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.next_below(256)) as u8).collect();
+        check_invariants(&bytes);
+    }
+}
+
+#[test]
+fn fuzz_mutated_valid_requests_never_panic() {
+    let mut rng = SplitMix64::new(0xFA22_0002);
+    for _ in 0..2000 {
+        let mut bytes = VALID.as_bytes().to_vec();
+        for _ in 0..=rng.next_below(4) {
+            match rng.next_below(3) {
+                0 => {
+                    // Flip one byte.
+                    let i = rng.next_below(bytes.len() as u64) as usize;
+                    bytes[i] = rng.next_below(256) as u8;
+                }
+                1 => {
+                    // Truncate.
+                    let i = rng.next_below(bytes.len() as u64) as usize;
+                    bytes.truncate(i);
+                    if bytes.is_empty() {
+                        bytes.push(b'G');
+                    }
+                }
+                _ => {
+                    // Duplicate a slice into the middle.
+                    let a = rng.next_below(bytes.len() as u64) as usize;
+                    let b = rng.next_below(bytes.len() as u64) as usize;
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    let slice: Vec<u8> = bytes[lo..hi].to_vec();
+                    let at = rng.next_below(bytes.len() as u64) as usize;
+                    for (k, byte) in slice.into_iter().enumerate() {
+                        bytes.insert(at + k, byte);
+                    }
+                }
+            }
+        }
+        check_invariants(&bytes);
+    }
+}
+
+#[test]
+fn fuzz_split_reads_agree_with_whole_buffer() {
+    // Feeding any prefix must yield Incomplete or the same terminal state
+    // as the whole message — a split read can never flip a verdict.
+    let mut rng = SplitMix64::new(0xFA22_0003);
+    let whole = try_parse(VALID.as_bytes()).expect("valid request parses");
+    let Parsed::Complete(ref req, consumed) = whole else {
+        panic!("expected complete");
+    };
+    assert_eq!(consumed, VALID.len());
+    for _ in 0..200 {
+        let cut = rng.next_below(VALID.len() as u64) as usize;
+        match try_parse(&VALID.as_bytes()[..cut]) {
+            Ok(Parsed::Incomplete) => {}
+            Ok(Parsed::Complete(_, c)) => panic!("prefix of {cut} bytes claimed complete at {c}"),
+            Err(e) => panic!("prefix of {cut} bytes errored: {e}"),
+        }
+    }
+    // Byte-by-byte growth reaches exactly the same request.
+    for cut in 0..VALID.len() {
+        if let Ok(Parsed::Complete(r, _)) = try_parse(&VALID.as_bytes()[..cut]) {
+            panic!("premature completion at {cut}: {r:?}");
+        }
+    }
+    let Parsed::Complete(again, _) = try_parse(VALID.as_bytes()).unwrap() else {
+        panic!()
+    };
+    assert_eq!(&again, req);
+}
+
+#[test]
+fn fuzz_pipelined_messages_frame_exactly() {
+    let mut rng = SplitMix64::new(0xFA22_0004);
+    for _ in 0..200 {
+        let n = 1 + rng.next_below(5) as usize;
+        let mut buf = Vec::new();
+        for i in 0..n {
+            buf.extend_from_slice(
+                format!("GET /networks/t{i}/schedule HTTP/1.1\r\nhost: h\r\n\r\n").as_bytes(),
+            );
+        }
+        let mut offset = 0usize;
+        for i in 0..n {
+            match try_parse(&buf[offset..]).expect("pipelined request parses") {
+                Parsed::Complete(req, consumed) => {
+                    assert_eq!(req.path, format!("/networks/t{i}/schedule"));
+                    offset += consumed;
+                }
+                Parsed::Incomplete => panic!("message {i} incomplete at offset {offset}"),
+            }
+        }
+        assert_eq!(offset, buf.len(), "pipeline must consume every byte");
+    }
+}
+
+#[test]
+fn oversized_heads_reject_without_scanning_forever() {
+    // A header that never terminates must reject at the cap, both as one
+    // huge buffer and as an ever-growing one.
+    let mut huge = b"GET /x HTTP/1.1\r\nx-pad: ".to_vec();
+    huge.extend(std::iter::repeat_n(b'a', 2 * MAX_HEAD_BYTES));
+    let err = try_parse(&huge).expect_err("oversized head must reject");
+    assert_eq!(err.status, 431);
+    let err = try_parse(&huge[..MAX_HEAD_BYTES]).expect_err("at the cap it already rejects");
+    assert_eq!(err.status, 431);
+}

@@ -41,6 +41,7 @@
 pub mod flame;
 pub mod json;
 mod metrics;
+pub mod prometheus;
 mod span;
 
 pub use metrics::{

@@ -53,7 +53,7 @@ use crate::topology::{Link, NodeId};
 
 /// One primitive fault mutation, applied at an exact ASN.
 ///
-/// See the [module docs](self) for the semantics of each variant.
+/// See the module docs for the semantics of each variant.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultAction {
     /// Crash a node: adjacent links go to effective PDR 0, its queued

@@ -64,6 +64,19 @@ pub enum CliCommand {
         /// Topologies to average over.
         count: usize,
     },
+    /// `serve`: run the multi-tenant `harpd` service until shut down.
+    Serve {
+        /// Bind address (default 127.0.0.1).
+        addr: String,
+        /// Bind port (default 7464; 0 picks a free port).
+        port: u16,
+        /// Worker threads.
+        workers: usize,
+        /// Shutdown token (`POST /shutdown?token=...`).
+        token: String,
+        /// Directory named `scenario_file` bodies resolve under.
+        scenario_dir: String,
+    },
     /// `scenarios list`: list + validate the checked-in scenario files.
     ScenariosList,
     /// `scenarios validate <file>..`: parse + compile-check scenario files.
@@ -109,6 +122,7 @@ USAGE:
   harp-cli adjust     [net args] --node X --cells C
   harp-cli deadlines  [net args] [--frames F]
   harp-cli collisions --scheduler random|msf|alice|ldsf|harp [--rate R] [--count N]
+  harp-cli serve      [--addr A] [--port P] [--workers W] [--token T] [--scenario-dir D]
   harp-cli scenarios  list
   harp-cli scenarios  validate <file.scn>..
   harp-cli help
@@ -214,6 +228,19 @@ impl CliCommand {
                 rate: get(&map, "rate", 3)?,
                 count: get(&map, "count", 20)?,
             }),
+            "serve" => Ok(CliCommand::Serve {
+                addr: map
+                    .get("addr")
+                    .cloned()
+                    .unwrap_or_else(|| "127.0.0.1".into()),
+                port: get(&map, "port", 7464)?,
+                workers: get(&map, "workers", 4)?,
+                token: map.get("token").cloned().unwrap_or_else(|| "harpd".into()),
+                scenario_dir: map
+                    .get("scenario-dir")
+                    .cloned()
+                    .unwrap_or_else(|| scenario_dir().display().to_string()),
+            }),
             "help" | "--help" | "-h" => Ok(CliCommand::Help),
             other => Err(format!("unknown command '{other}'\n{USAGE}")),
         }
@@ -248,6 +275,32 @@ fn build_network(net: NetArgs) -> Result<(tsch_sim::Tree, Requirements, Slotfram
 pub fn run(command: CliCommand) -> Result<String, String> {
     match command {
         CliCommand::Help => Ok(USAGE.to_string()),
+        CliCommand::Serve {
+            addr,
+            port,
+            workers,
+            token,
+            scenario_dir,
+        } => {
+            let config = harpd::server::ServerConfig {
+                addr: format!("{addr}:{port}"),
+                workers,
+                token,
+                scenario_dir: scenario_dir.into(),
+                read_timeout: std::time::Duration::from_secs(5),
+            };
+            let server = harpd::server::Server::bind(config).map_err(|e| e.to_string())?;
+            let local = server.local_addr().map_err(|e| e.to_string())?;
+            // `run` blocks until a token-matched shutdown drains the pool;
+            // the returned summary is the final metrics flush.
+            println!("harpd listening on {local}");
+            let summary = server.run();
+            Ok(format!(
+                "harpd drained ({} network(s) hosted)\n{}",
+                summary.networks,
+                summary.exposition()
+            ))
+        }
         CliCommand::ScenariosList => list_scenarios(),
         CliCommand::ScenariosValidate(files) => {
             let mut out = String::new();
@@ -683,6 +736,58 @@ mod tests {
             count: 1
         })
         .is_err());
+    }
+
+    #[test]
+    fn parse_serve_defaults_and_overrides() {
+        let cmd = CliCommand::parse(&args("serve")).unwrap();
+        let CliCommand::Serve {
+            addr,
+            port,
+            workers,
+            token,
+            ..
+        } = cmd
+        else {
+            panic!()
+        };
+        assert_eq!(
+            (addr.as_str(), port, workers, token.as_str()),
+            ("127.0.0.1", 7464, 4, "harpd")
+        );
+        let cmd = CliCommand::parse(&args("serve --port 0 --workers 2 --token s --addr 0.0.0.0"))
+            .unwrap();
+        let CliCommand::Serve {
+            addr,
+            port,
+            workers,
+            ..
+        } = cmd
+        else {
+            panic!()
+        };
+        assert_eq!((addr.as_str(), port, workers), ("0.0.0.0", 0, 2));
+        assert!(CliCommand::parse(&args("serve --port notaport"))
+            .unwrap_err()
+            .contains("invalid value"));
+    }
+
+    #[test]
+    fn serve_runs_and_drains() {
+        // Bind a free port, drive one request through a real socket, shut
+        // down via the token, and check the drain summary.
+        let config = harpd::server::ServerConfig::loopback(1, "cli-test", "scenarios");
+        let server = harpd::server::Server::bind(config).unwrap();
+        let addr = server.local_addr().unwrap();
+        let join = std::thread::spawn(move || server.run());
+        let mut client = harpd::client::HttpClient::new(addr);
+        assert_eq!(client.get("/health").unwrap().status, 200);
+        assert_eq!(
+            client.post("/shutdown?token=cli-test", "").unwrap().status,
+            200
+        );
+        let summary = join.join().unwrap();
+        assert!(summary.exposition().contains("harpd_requests_total"));
     }
 
     #[test]
