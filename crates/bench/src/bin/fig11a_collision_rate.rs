@@ -64,6 +64,7 @@ fn main() {
                 start_asn: start,
                 end_asn: start + 149,
                 detail: (p * 1e6).round() as i64,
+                corr: 0,
             });
         }
         fields.push(("total_cells", f64::from(49 * rate)));

@@ -69,6 +69,7 @@ fn main() {
                     start_asn: start,
                     end_asn: start + 149,
                     detail: (p * 1e6).round() as i64,
+                    corr: 0,
                 });
             }
             println!();

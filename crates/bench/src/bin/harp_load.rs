@@ -6,9 +6,13 @@
 //! * **`--smoke`** — boots a `harpd` *child process* (`--harpd <bin>`),
 //!   waits for the socket, walks the whole API surface once against
 //!   `scenarios/fig10_dynamic.scn` (inline body *and* named file), checks
-//!   every response is 2xx and `/metrics` is valid Prometheus text, then
-//!   drives the token-guarded shutdown and requires a clean (code 0)
-//!   child exit. Exit status is the CI verdict — no curl, no jq.
+//!   every response is 2xx and `/metrics` is valid Prometheus text,
+//!   resolves the adjust response's correlation id through
+//!   `/debug/trace/<tenant>` to the allocator spans it caused, pulls
+//!   `/debug/health` and `/debug/flight` (optionally saving the dumps
+//!   with `--artifact-dir DIR` for `harp_trace` to render), then drives
+//!   the token-guarded shutdown and requires a clean (code 0) child
+//!   exit. Exit status is the CI verdict — no curl, no jq.
 //! * **default (gated)** — hosts an *in-process* server on a loopback
 //!   port and drives it closed-loop from client threads: waves of
 //!   create → adjustment storm → schedule queries → delete across many
@@ -182,6 +186,86 @@ fn smoke() {
     if !metrics.body.contains("tenant=\"smoke-inline\"") {
         eprintln!("smoke: /metrics lacks per-tenant series");
         std::process::exit(1);
+    }
+
+    // The adjust's correlation id must resolve through the live trace
+    // endpoint to the allocator work it caused.
+    let corr = bill
+        .body
+        .split("\"correlation_id\": ")
+        .nth(1)
+        .and_then(|t| {
+            t.split(|c: char| !c.is_ascii_digit())
+                .next()?
+                .parse::<u64>()
+                .ok()
+        })
+        .unwrap_or_else(|| {
+            eprintln!(
+                "smoke: adjust response lacks a correlation id: {}",
+                bill.body
+            );
+            std::process::exit(1);
+        });
+    let trace = expect_2xx(
+        "GET /debug/trace/smoke-inline",
+        client.get("/debug/trace/smoke-inline"),
+    );
+    let needle = format!("\"corr\": {corr}");
+    let resolves = trace
+        .body
+        .split_once("\"allocator_trace\"")
+        .is_some_and(|(req, alloc)| req.contains(&needle) && alloc.contains(&needle));
+    if !resolves {
+        eprintln!(
+            "smoke: correlation id {corr} does not resolve to allocator spans: {}",
+            trace.body
+        );
+        std::process::exit(1);
+    }
+
+    let health = expect_2xx("GET /debug/health", client.get("/debug/health"));
+    if !health.body.contains("\"tenant\": \"smoke-inline\"") {
+        eprintln!(
+            "smoke: /debug/health lacks tenant liveness: {}",
+            health.body
+        );
+        std::process::exit(1);
+    }
+
+    let flight = expect_2xx("GET /debug/flight", client.get("/debug/flight"));
+    let doc = harp_obs::FlightDoc::parse_str(&flight.body).unwrap_or_else(|e| {
+        eprintln!("smoke: /debug/flight dump does not parse: {e}");
+        std::process::exit(1);
+    });
+    if !doc
+        .events
+        .iter()
+        .any(|e| e.kind == "adjust" && e.corr == corr)
+    {
+        eprintln!("smoke: flight recorder missed the adjust: {}", flight.body);
+        std::process::exit(1);
+    }
+
+    // Save the dumps for CI to render and upload as artifacts.
+    if let Some(dir) = arg_value("--artifact-dir") {
+        let dir = std::path::Path::new(&dir);
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            eprintln!("smoke: create {}: {e}", dir.display());
+            std::process::exit(2);
+        });
+        for (name, body) in [
+            ("flight.json", &flight.body),
+            ("trace_smoke-inline.json", &trace.body),
+            ("health.json", &health.body),
+        ] {
+            let path = dir.join(name);
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("smoke: write {}: {e}", path.display());
+                std::process::exit(2);
+            }
+            println!("smoke: wrote {}", path.display());
+        }
     }
 
     expect_2xx(

@@ -2,8 +2,15 @@
 //! runner.
 //!
 //! ```text
-//! harp_sim --scenario scenarios/mgmt_loss.scn [--seed 42] [--quick] [--threads N]
+//! harp_sim --scenario scenarios/mgmt_loss.scn [--seed 42] [--quick] \
+//!          [--threads N] [--flight dump.json]
 //! ```
+//!
+//! `--flight` writes the run's flight-recorder dump (fault firings, rate
+//! steps, replicate outcomes, detected adjustment storms on the ASN
+//! timeline) for `harp_trace` to render; available for `timeline` and
+//! `replicates` scenarios, and byte-identical across runs and `--threads`
+//! values.
 //!
 //! The scenario file declares topology, scheduler, workload, fault
 //! schedule and report shape (grammar in `DESIGN.md` §14); the runner
@@ -17,7 +24,7 @@ use harp_bench::scenario_run::{load_scenario_file, run_scenario, RunOptions};
 use std::path::Path;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: harp_sim --scenario <file.scn> [--seed <n>] [--quick] [--threads <n>]";
+const USAGE: &str = "usage: harp_sim --scenario <file.scn> [--seed <n>] [--quick] [--threads <n>] [--flight <out.json>]";
 
 fn parse_u64(s: &str) -> Option<u64> {
     if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
@@ -67,6 +74,20 @@ fn main() -> ExitCode {
     match run_scenario(&scenario, &opts) {
         Ok(output) => {
             output.emit();
+            if let Some(path) = arg_value("--flight") {
+                let Some(flight) = &output.flight else {
+                    eprintln!(
+                        "error: --flight needs a `timeline` or `replicates` scenario; \
+                         this mode records no event timeline"
+                    );
+                    return ExitCode::FAILURE;
+                };
+                if let Err(e) = std::fs::write(&path, flight) {
+                    eprintln!("error: write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("# wrote flight dump {path}");
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -7,7 +7,9 @@
 //! ```text
 //! harp_trace [INPUT.json] [options]
 //!   INPUT.json        report with a `trace_sample` section, a span dump
-//!                     ({"spans": [...]}) or a bare span array
+//!                     ({"spans": [...]}), a bare span array, or a harpd
+//!                     flight-recorder dump ({"events": [...]}, as served
+//!                     by /debug/flight — incident wrappers included)
 //!                     (default: BENCH_trace_sample.json at the repo root)
 //!   --live            ignore INPUT; run an instrumented 50-node static
 //!                     phase + one deep adjustment and render its trace
@@ -89,6 +91,21 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
 }
 
+/// Parses either a span trace or a harpd flight-recorder dump. A flight
+/// dump (`{"events": [...]}` or an incident wrapper) folds onto trace
+/// spans — one zero-width span per event, tenant as layer — so every view
+/// (flame, heatmap, storms, chrome) renders service incidents unchanged.
+fn parse_trace_or_flight(text: &str) -> Result<TraceDoc, String> {
+    if let Ok(flight) = harp_obs::FlightDoc::parse_str(text) {
+        return Ok(TraceDoc {
+            spans: flight.to_trace_spans(),
+            total_recorded: flight.total_recorded,
+            dropped: flight.dropped,
+        });
+    }
+    TraceDoc::parse_str(text)
+}
+
 /// Default input: the committed trace sample at the workspace root.
 fn default_input() -> std::path::PathBuf {
     match std::env::var("CARGO_MANIFEST_DIR") {
@@ -143,7 +160,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let doc = match TraceDoc::parse_str(&text) {
+        let doc = match parse_trace_or_flight(&text) {
             Ok(d) => d,
             Err(e) => {
                 eprintln!("harp_trace: {}: {e}", path.display());
@@ -247,6 +264,33 @@ mod tests {
         assert!(opts(&["--slot-us"]).is_err());
         assert!(opts(&["--frobnicate"]).is_err());
         assert!(opts(&["a.json", "b.json"]).is_err());
+    }
+
+    #[test]
+    fn flight_dumps_fold_onto_trace_views() {
+        let mut recorder = harp_obs::FlightRecorder::new(8);
+        recorder.record(harp_obs::FlightEvent {
+            seq: 0,
+            at: 120,
+            kind: "adjust",
+            tenant: "t1".to_owned(),
+            corr: 7,
+            node: 5,
+            detail: "cells=2".to_owned(),
+            magnitude: 2,
+        });
+        let doc = parse_trace_or_flight(&recorder.to_json(8)).expect("flight dump parses");
+        assert_eq!(doc.spans.len(), 1);
+        assert_eq!(doc.spans[0].layer, "t1");
+        assert_eq!(doc.spans[0].corr, 7);
+        // The span dump shape still parses through the same entry point.
+        let trace = parse_trace_or_flight(
+            "{\"total_recorded\": 1, \"dropped\": 0, \"spans\": [{\"name\": \"x\", \
+             \"layer\": \"harp\", \"node\": 1, \"depth\": 0, \"start_asn\": 0, \
+             \"end_asn\": 1, \"detail\": 0}]}",
+        )
+        .expect("span dump parses");
+        assert_eq!(trace.spans.len(), 1);
     }
 
     #[test]

@@ -27,7 +27,11 @@
 use crate::harness::{rows_json, to_json_with_sections, workspace_path, write_report};
 use crate::{measure_harp_adjustment_traced, run_lockstep};
 use harp_core::{HarpNetwork, ProtocolReport, SchedulingPolicy};
-use harp_obs::{merged_trace_json, spans_to_json, MetricsSnapshot, SpanEvent};
+use harp_obs::flame::{detect_storms, TraceSpan};
+use harp_obs::{
+    merged_trace_json, spans_to_json, FlightEvent, FlightRecorder, MetricsSnapshot, SpanEvent,
+    NO_FLIGHT_NODE,
+};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use tsch_sim::{
@@ -57,6 +61,12 @@ pub struct RunOutput {
     pub json: String,
     /// Report file name from the `[report]` section, if any.
     pub file: Option<String>,
+    /// Flight-recorder dump of the run (ASN timebase): fault-plan
+    /// firings, mode-specific events and detected adjustment storms.
+    /// `None` for modes without an event timeline (sweeps, churn).
+    /// A pure function of scenario + seed: byte-identical across runs
+    /// and `--threads` values.
+    pub flight: Option<String>,
 }
 
 impl RunOutput {
@@ -104,20 +114,77 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutput,
     let seed = opts.seed.unwrap_or(scenario.seed);
     let threads = opts.threads.unwrap_or_else(bench_threads);
     let json_file = scenario.report.file.clone();
-    let (stdout, json) = match scenario.report.mode {
+    let (stdout, json, flight) = match scenario.report.mode {
         ReportMode::Timeline { node } => run_timeline(scenario, node, seed, opts)?,
-        ReportMode::PdrSweep => run_pdr_sweep(scenario, seed, opts, threads)?,
-        ReportMode::Adjustments => run_adjustments(scenario, opts, threads)?,
+        ReportMode::PdrSweep => {
+            let (out, json) = run_pdr_sweep(scenario, seed, opts, threads)?;
+            (out, json, None)
+        }
+        ReportMode::Adjustments => {
+            let (out, json) = run_adjustments(scenario, opts, threads)?;
+            (out, json, None)
+        }
         ReportMode::Replicates { repeats } => {
             run_replicates(scenario, repeats, seed, opts, threads)?
         }
-        ReportMode::Churn => run_churn(scenario, opts)?,
+        ReportMode::Churn => {
+            let (out, json) = run_churn(scenario, opts)?;
+            (out, json, None)
+        }
     };
     Ok(RunOutput {
         stdout,
         json,
         file: json_file,
+        flight,
     })
+}
+
+/// Renders the flight dump of a scenario run: the fault plan's firings,
+/// mode-specific `extra` events and adjustment storms detected over
+/// `spans`, merged onto one ASN timeline. Nothing here touches a clock or
+/// an RNG, so the dump is byte-identical across runs and thread counts.
+fn scenario_flight(
+    scenario: &Scenario,
+    plan: &tsch_sim::FaultPlan,
+    spans: &[TraceSpan],
+    extra: Vec<FlightEvent>,
+) -> String {
+    let mut events: Vec<FlightEvent> = plan
+        .events()
+        .iter()
+        .map(|&(at, action)| FlightEvent {
+            seq: 0,
+            at: at.0,
+            kind: action.kind(),
+            tenant: scenario.name.clone(),
+            corr: 0,
+            node: action.node().map_or(NO_FLIGHT_NODE, |n| i64::from(n.0)),
+            detail: String::new(),
+            magnitude: 0,
+        })
+        .collect();
+    events.extend(extra);
+    for storm in detect_storms(spans, 3) {
+        events.push(FlightEvent {
+            seq: 0,
+            at: storm.start_asn,
+            kind: "storm",
+            tenant: scenario.name.clone(),
+            corr: 0,
+            node: NO_FLIGHT_NODE,
+            detail: format!("nodes={} bill={}", storm.nodes.len(), storm.bill),
+            magnitude: storm.span_count as i64,
+        });
+    }
+    // Stable by ASN: events sharing a slot keep plan/extra/storm order.
+    events.sort_by_key(|e| e.at);
+    let count = events.len().max(1);
+    let mut recorder = FlightRecorder::new(count);
+    for event in events {
+        recorder.record(event);
+    }
+    recorder.to_json(count)
 }
 
 fn single_tree(scenario: &Scenario, opts: &RunOptions) -> Tree {
@@ -135,7 +202,7 @@ fn run_timeline(
     node: u32,
     seed: u64,
     opts: &RunOptions,
-) -> Result<(String, String), String> {
+) -> Result<(String, String, Option<String>), String> {
     let tree = single_tree(scenario, opts);
     let config = scenario.slotframe_config()?;
     let observed = NodeId(node);
@@ -178,11 +245,12 @@ fn run_timeline(
 
     // Data plane, with the scenario's fault plan compiled in.
     let net_offset = net.now().0;
+    let fault_plan = scenario.data_fault_plan(&tree)?;
     let mut builder = SimulatorBuilder::new(tree.clone(), config)
         .schedule(net.schedule().clone())
         .seed(seed)
         .observability(256)
-        .fault_plan(scenario.data_fault_plan(&tree)?);
+        .fault_plan(fault_plan.clone());
     for task in scenario.tasks(&tree) {
         builder = builder.task(task).expect("valid task");
     }
@@ -274,7 +342,31 @@ fn run_timeline(
             ("trace_sample", trace),
         ],
     );
-    Ok((out, json))
+
+    // Flight dump: fault firings, rate steps and adjustment storms on the
+    // run's ASN timeline.
+    let rate_events: Vec<FlightEvent> = steps
+        .iter()
+        .map(|step| FlightEvent {
+            seq: 0,
+            at: step.at_frame * u64::from(config.slots),
+            kind: "rate_step",
+            tenant: scenario.name.clone(),
+            corr: 0,
+            node: i64::from(step.node),
+            detail: format!("{}", step.rate),
+            magnitude: 0,
+        })
+        .collect();
+    let storm_spans: Vec<TraceSpan> = net
+        .obs()
+        .spans
+        .iter()
+        .chain(sim.obs().spans.iter())
+        .map(TraceSpan::from_event)
+        .collect();
+    let flight = scenario_flight(scenario, &fault_plan, &storm_spans, rate_events);
+    Ok((out, json, Some(flight)))
 }
 
 /// Recomputes the demand of every link on the stepped node's path for the
@@ -586,7 +678,7 @@ fn run_replicates(
     seed: u64,
     opts: &RunOptions,
     threads: usize,
-) -> Result<(String, String), String> {
+) -> Result<(String, String, Option<String>), String> {
     let tree = single_tree(scenario, opts);
     let config = scenario.slotframe_config()?;
     let reqs = scenario.requirements(&tree);
@@ -669,7 +761,32 @@ fn run_replicates(
         &metrics,
         &[("rows", rows_json(&rows)), ("obs", snap.to_json())],
     );
-    Ok((out, json))
+
+    // Flight dump: the shared fault plan plus one end-of-run event per
+    // replicate. `par_map_with_threads` returns rows in input order, so
+    // the dump is identical for every `--threads` value.
+    let end_asn = scenario.frames * u64::from(config.slots);
+    let replicate_events: Vec<FlightEvent> = rows
+        .iter()
+        .map(|(name, fields)| {
+            let delivered = fields
+                .iter()
+                .find(|(k, _)| *k == "delivered")
+                .map_or(0.0, |(_, v)| *v);
+            FlightEvent {
+                seq: 0,
+                at: end_asn,
+                kind: "replicate",
+                tenant: scenario.name.clone(),
+                corr: 0,
+                node: NO_FLIGHT_NODE,
+                detail: name.clone(),
+                magnitude: delivered as i64,
+            }
+        })
+        .collect();
+    let flight = scenario_flight(scenario, &plan, &[], replicate_events);
+    Ok((out, json, Some(flight)))
 }
 
 /// `churn`: sequential mobile-node churn on a converged control plane —

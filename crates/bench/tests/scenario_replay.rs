@@ -144,6 +144,115 @@ mode timeline node=15
 }
 
 #[test]
+fn flight_dump_is_byte_identical_across_runs_and_threads() {
+    let scenario = parse_scenario(
+        "scenario flight_probe
+seed 0xF117
+frames 30
+
+[topology]
+generator testbed50
+
+[workloads]
+demand echo rate=1
+
+[faults]
+crash node=7 at_frame=5 restart_frame=12
+pdr_window link=up:9 from_frame=6 frames=8 pdr=0.5
+burst node=21 at_frame=4 packets=10
+
+[report]
+mode replicates repeats=3
+",
+    )
+    .unwrap();
+    let run = |threads: usize| {
+        run_scenario(
+            &scenario,
+            &RunOptions {
+                seed: Some(9),
+                threads: Some(threads),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap()
+        .flight
+        .expect("replicates mode records a flight dump")
+    };
+    let a = run(1);
+    let b = run(1);
+    assert_eq!(a, b, "same seed, same threads: same flight bytes");
+    let c = run(4);
+    assert_eq!(a, c, "thread count must not leak into the flight dump");
+
+    // The dump parses and carries the plan's firings on the ASN timebase.
+    let doc = harp_obs::FlightDoc::parse_str(&a).expect("flight dump parses");
+    assert!(doc.events.iter().any(|e| e.kind == "node_down"), "{a}");
+    assert!(doc.events.iter().any(|e| e.kind == "task_burst"), "{a}");
+    assert_eq!(
+        doc.events.iter().filter(|e| e.kind == "replicate").count(),
+        3,
+        "{a}"
+    );
+    assert!(
+        doc.events.windows(2).all(|w| w[0].at <= w[1].at),
+        "events are time-ordered: {a}"
+    );
+}
+
+#[test]
+fn timeline_flight_dump_records_faults_and_rate_steps() {
+    let scenario = parse_scenario(
+        "scenario timeline_flight
+seed 0x7E57
+frames 12
+
+[workloads]
+demand echo rate=1
+rate_step node=15 at_frame=6 rate=2
+
+[faults]
+crash node=7 at_frame=4 restart_frame=8
+
+[report]
+mode timeline node=15
+",
+    )
+    .unwrap();
+    let opts = RunOptions {
+        seed: Some(11),
+        ..RunOptions::default()
+    };
+    let a = run_scenario(&scenario, &opts).unwrap();
+    let b = run_scenario(&scenario, &opts).unwrap();
+    let flight_a = a.flight.expect("timeline mode records a flight dump");
+    assert_eq!(
+        flight_a,
+        b.flight.unwrap(),
+        "flight replays byte-identically"
+    );
+    let doc = harp_obs::FlightDoc::parse_str(&flight_a).expect("parses");
+    assert!(doc
+        .events
+        .iter()
+        .any(|e| e.kind == "node_down" && e.node == 7));
+    assert!(doc
+        .events
+        .iter()
+        .any(|e| e.kind == "node_up" && e.node == 7));
+    assert!(
+        doc.events
+            .iter()
+            .any(|e| e.kind == "rate_step" && e.node == 15),
+        "{flight_a}"
+    );
+    assert!(
+        doc.events.iter().all(|e| e.tenant == "timeline_flight"),
+        "every event carries the scenario tag: {flight_a}"
+    );
+}
+
+#[test]
 fn pdr_sweep_is_thread_count_invariant() {
     let scenario = load_scenario_file(&scenario_dir().join("mgmt_loss.scn"))
         .expect("checked-in scenario parses");

@@ -175,6 +175,28 @@ impl AllocatorHandle {
         Ok(AdjustmentBill::from_report(&report, self.net.config()))
     }
 
+    /// Like [`AllocatorHandle::adjust`], with `corr` stamped as the
+    /// ambient correlation id for the duration of the adjustment: the
+    /// allocator's "adjust" span and every management/cell op span it
+    /// records carry the id, so a service can resolve the request that
+    /// returned `corr` to the exact protocol work it caused. The ambient
+    /// id is cleared before returning, success or failure.
+    ///
+    /// # Errors
+    ///
+    /// See [`AllocatorHandle::adjust`].
+    pub fn adjust_correlated(
+        &mut self,
+        link: Link,
+        cells: u32,
+        corr: u64,
+    ) -> Result<AdjustmentBill, HarpError> {
+        self.net.set_correlation(corr);
+        let result = self.adjust(link, cells);
+        self.net.set_correlation(harp_obs::NO_CORRELATION);
+        result
+    }
+
     /// The current schedule, summarised.
     #[must_use]
     pub fn summary(&self) -> ScheduleSummary {
@@ -316,6 +338,58 @@ mod tests {
         assert!(handle.is_adjustable_node(NodeId(9)));
         assert!(!handle.is_adjustable_node(handle.network().tree().root()));
         assert!(!handle.is_adjustable_node(NodeId(10_000)));
+    }
+
+    #[test]
+    fn correlated_adjustment_stamps_its_spans() {
+        let tree = Tree::paper_fig1_example();
+        let mut reqs = Requirements::new();
+        for v in tree.nodes().skip(1) {
+            reqs.set(Link::up(v), 1);
+        }
+        let mut handle = AllocatorHandle::converge_observed(
+            tree,
+            SlotframeConfig::paper_default(),
+            &reqs,
+            SchedulingPolicy::RateMonotonic,
+            1024,
+        )
+        .unwrap();
+        let bill = handle
+            .adjust_correlated(Link::up(NodeId(9)), 3, 41)
+            .unwrap();
+        let tagged: Vec<_> = handle
+            .network()
+            .span_rings()
+            .iter()
+            .flat_map(|r| r.iter())
+            .filter(|e| e.corr == 41)
+            .cloned()
+            .collect();
+        assert!(
+            tagged.iter().any(|e| e.name == "adjust"),
+            "the adjustment span carries the correlation id"
+        );
+        let ops = tagged.iter().filter(|e| e.name == "mgmt_op").count() as u64;
+        assert_eq!(
+            ops, bill.mgmt_messages,
+            "every billed mgmt message resolves to one tagged op span"
+        );
+        // The ambient id is cleared: a plain adjustment records untagged.
+        handle.adjust(Link::up(NodeId(9)), 1).unwrap();
+        assert!(handle
+            .network()
+            .span_rings()
+            .iter()
+            .flat_map(|r| r.iter())
+            .all(|e| e.corr == 41 || e.corr == harp_obs::NO_CORRELATION));
+        assert!(handle
+            .network()
+            .obs()
+            .spans
+            .iter()
+            .filter(|e| e.name == "adjust")
+            .any(|e| e.corr == harp_obs::NO_CORRELATION));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! harpd [--addr 127.0.0.1] [--port 0] [--workers 4] \
-//!       [--token <secret>] [--scenario-dir scenarios]
+//!       [--token <secret>] [--scenario-dir scenarios] [--slo-us 2000000]
 //! ```
 //!
 //! Prints `harpd listening on <addr>:<port>` once ready (the load
@@ -24,7 +24,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: harpd [--addr ADDR] [--port PORT] [--workers N] [--token SECRET] [--scenario-dir DIR]"
+            "usage: harpd [--addr ADDR] [--port PORT] [--workers N] [--token SECRET] [--scenario-dir DIR] [--slo-us MICROS]"
         );
         return;
     }
@@ -35,6 +35,9 @@ fn main() {
         .unwrap_or(4);
     let token = arg_value(&args, "--token").unwrap_or_else(|| "harpd".to_owned());
     let scenario_dir = arg_value(&args, "--scenario-dir").unwrap_or_else(|| "scenarios".to_owned());
+    let slo_us: u64 = arg_value(&args, "--slo-us")
+        .map(|v| v.parse().expect("--slo-us takes microseconds"))
+        .unwrap_or(harpd::state::DEFAULT_SLO_US);
 
     let config = ServerConfig {
         addr: format!("{addr}:{port}"),
@@ -42,6 +45,7 @@ fn main() {
         token,
         scenario_dir: scenario_dir.into(),
         read_timeout: Duration::from_secs(5),
+        slo_us,
     };
     let server = match Server::bind(config) {
         Ok(s) => s,

@@ -382,12 +382,31 @@ pub fn next_request(
     stream: &mut TcpStream,
     buf: &mut Vec<u8>,
 ) -> Result<Option<Request>, HttpError> {
+    next_request_timed(stream, buf).map(|r| r.map(|(req, _)| req))
+}
+
+/// [`next_request`], also reporting the microseconds spent *parsing* the
+/// message (CPU over all incremental [`try_parse`] passes, excluding
+/// socket waits) — the `parse` span of the request trace.
+///
+/// # Errors
+///
+/// As [`next_request`].
+pub fn next_request_timed(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+) -> Result<Option<(Request, u64)>, HttpError> {
     let mut chunk = [0u8; 8 * 1024];
+    let mut parse_us: u64 = 0;
     loop {
-        match try_parse(buf)? {
+        let started = std::time::Instant::now();
+        let parsed = try_parse(buf);
+        parse_us = parse_us
+            .saturating_add(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+        match parsed? {
             Parsed::Complete(req, consumed) => {
                 buf.drain(..consumed);
-                return Ok(Some(req));
+                return Ok(Some((req, parse_us)));
             }
             Parsed::Incomplete => {}
         }

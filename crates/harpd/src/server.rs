@@ -20,8 +20,8 @@ use std::time::Duration;
 use harp_obs::prometheus::render_exposition;
 use harp_obs::MetricsSnapshot;
 
-use crate::http::{next_request, Response};
-use crate::state::{handle_request, AppState};
+use crate::http::{next_request_timed, Response};
+use crate::state::{handle_request_timed, AppState};
 
 /// How the server binds and behaves.
 #[derive(Debug, Clone)]
@@ -37,6 +37,9 @@ pub struct ServerConfig {
     /// Per-read socket timeout; bounds how long a worker waits on a slow
     /// or silent peer.
     pub read_timeout: Duration,
+    /// Per-request latency SLO in microseconds; a slower request trips
+    /// the flight recorder into freezing an incident snapshot.
+    pub slo_us: u64,
 }
 
 impl ServerConfig {
@@ -49,6 +52,7 @@ impl ServerConfig {
             token: token.to_owned(),
             scenario_dir: std::path::PathBuf::from(scenario_dir),
             read_timeout: Duration::from_secs(5),
+            slo_us: crate::state::DEFAULT_SLO_US,
         }
     }
 }
@@ -90,6 +94,7 @@ impl Server {
             config.token.clone(),
             config.scenario_dir.clone(),
         ));
+        state.set_slo_us(config.slo_us);
         Ok(Self {
             listener,
             config,
@@ -145,7 +150,11 @@ impl Server {
             }
             match stream {
                 Ok(s) => {
+                    // Depth counts connections accepted but not yet picked
+                    // up by a worker — the backlog `/debug/health` reports.
+                    self.state.queue_enter();
                     if tx.send(s).is_err() {
+                        self.state.queue_leave();
                         break;
                     }
                 }
@@ -182,6 +191,7 @@ fn worker_loop(
             guard.recv()
         };
         let Ok(stream) = stream else { return };
+        state.queue_leave();
         serve_connection(stream, state, read_timeout);
         if state.is_shutting_down() && !wake_sent.swap(true, Ordering::SeqCst) {
             // First worker to observe shutdown unblocks the acceptor.
@@ -197,9 +207,9 @@ fn serve_connection(mut stream: TcpStream, state: &Arc<AppState>, read_timeout: 
     let _ = stream.set_nodelay(true);
     let mut buf: Vec<u8> = Vec::with_capacity(4 * 1024);
     loop {
-        match next_request(&mut stream, &mut buf) {
-            Ok(Some(req)) => {
-                let mut resp = handle_request(state, &req);
+        match next_request_timed(&mut stream, &mut buf) {
+            Ok(Some((req, parse_us))) => {
+                let mut resp = handle_request_timed(state, &req, parse_us);
                 let draining = state.is_shutting_down();
                 if !req.keep_alive || draining {
                     resp.close = true;

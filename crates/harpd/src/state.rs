@@ -8,16 +8,19 @@
 //! operation. A slow convergence in tenant A never delays a schedule
 //! query on tenant B.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use harp_core::{AllocatorHandle, Requirements, SchedulingPolicy};
 use harp_obs::json::{parse, Json};
 use harp_obs::prometheus::{render_exposition, Labels};
-use harp_obs::{MetricsRegistry, MetricsSnapshot};
+use harp_obs::{
+    merged_trace_json, FlightEvent, FlightRecorder, MetricsRegistry, MetricsSnapshot, SpanEvent,
+    SpanRing, NO_FLIGHT_NODE, NO_NODE,
+};
 use tsch_sim::{Link, NodeId};
 use workloads::scenario_dsl::parse_scenario;
 
@@ -32,6 +35,28 @@ pub const REQUEST_US_BOUNDS: &[u64] = &[
     67_108_864,
 ];
 
+/// Default per-request latency SLO: a request slower than this trips the
+/// flight recorder into freezing an incident snapshot.
+pub const DEFAULT_SLO_US: u64 = 2_000_000;
+
+/// Span capacity of the daemon's request-span ring (parse/route/allocator/
+/// encode spans, four to five per request).
+const DAEMON_SPAN_CAPACITY: usize = 4096;
+/// Span capacity of each tenant's request-span ring.
+const TENANT_SPAN_CAPACITY: usize = 1024;
+/// Span capacity handed to each tenant's observed allocator.
+const ALLOCATOR_SPAN_CAPACITY: usize = 2048;
+/// Event capacity of the always-on flight recorder.
+const FLIGHT_CAPACITY: usize = 1024;
+/// Most recent events returned by `/debug/flight`.
+const FLIGHT_DUMP_LIMIT: usize = 512;
+/// Most recent spans returned per ring by `/debug/trace/<tenant>`.
+const TRACE_DUMP_LIMIT: usize = 512;
+/// Adjustment-storm detector: this many adjustments inside
+/// [`STORM_WINDOW_US`] trips the flight recorder.
+const STORM_THRESHOLD: usize = 64;
+const STORM_WINDOW_US: u64 = 10_000_000;
+
 /// One hosted network: a converged allocator plus per-tenant counters.
 pub struct Tenant {
     /// The long-lived allocator.
@@ -40,9 +65,26 @@ pub struct Tenant {
     pub scenario_name: String,
     /// Schedule queries served for this tenant.
     pub schedule_queries: u64,
+    /// Request spans served against this tenant (µs-since-boot timebase),
+    /// each stamped with the request's correlation id.
+    pub request_spans: SpanRing,
 }
 
 impl Tenant {
+    /// Spans recorded but evicted across this tenant's rings (the request
+    /// ring plus the allocator's observed layers).
+    fn spans_dropped(&self) -> u64 {
+        let request = self.request_spans.total_recorded() - self.request_spans.len() as u64;
+        let allocator: u64 = self
+            .handle
+            .network()
+            .span_rings()
+            .iter()
+            .map(|r| r.total_recorded() - r.len() as u64)
+            .sum();
+        request + allocator
+    }
+
     /// Per-tenant metrics as a synthetic snapshot for the `/metrics`
     /// exposition, labelled with `tenant="<id>"` by the caller.
     fn metrics(&self) -> MetricsSnapshot {
@@ -72,7 +114,36 @@ impl Tenant {
             "harpd.tenant.active_cells".into(),
             summary.active_cells as f64,
         );
+        snap.gauges.insert(
+            "harpd.tenant.spans_dropped".into(),
+            self.spans_dropped() as f64,
+        );
         snap
+    }
+}
+
+/// The route classes the daemon meters individually: every request folds
+/// into exactly one, giving per-route latency histograms (p50/p95/p99 via
+/// the derived exposition gauges) without unbounded label cardinality.
+pub const ROUTE_CLASSES: &[&str] = &[
+    "health", "metrics", "list", "create", "schedule", "adjust", "delete", "shutdown", "debug",
+    "other",
+];
+
+/// Folds a request path onto its [`ROUTE_CLASSES`] entry.
+#[must_use]
+pub fn route_class(method: &str, segments: &[&str]) -> &'static str {
+    match (method, segments) {
+        (_, ["health"]) => "health",
+        (_, ["metrics"]) => "metrics",
+        ("GET", ["networks"]) => "list",
+        ("POST", ["networks"]) => "create",
+        (_, ["networks", _, "schedule"]) => "schedule",
+        (_, ["networks", _, "adjust"]) => "adjust",
+        ("DELETE", ["networks", _]) => "delete",
+        (_, ["shutdown"]) => "shutdown",
+        (_, ["debug", ..]) => "debug",
+        _ => "other",
     }
 }
 
@@ -86,13 +157,35 @@ pub struct DaemonMetrics {
     adjustments: harp_obs::CounterId,
     schedule_queries: harp_obs::CounterId,
     request_us: harp_obs::HistogramId,
+    route_us: Vec<(&'static str, harp_obs::HistogramId)>,
     networks: harp_obs::GaugeId,
     aggregate_nodes: harp_obs::GaugeId,
+    spans_dropped: harp_obs::GaugeId,
+    flight_dropped: harp_obs::GaugeId,
+    flight_trips: harp_obs::GaugeId,
 }
 
 impl DaemonMetrics {
     fn new() -> Self {
         let mut registry = MetricsRegistry::new(true);
+        // One latency histogram per route class: "harpd.route.adjust_us"
+        // etc., so per-route p50/p95/p99 are scrapeable directly.
+        const ROUTE_US_NAMES: &[(&str, &str)] = &[
+            ("health", "harpd.route.health_us"),
+            ("metrics", "harpd.route.metrics_us"),
+            ("list", "harpd.route.list_us"),
+            ("create", "harpd.route.create_us"),
+            ("schedule", "harpd.route.schedule_us"),
+            ("adjust", "harpd.route.adjust_us"),
+            ("delete", "harpd.route.delete_us"),
+            ("shutdown", "harpd.route.shutdown_us"),
+            ("debug", "harpd.route.debug_us"),
+            ("other", "harpd.route.other_us"),
+        ];
+        let route_us = ROUTE_US_NAMES
+            .iter()
+            .map(|(class, name)| (*class, registry.histogram(name, REQUEST_US_BOUNDS)))
+            .collect();
         Self {
             requests_total: registry.counter("harpd.requests_total"),
             http_errors: registry.counter("harpd.http_errors"),
@@ -100,8 +193,12 @@ impl DaemonMetrics {
             adjustments: registry.counter("harpd.adjustments"),
             schedule_queries: registry.counter("harpd.schedule_queries"),
             request_us: registry.histogram("harpd.request_us", REQUEST_US_BOUNDS),
+            route_us,
             networks: registry.gauge("harpd.networks"),
             aggregate_nodes: registry.gauge("harpd.aggregate_nodes"),
+            spans_dropped: registry.gauge("harpd.spans_dropped"),
+            flight_dropped: registry.gauge("harpd.flight_events_dropped"),
+            flight_trips: registry.gauge("harpd.flight_trips"),
             registry,
         }
     }
@@ -114,6 +211,21 @@ pub struct AppState {
     shutdown: AtomicBool,
     token: String,
     scenario_dir: PathBuf,
+    /// The daemon clock epoch: every span and flight event is stamped in
+    /// µs since this instant.
+    start: Instant,
+    /// Correlation-id source (1-based; 0 is [`harp_obs::NO_CORRELATION`]).
+    correlation: AtomicU64,
+    /// Daemon-level request spans (parse/route/allocator/encode).
+    spans: Mutex<SpanRing>,
+    /// The always-on flight recorder.
+    flight: Mutex<FlightRecorder>,
+    /// Connections accepted but not yet picked up by a worker.
+    queue_depth: AtomicI64,
+    /// Per-request latency SLO in µs; breaching it trips the recorder.
+    slo_us: AtomicU64,
+    /// Adjustment timestamps (µs) inside the storm window.
+    storm_window: Mutex<VecDeque<u64>>,
 }
 
 impl AppState {
@@ -127,6 +239,105 @@ impl AppState {
             shutdown: AtomicBool::new(false),
             token,
             scenario_dir,
+            start: Instant::now(),
+            correlation: AtomicU64::new(0),
+            spans: Mutex::new(SpanRing::new(DAEMON_SPAN_CAPACITY)),
+            flight: Mutex::new(FlightRecorder::new(FLIGHT_CAPACITY)),
+            queue_depth: AtomicI64::new(0),
+            slo_us: AtomicU64::new(DEFAULT_SLO_US),
+            storm_window: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Microseconds since the daemon started — the timebase of request
+    /// spans and flight events.
+    #[must_use]
+    pub fn uptime_us(&self) -> u64 {
+        self.start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Hands out the next correlation id (1-based, never 0).
+    #[must_use]
+    pub fn next_correlation(&self) -> u64 {
+        self.correlation.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Replaces the per-request latency SLO (µs). A request slower than
+    /// this trips the flight recorder into freezing an incident.
+    pub fn set_slo_us(&self, us: u64) {
+        self.slo_us.store(us.max(1), Ordering::Relaxed);
+    }
+
+    /// A connection entered the accept queue (called by the acceptor).
+    pub fn queue_enter(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker picked a connection off the queue.
+    pub fn queue_leave(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Connections accepted but not yet picked up by a worker.
+    #[must_use]
+    pub fn queue_depth(&self) -> i64 {
+        self.queue_depth.load(Ordering::Relaxed).max(0)
+    }
+
+    /// Records one event into the flight recorder (seq assigned there).
+    fn flight_record(&self, event: FlightEvent) {
+        if let Ok(mut flight) = self.flight.lock() {
+            flight.record(event);
+        }
+    }
+
+    /// Trips the flight recorder, tagging the frozen incident and logging
+    /// the trip itself as an event.
+    fn flight_trip(&self, reason: &str, at: u64, tenant: &str, corr: u64) {
+        if let Ok(mut flight) = self.flight.lock() {
+            flight.trip(reason);
+            let trips = flight.trips() as i64;
+            flight.record(FlightEvent {
+                seq: 0,
+                at,
+                kind: "trip",
+                tenant: tenant.to_owned(),
+                corr,
+                node: NO_FLIGHT_NODE,
+                detail: reason.to_owned(),
+                magnitude: trips,
+            });
+        }
+    }
+
+    /// Slides the storm window and trips the recorder when
+    /// [`STORM_THRESHOLD`] adjustments land inside [`STORM_WINDOW_US`].
+    fn note_adjustment(&self, at: u64, tenant: &str, corr: u64) {
+        let tripped = match self.storm_window.lock() {
+            Ok(mut window) => {
+                window.push_back(at);
+                while window.front().is_some_and(|&t| t + STORM_WINDOW_US < at) {
+                    window.pop_front();
+                }
+                if window.len() >= STORM_THRESHOLD {
+                    window.clear();
+                    true
+                } else {
+                    false
+                }
+            }
+            Err(_) => false,
+        };
+        if tripped {
+            self.flight_trip(
+                &format!(
+                    "adjustment storm: {STORM_THRESHOLD} adjustments within {}s",
+                    STORM_WINDOW_US / 1_000_000
+                ),
+                at,
+                tenant,
+                corr,
+            );
         }
     }
 
@@ -156,7 +367,7 @@ impl AppState {
             .unwrap_or_default()
     }
 
-    fn record_request(&self, us: u64, is_error: bool) {
+    fn record_request(&self, us: u64, class: &'static str, is_error: bool) {
         if let Ok(mut m) = self.metrics.lock() {
             let (req, err, hist) = (m.requests_total, m.http_errors, m.request_us);
             m.registry.inc(req, 1);
@@ -164,6 +375,9 @@ impl AppState {
                 m.registry.inc(err, 1);
             }
             m.registry.observe(hist, us);
+            if let Some(&(_, id)) = m.route_us.iter().find(|(c, _)| *c == class) {
+                m.registry.observe(id, us);
+            }
         }
     }
 
@@ -179,40 +393,154 @@ impl AppState {
                 .sum();
             (tenants.len(), nodes)
         };
+        let spans_dropped = self
+            .spans
+            .lock()
+            .map(|s| s.total_recorded() - s.len() as u64)
+            .unwrap_or(0);
+        let (flight_dropped, flight_trips) = self
+            .flight
+            .lock()
+            .map(|f| (f.dropped(), f.trips()))
+            .unwrap_or((0, 0));
         if let Ok(mut m) = self.metrics.lock() {
             let (g_networks, g_nodes) = (m.networks, m.aggregate_nodes);
+            let (g_spans, g_fdrop, g_trips) = (m.spans_dropped, m.flight_dropped, m.flight_trips);
             m.registry.set(g_networks, count as f64);
             m.registry.set(g_nodes, nodes as f64);
+            m.registry.set(g_spans, spans_dropped as f64);
+            m.registry.set(g_fdrop, flight_dropped as f64);
+            m.registry.set(g_trips, flight_trips as f64);
         }
     }
+}
+
+/// What a handler reports back about where the request's time went and
+/// which tenant it touched — folded into the request's spans and flight
+/// event by [`handle_request_timed`].
+#[derive(Default)]
+struct RouteTiming {
+    /// Time spent inside the allocator (converge, adjust, summary), µs.
+    allocator_us: u64,
+    /// Time spent formatting the response body, µs.
+    encode_us: u64,
+    /// The tenant the request addressed, when any.
+    tenant: Option<String>,
+}
+
+fn elapsed_us(since: Instant) -> u64 {
+    since.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
 }
 
 /// Routes one request; this is the whole HTTP surface of the daemon.
 /// Always returns a [`Response`] — failures become their status code.
 pub fn handle_request(state: &AppState, req: &Request) -> Response {
+    handle_request_timed(state, req, 0)
+}
+
+/// Like [`handle_request`], with the time the transport spent parsing the
+/// request head and body (`parse_us`) folded into the request's spans and
+/// latency observation. Every request gets a fresh correlation id; the
+/// parse/route/allocator/encode spans land in the daemon span ring (layer
+/// `"harpd"`, µs-since-boot timebase) stamped with that id, a `"request"`
+/// event lands in the flight recorder, and a latency-SLO breach trips the
+/// recorder into freezing an incident snapshot.
+pub fn handle_request_timed(state: &AppState, req: &Request, parse_us: u64) -> Response {
+    let corr = state.next_correlation();
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    let class = route_class(&req.method, &segments);
+    let t0 = state.uptime_us();
     let start = Instant::now();
-    let result = route(state, req);
+    let mut timing = RouteTiming::default();
+    let result = route(state, req, corr, &mut timing);
+    let route_us = elapsed_us(start);
     let response = match result {
         Ok(resp) => resp,
         Err(err) => Response::from_error(&err),
     };
-    let us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-    state.record_request(us, response.status >= 400);
+    let status = response.status;
+    let total_us = parse_us + route_us;
+    state.record_request(total_us, class, status >= 400);
+
+    if let Ok(mut spans) = state.spans.lock() {
+        let span =
+            |name: &'static str, depth: u32, start_us: u64, end_us: u64, detail: i64| SpanEvent {
+                name,
+                layer: "harpd",
+                node: NO_NODE,
+                depth,
+                start_asn: start_us,
+                end_asn: end_us,
+                detail,
+                corr,
+            };
+        let t_in = t0.saturating_sub(parse_us);
+        let t_out = t0 + route_us;
+        spans.record(span("request", 0, t_in, t_out, i64::from(status)));
+        spans.record(span("parse", 1, t_in, t0, req.body.len() as i64));
+        spans.record(span("route", 1, t0, t_out, i64::from(status)));
+        if timing.allocator_us > 0 {
+            spans.record(span(
+                "allocator",
+                2,
+                t0,
+                t0 + timing.allocator_us,
+                timing.allocator_us as i64,
+            ));
+        }
+        spans.record(span(
+            "encode",
+            2,
+            t_out.saturating_sub(timing.encode_us.min(route_us)),
+            t_out,
+            response.body.len() as i64,
+        ));
+    }
+
+    let tenant = timing.tenant.unwrap_or_default();
+    let at = t0 + route_us;
+    state.flight_record(FlightEvent {
+        seq: 0,
+        at,
+        kind: "request",
+        tenant: tenant.clone(),
+        corr,
+        node: NO_FLIGHT_NODE,
+        detail: format!("{} {} -> {status}", req.method, req.path),
+        magnitude: total_us as i64,
+    });
+    let slo = state.slo_us.load(Ordering::Relaxed);
+    if total_us > slo {
+        state.flight_trip(
+            &format!("latency SLO breach: {class} took {total_us}us (slo {slo}us)"),
+            at,
+            &tenant,
+            corr,
+        );
+    }
     response
 }
 
-fn route(state: &AppState, req: &Request) -> Result<Response, HttpError> {
+fn route(
+    state: &AppState,
+    req: &Request,
+    corr: u64,
+    timing: &mut RouteTiming,
+) -> Result<Response, HttpError> {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["health"]) => Ok(health(state)),
         ("GET", ["metrics"]) => Ok(metrics(state)),
+        ("GET", ["debug", "health"]) => Ok(debug_health(state)),
+        ("GET", ["debug", "trace", id]) => debug_trace(state, id, timing),
+        ("GET", ["debug", "flight"]) => debug_flight(state, req),
         ("GET", ["networks"]) => Ok(list_networks(state)),
-        ("POST", ["networks"]) => create_network(state, req),
-        ("GET", ["networks", id, "schedule"]) => schedule(state, id),
-        ("POST", ["networks", id, "adjust"]) => adjust(state, id, req),
-        ("DELETE", ["networks", id]) => delete_network(state, id),
+        ("POST", ["networks"]) => create_network(state, req, corr, timing),
+        ("GET", ["networks", id, "schedule"]) => schedule(state, id, corr, timing),
+        ("POST", ["networks", id, "adjust"]) => adjust(state, id, req, corr, timing),
+        ("DELETE", ["networks", id]) => delete_network(state, id, corr, timing),
         ("POST", ["shutdown"]) => shutdown(state, req),
-        (_, ["health" | "metrics" | "networks" | "shutdown", ..]) => {
+        (_, ["health" | "metrics" | "networks" | "shutdown" | "debug", ..]) => {
             Err(HttpError::new(405, "method not allowed on this resource"))
         }
         _ => Err(HttpError::new(404, "no such route")),
@@ -316,7 +644,12 @@ fn load_scenario_text(state: &AppState, json: &Json) -> Result<(String, String),
     Ok((name.to_owned(), text))
 }
 
-fn create_network(state: &AppState, req: &Request) -> Result<Response, HttpError> {
+fn create_network(
+    state: &AppState,
+    req: &Request,
+    corr: u64,
+    timing: &mut RouteTiming,
+) -> Result<Response, HttpError> {
     if state.is_shutting_down() {
         return Err(HttpError::new(409, "daemon is shutting down"));
     }
@@ -325,6 +658,7 @@ fn create_network(state: &AppState, req: &Request) -> Result<Response, HttpError
     if tenant_id.is_empty() || tenant_id.len() > 128 {
         return Err(HttpError::new(400, "tenant id must be 1..=128 characters"));
     }
+    timing.tenant = Some(tenant_id.clone());
     let (source, text) = load_scenario_text(state, &json)?;
     let scenario = parse_scenario(&text)
         .map_err(|e| HttpError::new(422, format!("scenario does not parse: {e}")))?;
@@ -337,9 +671,18 @@ fn create_network(state: &AppState, req: &Request) -> Result<Response, HttpError
         .next()
         .ok_or_else(|| HttpError::new(422, "scenario yields no topology"))?;
     let requirements: Requirements = scenario.requirements(&tree);
-    let handle =
-        AllocatorHandle::converge(tree, config, &requirements, SchedulingPolicy::RateMonotonic)
-            .map_err(|e| HttpError::new(422, format!("scenario demand is infeasible: {e}")))?;
+    // Converge observed so /debug/trace/<tenant> can resolve request ids
+    // to allocator and control-plane spans from the first message on.
+    let alloc_start = Instant::now();
+    let handle = AllocatorHandle::converge_observed(
+        tree,
+        config,
+        &requirements,
+        SchedulingPolicy::RateMonotonic,
+        ALLOCATOR_SPAN_CAPACITY,
+    )
+    .map_err(|e| HttpError::new(422, format!("scenario demand is infeasible: {e}")))?;
+    timing.allocator_us = elapsed_us(alloc_start);
 
     let scenario_name = if source == "inline" {
         scenario.name.clone()
@@ -348,9 +691,11 @@ fn create_network(state: &AppState, req: &Request) -> Result<Response, HttpError
     };
     let summary = handle.summary();
     let static_report = handle.static_report();
+    let enc_start = Instant::now();
     let body = format!(
         "{{\"tenant\": \"{}\", \"scenario\": \"{}\", \"nodes\": {}, \"assignments\": {}, \
-         \"active_cells\": {}, \"exclusive\": {}, \"static_mgmt_messages\": {}}}\n",
+         \"active_cells\": {}, \"exclusive\": {}, \"static_mgmt_messages\": {}, \
+         \"correlation_id\": {corr}}}\n",
         escape_json(&tenant_id),
         escape_json(&scenario_name),
         summary.nodes,
@@ -359,11 +704,23 @@ fn create_network(state: &AppState, req: &Request) -> Result<Response, HttpError
         summary.exclusive,
         static_report.mgmt_messages
     );
+    timing.encode_us = elapsed_us(enc_start);
+    state.flight_record(FlightEvent {
+        seq: 0,
+        at: state.uptime_us(),
+        kind: "create",
+        tenant: tenant_id.clone(),
+        corr,
+        node: NO_FLIGHT_NODE,
+        detail: scenario_name.clone(),
+        magnitude: summary.nodes as i64,
+    });
 
     let tenant = Tenant {
         handle,
         scenario_name,
         schedule_queries: 0,
+        request_spans: SpanRing::new(TENANT_SPAN_CAPACITY),
     };
     {
         let mut tenants = state
@@ -395,7 +752,36 @@ fn tenant_of(state: &AppState, id: &str) -> Result<Arc<Mutex<Tenant>>, HttpError
         .ok_or_else(|| HttpError::new(404, format!("no network for tenant \"{id}\"")))
 }
 
-fn schedule(state: &AppState, id: &str) -> Result<Response, HttpError> {
+/// Records one request span into a tenant's ring (µs timebase, layer
+/// `"harpd"`), stamped with the request's correlation id.
+fn record_tenant_span(
+    tenant: &mut Tenant,
+    name: &'static str,
+    node: u32,
+    start_us: u64,
+    end_us: u64,
+    detail: i64,
+    corr: u64,
+) {
+    tenant.request_spans.record(SpanEvent {
+        name,
+        layer: "harpd",
+        node,
+        depth: 0,
+        start_asn: start_us,
+        end_asn: end_us,
+        detail,
+        corr,
+    });
+}
+
+fn schedule(
+    state: &AppState,
+    id: &str,
+    corr: u64,
+    timing: &mut RouteTiming,
+) -> Result<Response, HttpError> {
+    timing.tenant = Some(id.to_owned());
     let tenant = tenant_of(state, id)?;
     let mut tenant = tenant
         .lock()
@@ -405,8 +791,21 @@ fn schedule(state: &AppState, id: &str) -> Result<Response, HttpError> {
         let c = m.schedule_queries;
         m.registry.inc(c, 1);
     }
+    let alloc_start = Instant::now();
+    let started_us = state.uptime_us();
     let s = tenant.handle.summary();
-    Ok(Response::json(
+    timing.allocator_us = elapsed_us(alloc_start);
+    record_tenant_span(
+        &mut tenant,
+        "schedule",
+        NO_NODE,
+        started_us,
+        state.uptime_us(),
+        s.assignments as i64,
+        corr,
+    );
+    let enc_start = Instant::now();
+    let resp = Response::json(
         200,
         format!(
             "{{\"tenant\": \"{}\", \"nodes\": {}, \"scheduled_links\": {}, \"assignments\": {}, \
@@ -421,10 +820,19 @@ fn schedule(state: &AppState, id: &str) -> Result<Response, HttpError> {
             s.exclusive,
             s.asn
         ),
-    ))
+    );
+    timing.encode_us = elapsed_us(enc_start);
+    Ok(resp)
 }
 
-fn adjust(state: &AppState, id: &str, req: &Request) -> Result<Response, HttpError> {
+fn adjust(
+    state: &AppState,
+    id: &str,
+    req: &Request,
+    corr: u64,
+    timing: &mut RouteTiming,
+) -> Result<Response, HttpError> {
+    timing.tenant = Some(id.to_owned());
     let json = body_json(req)?;
     let node = u64_field(&json, "node")?;
     let cells = u64_field(&json, "cells")?;
@@ -447,22 +855,55 @@ fn adjust(state: &AppState, id: &str, req: &Request) -> Result<Response, HttpErr
     } else {
         Link::up(NodeId(node))
     };
-    let bill = tenant.handle.adjust(link, cells).map_err(|e| {
-        HttpError::new(
-            409,
-            format!("adjustment infeasible, schedule rolled back: {e}"),
-        )
-    })?;
+    // The correlated adjustment stamps the allocator's "adjust" span and
+    // every mgmt/cell op span with this request's id — the thread that
+    // lets /debug/trace/<tenant> resolve the id the client got back.
+    let alloc_start = Instant::now();
+    let started_us = state.uptime_us();
+    let bill = tenant
+        .handle
+        .adjust_correlated(link, cells, corr)
+        .map_err(|e| {
+            HttpError::new(
+                409,
+                format!("adjustment infeasible, schedule rolled back: {e}"),
+            )
+        })?;
+    timing.allocator_us = elapsed_us(alloc_start);
+    record_tenant_span(
+        &mut tenant,
+        "adjust",
+        node,
+        started_us,
+        state.uptime_us(),
+        bill.mgmt_messages as i64,
+        corr,
+    );
+    drop(tenant);
     if let Ok(mut m) = state.metrics.lock() {
         let c = m.adjustments;
         m.registry.inc(c, 1);
     }
-    Ok(Response::json(
+    let at = state.uptime_us();
+    state.flight_record(FlightEvent {
+        seq: 0,
+        at,
+        kind: "adjust",
+        tenant: id.to_owned(),
+        corr,
+        node: i64::from(node),
+        detail: format!("cells={cells}"),
+        magnitude: bill.mgmt_messages as i64,
+    });
+    state.note_adjustment(at, id, corr);
+    let enc_start = Instant::now();
+    let resp = Response::json(
         200,
         format!(
             "{{\"tenant\": \"{}\", \"node\": {node}, \"cells\": {cells}, \
              \"mgmt_messages\": {}, \"cell_messages\": {}, \"involved_nodes\": {}, \
-             \"layers_touched\": {}, \"slotframes\": {}, \"seconds\": {:.6}}}\n",
+             \"layers_touched\": {}, \"slotframes\": {}, \"seconds\": {:.6}, \
+             \"correlation_id\": {corr}}}\n",
             escape_json(id),
             bill.mgmt_messages,
             bill.cell_messages,
@@ -471,10 +912,18 @@ fn adjust(state: &AppState, id: &str, req: &Request) -> Result<Response, HttpErr
             bill.slotframes,
             bill.seconds
         ),
-    ))
+    );
+    timing.encode_us = elapsed_us(enc_start);
+    Ok(resp)
 }
 
-fn delete_network(state: &AppState, id: &str) -> Result<Response, HttpError> {
+fn delete_network(
+    state: &AppState,
+    id: &str,
+    corr: u64,
+    timing: &mut RouteTiming,
+) -> Result<Response, HttpError> {
+    timing.tenant = Some(id.to_owned());
     let removed = state
         .tenants
         .write()
@@ -487,12 +936,134 @@ fn delete_network(state: &AppState, id: &str) -> Result<Response, HttpError> {
             format!("no network for tenant \"{id}\""),
         ));
     }
+    state.flight_record(FlightEvent {
+        seq: 0,
+        at: state.uptime_us(),
+        kind: "delete",
+        tenant: id.to_owned(),
+        corr,
+        node: NO_FLIGHT_NODE,
+        detail: String::new(),
+        magnitude: 0,
+    });
     Ok(Response::json(
         200,
         format!(
             "{{\"tenant\": \"{}\", \"deleted\": true}}\n",
             escape_json(id)
         ),
+    ))
+}
+
+/// `GET /debug/health`: per-tenant liveness and queue depths — everything
+/// an operator polls first when the service misbehaves.
+fn debug_health(state: &AppState) -> Response {
+    let (spans_recorded, spans_dropped) = state
+        .spans
+        .lock()
+        .map(|s| (s.total_recorded(), s.total_recorded() - s.len() as u64))
+        .unwrap_or((0, 0));
+    let (flight_recorded, flight_dropped, flight_trips) = state
+        .flight
+        .lock()
+        .map(|f| (f.total_recorded(), f.dropped(), f.trips()))
+        .unwrap_or((0, 0, 0));
+    let mut tenants_body = String::new();
+    if let Ok(tenants) = state.tenants.read() {
+        let mut first = true;
+        for (id, tenant) in tenants.iter() {
+            if !first {
+                tenants_body.push_str(", ");
+            }
+            first = false;
+            // try_lock as a liveness probe: a held lock means the tenant
+            // is mid-operation (busy), not dead — report it rather than
+            // queueing behind it.
+            match tenant.try_lock() {
+                Ok(tenant) => {
+                    let s = tenant.handle.summary();
+                    tenants_body.push_str(&format!(
+                        "{{\"tenant\": \"{}\", \"busy\": false, \"nodes\": {}, \
+                         \"adjustments\": {}, \"schedule_queries\": {}, \
+                         \"spans_recorded\": {}, \"spans_dropped\": {}}}",
+                        escape_json(id),
+                        s.nodes,
+                        tenant.handle.adjustments(),
+                        tenant.schedule_queries,
+                        tenant.request_spans.total_recorded(),
+                        tenant.spans_dropped(),
+                    ));
+                }
+                Err(_) => {
+                    tenants_body.push_str(&format!(
+                        "{{\"tenant\": \"{}\", \"busy\": true}}",
+                        escape_json(id)
+                    ));
+                }
+            }
+        }
+    }
+    Response::json(
+        200,
+        format!(
+            "{{\"status\": \"{}\", \"uptime_us\": {}, \"queue_depth\": {}, \
+             \"spans\": {{\"recorded\": {spans_recorded}, \"dropped\": {spans_dropped}}}, \
+             \"flight\": {{\"recorded\": {flight_recorded}, \"dropped\": {flight_dropped}, \"trips\": {flight_trips}}}, \
+             \"tenants\": [{tenants_body}]}}\n",
+            if state.is_shutting_down() {
+                "draining"
+            } else {
+                "ok"
+            },
+            state.uptime_us(),
+            state.queue_depth(),
+        ),
+    )
+}
+
+/// `GET /debug/trace/<tenant>`: the tenant's span rings — its request
+/// spans (µs-since-boot timebase) and the merged allocator + control-plane
+/// trace (ASN timebase), both carrying correlation ids.
+fn debug_trace(
+    state: &AppState,
+    id: &str,
+    timing: &mut RouteTiming,
+) -> Result<Response, HttpError> {
+    timing.tenant = Some(id.to_owned());
+    let tenant = tenant_of(state, id)?;
+    let tenant = tenant
+        .lock()
+        .map_err(|_| HttpError::new(500, "tenant poisoned"))?;
+    let request_spans = tenant.request_spans.to_json(TRACE_DUMP_LIMIT);
+    let allocator = merged_trace_json(&tenant.handle.network().span_rings(), TRACE_DUMP_LIMIT);
+    Ok(Response::json(
+        200,
+        format!(
+            "{{\"tenant\": \"{}\", \"request_timebase\": \"us_since_boot\", \
+             \"allocator_timebase\": \"asn\", \"request_spans\": {request_spans}, \
+             \"allocator_trace\": {allocator}}}\n",
+            escape_json(id),
+        ),
+    ))
+}
+
+/// `GET /debug/flight[?incident]`: the live flight-recorder ring, or the
+/// incident snapshot frozen by the first SLO/storm trip.
+fn debug_flight(state: &AppState, req: &Request) -> Result<Response, HttpError> {
+    let want_incident = req.query.iter().any(|(k, _)| k == "incident");
+    let flight = state
+        .flight
+        .lock()
+        .map_err(|_| HttpError::new(500, "flight recorder poisoned"))?;
+    if want_incident {
+        let Some(incident) = flight.incident_json() else {
+            return Err(HttpError::new(404, "nothing has tripped the recorder"));
+        };
+        return Ok(Response::json(200, format!("{incident}\n")));
+    }
+    Ok(Response::json(
+        200,
+        format!("{}\n", flight.to_json(FLIGHT_DUMP_LIMIT)),
     ))
 }
 
@@ -656,6 +1227,113 @@ mod tests {
         assert!(text.contains("harpd_requests_total"), "{text}");
         assert!(text.contains("tenant=\"t1\""), "{text}");
         assert!(text.contains("harpd_request_us_p99"), "{text}");
+    }
+
+    /// Pulls `"correlation_id": N` out of a response body.
+    fn correlation_of(body: &str) -> u64 {
+        let tail = body
+            .split("\"correlation_id\": ")
+            .nth(1)
+            .expect("body carries a correlation id");
+        tail.split(|c: char| !c.is_ascii_digit())
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn adjust_correlation_resolves_in_debug_trace() {
+        let state = state();
+        assert_eq!(create_tiny(&state, "t1").status, 201);
+        let resp = handle_request(
+            &state,
+            &post("/networks/t1/adjust", "{\"node\": 9, \"cells\": 2}"),
+        );
+        assert_eq!(resp.status, 200);
+        let corr = correlation_of(&String::from_utf8(resp.body).unwrap());
+        assert!(corr > 0);
+
+        let resp = handle_request(&state, &get("/debug/trace/t1"));
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        let needle = format!("\"corr\": {corr}");
+        // The daemon-side request span, the allocator's mgmt/cell ops and
+        // the control-plane transport spans must all carry the id.
+        let (req_part, alloc_part) = text
+            .split_once("\"allocator_trace\"")
+            .expect("trace has both sections");
+        assert!(
+            req_part.contains(&needle),
+            "request spans lost corr: {text}"
+        );
+        assert!(
+            alloc_part.contains(&needle),
+            "allocator trace lost corr: {text}"
+        );
+        assert!(alloc_part.contains("mgmt_op"), "{text}");
+        // Spans from the earlier create keep corr 0 and thus serialise no
+        // corr field at all — only the adjusted request is tagged.
+        assert!(alloc_part.contains("\"layer\": \"harp\""), "{text}");
+    }
+
+    #[test]
+    fn debug_health_reports_tenants_and_counters() {
+        let state = state();
+        assert_eq!(create_tiny(&state, "t1").status, 201);
+        handle_request(&state, &get("/networks/t1/schedule"));
+        let resp = handle_request(&state, &get("/debug/health"));
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"status\": \"ok\""), "{text}");
+        assert!(text.contains("\"tenant\": \"t1\""), "{text}");
+        assert!(text.contains("\"busy\": false"), "{text}");
+        assert!(text.contains("\"schedule_queries\": 1"), "{text}");
+        assert!(text.contains("\"queue_depth\": 0"), "{text}");
+    }
+
+    #[test]
+    fn debug_flight_dumps_requests_and_404s_without_incident() {
+        let state = state();
+        assert_eq!(create_tiny(&state, "t1").status, 201);
+        handle_request(
+            &state,
+            &post("/networks/t1/adjust", "{\"node\": 9, \"cells\": 1}"),
+        );
+        let resp = handle_request(&state, &get("/debug/flight"));
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        let doc = harp_obs::FlightDoc::parse_str(&text).expect("flight dump parses");
+        assert!(doc.events.iter().any(|e| e.kind == "create"), "{text}");
+        assert!(doc.events.iter().any(|e| e.kind == "adjust"), "{text}");
+        assert!(doc.events.iter().any(|e| e.kind == "request"), "{text}");
+
+        let mut req = get("/debug/flight");
+        req.query = vec![("incident".into(), String::new())];
+        assert_eq!(handle_request(&state, &req).status, 404);
+    }
+
+    #[test]
+    fn slo_breach_trips_flight_recorder() {
+        let state = state();
+        state.set_slo_us(0); // every request breaches a zero-latency SLO
+        assert_eq!(create_tiny(&state, "t1").status, 201);
+        let mut req = get("/debug/flight");
+        req.query = vec![("incident".into(), String::new())];
+        let resp = handle_request(&state, &req);
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"reason\": \"latency SLO breach"), "{text}");
+        assert!(text.contains("\"dump\""), "{text}");
+    }
+
+    #[test]
+    fn debug_trace_unknown_tenant_is_404() {
+        let state = state();
+        assert_eq!(
+            handle_request(&state, &get("/debug/trace/ghost")).status,
+            404
+        );
     }
 
     #[test]

@@ -54,6 +54,9 @@ pub struct TraceSpan {
     pub end_asn: u64,
     /// Free-form magnitude (messages, cells, attempts, ...).
     pub detail: i64,
+    /// Correlation id of the request that caused the span (0 when the span
+    /// was recorded outside any request scope, and for old traces).
+    pub corr: u64,
 }
 
 impl TraceSpan {
@@ -89,6 +92,7 @@ impl TraceSpan {
             start_asn: e.start_asn,
             end_asn: e.end_asn,
             detail: e.detail,
+            corr: e.corr,
         }
     }
 
@@ -119,6 +123,8 @@ impl TraceSpan {
             start_asn,
             end_asn,
             detail: num("detail")? as i64,
+            // Absent in traces written before request-scoped tracing.
+            corr: v.get("corr").and_then(Json::as_f64).unwrap_or(0.0) as u64,
         })
     }
 }
@@ -561,6 +567,7 @@ mod tests {
             start_asn: start,
             end_asn: end,
             detail,
+            corr: 0,
         }
     }
 

@@ -39,16 +39,18 @@
 #![warn(missing_docs)]
 
 pub mod flame;
+pub mod flight;
 pub mod json;
 mod metrics;
 pub mod prometheus;
 mod span;
 
+pub use flight::{FlightDoc, FlightEvent, FlightRecorder, NO_FLIGHT_NODE};
 pub use metrics::{
     CounterId, GaugeId, HistogramId, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
     StaticCounter, LATENCY_SLOT_BOUNDS,
 };
-pub use span::{merged_trace_json, spans_to_json, SpanEvent, SpanRing, NO_NODE};
+pub use span::{merged_trace_json, spans_to_json, SpanEvent, SpanRing, NO_CORRELATION, NO_NODE};
 
 /// One observability handle: a metrics registry plus a span ring.
 ///
@@ -61,6 +63,9 @@ pub struct Obs {
     pub metrics: MetricsRegistry,
     /// Ring buffer of slotframe-time spans.
     pub spans: SpanRing,
+    /// Ambient correlation id stamped onto every span recorded while set
+    /// ([`NO_CORRELATION`] outside any request scope).
+    corr: u64,
 }
 
 impl Obs {
@@ -70,6 +75,7 @@ impl Obs {
         Self {
             metrics: MetricsRegistry::new(true),
             spans: SpanRing::new(span_capacity),
+            corr: NO_CORRELATION,
         }
     }
 
@@ -80,7 +86,26 @@ impl Obs {
         Self {
             metrics: MetricsRegistry::new(false),
             spans: SpanRing::new(0),
+            corr: NO_CORRELATION,
         }
+    }
+
+    /// Sets the ambient correlation id: every span recorded until the next
+    /// call (or [`Obs::clear_correlation`]) carries it, stitching the span
+    /// to the request that caused it. Pass [`NO_CORRELATION`] to clear.
+    pub fn set_correlation(&mut self, corr: u64) {
+        self.corr = corr;
+    }
+
+    /// Clears the ambient correlation id (back to anonymous recording).
+    pub fn clear_correlation(&mut self) {
+        self.corr = NO_CORRELATION;
+    }
+
+    /// The ambient correlation id ([`NO_CORRELATION`] when unset).
+    #[must_use]
+    pub fn correlation(&self) -> u64 {
+        self.corr
     }
 
     /// Whether metric recording is live.
@@ -112,6 +137,7 @@ impl Obs {
             start_asn,
             end_asn,
             detail,
+            corr: self.corr,
         });
     }
 }
@@ -151,5 +177,18 @@ mod tests {
     #[test]
     fn default_is_disabled() {
         assert!(!Obs::default().is_enabled());
+    }
+
+    #[test]
+    fn ambient_correlation_stamps_spans_while_set() {
+        let mut obs = Obs::enabled(4);
+        obs.span("before", "l", NO_NODE, 0, 0, 0, 0);
+        obs.set_correlation(7);
+        obs.span("inside", "l", NO_NODE, 0, 1, 1, 0);
+        obs.clear_correlation();
+        obs.span("after", "l", NO_NODE, 0, 2, 2, 0);
+        let corrs: Vec<u64> = obs.spans.iter().map(|e| e.corr).collect();
+        assert_eq!(corrs, vec![NO_CORRELATION, 7, NO_CORRELATION]);
+        assert_eq!(obs.correlation(), NO_CORRELATION);
     }
 }

@@ -90,9 +90,20 @@ fn fmt_value(v: f64) -> String {
 
 #[derive(Default)]
 struct Family<'a> {
+    /// The first registry name that sanitised to this family (shown as the
+    /// HELP text so a scrape maps back to the in-tree metric).
+    source: Option<&'a str>,
     counters: Vec<(&'a Labels, u64)>,
     gauges: Vec<(&'a Labels, f64)>,
     histograms: Vec<(&'a Labels, &'a HistogramSnapshot)>,
+}
+
+impl<'a> Family<'a> {
+    fn of<'m>(families: &'m mut BTreeMap<String, Family<'a>>, name: &'a str) -> &'m mut Family<'a> {
+        let family = families.entry(sanitize_name(name)).or_default();
+        family.source.get_or_insert(name);
+        family
+    }
 }
 
 /// Renders snapshots as one Prometheus text document.
@@ -108,30 +119,20 @@ pub fn render_exposition(groups: &[(Labels, MetricsSnapshot)]) -> String {
     let mut families: BTreeMap<String, Family<'_>> = BTreeMap::new();
     for (labels, snap) in groups {
         for (name, &v) in &snap.counters {
-            families
-                .entry(sanitize_name(name))
-                .or_default()
-                .counters
-                .push((labels, v));
+            Family::of(&mut families, name).counters.push((labels, v));
         }
         for (name, &v) in &snap.gauges {
-            families
-                .entry(sanitize_name(name))
-                .or_default()
-                .gauges
-                .push((labels, v));
+            Family::of(&mut families, name).gauges.push((labels, v));
         }
         for (name, h) in &snap.histograms {
-            families
-                .entry(sanitize_name(name))
-                .or_default()
-                .histograms
-                .push((labels, h));
+            Family::of(&mut families, name).histograms.push((labels, h));
         }
     }
 
     let mut out = String::new();
     for (name, family) in &families {
+        let source = family.source.unwrap_or("");
+        let _ = writeln!(out, "# HELP {name} registry metric {source}");
         if !family.counters.is_empty() {
             let _ = writeln!(out, "# TYPE {name} counter");
             for (labels, v) in &family.counters {
@@ -175,6 +176,7 @@ pub fn render_exposition(groups: &[(Labels, MetricsSnapshot)]) -> String {
             }
             // Derived percentile gauges, one family per quantile.
             for (suffix, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                let _ = writeln!(out, "# HELP {name}_{suffix} {suffix} of {source}");
                 let _ = writeln!(out, "# TYPE {name}_{suffix} gauge");
                 for (labels, h) in &family.histograms {
                     let _ = writeln!(
@@ -201,7 +203,13 @@ pub fn render_exposition(groups: &[(Labels, MetricsSnapshot)]) -> String {
 /// A message naming the first offending line (1-based).
 pub fn validate_exposition(text: &str) -> Result<(), String> {
     let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut helps: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
     let mut seen: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    // Families whose sample block has started, and the family the previous
+    // sample belonged to — used to reject declarations arriving after their
+    // samples and families split across the document.
+    let mut sampled: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut current_family: Option<String> = None;
     for (i, line) in text.lines().enumerate() {
         let lineno = i + 1;
         let err = |msg: &str| Err(format!("line {lineno}: {msg}: {line}"));
@@ -219,8 +227,21 @@ pub fn validate_exposition(text: &str) -> Result<(), String> {
                 if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
                     return err("unknown metric type");
                 }
+                if sampled.contains(name) {
+                    return err("TYPE declared after samples of its family");
+                }
                 if types.insert(name.to_owned(), kind.to_owned()).is_some() {
                     return err("duplicate TYPE declaration");
+                }
+            } else if let Some(decl) = rest.strip_prefix("HELP ") {
+                let Some(name) = decl.split_whitespace().next() else {
+                    return err("malformed HELP line");
+                };
+                if sampled.contains(name) {
+                    return err("HELP declared after samples of its family");
+                }
+                if !helps.insert(name.to_owned()) {
+                    return err("duplicate HELP declaration");
                 }
             }
             continue;
@@ -249,16 +270,30 @@ pub fn validate_exposition(text: &str) -> Result<(), String> {
         if name.is_empty() || !name.chars().enumerate().all(|(j, c)| is_name_char(c, j)) {
             return err("invalid metric name");
         }
-        // A histogram sample must belong to a declared histogram family.
+        // A histogram sample must belong to a declared histogram family;
+        // the `_bucket`/`_sum`/`_count` samples fold into that family for
+        // the contiguity check below.
+        let mut family = name;
         for suffix in ["_bucket", "_sum", "_count"] {
             if let Some(base) = name.strip_suffix(suffix) {
                 if types.get(base).is_some_and(|k| k == "histogram") {
                     if suffix == "_bucket" && !series.contains("le=\"") {
                         return err("histogram bucket without le label");
                     }
+                    family = base;
                     break;
                 }
             }
+        }
+        // All samples of one family must form a single contiguous block:
+        // re-entering a family whose block already ended means HELP/TYPE no
+        // longer precede every one of its samples.
+        if current_family.as_deref() != Some(family) {
+            if sampled.contains(family) {
+                return err("metric family samples are not contiguous");
+            }
+            sampled.insert(family.to_owned());
+            current_family = Some(family.to_owned());
         }
         if !seen.insert(series.to_owned()) {
             return err("duplicate series");
@@ -391,6 +426,61 @@ mod tests {
         assert!(validate_exposition("# TYPE h histogram\nh_bucket 1\n").is_err());
         assert!(validate_exposition("# TYPE x widget\n").is_err());
         assert!(validate_exposition("# TYPE x gauge\n# TYPE x gauge\n").is_err());
+    }
+
+    #[test]
+    fn validator_rejects_declarations_after_samples() {
+        let late_type = "x 1\n# TYPE x gauge\nx{t=\"a\"} 2\n";
+        assert!(
+            validate_exposition(late_type)
+                .unwrap_err()
+                .contains("TYPE declared after samples"),
+            "a TYPE line must precede every sample of its family"
+        );
+        let late_help = "x 1\n# HELP x about x\n";
+        assert!(validate_exposition(late_help)
+            .unwrap_err()
+            .contains("HELP declared after samples"));
+        assert!(validate_exposition("# HELP x a\n# HELP x b\n")
+            .unwrap_err()
+            .contains("duplicate HELP"));
+    }
+
+    #[test]
+    fn validator_rejects_split_families() {
+        // `a`'s samples are interrupted by `b`: the second `a` block no
+        // longer sits under `a`'s declarations.
+        let split = "a{t=\"1\"} 1\nb 2\na{t=\"2\"} 3\n";
+        assert!(
+            validate_exposition(split)
+                .unwrap_err()
+                .contains("not contiguous"),
+            "family blocks must be contiguous"
+        );
+        // Histogram `_bucket`/`_sum`/`_count` samples are one family and
+        // may follow each other freely within the block.
+        let histogram = "# TYPE h histogram\n\
+                         h_bucket{le=\"1\",tenant=\"a\"} 1\n\
+                         h_sum{tenant=\"a\"} 1\n\
+                         h_count{tenant=\"a\"} 1\n\
+                         h_bucket{le=\"1\",tenant=\"b\"} 2\n\
+                         h_sum{tenant=\"b\"} 2\n\
+                         h_count{tenant=\"b\"} 2\n";
+        validate_exposition(histogram).unwrap();
+    }
+
+    #[test]
+    fn help_lines_precede_every_family() {
+        let text = render_exposition(&[(Vec::new(), sample_snapshot())]);
+        assert!(
+            text.contains("# HELP harp_adjustments registry metric harp.adjustments\n# TYPE harp_adjustments counter\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# HELP harpd_request_us_p99 p99 of harpd.request_us\n"),
+            "{text}"
+        );
+        validate_exposition(&text).unwrap();
     }
 
     #[test]

@@ -15,6 +15,9 @@ use std::collections::VecDeque;
 /// Sentinel node id for network-wide spans.
 pub const NO_NODE: u32 = u32::MAX;
 
+/// Correlation id meaning "not caused by any tracked request".
+pub const NO_CORRELATION: u64 = 0;
+
 /// One recorded span.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpanEvent {
@@ -34,6 +37,9 @@ pub struct SpanEvent {
     pub end_asn: u64,
     /// Free-form magnitude (messages, cells, attempts, ...).
     pub detail: i64,
+    /// Correlation id stitching this span to the request that caused it
+    /// ([`NO_CORRELATION`] when recorded outside any request scope).
+    pub corr: u64,
 }
 
 impl SpanEvent {
@@ -52,11 +58,18 @@ impl SpanEvent {
     }
 
     /// Renders this span as one JSON object (the element shape of
-    /// [`SpanRing::to_json`]).
+    /// [`SpanRing::to_json`]). The `corr` field is emitted only when the
+    /// span belongs to a request scope, so traces recorded outside any
+    /// request (every batch experiment) keep their exact byte shape.
     #[must_use]
     pub fn to_json(&self) -> String {
+        let corr = if self.corr == NO_CORRELATION {
+            String::new()
+        } else {
+            format!(", \"corr\": {}", self.corr)
+        };
         format!(
-            "{{\"name\": \"{}\", \"layer\": \"{}\", \"node\": {}, \"depth\": {}, \"start_asn\": {}, \"end_asn\": {}, \"detail\": {}}}",
+            "{{\"name\": \"{}\", \"layer\": \"{}\", \"node\": {}, \"depth\": {}, \"start_asn\": {}, \"end_asn\": {}, \"detail\": {}{corr}}}",
             self.name,
             self.layer,
             if self.node == NO_NODE { -1 } else { i64::from(self.node) },
@@ -78,7 +91,11 @@ impl fmt::Display for SpanEvent {
         if self.node != NO_NODE {
             write!(f, " N{}@L{}", self.node, self.depth)?;
         }
-        write!(f, " detail={}", self.detail)
+        write!(f, " detail={}", self.detail)?;
+        if self.corr != NO_CORRELATION {
+            write!(f, " corr={}", self.corr)?;
+        }
+        Ok(())
     }
 }
 
@@ -214,6 +231,7 @@ mod tests {
             start_asn: start,
             end_asn: start + 5,
             detail: 7,
+            corr: NO_CORRELATION,
         }
     }
 
@@ -358,6 +376,25 @@ mod tests {
                 .get("total_recorded")
                 .and_then(crate::json::Json::as_f64),
             Some(3.0)
+        );
+    }
+
+    #[test]
+    fn correlation_serialises_only_when_set() {
+        let anon = ev("a", "sim", 0);
+        assert!(!anon.to_json().contains("corr"), "{}", anon.to_json());
+        assert!(!anon.to_string().contains("corr"));
+        let scoped = SpanEvent { corr: 42, ..anon };
+        assert!(
+            scoped.to_json().ends_with("\"corr\": 42}"),
+            "{}",
+            scoped.to_json()
+        );
+        assert!(scoped.to_string().ends_with("corr=42"));
+        let parsed = crate::json::parse(&scoped.to_json()).unwrap();
+        assert_eq!(
+            parsed.get("corr").and_then(crate::json::Json::as_f64),
+            Some(42.0)
         );
     }
 

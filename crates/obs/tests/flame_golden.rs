@@ -25,6 +25,7 @@ fn fixture() -> Vec<SpanEvent> {
             start_asn: 0,
             end_asn: 198,
             detail: 4,
+            corr: 0,
         },
         SpanEvent {
             name: "adjust",
@@ -34,6 +35,7 @@ fn fixture() -> Vec<SpanEvent> {
             start_asn: 50,
             end_asn: 249,
             detail: 12,
+            corr: 0,
         },
         SpanEvent {
             name: "adjust",
@@ -43,6 +45,7 @@ fn fixture() -> Vec<SpanEvent> {
             start_asn: 200,
             end_asn: 299,
             detail: 6,
+            corr: 0,
         },
         SpanEvent {
             name: "retx",
@@ -52,6 +55,7 @@ fn fixture() -> Vec<SpanEvent> {
             start_asn: 210,
             end_asn: 210,
             detail: 1,
+            corr: 0,
         },
     ]
 }
@@ -191,6 +195,7 @@ fn random_spans(seed: u64, count: usize) -> Vec<TraceSpan> {
                 start_asn: start,
                 end_asn: start + rng.below(500),
                 detail: rng.below(100) as i64,
+                corr: 0,
             }
         })
         .collect()

@@ -823,6 +823,21 @@ impl Simulator {
         if !self.fault_calendar.is_empty() {
             while let Some((_, action)) = self.fault_calendar.pop_due(self.now) {
                 self.faults_fired += 1;
+                // Tag each firing as an instantaneous span on a "fault"
+                // lane so traces and flight recorders can show what the
+                // plan did and when, not just that something fired.
+                if self.obs.is_enabled() {
+                    let node = action.node().map_or(NO_NODE, |n| n.0);
+                    self.obs.span(
+                        action.kind(),
+                        "fault",
+                        node,
+                        0,
+                        self.now.0,
+                        self.now.0,
+                        self.faults_fired as i64,
+                    );
+                }
                 self.apply_fault(action);
             }
         }

@@ -72,6 +72,34 @@ pub enum FaultAction {
     TaskRate(TaskId, Rate),
 }
 
+impl FaultAction {
+    /// Stable tag naming the action's kind — the label fault firings carry
+    /// in trace spans and flight-recorder events.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::NodeDown(_) => "node_down",
+            Self::NodeUp(_) => "node_up",
+            Self::LinkMask(_, true) => "link_mask",
+            Self::LinkMask(_, false) => "link_unmask",
+            Self::LinkPdr(..) => "link_pdr",
+            Self::TaskBurst(..) => "task_burst",
+            Self::TaskRate(..) => "task_rate",
+        }
+    }
+
+    /// The node the action concerns (the child endpoint for link actions),
+    /// or `None` for task actions.
+    #[must_use]
+    pub fn node(&self) -> Option<NodeId> {
+        match self {
+            Self::NodeDown(n) | Self::NodeUp(n) => Some(*n),
+            Self::LinkMask(link, _) | Self::LinkPdr(link, _) => Some(link.child),
+            Self::TaskBurst(..) | Self::TaskRate(..) => None,
+        }
+    }
+}
+
 /// A deterministic schedule of [`FaultAction`]s, loaded onto the
 /// simulator's event calendar at build time.
 ///

@@ -471,6 +471,14 @@ impl<M: Clone> ControlPlane<M> {
         &self.obs
     }
 
+    /// Sets the ambient correlation id stamped onto transport spans
+    /// (retransmissions, duplicate suppressions) until the next call —
+    /// [`harp_obs::NO_CORRELATION`] clears it. Lets a service stitch the
+    /// retransmissions a request caused to that request's id.
+    pub fn set_correlation(&mut self, corr: u64) {
+        self.obs.set_correlation(corr);
+    }
+
     /// Snapshots the transport metrics (empty while observability is off).
     #[must_use]
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {

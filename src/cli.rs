@@ -76,6 +76,9 @@ pub enum CliCommand {
         token: String,
         /// Directory named `scenario_file` bodies resolve under.
         scenario_dir: String,
+        /// Per-request latency SLO in microseconds; a slower request
+        /// trips the flight recorder into freezing an incident.
+        slo_us: u64,
     },
     /// `scenarios list`: list + validate the checked-in scenario files.
     ScenariosList,
@@ -122,7 +125,7 @@ USAGE:
   harp-cli adjust     [net args] --node X --cells C
   harp-cli deadlines  [net args] [--frames F]
   harp-cli collisions --scheduler random|msf|alice|ldsf|harp [--rate R] [--count N]
-  harp-cli serve      [--addr A] [--port P] [--workers W] [--token T] [--scenario-dir D]
+  harp-cli serve      [--addr A] [--port P] [--workers W] [--token T] [--scenario-dir D] [--slo-us U]
   harp-cli scenarios  list
   harp-cli scenarios  validate <file.scn>..
   harp-cli help
@@ -240,6 +243,7 @@ impl CliCommand {
                     .get("scenario-dir")
                     .cloned()
                     .unwrap_or_else(|| scenario_dir().display().to_string()),
+                slo_us: get(&map, "slo-us", harpd::state::DEFAULT_SLO_US)?,
             }),
             "help" | "--help" | "-h" => Ok(CliCommand::Help),
             other => Err(format!("unknown command '{other}'\n{USAGE}")),
@@ -281,6 +285,7 @@ pub fn run(command: CliCommand) -> Result<String, String> {
             workers,
             token,
             scenario_dir,
+            slo_us,
         } => {
             let config = harpd::server::ServerConfig {
                 addr: format!("{addr}:{port}"),
@@ -288,6 +293,7 @@ pub fn run(command: CliCommand) -> Result<String, String> {
                 token,
                 scenario_dir: scenario_dir.into(),
                 read_timeout: std::time::Duration::from_secs(5),
+                slo_us,
             };
             let server = harpd::server::Server::bind(config).map_err(|e| e.to_string())?;
             let local = server.local_addr().map_err(|e| e.to_string())?;
@@ -755,18 +761,24 @@ mod tests {
             (addr.as_str(), port, workers, token.as_str()),
             ("127.0.0.1", 7464, 4, "harpd")
         );
-        let cmd = CliCommand::parse(&args("serve --port 0 --workers 2 --token s --addr 0.0.0.0"))
-            .unwrap();
+        let cmd = CliCommand::parse(&args(
+            "serve --port 0 --workers 2 --token s --addr 0.0.0.0 --slo-us 500000",
+        ))
+        .unwrap();
         let CliCommand::Serve {
             addr,
             port,
             workers,
+            slo_us,
             ..
         } = cmd
         else {
             panic!()
         };
-        assert_eq!((addr.as_str(), port, workers), ("0.0.0.0", 0, 2));
+        assert_eq!(
+            (addr.as_str(), port, workers, slo_us),
+            ("0.0.0.0", 0, 2, 500_000)
+        );
         assert!(CliCommand::parse(&args("serve --port notaport"))
             .unwrap_err()
             .contains("invalid value"));
