@@ -26,7 +26,9 @@
 //!   --manifest crates/bench/bench_manifest.txt --baseline-dir /tmp/bench-baselines
 //! ```
 
-use harp_bench::gate::{compare_report_strs, manifest_files, scale_check_str};
+use harp_bench::gate::{
+    adjust_hot_check_str, compare_report_strs, manifest_files, scale_check_str,
+};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: bench_check <baseline.json> <fresh.json> [<baseline2> <fresh2> ...]\n       bench_check --manifest <manifest.txt> --baseline-dir <dir>";
@@ -91,6 +93,11 @@ fn main() -> ExitCode {
                 // per-active-cell cost) checked on the fresh report alone.
                 if fresh_path.contains("scale") {
                     v.extend(scale_check_str(&f)?);
+                }
+                // The adjustment-hot-path report pins rate flatness
+                // across network sizes the same way.
+                if fresh_path.contains("adjust_hot") {
+                    v.extend(adjust_hot_check_str(&f)?);
                 }
                 Ok(v)
             });

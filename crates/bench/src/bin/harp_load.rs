@@ -14,20 +14,39 @@
 //!   the token-guarded shutdown and requires a clean (code 0) child
 //!   exit. Exit status is the CI verdict — no curl, no jq.
 //! * **default (gated)** — hosts an *in-process* server on a loopback
-//!   port and drives it closed-loop from client threads: waves of
-//!   create → adjustment storm → schedule queries → delete across many
-//!   tenants, accumulating per-request latencies into the shared
-//!   power-of-two histogram. Writes `BENCH_service.json` with
-//!   requests/sec rates, p50/p95/p99 latencies and exact request counts
-//!   for the bench gate.
+//!   port and drives it closed-loop from client threads. Each wave puts
+//!   every tenant through five phases, in order:
+//!
+//!   1. **create** — one `POST /networks` per tenant;
+//!   2. **adjustment storm** — `--adjust-rounds` rounds alternately
+//!      raising and relaxing one deep link per tenant;
+//!   3. **schedule queries** — `--schedule-rounds` rounds of
+//!      `GET /schedule` per tenant;
+//!   4. **mixed read-heavy** — `--mixed-rounds` rounds at an 8:1
+//!      schedule:adjust ratio (every ninth round adjusts), the
+//!      steady-state mix of a monitored deployment: reads ride the
+//!      daemon's version-keyed response cache, adjustments invalidate it;
+//!   5. **delete** — one `DELETE` per tenant.
+//!
+//!   Latencies accumulate into the shared power-of-two histogram and the
+//!   run writes `BENCH_service.json`: requests/sec rates, p50/p95/p99
+//!   latencies, exact request counts, and the allocator-time vs
+//!   server-overhead split read back from the daemon's own
+//!   `harpd.request_us` / `harpd.allocator_us` histograms.
+//!
+//!   Accounting reconciles exactly: `total_requests` counts every
+//!   client-issued request *including* the control-plane ones (one
+//!   `/metrics` scrape per wave plus the final `/shutdown`, reported as
+//!   `control_requests`), and the run asserts it equals the server's own
+//!   `harpd.requests_total` — nothing the daemon served goes unreported.
 //!
 //! Knobs (defaults in parentheses): `--networks` per wave (2048),
 //! `--waves` (2), `--nodes` per network (256), `--clients` (2),
-//! `--workers` (2), `--adjust-rounds` (4), `--schedule-rounds` (4);
-//! `--quick` shrinks to a seconds-long run (8 networks × 1 wave × 40
-//! nodes). The defaults sweep 4096 hosted networks and over a million
-//! aggregate nodes through the daemon while keeping 2048 networks
-//! resident at once (~1.5 GiB peak).
+//! `--workers` (2), `--adjust-rounds` (4), `--schedule-rounds` (4),
+//! `--mixed-rounds` (9); `--quick` shrinks to a seconds-long run (8
+//! networks × 1 wave × 40 nodes). The defaults sweep 4096 hosted
+//! networks and over a million aggregate nodes through the daemon while
+//! keeping 2048 networks resident at once (~1.5 GiB peak).
 
 use std::time::{Duration, Instant};
 
@@ -92,7 +111,7 @@ fn smoke() {
             "--port",
             &port.to_string(),
             "--workers",
-            "2",
+            "4",
             "--token",
             token,
             "--scenario-dir",
@@ -294,6 +313,7 @@ struct LoadConfig {
     workers: usize,
     adjust_rounds: usize,
     schedule_rounds: usize,
+    mixed_rounds: usize,
 }
 
 /// Request-kind markers in the latency log.
@@ -381,6 +401,28 @@ fn client_wave(
             timed(&mut log, Kind::Schedule, resp, start);
         }
     }
+    // Mixed read-heavy phase: eight schedule queries per adjustment
+    // (every ninth round adjusts). Reads are answered from the daemon's
+    // version-keyed cache until the next adjustment invalidates it.
+    for round in 0..cfg.mixed_rounds {
+        if round % 9 == 8 {
+            let cells = if (round / 9) % 2 == 0 { 3 } else { 1 };
+            let body = format!("{{\"node\": 5, \"cells\": {cells}}}");
+            for &i in &tenants {
+                let path = format!("/networks/{}/adjust", tenant_name(i));
+                let start = Instant::now();
+                let resp = client.post(&path, &body);
+                timed(&mut log, Kind::Adjust, resp, start);
+            }
+        } else {
+            for &i in &tenants {
+                let path = format!("/networks/{}/schedule", tenant_name(i));
+                let start = Instant::now();
+                let resp = client.get(&path);
+                timed(&mut log, Kind::Schedule, resp, start);
+            }
+        }
+    }
     for &i in &tenants {
         let path = format!("/networks/{}", tenant_name(i));
         let start = Instant::now();
@@ -400,6 +442,7 @@ fn load() {
         workers: parse_or("--workers", 2),
         adjust_rounds: parse_or("--adjust-rounds", 4),
         schedule_rounds: parse_or("--schedule-rounds", 4),
+        mixed_rounds: parse_or("--mixed-rounds", 9),
     };
 
     let server = Server::bind(ServerConfig::loopback(
@@ -474,7 +517,12 @@ fn load() {
     let count = |kind: Kind| samples.iter().filter(|&&(k, _)| k == kind).count();
 
     let total_networks = cfg.networks_per_wave * cfg.waves;
-    let total_requests = samples.len() as u64 + failures;
+    // Control-plane requests the loop above issued outside the latency
+    // log: one /metrics scrape per wave plus the final /shutdown. They
+    // count toward total_requests so the client-side tally reconciles
+    // exactly with the server's harpd.requests_total.
+    let control_requests = cfg.waves as u64 + 1;
+    let total_requests = samples.len() as u64 + failures + control_requests;
     let secs = elapsed.as_secs_f64().max(1e-9);
     let creates = count(Kind::Create);
     let adjusts = count(Kind::Adjust);
@@ -483,6 +531,28 @@ fn load() {
         .histograms
         .get("load.request_us")
         .map_or(0.0, |h| h.mean() * 1000.0);
+
+    // Allocator-time vs server-overhead split, from the daemon's own
+    // histograms: harpd.request_us covers every request end to end,
+    // harpd.allocator_us only the time spent inside the allocator (cache
+    // hits contribute nothing). The difference of the sums is what the
+    // server itself added — parsing, routing, locking, encoding.
+    let daemon_sum_ns = |name: &str| {
+        summary
+            .metrics
+            .histograms
+            .get(name)
+            .map_or(0.0, |h| h.sum as f64 * 1000.0)
+    };
+    let daemon_p99_ns = |name: &str| {
+        summary
+            .metrics
+            .histograms
+            .get(name)
+            .map_or(0.0, |h| h.percentile(0.99) as f64 * 1000.0)
+    };
+    let total_server_ns = daemon_sum_ns("harpd.request_us");
+    let total_allocator_ns = daemon_sum_ns("harpd.allocator_us");
 
     let metrics: Vec<(&str, f64)> = vec![
         ("networks", total_networks as f64),
@@ -496,6 +566,7 @@ fn load() {
         ("create_requests", creates as f64),
         ("adjust_requests", adjusts as f64),
         ("schedule_requests", schedules as f64),
+        ("control_requests", control_requests as f64),
         ("failed_requests", failures as f64),
         ("client_threads", cfg.clients as f64),
         ("server_workers", cfg.workers as f64),
@@ -510,6 +581,17 @@ fn load() {
         ("p99_create_ns", ns("load.create_us", 0.99)),
         ("p99_adjust_ns", ns("load.adjust_us", 0.99)),
         ("p99_schedule_ns", ns("load.schedule_us", 0.99)),
+        ("total_server_ns", total_server_ns),
+        ("total_allocator_ns", total_allocator_ns),
+        (
+            "total_overhead_ns",
+            (total_server_ns - total_allocator_ns).max(0.0),
+        ),
+        ("p99_daemon_request_ns", daemon_p99_ns("harpd.request_us")),
+        (
+            "p99_daemon_allocator_ns",
+            daemon_p99_ns("harpd.allocator_us"),
+        ),
     ];
 
     for (name, value) in &metrics {
@@ -519,6 +601,12 @@ fn load() {
     assert_eq!(
         summary.networks, 0,
         "every wave deletes its networks; none may leak"
+    );
+    let served = summary.metrics.counter("harpd.requests_total").unwrap_or(0);
+    assert_eq!(
+        total_requests, served,
+        "client accounting ({total_requests}) must reconcile with the \
+         server's harpd.requests_total ({served})"
     );
 
     let report = to_json_with_sections(&[], &metrics, &[("obs", summary.metrics.to_json())]);

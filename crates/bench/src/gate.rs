@@ -334,6 +334,61 @@ pub fn scale_check_str(fresh: &str) -> Result<Vec<Violation>, String> {
     Ok(scale_checks(&f))
 }
 
+/// Invariants specific to `BENCH_adjust_hot.json`, checked on the *fresh*
+/// report alone: `adjusts_per_sec` must stay within
+/// [`SCALE_FLATNESS_TOLERANCE`] of the geometric mean across rows. The
+/// rows time the same fixed-depth adjustment on 1k–100k-node networks, so
+/// any size-dependence in the rate is an `O(nodes)` residue on the
+/// adjustment hot path — exactly what the undo-journal rollback removed
+/// (the legacy path cloned every node and the whole schedule per
+/// adjustment).
+#[must_use]
+pub fn adjust_hot_checks(fresh: &Json) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let Some(rows) = fresh.get("rows").and_then(Json::as_arr) else {
+        missing("rows".to_owned(), None, &mut out);
+        return out;
+    };
+    let mut rates: Vec<(String, f64)> = Vec::new();
+    for row in rows {
+        let label = entry_label(row, "name").unwrap_or_else(|| "?".to_owned());
+        if let Some(rate) = row.get("adjusts_per_sec").and_then(Json::as_f64) {
+            rates.push((label, rate));
+        }
+    }
+    if rates.len() < 2 || rates.iter().any(|&(_, r)| r <= 0.0) {
+        missing("rows[*].adjusts_per_sec".to_owned(), None, &mut out);
+        return out;
+    }
+    let mean = (rates.iter().map(|(_, r)| r.ln()).sum::<f64>() / rates.len() as f64).exp();
+    for (label, rate) in rates {
+        let ratio = rate / mean;
+        if !(1.0 - SCALE_FLATNESS_TOLERANCE..=1.0 + SCALE_FLATNESS_TOLERANCE).contains(&ratio) {
+            out.push(Violation {
+                key: format!("rows[{label}].adjusts_per_sec"),
+                baseline: Some(mean),
+                fresh: Some(rate),
+                limit: format!(
+                    "adjustment rate must stay within \
+                     ±{SCALE_FLATNESS_TOLERANCE} of the geometric mean \
+                     across network sizes"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// [`adjust_hot_checks`] on a report string.
+///
+/// # Errors
+///
+/// Returns the parse error message if the document is not valid JSON.
+pub fn adjust_hot_check_str(fresh: &str) -> Result<Vec<Violation>, String> {
+    let f = parse(fresh).map_err(|e| format!("fresh: {e}"))?;
+    Ok(adjust_hot_checks(&f))
+}
+
 /// Parses two report strings and compares them.
 ///
 /// # Errors
@@ -493,7 +548,7 @@ mod tests {
         // cannot drift apart.
         let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("bench_manifest.txt");
         let files = manifest_files(&std::fs::read_to_string(&manifest).unwrap());
-        assert!(files.len() >= 12, "manifest lists the gated reports");
+        assert!(files.len() >= 13, "manifest lists the gated reports");
         for file in files {
             let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
                 .join("../../")
@@ -543,6 +598,47 @@ mod tests {
         assert!(v
             .iter()
             .any(|x| x.key == "rows[scale_1m].active_cell_slots_per_sec"));
+    }
+
+    #[test]
+    fn adjust_hot_checks_accept_flat_rates() {
+        let fresh = r#"{"rows": [
+            {"name": "1k", "adjusts_per_sec": 110000.0},
+            {"name": "10k", "adjusts_per_sec": 95000.0},
+            {"name": "100k", "adjusts_per_sec": 105000.0}
+        ]}"#;
+        assert!(adjust_hot_check_str(fresh).unwrap().is_empty());
+    }
+
+    #[test]
+    fn adjust_hot_checks_trip_on_size_dependent_rates() {
+        // A 10x fall from 1k to 100k is the O(nodes) signature the gate
+        // exists to catch; only the drifted rows are named.
+        let fresh = r#"{"rows": [
+            {"name": "1k", "adjusts_per_sec": 100000.0},
+            {"name": "10k", "adjusts_per_sec": 33000.0},
+            {"name": "100k", "adjusts_per_sec": 10000.0}
+        ]}"#;
+        let v = adjust_hot_check_str(fresh).unwrap();
+        assert!(v.iter().any(|x| x.key == "rows[1k].adjusts_per_sec"));
+        assert!(v.iter().any(|x| x.key == "rows[100k].adjusts_per_sec"));
+        assert!(!v.iter().any(|x| x.key == "rows[10k].adjusts_per_sec"));
+    }
+
+    #[test]
+    fn adjust_hot_checks_demand_usable_rows() {
+        // No rows section, a single row, and a zero rate are all reported
+        // as missing data rather than silently passing.
+        for fresh in [
+            r#"{"metrics": {"rounds": 7.0}}"#,
+            r#"{"rows": [{"name": "1k", "adjusts_per_sec": 100000.0}]}"#,
+            r#"{"rows": [
+                {"name": "1k", "adjusts_per_sec": 0.0},
+                {"name": "10k", "adjusts_per_sec": 100000.0}
+            ]}"#,
+        ] {
+            assert_eq!(adjust_hot_check_str(fresh).unwrap().len(), 1, "{fresh}");
+        }
     }
 
     #[test]

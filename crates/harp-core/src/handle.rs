@@ -214,6 +214,17 @@ impl AllocatorHandle {
         }
     }
 
+    /// An opaque version stamp that advances on every mutation of the
+    /// underlying network, including the clock advance of a rejected
+    /// adjustment (see [`HarpNetwork::version`]). A rendered
+    /// [`summary`](Self::summary) cached against this value stays valid
+    /// exactly until the next mutation, which is how a service splits its
+    /// read path from in-flight adjustments.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.net.version()
+    }
+
     /// The static phase's protocol report.
     #[must_use]
     pub fn static_report(&self) -> &ProtocolReport {

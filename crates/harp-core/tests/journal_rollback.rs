@@ -1,0 +1,231 @@
+//! Differential oracle for the undo-journal rollback.
+//!
+//! [`HarpNetwork::adjust_and_settle`] used to clone every node and the
+//! whole schedule as its rollback snapshot; it now keeps an undo journal
+//! of first-touch before-images. The legacy path survives behind the
+//! test-only `set_snapshot_rollback` toggle purely so this suite can
+//! drive the *same* seeded sequence of feasible and infeasible
+//! adjustments through both and assert byte-identical node state,
+//! schedule contents, reports, drained schedule ops and metrics after
+//! every step — on the reliable transport and under Lossy/Chaos channels,
+//! where rollbacks are triggered by retry exhaustion rather than
+//! infeasibility and the plane must cancel in-flight messages.
+
+use harp_core::{HarpNetwork, Requirements, SchedulingPolicy};
+use std::fmt::Write as _;
+use tsch_sim::{Chaos, Link, Lossy, NodeId, SlotframeConfig, Tree};
+
+fn fig1_reqs(tree: &Tree) -> Requirements {
+    let mut reqs = Requirements::new();
+    for v in tree.nodes().skip(1) {
+        reqs.set(Link::up(v), tree.subtree_size(v));
+        reqs.set(Link::down(v), tree.subtree_size(v));
+    }
+    reqs
+}
+
+#[derive(Clone, Copy)]
+enum Channel {
+    Reliable,
+    Lossy,
+    Chaos,
+}
+
+fn build(channel: Channel, snapshot_rollback: bool) -> HarpNetwork {
+    let tree = Tree::paper_fig1_example();
+    let reqs = fig1_reqs(&tree);
+    let cfg = SlotframeConfig::paper_default();
+    let policy = SchedulingPolicy::RateMonotonic;
+    let mut net = match channel {
+        Channel::Reliable => HarpNetwork::new(tree, cfg, &reqs, policy),
+        Channel::Lossy => HarpNetwork::with_transport(
+            tree,
+            cfg,
+            &reqs,
+            policy,
+            Box::new(Lossy::uniform(0.8, 42).expect("valid pdr")),
+        ),
+        Channel::Chaos => HarpNetwork::with_transport(
+            tree,
+            cfg,
+            &reqs,
+            policy,
+            Box::new(Chaos::new(9, 0.15, 0.10, 0.30, 7)),
+        ),
+    };
+    net.enable_observability(256);
+    net.set_snapshot_rollback(snapshot_rollback);
+    net
+}
+
+/// Every observable byte of the network, minus the process-unique
+/// schedule version (meaningless across two networks) and the clock-only
+/// drift a failed adjustment legitimately leaves behind in spans.
+fn state_dump(net: &HarpNetwork) -> String {
+    let mut out = String::new();
+    for v in net.tree().nodes() {
+        writeln!(out, "node {v:?}: {:?}", net.node(v)).unwrap();
+    }
+    let s = net.schedule();
+    writeln!(out, "links {:?}", s.iter_links().collect::<Vec<_>>()).unwrap();
+    writeln!(out, "cells {:?}", s.iter_cells().collect::<Vec<_>>()).unwrap();
+    writeln!(out, "quiescent {}", net.quiescent()).unwrap();
+    writeln!(out, "now {:?}", net.now()).unwrap();
+    writeln!(out, "metrics {}", net.metrics_snapshot().to_json()).unwrap();
+    out
+}
+
+/// The seeded adjustment sequence: `(child node, new cells)` with cell
+/// counts far beyond the slotframe mixed in, so both feasible settles and
+/// gateway-rejected escalations occur on every channel.
+const MOVES: &[(u32, u32)] = &[
+    (9, 2),
+    (9, 500),
+    (10, 3),
+    (4, 1),
+    (4, 900),
+    (5, 2),
+    (9, 0),
+    (10, 700),
+    (10, 1),
+    (3, 2),
+    (3, 505),
+    (8, 1),
+];
+
+fn run_differential(channel: Channel) {
+    let mut journal = build(channel, false);
+    let mut snapshot = build(channel, true);
+
+    let a = journal.run_static().expect("static phase converges");
+    let b = snapshot.run_static().expect("static phase converges");
+    assert_eq!(a, b, "static reports diverge before any adjustment");
+    assert_eq!(journal.take_ops(), snapshot.take_ops());
+    assert_eq!(state_dump(&journal), state_dump(&snapshot));
+
+    let mut failures = 0usize;
+    let mut successes = 0usize;
+    for &(node, cells) in MOVES {
+        let link = Link::up(NodeId(node));
+        let before = state_dump(&journal);
+        let version_before = journal.schedule().version();
+        let at = journal.now();
+        assert_eq!(at, snapshot.now(), "clocks diverged");
+
+        let ra = journal.adjust_and_settle(at, link, cells);
+        let rb = snapshot.adjust_and_settle(at, link, cells);
+        assert_eq!(ra, rb, "outcome diverged at ({node}, {cells})");
+
+        match ra {
+            Ok(_) => successes += 1,
+            Err(_) => {
+                failures += 1;
+                // The journal restore must be indistinguishable from
+                // swapping in pre-run clones: same bytes as before the
+                // attempt (the clock alone may advance), including the
+                // schedule's version stamp, with nothing left in flight.
+                let after = state_dump(&journal);
+                let strip_now = |d: &str| {
+                    d.lines()
+                        .filter(|l| !l.starts_with("now ") && !l.starts_with("metrics "))
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                };
+                assert_eq!(strip_now(&before), strip_now(&after));
+                assert_eq!(journal.schedule().version(), version_before);
+                assert!(journal.quiescent(), "in-flight messages not cancelled");
+                assert!(snapshot.quiescent());
+            }
+        }
+        // Drained ops must match (a failed adjustment truncates its ops).
+        assert_eq!(journal.take_ops(), snapshot.take_ops());
+        assert_eq!(
+            state_dump(&journal),
+            state_dump(&snapshot),
+            "state diverged after ({node}, {cells})"
+        );
+    }
+    assert!(successes > 0, "sequence must exercise the commit path");
+    assert!(failures > 0, "sequence must exercise the rollback path");
+}
+
+#[test]
+fn journal_matches_snapshot_on_reliable_transport() {
+    run_differential(Channel::Reliable);
+}
+
+#[test]
+fn journal_matches_snapshot_on_lossy_transport() {
+    run_differential(Channel::Lossy);
+}
+
+#[test]
+fn journal_matches_snapshot_on_chaos_transport() {
+    run_differential(Channel::Chaos);
+}
+
+/// Pending-ops truncation: ops committed by an earlier successful
+/// adjustment must survive a later failed one un-drained, on both paths.
+#[test]
+fn failed_adjustment_truncates_only_its_own_ops() {
+    let mut journal = build(Channel::Reliable, false);
+    let mut snapshot = build(Channel::Reliable, true);
+    journal.run_static().unwrap();
+    snapshot.run_static().unwrap();
+    journal.take_ops();
+    snapshot.take_ops();
+
+    // Leave the successful adjustment's ops sitting in the sink.
+    let at = journal.now();
+    journal
+        .adjust_and_settle(at, Link::up(NodeId(9)), 2)
+        .unwrap();
+    snapshot
+        .adjust_and_settle(at, Link::up(NodeId(9)), 2)
+        .unwrap();
+
+    let at = journal.now();
+    assert!(journal
+        .adjust_and_settle(at, Link::up(NodeId(10)), 600)
+        .is_err());
+    assert!(snapshot
+        .adjust_and_settle(at, Link::up(NodeId(10)), 600)
+        .is_err());
+
+    let a = journal.take_ops();
+    let b = snapshot.take_ops();
+    assert_eq!(a, b);
+    assert!(
+        !a.is_empty(),
+        "the successful adjustment's ops must survive the failed one"
+    );
+}
+
+/// The version stamp: every mutation advances it — including a rejected
+/// adjustment, whose clock advance is observable — and reads leave it
+/// alone, which is what lets a service cache rendered summaries.
+#[test]
+fn version_stamp_advances_on_every_mutation() {
+    let mut net = build(Channel::Reliable, false);
+    let v0 = net.version();
+    net.run_static().unwrap();
+    let v1 = net.version();
+    assert_ne!(v0, v1);
+
+    let _ = net.schedule();
+    let _ = net.metrics_snapshot();
+    assert_eq!(net.version(), v1, "reads must not advance the stamp");
+
+    let at = net.now();
+    net.adjust_and_settle(at, Link::up(NodeId(9)), 2).unwrap();
+    let v2 = net.version();
+    assert_ne!(v1, v2);
+
+    let at = net.now();
+    assert!(net.adjust_and_settle(at, Link::up(NodeId(9)), 777).is_err());
+    assert_ne!(
+        net.version(),
+        v2,
+        "a rejected adjustment still advances now"
+    );
+}

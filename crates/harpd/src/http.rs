@@ -277,10 +277,17 @@ impl Response {
     /// A JSON response.
     #[must_use]
     pub fn json(status: u16, body: String) -> Self {
+        Self::json_bytes(status, body.into_bytes())
+    }
+
+    /// A JSON response from already-assembled bytes (the handlers build
+    /// bodies with [`harp_obs::json::JsonBuf`] into pooled buffers).
+    #[must_use]
+    pub fn json_bytes(status: u16, body: Vec<u8>) -> Self {
         Self {
             status,
             content_type: "application/json",
-            body: body.into_bytes(),
+            body,
             close: false,
         }
     }
@@ -349,23 +356,10 @@ pub fn status_text(status: u16) -> &'static str {
     }
 }
 
-/// Escapes a string for embedding in a JSON string literal.
-#[must_use]
-pub fn escape_json(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '\\' => out.push_str("\\\\"),
-            '"' => out.push_str("\\\""),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if c.is_control() => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+/// Escapes a string for embedding in a JSON string literal — the shared
+/// workspace helper, re-exported where the daemon's handlers historically
+/// found it.
+pub use harp_obs::json::escape_json;
 
 /// Reads the next complete request from `stream`, buffering leftovers in
 /// `buf` across calls (pipelining).

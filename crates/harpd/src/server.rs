@@ -214,10 +214,12 @@ fn serve_connection(mut stream: TcpStream, state: &Arc<AppState>, read_timeout: 
                 if !req.keep_alive || draining {
                     resp.close = true;
                 }
-                if resp.write_to(&mut stream).is_err() {
-                    return;
-                }
-                if resp.close {
+                let wrote = resp.write_to(&mut stream).is_ok();
+                // The body buffer came from the state's pool (handlers
+                // assemble into `take_buf` buffers); hand it back so the
+                // next response reuses the allocation.
+                state.recycle_buf(std::mem::take(&mut resp.body));
+                if !wrote || resp.close {
                     return;
                 }
             }

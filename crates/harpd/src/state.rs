@@ -7,15 +7,27 @@
 //! behind its own `Mutex`, held for the duration of one allocator
 //! operation. A slow convergence in tenant A never delays a schedule
 //! query on tenant B.
+//!
+//! Reads are split from writes *within* a tenant too. Every
+//! [`TenantSlot`] mirrors the allocator's version stamp
+//! ([`AllocatorHandle::version`]) into an atomic and caches the rendered
+//! `GET /schedule` body keyed by that stamp, so a steady-state schedule
+//! query is answered without touching the tenant mutex at all (and skips
+//! the per-tenant span, since no allocator work happened). `/metrics`
+//! scrapes render per-tenant series through `try_lock`, replaying the
+//! last snapshot when an in-flight adjustment holds the lock — a scrape
+//! never queues behind the allocator. Response bodies are assembled with
+//! [`JsonBuf`] into buffers pooled on [`AppState`] and recycled by the
+//! connection loop after each write.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock, TryLockError};
 use std::time::Instant;
 
 use harp_core::{AllocatorHandle, Requirements, SchedulingPolicy};
-use harp_obs::json::{parse, Json};
+use harp_obs::json::{parse, Json, JsonBuf};
 use harp_obs::prometheus::{render_exposition, Labels};
 use harp_obs::{
     merged_trace_json, FlightEvent, FlightRecorder, MetricsRegistry, MetricsSnapshot, SpanEvent,
@@ -24,7 +36,7 @@ use harp_obs::{
 use tsch_sim::{Link, NodeId};
 use workloads::scenario_dsl::parse_scenario;
 
-use crate::http::{escape_json, HttpError, Request, Response};
+use crate::http::{HttpError, Request, Response};
 
 /// Microsecond bucket bounds for the request-latency histogram:
 /// powers of two from 1 µs to ~67 s, wide enough that a large-network
@@ -63,8 +75,6 @@ pub struct Tenant {
     pub handle: AllocatorHandle,
     /// The scenario name the network was created from.
     pub scenario_name: String,
-    /// Schedule queries served for this tenant.
-    pub schedule_queries: u64,
     /// Request spans served against this tenant (µs-since-boot timebase),
     /// each stamped with the request's correlation id.
     pub request_spans: SpanRing,
@@ -86,8 +96,10 @@ impl Tenant {
     }
 
     /// Per-tenant metrics as a synthetic snapshot for the `/metrics`
-    /// exposition, labelled with `tenant="<id>"` by the caller.
-    fn metrics(&self) -> MetricsSnapshot {
+    /// exposition, labelled with `tenant="<id>"` by the caller. The
+    /// schedule-query count lives on the [`TenantSlot`] (it advances on
+    /// lock-free cache hits), so the caller passes it in.
+    fn metrics(&self, schedule_queries: u64) -> MetricsSnapshot {
         let mut snap = MetricsSnapshot::default();
         let summary = self.handle.summary();
         snap.counters
@@ -100,10 +112,8 @@ impl Tenant {
             "harpd.tenant.cell_messages".into(),
             self.handle.cell_messages_total(),
         );
-        snap.counters.insert(
-            "harpd.tenant.schedule_queries".into(),
-            self.schedule_queries,
-        );
+        snap.counters
+            .insert("harpd.tenant.schedule_queries".into(), schedule_queries);
         snap.gauges
             .insert("harpd.tenant.nodes".into(), summary.nodes as f64);
         snap.gauges.insert(
@@ -119,6 +129,88 @@ impl Tenant {
             self.spans_dropped() as f64,
         );
         snap
+    }
+}
+
+/// A tenant plus its read-side caches. The mutex guards the allocator;
+/// everything else is reachable without it, which is what keeps schedule
+/// queries and metrics scrapes off an adjusting tenant's lock.
+pub struct TenantSlot {
+    /// The tenant proper, locked for the duration of one allocator op.
+    tenant: Mutex<Tenant>,
+    /// Mirror of [`AllocatorHandle::version`], written only while the
+    /// tenant lock is held (create and adjust — a *rejected* adjustment
+    /// also advances it, because the allocator clock moved). Readers
+    /// compare it against a cached render's stamp without the mutex.
+    version: AtomicU64,
+    /// Schedule queries served (atomic so cache hits skip the lock).
+    schedule_queries: AtomicU64,
+    /// The rendered `GET /schedule` body, keyed by the version stamp it
+    /// was rendered under.
+    schedule_cache: RwLock<Option<(u64, Arc<Vec<u8>>)>>,
+    /// The last rendered per-tenant metrics snapshot, replayed to a
+    /// `/metrics` scrape when an adjustment holds the tenant lock.
+    metrics_cache: RwLock<Option<Arc<MetricsSnapshot>>>,
+}
+
+impl TenantSlot {
+    fn new(tenant: Tenant) -> Self {
+        let version = tenant.handle.version();
+        Self {
+            tenant: Mutex::new(tenant),
+            version: AtomicU64::new(version),
+            schedule_queries: AtomicU64::new(0),
+            schedule_cache: RwLock::new(None),
+            metrics_cache: RwLock::new(None),
+        }
+    }
+
+    /// The cached schedule body, when nothing has mutated the allocator
+    /// since it was rendered.
+    fn cached_schedule(&self) -> Option<Arc<Vec<u8>>> {
+        let version = self.version.load(Ordering::Acquire);
+        let cache = self.schedule_cache.read().ok()?;
+        match cache.as_ref() {
+            Some((v, body)) if *v == version => Some(Arc::clone(body)),
+            _ => None,
+        }
+    }
+
+    /// Per-tenant metrics for the `/metrics` scrape: rendered fresh when
+    /// the tenant lock is free, replayed from the last render when an
+    /// adjustment holds it — a scrape never queues behind the allocator.
+    fn scrape_metrics(&self) -> Option<Arc<MetricsSnapshot>> {
+        let queries = self.schedule_queries.load(Ordering::Relaxed);
+        match self.tenant.try_lock() {
+            Ok(tenant) => {
+                let snap = Arc::new(tenant.metrics(queries));
+                if let Ok(mut cache) = self.metrics_cache.write() {
+                    *cache = Some(Arc::clone(&snap));
+                }
+                Some(snap)
+            }
+            Err(TryLockError::WouldBlock) => {
+                self.metrics_cache.read().ok()?.as_ref().map(Arc::clone)
+            }
+            Err(TryLockError::Poisoned(_)) => None,
+        }
+    }
+
+    /// Node count without queueing behind the allocator: live when the
+    /// lock is free, else from the last rendered metrics snapshot.
+    fn nodes_hint(&self) -> usize {
+        match self.tenant.try_lock() {
+            Ok(tenant) => tenant.handle.summary().nodes,
+            Err(_) => self
+                .metrics_cache
+                .read()
+                .ok()
+                .and_then(|c| {
+                    c.as_ref()
+                        .and_then(|s| s.gauges.get("harpd.tenant.nodes").copied())
+                })
+                .unwrap_or(0.0) as usize,
+        }
     }
 }
 
@@ -157,6 +249,10 @@ pub struct DaemonMetrics {
     adjustments: harp_obs::CounterId,
     schedule_queries: harp_obs::CounterId,
     request_us: harp_obs::HistogramId,
+    /// Time spent inside the allocator per request (µs) — subtracting its
+    /// percentiles from `request_us` is the server-overhead split the
+    /// load generator reports.
+    allocator_us: harp_obs::HistogramId,
     route_us: Vec<(&'static str, harp_obs::HistogramId)>,
     networks: harp_obs::GaugeId,
     aggregate_nodes: harp_obs::GaugeId,
@@ -193,6 +289,7 @@ impl DaemonMetrics {
             adjustments: registry.counter("harpd.adjustments"),
             schedule_queries: registry.counter("harpd.schedule_queries"),
             request_us: registry.histogram("harpd.request_us", REQUEST_US_BOUNDS),
+            allocator_us: registry.histogram("harpd.allocator_us", REQUEST_US_BOUNDS),
             route_us,
             networks: registry.gauge("harpd.networks"),
             aggregate_nodes: registry.gauge("harpd.aggregate_nodes"),
@@ -204,9 +301,15 @@ impl DaemonMetrics {
     }
 }
 
+/// Response-body buffers kept around for reuse.
+const POOL_MAX_BUFFERS: usize = 64;
+/// A buffer that grew beyond this capacity is dropped, not pooled, so a
+/// single huge trace dump doesn't pin memory forever.
+const POOL_MAX_BUFFER_CAPACITY: usize = 256 * 1024;
+
 /// Shared state behind every worker thread.
 pub struct AppState {
-    tenants: RwLock<BTreeMap<String, Arc<Mutex<Tenant>>>>,
+    tenants: RwLock<BTreeMap<String, Arc<TenantSlot>>>,
     metrics: Mutex<DaemonMetrics>,
     shutdown: AtomicBool,
     token: String,
@@ -226,6 +329,8 @@ pub struct AppState {
     slo_us: AtomicU64,
     /// Adjustment timestamps (µs) inside the storm window.
     storm_window: Mutex<VecDeque<u64>>,
+    /// Recycled response-body buffers (see [`AppState::take_buf`]).
+    pool: Mutex<Vec<Vec<u8>>>,
 }
 
 impl AppState {
@@ -246,6 +351,34 @@ impl AppState {
             queue_depth: AtomicI64::new(0),
             slo_us: AtomicU64::new(DEFAULT_SLO_US),
             storm_window: Mutex::new(VecDeque::new()),
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A cleared buffer from the response pool (or a fresh one). Handlers
+    /// assemble bodies into these; the connection loop hands them back
+    /// through [`AppState::recycle_buf`] after the socket write, so a
+    /// steady-state request allocates nothing for its body.
+    #[must_use]
+    pub fn take_buf(&self) -> Vec<u8> {
+        self.pool
+            .lock()
+            .ok()
+            .and_then(|mut p| p.pop())
+            .unwrap_or_default()
+    }
+
+    /// Returns a response-body buffer to the pool (bounded in count and
+    /// per-buffer capacity; anything over the cap is simply dropped).
+    pub fn recycle_buf(&self, mut buf: Vec<u8>) {
+        if buf.capacity() == 0 || buf.capacity() > POOL_MAX_BUFFER_CAPACITY {
+            return;
+        }
+        buf.clear();
+        if let Ok(mut pool) = self.pool.lock() {
+            if pool.len() < POOL_MAX_BUFFERS {
+                pool.push(buf);
+            }
         }
     }
 
@@ -367,14 +500,22 @@ impl AppState {
             .unwrap_or_default()
     }
 
-    fn record_request(&self, us: u64, class: &'static str, is_error: bool) {
+    fn record_request(&self, us: u64, alloc_us: u64, class: &'static str, is_error: bool) {
         if let Ok(mut m) = self.metrics.lock() {
-            let (req, err, hist) = (m.requests_total, m.http_errors, m.request_us);
+            let (req, err, hist, alloc) = (
+                m.requests_total,
+                m.http_errors,
+                m.request_us,
+                m.allocator_us,
+            );
             m.registry.inc(req, 1);
             if is_error {
                 m.registry.inc(err, 1);
             }
             m.registry.observe(hist, us);
+            if alloc_us > 0 {
+                m.registry.observe(alloc, alloc_us);
+            }
             if let Some(&(_, id)) = m.route_us.iter().find(|(c, _)| *c == class) {
                 m.registry.observe(id, us);
             }
@@ -387,10 +528,7 @@ impl AppState {
                 Ok(t) => t,
                 Err(_) => return,
             };
-            let nodes: usize = tenants
-                .values()
-                .filter_map(|t| t.lock().ok().map(|t| t.handle.summary().nodes))
-                .sum();
+            let nodes: usize = tenants.values().map(|slot| slot.nodes_hint()).sum();
             (tenants.len(), nodes)
         };
         let spans_dropped = self
@@ -460,7 +598,7 @@ pub fn handle_request_timed(state: &AppState, req: &Request, parse_us: u64) -> R
     };
     let status = response.status;
     let total_us = parse_us + route_us;
-    state.record_request(total_us, class, status >= 400);
+    state.record_request(total_us, timing.allocator_us, class, status >= 400);
 
     if let Ok(mut spans) = state.spans.lock() {
         let span =
@@ -548,23 +686,22 @@ fn route(
 }
 
 fn health(state: &AppState) -> Response {
-    Response::json(
-        200,
-        format!(
-            "{{\"status\": \"ok\", \"networks\": {}, \"shutting_down\": {}}}\n",
-            state.network_count(),
-            state.is_shutting_down()
-        ),
-    )
+    let mut b = JsonBuf::reuse(state.take_buf());
+    b.raw("{\"status\": \"ok\", \"networks\": ")
+        .u64(state.network_count() as u64)
+        .raw(", \"shutting_down\": ")
+        .bool(state.is_shutting_down())
+        .raw("}\n");
+    Response::json_bytes(200, b.into_bytes())
 }
 
 fn metrics(state: &AppState) -> Response {
     state.refresh_network_gauges();
     let mut groups: Vec<(Labels, MetricsSnapshot)> = vec![(Vec::new(), state.metrics_snapshot())];
     if let Ok(tenants) = state.tenants.read() {
-        for (id, tenant) in tenants.iter() {
-            if let Ok(tenant) = tenant.lock() {
-                groups.push((vec![("tenant".into(), id.clone())], tenant.metrics()));
+        for (id, slot) in tenants.iter() {
+            if let Some(snap) = slot.scrape_metrics() {
+                groups.push((vec![("tenant".into(), id.clone())], (*snap).clone()));
             }
         }
     }
@@ -572,27 +709,32 @@ fn metrics(state: &AppState) -> Response {
 }
 
 fn list_networks(state: &AppState) -> Response {
-    let mut body = String::from("{\"networks\": [");
+    let mut b = JsonBuf::reuse(state.take_buf());
+    b.raw("{\"networks\": [");
     if let Ok(tenants) = state.tenants.read() {
         let mut first = true;
-        for (id, tenant) in tenants.iter() {
-            let Ok(tenant) = tenant.lock() else { continue };
+        for (id, slot) in tenants.iter() {
+            let Ok(tenant) = slot.tenant.lock() else {
+                continue;
+            };
             if !first {
-                body.push_str(", ");
+                b.raw(", ");
             }
             first = false;
             let s = tenant.handle.summary();
-            body.push_str(&format!(
-                "{{\"tenant\": \"{}\", \"scenario\": \"{}\", \"nodes\": {}, \"adjustments\": {}}}",
-                escape_json(id),
-                escape_json(&tenant.scenario_name),
-                s.nodes,
-                tenant.handle.adjustments()
-            ));
+            b.raw("{\"tenant\": ")
+                .string(id)
+                .raw(", \"scenario\": ")
+                .string(&tenant.scenario_name)
+                .raw(", \"nodes\": ")
+                .u64(s.nodes as u64)
+                .raw(", \"adjustments\": ")
+                .u64(tenant.handle.adjustments())
+                .raw("}");
         }
     }
-    body.push_str("]}\n");
-    Response::json(200, body)
+    b.raw("]}\n");
+    Response::json_bytes(200, b.into_bytes())
 }
 
 fn body_json(req: &Request) -> Result<Json, HttpError> {
@@ -692,18 +834,25 @@ fn create_network(
     let summary = handle.summary();
     let static_report = handle.static_report();
     let enc_start = Instant::now();
-    let body = format!(
-        "{{\"tenant\": \"{}\", \"scenario\": \"{}\", \"nodes\": {}, \"assignments\": {}, \
-         \"active_cells\": {}, \"exclusive\": {}, \"static_mgmt_messages\": {}, \
-         \"correlation_id\": {corr}}}\n",
-        escape_json(&tenant_id),
-        escape_json(&scenario_name),
-        summary.nodes,
-        summary.assignments,
-        summary.active_cells,
-        summary.exclusive,
-        static_report.mgmt_messages
-    );
+    let mut b = JsonBuf::reuse(state.take_buf());
+    b.raw("{\"tenant\": ")
+        .string(&tenant_id)
+        .raw(", \"scenario\": ")
+        .string(&scenario_name)
+        .raw(", \"nodes\": ")
+        .u64(summary.nodes as u64)
+        .raw(", \"assignments\": ")
+        .u64(summary.assignments as u64)
+        .raw(", \"active_cells\": ")
+        .u64(summary.active_cells as u64)
+        .raw(", \"exclusive\": ")
+        .bool(summary.exclusive)
+        .raw(", \"static_mgmt_messages\": ")
+        .u64(static_report.mgmt_messages)
+        .raw(", \"correlation_id\": ")
+        .u64(corr)
+        .raw("}\n");
+    let body = b.into_bytes();
     timing.encode_us = elapsed_us(enc_start);
     state.flight_record(FlightEvent {
         seq: 0,
@@ -719,9 +868,9 @@ fn create_network(
     let tenant = Tenant {
         handle,
         scenario_name,
-        schedule_queries: 0,
         request_spans: SpanRing::new(TENANT_SPAN_CAPACITY),
     };
+    let slot = Arc::new(TenantSlot::new(tenant));
     {
         let mut tenants = state
             .tenants
@@ -733,16 +882,16 @@ fn create_network(
                 format!("tenant \"{tenant_id}\" already hosts a network"),
             ));
         }
-        tenants.insert(tenant_id, Arc::new(Mutex::new(tenant)));
+        tenants.insert(tenant_id, slot);
     }
     if let Ok(mut m) = state.metrics.lock() {
         let c = m.creates;
         m.registry.inc(c, 1);
     }
-    Ok(Response::json(201, body))
+    Ok(Response::json_bytes(201, body))
 }
 
-fn tenant_of(state: &AppState, id: &str) -> Result<Arc<Mutex<Tenant>>, HttpError> {
+fn tenant_of(state: &AppState, id: &str) -> Result<Arc<TenantSlot>, HttpError> {
     state
         .tenants
         .read()
@@ -782,18 +931,33 @@ fn schedule(
     timing: &mut RouteTiming,
 ) -> Result<Response, HttpError> {
     timing.tenant = Some(id.to_owned());
-    let tenant = tenant_of(state, id)?;
-    let mut tenant = tenant
-        .lock()
-        .map_err(|_| HttpError::new(500, "tenant poisoned"))?;
-    tenant.schedule_queries += 1;
+    let slot = tenant_of(state, id)?;
+    slot.schedule_queries.fetch_add(1, Ordering::Relaxed);
     if let Ok(mut m) = state.metrics.lock() {
         let c = m.schedule_queries;
         m.registry.inc(c, 1);
     }
+    // Fast path: nothing has mutated the allocator since the cached body
+    // was rendered — answer without touching the tenant mutex (and
+    // without a per-tenant span: no allocator work happened).
+    if let Some(body) = slot.cached_schedule() {
+        let enc_start = Instant::now();
+        let mut out = state.take_buf();
+        out.extend_from_slice(&body);
+        timing.encode_us = elapsed_us(enc_start);
+        return Ok(Response::json_bytes(200, out));
+    }
+    // Slow path: render under the lock and refill the cache. The version
+    // stamp is read while the lock is held, so the cache entry can never
+    // claim a newer state than the one it was rendered from.
+    let mut tenant = slot
+        .tenant
+        .lock()
+        .map_err(|_| HttpError::new(500, "tenant poisoned"))?;
     let alloc_start = Instant::now();
     let started_us = state.uptime_us();
     let s = tenant.handle.summary();
+    let version = tenant.handle.version();
     timing.allocator_us = elapsed_us(alloc_start);
     record_tenant_span(
         &mut tenant,
@@ -804,25 +968,34 @@ fn schedule(
         s.assignments as i64,
         corr,
     );
+    drop(tenant);
     let enc_start = Instant::now();
-    let resp = Response::json(
-        200,
-        format!(
-            "{{\"tenant\": \"{}\", \"nodes\": {}, \"scheduled_links\": {}, \"assignments\": {}, \
-             \"active_cells\": {}, \"slots\": {}, \"channels\": {}, \"exclusive\": {}, \"asn\": {}}}\n",
-            escape_json(id),
-            s.nodes,
-            s.scheduled_links,
-            s.assignments,
-            s.active_cells,
-            s.slots,
-            s.channels,
-            s.exclusive,
-            s.asn
-        ),
-    );
+    let mut b = JsonBuf::reuse(state.take_buf());
+    b.raw("{\"tenant\": ")
+        .string(id)
+        .raw(", \"nodes\": ")
+        .u64(s.nodes as u64)
+        .raw(", \"scheduled_links\": ")
+        .u64(s.scheduled_links as u64)
+        .raw(", \"assignments\": ")
+        .u64(s.assignments as u64)
+        .raw(", \"active_cells\": ")
+        .u64(s.active_cells as u64)
+        .raw(", \"slots\": ")
+        .u64(u64::from(s.slots))
+        .raw(", \"channels\": ")
+        .u64(u64::from(s.channels))
+        .raw(", \"exclusive\": ")
+        .bool(s.exclusive)
+        .raw(", \"asn\": ")
+        .u64(s.asn)
+        .raw("}\n");
+    let body = b.into_bytes();
+    if let Ok(mut cache) = slot.schedule_cache.write() {
+        *cache = Some((version, Arc::new(body.clone())));
+    }
     timing.encode_us = elapsed_us(enc_start);
-    Ok(resp)
+    Ok(Response::json_bytes(200, body))
 }
 
 fn adjust(
@@ -840,8 +1013,9 @@ fn adjust(
     let cells = u32::try_from(cells).map_err(|_| HttpError::new(400, "cells out of range"))?;
     let down = matches!(json.get("direction").and_then(Json::as_str), Some("down"));
 
-    let tenant = tenant_of(state, id)?;
-    let mut tenant = tenant
+    let slot = tenant_of(state, id)?;
+    let mut tenant = slot
+        .tenant
         .lock()
         .map_err(|_| HttpError::new(500, "tenant poisoned"))?;
     if !tenant.handle.is_adjustable_node(NodeId(node)) {
@@ -860,16 +1034,19 @@ fn adjust(
     // lets /debug/trace/<tenant> resolve the id the client got back.
     let alloc_start = Instant::now();
     let started_us = state.uptime_us();
-    let bill = tenant
-        .handle
-        .adjust_correlated(link, cells, corr)
-        .map_err(|e| {
-            HttpError::new(
-                409,
-                format!("adjustment infeasible, schedule rolled back: {e}"),
-            )
-        })?;
+    let result = tenant.handle.adjust_correlated(link, cells, corr);
     timing.allocator_us = elapsed_us(alloc_start);
+    // Publish the new stamp while the lock is still held: even a rejected
+    // adjustment advances the allocator clock, so any cached schedule
+    // body is stale either way.
+    slot.version
+        .store(tenant.handle.version(), Ordering::Release);
+    let bill = result.map_err(|e| {
+        HttpError::new(
+            409,
+            format!("adjustment infeasible, schedule rolled back: {e}"),
+        )
+    })?;
     record_tenant_span(
         &mut tenant,
         "adjust",
@@ -897,22 +1074,29 @@ fn adjust(
     });
     state.note_adjustment(at, id, corr);
     let enc_start = Instant::now();
-    let resp = Response::json(
-        200,
-        format!(
-            "{{\"tenant\": \"{}\", \"node\": {node}, \"cells\": {cells}, \
-             \"mgmt_messages\": {}, \"cell_messages\": {}, \"involved_nodes\": {}, \
-             \"layers_touched\": {}, \"slotframes\": {}, \"seconds\": {:.6}, \
-             \"correlation_id\": {corr}}}\n",
-            escape_json(id),
-            bill.mgmt_messages,
-            bill.cell_messages,
-            bill.involved_nodes,
-            bill.layers_touched,
-            bill.slotframes,
-            bill.seconds
-        ),
-    );
+    let mut b = JsonBuf::reuse(state.take_buf());
+    b.raw("{\"tenant\": ")
+        .string(id)
+        .raw(", \"node\": ")
+        .u64(u64::from(node))
+        .raw(", \"cells\": ")
+        .u64(u64::from(cells))
+        .raw(", \"mgmt_messages\": ")
+        .u64(bill.mgmt_messages)
+        .raw(", \"cell_messages\": ")
+        .u64(bill.cell_messages)
+        .raw(", \"involved_nodes\": ")
+        .u64(bill.involved_nodes as u64)
+        .raw(", \"layers_touched\": ")
+        .u64(bill.layers_touched as u64)
+        .raw(", \"slotframes\": ")
+        .u64(bill.slotframes)
+        .raw(", \"seconds\": ")
+        .fixed(bill.seconds, 6)
+        .raw(", \"correlation_id\": ")
+        .u64(corr)
+        .raw("}\n");
+    let resp = Response::json_bytes(200, b.into_bytes());
     timing.encode_us = elapsed_us(enc_start);
     Ok(resp)
 }
@@ -946,13 +1130,11 @@ fn delete_network(
         detail: String::new(),
         magnitude: 0,
     });
-    Ok(Response::json(
-        200,
-        format!(
-            "{{\"tenant\": \"{}\", \"deleted\": true}}\n",
-            escape_json(id)
-        ),
-    ))
+    let mut b = JsonBuf::reuse(state.take_buf());
+    b.raw("{\"tenant\": ")
+        .string(id)
+        .raw(", \"deleted\": true}\n");
+    Ok(Response::json_bytes(200, b.into_bytes()))
 }
 
 /// `GET /debug/health`: per-tenant liveness and queue depths — everything
@@ -968,57 +1150,63 @@ fn debug_health(state: &AppState) -> Response {
         .lock()
         .map(|f| (f.total_recorded(), f.dropped(), f.trips()))
         .unwrap_or((0, 0, 0));
-    let mut tenants_body = String::new();
+    let mut b = JsonBuf::reuse(state.take_buf());
+    b.raw("{\"status\": \"")
+        .raw(if state.is_shutting_down() {
+            "draining"
+        } else {
+            "ok"
+        })
+        .raw("\", \"uptime_us\": ")
+        .u64(state.uptime_us())
+        .raw(", \"queue_depth\": ")
+        .i64(state.queue_depth())
+        .raw(", \"spans\": {\"recorded\": ")
+        .u64(spans_recorded)
+        .raw(", \"dropped\": ")
+        .u64(spans_dropped)
+        .raw("}, \"flight\": {\"recorded\": ")
+        .u64(flight_recorded)
+        .raw(", \"dropped\": ")
+        .u64(flight_dropped)
+        .raw(", \"trips\": ")
+        .u64(flight_trips)
+        .raw("}, \"tenants\": [");
     if let Ok(tenants) = state.tenants.read() {
         let mut first = true;
-        for (id, tenant) in tenants.iter() {
+        for (id, slot) in tenants.iter() {
             if !first {
-                tenants_body.push_str(", ");
+                b.raw(", ");
             }
             first = false;
             // try_lock as a liveness probe: a held lock means the tenant
             // is mid-operation (busy), not dead — report it rather than
             // queueing behind it.
-            match tenant.try_lock() {
+            match slot.tenant.try_lock() {
                 Ok(tenant) => {
                     let s = tenant.handle.summary();
-                    tenants_body.push_str(&format!(
-                        "{{\"tenant\": \"{}\", \"busy\": false, \"nodes\": {}, \
-                         \"adjustments\": {}, \"schedule_queries\": {}, \
-                         \"spans_recorded\": {}, \"spans_dropped\": {}}}",
-                        escape_json(id),
-                        s.nodes,
-                        tenant.handle.adjustments(),
-                        tenant.schedule_queries,
-                        tenant.request_spans.total_recorded(),
-                        tenant.spans_dropped(),
-                    ));
+                    b.raw("{\"tenant\": ")
+                        .string(id)
+                        .raw(", \"busy\": false, \"nodes\": ")
+                        .u64(s.nodes as u64)
+                        .raw(", \"adjustments\": ")
+                        .u64(tenant.handle.adjustments())
+                        .raw(", \"schedule_queries\": ")
+                        .u64(slot.schedule_queries.load(Ordering::Relaxed))
+                        .raw(", \"spans_recorded\": ")
+                        .u64(tenant.request_spans.total_recorded())
+                        .raw(", \"spans_dropped\": ")
+                        .u64(tenant.spans_dropped())
+                        .raw("}");
                 }
                 Err(_) => {
-                    tenants_body.push_str(&format!(
-                        "{{\"tenant\": \"{}\", \"busy\": true}}",
-                        escape_json(id)
-                    ));
+                    b.raw("{\"tenant\": ").string(id).raw(", \"busy\": true}");
                 }
             }
         }
     }
-    Response::json(
-        200,
-        format!(
-            "{{\"status\": \"{}\", \"uptime_us\": {}, \"queue_depth\": {}, \
-             \"spans\": {{\"recorded\": {spans_recorded}, \"dropped\": {spans_dropped}}}, \
-             \"flight\": {{\"recorded\": {flight_recorded}, \"dropped\": {flight_dropped}, \"trips\": {flight_trips}}}, \
-             \"tenants\": [{tenants_body}]}}\n",
-            if state.is_shutting_down() {
-                "draining"
-            } else {
-                "ok"
-            },
-            state.uptime_us(),
-            state.queue_depth(),
-        ),
-    )
+    b.raw("]}\n");
+    Response::json_bytes(200, b.into_bytes())
 }
 
 /// `GET /debug/trace/<tenant>`: the tenant's span rings — its request
@@ -1030,21 +1218,23 @@ fn debug_trace(
     timing: &mut RouteTiming,
 ) -> Result<Response, HttpError> {
     timing.tenant = Some(id.to_owned());
-    let tenant = tenant_of(state, id)?;
-    let tenant = tenant
+    let slot = tenant_of(state, id)?;
+    let tenant = slot
+        .tenant
         .lock()
         .map_err(|_| HttpError::new(500, "tenant poisoned"))?;
     let request_spans = tenant.request_spans.to_json(TRACE_DUMP_LIMIT);
     let allocator = merged_trace_json(&tenant.handle.network().span_rings(), TRACE_DUMP_LIMIT);
-    Ok(Response::json(
-        200,
-        format!(
-            "{{\"tenant\": \"{}\", \"request_timebase\": \"us_since_boot\", \
-             \"allocator_timebase\": \"asn\", \"request_spans\": {request_spans}, \
-             \"allocator_trace\": {allocator}}}\n",
-            escape_json(id),
-        ),
-    ))
+    drop(tenant);
+    let mut b = JsonBuf::reuse(state.take_buf());
+    b.raw("{\"tenant\": ")
+        .string(id)
+        .raw(", \"request_timebase\": \"us_since_boot\", \"allocator_timebase\": \"asn\", \"request_spans\": ")
+        .raw(&request_spans)
+        .raw(", \"allocator_trace\": ")
+        .raw(&allocator)
+        .raw("}\n");
+    Ok(Response::json_bytes(200, b.into_bytes()))
 }
 
 /// `GET /debug/flight[?incident]`: the live flight-recorder ring, or the

@@ -1,13 +1,155 @@
-//! Minimal JSON value parser (consumer side of the observability layer).
+//! Minimal JSON value parser and writer (both sides of the workspace's
+//! hand-rolled JSON).
 //!
-//! The workspace emits JSON with hand-rolled writers; this module is the
-//! matching reader, used by the `bench_check` CI gate to diff fresh
-//! benchmark reports against committed baselines, and by tests validating
-//! that emitted snapshots round-trip. It is a strict-enough recursive
-//! descent parser over the subset the workspace produces (full JSON minus
-//! exotic number forms), with byte offsets in errors and a depth limit.
+//! The reader is a strict-enough recursive descent parser over the subset
+//! the workspace produces (full JSON minus exotic number forms), with
+//! byte offsets in errors and a depth limit; `bench_check` uses it to
+//! diff fresh benchmark reports against committed baselines. The writer
+//! side is [`JsonBuf`] — an append-only assembly buffer over a reusable
+//! `Vec<u8>` — plus the shared string-escaping helpers
+//! ([`escape_json`], [`escape_json_into`]) every producer in the
+//! workspace funnels through, so escaping rules live in exactly one
+//! place.
 
 use core::fmt;
+
+/// Appends the JSON string-escape of `s` (no surrounding quotes) to a
+/// byte buffer: `\\`, `\"`, the whitespace escapes, `\u00XX` for other
+/// control characters; non-ASCII passes through as UTF-8.
+pub fn escape_json_into(out: &mut Vec<u8>, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.extend_from_slice(b"\\\\"),
+            '"' => out.extend_from_slice(b"\\\""),
+            '\n' => out.extend_from_slice(b"\\n"),
+            '\r' => out.extend_from_slice(b"\\r"),
+            '\t' => out.extend_from_slice(b"\\t"),
+            c if c.is_control() => {
+                const HEX: &[u8; 16] = b"0123456789abcdef";
+                let v = c as u32;
+                out.extend_from_slice(b"\\u");
+                out.push(HEX[((v >> 12) & 0xf) as usize]);
+                out.push(HEX[((v >> 8) & 0xf) as usize]);
+                out.push(HEX[((v >> 4) & 0xf) as usize]);
+                out.push(HEX[(v & 0xf) as usize]);
+            }
+            c => {
+                let mut utf8 = [0u8; 4];
+                out.extend_from_slice(c.encode_utf8(&mut utf8).as_bytes());
+            }
+        }
+    }
+}
+
+/// The JSON string-escape of `s` as an owned `String` (no quotes) — the
+/// convenience form of [`escape_json_into`] for one-off callers.
+#[must_use]
+pub fn escape_json(s: &str) -> String {
+    let mut out = Vec::with_capacity(s.len());
+    escape_json_into(&mut out, s);
+    String::from_utf8(out).expect("escaping valid UTF-8 yields valid UTF-8")
+}
+
+/// An append-only JSON assembly buffer over a reusable allocation.
+///
+/// Response builders that used to chain `format!` (one fresh `String` per
+/// fragment) instead write straight into a pooled `Vec<u8>`: take a
+/// buffer with [`JsonBuf::reuse`], append raw structure and escaped
+/// values, and hand the bytes back with [`JsonBuf::into_bytes`]. The type
+/// adds no structural validation — it is a typed cursor, and the emitters
+/// stay responsible for balanced braces, exactly like the workspace's
+/// other hand-rolled writers.
+#[derive(Debug, Default)]
+pub struct JsonBuf {
+    out: Vec<u8>,
+}
+
+impl JsonBuf {
+    /// An empty buffer with a fresh allocation.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a recycled allocation: contents are cleared, capacity kept.
+    #[must_use]
+    pub fn reuse(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Self { out: buf }
+    }
+
+    /// Appends a raw fragment verbatim (structure: braces, keys you know
+    /// are escape-free, separators).
+    pub fn raw(&mut self, fragment: &str) -> &mut Self {
+        self.out.extend_from_slice(fragment.as_bytes());
+        self
+    }
+
+    /// Appends `s` as a quoted, escaped JSON string value.
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.out.push(b'"');
+        escape_json_into(&mut self.out, s);
+        self.out.push(b'"');
+        self
+    }
+
+    /// Appends an unsigned integer.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        let mut digits = [0u8; 20];
+        let mut i = digits.len();
+        let mut v = v;
+        loop {
+            i -= 1;
+            digits[i] = b'0' + (v % 10) as u8;
+            v /= 10;
+            if v == 0 {
+                break;
+            }
+        }
+        self.out.extend_from_slice(&digits[i..]);
+        self
+    }
+
+    /// Appends a signed integer.
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        if v < 0 {
+            self.out.push(b'-');
+        }
+        self.u64(v.unsigned_abs())
+    }
+
+    /// Appends `true`/`false`.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.raw(if v { "true" } else { "false" })
+    }
+
+    /// Appends a float with `decimals` fractional digits (the fixed-point
+    /// form every report in the workspace uses).
+    pub fn fixed(&mut self, v: f64, decimals: usize) -> &mut Self {
+        use std::io::Write as _;
+        let _ = write!(&mut self.out, "{v:.decimals$}");
+        self
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Whether nothing has been written yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// The assembled document, surrendering the allocation (return it to
+    /// the pool after the response is written).
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.out
+    }
+}
 
 /// A parsed JSON value.
 ///
@@ -409,5 +551,79 @@ mod tests {
         assert!(v.as_bool().is_none());
         assert!(v.as_obj().is_none());
         assert_eq!(v.as_arr().map(<[Json]>::len), Some(1));
+    }
+
+    #[test]
+    fn escape_covers_controls_quotes_and_non_ascii() {
+        // Backslash, quote and the named whitespace escapes.
+        assert_eq!(escape_json(r#"a\b"c"#), r#"a\\b\"c"#);
+        assert_eq!(
+            escape_json("line\nfeed\ttab\rret"),
+            "line\\nfeed\\ttab\\rret"
+        );
+        // Other control characters take the \u00xx form.
+        assert_eq!(escape_json("\u{0}\u{1f}\u{7f}"), "\\u0000\\u001f\\u007f");
+        // Non-ASCII passes through as UTF-8, unescaped.
+        assert_eq!(escape_json("köln→東京"), "köln→東京");
+        // Everything escape_json emits must round-trip through our own
+        // parser back to the original string.
+        for original in [
+            "plain",
+            "with \"quotes\" and \\slashes\\",
+            "ctrl \u{1} \u{8} \u{b} mixed \t\n\r",
+            "émoji 🦀 and \u{9f} control",
+            "",
+        ] {
+            let doc = format!("\"{}\"", escape_json(original));
+            assert_eq!(
+                parse(&doc).unwrap(),
+                Json::Str(original.to_owned()),
+                "round-trip failed for {original:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_buf_assembles_and_reuses_allocations() {
+        let mut b = JsonBuf::new();
+        assert!(b.is_empty());
+        b.raw("{\"name\": ")
+            .string("a \"b\"\n")
+            .raw(", \"n\": ")
+            .u64(12345)
+            .raw(", \"neg\": ")
+            .i64(-7)
+            .raw(", \"ok\": ")
+            .bool(true)
+            .raw(", \"f\": ")
+            .fixed(1.5, 3)
+            .raw("}");
+        let bytes = b.into_bytes();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        assert_eq!(
+            text,
+            "{\"name\": \"a \\\"b\\\"\\n\", \"n\": 12345, \"neg\": -7, \"ok\": true, \"f\": 1.500}"
+        );
+        let doc = parse(&text).unwrap();
+        assert_eq!(doc.get("n").and_then(Json::as_f64), Some(12345.0));
+        assert_eq!(doc.get("neg").and_then(Json::as_f64), Some(-7.0));
+
+        // Reuse keeps the allocation, drops the contents.
+        let cap = bytes.capacity();
+        let mut reused = JsonBuf::reuse(bytes);
+        assert!(reused.is_empty());
+        reused.u64(0).u64(u64::MAX);
+        let out = reused.into_bytes();
+        assert_eq!(out, b"018446744073709551615");
+        assert!(out.capacity() >= cap.min(out.len()));
+
+        assert_eq!(
+            {
+                let mut b = JsonBuf::new();
+                b.i64(i64::MIN);
+                String::from_utf8(b.into_bytes()).unwrap()
+            },
+            i64::MIN.to_string()
+        );
     }
 }

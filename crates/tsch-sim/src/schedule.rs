@@ -289,6 +289,50 @@ impl NetworkSchedule {
         self.by_link.clear();
         self.bump_version();
     }
+
+    /// Restores previously captured link rows — the rollback primitive
+    /// behind journaled transactions (see `HarpNetwork`'s undo journal).
+    ///
+    /// Each `(link, cells)` pair is a before-image taken with
+    /// [`cells_of`](Self::cells_of) prior to mutating that link: whatever
+    /// the link holds now is removed and the captured cells are
+    /// reinstated in their original order. `version` is the value
+    /// [`version`](Self::version) returned when the first row was
+    /// captured; it is restored verbatim (no fresh version is minted), so
+    /// a journaled rollback is indistinguishable — version included —
+    /// from swapping in a clone taken at the same point.
+    ///
+    /// The restore reproduces the pre-image exactly as long as no
+    /// restored link shared a cell with a link that was *not* captured —
+    /// always true for exclusive schedules (HARP's invariant), where a
+    /// cell hosts at most one link.
+    pub fn restore_rows<'a>(
+        &mut self,
+        rows: impl IntoIterator<Item = (Link, &'a [Cell])>,
+        version: u64,
+    ) {
+        for (link, cells) in rows {
+            // Drop whatever the aborted transaction left on this link.
+            if let Some(current) = self.by_link.remove(&link) {
+                for cell in &current {
+                    if let Some(links) = self.by_cell.get_mut(cell) {
+                        links.retain(|&l| l != link);
+                        if links.is_empty() {
+                            self.by_cell.remove(cell);
+                        }
+                    }
+                }
+            }
+            if cells.is_empty() {
+                continue;
+            }
+            for &cell in cells {
+                self.by_cell.entry(cell).or_default().push(link);
+            }
+            self.by_link.insert(link, cells.to_vec());
+        }
+        self.version = version;
+    }
 }
 
 #[cfg(test)]
@@ -427,6 +471,51 @@ mod tests {
         s.unassign_link(Link::up(NodeId(1)));
         assert_ne!(s.version(), v1);
         assert_ne!(s.version(), clone.version(), "versions are process-unique");
+    }
+
+    #[test]
+    fn restore_rows_reinstates_contents_and_version() {
+        let mut s = NetworkSchedule::new(cfg());
+        let a = Link::up(NodeId(1));
+        let b = Link::up(NodeId(2));
+        s.assign(Cell::new(0, 0), a).unwrap();
+        s.assign(Cell::new(1, 0), a).unwrap();
+        s.assign(Cell::new(2, 0), b).unwrap();
+        let saved_version = s.version();
+        let saved_a = s.cells_of(a).to_vec();
+        let saved_b = s.cells_of(b).to_vec();
+        let reference = s.clone();
+
+        // Mutate both rows the way an aborted transaction would: move a,
+        // wipe b, touch a third link that was never captured.
+        s.unassign_link(a);
+        s.assign(Cell::new(5, 1), a).unwrap();
+        s.unassign_link(b);
+        s.assign(Cell::new(6, 2), Link::down(NodeId(3))).unwrap();
+        assert_ne!(s.version(), saved_version);
+
+        s.restore_rows(
+            [(a, saved_a.as_slice()), (b, saved_b.as_slice())],
+            saved_version,
+        );
+        assert_eq!(s.cells_of(a), reference.cells_of(a));
+        assert_eq!(s.cells_of(b), reference.cells_of(b));
+        assert!(s.links_on(Cell::new(5, 1)).is_empty());
+        // The uncaptured link survives untouched.
+        assert_eq!(s.cells_of(Link::down(NodeId(3))), &[Cell::new(6, 2)]);
+        assert_eq!(
+            s.version(),
+            saved_version,
+            "restore reinstates the captured version instead of minting one"
+        );
+        // A row captured empty restores to empty.
+        let mut t = NetworkSchedule::new(cfg());
+        let v0 = t.version();
+        t.assign(Cell::new(0, 0), a).unwrap();
+        t.restore_rows([(a, &[][..])], v0);
+        assert!(t.cells_of(a).is_empty());
+        assert_eq!(t.assignment_count(), 0);
+        assert_eq!(t.version(), v0);
     }
 
     #[test]
